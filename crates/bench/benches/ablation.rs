@@ -1,0 +1,133 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! the choice of `→p` order, the cost of the online store vs. a naive
+//! locked vector, and the FxHash vs. SipHash dedup in BFS.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use paramount::store::AppendVec;
+use paramount::{Algorithm, AtomicCountSink, ParaMount};
+use paramount_bench::schedule::simulated_speedup;
+use paramount_poset::{topo, Poset};
+use parking_lot::Mutex;
+
+fn poset() -> Poset {
+    paramount_bench::bench_poset_speedup()
+}
+
+/// Does the choice of linear extension (weight-sort vs Kahn) matter for
+/// enumeration time and partition balance? (The paper says any
+/// topological order is correct; this quantifies the performance side.)
+fn bench_order_choice(c: &mut Criterion) {
+    let p = poset();
+    let mut group = c.benchmark_group("ablation-order");
+    for (name, order) in [
+        ("weight", topo::weight_order(&p)),
+        ("kahn", topo::kahn_order(&p)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let sink = AtomicCountSink::new();
+                ParaMount::new(Algorithm::Lexical)
+                    .enumerate_with_order(&p, &order, &sink)
+                    .unwrap();
+                sink.count()
+            })
+        });
+    }
+    group.finish();
+
+    // Report partition balance once (not a timing benchmark): the
+    // simulated 8-way speedup each order's partition permits.
+    for (name, order) in [
+        ("weight", topo::weight_order(&p)),
+        ("kahn", topo::kahn_order(&p)),
+    ] {
+        let intervals = paramount::partition(&p, &order);
+        let work: Vec<u64> = intervals
+            .iter()
+            .map(|iv| {
+                let mut sink = paramount_enumerate::CountSink::default();
+                paramount_enumerate::lexical::enumerate_bounded(
+                    &p, &iv.gmin, &iv.gbnd, &mut sink,
+                )
+                .unwrap();
+                sink.count
+            })
+            .collect();
+        eprintln!(
+            "[ablation] {name} order: {} intervals, simulated 8-way speedup {:.2}x",
+            intervals.len(),
+            simulated_speedup(&work, 8)
+        );
+    }
+}
+
+/// The online store against the obvious alternative (a mutex-protected
+/// `Vec`), on the engine's actual access pattern: single writer
+/// appending, readers hammering published elements.
+fn bench_store_vs_mutex(c: &mut Criterion) {
+    const N: usize = 8_192;
+    let mut group = c.benchmark_group("ablation-store");
+    group.throughput(Throughput::Elements(N as u64));
+
+    group.bench_function("appendvec-mixed", |b| {
+        b.iter(|| {
+            let store: AppendVec<u64> = AppendVec::new();
+            let mut acc = 0u64;
+            for i in 0..N {
+                store.push(i as u64);
+                // Reader pattern: touch an already-published element.
+                acc = acc.wrapping_add(*store.get(i / 2).unwrap());
+            }
+            acc
+        })
+    });
+    group.bench_function("mutex-vec-mixed", |b| {
+        b.iter(|| {
+            let store: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+            let mut acc = 0u64;
+            for i in 0..N {
+                store.lock().push(i as u64);
+                acc = acc.wrapping_add(store.lock()[i / 2]);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// FxHash vs SipHash for frontier deduplication (the BFS hot path).
+fn bench_hash_choice(c: &mut Criterion) {
+    use std::collections::HashSet;
+    let frontiers: Vec<Vec<u32>> = (0..20_000u32)
+        .map(|i| (0..10).map(|j| (i.rotate_left(j) % 17)).collect())
+        .collect();
+    let mut group = c.benchmark_group("ablation-hash");
+    group.throughput(Throughput::Elements(frontiers.len() as u64));
+    group.bench_function("fxhash", |b| {
+        b.iter(|| {
+            let mut set: paramount_enumerate::fxhash::FxHashSet<&[u32]> = Default::default();
+            for f in &frontiers {
+                set.insert(f.as_slice());
+            }
+            set.len()
+        })
+    });
+    group.bench_function("siphash", |b| {
+        b.iter(|| {
+            let mut set: HashSet<&[u32]> = HashSet::new();
+            for f in &frontiers {
+                set.insert(f.as_slice());
+            }
+            set.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_order_choice,
+    bench_store_vs_mutex,
+    bench_hash_choice
+);
+criterion_main!(benches);

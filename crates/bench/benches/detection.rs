@@ -1,0 +1,40 @@
+//! Criterion version of Table 2: the three detectors on representative
+//! workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paramount_detect::offline::detect_races_offline_bfs;
+use paramount_detect::online::detect_races_sim;
+use paramount_detect::DetectorConfig;
+use paramount_fasttrack::FastTrack;
+use paramount_trace::sim::SimScheduler;
+use paramount_workloads::{banking, hedc, tsp};
+
+fn bench_detectors(c: &mut Criterion) {
+    let programs = vec![
+        ("banking", banking::program(&banking::Params::default())),
+        ("tsp", tsp::program(&tsp::Params::default())),
+        ("hedc", hedc::program(&hedc::Params::default())),
+    ];
+
+    for (name, program) in &programs {
+        let mut group = c.benchmark_group(format!("detect-{name}"));
+        group.sample_size(20);
+        group.bench_function("paramount-online", |b| {
+            b.iter(|| detect_races_sim(program, 1, &DetectorConfig::default()).cuts)
+        });
+        group.bench_function("bfs-offline-rv", |b| {
+            b.iter(|| detect_races_offline_bfs(program, 1, &DetectorConfig::default()).cuts)
+        });
+        group.bench_function("fasttrack", |b| {
+            b.iter(|| {
+                let mut ft = FastTrack::new(program.num_threads());
+                SimScheduler::new(1).run_with(program, &mut ft);
+                ft.racy_vars().len()
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

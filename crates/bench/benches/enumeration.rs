@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks for the sequential enumeration algorithms
+//! (the per-cut cost behind every Table 1 column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paramount_enumerate::bfs::{self, BfsOptions};
+use paramount_enumerate::dfs::{self, DfsOptions};
+use paramount_enumerate::{lexical, CountSink};
+use paramount_poset::{oracle, Poset};
+
+fn medium_poset() -> Poset {
+    // Size-guarded in paramount_bench::tests::bench_posets_are_modest.
+    paramount_bench::bench_poset_medium()
+}
+
+fn bench_full_enumeration(c: &mut Criterion) {
+    let poset = medium_poset();
+    let cuts = oracle::count_ideals(&poset);
+    let mut group = c.benchmark_group("full-enumeration");
+    group.throughput(Throughput::Elements(cuts));
+
+    group.bench_function(BenchmarkId::new("lexical", cuts), |b| {
+        b.iter(|| {
+            let mut sink = CountSink::default();
+            lexical::enumerate(&poset, &mut sink).unwrap();
+            assert_eq!(sink.count, cuts);
+        })
+    });
+    group.bench_function(BenchmarkId::new("bfs", cuts), |b| {
+        b.iter(|| {
+            let mut sink = CountSink::default();
+            bfs::enumerate(&poset, &BfsOptions::default(), &mut sink).unwrap();
+            assert_eq!(sink.count, cuts);
+        })
+    });
+    group.bench_function(BenchmarkId::new("dfs", cuts), |b| {
+        b.iter(|| {
+            let mut sink = CountSink::default();
+            dfs::enumerate(&poset, &DfsOptions::default(), &mut sink).unwrap();
+            assert_eq!(sink.count, cuts);
+        })
+    });
+    group.finish();
+}
+
+fn bench_bounded_interval(c: &mut Criterion) {
+    // The ParaMount subroutine cost: enumerate the largest interval of
+    // the partition (the worst single task a worker can steal).
+    let poset = medium_poset();
+    let order = paramount_poset::topo::weight_order(&poset);
+    let intervals = paramount::partition(&poset, &order);
+    let largest = intervals
+        .iter()
+        .max_by_key(|iv| iv.box_size())
+        .expect("non-empty");
+
+    let mut group = c.benchmark_group("bounded-interval");
+    group.bench_function("lexical", |b| {
+        b.iter(|| {
+            let mut sink = CountSink::default();
+            lexical::enumerate_bounded(&poset, &largest.gmin, &largest.gbnd, &mut sink)
+                .unwrap();
+            sink.count
+        })
+    });
+    group.bench_function("bfs", |b| {
+        b.iter(|| {
+            let mut sink = CountSink::default();
+            bfs::enumerate_bounded(
+                &poset,
+                &largest.gmin,
+                &largest.gbnd,
+                &BfsOptions::default(),
+                &mut sink,
+            )
+            .unwrap();
+            sink.count
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_enumeration, bench_bounded_interval);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion version of Figures 10/11: ParaMount speedup over thread
+//! counts, per subroutine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paramount::{Algorithm, AtomicCountSink, ParaMount};
+use paramount_poset::{oracle, Poset};
+
+fn speedup_poset() -> Poset {
+    // Size-guarded in paramount_bench::tests::bench_posets_are_modest.
+    paramount_bench::bench_poset_speedup()
+}
+
+fn bench_thread_sweep(c: &mut Criterion) {
+    let poset = speedup_poset();
+    let cuts = oracle::count_ideals(&poset);
+
+    for algorithm in [Algorithm::Lexical, Algorithm::Bfs] {
+        let mut group = c.benchmark_group(format!("paramount-{}", algorithm.name()));
+        group.throughput(Throughput::Elements(cuts));
+        group.sample_size(10);
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        let sink = AtomicCountSink::new();
+                        ParaMount::new(algorithm)
+                            .with_threads(threads)
+                            .enumerate(&poset, &sink)
+                            .unwrap();
+                        assert_eq!(sink.count(), cuts);
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_partition_overhead(c: &mut Criterion) {
+    // The O(n) per-event interval computation — ParaMount's entire
+    // non-enumeration overhead (§3.4's work-optimality argument).
+    let poset = speedup_poset();
+    let order = paramount_poset::topo::weight_order(&poset);
+    c.bench_function("interval-partition", |b| {
+        b.iter(|| paramount::partition(&poset, &order).len())
+    });
+}
+
+criterion_group!(benches, bench_thread_sweep, bench_partition_overhead);
+criterion_main!(benches);

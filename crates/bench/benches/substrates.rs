@@ -1,0 +1,106 @@
+//! Criterion microbenchmarks for the substrates: vector clocks, frontier
+//! operations, the lock-free event store, and trace capture.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use paramount::store::AppendVec;
+use paramount_poset::random::RandomComputation;
+use paramount_poset::{EventId, Frontier, Tid};
+use paramount_vclock::VectorClock;
+
+fn bench_vector_clock(c: &mut Criterion) {
+    let a = VectorClock::from_components((0..16).map(|i| i * 3).collect());
+    let b = VectorClock::from_components((0..16).map(|i| 50 - i).collect());
+    let mut group = c.benchmark_group("vclock");
+    group.bench_function("join-16", |bch| {
+        bch.iter(|| {
+            let mut x = a.clone();
+            x.join(&b);
+            x
+        })
+    });
+    group.bench_function("cmp-16", |bch| bch.iter(|| a.partial_cmp_hb(&b)));
+    group.bench_function("le-16", |bch| bch.iter(|| a.le(&b)));
+    group.finish();
+}
+
+fn bench_frontier_ops(c: &mut Criterion) {
+    let poset = RandomComputation::new(10, 20, 0.7, 3).generate();
+    let g = poset.final_frontier();
+    let mid = Frontier::from_clock(poset.vc(EventId::new(Tid(5), 10)));
+    let mut group = c.benchmark_group("frontier");
+    group.bench_function("is-consistent", |b| b.iter(|| mid.is_consistent(&poset)));
+    group.bench_function("leq", |b| b.iter(|| mid.leq(&g)));
+    group.bench_function("enables", |b| {
+        let next = EventId::new(Tid(0), mid.get(Tid(0)) + 1);
+        b.iter(|| mid.enables(&poset, next))
+    });
+    group.finish();
+}
+
+fn bench_append_vec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("append-vec");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("push-10k", |b| {
+        b.iter(|| {
+            let v: AppendVec<u64> = AppendVec::new();
+            for i in 0..10_000u64 {
+                v.push(i);
+            }
+            v.len()
+        })
+    });
+    group.bench_function("get-hot", |b| {
+        let v: AppendVec<u64> = AppendVec::new();
+        for i in 0..10_000u64 {
+            v.push(i);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 9973) % 10_000;
+            *v.get(i).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_partition_and_topo(c: &mut Criterion) {
+    let poset = RandomComputation::new(10, 50, 0.8, 9).generate();
+    let mut group = c.benchmark_group("partition");
+    group.throughput(Throughput::Elements(poset.num_events() as u64));
+    group.bench_function("weight-order", |b| {
+        b.iter(|| paramount_poset::topo::weight_order(&poset).len())
+    });
+    group.bench_function("kahn-order", |b| {
+        b.iter(|| paramount_poset::topo::kahn_order(&poset).len())
+    });
+    let order = paramount_poset::topo::weight_order(&poset);
+    group.bench_function("intervals", |b| {
+        b.iter(|| paramount::partition(&poset, &order).len())
+    });
+    group.finish();
+}
+
+fn bench_trace_capture(c: &mut Criterion) {
+    use paramount_trace::sim::SimScheduler;
+    use paramount_workloads::hedc;
+    let program = hedc::program(&hedc::Params {
+        workers: 7,
+        tasks: 4,
+    });
+    let mut group = c.benchmark_group("trace");
+    group.throughput(Throughput::Elements(program.num_ops() as u64));
+    group.bench_function("sim-capture-hedc", |b| {
+        b.iter(|| SimScheduler::new(1).run(&program).num_events())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vector_clock,
+    bench_frontier_ops,
+    bench_append_vec,
+    bench_partition_and_topo,
+    bench_trace_capture
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! A byte-counting global allocator — the instrument behind Figure 12
+//! (memory usage of the lexical algorithm vs. L-Para).
+//!
+//! The paper measured JVM heap usage; here every allocation and
+//! deallocation is counted at the allocator boundary, giving live-byte
+//! and peak-byte numbers with no runtime dependency. Binaries opt in
+//! with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: paramount_bench::alloc_track::CountingAllocator =
+//!     paramount_bench::alloc_track::CountingAllocator;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// Counting wrapper around the system allocator.
+pub struct CountingAllocator;
+
+// SAFETY: delegates allocation to `System`, only adding counters.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            if new_size >= layout.size() {
+                let grow = new_size - layout.size();
+                let live = LIVE.fetch_add(grow, Ordering::Relaxed) + grow;
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        new_ptr
+    }
+}
+
+/// Currently live heap bytes.
+pub fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Peak live bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current live amount; returns the old peak.
+pub fn reset_peak() -> usize {
+    PEAK.swap(LIVE.load(Ordering::Relaxed), Ordering::Relaxed)
+}
+
+/// Measures the peak heap growth while `f` runs (relative to entry live
+/// bytes). Only meaningful in binaries that installed
+/// [`CountingAllocator`].
+pub fn measure_peak<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let baseline = live_bytes();
+    reset_peak();
+    let value = f();
+    let peak = peak_bytes().saturating_sub(baseline);
+    (value, peak)
+}
+
+/// Formats a byte count as MB with one decimal.
+pub fn mb(bytes: usize) -> String {
+    format!("{:.1} MB", bytes as f64 / (1024.0 * 1024.0))
+}

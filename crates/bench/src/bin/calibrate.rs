@@ -1,0 +1,62 @@
+//! Calibration helper: reports lattice sizes (capped) for candidate
+//! random-computation densities, used to size the `d-*` inputs so the
+//! Table 1 harness finishes in minutes on a laptop. Not part of the
+//! paper's tables; kept because re-calibration is needed whenever the
+//! generator or scales change.
+
+use paramount_bench::fmt::group_digits;
+use paramount_enumerate::{lexical, EnumError};
+use paramount_poset::random::RandomComputation;
+use paramount_poset::Frontier;
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+fn count_capped(p: &paramount_poset::Poset, cap: u64) -> (u64, bool, f64) {
+    let mut count = 0u64;
+    let start = Instant::now();
+    let mut sink = |_: &Frontier| {
+        count += 1;
+        if count >= cap {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    };
+    let capped = matches!(lexical::enumerate(p, &mut sink), Err(EnumError::Stopped));
+    (count, capped, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let cap: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000_000);
+    println!("cap = {}", group_digits(cap));
+    println!("{:>6} {:>6} {:>5} {:>16} {:>7} {:>8}", "events", "n", "frac", "cuts", "capped", "secs");
+    for &(events, frac) in &[
+        (8usize, 0.70f64),
+        (8, 0.78),
+        (8, 0.85),
+        (12, 0.80),
+        (12, 0.86),
+        (16, 0.82),
+        (16, 0.86),
+        (16, 0.90),
+        (24, 0.88),
+        (24, 0.92),
+        (32, 0.92),
+        (32, 0.95),
+        (50, 0.95),
+        (100, 0.97),
+        (1000, 0.92),
+    ] {
+        let p = RandomComputation::new(10, events, frac, 42).generate();
+        let (cuts, capped, secs) = count_capped(&p, cap);
+        println!(
+            "{events:>6} {:>6} {frac:>5} {:>16} {:>7} {secs:>8.2}",
+            10,
+            group_digits(cuts),
+            capped
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Second-stage calibration: exact (capped) lattice counts at the paper's
+//! event counts, sweeping message fractions to land near the paper's
+//! 42 M / 237 M / 4,962 M lattice sizes.
+
+use paramount_bench::fmt::group_digits;
+use paramount_enumerate::{lexical, EnumError};
+use paramount_poset::random::RandomComputation;
+use paramount_poset::Frontier;
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+fn count_capped(p: &paramount_poset::Poset, cap: u64) -> (u64, bool, f64) {
+    let mut count = 0u64;
+    let start = Instant::now();
+    let mut sink = |_: &Frontier| {
+        count += 1;
+        if count >= cap {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    };
+    let capped = matches!(lexical::enumerate(p, &mut sink), Err(EnumError::Stopped));
+    (count, capped, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let events: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(30);
+    let cap: u64 = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(100_000_000);
+    let seed: u64 = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(300);
+    let fracs: Vec<f64> = args
+        .get(4)
+        .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
+        .unwrap_or_else(|| vec![0.90, 0.93, 0.95, 0.97, 0.98]);
+    println!("events/proc = {events}, cap = {}, seed = {seed}", group_digits(cap));
+    for frac in fracs {
+        let p = RandomComputation::new(10, events, frac, seed).generate();
+        let (cuts, capped, secs) = count_capped(&p, cap);
+        println!(
+            "frac {frac:>5}: {:>16} cuts  capped={capped}  {secs:.2}s",
+            group_digits(cuts)
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Third-stage calibration: lattice size and BFS peak width for the
+//! Table 1 workload traces (`bank`, `tsp`, `hedc`, `elevator`) at
+//! candidate sizes. The BFS width decides which rows reproduce the
+//! paper's `o.o.m.` entries under the Table 1 frontier budget.
+
+use paramount_bench::fmt::group_digits;
+use paramount_enumerate::bfs::{self, BfsOptions};
+use paramount_enumerate::{lexical, CountSink, EnumError};
+use paramount_poset::Frontier;
+use paramount_trace::sim::SimScheduler;
+use paramount_workloads::{banking, elevator, hedc, tsp};
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+fn probe(name: &str, poset: &paramount_poset::Poset<paramount_trace::TraceEvent>, cap: u64) {
+    let mut count = 0u64;
+    let start = Instant::now();
+    let mut sink = |_: &Frontier| {
+        count += 1;
+        if count >= cap {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    };
+    let capped = matches!(lexical::enumerate(poset, &mut sink), Err(EnumError::Stopped));
+    let lex_secs = start.elapsed().as_secs_f64();
+
+    // BFS width probe (budget 20M frontiers so it terminates either way).
+    let (bfs_peak, bfs_oom, bfs_secs) = if capped {
+        (0, true, f64::NAN) // lattice too big to even probe
+    } else {
+        let mut c = CountSink::default();
+        let start = Instant::now();
+        match bfs::enumerate(
+            poset,
+            &BfsOptions {
+                frontier_budget: Some(20_000_000),
+            },
+            &mut c,
+        ) {
+            Ok(stats) => (stats.peak_frontiers, false, start.elapsed().as_secs_f64()),
+            Err(EnumError::OutOfBudget { live_frontiers, .. }) => {
+                (live_frontiers, true, start.elapsed().as_secs_f64())
+            }
+            Err(e) => panic!("{e}"),
+        }
+    };
+    println!(
+        "{name:>14}: events={:>5} cuts={:>14}{} lex={lex_secs:>6.2}s bfs_peak={:>12} oom={bfs_oom} bfs={bfs_secs:>6.2}s",
+        poset.num_events(),
+        group_digits(count),
+        if capped { "+" } else { " " },
+        group_digits(bfs_peak as u64),
+    );
+}
+
+fn main() {
+    let cap: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300_000_000);
+
+    for (tellers, rounds) in [(8usize, 3usize), (8, 4)] {
+        let p = SimScheduler::new(17).run(&banking::wide_program(tellers, rounds));
+        probe(&format!("bank-w {tellers}x{rounds}"), &p, cap);
+    }
+    for (workers, sub, depth) in [(8usize, 10usize, 3usize), (8, 20, 2), (8, 20, 3)] {
+        let p = SimScheduler::new(17).run(&tsp::program(&tsp::Params {
+            workers,
+            subproblems: sub,
+            prune_depth: depth,
+        }));
+        probe(&format!("tsp {workers}x{sub}x{depth}"), &p, cap);
+    }
+    for (workers, segments) in [(11usize, 4usize), (11, 5)] {
+        let p = SimScheduler::new(17).run(&hedc::wide_program(workers, segments));
+        probe(&format!("hedc-w {workers}x{segments}"), &p, cap);
+    }
+    for (cars, trips, moves) in [(11usize, 2usize, 2usize), (11, 3, 2), (11, 3, 3)] {
+        let p = SimScheduler::new(17).run(&elevator::wide_program(cars, trips, moves));
+        probe(&format!("elev-w {cars}x{trips}x{moves}"), &p, cap);
+    }
+}

@@ -1,0 +1,97 @@
+//! Final calibration pass: lexical counts + BFS peak widths for the
+//! committed Table 1 inputs, to choose the frontier budget that cleanly
+//! separates the paper's `o.o.m.` rows (bank, hedc, elevator) from the
+//! finishing ones (d-*, tsp).
+
+use paramount_bench::fmt::group_digits;
+use paramount_enumerate::bfs::{self, BfsOptions};
+use paramount_enumerate::{lexical, CountSink, EnumError};
+use paramount_poset::{CutSpace, Frontier};
+use paramount_trace::sim::SimScheduler;
+use paramount_workloads::{banking, distributed, elevator, hedc, tsp};
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+fn probe<S: CutSpace + ?Sized>(name: &str, poset: &S, cap: u64, bfs_budget: usize) {
+    let mut count = 0u64;
+    let start = Instant::now();
+    let mut sink = |_: &Frontier| {
+        count += 1;
+        if count >= cap {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    };
+    let capped = matches!(lexical::enumerate(poset, &mut sink), Err(EnumError::Stopped));
+    let lex_secs = start.elapsed().as_secs_f64();
+
+    let (peak, oom, bfs_secs) = if capped {
+        (0, true, f64::NAN)
+    } else {
+        let mut c = CountSink::default();
+        let start = Instant::now();
+        match bfs::enumerate(
+            poset,
+            &BfsOptions {
+                frontier_budget: Some(bfs_budget),
+            },
+            &mut c,
+        ) {
+            Ok(stats) => (stats.peak_frontiers, false, start.elapsed().as_secs_f64()),
+            Err(EnumError::OutOfBudget { live_frontiers, .. }) => {
+                (live_frontiers, true, start.elapsed().as_secs_f64())
+            }
+            Err(e) => panic!("{e}"),
+        }
+    };
+    println!(
+        "{name:>16}: cuts={:>14}{} lex={lex_secs:>7.2}s bfs_peak={:>12} oom={oom} bfs={bfs_secs:>7.2}s",
+        group_digits(count),
+        if capped { "+" } else { " " },
+        group_digits(peak as u64),
+    );
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let budget: usize = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30_000_000);
+
+    if which == "all" || which == "d" {
+        probe("d-300", &distributed::scaled(30, 0.83, 300).generate(), u64::MAX, budget);
+        probe("d-500", &distributed::scaled(50, 0.705, 500).generate(), u64::MAX, budget);
+    }
+    if which == "all" || which == "tsp" {
+        for (sub, depth) in [(20usize, 2usize), (20, 3), (40, 2)] {
+            let p = SimScheduler::new(17).run(&tsp::program(&tsp::Params {
+                workers: 8,
+                subproblems: sub,
+                prune_depth: depth,
+            }));
+            probe(&format!("tsp 8x{sub}x{depth}"), &p, u64::MAX, budget);
+        }
+    }
+    if which == "all" || which == "elev" {
+        for (trips, moves) in [(3usize, 3usize), (2, 4), (3, 4)] {
+            let p = SimScheduler::new(17).run(&elevator::wide_program(11, trips, moves));
+            probe(&format!("elev-w 11x{trips}x{moves}"), &p, 2_000_000_000, budget);
+        }
+    }
+    if which == "d10k" {
+        probe(
+            "d-10K",
+            &distributed::scaled(1000, 0.98, 10_000).generate(),
+            u64::MAX,
+            budget,
+        );
+    }
+    if which == "bank" {
+        let p = SimScheduler::new(17).run(&banking::wide_program(8, 4));
+        probe("bank-w 8x4", &p, u64::MAX, budget);
+        let h = SimScheduler::new(17).run(&hedc::wide_program(11, 4));
+        probe("hedc-w 11x4", &h, u64::MAX, budget);
+    }
+}

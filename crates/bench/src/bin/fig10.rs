@@ -1,0 +1,91 @@
+//! **Figure 10** — speedup of B-Para (ParaMount with the bounded BFS
+//! subroutine) relative to the sequential BFS algorithm, for 1-8 threads,
+//! on `d-300`, `d-500`, `d-10K` and `tsp`.
+//!
+//! Two speedup series are reported:
+//! * **wall** — measured wall clock (meaningful only on a multicore
+//!   host; on a single-core container all thread counts cost the same);
+//! * **sim** — the work-stealing makespan model over the *measured*
+//!   per-interval work (see `paramount_bench::schedule`), which is what
+//!   the partition structure itself permits.
+//!
+//! Values > 1 at a single thread reproduce the paper's observation that
+//! partitioning alone already beats whole-lattice BFS (smaller
+//! intermediate level sets; in the paper's JVM also less GC).
+
+use paramount::{Algorithm, AtomicCountSink, ParaMount};
+use paramount_bench::schedule::simulated_speedup;
+use paramount_bench::timing::speedup;
+use paramount_bench::{time, Table, THREAD_SWEEP};
+use paramount_enumerate::bfs::{self, BfsOptions};
+use paramount_enumerate::CountSink;
+use paramount_poset::topo;
+use paramount_workloads::table1;
+
+const SERIES: [&str; 4] = ["d-300", "d-500", "d-10K", "tsp"];
+/// Skip lattices beyond this size unless --full (BFS on a single core
+/// would take tens of minutes per column).
+const SKIP_OVER: u64 = 150_000_000;
+
+fn main() {
+    let scale = paramount_bench::scale_from_args();
+    let full = std::env::args().any(|a| a == "--full");
+    println!("Figure 10: speedup of B-Para over sequential BFS (scale {scale:?})");
+    println!("cores on this host: {}\n", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+
+    let mut table = Table::new(&[
+        "Benchmark", "wall 1", "wall 2", "wall 4", "wall 8",
+        "sim 1", "sim 2", "sim 4", "sim 8",
+    ]);
+    for input in table1::inputs(scale) {
+        if !SERIES.contains(&input.name) {
+            continue;
+        }
+        eprintln!("[fig10] {} ...", input.name);
+        let poset = &input.poset;
+
+        // Per-interval work (exact cut counts) for the simulated series.
+        let order = topo::weight_order(poset);
+        let intervals = paramount::partition(poset, &order);
+        let mut work: Vec<u64> = Vec::with_capacity(intervals.len());
+        let mut total = 0u64;
+        for iv in &intervals {
+            let mut sink = CountSink::default();
+            paramount_enumerate::lexical::enumerate_bounded(poset, &iv.gmin, &iv.gbnd, &mut sink)
+                .expect("stateless");
+            work.push(sink.count);
+            total += sink.count;
+        }
+        if total > SKIP_OVER && !full {
+            let mut cells = vec![format!("{} (wall skipped: {total} cuts)", input.name)];
+            cells.extend(["-", "-", "-", "-"].map(String::from));
+            for &t in &THREAD_SWEEP {
+                cells.push(format!("{:.2}x", simulated_speedup(&work, t)));
+            }
+            table.row(cells);
+            continue;
+        }
+
+        let (_, base) = time(|| {
+            let mut sink = CountSink::default();
+            bfs::enumerate(poset, &BfsOptions::default(), &mut sink).expect("unbudgeted");
+        });
+        let mut cells = vec![input.name.to_string()];
+        for &threads in &THREAD_SWEEP {
+            let sink = AtomicCountSink::new();
+            let (res, d) = time(|| {
+                ParaMount::new(Algorithm::Bfs)
+                    .with_threads(threads)
+                    .enumerate(poset, &sink)
+            });
+            res.expect("unbudgeted");
+            cells.push(format!("{:.2}x", speedup(base, d)));
+        }
+        for &threads in &THREAD_SWEEP {
+            cells.push(format!("{:.2}x", simulated_speedup(&work, threads)));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("\n(wall: measured vs sequential BFS; sim: work-stealing makespan model)");
+}

@@ -1,0 +1,66 @@
+//! **Figure 11** — speedup of L-Para (ParaMount with the bounded lexical
+//! subroutine) relative to the sequential lexical algorithm, for 1-8
+//! threads, on `d-300`, `d-10K`, `hedc` and `elevator`.
+//!
+//! Reports measured wall speedup and the work-stealing makespan model
+//! (see fig10 / `paramount_bench::schedule` for why both exist).
+
+use paramount::{Algorithm, AtomicCountSink, ParaMount};
+use paramount_bench::schedule::simulated_speedup;
+use paramount_bench::timing::speedup;
+use paramount_bench::{time, Table, THREAD_SWEEP};
+use paramount_enumerate::{lexical, CountSink};
+use paramount_poset::topo;
+use paramount_workloads::table1;
+
+const SERIES: [&str; 4] = ["d-300", "d-10K", "hedc", "elevator"];
+
+fn main() {
+    let scale = paramount_bench::scale_from_args();
+    println!("Figure 11: speedup of L-Para over the sequential lexical algorithm (scale {scale:?})");
+    println!("cores on this host: {}\n", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+
+    let mut table = Table::new(&[
+        "Benchmark", "wall 1", "wall 2", "wall 4", "wall 8",
+        "sim 1", "sim 2", "sim 4", "sim 8",
+    ]);
+    for input in table1::inputs(scale) {
+        if !SERIES.contains(&input.name) {
+            continue;
+        }
+        eprintln!("[fig11] {} ...", input.name);
+        let poset = &input.poset;
+
+        let order = topo::weight_order(poset);
+        let intervals = paramount::partition(poset, &order);
+        let mut work: Vec<u64> = Vec::with_capacity(intervals.len());
+        for iv in &intervals {
+            let mut sink = CountSink::default();
+            lexical::enumerate_bounded(poset, &iv.gmin, &iv.gbnd, &mut sink)
+                .expect("stateless");
+            work.push(sink.count);
+        }
+
+        let (_, base) = time(|| {
+            let mut sink = CountSink::default();
+            lexical::enumerate(poset, &mut sink).expect("stateless");
+        });
+        let mut cells = vec![input.name.to_string()];
+        for &threads in &THREAD_SWEEP {
+            let sink = AtomicCountSink::new();
+            let (res, d) = time(|| {
+                ParaMount::new(Algorithm::Lexical)
+                    .with_threads(threads)
+                    .enumerate(poset, &sink)
+            });
+            res.expect("stateless");
+            cells.push(format!("{:.2}x", speedup(base, d)));
+        }
+        for &threads in &THREAD_SWEEP {
+            cells.push(format!("{:.2}x", simulated_speedup(&work, threads)));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("\n(wall: measured vs sequential lexical; sim: work-stealing makespan model)");
+}

@@ -1,0 +1,74 @@
+//! **Figure 12** — peak memory of the sequential lexical algorithm vs.
+//! L-Para with 8 threads, per benchmark.
+//!
+//! Measured with a counting global allocator (the paper measured JVM
+//! heap). The expected shape: both are small and nearly identical —
+//! lexical is stateless and ParaMount only adds `O(n·|E|)` for the
+//! interval bounds. A whole-lattice BFS column is included for contrast
+//! (bounded by the same budget as Table 1).
+
+use paramount::{Algorithm, AtomicCountSink, ParaMount};
+use paramount_bench::alloc_track::{self, mb, CountingAllocator};
+use paramount_bench::Table;
+use paramount_enumerate::bfs::{self, BfsOptions};
+use paramount_enumerate::{lexical, CountSink};
+use paramount_workloads::table1;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn main() {
+    let scale = paramount_bench::scale_from_args();
+    println!("Figure 12: peak heap growth during enumeration (scale {scale:?})\n");
+
+    let mut table = Table::new(&["Benchmark", "Lexical", "L-Para(8)", "BFS (contrast)"]);
+    for input in table1::inputs(scale) {
+        eprintln!("[fig12] {} ...", input.name);
+        let poset = &input.poset;
+
+        let (lex_count, lex_peak) = alloc_track::measure_peak(|| {
+            let mut sink = CountSink::default();
+            lexical::enumerate(poset, &mut sink).expect("stateless");
+            sink.count
+        });
+
+        let (_, para_peak) = alloc_track::measure_peak(|| {
+            let sink = AtomicCountSink::new();
+            ParaMount::new(Algorithm::Lexical)
+                .with_threads(8)
+                .enumerate(poset, &sink)
+                .expect("stateless");
+        });
+
+        // The BFS contrast column is skipped for very large lattices
+        // (minutes per run on one core) — the lexical columns are the
+        // figure's actual content.
+        let bfs_cell = if lex_count > 150_000_000 {
+            "skip".to_string()
+        } else {
+            let (bfs_result, bfs_peak) = alloc_track::measure_peak(|| {
+                let mut sink = CountSink::default();
+                bfs::enumerate(
+                    poset,
+                    &BfsOptions {
+                        frontier_budget: Some(1_500_000),
+                    },
+                    &mut sink,
+                )
+            });
+            match bfs_result {
+                Ok(_) => mb(bfs_peak),
+                Err(_) => format!("o.o.m. (>{})", mb(bfs_peak)),
+            }
+        };
+
+        table.row(vec![
+            input.name.to_string(),
+            mb(lex_peak),
+            mb(para_peak),
+            bfs_cell,
+        ]);
+    }
+    table.print();
+    println!("\n(expected shape: Lexical ≈ L-Para, both far below BFS — Figure 12)");
+}

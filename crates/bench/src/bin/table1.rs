@@ -1,0 +1,142 @@
+//! **Table 1** — running time of the sequential BFS and lexical
+//! algorithms against B-Para and L-Para at 1/2/4/8 threads, on the
+//! `d-300` / `d-500` / `d-10K` random posets and the `bank` / `tsp` /
+//! `hedc` / `elevator` traces.
+//!
+//! `o.o.m.` entries reproduce the paper's out-of-memory rows: the BFS
+//! detectors run under a frontier budget standing in for the 2 GB JVM
+//! heap (`--budget N` to change it, `--smoke` for quick sizes).
+
+use paramount::{Algorithm, AtomicCountSink, ParaMount};
+use paramount_bench::fmt::group_digits;
+use paramount_bench::{time, Table, THREAD_SWEEP};
+use paramount_enumerate::bfs::{self, BfsOptions};
+use paramount_enumerate::{lexical, CountSink, EnumError};
+use paramount_workloads::table1;
+use std::time::Duration;
+
+/// BFS-family columns are skipped (printed as `skip`) for lattices
+/// beyond this size unless `--full` — whole-lattice BFS on a single core
+/// would take tens of minutes per column there.
+const SKIP_OVER: u64 = 150_000_000;
+
+fn budget_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--budget")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000)
+}
+
+fn fmt_result(result: Result<Duration, EnumError>) -> String {
+    match result {
+        Ok(d) => paramount_bench::timing::human(d),
+        Err(EnumError::OutOfBudget { .. }) => "o.o.m.".to_string(),
+        Err(e) => format!("err: {e}"),
+    }
+}
+
+fn main() {
+    let scale = paramount_bench::scale_from_args();
+    let budget = budget_from_args();
+    println!("Table 1: global-states enumeration running time");
+    println!(
+        "(scale {scale:?}; BFS frontier budget {} ≈ the paper's 2 GB JVM heap)\n",
+        group_digits(budget as u64)
+    );
+
+    let mut table = Table::new(&[
+        "Benchmark",
+        "n",
+        "#events",
+        "#global states",
+        "BFS",
+        "BPara(1)",
+        "BPara(2)",
+        "BPara(4)",
+        "BPara(8)",
+        "Lexical",
+        "LPara(1)",
+        "LPara(2)",
+        "LPara(4)",
+        "LPara(8)",
+    ]);
+
+    for input in table1::inputs(scale) {
+        let poset = &input.poset;
+        eprintln!("[table1] {} ...", input.name);
+
+        // Lexical first: stateless, also yields the lattice size column.
+        let (lex_count, lex_time) = {
+            let mut sink = CountSink::default();
+            let (res, d) = time(|| lexical::enumerate(poset, &mut sink));
+            res.expect("lexical cannot run out of memory");
+            (sink.count, d)
+        };
+
+        let skip_bfs_family =
+            lex_count > SKIP_OVER && !std::env::args().any(|a| a == "--full");
+
+        // Sequential BFS under the memory budget.
+        let bfs_result = if skip_bfs_family {
+            None
+        } else {
+            Some({
+            let mut sink = CountSink::default();
+            let (res, d) = time(|| {
+                bfs::enumerate(
+                    poset,
+                    &BfsOptions {
+                        frontier_budget: Some(budget),
+                    },
+                    &mut sink,
+                )
+            });
+            res.map(|_| d)
+            })
+        };
+
+        let para = |algorithm: Algorithm, threads: usize| -> Result<Duration, EnumError> {
+            let sink = AtomicCountSink::new();
+            let (res, d) = time(|| {
+                ParaMount::new(algorithm)
+                    .with_threads(threads)
+                    .with_frontier_budget(Some(budget))
+                    .enumerate(poset, &sink)
+            });
+            res.map(|stats| {
+                assert_eq!(stats.cuts, lex_count, "{}: cut count mismatch", input.name);
+                d
+            })
+        };
+
+        let mut cells = vec![
+            input.name.to_string(),
+            input.n.to_string(),
+            input.poset.num_events().to_string(),
+            group_digits(lex_count),
+            match bfs_result {
+                Some(r) => fmt_result(r),
+                None => "skip".to_string(),
+            },
+        ];
+        for &threads in &THREAD_SWEEP {
+            if skip_bfs_family {
+                cells.push("skip".to_string());
+            } else {
+                cells.push(fmt_result(para(Algorithm::Bfs, threads)));
+            }
+        }
+        cells.push(paramount_bench::timing::human(lex_time));
+        for &threads in &THREAD_SWEEP {
+            cells.push(fmt_result(para(Algorithm::Lexical, threads)));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!(
+        "\n('skip' = BFS family omitted for lattices over {} cuts — run with --full)",
+        group_digits(SKIP_OVER)
+    );
+}

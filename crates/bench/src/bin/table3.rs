@@ -1,0 +1,15 @@
+//! **Table 3** — qualitative comparison of the three detectors.
+
+use paramount_bench::Table;
+use paramount_detect::offline::table3_rows;
+
+fn main() {
+    println!("Table 3: comparison of the detectors\n");
+    let rows = table3_rows();
+    let header: Vec<&str> = rows[0].to_vec();
+    let mut table = Table::new(&header);
+    for row in &rows[1..] {
+        table.row(row.iter().map(|s| s.to_string()).collect());
+    }
+    table.print();
+}

@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+//! Shared harness code for the benchmark binaries that regenerate the
+//! paper's tables and figures (`table1`, `fig10`, `fig11`, `fig12`,
+//! `table2`, `table3`).
+//!
+//! Each binary prints the same rows/series its paper counterpart reports;
+//! `EXPERIMENTS.md` records measured-vs-paper values. Numbers are wall
+//! clock on the current machine — the *shapes* (speedup curves, who
+//! o.o.m.s, who wins by what factor) are the reproduction target, not the
+//! 2015 testbed's absolute seconds.
+
+pub mod alloc_track;
+pub mod fmt;
+pub mod schedule;
+pub mod timing;
+
+pub use fmt::Table;
+pub use timing::{time, time_secs};
+
+/// Thread counts swept by the speedup experiments (the paper's 1/2/4/8).
+pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// A moderately sized random poset for criterion microbenchmarks (a few
+/// tens of thousands of cuts — see the size-guard test below).
+pub fn bench_poset_medium() -> paramount_poset::Poset {
+    paramount_poset::random::RandomComputation::new(6, 8, 0.6, 42).generate()
+}
+
+/// A larger poset for the thread-sweep benchmarks (a few hundred
+/// thousand cuts).
+pub fn bench_poset_speedup() -> paramount_poset::Poset {
+    paramount_poset::random::RandomComputation::new(8, 8, 0.72, 7).generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use paramount_enumerate::{lexical, EnumError};
+    use std::ops::ControlFlow;
+
+    fn capped_count(p: &paramount_poset::Poset, cap: u64) -> (u64, bool) {
+        let mut count = 0;
+        let mut sink = |_: &paramount_poset::Frontier| {
+            count += 1;
+            if count >= cap {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        };
+        let capped = matches!(lexical::enumerate(p, &mut sink), Err(EnumError::Stopped));
+        (count, capped)
+    }
+
+    /// Guard: criterion must never iterate over an explosive lattice.
+    #[test]
+    fn bench_posets_are_modest() {
+        let (medium, capped) = capped_count(&super::bench_poset_medium(), 2_000_000);
+        assert!(!capped && medium > 1_000, "medium lattice: {medium}");
+        let (speedup, capped) = capped_count(&super::bench_poset_speedup(), 8_000_000);
+        assert!(!capped && speedup > 10_000, "speedup lattice: {speedup}");
+    }
+}
+
+/// Parses harness scale from argv: `--smoke` selects the quick size,
+/// `--full` the paper-exact (hours-long) size.
+pub fn scale_from_args() -> paramount_workloads::table1::Scale {
+    if std::env::args().any(|a| a == "--smoke") {
+        paramount_workloads::table1::Scale::Smoke
+    } else if std::env::args().any(|a| a == "--full") {
+        paramount_workloads::table1::Scale::Full
+    } else {
+        paramount_workloads::table1::Scale::Default
+    }
+}

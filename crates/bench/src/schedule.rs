@@ -1,0 +1,96 @@
+//! Simulated parallel makespan — the speedup model used when the host
+//! machine cannot exhibit real parallelism.
+//!
+//! ParaMount's parallel structure is embarrassingly simple: independent
+//! interval tasks of wildly different sizes, scheduled by work stealing.
+//! Given the *measured* per-interval work (cut counts — exact, since
+//! every cut costs the same `O(n²)` in the lexical subroutine), the wall
+//! clock on `k` cores is the makespan of greedy list scheduling, and the
+//! speedup is `total / makespan`. On a multicore host the harness reports
+//! real wall time *and* this model; on a single-core host (e.g. a CI
+//! container) the model is the only meaningful speedup signal, and the
+//! figures print it with a note. Graham's bound guarantees the model is
+//! within 2× of any schedule, and for ParaMount's size distributions the
+//! limiting term — the largest interval — is exactly what the real
+//! algorithm is limited by too.
+
+/// Greedy (arrival-order) list-scheduling makespan of `tasks` on
+/// `workers` identical workers — the work-stealing model.
+pub fn makespan(tasks: &[u64], workers: usize) -> u64 {
+    assert!(workers >= 1);
+    let mut loads = vec![0u64; workers];
+    for &task in tasks {
+        // Place on the least-loaded worker (what stealing converges to).
+        let min = loads
+            .iter_mut()
+            .min_by_key(|l| **l)
+            .expect("workers >= 1");
+        *min += task;
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+/// Simulated speedup of `workers` over one worker.
+pub fn simulated_speedup(tasks: &[u64], workers: usize) -> f64 {
+    let total: u64 = tasks.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    total as f64 / makespan(tasks, workers) as f64
+}
+
+/// Lower bound on achievable speedup: total / largest task (the paper's
+/// "largest interval" limit).
+pub fn max_speedup(tasks: &[u64]) -> f64 {
+    let total: u64 = tasks.iter().sum();
+    let largest = tasks.iter().copied().max().unwrap_or(0);
+    if largest == 0 {
+        1.0
+    } else {
+        total as f64 / largest as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_is_total() {
+        assert_eq!(makespan(&[3, 5, 2], 1), 10);
+        assert!((simulated_speedup(&[3, 5, 2], 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_divisible_work_scales_linearly() {
+        let tasks = vec![1u64; 800];
+        let s = simulated_speedup(&tasks, 8);
+        assert!((s - 8.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn dominated_by_largest_task() {
+        // One task holds 90% of the work: speedup capped near 1.11.
+        let tasks = vec![900u64, 25, 25, 25, 25];
+        let s = simulated_speedup(&tasks, 8);
+        assert!(s < 1.2, "{s}");
+        assert!((max_speedup(&tasks) - 1000.0 / 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_workers() {
+        let tasks: Vec<u64> = (1..=64).collect();
+        let mut last = 0.0;
+        for workers in [1, 2, 4, 8] {
+            let s = simulated_speedup(&tasks, workers);
+            assert!(s >= last);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn empty_tasks() {
+        assert_eq!(makespan(&[], 4), 0);
+        assert!((simulated_speedup(&[], 4) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,59 @@
+//! Wall-clock helpers for the harness binaries.
+
+use std::time::{Duration, Instant};
+
+/// Times one run of `f`, returning its result and the elapsed time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Times one run of `f`, returning its result and elapsed seconds.
+pub fn time_secs<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let (value, d) = time(f);
+    (value, d.as_secs_f64())
+}
+
+/// Formats a duration the way the paper's tables do: seconds with one
+/// decimal for long runs, milliseconds for short ones.
+pub fn human(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.1}s")
+    } else {
+        format!("{:.1}ms", s * 1e3)
+    }
+}
+
+/// Speedup of `base` over `run` (how many times faster `run` is).
+pub fn speedup(base: Duration, run: Duration) -> f64 {
+    base.as_secs_f64() / run.as_secs_f64().max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures_and_returns() {
+        let (v, d) = time(|| {
+            std::thread::sleep(Duration::from_millis(10));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn human_formats() {
+        assert_eq!(human(Duration::from_millis(2500)), "2.5s");
+        assert_eq!(human(Duration::from_micros(1500)), "1.5ms");
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let s = speedup(Duration::from_secs(8), Duration::from_secs(2));
+        assert!((s - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,287 @@
+//! The `paramount` subcommands, as testable functions returning their
+//! output as a `String`.
+
+use crate::format::{parse_trace, trace_of_program, write_trace, TraceFile};
+use paramount::{Algorithm, AtomicCountSink, ParaMount};
+use paramount_detect::{modality, RacePredicate};
+use paramount_enumerate::CollectSink;
+use paramount_poset::Frontier;
+use std::fmt::Write as _;
+use std::ops::ControlFlow;
+
+/// Error type for command failures (message already user-formatted).
+pub type CommandError = String;
+
+/// `paramount count <trace> [--algo A] [--threads N]`: number of
+/// consistent global states of the trace's poset.
+pub fn count(
+    input: &str,
+    algorithm: Algorithm,
+    threads: usize,
+) -> Result<String, CommandError> {
+    let trace = parse_trace(input).map_err(|e| e.to_string())?;
+    let poset = trace.to_poset(false);
+    let sink = AtomicCountSink::new();
+    let stats = ParaMount::new(algorithm)
+        .with_threads(threads)
+        .enumerate(&poset, &sink)
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{} events, {} consistent global states ({} intervals, {} subroutine)\n",
+        poset.num_events(),
+        stats.cuts,
+        stats.intervals,
+        algorithm.name(),
+    ))
+}
+
+/// `paramount enumerate <trace> [--limit K]`: print the cuts (lexical
+/// order), up to a limit.
+pub fn enumerate(input: &str, limit: usize) -> Result<String, CommandError> {
+    let trace = parse_trace(input).map_err(|e| e.to_string())?;
+    let poset = trace.to_poset(false);
+    let mut out = String::new();
+    let mut printed = 0usize;
+    let mut sink = |cut: &Frontier| {
+        let _ = writeln!(out, "{cut}");
+        printed += 1;
+        if printed >= limit {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    };
+    match paramount_enumerate::lexical::enumerate(&poset, &mut sink) {
+        Ok(_) => {}
+        Err(paramount_enumerate::EnumError::Stopped) => {
+            let _ = writeln!(out, "... (truncated at {limit})");
+        }
+        Err(e) => return Err(e.to_string()),
+    }
+    Ok(out)
+}
+
+/// `paramount races <trace> [--strict]`: data races over all inferred
+/// interleavings of the trace.
+pub fn races(input: &str, strict: bool) -> Result<String, CommandError> {
+    let trace = parse_trace(input).map_err(|e| e.to_string())?;
+    let poset = trace.to_poset(false);
+    let predicate = RacePredicate::new(trace.var_names.len(), !strict);
+    let sink = |cut: &Frontier, owner: paramount_poset::EventId| {
+        predicate.evaluate(&poset, cut, owner)
+    };
+    let stats = ParaMount::new(Algorithm::Lexical)
+        .enumerate(&poset, &sink)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "checked {} global states of {} events",
+        stats.cuts,
+        poset.num_events()
+    );
+    let detections = predicate.detections();
+    if detections.is_empty() {
+        let _ = writeln!(out, "no data races");
+    }
+    for d in &detections {
+        let _ = writeln!(
+            out,
+            "RACE on `{}`: {} vs {} (witness state {})",
+            trace.var_name(d.var),
+            d.event,
+            d.other,
+            d.cut
+        );
+    }
+    Ok(out)
+}
+
+/// `paramount possibly <trace> --state a,b,c [--definitely]`: can the
+/// execution reach the given global state — and must it?
+pub fn reachability(
+    input: &str,
+    state: &str,
+    check_definitely: bool,
+) -> Result<String, CommandError> {
+    let trace = parse_trace(input).map_err(|e| e.to_string())?;
+    let poset = trace.to_poset(false);
+    let counts: Vec<u32> = state
+        .split(',')
+        .map(|part| part.trim().parse::<u32>().map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    if counts.len() != trace.threads {
+        return Err(format!(
+            "state has {} components, trace has {} threads",
+            counts.len(),
+            trace.threads
+        ));
+    }
+    let target = Frontier::from_counts(counts);
+    let phi = |g: &Frontier| g == &target;
+    let mut out = String::new();
+    match modality::possibly(&poset, phi) {
+        Some(_) => {
+            let _ = writeln!(out, "POSSIBLY: state {target} is reachable");
+        }
+        None => {
+            let _ = writeln!(out, "NO: state {target} is not a consistent global state");
+        }
+    }
+    if check_definitely {
+        if modality::definitely(&poset, phi) {
+            let _ = writeln!(out, "DEFINITELY: every schedule passes through {target}");
+        } else {
+            let _ = writeln!(out, "NOT DEFINITELY: some schedule avoids {target}");
+        }
+    }
+    Ok(out)
+}
+
+/// `paramount gen <workload> [--seed S]`: emit a benchmark workload's
+/// execution as a trace file.
+pub fn gen(workload: &str, seed: u64) -> Result<String, CommandError> {
+    use paramount_workloads as w;
+    let program = match workload {
+        "banking" => w::banking::program(&w::banking::Params::default()),
+        "set-faulty" => w::set::program(true),
+        "set-correct" => w::set::program(false),
+        "arraylist1" => w::arraylist::program(false, &w::arraylist::Params::default()),
+        "arraylist2" => w::arraylist::program(true, &w::arraylist::Params::default()),
+        "sor" => w::sor::program(&w::sor::Params::default()),
+        "elevator" => w::elevator::program(&w::elevator::Params::default()),
+        "tsp" => w::tsp::program(&w::tsp::Params::default()),
+        "raytracer" => w::raytracer::program(&w::raytracer::Params::default()),
+        "hedc" => w::hedc::program(&w::hedc::Params::default()),
+        other => {
+            return Err(format!(
+                "unknown workload `{other}` (try: banking, set-faulty, set-correct, \
+                 arraylist1, arraylist2, sor, elevator, tsp, raytracer, hedc)"
+            ))
+        }
+    };
+    Ok(write_trace(&trace_of_program(&program, seed)))
+}
+
+/// `paramount info <trace>`: structural summary of the observed poset.
+pub fn info(input: &str) -> Result<String, CommandError> {
+    let trace = parse_trace(input).map_err(|e| e.to_string())?;
+    let poset = trace.to_poset(false);
+    let mut out = String::new();
+    let _ = writeln!(out, "threads:    {}", trace.threads);
+    let _ = writeln!(out, "operations: {}", trace.ops.len());
+    let _ = writeln!(out, "variables:  {}", trace.var_names.len());
+    let _ = writeln!(out, "locks:      {}", trace.lock_names.len());
+    let _ = writeln!(out, "events:     {} (merged collections)", poset.num_events());
+    let _ = writeln!(out, "hb pairs:   {}", poset.count_hb_pairs());
+    // Lattice size, capped so `info` stays fast on huge traces.
+    const CAP: u64 = 10_000_000;
+    let mut count = 0u64;
+    let mut sink = |_: &Frontier| {
+        count += 1;
+        if count >= CAP {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    };
+    match paramount_enumerate::lexical::enumerate(&poset, &mut sink) {
+        Ok(_) => {
+            let _ = writeln!(out, "states:     {count}");
+        }
+        Err(paramount_enumerate::EnumError::Stopped) => {
+            let _ = writeln!(out, "states:     > {CAP} (capped)");
+        }
+        Err(e) => return Err(e.to_string()),
+    }
+    Ok(out)
+}
+
+/// Shared helper for `enumerate`-style commands on already-parsed traces
+/// (used by tests).
+pub fn cuts_of(trace: &TraceFile) -> Vec<Frontier> {
+    let poset = trace.to_poset(false);
+    let mut sink = CollectSink::default();
+    paramount_enumerate::lexical::enumerate(&poset, &mut sink).expect("stateless");
+    sink.cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RACY: &str = "\
+threads 3
+0 write x
+0 fork 1
+0 fork 2
+1 write x
+2 read x
+0 join 1
+0 join 2
+";
+
+    #[test]
+    fn count_command() {
+        let out = count(RACY, Algorithm::Lexical, 1).unwrap();
+        assert!(out.contains("consistent global states"), "{out}");
+    }
+
+    #[test]
+    fn races_command_finds_x() {
+        let out = races(RACY, false).unwrap();
+        assert!(out.contains("RACE on `x`"), "{out}");
+        // Strict mode also reports (main's init write is ordered by fork,
+        // so the worker pair is the race either way).
+        let strict = races(RACY, true).unwrap();
+        assert!(strict.contains("RACE on `x`"), "{strict}");
+    }
+
+    #[test]
+    fn clean_trace_reports_none() {
+        let clean = "\
+threads 2
+0 write x
+0 fork 1
+1 read x
+0 join 1
+0 read x
+";
+        let out = races(clean, false).unwrap();
+        assert!(out.contains("no data races"), "{out}");
+    }
+
+    #[test]
+    fn enumerate_respects_limit() {
+        let out = enumerate(RACY, 3).unwrap();
+        assert!(out.contains("truncated"), "{out}");
+        assert_eq!(out.lines().count(), 4); // 3 cuts + truncation note
+    }
+
+    #[test]
+    fn reachability_command() {
+        let possible = reachability(RACY, "1,0,0", true).unwrap();
+        assert!(possible.contains("POSSIBLY"), "{possible}");
+        assert!(possible.contains("DEFINITELY"), "{possible}");
+        // t1's write before main's (fork edge) is impossible.
+        let impossible = reachability(RACY, "0,1,0", false).unwrap();
+        assert!(impossible.contains("NO:"), "{impossible}");
+        // Wrong arity errors out.
+        assert!(reachability(RACY, "1,0", false).is_err());
+    }
+
+    #[test]
+    fn gen_round_trips_through_races() {
+        let trace_text = gen("banking", 7).unwrap();
+        let out = races(&trace_text, false).unwrap();
+        assert!(out.contains("RACE on `account.balance`"), "{out}");
+        assert!(gen("nope", 0).is_err());
+    }
+
+    #[test]
+    fn info_summarizes() {
+        let out = info(RACY).unwrap();
+        assert!(out.contains("threads:    3"));
+        assert!(out.contains("states:"));
+    }
+}

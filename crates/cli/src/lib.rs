@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Library side of the `paramount` command-line tool: the trace file
+//! format and the command implementations (kept in a library so they are
+//! unit-testable; `main.rs` only parses argv).
+//!
+//! # The trace format
+//!
+//! A trace is a text file: one executed operation per line, in the order
+//! the operations were observed (any interleaving-consistent order). The
+//! recorder reconstructs the happened-before poset from it.
+//!
+//! ```text
+//! # comment, blank lines ignored
+//! threads 3
+//! 0 write balance
+//! 0 fork 1
+//! 1 acquire m
+//! 1 read balance
+//! 1 release m
+//! 0 join 1
+//! ```
+//!
+//! Thread ids are 0-based (`0` is main). Variables and locks are named
+//! by identifier and numbered in order of first appearance. `work N`
+//! lines are accepted and ignored for poset purposes.
+
+pub mod commands;
+pub mod format;
+
+pub use format::{parse_trace, write_trace, ParseError, TraceFile};

@@ -1,0 +1,109 @@
+//! `paramount` — enumerate global states and detect predicates over
+//! recorded traces. Run `paramount help` for usage.
+
+use paramount::Algorithm;
+use paramount_cli::commands;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+paramount — global-states enumeration & predicate detection (PPoPP'15 ParaMount)
+
+USAGE:
+  paramount count <trace>      [--algo lexical|bfs|dfs] [--threads N]
+  paramount enumerate <trace>  [--limit K]
+  paramount races <trace>      [--strict]
+  paramount possibly <trace>   --state a,b,c [--definitely]
+  paramount info <trace>
+  paramount gen <workload>     [--seed S]        (writes a trace to stdout)
+  paramount help
+
+TRACE FORMAT (text, one op per line, observed order):
+  threads 3
+  0 write balance
+  0 fork 1
+  1 acquire m
+  1 read balance
+  1 release m
+  0 join 1
+
+WORKLOADS for `gen`: banking, set-faulty, set-correct, arraylist1,
+arraylist2, sor, elevator, tsp, raytracer, hedc
+";
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn read_trace_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "count" => {
+            let path = args.get(1).ok_or("count: missing trace file")?;
+            let algorithm = match flag_value(&args, "--algo").as_deref() {
+                None | Some("lexical") => Algorithm::Lexical,
+                Some("bfs") => Algorithm::Bfs,
+                Some("dfs") => Algorithm::Dfs,
+                Some(other) => return Err(format!("unknown algorithm `{other}`")),
+            };
+            let threads = flag_value(&args, "--threads")
+                .map(|v| v.parse().map_err(|_| "invalid --threads".to_string()))
+                .transpose()?
+                .unwrap_or(0);
+            commands::count(&read_trace_file(path)?, algorithm, threads)
+        }
+        "enumerate" => {
+            let path = args.get(1).ok_or("enumerate: missing trace file")?;
+            let limit = flag_value(&args, "--limit")
+                .map(|v| v.parse().map_err(|_| "invalid --limit".to_string()))
+                .transpose()?
+                .unwrap_or(1000);
+            commands::enumerate(&read_trace_file(path)?, limit)
+        }
+        "races" => {
+            let path = args.get(1).ok_or("races: missing trace file")?;
+            let strict = args.iter().any(|a| a == "--strict");
+            commands::races(&read_trace_file(path)?, strict)
+        }
+        "possibly" => {
+            let path = args.get(1).ok_or("possibly: missing trace file")?;
+            let state = flag_value(&args, "--state").ok_or("possibly: missing --state a,b,c")?;
+            let definitely = args.iter().any(|a| a == "--definitely");
+            commands::reachability(&read_trace_file(path)?, &state, definitely)
+        }
+        "info" => {
+            let path = args.get(1).ok_or("info: missing trace file")?;
+            commands::info(&read_trace_file(path)?)
+        }
+        "gen" => {
+            let workload = args.get(1).ok_or("gen: missing workload name")?;
+            let seed = flag_value(&args, "--seed")
+                .map(|v| v.parse().map_err(|_| "invalid --seed".to_string()))
+                .transpose()?
+                .unwrap_or(1);
+            commands::gen(workload, seed)
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! The interval partition of the cut lattice (§3.1, Definitions 1–2).
+
+use crate::sink::{ParallelCutSink, SinkBridge};
+use paramount_enumerate::{Algorithm, CutSink, EnumError, EnumStats};
+use paramount_poset::{CutSpace, EventId, Frontier};
+use std::ops::ControlFlow;
+
+/// The enumeration interval `I(e)` of one event (Definition 2).
+///
+/// Contains every consistent cut `G` with `gmin ≤ G ≤ gbnd`. The first
+/// event in the total order `→p` additionally owns the empty cut
+/// (`include_empty`), which no `Gmin(e)` can reach since every `Gmin`
+/// contains its event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// The event this interval belongs to.
+    pub event: EventId,
+    /// `Gmin(e) = e.vc` — the least cut containing `e`.
+    pub gmin: Frontier,
+    /// `Gbnd(e)` — the cut of everything at or before `e` in `→p`
+    /// (offline), or the insertion-time snapshot of maximal events
+    /// (online); consistent by Theorem 1.
+    pub gbnd: Frontier,
+    /// True only for the first event of `→p`: its worker also emits the
+    /// empty cut.
+    pub include_empty: bool,
+}
+
+impl Interval {
+    /// Enumerates exactly the cuts of this interval into `sink`, using the
+    /// given bounded subroutine (Lemma 1: each cut exactly once).
+    pub fn enumerate<Sp, S>(
+        &self,
+        space: &Sp,
+        algorithm: Algorithm,
+        sink: &mut S,
+    ) -> Result<EnumStats, EnumError>
+    where
+        Sp: CutSpace + ?Sized,
+        S: CutSink,
+    {
+        let mut extra = 0;
+        if self.include_empty {
+            let empty = Frontier::empty(space.num_threads());
+            if sink.visit(&empty).is_break() {
+                return Err(EnumError::Stopped);
+            }
+            extra = 1;
+        }
+        let mut stats = algorithm.run_bounded(space, &self.gmin, &self.gbnd, sink)?;
+        stats.cuts += extra;
+        Ok(stats)
+    }
+
+    /// As [`Interval::enumerate`], but into a shared [`ParallelCutSink`] —
+    /// the worker-side form used by both execution modes.
+    pub fn enumerate_shared<Sp, K>(
+        &self,
+        space: &Sp,
+        algorithm: Algorithm,
+        sink: &K,
+    ) -> Result<EnumStats, EnumError>
+    where
+        Sp: CutSpace + ?Sized,
+        K: ParallelCutSink + ?Sized,
+    {
+        let mut bridge = SinkBridge::new(sink, self.event);
+        self.enumerate(space, algorithm, &mut bridge)
+    }
+
+    /// Number of *potential* cuts in the bounding box `[gmin, gbnd]` —
+    /// an upper bound on the interval's true size, used for scheduling
+    /// heuristics and reporting.
+    pub fn box_size(&self) -> u128 {
+        self.gmin
+            .as_slice()
+            .iter()
+            .zip(self.gbnd.as_slice())
+            .map(|(&lo, &hi)| (hi - lo) as u128 + 1)
+            .product()
+    }
+
+    /// Does the interval contain the cut (by bounds alone)?
+    pub fn contains(&self, g: &Frontier) -> bool {
+        self.gmin.leq(g) && g.leq(&self.gbnd)
+    }
+}
+
+/// Computes the interval partition for a complete space under the given
+/// total order `→p` (which must be a linear extension — see
+/// [`paramount_poset::topo`]).
+///
+/// Walking `→p` with a running frontier gives each `Gbnd(e)` in `O(1)`
+/// amortized: `Gbnd` of the `i`-th event is the running frontier after
+/// raising the event's own thread — precisely "`e` plus everything
+/// `→p`-before `e`" (Definition 1).
+pub fn partition<Sp: CutSpace + ?Sized>(space: &Sp, order: &[EventId]) -> Vec<Interval> {
+    let n = space.num_threads();
+    let mut running = Frontier::empty(n);
+    order
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| {
+            debug_assert_eq!(
+                e.index,
+                running.get(e.tid) + 1,
+                "order is not a linear extension (thread sequence broken)"
+            );
+            running.set(e.tid, e.index);
+            Interval {
+                event: e,
+                gmin: Frontier::from_clock(space.vc(e)),
+                gbnd: running.clone(),
+                include_empty: i == 0,
+            }
+        })
+        .collect()
+}
+
+/// Exact per-interval work: the number of consistent cuts in each
+/// interval, measured with the stateless lexical subroutine.
+///
+/// This is the input to load-balance analysis (the simulated-makespan
+/// speedup model in the benchmark harness) and sums to `i(P)` minus the
+/// empty cut.
+pub fn measure_interval_work<Sp: CutSpace + ?Sized>(
+    space: &Sp,
+    intervals: &[Interval],
+) -> Vec<u64> {
+    intervals
+        .iter()
+        .map(|iv| {
+            let mut sink = paramount_enumerate::CountSink::default();
+            paramount_enumerate::lexical::enumerate_bounded(
+                space, &iv.gmin, &iv.gbnd, &mut sink,
+            )
+            .expect("lexical is stateless");
+            sink.count + u64::from(iv.include_empty)
+        })
+        .collect()
+}
+
+/// A [`CutSink`] that asserts every visited cut lies inside an interval —
+/// test helper for the subroutine contract.
+pub struct BoundsCheckSink<'a, S> {
+    interval: &'a Interval,
+    inner: &'a mut S,
+}
+
+impl<'a, S: CutSink> BoundsCheckSink<'a, S> {
+    /// Wraps `inner`, checking each cut against `interval`'s bounds.
+    pub fn new(interval: &'a Interval, inner: &'a mut S) -> Self {
+        BoundsCheckSink { interval, inner }
+    }
+}
+
+impl<S: CutSink> CutSink for BoundsCheckSink<'_, S> {
+    fn visit(&mut self, cut: &Frontier) -> ControlFlow<()> {
+        assert!(
+            cut.total_events() == 0 || self.interval.contains(cut),
+            "cut {cut} escaped interval of {}",
+            self.interval.event
+        );
+        self.inner.visit(cut)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramount_poset::builder::PosetBuilder;
+    use paramount_poset::random::RandomComputation;
+    use paramount_poset::{oracle, topo, Poset, Tid};
+    use std::collections::HashMap;
+
+    fn figure4() -> Poset {
+        let mut b = PosetBuilder::new(2);
+        let a = b.append(Tid(0), ());
+        let bb = b.append(Tid(1), ());
+        b.append_after(Tid(0), &[bb], ());
+        b.append_after(Tid(1), &[a], ());
+        b.finish()
+    }
+
+    /// The →p order of Figures 5–6: e1[1], e2[1], e1[2], e2[2].
+    fn figure5_order() -> Vec<EventId> {
+        vec![
+            EventId::new(Tid(0), 1),
+            EventId::new(Tid(1), 1),
+            EventId::new(Tid(0), 2),
+            EventId::new(Tid(1), 2),
+        ]
+    }
+
+    #[test]
+    fn figure5_gbnd_values() {
+        let p = figure4();
+        let ivs = partition(&p, &figure5_order());
+        let gbnds: Vec<&[u32]> = ivs.iter().map(|iv| iv.gbnd.as_slice()).collect();
+        // Gbnd(e1[1]) = {1,0}, Gbnd(e2[1]) = {1,1}, Gbnd(e1[2]) = {2,1},
+        // Gbnd(e2[2]) = {2,2} — exactly Figure 5.
+        assert_eq!(gbnds, vec![&[1, 0][..], &[1, 1], &[2, 1], &[2, 2]]);
+        assert!(ivs[0].include_empty);
+        assert!(!ivs[1].include_empty);
+    }
+
+    #[test]
+    fn theorem1_gbnd_is_consistent() {
+        for seed in 0..20 {
+            let p = RandomComputation::new(4, 5, 0.4, seed).generate();
+            for order in [topo::weight_order(&p), topo::kahn_order(&p)] {
+                for iv in partition(&p, &order) {
+                    assert!(iv.gbnd.is_consistent(&p), "seed {seed}");
+                    assert!(iv.gmin.is_consistent(&p), "seed {seed}");
+                    assert!(iv.gmin.leq(&iv.gbnd), "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemmas_2_and_3_partition_covers_disjointly() {
+        // Every consistent cut belongs to exactly one interval.
+        for seed in 0..20 {
+            let p = RandomComputation::new(3, 5, 0.4, seed).generate();
+            let order = topo::weight_order(&p);
+            let ivs = partition(&p, &order);
+            for g in oracle::enumerate_product_scan(&p) {
+                let owners: Vec<EventId> = ivs
+                    .iter()
+                    .filter(|iv| iv.contains(&g))
+                    .map(|iv| iv.event)
+                    .collect();
+                if g.total_events() == 0 {
+                    // Empty cut: owned via include_empty, not bounds.
+                    assert!(owners.is_empty(), "seed {seed}: empty cut in an interval");
+                } else {
+                    assert_eq!(
+                        owners.len(),
+                        1,
+                        "seed {seed}: cut {g} owned by {owners:?}"
+                    );
+                    // Lemma 2's witness: the owner is the →p-last event in G.
+                    let pos: HashMap<EventId, usize> =
+                        order.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+                    let last = g
+                        .frontier_events()
+                        .flat_map(|fe| {
+                            (1..=fe.index).map(move |k| EventId::new(fe.tid, k))
+                        })
+                        .max_by_key(|e| pos[e])
+                        .expect("non-empty cut");
+                    assert_eq!(owners[0], last, "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_intervals_enumerate_each_cut_exactly_once() {
+        use paramount_enumerate::CollectSink;
+        for seed in 0..15 {
+            let p = RandomComputation::new(3, 4, 0.5, seed).generate();
+            let order = topo::kahn_order(&p);
+            for algo in Algorithm::ALL {
+                let mut all = Vec::new();
+                for iv in partition(&p, &order) {
+                    let mut sink = CollectSink::default();
+                    let mut checked = BoundsCheckSink::new(&iv, &mut sink);
+                    iv.enumerate(&p, algo, &mut checked).unwrap();
+                    all.extend(sink.cuts);
+                }
+                assert_eq!(
+                    oracle::canonicalize(all),
+                    oracle::enumerate_product_scan(&p),
+                    "algo {algo:?} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measured_work_sums_to_lattice_size() {
+        for seed in 0..8 {
+            let p = RandomComputation::new(3, 4, 0.4, seed).generate();
+            let order = topo::weight_order(&p);
+            let intervals = partition(&p, &order);
+            let work = measure_interval_work(&p, &intervals);
+            let total: u64 = work.iter().sum();
+            assert_eq!(total, oracle::count_ideals(&p), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn box_size_upper_bounds() {
+        let p = figure4();
+        let ivs = partition(&p, &figure5_order());
+        // I(e2[2]) spans {1,2}..{2,2}: box = 2×1.
+        assert_eq!(ivs[3].box_size(), 2);
+        assert_eq!(ivs[0].box_size(), 1);
+    }
+
+    #[test]
+    fn empty_cut_emitted_once_via_first_interval() {
+        use paramount_enumerate::CollectSink;
+        let p = figure4();
+        let ivs = partition(&p, &figure5_order());
+        let mut sink = CollectSink::default();
+        ivs[0].enumerate(&p, Algorithm::Lexical, &mut sink).unwrap();
+        assert_eq!(
+            sink.cuts,
+            vec![
+                Frontier::empty(2),
+                Frontier::from_counts(vec![1, 0])
+            ]
+        );
+    }
+}

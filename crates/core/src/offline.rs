@@ -1,0 +1,359 @@
+//! Offline ParaMount (the paper's Algorithm 1).
+//!
+//! Given a complete poset: fix a total order `→p`, compute one interval
+//! per event (`O(n)` each — the worker's entire per-event overhead, which
+//! is why ParaMount is work-optimal), then enumerate the intervals in
+//! parallel with a bounded sequential subroutine.
+//!
+//! The paper's workers pull events off a shared total order; here the
+//! same dynamic load balancing comes from Rayon's work stealing over the
+//! interval list. Interval sizes are extremely skewed — late events in
+//! `→p` own cut counts orders of magnitude larger than early ones — so
+//! static chunking would idle most threads; stealing is essential to the
+//! Figure 10/11 speedup shapes.
+
+use crate::interval::{partition, Interval};
+use crate::sink::ParallelCutSink;
+use paramount_enumerate::{Algorithm, EnumError};
+use paramount_poset::{topo, CutSpace, EventId};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Configuration and entry points for offline parallel enumeration.
+///
+/// `B-Para` in the paper is `ParaMount { algorithm: Bfs, .. }`; `L-Para`
+/// is `ParaMount { algorithm: Lexical, .. }`.
+///
+/// ```
+/// use paramount::{Algorithm, AtomicCountSink, ParaMount};
+/// use paramount_poset::builder::PosetBuilder;
+/// use paramount_poset::Tid;
+///
+/// // The paper's Figure 4 poset: 7 consistent global states.
+/// let mut b = PosetBuilder::new(2);
+/// let e11 = b.append(Tid(0), ());
+/// let e21 = b.append(Tid(1), ());
+/// b.append_after(Tid(0), &[e21], ());
+/// b.append_after(Tid(1), &[e11], ());
+/// let poset = b.finish();
+///
+/// let sink = AtomicCountSink::new();
+/// let stats = ParaMount::new(Algorithm::Lexical)
+///     .with_threads(2)
+///     .enumerate(&poset, &sink)
+///     .unwrap();
+/// assert_eq!(stats.cuts, 7);
+/// assert_eq!(sink.count(), 7);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ParaMount {
+    /// The bounded sequential subroutine run on each interval.
+    pub algorithm: Algorithm,
+    /// Worker threads. `0` uses Rayon's global default pool; any other
+    /// value builds a dedicated pool of exactly that size (the knob behind
+    /// the paper's `(1) (2) (4) (8)` columns).
+    pub threads: usize,
+    /// Per-interval frontier budget for the stateful subroutines (BFS /
+    /// DFS). Partitioning is itself the paper's cure for BFS memory blowup:
+    /// a budget that kills a whole-lattice BFS usually passes easily per
+    /// interval.
+    pub frontier_budget: Option<usize>,
+}
+
+impl ParaMount {
+    /// ParaMount over the given subroutine, on the default pool.
+    pub fn new(algorithm: Algorithm) -> Self {
+        ParaMount {
+            algorithm,
+            threads: 0,
+            frontier_budget: None,
+        }
+    }
+
+    /// Sets the worker-thread count (0 = Rayon default).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the per-interval frontier budget for BFS/DFS subroutines.
+    pub fn with_frontier_budget(mut self, budget: Option<usize>) -> Self {
+        self.frontier_budget = budget;
+        self
+    }
+
+    /// Enumerates every consistent cut of `space` exactly once, in
+    /// parallel, using the vector-clock-weight linear extension.
+    pub fn enumerate<Sp, K>(&self, space: &Sp, sink: &K) -> Result<ParaStats, EnumError>
+    where
+        Sp: CutSpace + Sync + ?Sized,
+        K: ParallelCutSink + ?Sized,
+    {
+        let order = topo::weight_order(space);
+        self.enumerate_with_order(space, &order, sink)
+    }
+
+    /// Enumerates with an explicit `→p` order (any linear extension).
+    pub fn enumerate_with_order<Sp, K>(
+        &self,
+        space: &Sp,
+        order: &[EventId],
+        sink: &K,
+    ) -> Result<ParaStats, EnumError>
+    where
+        Sp: CutSpace + Sync + ?Sized,
+        K: ParallelCutSink + ?Sized,
+    {
+        let intervals = partition(space, order);
+        self.enumerate_intervals(space, &intervals, sink)
+    }
+
+    /// Enumerates a pre-computed interval list (the online engine and the
+    /// ablation benchmarks call this directly).
+    pub fn enumerate_intervals<Sp, K>(
+        &self,
+        space: &Sp,
+        intervals: &[Interval],
+        sink: &K,
+    ) -> Result<ParaStats, EnumError>
+    where
+        Sp: CutSpace + Sync + ?Sized,
+        K: ParallelCutSink + ?Sized,
+    {
+        // Special case: an empty poset still has its one empty cut, but no
+        // event interval carries it.
+        if intervals.is_empty() {
+            let empty = paramount_poset::Frontier::empty(space.num_threads());
+            // No event exists to own the empty cut; report a placeholder id.
+            let placeholder = EventId::new(paramount_poset::Tid(0), 1);
+            return match sink.visit(&empty, placeholder) {
+                std::ops::ControlFlow::Continue(()) => Ok(ParaStats {
+                    cuts: 1,
+                    intervals: 0,
+                    peak_frontiers: 1,
+                }),
+                std::ops::ControlFlow::Break(()) => Err(EnumError::Stopped),
+            };
+        }
+
+        let cuts = AtomicU64::new(0);
+        let peak = AtomicUsize::new(0);
+        let run = || -> Result<(), EnumError> {
+            use rayon::prelude::*;
+            intervals.par_iter().try_for_each(|iv| {
+                let stats = self.run_interval(space, iv, sink)?;
+                cuts.fetch_add(stats.cuts, Ordering::Relaxed);
+                peak.fetch_max(stats.peak_frontiers, Ordering::Relaxed);
+                Ok(())
+            })
+        };
+
+        let result = if self.threads == 0 {
+            run()
+        } else {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(self.threads)
+                .build()
+                .expect("failed to build worker pool");
+            pool.install(run)
+        };
+        result?;
+
+        Ok(ParaStats {
+            cuts: cuts.load(Ordering::Relaxed),
+            intervals: intervals.len(),
+            peak_frontiers: peak.load(Ordering::Relaxed),
+        })
+    }
+
+    fn run_interval<Sp, K>(
+        &self,
+        space: &Sp,
+        iv: &Interval,
+        sink: &K,
+    ) -> Result<paramount_enumerate::EnumStats, EnumError>
+    where
+        Sp: CutSpace + ?Sized,
+        K: ParallelCutSink + ?Sized,
+    {
+        use crate::sink::SinkBridge;
+        let mut bridge = SinkBridge::new(sink, iv.event);
+        let mut extra = 0;
+        if iv.include_empty {
+            use paramount_enumerate::CutSink;
+            let empty = paramount_poset::Frontier::empty(space.num_threads());
+            if bridge.visit(&empty).is_break() {
+                return Err(EnumError::Stopped);
+            }
+            extra = 1;
+        }
+        let mut stats = match self.algorithm {
+            Algorithm::Bfs => paramount_enumerate::bfs::enumerate_bounded(
+                space,
+                &iv.gmin,
+                &iv.gbnd,
+                &paramount_enumerate::bfs::BfsOptions {
+                    frontier_budget: self.frontier_budget,
+                },
+                &mut bridge,
+            )?,
+            Algorithm::Dfs => paramount_enumerate::dfs::enumerate_bounded(
+                space,
+                &iv.gmin,
+                &iv.gbnd,
+                &paramount_enumerate::dfs::DfsOptions {
+                    frontier_budget: self.frontier_budget,
+                },
+                &mut bridge,
+            )?,
+            Algorithm::Lexical => paramount_enumerate::lexical::enumerate_bounded(
+                space,
+                &iv.gmin,
+                &iv.gbnd,
+                &mut bridge,
+            )?,
+        };
+        stats.cuts += extra;
+        Ok(stats)
+    }
+}
+
+/// Aggregate statistics from one parallel enumeration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParaStats {
+    /// Total cuts emitted (equals `i(P)` — Theorem 2).
+    pub cuts: u64,
+    /// Number of intervals processed (= number of events).
+    pub intervals: usize,
+    /// Largest per-interval frontier storage any worker needed (1 for the
+    /// lexical subroutine; the partitioning win for BFS shows up here).
+    pub peak_frontiers: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{AtomicCountSink, ConcurrentCollectSink};
+    use paramount_poset::random::RandomComputation;
+    use paramount_poset::{oracle, Frontier, Poset};
+    use std::ops::ControlFlow;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn matches_oracle_for_all_algorithms_and_thread_counts() {
+        for seed in 0..8 {
+            let p = RandomComputation::new(4, 5, 0.4, seed).generate();
+            let expected = oracle::enumerate_product_scan(&p);
+            for algo in Algorithm::ALL {
+                for threads in [1, 2, 4] {
+                    let sink = ConcurrentCollectSink::new();
+                    let stats = ParaMount::new(algo)
+                        .with_threads(threads)
+                        .enumerate(&p, &sink)
+                        .unwrap();
+                    let got = oracle::canonicalize(sink.into_cuts());
+                    assert_eq!(got, expected, "{algo:?}/{threads} seed {seed}");
+                    assert_eq!(stats.cuts as usize, expected.len());
+                    assert_eq!(stats.intervals, p.num_events());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_once_even_under_heavy_parallelism() {
+        let p = RandomComputation::new(6, 6, 0.3, 99).generate();
+        let sink = ConcurrentCollectSink::new();
+        ParaMount::new(Algorithm::Lexical)
+            .with_threads(8)
+            .enumerate(&p, &sink)
+            .unwrap();
+        let cuts = sink.into_cuts();
+        let unique: std::collections::HashSet<_> = cuts.iter().cloned().collect();
+        assert_eq!(cuts.len(), unique.len(), "duplicate cut under parallelism");
+        assert_eq!(cuts.len() as u64, oracle::count_ideals(&p));
+    }
+
+    #[test]
+    fn kahn_and_weight_orders_agree_on_totals() {
+        let p = RandomComputation::new(4, 6, 0.5, 5).generate();
+        let a = AtomicCountSink::new();
+        ParaMount::new(Algorithm::Lexical).enumerate(&p, &a).unwrap();
+        let b = AtomicCountSink::new();
+        let order = paramount_poset::topo::kahn_order(&p);
+        ParaMount::new(Algorithm::Lexical)
+            .enumerate_with_order(&p, &order, &b)
+            .unwrap();
+        assert_eq!(a.count(), b.count());
+    }
+
+    #[test]
+    fn empty_poset_emits_single_empty_cut() {
+        let p: Poset = Poset::empty(3);
+        let sink = ConcurrentCollectSink::new();
+        let stats = ParaMount::new(Algorithm::Lexical).enumerate(&p, &sink).unwrap();
+        assert_eq!(stats.cuts, 1);
+        assert_eq!(sink.into_cuts(), vec![Frontier::empty(3)]);
+    }
+
+    #[test]
+    fn early_stop_reports_stopped() {
+        let p = RandomComputation::new(4, 5, 0.3, 3).generate();
+        let seen = AtomicU64::new(0);
+        let sink = |_: &Frontier, _: EventId| {
+            if seen.fetch_add(1, Ordering::Relaxed) >= 10 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        };
+        let err = ParaMount::new(Algorithm::Lexical)
+            .with_threads(2)
+            .enumerate(&p, &sink)
+            .unwrap_err();
+        assert_eq!(err, EnumError::Stopped);
+    }
+
+    #[test]
+    fn per_interval_budget_passes_where_global_bfs_fails() {
+        // Whole-lattice BFS holds C(8,4)+C(8,5) = 126 live frontiers at
+        // its widest; the largest single interval (the last event's) peaks
+        // at C(7,3)+C(7,4) = 70 — the memory win of partitioning, the
+        // Table 1 o.o.m. story in miniature.
+        let mut b = paramount_poset::builder::PosetBuilder::new(8);
+        for t in paramount_poset::Tid::all(8) {
+            b.append(t, ());
+        }
+        let p = b.finish();
+
+        let mut whole = paramount_enumerate::CountSink::default();
+        let err = paramount_enumerate::bfs::enumerate(
+            &p,
+            &paramount_enumerate::bfs::BfsOptions {
+                frontier_budget: Some(80),
+            },
+            &mut whole,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EnumError::OutOfBudget { .. }));
+
+        let sink = AtomicCountSink::new();
+        let stats = ParaMount::new(Algorithm::Bfs)
+            .with_threads(2)
+            .with_frontier_budget(Some(80))
+            .enumerate(&p, &sink)
+            .unwrap();
+        assert_eq!(stats.cuts, 256);
+        assert_eq!(sink.count(), 256);
+    }
+
+    #[test]
+    fn stats_peak_frontiers_is_one_for_lexical() {
+        let p = RandomComputation::new(4, 4, 0.4, 17).generate();
+        let sink = AtomicCountSink::new();
+        let stats = ParaMount::new(Algorithm::Lexical)
+            .with_threads(4)
+            .enumerate(&p, &sink)
+            .unwrap();
+        assert_eq!(stats.peak_frontiers, 1);
+    }
+}

@@ -1,0 +1,580 @@
+//! Online ParaMount (the paper's Algorithm 4 and §4.2).
+//!
+//! Events are inserted *while the observed program runs*. Each insertion
+//! executes the paper's atomic block — append the event, take `Gmin(e)`
+//! from its clock, take `Gbnd(e)` as a snapshot of the current maximal
+//! events — and then hands the interval `I(e)` to a worker pool that
+//! enumerates it concurrently with further insertions. The insertion order
+//! *is* the total order `→p` (the instrumented program cannot execute its
+//! next event before the current one is inserted, so Property 1 holds),
+//! and the snapshot satisfies Definition 1, so Lemmas 1–3 carry over
+//! verbatim: every cut of the final poset is enumerated exactly once.
+//!
+//! Unlike the offline mode there is no Rayon here: the worker pool is a
+//! hand-built crossbeam-channel fan-out, because intervals must start the
+//! moment they are created (work arrives as a stream, not a batch) and the
+//! pool must outlive any single call.
+
+use crate::interval::Interval;
+use crate::sink::{ParallelCutSink, SinkBridge};
+use crate::store::AppendVec;
+use paramount_enumerate::{Algorithm, CutSink, EnumError};
+use paramount_poset::{CutSpace, Event, EventId, Frontier, Poset, Tid, VectorClock};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A poset that grows while it is being enumerated.
+///
+/// Events live in one [`AppendVec`] per thread; the insertion critical
+/// section (clock bookkeeping + snapshot) is one short mutex, after which
+/// readers — the bounded enumerations — proceed lock-free (Theorem 3).
+///
+/// ```
+/// use paramount::OnlinePoset;
+/// use paramount_poset::Tid;
+///
+/// let poset: OnlinePoset<&str> = OnlinePoset::new(2);
+/// let (first, interval) = poset.insert_after(Tid(0), &[], "e1[1]");
+/// assert_eq!(interval.gmin.as_slice(), &[1, 0]); // Gmin(e) = e.vc
+/// assert!(interval.include_empty);               // first event owns {0,0}
+/// let (_, interval) = poset.insert_after(Tid(1), &[first], "e2[1]");
+/// assert_eq!(interval.gbnd.as_slice(), &[1, 1]); // snapshot Gbnd
+/// ```
+pub struct OnlinePoset<P> {
+    threads: Box<[AppendVec<Event<P>>]>,
+    state: Mutex<InsertState>,
+}
+
+struct InsertState {
+    /// Running clock per observed thread (clock of its latest event).
+    clocks: Vec<VectorClock>,
+    /// Total events inserted (detects the first event for the empty cut).
+    total: u64,
+}
+
+impl<P> OnlinePoset<P> {
+    /// An empty online poset over `n` observed threads.
+    pub fn new(n: usize) -> Self {
+        OnlinePoset {
+            threads: (0..n).map(|_| AppendVec::new()).collect(),
+            state: Mutex::new(InsertState {
+                clocks: (0..n).map(|_| VectorClock::zero(n)).collect(),
+                total: 0,
+            }),
+        }
+    }
+
+    /// Total events inserted so far.
+    pub fn num_events(&self) -> usize {
+        self.threads.iter().map(AppendVec::len).sum()
+    }
+
+    /// The event with the given id (must be published).
+    pub fn event(&self, id: EventId) -> &Event<P> {
+        self.threads[id.tid.index()]
+            .get((id.index - 1) as usize)
+            .expect("event not yet published")
+    }
+
+    /// Inserts an event of thread `t` depending on `deps` (which must
+    /// already be inserted), computing its clock internally. Returns the
+    /// id and the interval `I(e)` to enumerate — the paper's atomic block.
+    pub fn insert_after(&self, t: Tid, deps: &[EventId], payload: P) -> (EventId, Interval) {
+        let mut st = self.state.lock();
+        let mut clock = st.clocks[t.index()].clone();
+        clock.tick(t);
+        for &d in deps {
+            let dep = self.threads[d.tid.index()]
+                .get((d.index - 1) as usize)
+                .expect("dependency on a not-yet-inserted event");
+            clock.join(&dep.vc);
+        }
+        st.clocks[t.index()] = clock.clone();
+        self.insert_locked(&mut st, t, clock, payload)
+    }
+
+    /// Inserts an event whose clock was computed externally (e.g. by the
+    /// trace recorder's lock/fork bookkeeping — Algorithm 3 runs there).
+    pub fn insert_with_clock(&self, t: Tid, vc: VectorClock, payload: P) -> (EventId, Interval) {
+        let mut st = self.state.lock();
+        debug_assert_eq!(
+            vc.get(t) as usize,
+            self.threads[t.index()].len() + 1,
+            "external clock must index the next event of its thread"
+        );
+        debug_assert!(
+            st.clocks[t.index()].le(&vc),
+            "external clock must dominate the thread's history"
+        );
+        st.clocks[t.index()] = vc.clone();
+        self.insert_locked(&mut st, t, vc, payload)
+    }
+
+    fn insert_locked(
+        &self,
+        st: &mut InsertState,
+        t: Tid,
+        clock: VectorClock,
+        payload: P,
+    ) -> (EventId, Interval) {
+        let id = EventId::new(t, clock.get(t));
+        let gmin = Frontier::from_clock(&clock);
+        let include_empty = st.total == 0;
+        st.total += 1;
+        // Publish the event *before* snapshotting, so Gbnd includes it
+        // (Definition 1 requires e ∈ Gbnd(e)).
+        self.threads[t.index()].push(Event {
+            id,
+            vc: clock,
+            payload,
+        });
+        // Snapshot of the maximal events of all threads, still inside the
+        // critical section: exactly the events inserted before (or being)
+        // e — a valid Gbnd per Definition 1, consistent per Theorem 1.
+        let gbnd = Frontier::from_counts(
+            self.threads.iter().map(|seq| seq.len() as u32).collect(),
+        );
+        (
+            id,
+            Interval {
+                event: id,
+                gmin,
+                gbnd,
+                include_empty,
+            },
+        )
+    }
+
+    /// Freezes the current contents into an immutable [`Poset`] (for
+    /// offline cross-checks and reporting).
+    pub fn snapshot(&self) -> Poset<P>
+    where
+        P: Clone,
+    {
+        Poset::from_threads(
+            self.threads
+                .iter()
+                .map(|seq| seq.iter().cloned().collect())
+                .collect(),
+        )
+    }
+}
+
+impl<P> CutSpace for OnlinePoset<P> {
+    #[inline]
+    fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    #[inline]
+    fn events_of(&self, t: Tid) -> usize {
+        self.threads[t.index()].len()
+    }
+
+    #[inline]
+    fn vc(&self, id: EventId) -> &VectorClock {
+        &self.event(id).vc
+    }
+}
+
+/// Configuration for the online engine.
+#[derive(Clone, Copy, Debug)]
+pub struct OnlineEngineConfig {
+    /// Bounded subroutine for each interval (the paper defaults to the
+    /// lexical algorithm for online detection).
+    pub algorithm: Algorithm,
+    /// Enumeration worker threads (≥ 1).
+    pub workers: usize,
+    /// Per-interval frontier budget for stateful subroutines.
+    pub frontier_budget: Option<usize>,
+}
+
+impl Default for OnlineEngineConfig {
+    fn default() -> Self {
+        OnlineEngineConfig {
+            algorithm: Algorithm::Lexical,
+            workers: 4,
+            frontier_budget: None,
+        }
+    }
+}
+
+struct EngineShared<P> {
+    poset: Arc<OnlinePoset<P>>,
+    sink: Box<dyn ParallelCutSink>,
+    cuts: AtomicU64,
+    stopped: AtomicBool,
+    error: Mutex<Option<EnumError>>,
+}
+
+/// The online enumeration engine: an [`OnlinePoset`] plus a worker pool
+/// draining a channel of freshly created intervals.
+///
+/// `observe_*` calls may come from many program threads concurrently; the
+/// per-call cost beyond the enumeration itself is one mutex-protected
+/// insert and one channel send.
+pub struct OnlineEngine<P: Send + Sync + 'static> {
+    shared: Arc<EngineShared<P>>,
+    sender: Option<crossbeam_channel::Sender<Interval>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    config: OnlineEngineConfig,
+}
+
+impl<P: Send + Sync + 'static> OnlineEngine<P> {
+    /// Starts an engine observing `n` program threads, feeding `sink`.
+    pub fn new(n: usize, config: OnlineEngineConfig, sink: impl ParallelCutSink + 'static) -> Self {
+        Self::with_poset(Arc::new(OnlinePoset::new(n)), config, sink)
+    }
+
+    /// Starts an engine over a caller-provided poset handle.
+    ///
+    /// Sharing the `Arc` lets the sink itself read event payloads — the
+    /// predicate detectors hold a clone and look up the owner event of
+    /// each visited cut.
+    pub fn with_poset(
+        poset: Arc<OnlinePoset<P>>,
+        config: OnlineEngineConfig,
+        sink: impl ParallelCutSink + 'static,
+    ) -> Self {
+        assert!(config.workers >= 1, "need at least one worker");
+        let shared = Arc::new(EngineShared {
+            poset,
+            sink: Box::new(sink),
+            cuts: AtomicU64::new(0),
+            stopped: AtomicBool::new(false),
+            error: Mutex::new(None),
+        });
+        let (sender, receiver) = crossbeam_channel::unbounded::<Interval>();
+        let workers = (0..config.workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                let receiver = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("paramount-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, &receiver, config))
+                    .expect("failed to spawn enumeration worker")
+            })
+            .collect();
+        OnlineEngine {
+            shared,
+            sender: Some(sender),
+            workers,
+            config,
+        }
+    }
+
+    /// Observes an event of thread `t` with explicit dependencies; clock
+    /// computed internally. Returns the event id.
+    pub fn observe_after(&self, t: Tid, deps: &[EventId], payload: P) -> EventId {
+        let (id, interval) = self.shared.poset.insert_after(t, deps, payload);
+        self.dispatch(interval);
+        id
+    }
+
+    /// Observes an event whose clock the caller computed (recorder path).
+    pub fn observe_with_clock(&self, t: Tid, vc: VectorClock, payload: P) -> EventId {
+        let (id, interval) = self.shared.poset.insert_with_clock(t, vc, payload);
+        self.dispatch(interval);
+        id
+    }
+
+    fn dispatch(&self, interval: Interval) {
+        if self.shared.stopped.load(Ordering::Relaxed) {
+            return; // sink asked for a global stop; drop new work
+        }
+        if let Some(sender) = &self.sender {
+            // Receivers only disappear after `finish`, which consumes self.
+            let _ = sender.send(interval);
+        }
+    }
+
+    /// The growing poset (also a [`CutSpace`], usable for ad-hoc queries).
+    pub fn poset(&self) -> &OnlinePoset<P> {
+        &self.shared.poset
+    }
+
+    /// True once the sink has requested a global stop.
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stopped.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// Closes the stream, waits for all pending intervals to drain, and
+    /// reports totals.
+    pub fn finish(mut self) -> OnlineReport<P>
+    where
+        P: Clone,
+    {
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            handle.join().expect("enumeration worker panicked");
+        }
+        let shared = Arc::clone(&self.shared);
+        drop(self); // Drop is a no-op now: sender taken, workers joined.
+        let shared = Arc::try_unwrap(shared)
+            .unwrap_or_else(|_| panic!("worker still holds the engine state"));
+        OnlineReport {
+            cuts: shared.cuts.load(Ordering::Relaxed),
+            events: shared.poset.num_events() as u64,
+            error: shared.error.into_inner(),
+            poset: shared.poset.snapshot(),
+        }
+    }
+}
+
+impl<P: Send + Sync + 'static> Drop for OnlineEngine<P> {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop<P>(
+    shared: &EngineShared<P>,
+    receiver: &crossbeam_channel::Receiver<Interval>,
+    config: OnlineEngineConfig,
+) {
+    for interval in receiver.iter() {
+        if shared.stopped.load(Ordering::Relaxed) {
+            continue; // drain without enumerating
+        }
+        let result = run_interval(shared, &interval, config);
+        match result {
+            Ok(cuts) => {
+                shared.cuts.fetch_add(cuts, Ordering::Relaxed);
+            }
+            Err(EnumError::Stopped) => {
+                shared.stopped.store(true, Ordering::Relaxed);
+            }
+            Err(err) => {
+                shared.stopped.store(true, Ordering::Relaxed);
+                shared.error.lock().get_or_insert(err);
+            }
+        }
+    }
+}
+
+fn run_interval<P>(
+    shared: &EngineShared<P>,
+    interval: &Interval,
+    config: OnlineEngineConfig,
+) -> Result<u64, EnumError> {
+    let space = shared.poset.as_ref();
+    let mut bridge = SinkBridge::new(shared.sink.as_ref(), interval.event);
+    let mut extra = 0;
+    if interval.include_empty {
+        let empty = Frontier::empty(space.num_threads());
+        if bridge.visit(&empty).is_break() {
+            return Err(EnumError::Stopped);
+        }
+        extra = 1;
+    }
+    let stats = match config.algorithm {
+        Algorithm::Bfs => paramount_enumerate::bfs::enumerate_bounded(
+            space,
+            &interval.gmin,
+            &interval.gbnd,
+            &paramount_enumerate::bfs::BfsOptions {
+                frontier_budget: config.frontier_budget,
+            },
+            &mut bridge,
+        )?,
+        Algorithm::Dfs => paramount_enumerate::dfs::enumerate_bounded(
+            space,
+            &interval.gmin,
+            &interval.gbnd,
+            &paramount_enumerate::dfs::DfsOptions {
+                frontier_budget: config.frontier_budget,
+            },
+            &mut bridge,
+        )?,
+        Algorithm::Lexical => paramount_enumerate::lexical::enumerate_bounded(
+            space,
+            &interval.gmin,
+            &interval.gbnd,
+            &mut bridge,
+        )?,
+    };
+    Ok(stats.cuts + extra)
+}
+
+/// Result of a completed online enumeration.
+pub struct OnlineReport<P> {
+    /// Total cuts enumerated (= `i(P)` of the final poset, Theorem 2).
+    pub cuts: u64,
+    /// Events observed.
+    pub events: u64,
+    /// Budget error, if a stateful subroutine tripped its limit.
+    pub error: Option<EnumError>,
+    /// The final, frozen poset.
+    pub poset: Poset<P>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{AtomicCountSink, ConcurrentCollectSink};
+    use paramount_poset::oracle;
+    use paramount_poset::random::RandomComputation;
+    use std::ops::ControlFlow;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn online_poset_insertion_and_snapshot() {
+        let p: OnlinePoset<&str> = OnlinePoset::new(2);
+        let (a, iv_a) = p.insert_after(Tid(0), &[], "a");
+        assert_eq!(iv_a.gmin.as_slice(), &[1, 0]);
+        assert_eq!(iv_a.gbnd.as_slice(), &[1, 0]);
+        assert!(iv_a.include_empty);
+        let (_b, iv_b) = p.insert_after(Tid(1), &[a], "b");
+        assert_eq!(iv_b.gmin.as_slice(), &[1, 1]);
+        assert_eq!(iv_b.gbnd.as_slice(), &[1, 1]);
+        assert!(!iv_b.include_empty);
+        let snap = p.snapshot();
+        assert_eq!(snap.num_events(), 2);
+        assert_eq!(*snap.payload(a), "a");
+    }
+
+    #[test]
+    fn figure8_snapshot_gbnd() {
+        // Figure 8(a): insertion order e1[1], e2[1], e1[2], e2[2] gives
+        // Gbnd(e1[2]) = {2,1}; (b): inserting e2[2] before e1[2] gives
+        // Gbnd(e1[2]) = {2,2}.
+        let p: OnlinePoset<()> = OnlinePoset::new(2);
+        p.insert_after(Tid(0), &[], ());
+        p.insert_after(Tid(1), &[], ());
+        let (_, iv) = p.insert_after(Tid(0), &[], ());
+        assert_eq!(iv.gbnd.as_slice(), &[2, 1]);
+
+        let q: OnlinePoset<()> = OnlinePoset::new(2);
+        q.insert_after(Tid(0), &[], ());
+        q.insert_after(Tid(1), &[], ());
+        q.insert_after(Tid(1), &[], ());
+        let (_, iv) = q.insert_after(Tid(0), &[], ());
+        assert_eq!(iv.gbnd.as_slice(), &[2, 2]);
+    }
+
+    #[test]
+    fn engine_enumerates_every_cut_exactly_once() {
+        for seed in 0..6 {
+            // Replay a random computation through the online engine...
+            let reference = RandomComputation::new(4, 5, 0.4, seed).generate();
+            let sink = StdArc::new(ConcurrentCollectSink::new());
+            let engine = OnlineEngine::new(
+                4,
+                OnlineEngineConfig {
+                    workers: 3,
+                    ..OnlineEngineConfig::default()
+                },
+                {
+                    let sink = StdArc::clone(&sink);
+                    move |cut: &Frontier, owner| sink.visit(cut, owner)
+                },
+            );
+            for &id in &paramount_poset::topo::weight_order(&reference) {
+                engine.observe_with_clock(id.tid, reference.vc(id).clone(), ());
+            }
+            let report = engine.finish();
+            // ...and compare against the offline oracle.
+            let expected = oracle::enumerate_product_scan(&reference);
+            assert_eq!(report.cuts as usize, expected.len(), "seed {seed}");
+            let mut got: Vec<Frontier> = Vec::new();
+            got.extend(
+                StdArc::try_unwrap(sink)
+                    .unwrap_or_else(|_| panic!("sink still shared"))
+                    .into_cuts(),
+            );
+            assert_eq!(oracle::canonicalize(got), expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn concurrent_observers_agree_with_offline_count() {
+        // Theorem 3: four real threads observe their own events (with a
+        // handful of cross-thread dependencies) while workers enumerate.
+        let counter = StdArc::new(AtomicCountSink::new());
+        let counter_in_sink = StdArc::clone(&counter);
+        let engine = StdArc::new(OnlineEngine::new(
+            4,
+            OnlineEngineConfig {
+                workers: 4,
+                ..OnlineEngineConfig::default()
+            },
+            move |cut: &Frontier, owner| counter_in_sink.visit(cut, owner),
+        ));
+
+        let barrier = StdArc::new(std::sync::Barrier::new(4));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let engine = StdArc::clone(&engine);
+                let barrier = StdArc::clone(&barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    for k in 0..6 {
+                        // Every third event synchronizes with a previously
+                        // published event of the next thread, if any.
+                        let deps: Vec<EventId> = if k % 3 == 2 {
+                            let other = Tid((t + 1) % 4);
+                            let published = engine.poset().events_of(other) as u32;
+                            if published > 0 {
+                                vec![EventId::new(other, published)]
+                            } else {
+                                Vec::new()
+                            }
+                        } else {
+                            Vec::new()
+                        };
+                        engine.observe_after(Tid(t), &deps, ());
+                    }
+                });
+            }
+        });
+        let engine = StdArc::try_unwrap(engine)
+            .unwrap_or_else(|_| panic!("engine still shared"));
+        let report = engine.finish();
+        assert_eq!(report.events, 24);
+        // The online count must equal the offline lattice size of the
+        // final poset.
+        let expected = oracle::count_ideals(&report.poset);
+        assert_eq!(report.cuts, expected);
+        assert_eq!(counter.count(), expected);
+        assert!(report.error.is_none());
+    }
+
+    #[test]
+    fn early_stop_halts_engine() {
+        let engine = OnlineEngine::new(
+            2,
+            OnlineEngineConfig {
+                workers: 2,
+                ..OnlineEngineConfig::default()
+            },
+            move |_: &Frontier, _: EventId| ControlFlow::Break(()),
+        );
+        for _ in 0..50 {
+            engine.observe_after(Tid(0), &[], ());
+            engine.observe_after(Tid(1), &[], ());
+        }
+        let report = engine.finish();
+        assert!(report.cuts < 200, "stop should prevent full enumeration");
+        assert!(report.error.is_none(), "Stopped is not an error");
+    }
+
+    #[test]
+    fn dropping_engine_without_finish_joins_workers() {
+        let engine = OnlineEngine::new(
+            2,
+            OnlineEngineConfig::default(),
+            move |_: &Frontier, _: EventId| ControlFlow::Continue(()),
+        );
+        engine.observe_after(Tid(0), &[], ());
+        drop(engine); // must not hang or leak threads
+    }
+}

@@ -1,0 +1,190 @@
+//! Shared-state sinks for parallel enumeration.
+
+use paramount_enumerate::CutSink;
+use paramount_poset::{EventId, Frontier};
+use parking_lot::Mutex;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The `Sync` analog of [`CutSink`]: many interval workers feed one sink
+/// concurrently, so `visit` takes `&self` and implementations synchronize
+/// internally (or not at all, like the atomic counter).
+///
+/// Predicate evaluation in `paramount-detect` happens behind this trait:
+/// the "sink" is the predicate, invoked once per consistent cut.
+pub trait ParallelCutSink: Send + Sync {
+    /// Called once per enumerated cut, from any worker thread.
+    ///
+    /// `owner` is the event whose interval the cut belongs to — the `e` of
+    /// the paper's `predicate(P, G, e)`. Within `I(e)`, `e` is always the
+    /// frontier event of its own thread (`Gmin(e)[t] = Gbnd(e)[t] =
+    /// e.index` for `t = e.tid`), which is what lets race predicates check
+    /// only the new event against the rest of the frontier. The empty cut
+    /// reports the first event of `→p` as its owner, mirroring the paper's
+    /// special case.
+    ///
+    /// `Break` requests a global early stop.
+    fn visit(&self, cut: &Frontier, owner: EventId) -> ControlFlow<()>;
+}
+
+/// Lock-free cut counter (`Relaxed` is enough: the total is only read
+/// after the enumeration joins).
+#[derive(Debug, Default)]
+pub struct AtomicCountSink {
+    count: AtomicU64,
+}
+
+impl AtomicCountSink {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cuts seen so far (exact once all workers have finished).
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl ParallelCutSink for AtomicCountSink {
+    #[inline]
+    fn visit(&self, _cut: &Frontier, _owner: EventId) -> ControlFlow<()> {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        ControlFlow::Continue(())
+    }
+}
+
+/// Collects every cut behind a mutex — tests and small runs only (the lock
+/// serializes workers; never benchmark through this).
+#[derive(Debug, Default)]
+pub struct ConcurrentCollectSink {
+    cuts: Mutex<Vec<Frontier>>,
+}
+
+impl ConcurrentCollectSink {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the collected cuts (unordered across workers).
+    pub fn into_cuts(self) -> Vec<Frontier> {
+        self.cuts.into_inner()
+    }
+
+    /// Number of cuts collected so far.
+    pub fn len(&self) -> usize {
+        self.cuts.lock().len()
+    }
+
+    /// True when nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ParallelCutSink for ConcurrentCollectSink {
+    fn visit(&self, cut: &Frontier, _owner: EventId) -> ControlFlow<()> {
+        self.cuts.lock().push(cut.clone());
+        ControlFlow::Continue(())
+    }
+}
+
+/// Closures (`Fn`, not `FnMut` — they run concurrently) are sinks.
+impl<F: Fn(&Frontier, EventId) -> ControlFlow<()> + Send + Sync> ParallelCutSink for F {
+    #[inline]
+    fn visit(&self, cut: &Frontier, owner: EventId) -> ControlFlow<()> {
+        self(cut, owner)
+    }
+}
+
+/// Adapts a shared [`ParallelCutSink`] to the sequential [`CutSink`]
+/// interface the bounded subroutines expect — the glue between one
+/// worker's enumeration and the shared consumer.
+pub struct SinkBridge<'a, K: ?Sized> {
+    shared: &'a K,
+    owner: EventId,
+}
+
+impl<'a, K: ParallelCutSink + ?Sized> SinkBridge<'a, K> {
+    /// Bridges `shared` into a `CutSink` for the interval owned by `owner`.
+    pub fn new(shared: &'a K, owner: EventId) -> Self {
+        SinkBridge { shared, owner }
+    }
+}
+
+impl<K: ParallelCutSink + ?Sized> CutSink for SinkBridge<'_, K> {
+    #[inline]
+    fn visit(&mut self, cut: &Frontier) -> ControlFlow<()> {
+        self.shared.visit(cut, self.owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramount_poset::Tid;
+    use std::sync::atomic::AtomicUsize;
+
+    fn g(counts: &[u32]) -> Frontier {
+        Frontier::from_counts(counts.to_vec())
+    }
+
+    fn owner() -> EventId {
+        EventId::new(Tid(0), 1)
+    }
+
+    #[test]
+    fn atomic_count_from_many_threads() {
+        let sink = AtomicCountSink::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        let _ = sink.visit(&g(&[1, 2]), owner());
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.count(), 4000);
+    }
+
+    #[test]
+    fn concurrent_collect_gathers_everything() {
+        let sink = ConcurrentCollectSink::new();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let sink = &sink;
+                s.spawn(move || {
+                    for k in 0..100 {
+                        let _ = sink.visit(&g(&[t, k]), owner());
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.len(), 400);
+        assert!(!sink.is_empty());
+        let cuts = sink.into_cuts();
+        assert_eq!(cuts.len(), 400);
+    }
+
+    #[test]
+    fn closure_sink_and_bridge() {
+        let hits = AtomicUsize::new(0);
+        let closure = |_: &Frontier, _: EventId| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            ControlFlow::Continue(())
+        };
+        let mut bridge = SinkBridge::new(&closure, owner());
+        let _ = bridge.visit(&g(&[0]));
+        let _ = bridge.visit(&g(&[1]));
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn break_propagates_through_bridge() {
+        let closure = |_: &Frontier, _: EventId| ControlFlow::Break(());
+        let mut bridge = SinkBridge::new(&closure, owner());
+        assert!(bridge.visit(&g(&[0])).is_break());
+    }
+}

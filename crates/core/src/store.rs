@@ -1,0 +1,298 @@
+//! Append-only event storage with lock-free readers.
+//!
+//! The online mode (Algorithm 4) has one short critical section — insert an
+//! event and snapshot the maximal events — while any number of bounded
+//! enumerations read events concurrently. Theorem 3's no-interference
+//! argument maps onto the memory model like this: an enumeration for
+//! interval `I(e)` only dereferences events inside `Gbnd(e)`, all of which
+//! were *published* before the interval was created; later insertions touch
+//! only memory the enumeration never reads.
+//!
+//! [`AppendVec`] realizes that contract: a chunked, grow-only vector where
+//! `push` publishes the new length with a `Release` store and readers
+//! synchronize with an `Acquire` load. Chunks double in size (512, 1024,
+//! 2048, …) so a fixed 32-slot directory addresses ~2⁴¹ elements and
+//! published elements **never move** — `get` can hand out plain `&T`
+//! borrows that stay valid for the life of the vector.
+
+use parking_lot::Mutex;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+/// Size of the first chunk; chunk `k` holds `BASE << k` elements.
+const BASE: usize = 512;
+/// Directory slots; total addressable capacity = `BASE * (2^DIR - 1)`.
+const DIR: usize = 32;
+
+/// A concurrent, append-only vector: serialized writers, lock-free readers,
+/// stable element addresses.
+pub struct AppendVec<T> {
+    /// `chunks[k]` points to an array of `BASE << k` elements (null until
+    /// first use).
+    chunks: [AtomicPtr<T>; DIR],
+    /// Number of fully initialized elements. `Release`-stored by `push`
+    /// after the element write; `Acquire`-loaded by readers, which makes
+    /// the element (and its chunk pointer) visible.
+    len: AtomicUsize,
+    /// Serializes writers. Readers never take it.
+    write_lock: Mutex<()>,
+}
+
+/// Maps an element index to its `(chunk, offset)` coordinates.
+#[inline]
+fn locate(index: usize) -> (usize, usize) {
+    // Chunk k covers indices [BASE*(2^k - 1), BASE*(2^(k+1) - 1)).
+    let bucket = index / BASE + 1;
+    let k = (usize::BITS - 1 - bucket.leading_zeros()) as usize;
+    let start = (BASE << k) - BASE;
+    (k, index - start)
+}
+
+impl<T> AppendVec<T> {
+    /// An empty vector. Allocates nothing until the first push.
+    pub fn new() -> Self {
+        AppendVec {
+            chunks: [const { AtomicPtr::new(ptr::null_mut()) }; DIR],
+            len: AtomicUsize::new(0),
+            write_lock: Mutex::new(()),
+        }
+    }
+
+    /// Number of published elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True when no element has been published.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends an element, returning its index. Concurrent `push` calls
+    /// are serialized internally; readers proceed lock-free throughout.
+    pub fn push(&self, value: T) -> usize {
+        let _guard = self.write_lock.lock();
+        // Writers are serialized, so a relaxed read of len is exact here.
+        let index = self.len.load(Ordering::Relaxed);
+        let (k, offset) = locate(index);
+        assert!(k < DIR, "AppendVec capacity exceeded");
+
+        let mut chunk = self.chunks[k].load(Ordering::Acquire);
+        if chunk.is_null() {
+            chunk = Self::alloc_chunk(BASE << k);
+            // Release so a reader that (via len) learns of an element in
+            // this chunk also sees the pointer. (The len Release below
+            // already guarantees it; this keeps the chunk independently
+            // well-published for iterators racing ahead.)
+            self.chunks[k].store(chunk, Ordering::Release);
+        }
+        // SAFETY: `offset < BASE << k` by `locate`'s invariant, the slot is
+        // beyond every published index so no reader aliases it, and writers
+        // are serialized so no other writer touches it.
+        unsafe {
+            chunk.add(offset).write(value);
+        }
+        // Publish: everything above happens-before any reader that
+        // observes `index < len`.
+        self.len.store(index + 1, Ordering::Release);
+        index
+    }
+
+    /// Returns the element at `index`, if published.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.len() {
+            return None;
+        }
+        let (k, offset) = locate(index);
+        let chunk = self.chunks[k].load(Ordering::Acquire);
+        debug_assert!(!chunk.is_null(), "published index with missing chunk");
+        // SAFETY: `index < len` was observed with Acquire, which
+        // happens-after the Release publication of this element: the chunk
+        // pointer is non-null and the slot is initialized. Published
+        // elements are never moved or mutated, so the borrow is stable.
+        unsafe { Some(&*chunk.add(offset)) }
+    }
+
+    /// Iterates over the elements published at the time each step reads
+    /// `len` (a growing snapshot: concurrent pushes may extend it).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        (0..).map_while(move |i| self.get(i))
+    }
+
+    fn alloc_chunk(capacity: usize) -> *mut T {
+        let mut v: Vec<MaybeUninit<T>> = Vec::with_capacity(capacity);
+        // SAFETY: MaybeUninit needs no initialization; set_len only claims
+        // capacity we just reserved.
+        unsafe {
+            v.set_len(capacity);
+        }
+        Box::into_raw(v.into_boxed_slice()) as *mut T
+    }
+}
+
+impl<T> Default for AppendVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for AppendVec<T> {
+    fn drop(&mut self) {
+        let len = *self.len.get_mut();
+        for (k, slot) in self.chunks.iter_mut().enumerate() {
+            let chunk = *slot.get_mut();
+            if chunk.is_null() {
+                continue;
+            }
+            let capacity = BASE << k;
+            let start = (BASE << k) - BASE;
+            let initialized = len.saturating_sub(start).min(capacity);
+            // SAFETY: exactly `initialized` leading slots of this chunk
+            // were written by push.
+            unsafe {
+                for i in 0..initialized {
+                    ptr::drop_in_place(chunk.add(i));
+                }
+                drop(Box::from_raw(ptr::slice_from_raw_parts_mut(
+                    chunk as *mut MaybeUninit<T>,
+                    capacity,
+                )));
+            }
+        }
+    }
+}
+
+// SAFETY: moving the vector moves ownership of the Ts; readers share &T.
+unsafe impl<T: Send> Send for AppendVec<T> {}
+// SAFETY: push is internally serialized; get hands out &T, requiring
+// T: Sync for cross-thread sharing.
+unsafe impl<T: Send + Sync> Sync for AppendVec<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn locate_covers_chunk_boundaries() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(BASE - 1), (0, BASE - 1));
+        assert_eq!(locate(BASE), (1, 0));
+        assert_eq!(locate(3 * BASE - 1), (1, 2 * BASE - 1));
+        assert_eq!(locate(3 * BASE), (2, 0));
+        // Exhaustive continuity check over the first few chunks.
+        let mut expected = 0usize;
+        for i in 0..(BASE * 40) {
+            let (k, off) = locate(i);
+            if off == 0 && i > 0 {
+                expected += 1;
+            }
+            assert_eq!(k, expected, "index {i}");
+        }
+    }
+
+    #[test]
+    fn push_get_round_trip() {
+        let v: AppendVec<String> = AppendVec::new();
+        assert!(v.is_empty());
+        for i in 0..2000 {
+            assert_eq!(v.push(format!("item-{i}")), i);
+        }
+        assert_eq!(v.len(), 2000);
+        for i in 0..2000 {
+            assert_eq!(v.get(i).unwrap(), &format!("item-{i}"));
+        }
+        assert!(v.get(2000).is_none());
+    }
+
+    #[test]
+    fn iter_sees_published_prefix() {
+        let v: AppendVec<u32> = AppendVec::new();
+        for i in 0..100 {
+            v.push(i);
+        }
+        let collected: Vec<u32> = v.iter().copied().collect();
+        assert_eq!(collected, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn drop_runs_destructors_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counter;
+        impl Drop for Counter {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        DROPS.store(0, Ordering::Relaxed);
+        let v: AppendVec<Counter> = AppendVec::new();
+        for _ in 0..1500 {
+            v.push(Counter);
+        }
+        drop(v);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 1500);
+    }
+
+    #[test]
+    fn concurrent_writer_and_readers() {
+        // One writer publishes a monotone sequence while readers hammer
+        // the published prefix; every read must observe fully initialized,
+        // correct values (the Release/Acquire pairing under test).
+        const N: usize = 50_000;
+        let v: AppendVec<(usize, u64)> = AppendVec::new();
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..N {
+                    v.push((i, (i as u64).wrapping_mul(0x9e3779b97f4a7c15)));
+                }
+                done.store(true, Ordering::Release);
+            });
+            for _ in 0..3 {
+                s.spawn(|| loop {
+                    let len = v.len();
+                    if len > 0 {
+                        // Sample a few published slots.
+                        for idx in [0, len / 2, len - 1] {
+                            let &(i, tag) = v.get(idx).expect("published index");
+                            assert_eq!(i, idx);
+                            assert_eq!(tag, (idx as u64).wrapping_mul(0x9e3779b97f4a7c15));
+                        }
+                    }
+                    if done.load(Ordering::Acquire) && v.len() == N {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                });
+            }
+        });
+        assert_eq!(v.len(), N);
+    }
+
+    #[test]
+    fn concurrent_multi_writer() {
+        // Writers are serialized by the internal mutex: all pushes land,
+        // each index holds exactly one value.
+        let v: AppendVec<u64> = AppendVec::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let v = &v;
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        v.push(t * 1_000_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(v.len(), 20_000);
+        let mut seen: Vec<u64> = v.iter().copied().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 20_000, "lost or duplicated a pushed value");
+    }
+}

@@ -1,0 +1,115 @@
+//! Heavier concurrency stress for the lock-free append store than the
+//! inline unit tests: multiple writers racing with scanning readers, and
+//! chunk-boundary torture at several sizes.
+
+use paramount::store::AppendVec;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+#[test]
+fn writers_and_scanning_readers() {
+    const PER_WRITER: usize = 20_000;
+    const WRITERS: usize = 3;
+    let store: AppendVec<(usize, usize)> = AppendVec::new();
+    let done = AtomicBool::new(false);
+    let max_seen = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let store = &store;
+            scope.spawn(move || {
+                for i in 0..PER_WRITER {
+                    store.push((w, i));
+                }
+            });
+        }
+        for _ in 0..2 {
+            let store = &store;
+            let done = &done;
+            let max_seen = &max_seen;
+            scope.spawn(move || {
+                loop {
+                    // Full scan of the currently published prefix: every
+                    // element must be fully initialized and plausible.
+                    let len = store.len();
+                    let mut count = 0;
+                    for item in store.iter().take(len) {
+                        assert!(item.0 < WRITERS);
+                        assert!(item.1 < PER_WRITER);
+                        count += 1;
+                    }
+                    assert!(count >= len, "iter shrank below published len");
+                    max_seen.fetch_max(len, Ordering::Relaxed);
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            });
+        }
+        // Writers finish first (scope joins writer threads when their
+        // closures return); then signal readers.
+        scope.spawn(|| {
+            // Poll until all elements are in, then stop the readers.
+            while store.len() < WRITERS * PER_WRITER {
+                std::thread::yield_now();
+            }
+            done.store(true, Ordering::Release);
+        });
+    });
+    assert_eq!(store.len(), WRITERS * PER_WRITER);
+    // Per-writer sequences must each appear exactly once.
+    let mut per_writer = vec![0usize; WRITERS];
+    for &(w, _) in store.iter() {
+        per_writer[w] += 1;
+    }
+    assert!(per_writer.iter().all(|&c| c == PER_WRITER));
+}
+
+#[test]
+fn boundary_sizes_round_trip() {
+    // Chunk layout is 512, 1024, 2048, ...: hit every boundary ±1.
+    for &size in &[1usize, 511, 512, 513, 1535, 1536, 1537, 3584, 3585, 10_000] {
+        let store: AppendVec<usize> = AppendVec::new();
+        for i in 0..size {
+            assert_eq!(store.push(i), i);
+        }
+        assert_eq!(store.len(), size);
+        for i in (0..size).step_by(7) {
+            assert_eq!(*store.get(i).unwrap(), i);
+        }
+        assert_eq!(*store.get(size - 1).unwrap(), size - 1);
+        assert!(store.get(size).is_none());
+    }
+}
+
+#[test]
+fn readers_never_observe_torn_values() {
+    // Values with internal redundancy: (x, !x). A torn read would break
+    // the invariant.
+    let store: AppendVec<(u64, u64)> = AppendVec::new();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for i in 0..100_000u64 {
+                store.push((i, !i));
+            }
+            done.store(true, Ordering::Release);
+        });
+        for _ in 0..2 {
+            let store = &store;
+            let done = &done;
+            scope.spawn(move || loop {
+                let len = store.len();
+                if len > 0 {
+                    // Check a stride of published entries.
+                    for idx in (0..len).step_by(97) {
+                        let &(a, b) = store.get(idx).unwrap();
+                        assert_eq!(b, !a, "torn value at {idx}");
+                    }
+                }
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,170 @@
+//! Conjunctive predicates — the Garg–Waldecker class, as a second
+//! predicate family.
+//!
+//! A conjunctive predicate is `l₁ ∧ l₂ ∧ … ∧ lₙ` where `lᵢ` depends only
+//! on thread `i`'s local state (here: its frontier event). The detector
+//! asks whether *some* consistent cut satisfies all locals simultaneously
+//! — the classic "weak conjunctive predicate" question. ParaMount being
+//! general-purpose, this predicate plugs into the same sinks as the race
+//! predicate; no algorithmic change is needed.
+
+use crate::EventView;
+use paramount_poset::{EventId, Frontier, Tid};
+use paramount_trace::TraceEvent;
+use parking_lot::Mutex;
+use std::ops::ControlFlow;
+
+/// Local-state predicate per thread: receives the thread, the index of its
+/// frontier event in the cut (0 = no event yet), and the event payload if
+/// any.
+pub type LocalPredicate = Box<dyn Fn(Tid, u32, Option<&TraceEvent>) -> bool + Send + Sync>;
+
+/// A conjunction of per-thread local predicates, detected over all
+/// consistent cuts.
+pub struct ConjunctivePredicate {
+    locals: Vec<LocalPredicate>,
+    witness: Mutex<Option<Frontier>>,
+    stop_at_first: bool,
+}
+
+impl ConjunctivePredicate {
+    /// Builds the conjunction; `locals[i]` is thread `i`'s predicate.
+    pub fn new(locals: Vec<LocalPredicate>) -> Self {
+        ConjunctivePredicate {
+            locals,
+            witness: Mutex::new(None),
+            stop_at_first: true,
+        }
+    }
+
+    /// Keep enumerating after the first witness (for counting questions).
+    pub fn detect_all(mut self) -> Self {
+        self.stop_at_first = false;
+        self
+    }
+
+    /// Evaluates the conjunction on one cut.
+    pub fn evaluate(
+        &self,
+        view: &(impl EventView + ?Sized),
+        cut: &Frontier,
+        _owner: EventId,
+    ) -> ControlFlow<()> {
+        debug_assert_eq!(self.locals.len(), view.num_threads());
+        let all_hold = self.locals.iter().enumerate().all(|(i, local)| {
+            let t = Tid::from(i);
+            let index = cut.get(t);
+            let payload = if index == 0 {
+                None
+            } else {
+                Some(view.payload(EventId::new(t, index)))
+            };
+            local(t, index, payload)
+        });
+        if all_hold {
+            let mut witness = self.witness.lock();
+            if witness.is_none() {
+                *witness = Some(cut.clone());
+            }
+            if self.stop_at_first {
+                return ControlFlow::Break(());
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// The first (in detection order) witnessing cut, if any.
+    pub fn witness(&self) -> Option<Frontier> {
+        self.witness.lock().clone()
+    }
+
+    /// Did any cut satisfy the conjunction?
+    pub fn detected(&self) -> bool {
+        self.witness.lock().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramount_poset::builder::PosetBuilder;
+    use paramount_poset::Poset;
+    use paramount_trace::{Access, EventCollection, VarId};
+
+    fn writes(var: u32) -> TraceEvent {
+        let mut ec = EventCollection::new();
+        ec.record(Access::write(VarId(var)));
+        TraceEvent::Accesses(ec)
+    }
+
+    /// Local predicate: thread's frontier event writes the given variable.
+    fn writes_var(var: u32) -> LocalPredicate {
+        Box::new(move |_, _, payload| {
+            payload
+                .and_then(TraceEvent::collection)
+                .is_some_and(|ec| {
+                    ec.accesses()
+                        .iter()
+                        .any(|a| a.is_write && a.var == VarId(var))
+                })
+        })
+    }
+
+    fn two_writer_poset() -> Poset<TraceEvent> {
+        // t0: w(v0) then w(v2); t1: w(v1).
+        let mut b = PosetBuilder::new(2);
+        b.append(Tid(0), writes(0));
+        b.append(Tid(0), writes(2));
+        b.append(Tid(1), writes(1));
+        b.finish()
+    }
+
+    #[test]
+    fn satisfiable_conjunction_finds_witness() {
+        let p = two_writer_poset();
+        let pred = ConjunctivePredicate::new(vec![writes_var(0), writes_var(1)]);
+        // Walk all cuts manually (tests don't need the full engine).
+        let owner = EventId::new(Tid(0), 1);
+        let mut stopped = false;
+        for g in paramount_poset::oracle::enumerate_product_scan(&p) {
+            if pred.evaluate(&p, &g, owner).is_break() {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped);
+        assert_eq!(pred.witness(), Some(Frontier::from_counts(vec![1, 1])));
+    }
+
+    #[test]
+    fn unsatisfiable_conjunction_has_no_witness() {
+        let p = two_writer_poset();
+        // v0 and v2 are both written by t0 — never simultaneously on two
+        // frontiers of different threads.
+        let pred = ConjunctivePredicate::new(vec![writes_var(2), writes_var(2)]);
+        let owner = EventId::new(Tid(0), 1);
+        for g in paramount_poset::oracle::enumerate_product_scan(&p) {
+            assert!(pred.evaluate(&p, &g, owner).is_continue());
+        }
+        assert!(!pred.detected());
+    }
+
+    #[test]
+    fn detect_all_keeps_enumerating() {
+        let p = two_writer_poset();
+        let pred = ConjunctivePredicate::new(vec![
+            Box::new(|_, _, _| true),
+            Box::new(|_, _, _| true),
+        ])
+        .detect_all();
+        let owner = EventId::new(Tid(0), 1);
+        let mut visits = 0;
+        for g in paramount_poset::oracle::enumerate_product_scan(&p) {
+            assert!(pred.evaluate(&p, &g, owner).is_continue());
+            visits += 1;
+        }
+        assert!(visits > 1);
+        // Witness is the first cut satisfying the (trivial) conjunction.
+        assert_eq!(pred.witness(), Some(Frontier::from_counts(vec![0, 0])));
+    }
+}

@@ -1,0 +1,216 @@
+//! Temporal operators over the lattice of global states — the
+//! CTL-flavored detection questions of Sen & Garg and Ogale & Garg (the
+//! paper's references [24] and [27]).
+//!
+//! An execution's possible behaviors are the maximal chains of its cut
+//! lattice (empty cut → final cut). Branching-time questions over those
+//! paths reduce to reachability over cut sets:
+//!
+//! * [`ef`] — `EF φ`: some execution reaches a φ-state (Cooper–Marzullo
+//!   `Possibly(φ)`).
+//! * [`ag`] — `AG φ`: φ holds at every global state of every execution
+//!   (an invariant): the dual `¬EF ¬φ`.
+//! * [`eg`] — `EG φ`: some complete execution stays inside φ the whole
+//!   way.
+//! * [`af`] — `AF φ`: every execution eventually hits φ
+//!   (Cooper–Marzullo `Definitely(φ)`).
+//!
+//! All four cost one lattice walk (`O(n·i(P))` with BFS-style frontier
+//! sets), and all are evaluated over the *inferred* executions — the
+//! point of predicate detection.
+
+use crate::modality;
+use paramount_enumerate::fxhash::FxHashSet;
+use paramount_poset::{CutSpace, EventId, Frontier, Tid};
+
+/// `EF φ`: does some consistent cut satisfy φ? (= `Possibly`.)
+pub fn ef<S, F>(space: &S, phi: F) -> bool
+where
+    S: CutSpace + ?Sized,
+    F: FnMut(&Frontier) -> bool,
+{
+    modality::possibly(space, phi).is_some()
+}
+
+/// `AG φ`: does φ hold at **every** consistent cut? (Invariant check:
+/// the dual `¬ EF ¬φ`.)
+pub fn ag<S, F>(space: &S, mut phi: F) -> bool
+where
+    S: CutSpace + ?Sized,
+    F: FnMut(&Frontier) -> bool,
+{
+    !ef(space, |g| !phi(g))
+}
+
+/// `AF φ`: does every complete execution pass through a φ-state?
+/// (= `Definitely`.)
+pub fn af<S, F>(space: &S, phi: F) -> bool
+where
+    S: CutSpace + ?Sized,
+    F: FnMut(&Frontier) -> bool,
+{
+    modality::definitely(space, phi)
+}
+
+/// `EG φ`: is there a complete execution (maximal chain from the empty
+/// cut to the final cut) every state of which satisfies φ?
+///
+/// Implementation: BFS restricted to φ-cuts; true iff the final cut is
+/// φ-reachable from a φ-satisfying empty cut.
+pub fn eg<S, F>(space: &S, mut phi: F) -> bool
+where
+    S: CutSpace + ?Sized,
+    F: FnMut(&Frontier) -> bool,
+{
+    let n = space.num_threads();
+    let empty = Frontier::empty(n);
+    let last = space.current_frontier();
+    if !phi(&empty) {
+        return false;
+    }
+    if empty == last {
+        return true;
+    }
+    let mut level: Vec<Frontier> = vec![empty];
+    let mut next: FxHashSet<Frontier> = FxHashSet::default();
+    while !level.is_empty() {
+        for cut in &level {
+            for t in Tid::all(n) {
+                let k = cut.get(t) + 1;
+                if k as usize > space.events_of(t) {
+                    continue;
+                }
+                let e = EventId::new(t, k);
+                if cut.enables(space, e) {
+                    let succ = cut.advanced(t);
+                    if !next.contains(&succ) && phi(&succ) {
+                        if succ == last {
+                            return true;
+                        }
+                        next.insert(succ);
+                    }
+                }
+            }
+        }
+        level.clear();
+        level.extend(next.drain());
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramount_poset::builder::PosetBuilder;
+    use paramount_poset::random::RandomComputation;
+    use paramount_poset::{oracle, Poset};
+
+    fn diamond() -> Poset {
+        let mut b = PosetBuilder::new(2);
+        let a = b.append(Tid(0), ());
+        let bb = b.append(Tid(1), ());
+        b.append_after(Tid(0), &[bb], ());
+        b.append_after(Tid(1), &[a], ());
+        b.finish()
+    }
+
+    #[test]
+    fn ef_and_ag_are_duals() {
+        let p = diamond();
+        // φ: "at most 3 events" — true somewhere, not everywhere.
+        assert!(ef(&p, |g| g.total_events() <= 3));
+        assert!(!ag(&p, |g| g.total_events() <= 3));
+        // An actual invariant: consistency-implied bound G[0] ≥ G[1]-1.
+        assert!(ag(&p, |g| {
+            g.get(Tid(1)) == 0 || g.get(Tid(0)) + 1 >= g.get(Tid(1))
+        }));
+    }
+
+    #[test]
+    fn eg_on_the_diamond() {
+        let p = diamond();
+        // "t0 never lags t1": holds along the path that always advances
+        // t0 first.
+        assert!(eg(&p, |g| g.get(Tid(0)) >= g.get(Tid(1))));
+        // "t0 strictly ahead after the start" fails at the empty cut.
+        assert!(!eg(&p, |g| g.get(Tid(0)) > g.get(Tid(1))));
+        // Trivially: true everywhere.
+        assert!(eg(&p, |_| true));
+        // And false at the final cut kills every path.
+        let last = p.final_frontier();
+        assert!(!eg(&p, |g| g != &last));
+    }
+
+    #[test]
+    fn af_equals_definitely() {
+        let p = diamond();
+        assert!(af(&p, |g| g.as_slice() == [1, 1]));
+        assert!(!af(&p, |g| g.as_slice() == [1, 0]));
+    }
+
+    #[test]
+    fn eg_agrees_with_path_oracle_on_random_posets() {
+        fn exists_phi_path<S: CutSpace>(
+            space: &S,
+            cut: &Frontier,
+            last: &Frontier,
+            phi: &impl Fn(&Frontier) -> bool,
+        ) -> bool {
+            if !phi(cut) {
+                return false;
+            }
+            if cut == last {
+                return true;
+            }
+            let n = space.num_threads();
+            for t in Tid::all(n) {
+                let k = cut.get(t) + 1;
+                if k as usize <= space.events_of(t) {
+                    let e = EventId::new(t, k);
+                    if cut.enables(space, e)
+                        && exists_phi_path(space, &cut.advanced(t), last, phi)
+                    {
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        for seed in 0..15 {
+            let p = RandomComputation::new(3, 3, 0.4, seed).generate();
+            let last = p.final_frontier();
+            let preds: Vec<Box<dyn Fn(&Frontier) -> bool>> = vec![
+                Box::new(|g: &Frontier| g.get(Tid(0)) >= g.get(Tid(1))),
+                Box::new(|g: &Frontier| g.total_events() % 2 == 0 || g.get(Tid(2)) > 0),
+                Box::new(|g: &Frontier| g.get(Tid(2)) <= 2),
+            ];
+            for (i, phi) in preds.iter().enumerate() {
+                let fast = eg(&p, |g| phi(g));
+                let slow = exists_phi_path(&p, &Frontier::empty(3), &last, &|g| phi(g));
+                assert_eq!(fast, slow, "seed {seed} pred {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn operators_relate_sanely() {
+        // AG φ ⇒ EG φ ⇒ EF φ, and AG φ ⇒ AF φ, on random posets with a
+        // random threshold predicate.
+        for seed in 0..10 {
+            let p = RandomComputation::new(3, 3, 0.5, seed).generate();
+            let threshold = (seed % 4) as u64 * 2;
+            let phi = |g: &Frontier| g.total_events() <= 9 - threshold.min(9);
+            let vag = ag(&p, phi);
+            let veg = eg(&p, phi);
+            let vef = ef(&p, phi);
+            let vaf = af(&p, phi);
+            if vag {
+                assert!(veg && vaf, "seed {seed}");
+            }
+            if veg {
+                assert!(vef, "seed {seed}");
+            }
+            let _ = oracle::count_ideals(&p);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+#![warn(missing_docs)]
+//! Predicate detection (§4 of the paper): the online-and-parallel detector
+//! built on ParaMount, and the offline BFS detector standing in for RV
+//! runtime.
+//!
+//! The detection pipeline mirrors Figure 7:
+//!
+//! ```text
+//! program (paramount-trace) ──► recorder (HB rules, §4.1/§4.4)
+//!        │ events + vector clocks, one at a time
+//!        ▼
+//! online ParaMount (paramount core) ──► bounded enumeration of I(e)
+//!        │ consistent cuts, each exactly once, with their owner event e
+//!        ▼
+//! predicate (this crate) ──► detections (racy variables, witness cuts)
+//! ```
+//!
+//! * [`EventView`] — payload access over either an immutable
+//!   `Poset<TraceEvent>` or the growing `OnlinePoset<TraceEvent>`.
+//! * [`RacePredicate`] — Algorithms 5/6: the new event's accesses against
+//!   the other frontier events' collections, plus an explicit concurrency
+//!   check and the §5.2 initialization-write refinement.
+//! * [`ConjunctivePredicate`] — conjunctions of per-thread local
+//!   predicates (the Garg–Waldecker class), as a second predicate family
+//!   demonstrating that the detector makes no assumption about the
+//!   predicate.
+//! * [`MutexViolationPredicate`] — "two threads inside the same critical
+//!   section at once" over sync-captured traces, a third family.
+//! * [`modality`] — the Cooper–Marzullo `Possibly(φ)` / `Definitely(φ)`
+//!   detection modalities.
+//! * [`linear`] — the Garg–Waldecker polynomial-time algorithm for
+//!   *linear* predicates (the paper's reference [13]): the special-case
+//!   escape hatch that avoids enumeration when the predicate allows it.
+//! * [`ctl`] — branching-time operators (`EF`/`AG`/`EG`/`AF`) over the
+//!   lattice of global states (references [24]/[27]).
+//! * [`online`] — the online-and-parallel detector ("ParaMount" column of
+//!   Table 2), driven by the deterministic simulator or by real threads.
+//! * [`offline`] — the 2-pass offline BFS detector (the "RV runtime"
+//!   column): log the whole execution, then enumerate the full lattice
+//!   with Cooper–Marzullo BFS; exponential intermediate storage, with the
+//!   budget knob that reproduces the paper's `o.o.m.` rows.
+
+mod conjunctive;
+pub mod ctl;
+pub mod linear;
+pub mod modality;
+pub mod mutex;
+pub mod offline;
+pub mod online;
+mod race;
+mod report;
+mod view;
+
+pub use conjunctive::ConjunctivePredicate;
+pub use linear::{find_first_satisfying, ConjunctiveLinear, LinearOutcome, LinearPredicate};
+pub use modality::{definitely, possibly};
+pub use mutex::{MutexViolation, MutexViolationPredicate};
+pub use race::{RaceDetection, RacePredicate};
+pub use report::{DetectorOutcome, RaceDetectionReport};
+pub use view::EventView;
+
+pub use paramount_enumerate::Algorithm;
+pub use paramount_trace::{Program, TraceEvent, VarId};
+
+/// Shared configuration for the detectors.
+#[derive(Clone, Copy, Debug)]
+pub struct DetectorConfig {
+    /// Enumeration worker threads (online detector).
+    pub workers: usize,
+    /// Bounded subroutine (the paper's online detector uses lexical).
+    pub algorithm: Algorithm,
+    /// Apply the §5.2 refinement: initialization writes never race.
+    pub ignore_init_races: bool,
+    /// Frontier budget for stateful enumerators (models the JVM heap cap;
+    /// exceeded ⇒ the detector reports out-of-memory instead of crashing).
+    pub frontier_budget: Option<usize>,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            workers: 4,
+            algorithm: Algorithm::Lexical,
+            ignore_init_races: true,
+            frontier_budget: None,
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The Cooper–Marzullo detection modalities: `Possibly(φ)` and
+//! `Definitely(φ)`.
+//!
+//! The paper's detector answers `Possibly(φ)` — does *some* consistent
+//! cut satisfy the predicate? Cooper and Marzullo's original work [6]
+//! also defined the stronger `Definitely(φ)`: does **every** execution
+//! path (every maximal chain of the cut lattice) pass through a
+//! satisfying cut? A bug that is `Possibly` can be scheduled away; a bug
+//! that is `Definitely` will happen no matter how the scheduler behaves.
+//!
+//! * [`possibly`] — one existential witness, via any enumerator with
+//!   early stop (ParaMount-parallel when called through the detectors).
+//! * [`definitely`] — the classic level-BFS: walk the lattice level by
+//!   level keeping only cuts reachable *without* satisfying φ; if the
+//!   final cut stays reachable, some full schedule avoids φ, so the
+//!   answer is no. `O(n · i(P))` time like the underlying BFS.
+
+use paramount_enumerate::bfs::{self, BfsOptions};
+use paramount_enumerate::{EnumError, FirstMatchSink};
+use paramount_poset::{CutSpace, EventId, Frontier, Tid};
+use paramount_enumerate::fxhash::FxHashSet;
+
+/// Does some consistent cut satisfy `phi`? Returns the first witness
+/// found (in BFS order).
+pub fn possibly<S, F>(space: &S, mut phi: F) -> Option<Frontier>
+where
+    S: CutSpace + ?Sized,
+    F: FnMut(&Frontier) -> bool,
+{
+    let mut sink = FirstMatchSink::new(&mut phi);
+    match bfs::enumerate(space, &BfsOptions::default(), &mut sink) {
+        Err(EnumError::Stopped) => sink.witness,
+        Ok(_) => None,
+        Err(e) => panic!("unbudgeted BFS cannot fail: {e}"),
+    }
+}
+
+/// Does **every** execution path pass through a cut satisfying `phi`?
+///
+/// Implementation: breadth-first over lattice levels, tracking the cuts
+/// reachable along φ-avoiding paths only. `Definitely(φ)` holds iff the
+/// avoiding set dies out before the final cut. (The empty and final cuts
+/// participate like any other cut, as in [6].)
+pub fn definitely<S, F>(space: &S, mut phi: F) -> bool
+where
+    S: CutSpace + ?Sized,
+    F: FnMut(&Frontier) -> bool,
+{
+    let n = space.num_threads();
+    let empty = Frontier::empty(n);
+    let last = space.current_frontier();
+    if phi(&empty) {
+        return true; // every path starts here
+    }
+    let mut level: Vec<Frontier> = vec![empty];
+    let mut next: FxHashSet<Frontier> = FxHashSet::default();
+    while !level.is_empty() {
+        for cut in &level {
+            if cut == &last {
+                // A complete φ-avoiding schedule exists.
+                return false;
+            }
+            for t in Tid::all(n) {
+                let next_index = cut.get(t) + 1;
+                if next_index > last.get(t) {
+                    continue;
+                }
+                let e = EventId::new(t, next_index);
+                if cut.enables(space, e) {
+                    let succ = cut.advanced(t);
+                    if !next.contains(&succ) && !phi(&succ) {
+                        next.insert(succ);
+                    }
+                }
+            }
+        }
+        level.clear();
+        level.extend(next.drain());
+    }
+    true // the avoiding frontier died out: φ is unavoidable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramount_poset::builder::PosetBuilder;
+    use paramount_poset::Poset;
+
+    /// Figure 4's diamond: two threads, cross deps, 7 cuts.
+    fn diamond() -> Poset {
+        let mut b = PosetBuilder::new(2);
+        let a = b.append(Tid(0), ());
+        let bb = b.append(Tid(1), ());
+        b.append_after(Tid(0), &[bb], ());
+        b.append_after(Tid(1), &[a], ());
+        b.finish()
+    }
+
+    #[test]
+    fn possibly_finds_a_witness() {
+        let p = diamond();
+        let witness = possibly(&p, |g| g.as_slice() == [1, 1]);
+        assert_eq!(witness, Some(Frontier::from_counts(vec![1, 1])));
+        assert_eq!(possibly(&p, |g| g.as_slice() == [2, 0]), None, "inconsistent");
+    }
+
+    #[test]
+    fn definitely_through_a_mandatory_cut() {
+        // Every path through the diamond passes {1,1}: after both first
+        // events and before either second (the cross dependencies force
+        // both firsts before either second).
+        let p = diamond();
+        assert!(definitely(&p, |g| g.as_slice() == [1, 1]));
+    }
+
+    #[test]
+    fn possibly_but_not_definitely() {
+        // Two independent events: {1,0} is possible, but the path that
+        // executes t1 first avoids it.
+        let mut b = PosetBuilder::new(2);
+        b.append(Tid(0), ());
+        b.append(Tid(1), ());
+        let p = b.finish();
+        let phi = |g: &Frontier| g.as_slice() == [1, 0];
+        assert!(possibly(&p, phi).is_some());
+        assert!(!definitely(&p, phi));
+    }
+
+    #[test]
+    fn definitely_on_endpoints() {
+        let p = diamond();
+        assert!(definitely(&p, |g| g.total_events() == 0), "empty cut");
+        assert!(definitely(&p, |g| g.total_events() == 4), "final cut");
+        assert!(possibly(&p, |g| g.total_events() == 4).is_some());
+    }
+
+    #[test]
+    fn unsatisfiable_predicate() {
+        let p = diamond();
+        assert!(possibly(&p, |_| false).is_none());
+        assert!(!definitely(&p, |_| false));
+        assert!(definitely(&p, |_| true));
+    }
+
+    #[test]
+    fn definitely_agrees_with_path_oracle_on_random_posets() {
+        use paramount_poset::random::RandomComputation;
+        // Oracle: recursively check that every maximal path hits φ.
+        fn all_paths_hit<S: CutSpace>(
+            space: &S,
+            cut: &Frontier,
+            last: &Frontier,
+            phi: &impl Fn(&Frontier) -> bool,
+        ) -> bool {
+            if phi(cut) {
+                return true;
+            }
+            if cut == last {
+                return false;
+            }
+            let n = space.num_threads();
+            for t in Tid::all(n) {
+                let k = cut.get(t) + 1;
+                if k <= last.get(t) {
+                    let e = EventId::new(t, k);
+                    if cut.enables(space, e) && !all_paths_hit(space, &cut.advanced(t), last, phi)
+                    {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+        for seed in 0..12 {
+            let p = RandomComputation::new(3, 3, 0.4, seed).generate();
+            let last = p.final_frontier();
+            // A few predicate shapes.
+            let preds: Vec<Box<dyn Fn(&Frontier) -> bool>> = vec![
+                Box::new(|g: &Frontier| g.total_events() == 3),
+                Box::new(|g: &Frontier| g.get(Tid(0)) == 2),
+                Box::new(|g: &Frontier| g.get(Tid(0)) == 1 && g.get(Tid(1)) == 0),
+            ];
+            for (i, phi) in preds.iter().enumerate() {
+                let fast = definitely(&p, |g| phi(g));
+                let slow = all_paths_hit(&p, &Frontier::empty(3), &last, &|g| phi(g));
+                assert_eq!(fast, slow, "seed {seed} pred {i}");
+            }
+        }
+    }
+}

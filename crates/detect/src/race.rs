@@ -1,0 +1,310 @@
+//! The data-race predicate — Algorithms 5 and 6 of the paper.
+
+use crate::EventView;
+use paramount_poset::{EventId, Frontier, Tid};
+use paramount_trace::{TraceEvent, VarId};
+use parking_lot::Mutex;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One detected race: a pair of conflicting, concurrent frontier accesses
+/// and the consistent cut that witnessed them.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RaceDetection {
+    /// The racy variable.
+    pub var: VarId,
+    /// The interval-owning event whose access completed the pair.
+    pub event: EventId,
+    /// The other thread's frontier event.
+    pub other: EventId,
+    /// The witnessing consistent global state.
+    pub cut: Frontier,
+}
+
+/// The race predicate of Algorithm 6 (event-collection form), evaluated on
+/// every enumerated consistent cut.
+///
+/// For a cut `G` in interval `I(e)`: each access of `e`'s collection is
+/// checked against the collections of the other threads' frontier events.
+/// Two refinements over the paper's pseudocode:
+///
+/// * an explicit **concurrency check** between `e` and the frontier event
+///   (O(1) from the vector clocks). Algorithm 6 relies on captured access
+///   events never being directly ordered, but transitive ordering through
+///   uncaptured synchronization *can* put two ordered collections on one
+///   frontier — without the check those would be false positives;
+/// * the **§5.2 initialization rule**: a conflict involving a variable's
+///   globally first write is not a race (no other thread can hold a
+///   reference yet). This is exactly the case that makes FastTrack report
+///   the benign race in `set (correct)` while this detector stays silent.
+///
+/// Completeness: for any concurrent conflicting pair `(a, b)`, the cut
+/// `join(Gmin(a), Gmin(b))` is consistent, has both events on its
+/// frontier, and lies in the interval of the `→p`-later of the two — so
+/// the pair is examined at least once (with `e` = that later event).
+///
+/// The predicate is shared by all enumeration workers: per-variable
+/// "already found" flags are lock-free, full detections go behind a mutex
+/// (first hit per variable only).
+pub struct RacePredicate {
+    ignore_init: bool,
+    found: Vec<AtomicBool>,
+    detections: Mutex<Vec<RaceDetection>>,
+}
+
+impl RacePredicate {
+    /// A predicate over `num_vars` monitored variables.
+    pub fn new(num_vars: usize, ignore_init: bool) -> Self {
+        RacePredicate {
+            ignore_init,
+            found: (0..num_vars).map(|_| AtomicBool::new(false)).collect(),
+            detections: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Algorithm 6: evaluate on cut `G` of interval `I(owner)`.
+    pub fn evaluate(
+        &self,
+        view: &(impl EventView + ?Sized),
+        cut: &Frontier,
+        owner: EventId,
+    ) -> ControlFlow<()> {
+        // The empty cut is reported with the first event as owner but
+        // contains no frontier events to compare.
+        if cut.get(owner.tid) == 0 {
+            return ControlFlow::Continue(());
+        }
+        let TraceEvent::Accesses(own) = view.payload(owner) else {
+            return ControlFlow::Continue(());
+        };
+        for i in 0..view.num_threads() {
+            let ti = Tid::from(i);
+            if ti == owner.tid || cut.get(ti) == 0 {
+                continue;
+            }
+            let frontier_event = EventId::new(ti, cut.get(ti));
+            // Only *concurrent* frontier events can race (see type docs).
+            if !view.concurrent(owner, frontier_event) {
+                continue;
+            }
+            let TraceEvent::Accesses(other) = view.payload(frontier_event) else {
+                continue;
+            };
+            for a in own.accesses() {
+                for b in other.accesses() {
+                    if !a.conflicts_with(b) {
+                        continue;
+                    }
+                    if self.ignore_init && (a.init || b.init) {
+                        continue;
+                    }
+                    self.record(RaceDetection {
+                        var: a.var,
+                        event: owner,
+                        other: frontier_event,
+                        cut: cut.clone(),
+                    });
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Figure 3's all-pairs form, used by the BFS (RV-analog) detector
+    /// which enumerates cuts without interval owners: every pair of
+    /// frontier events is checked.
+    pub fn evaluate_all_pairs(
+        &self,
+        view: &(impl EventView + ?Sized),
+        cut: &Frontier,
+    ) -> ControlFlow<()> {
+        let n = view.num_threads();
+        for i in 0..n {
+            let ti = Tid::from(i);
+            if cut.get(ti) == 0 {
+                continue;
+            }
+            let ei = EventId::new(ti, cut.get(ti));
+            let TraceEvent::Accesses(ci) = view.payload(ei) else {
+                continue;
+            };
+            for j in (i + 1)..n {
+                let tj = Tid::from(j);
+                if cut.get(tj) == 0 {
+                    continue;
+                }
+                let ej = EventId::new(tj, cut.get(tj));
+                if !view.concurrent(ei, ej) {
+                    continue;
+                }
+                let TraceEvent::Accesses(cj) = view.payload(ej) else {
+                    continue;
+                };
+                for a in ci.accesses() {
+                    for b in cj.accesses() {
+                        if !a.conflicts_with(b) {
+                            continue;
+                        }
+                        if self.ignore_init && (a.init || b.init) {
+                            continue;
+                        }
+                        self.record(RaceDetection {
+                            var: a.var,
+                            event: ei,
+                            other: ej,
+                            cut: cut.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn record(&self, detection: RaceDetection) {
+        let var = detection.var;
+        // Lock-free first-hit filter; only the winning thread takes the
+        // mutex, so the hot path never contends once a variable is known
+        // racy.
+        if !self.found[var.index()].swap(true, Ordering::Relaxed) {
+            self.detections.lock().push(detection);
+        }
+    }
+
+    /// Distinct racy variables, sorted — the number Table 2 reports.
+    pub fn racy_vars(&self) -> Vec<VarId> {
+        let mut v: Vec<VarId> = self
+            .detections
+            .lock()
+            .iter()
+            .map(|d| d.var)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The first detection per racy variable.
+    pub fn detections(&self) -> Vec<RaceDetection> {
+        self.detections.lock().clone()
+    }
+
+    /// Number of racy variables found so far.
+    pub fn count(&self) -> usize {
+        self.detections.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramount_poset::builder::PosetBuilder;
+    use paramount_poset::Poset;
+    use paramount_trace::{Access, EventCollection};
+
+    fn ev(accesses: &[Access]) -> TraceEvent {
+        let mut ec = EventCollection::new();
+        for &a in accesses {
+            ec.record(a);
+        }
+        TraceEvent::Accesses(ec)
+    }
+
+    /// Two threads, each one collection writing x; concurrent.
+    fn racy_poset() -> Poset<TraceEvent> {
+        let mut b = PosetBuilder::new(2);
+        b.append(Tid(0), ev(&[Access::write(VarId(0))]));
+        b.append(Tid(1), ev(&[Access::write(VarId(0))]));
+        b.finish()
+    }
+
+    #[test]
+    fn concurrent_conflicting_frontier_is_a_race() {
+        let p = racy_poset();
+        let pred = RacePredicate::new(1, true);
+        let cut = Frontier::from_counts(vec![1, 1]);
+        let owner = EventId::new(Tid(1), 1);
+        let _ = pred.evaluate(&p, &cut, owner);
+        assert_eq!(pred.racy_vars(), vec![VarId(0)]);
+        let d = &pred.detections()[0];
+        assert_eq!(d.event, owner);
+        assert_eq!(d.other, EventId::new(Tid(0), 1));
+    }
+
+    #[test]
+    fn ordered_frontier_events_do_not_race() {
+        // e0 → e1 through an (uncaptured) sync: both on one frontier, but
+        // ordered — the concurrency check must suppress the report.
+        let mut b = PosetBuilder::new(2);
+        let a = b.append(Tid(0), ev(&[Access::write(VarId(0))]));
+        b.append_after(Tid(1), &[a], ev(&[Access::write(VarId(0))]));
+        let p = b.finish();
+        let pred = RacePredicate::new(1, true);
+        let cut = Frontier::from_counts(vec![1, 1]);
+        let _ = pred.evaluate(&p, &cut, EventId::new(Tid(1), 1));
+        assert!(pred.racy_vars().is_empty());
+    }
+
+    #[test]
+    fn init_write_rule() {
+        let mut b = PosetBuilder::new(2);
+        b.append(Tid(0), ev(&[Access::init_write(VarId(0))]));
+        b.append(Tid(1), ev(&[Access::read(VarId(0))]));
+        let p = b.finish();
+        let cut = Frontier::from_counts(vec![1, 1]);
+
+        let strict = RacePredicate::new(1, false);
+        let _ = strict.evaluate(&p, &cut, EventId::new(Tid(1), 1));
+        assert_eq!(strict.count(), 1, "without the rule this is a race");
+
+        let refined = RacePredicate::new(1, true);
+        let _ = refined.evaluate(&p, &cut, EventId::new(Tid(1), 1));
+        assert_eq!(refined.count(), 0, "§5.2 suppresses init races");
+    }
+
+    #[test]
+    fn read_read_is_not_a_conflict() {
+        let mut b = PosetBuilder::new(2);
+        b.append(Tid(0), ev(&[Access::read(VarId(0))]));
+        b.append(Tid(1), ev(&[Access::read(VarId(0))]));
+        let p = b.finish();
+        let pred = RacePredicate::new(1, true);
+        let _ = pred.evaluate(
+            &p,
+            &Frontier::from_counts(vec![1, 1]),
+            EventId::new(Tid(1), 1),
+        );
+        assert_eq!(pred.count(), 0);
+    }
+
+    #[test]
+    fn all_pairs_form_agrees() {
+        let p = racy_poset();
+        let pred = RacePredicate::new(1, true);
+        let _ = pred.evaluate_all_pairs(&p, &Frontier::from_counts(vec![1, 1]));
+        assert_eq!(pred.racy_vars(), vec![VarId(0)]);
+    }
+
+    #[test]
+    fn one_detection_per_variable() {
+        let p = racy_poset();
+        let pred = RacePredicate::new(1, true);
+        let cut = Frontier::from_counts(vec![1, 1]);
+        for _ in 0..10 {
+            let _ = pred.evaluate(&p, &cut, EventId::new(Tid(1), 1));
+        }
+        assert_eq!(pred.detections().len(), 1);
+    }
+
+    #[test]
+    fn empty_cut_with_owner_is_ignored() {
+        let p = racy_poset();
+        let pred = RacePredicate::new(1, true);
+        let _ = pred.evaluate(
+            &p,
+            &Frontier::from_counts(vec![0, 0]),
+            EventId::new(Tid(0), 1),
+        );
+        assert_eq!(pred.count(), 0);
+    }
+}

@@ -1,0 +1,67 @@
+use crate::RaceDetection;
+use paramount_trace::VarId;
+use std::time::Duration;
+
+/// How a detection run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DetectorOutcome {
+    /// Ran to completion over every global state.
+    Completed,
+    /// The enumerator exhausted its memory budget — the reproduction of
+    /// the paper's `o.o.m.` entries (RV runtime on `raytracer`).
+    OutOfMemory {
+        /// Live frontiers when the budget tripped.
+        live_frontiers: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+}
+
+impl DetectorOutcome {
+    /// Did the run finish?
+    pub fn completed(&self) -> bool {
+        matches!(self, DetectorOutcome::Completed)
+    }
+}
+
+/// The result of one race-detection run (one Table 2 cell).
+#[derive(Clone, Debug)]
+pub struct RaceDetectionReport {
+    /// Detector label ("ParaMount", "BFS-offline", …) for table output.
+    pub detector: &'static str,
+    /// Distinct variables with at least one detected race, sorted.
+    pub racy_vars: Vec<VarId>,
+    /// First detection per racy variable.
+    pub detections: Vec<RaceDetection>,
+    /// Consistent cuts enumerated.
+    pub cuts: u64,
+    /// Captured poset events.
+    pub events: u64,
+    /// Wall-clock time of the whole run (capture + enumeration +
+    /// predicate).
+    pub wall: Duration,
+    /// Completion status.
+    pub outcome: DetectorOutcome,
+}
+
+impl RaceDetectionReport {
+    /// Number of racy variables (the paper's "# Detection" column).
+    pub fn num_detections(&self) -> usize {
+        self.racy_vars.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(DetectorOutcome::Completed.completed());
+        assert!(!DetectorOutcome::OutOfMemory {
+            live_frontiers: 10,
+            budget: 5
+        }
+        .completed());
+    }
+}

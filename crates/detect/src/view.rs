@@ -1,0 +1,100 @@
+use paramount::OnlinePoset;
+use paramount_poset::{CutSpace, EventId, Poset};
+use paramount_trace::TraceEvent;
+use paramount_vclock::VectorClock;
+
+/// Payload-aware view of an observed execution.
+///
+/// Predicates need what [`CutSpace`] deliberately omits: the event
+/// payloads (which variables a frontier event touched). Both the frozen
+/// offline poset and the still-growing online poset provide it.
+pub trait EventView: Send + Sync {
+    /// Number of observed threads.
+    fn num_threads(&self) -> usize;
+
+    /// Payload of a (published) event.
+    fn payload(&self, id: EventId) -> &TraceEvent;
+
+    /// Vector clock of a (published) event.
+    fn vc(&self, id: EventId) -> &VectorClock;
+
+    /// Are the two events causally unordered?
+    ///
+    /// O(1): `a → b` iff `a.index ≤ b.vc[a.tid]` — two component lookups
+    /// decide both directions.
+    fn concurrent(&self, a: EventId, b: EventId) -> bool {
+        if a == b {
+            return false;
+        }
+        let a_before_b = a.index <= self.vc(b).get(a.tid);
+        let b_before_a = b.index <= self.vc(a).get(b.tid);
+        !a_before_b && !b_before_a
+    }
+}
+
+impl EventView for Poset<TraceEvent> {
+    fn num_threads(&self) -> usize {
+        CutSpace::num_threads(self)
+    }
+
+    fn payload(&self, id: EventId) -> &TraceEvent {
+        Poset::payload(self, id)
+    }
+
+    fn vc(&self, id: EventId) -> &VectorClock {
+        Poset::vc(self, id)
+    }
+}
+
+impl EventView for OnlinePoset<TraceEvent> {
+    fn num_threads(&self) -> usize {
+        CutSpace::num_threads(self)
+    }
+
+    fn payload(&self, id: EventId) -> &TraceEvent {
+        &self.event(id).payload
+    }
+
+    fn vc(&self, id: EventId) -> &VectorClock {
+        CutSpace::vc(self, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramount_poset::builder::PosetBuilder;
+    use paramount_poset::Tid;
+    use paramount_trace::{Access, EventCollection, TraceEvent};
+
+    fn collection(accesses: &[Access]) -> TraceEvent {
+        let mut ec = EventCollection::new();
+        for &a in accesses {
+            ec.record(a);
+        }
+        TraceEvent::Accesses(ec)
+    }
+
+    #[test]
+    fn poset_view_round_trip() {
+        let mut b = PosetBuilder::new(2);
+        let a = b.append(Tid(0), collection(&[Access::write(paramount_trace::VarId(0))]));
+        let c = b.append_after(Tid(1), &[a], collection(&[]));
+        let p = b.finish();
+        let view: &dyn EventView = &p;
+        assert_eq!(view.num_threads(), 2);
+        assert!(matches!(view.payload(a), TraceEvent::Accesses(_)));
+        assert!(!view.concurrent(a, c));
+        assert!(!view.concurrent(a, a));
+    }
+
+    #[test]
+    fn online_view_round_trip() {
+        let p: OnlinePoset<TraceEvent> = OnlinePoset::new(2);
+        let (a, _) = p.insert_after(Tid(0), &[], collection(&[]));
+        let (b, _) = p.insert_after(Tid(1), &[], collection(&[]));
+        let view: &dyn EventView = &p;
+        assert!(view.concurrent(a, b));
+        assert_eq!(view.vc(a).as_slice(), &[1, 0]);
+    }
+}

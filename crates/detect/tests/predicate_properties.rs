@@ -1,0 +1,138 @@
+//! Property tests for the race predicate: on randomly generated posets
+//! with random access collections, the owner-based evaluation over the
+//! interval partition finds exactly the pairwise oracle's racy variables.
+
+use paramount_detect::RacePredicate;
+use paramount_poset::builder::PosetBuilder;
+use paramount_poset::{oracle, topo, CutSpace, EventId, Poset, Tid};
+use paramount_trace::{Access, EventCollection, TraceEvent, VarId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct SyntheticTrace {
+    n: usize,
+    /// Per thread: events, each a set of (var, is_write, init) plus
+    /// optional dependency on (thread, index).
+    events: Vec<Vec<(Vec<(u8, bool, bool)>, Option<(usize, u32)>)>>,
+}
+
+fn arb_trace() -> impl Strategy<Value = SyntheticTrace> {
+    let access = (0u8..3, any::<bool>(), prop::bool::weighted(0.15));
+    let event = (
+        prop::collection::vec(access, 1..3),
+        prop::option::weighted(0.3, (0usize..3, 1u32..3)),
+    );
+    let thread = prop::collection::vec(event, 1..4);
+    prop::collection::vec(thread, 2..4).prop_map(|events| SyntheticTrace {
+        n: events.len(),
+        events,
+    })
+}
+
+fn build(trace: &SyntheticTrace) -> Poset<TraceEvent> {
+    let mut b = PosetBuilder::new(trace.n);
+    // Build thread-by-thread round-robin so forward deps usually exist;
+    // nonexistent deps are dropped.
+    let max_len = trace.events.iter().map(Vec::len).max().unwrap_or(0);
+    for round in 0..max_len {
+        for (t, thread_events) in trace.events.iter().enumerate() {
+            if let Some((accesses, dep)) = thread_events.get(round) {
+                let mut ec = EventCollection::new();
+                for &(var, write, init) in accesses {
+                    let access = match (write, init) {
+                        (true, true) => Access::init_write(VarId(var as u32)),
+                        (true, false) => Access::write(VarId(var as u32)),
+                        (false, _) => Access::read(VarId(var as u32)),
+                    };
+                    ec.record(access);
+                }
+                let deps: Vec<EventId> = dep
+                    .and_then(|(dt, di)| {
+                        // The dependency must already be appended: by the
+                        // start of round `round`, thread `dt` has appended
+                        // min(round, its length) events.
+                        let appended = round.min(trace.events.get(dt)?.len());
+                        if dt != t && dt < trace.n && (di as usize) <= appended {
+                            Some(EventId::new(Tid::from(dt), di))
+                        } else {
+                            None
+                        }
+                    })
+                    .into_iter()
+                    .collect();
+                b.append_after(Tid::from(t), &deps, TraceEvent::Accesses(ec));
+            }
+        }
+    }
+    b.finish()
+}
+
+/// Pairwise oracle: racy vars = conflicting accesses on concurrent events.
+fn oracle_vars(poset: &Poset<TraceEvent>, ignore_init: bool) -> Vec<VarId> {
+    let ids: Vec<EventId> = poset.events().map(|e| e.id).collect();
+    let mut racy = Vec::new();
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            if a.tid == b.tid || !poset.concurrent(a, b) {
+                continue;
+            }
+            let (Some(ca), Some(cb)) =
+                (poset.payload(a).collection(), poset.payload(b).collection())
+            else {
+                continue;
+            };
+            for x in ca.accesses() {
+                for y in cb.accesses() {
+                    if x.conflicts_with(y) && !(ignore_init && (x.init || y.init)) {
+                        racy.push(x.var);
+                    }
+                }
+            }
+        }
+    }
+    racy.sort_unstable();
+    racy.dedup();
+    racy
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Owner-based evaluation over the canonical interval partition
+    /// equals the pairwise oracle, in both init modes.
+    #[test]
+    fn partitioned_race_predicate_equals_oracle(trace in arb_trace()) {
+        let poset = build(&trace);
+        let order = topo::weight_order(&poset);
+        let intervals = paramount::partition(&poset, &order);
+        for ignore_init in [false, true] {
+            let predicate = RacePredicate::new(4, ignore_init);
+            for iv in &intervals {
+                let mut bridge = |cut: &paramount_poset::Frontier| {
+                    predicate.evaluate(&poset, cut, iv.event)
+                };
+                iv.enumerate(&poset, paramount::Algorithm::Lexical, &mut bridge)
+                    .unwrap();
+            }
+            prop_assert_eq!(
+                predicate.racy_vars(),
+                oracle_vars(&poset, ignore_init),
+                "ignore_init={}", ignore_init
+            );
+        }
+    }
+
+    /// The all-pairs (Figure 3 / RV) form over the full lattice agrees
+    /// with the owner-based form.
+    #[test]
+    fn all_pairs_equals_owner_form(trace in arb_trace()) {
+        let poset = build(&trace);
+        prop_assume!(CutSpace::num_threads(&poset) <= 3);
+        let all_cuts = oracle::enumerate_product_scan(&poset);
+        let all_pairs = RacePredicate::new(4, true);
+        for cut in &all_cuts {
+            let _ = all_pairs.evaluate_all_pairs(&poset, cut);
+        }
+        prop_assert_eq!(all_pairs.racy_vars(), oracle_vars(&poset, true));
+    }
+}

@@ -1,0 +1,234 @@
+//! Cooper–Marzullo breadth-first enumeration (exactly-once variant).
+//!
+//! The original 1991 algorithm explores the lattice of consistent cuts
+//! level by level, where level `ℓ` holds the cuts containing exactly `ℓ`
+//! events. Successors of a cut are obtained by executing one enabled event.
+//! Because a cut with `ℓ` events is only ever generated from cuts with
+//! `ℓ−1` events, deduplicating *within a level* suffices to emit every cut
+//! exactly once — the enhancement (via [12]) the paper applies for its
+//! evaluation, and the one implemented here.
+//!
+//! The cost profile that drives the paper's experiments is the live state:
+//! two adjacent levels of the lattice are in memory at once, which grows
+//! exponentially with the number of threads on wide posets. The
+//! [`BfsOptions::frontier_budget`] knob caps that storage and reports
+//! [`EnumError::OutOfBudget`] when exceeded — reproducing the paper's
+//! `o.o.m.` rows without actually exhausting the machine.
+
+use crate::{debug_check_interval, CutSink, EnumError, EnumStats};
+use paramount_poset::{CutSpace, EventId, Frontier, Tid};
+use crate::fxhash::FxHashSet;
+
+/// Tuning for the BFS enumerator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BfsOptions {
+    /// Maximum number of frontiers the algorithm may hold live at once
+    /// (current level + next level). `None` = unbounded. The paper's JVM
+    /// ran with a 2 GB heap; the `table1` harness converts a byte budget
+    /// into a frontier count via `n * 4` bytes per frontier.
+    pub frontier_budget: Option<usize>,
+}
+
+/// Enumerates every consistent cut of `poset`, breadth-first from the
+/// empty cut.
+pub fn enumerate<Sp: CutSpace + ?Sized, S: CutSink>(
+    poset: &Sp,
+    options: &BfsOptions,
+    sink: &mut S,
+) -> Result<EnumStats, EnumError> {
+    let empty = Frontier::empty(poset.num_threads());
+    let last = poset.current_frontier();
+    enumerate_bounded(poset, &empty, &last, options, sink)
+}
+
+/// Enumerates every consistent cut `G` with `gmin ≤ G ≤ gbnd`, breadth-first
+/// from `gmin` — the bounded subroutine form of ParaMount (the paper's
+/// "B-Para" configuration).
+pub fn enumerate_bounded<Sp: CutSpace + ?Sized, S: CutSink>(
+    poset: &Sp,
+    gmin: &Frontier,
+    gbnd: &Frontier,
+    options: &BfsOptions,
+    sink: &mut S,
+) -> Result<EnumStats, EnumError> {
+    debug_check_interval(poset, gmin, gbnd);
+    let n = poset.num_threads();
+    let mut stats = EnumStats::default();
+
+    let mut level: Vec<Frontier> = vec![gmin.clone()];
+    let mut next: FxHashSet<Frontier> = FxHashSet::default();
+
+    while !level.is_empty() {
+        for cut in &level {
+            stats.cuts += 1;
+            if sink.visit(cut).is_break() {
+                return Err(EnumError::Stopped);
+            }
+            for t in Tid::all(n) {
+                let next_index = cut.get(t) + 1;
+                if next_index > gbnd.get(t) {
+                    continue; // would leave the interval
+                }
+                let e = EventId::new(t, next_index);
+                if cut.enables(poset, e) {
+                    next.insert(cut.advanced(t));
+                }
+            }
+        }
+        let live = level.len() + next.len();
+        stats.peak_frontiers = stats.peak_frontiers.max(live);
+        if let Some(budget) = options.frontier_budget {
+            if live > budget {
+                return Err(EnumError::OutOfBudget {
+                    live_frontiers: live,
+                    budget,
+                });
+            }
+        }
+        level.clear();
+        level.extend(next.drain());
+        // Emission order within a level is unspecified (hash order): a
+        // sort here would dominate the runtime on million-wide levels.
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CollectSink;
+    use paramount_poset::builder::PosetBuilder;
+    use paramount_poset::Poset;
+    use paramount_poset::oracle;
+    use paramount_poset::random::RandomComputation;
+
+    fn figure4() -> Poset {
+        let mut b = PosetBuilder::new(2);
+        let a = b.append(Tid(0), ());
+        let bb = b.append(Tid(1), ());
+        b.append_after(Tid(0), &[bb], ());
+        b.append_after(Tid(1), &[a], ());
+        b.finish()
+    }
+
+    #[test]
+    fn full_bfs_matches_oracle_on_figure4() {
+        let p = figure4();
+        let mut sink = CollectSink::default();
+        let stats = enumerate(&p, &BfsOptions::default(), &mut sink).unwrap();
+        assert_eq!(stats.cuts, 7);
+        assert_eq!(
+            oracle::canonicalize(sink.cuts),
+            oracle::enumerate_product_scan(&p)
+        );
+    }
+
+    #[test]
+    fn bfs_emits_in_level_order() {
+        let p = figure4();
+        let mut sink = CollectSink::default();
+        enumerate(&p, &BfsOptions::default(), &mut sink).unwrap();
+        let sizes: Vec<u64> = sink.cuts.iter().map(Frontier::total_events).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted, "BFS must emit by level (cut size)");
+    }
+
+    #[test]
+    fn exactly_once_on_random_posets() {
+        for seed in 0..25 {
+            let p = RandomComputation::new(4, 4, 0.4, seed).generate();
+            let mut sink = CollectSink::default();
+            enumerate(&p, &BfsOptions::default(), &mut sink).unwrap();
+            let total = sink.cuts.len();
+            let unique: std::collections::HashSet<_> = sink.cuts.iter().cloned().collect();
+            assert_eq!(total, unique.len(), "duplicate cut emitted, seed {seed}");
+            assert_eq!(total as u64, oracle::count_ideals(&p), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bounded_bfs_enumerates_exactly_the_interval() {
+        let p = figure4();
+        // Interval of e2[1] under the order e1[1] →p e2[1] →p e1[2] →p e2[2]:
+        // gmin = {0,1}, gbnd = {1,1} (Figure 6(b)); contents {0,1} and {1,1}.
+        let gmin = Frontier::from_counts(vec![0, 1]);
+        let gbnd = Frontier::from_counts(vec![1, 1]);
+        let mut sink = CollectSink::default();
+        enumerate_bounded(&p, &gmin, &gbnd, &BfsOptions::default(), &mut sink).unwrap();
+        assert_eq!(
+            oracle::canonicalize(sink.cuts),
+            vec![
+                Frontier::from_counts(vec![0, 1]),
+                Frontier::from_counts(vec![1, 1])
+            ]
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_out_of_budget() {
+        // Ten independent threads of 1 event each: the middle BFS levels
+        // hold C(10, 5) = 252 cuts.
+        let mut b = PosetBuilder::new(10);
+        for t in Tid::all(10) {
+            b.append(t, ());
+        }
+        let p = b.finish();
+        let mut sink = CollectSink::default();
+        let err = enumerate(
+            &p,
+            &BfsOptions {
+                frontier_budget: Some(50),
+            },
+            &mut sink,
+        )
+        .unwrap_err();
+        match err {
+            EnumError::OutOfBudget { live_frontiers, budget } => {
+                assert!(live_frontiers > 50);
+                assert_eq!(budget, 50);
+            }
+            other => panic!("expected OutOfBudget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_large_enough_succeeds() {
+        let mut b = PosetBuilder::new(3);
+        for t in Tid::all(3) {
+            b.append(t, ());
+        }
+        let p = b.finish();
+        let mut sink = CollectSink::default();
+        let stats = enumerate(
+            &p,
+            &BfsOptions {
+                frontier_budget: Some(1000),
+            },
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(stats.cuts, 8);
+        assert!(stats.peak_frontiers <= 1000);
+    }
+
+    #[test]
+    fn early_stop_propagates() {
+        let p = figure4();
+        let mut sink = crate::FirstMatchSink::new(|c: &Frontier| c.total_events() == 2);
+        let err = enumerate(&p, &BfsOptions::default(), &mut sink).unwrap_err();
+        assert_eq!(err, EnumError::Stopped);
+        assert!(sink.witness.is_some());
+    }
+
+    #[test]
+    fn degenerate_interval_is_a_single_cut() {
+        let p = figure4();
+        let g = Frontier::from_counts(vec![1, 1]);
+        let mut sink = CollectSink::default();
+        let stats =
+            enumerate_bounded(&p, &g, &g, &BfsOptions::default(), &mut sink).unwrap();
+        assert_eq!(stats.cuts, 1);
+        assert_eq!(sink.cuts, vec![g]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Depth-first enumeration with a visited set.
+//!
+//! An extra sequential baseline beyond the two the paper evaluates: same
+//! exactly-once guarantee as the enhanced BFS, same worst-case space (the
+//! visited set holds every cut of the interval), but a stack instead of a
+//! level queue. Included because its traversal order stresses the bounded
+//! subroutine contract differently in tests, and because its visited-set
+//! growth makes a useful ablation against BFS's level storage in the
+//! memory benchmarks.
+
+use crate::{debug_check_interval, CutSink, EnumError, EnumStats};
+use paramount_poset::{CutSpace, EventId, Frontier, Tid};
+use crate::fxhash::FxHashSet;
+
+/// Tuning for the DFS enumerator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DfsOptions {
+    /// Cap on visited-set size (`None` = unbounded); exceeded ⇒
+    /// [`EnumError::OutOfBudget`].
+    pub frontier_budget: Option<usize>,
+}
+
+/// Enumerates every consistent cut of `poset`, depth-first from the empty
+/// cut. Emission order is DFS discovery order.
+pub fn enumerate<Sp: CutSpace + ?Sized, S: CutSink>(
+    poset: &Sp,
+    options: &DfsOptions,
+    sink: &mut S,
+) -> Result<EnumStats, EnumError> {
+    let empty = Frontier::empty(poset.num_threads());
+    let last = poset.current_frontier();
+    enumerate_bounded(poset, &empty, &last, options, sink)
+}
+
+/// Enumerates every consistent cut in `[gmin, gbnd]`, depth-first from
+/// `gmin`.
+pub fn enumerate_bounded<Sp: CutSpace + ?Sized, S: CutSink>(
+    poset: &Sp,
+    gmin: &Frontier,
+    gbnd: &Frontier,
+    options: &DfsOptions,
+    sink: &mut S,
+) -> Result<EnumStats, EnumError> {
+    debug_check_interval(poset, gmin, gbnd);
+    let n = poset.num_threads();
+    let mut stats = EnumStats::default();
+
+    let mut visited: FxHashSet<Frontier> = FxHashSet::default();
+    let mut stack: Vec<Frontier> = vec![gmin.clone()];
+    visited.insert(gmin.clone());
+
+    while let Some(cut) = stack.pop() {
+        stats.cuts += 1;
+        if sink.visit(&cut).is_break() {
+            return Err(EnumError::Stopped);
+        }
+        for t in Tid::all(n) {
+            let next_index = cut.get(t) + 1;
+            if next_index > gbnd.get(t) {
+                continue;
+            }
+            let e = EventId::new(t, next_index);
+            if cut.enables(poset, e) {
+                let succ = cut.advanced(t);
+                if visited.insert(succ.clone()) {
+                    stack.push(succ);
+                }
+            }
+        }
+        let live = visited.len() + stack.len();
+        stats.peak_frontiers = stats.peak_frontiers.max(live);
+        if let Some(budget) = options.frontier_budget {
+            if live > budget {
+                return Err(EnumError::OutOfBudget {
+                    live_frontiers: live,
+                    budget,
+                });
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CollectSink;
+    use paramount_poset::builder::PosetBuilder;
+    use paramount_poset::Poset;
+    use paramount_poset::oracle;
+    use paramount_poset::random::RandomComputation;
+
+    fn figure4() -> Poset {
+        let mut b = PosetBuilder::new(2);
+        let a = b.append(Tid(0), ());
+        let bb = b.append(Tid(1), ());
+        b.append_after(Tid(0), &[bb], ());
+        b.append_after(Tid(1), &[a], ());
+        b.finish()
+    }
+
+    #[test]
+    fn full_dfs_matches_oracle() {
+        let p = figure4();
+        let mut sink = CollectSink::default();
+        let stats = enumerate(&p, &DfsOptions::default(), &mut sink).unwrap();
+        assert_eq!(stats.cuts, 7);
+        assert_eq!(
+            oracle::canonicalize(sink.cuts),
+            oracle::enumerate_product_scan(&p)
+        );
+    }
+
+    #[test]
+    fn dfs_agrees_with_bfs_on_random_posets() {
+        for seed in 0..25 {
+            let p = RandomComputation::new(4, 4, 0.4, seed).generate();
+            let mut dfs_sink = CollectSink::default();
+            enumerate(&p, &DfsOptions::default(), &mut dfs_sink).unwrap();
+            let mut bfs_sink = CollectSink::default();
+            crate::bfs::enumerate(&p, &crate::bfs::BfsOptions::default(), &mut bfs_sink)
+                .unwrap();
+            assert_eq!(
+                oracle::canonicalize(dfs_sink.cuts),
+                oracle::canonicalize(bfs_sink.cuts),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_dfs_respects_interval() {
+        let p = figure4();
+        let gmin = Frontier::from_counts(vec![2, 1]); // Gmin(e1[2]) = vc [2,1]
+        let gbnd = Frontier::from_counts(vec![2, 1]); // Gbnd(e1[2]) per Fig. 6(c)
+        let mut sink = CollectSink::default();
+        enumerate_bounded(&p, &gmin, &gbnd, &DfsOptions::default(), &mut sink).unwrap();
+        assert_eq!(sink.cuts, vec![gmin]);
+    }
+
+    #[test]
+    fn budget_applies_to_visited_set() {
+        let mut b = PosetBuilder::new(8);
+        for t in Tid::all(8) {
+            b.append(t, ());
+        }
+        let p = b.finish();
+        let mut sink = CollectSink::default();
+        let err = enumerate(
+            &p,
+            &DfsOptions {
+                frontier_budget: Some(10),
+            },
+            &mut sink,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EnumError::OutOfBudget { .. }));
+    }
+
+    #[test]
+    fn early_stop_propagates() {
+        let p = figure4();
+        let mut sink = crate::FirstMatchSink::new(|c: &Frontier| c.total_events() >= 3);
+        assert_eq!(
+            enumerate(&p, &DfsOptions::default(), &mut sink).unwrap_err(),
+            EnumError::Stopped
+        );
+    }
+}

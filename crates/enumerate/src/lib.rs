@@ -1,0 +1,151 @@
+#![warn(missing_docs)]
+//! Sequential global-state enumeration algorithms and their *bounded*
+//! variants.
+//!
+//! These are the algorithms ParaMount builds on and is evaluated against
+//! (§3.2 and §5.1 of the paper):
+//!
+//! * [`bfs`] — Cooper & Marzullo's breadth-first enumeration, enhanced (as
+//!   in the paper's evaluation) to emit every cut exactly once. Its
+//!   defining cost is the *intermediate state set*: one full level of the
+//!   lattice kept live, exponential in the number of threads in the worst
+//!   case. An optional memory budget turns exhaustion into a reported
+//!   [`EnumError::OutOfBudget`] — the reproduction of the paper's `o.o.m.`
+//!   rows.
+//! * [`dfs`] — depth-first enumeration with a visited set; same worst-case
+//!   space, different traversal order. Included as an extra baseline.
+//! * [`lexical`] — the Ganter/Garg lexical ("next-closure") algorithm
+//!   (the paper's Algorithm 2 when bounded): **stateless**, `O(n²)` work
+//!   per cut, `O(n)` live memory.
+//!
+//! Every algorithm exists in two forms: full enumeration of the whole
+//! lattice, and a bounded form that enumerates exactly the interval
+//! `{ G consistent | gmin ≤ G ≤ gbnd }` — the ParaMount subroutine
+//! contract (Lemma 1).
+//!
+//! Enumeration is decoupled from consumption through [`CutSink`]; sinks
+//! count cuts, collect them, evaluate predicates, or abort early.
+
+pub mod bfs;
+pub mod dfs;
+pub mod fxhash;
+pub mod lexical;
+mod sink;
+
+pub use sink::{CollectSink, CountSink, CutSink, FirstMatchSink};
+
+use paramount_poset::{CutSpace, Frontier};
+use std::fmt;
+
+/// Why an enumeration stopped before completing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnumError {
+    /// A stateful algorithm (BFS/DFS) exceeded its configured budget for
+    /// intermediate frontier storage — the analog of the paper's
+    /// out-of-memory rows for the 2 GB JVM heap.
+    OutOfBudget {
+        /// Number of frontiers live when the budget tripped.
+        live_frontiers: usize,
+        /// The configured limit.
+        budget: usize,
+    },
+    /// The sink requested an early stop (e.g. a predicate matched and the
+    /// caller only needed the first witness).
+    Stopped,
+}
+
+impl fmt::Display for EnumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnumError::OutOfBudget {
+                live_frontiers,
+                budget,
+            } => write!(
+                f,
+                "out of budget: {live_frontiers} live frontiers exceeds limit {budget}"
+            ),
+            EnumError::Stopped => write!(f, "stopped early by sink"),
+        }
+    }
+}
+
+impl std::error::Error for EnumError {}
+
+/// Statistics reported by a completed enumeration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnumStats {
+    /// Cuts emitted to the sink.
+    pub cuts: u64,
+    /// Peak number of simultaneously stored frontiers (1 for lexical).
+    pub peak_frontiers: usize,
+}
+
+/// Algorithm selector used by benchmarks and the ParaMount subroutine
+/// configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Cooper–Marzullo breadth-first search (exactly-once variant).
+    Bfs,
+    /// Depth-first search with a visited set.
+    Dfs,
+    /// Ganter/Garg lexical next-closure.
+    Lexical,
+}
+
+impl Algorithm {
+    /// All algorithms, for exhaustive comparison tests.
+    pub const ALL: [Algorithm; 3] = [Algorithm::Bfs, Algorithm::Dfs, Algorithm::Lexical];
+
+    /// Short name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Bfs => "bfs",
+            Algorithm::Dfs => "dfs",
+            Algorithm::Lexical => "lexical",
+        }
+    }
+
+    /// Runs the full enumeration of `poset` through this algorithm.
+    pub fn run<Sp: CutSpace + ?Sized, S: CutSink>(
+        self,
+        poset: &Sp,
+        sink: &mut S,
+    ) -> Result<EnumStats, EnumError> {
+        match self {
+            Algorithm::Bfs => bfs::enumerate(poset, &bfs::BfsOptions::default(), sink),
+            Algorithm::Dfs => dfs::enumerate(poset, &dfs::DfsOptions::default(), sink),
+            Algorithm::Lexical => lexical::enumerate(poset, sink),
+        }
+    }
+
+    /// Runs the bounded enumeration of the interval `[gmin, gbnd]`.
+    pub fn run_bounded<Sp: CutSpace + ?Sized, S: CutSink>(
+        self,
+        poset: &Sp,
+        gmin: &Frontier,
+        gbnd: &Frontier,
+        sink: &mut S,
+    ) -> Result<EnumStats, EnumError> {
+        match self {
+            Algorithm::Bfs => {
+                bfs::enumerate_bounded(poset, gmin, gbnd, &bfs::BfsOptions::default(), sink)
+            }
+            Algorithm::Dfs => {
+                dfs::enumerate_bounded(poset, gmin, gbnd, &dfs::DfsOptions::default(), sink)
+            }
+            Algorithm::Lexical => lexical::enumerate_bounded(poset, gmin, gbnd, sink),
+        }
+    }
+}
+
+/// Validates the interval precondition shared by all bounded enumerators:
+/// both ends consistent and `gmin ≤ gbnd`. Debug-only (hot path).
+pub(crate) fn debug_check_interval<Sp: CutSpace + ?Sized>(
+    poset: &Sp,
+    gmin: &Frontier,
+    gbnd: &Frontier,
+) {
+    debug_assert!(gmin.is_consistent(poset), "gmin must be a consistent cut");
+    debug_assert!(gbnd.is_consistent(poset), "gbnd must be a consistent cut");
+    debug_assert!(gmin.leq(gbnd), "gmin must be ≤ gbnd");
+}

@@ -1,0 +1,135 @@
+use paramount_poset::Frontier;
+use std::ops::ControlFlow;
+
+/// Consumer of enumerated global states.
+///
+/// Enumeration algorithms call [`CutSink::visit`] once per consistent cut
+/// (exactly once — Theorem 2's guarantee is preserved by every algorithm in
+/// this workspace). Returning `ControlFlow::Break(())` aborts the
+/// enumeration, which then reports [`crate::EnumError::Stopped`].
+///
+/// Sinks receive only the frontier; they are expected to hold a reference
+/// to the poset themselves if they need event payloads (as the predicate
+/// sinks in `paramount-detect` do).
+pub trait CutSink {
+    /// Called for each enumerated consistent cut.
+    fn visit(&mut self, cut: &Frontier) -> ControlFlow<()>;
+}
+
+/// Counts cuts and otherwise discards them — the cheapest possible sink,
+/// used by the benchmark harness so sink overhead never pollutes timing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CountSink {
+    /// Number of cuts seen so far.
+    pub count: u64,
+}
+
+impl CutSink for CountSink {
+    #[inline]
+    fn visit(&mut self, _cut: &Frontier) -> ControlFlow<()> {
+        self.count += 1;
+        ControlFlow::Continue(())
+    }
+}
+
+/// Collects every cut into a vector — for tests and small inputs.
+#[derive(Clone, Debug, Default)]
+pub struct CollectSink {
+    /// The cuts, in the order the algorithm emitted them.
+    pub cuts: Vec<Frontier>,
+}
+
+impl CutSink for CollectSink {
+    #[inline]
+    fn visit(&mut self, cut: &Frontier) -> ControlFlow<()> {
+        self.cuts.push(cut.clone());
+        ControlFlow::Continue(())
+    }
+}
+
+/// Stops at the first cut satisfying a predicate, keeping the witness.
+pub struct FirstMatchSink<F> {
+    predicate: F,
+    /// The first matching cut, if any.
+    pub witness: Option<Frontier>,
+    /// Cuts inspected before the match (or in total, if no match).
+    pub inspected: u64,
+}
+
+impl<F: FnMut(&Frontier) -> bool> FirstMatchSink<F> {
+    /// Builds a sink that stops at the first `predicate` hit.
+    pub fn new(predicate: F) -> Self {
+        FirstMatchSink {
+            predicate,
+            witness: None,
+            inspected: 0,
+        }
+    }
+}
+
+impl<F: FnMut(&Frontier) -> bool> CutSink for FirstMatchSink<F> {
+    fn visit(&mut self, cut: &Frontier) -> ControlFlow<()> {
+        self.inspected += 1;
+        if (self.predicate)(cut) {
+            self.witness = Some(cut.clone());
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+}
+
+/// Closures are sinks: convenient for one-off consumers.
+impl<F: FnMut(&Frontier) -> ControlFlow<()>> CutSink for F {
+    #[inline]
+    fn visit(&mut self, cut: &Frontier) -> ControlFlow<()> {
+        self(cut)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(counts: &[u32]) -> Frontier {
+        Frontier::from_counts(counts.to_vec())
+    }
+
+    #[test]
+    fn count_sink_counts() {
+        let mut s = CountSink::default();
+        assert!(s.visit(&g(&[0, 0])).is_continue());
+        assert!(s.visit(&g(&[1, 0])).is_continue());
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn collect_sink_preserves_order() {
+        let mut s = CollectSink::default();
+        let _ = s.visit(&g(&[1, 0]));
+        let _ = s.visit(&g(&[0, 1]));
+        assert_eq!(s.cuts, vec![g(&[1, 0]), g(&[0, 1])]);
+    }
+
+    #[test]
+    fn first_match_stops_and_records() {
+        let mut s = FirstMatchSink::new(|c: &Frontier| c.get(paramount_poset::Tid(0)) == 1);
+        assert!(s.visit(&g(&[0, 5])).is_continue());
+        assert!(s.visit(&g(&[1, 2])).is_break());
+        assert_eq!(s.witness, Some(g(&[1, 2])));
+        assert_eq!(s.inspected, 2);
+    }
+
+    #[test]
+    fn closures_are_sinks() {
+        let mut seen = 0u32;
+        let mut sink = |_: &Frontier| {
+            seen += 1;
+            ControlFlow::<()>::Continue(())
+        };
+        let _ = sink.visit(&g(&[0]));
+        let _ = sink.visit(&g(&[1]));
+        drop(sink);
+        assert_eq!(seen, 2);
+    }
+}

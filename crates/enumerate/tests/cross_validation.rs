@@ -1,0 +1,141 @@
+//! Heavier cross-validation than the inline unit tests: medium-sized
+//! posets where brute-force collection is still affordable but the
+//! algorithms already stress level storage and the lexical successor.
+
+use paramount_enumerate::bfs::{self, BfsOptions};
+use paramount_enumerate::dfs::{self, DfsOptions};
+use paramount_enumerate::{lexical, Algorithm, CountSink};
+use paramount_poset::random::RandomComputation;
+use paramount_poset::{oracle, Frontier};
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+/// All three algorithms agree on counts across a grid of shapes — wide,
+/// narrow, sparse, dense.
+#[test]
+fn counts_agree_across_shapes() {
+    let shapes = [
+        (2usize, 10usize, 0.1f64),
+        (3, 8, 0.3),
+        (5, 5, 0.5),
+        (8, 3, 0.2),
+        (4, 7, 0.8),
+        (6, 4, 0.0),
+    ];
+    for (i, &(n, events, frac)) in shapes.iter().enumerate() {
+        let p = RandomComputation::new(n, events, frac, i as u64 * 101 + 7).generate();
+        let mut counts = Vec::new();
+        for algorithm in Algorithm::ALL {
+            let mut sink = CountSink::default();
+            algorithm.run(&p, &mut sink).unwrap();
+            counts.push(sink.count);
+        }
+        assert_eq!(counts[0], counts[1], "shape {i}");
+        assert_eq!(counts[1], counts[2], "shape {i}");
+    }
+}
+
+/// Exactly-once as a *multiset* property on a medium poset: every cut
+/// appears with multiplicity one for every algorithm.
+#[test]
+fn multiset_exactly_once_medium() {
+    let p = RandomComputation::new(5, 6, 0.45, 424242).generate();
+    let reference = oracle::count_ideals(&p);
+    for algorithm in Algorithm::ALL {
+        let mut seen: HashMap<Frontier, u32> = HashMap::new();
+        let mut sink = |cut: &Frontier| {
+            *seen.entry(cut.clone()).or_insert(0) += 1;
+            ControlFlow::<()>::Continue(())
+        };
+        algorithm.run(&p, &mut sink).unwrap();
+        assert_eq!(seen.len() as u64, reference, "{algorithm:?} set size");
+        assert!(
+            seen.values().all(|&m| m == 1),
+            "{algorithm:?} emitted a duplicate"
+        );
+    }
+}
+
+/// Bounded enumeration over a random interval agrees across algorithms
+/// (not just intervals from the canonical partition).
+#[test]
+fn arbitrary_intervals_agree() {
+    let p = RandomComputation::new(4, 5, 0.4, 99).generate();
+    let cuts = oracle::enumerate_product_scan(&p);
+    // Use consistent cut pairs (lo ≤ hi) as interval bounds.
+    let mut checked = 0;
+    for (i, lo) in cuts.iter().enumerate().step_by(7) {
+        for hi in cuts.iter().skip(i).step_by(11) {
+            if !lo.leq(hi) {
+                continue;
+            }
+            let expected: Vec<&Frontier> =
+                cuts.iter().filter(|g| lo.leq(g) && g.leq(hi)).collect();
+
+            let mut lex = Vec::new();
+            let mut sink = |g: &Frontier| {
+                lex.push(g.clone());
+                ControlFlow::<()>::Continue(())
+            };
+            lexical::enumerate_bounded(&p, lo, hi, &mut sink).unwrap();
+
+            let mut bfs_cuts = Vec::new();
+            let mut sink = |g: &Frontier| {
+                bfs_cuts.push(g.clone());
+                ControlFlow::<()>::Continue(())
+            };
+            bfs::enumerate_bounded(&p, lo, hi, &BfsOptions::default(), &mut sink).unwrap();
+
+            let mut dfs_cuts = Vec::new();
+            let mut sink = |g: &Frontier| {
+                dfs_cuts.push(g.clone());
+                ControlFlow::<()>::Continue(())
+            };
+            dfs::enumerate_bounded(&p, lo, hi, &DfsOptions::default(), &mut sink).unwrap();
+
+            assert_eq!(lex.len(), expected.len(), "lexical vs filter");
+            bfs_cuts.sort_unstable();
+            dfs_cuts.sort_unstable();
+            let mut expected_sorted: Vec<Frontier> =
+                expected.iter().map(|g| (*g).clone()).collect();
+            expected_sorted.sort_unstable();
+            assert_eq!(bfs_cuts, expected_sorted);
+            assert_eq!(dfs_cuts, expected_sorted);
+            checked += 1;
+        }
+    }
+    assert!(checked > 20, "only {checked} intervals checked");
+}
+
+/// The lexical enumerator on a long two-thread pipeline (a worst case
+/// for successor scans: deep resets on every carry).
+#[test]
+fn deep_carry_chain() {
+    // Two threads, 40 events each, sparse messages: lots of lexical
+    // "carries" from thread 1 back to thread 0.
+    let p = RandomComputation::new(2, 40, 0.15, 5).generate();
+    let mut sink = CountSink::default();
+    let stats = lexical::enumerate(&p, &mut sink).unwrap();
+    assert_eq!(stats.cuts, oracle::count_ideals(&p));
+    assert!(stats.cuts > 100, "degenerate input");
+}
+
+/// Budgeted BFS reports the *same* peak as unbudgeted BFS when it fits —
+/// the budget must not change behavior below the limit.
+#[test]
+fn budget_is_observationally_transparent() {
+    let p = RandomComputation::new(5, 4, 0.3, 31).generate();
+    let mut free = CountSink::default();
+    let free_stats = bfs::enumerate(&p, &BfsOptions::default(), &mut free).unwrap();
+    let mut capped = CountSink::default();
+    let capped_stats = bfs::enumerate(
+        &p,
+        &BfsOptions {
+            frontier_budget: Some(free_stats.peak_frontiers),
+        },
+        &mut capped,
+    )
+    .unwrap();
+    assert_eq!(free.count, capped.count);
+    assert_eq!(free_stats.peak_frontiers, capped_stats.peak_frontiers);
+}

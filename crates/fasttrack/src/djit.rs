@@ -1,0 +1,229 @@
+//! DJIT⁺-style full-vector race detector — FastTrack's correctness oracle.
+//!
+//! Keeps, per variable, the *complete* per-thread clocks of the last write
+//! and last read of every thread. Slower (`O(n)` per access) but with no
+//! epoch subtleties, so its verdicts are easy to trust; the test suite
+//! checks FastTrack against it on thousands of random programs.
+
+use crate::{RaceKind, RaceReport};
+use paramount_trace::{Op, OpObserver, VarId};
+use paramount_vclock::{Tid, VectorClock};
+use std::collections::HashMap;
+
+/// The full-vector detector.
+pub struct VectorDetector {
+    n: usize,
+    clocks: Vec<VectorClock>,
+    locks: HashMap<paramount_trace::LockId, VectorClock>,
+    /// Per variable: last write clock per thread / last read clock per
+    /// thread (component `u` = clock of `u`'s last such access).
+    vars: HashMap<VarId, AccessVectors>,
+    races: Vec<RaceReport>,
+}
+
+struct AccessVectors {
+    writes: VectorClock,
+    reads: VectorClock,
+}
+
+impl VectorDetector {
+    /// A detector for `n` threads.
+    pub fn new(n: usize) -> Self {
+        let mut clocks: Vec<VectorClock> = (0..n).map(|_| VectorClock::zero(n)).collect();
+        for (t, c) in clocks.iter_mut().enumerate() {
+            c.tick(Tid::from(t));
+        }
+        VectorDetector {
+            n,
+            clocks,
+            locks: HashMap::new(),
+            vars: HashMap::new(),
+            races: Vec::new(),
+        }
+    }
+
+    /// First race per variable, in detection order.
+    pub fn races(&self) -> &[RaceReport] {
+        &self.races
+    }
+
+    /// Distinct racy variables, sorted.
+    pub fn racy_vars(&self) -> Vec<VarId> {
+        let mut v: Vec<VarId> = self.races.iter().map(|r| r.var).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    fn report(&mut self, var: VarId, kind: RaceKind, tid: Tid, other: Tid) {
+        if !self.races.iter().any(|r| r.var == var) {
+            self.races.push(RaceReport {
+                var,
+                kind,
+                tid,
+                other,
+            });
+        }
+    }
+
+    /// First thread whose recorded access is not ordered before `clock`.
+    fn unordered_thread(history: &VectorClock, clock: &VectorClock, me: Tid) -> Option<Tid> {
+        for u in 0..history.len() {
+            let tu = Tid::from(u);
+            if tu != me && history.get(tu) > clock.get(tu) {
+                return Some(tu);
+            }
+        }
+        None
+    }
+}
+
+impl OpObserver for VectorDetector {
+    fn op(&mut self, t: Tid, op: Op) {
+        let n = self.n;
+        match op {
+            Op::Read(x) => {
+                let clock = self.clocks[t.index()].clone();
+                let state = self.vars.entry(x).or_insert_with(|| AccessVectors {
+                    writes: VectorClock::zero(n),
+                    reads: VectorClock::zero(n),
+                });
+                let racer = Self::unordered_thread(&state.writes, &clock, t);
+                state.reads.set(t, clock.get(t));
+                if let Some(other) = racer {
+                    self.report(x, RaceKind::WriteRead, t, other);
+                }
+            }
+            Op::Write(x) => {
+                let clock = self.clocks[t.index()].clone();
+                let state = self.vars.entry(x).or_insert_with(|| AccessVectors {
+                    writes: VectorClock::zero(n),
+                    reads: VectorClock::zero(n),
+                });
+                let write_racer = Self::unordered_thread(&state.writes, &clock, t);
+                let read_racer = Self::unordered_thread(&state.reads, &clock, t);
+                state.writes.set(t, clock.get(t));
+                if let Some(other) = write_racer {
+                    self.report(x, RaceKind::WriteWrite, t, other);
+                } else if let Some(other) = read_racer {
+                    self.report(x, RaceKind::ReadWrite, t, other);
+                }
+            }
+            Op::Acquire(l) => {
+                let lock = self
+                    .locks
+                    .entry(l)
+                    .or_insert_with(|| VectorClock::zero(n))
+                    .clone();
+                self.clocks[t.index()].join(&lock);
+            }
+            Op::Release(l) => {
+                let entry = self.locks.entry(l).or_insert_with(|| VectorClock::zero(n));
+                entry.clone_from(&self.clocks[t.index()]);
+                self.clocks[t.index()].tick(t);
+            }
+            Op::Fork(u) => {
+                let parent = self.clocks[t.index()].clone();
+                self.clocks[u.index()].join(&parent);
+                self.clocks[t.index()].tick(t);
+            }
+            Op::Join(u) => {
+                let child = self.clocks[u.index()].clone();
+                self.clocks[t.index()].join(&child);
+                self.clocks[u.index()].tick(u);
+            }
+            Op::Work(_) => {}
+        }
+    }
+
+    fn thread_finished(&mut self, _t: Tid) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FastTrack;
+    use paramount_trace::gen::{random_program, RandomProgramConfig};
+    use paramount_trace::sim::SimScheduler;
+    use paramount_trace::{LockId, PairObserver, ProgramBuilder};
+
+    #[test]
+    fn basic_race_detected() {
+        let mut b = ProgramBuilder::new("racy", 3);
+        let x = b.var("x");
+        b.push(Tid(1), Op::Write(x));
+        b.push(Tid(2), Op::Write(x));
+        b.fork_join_all();
+        let p = b.build();
+        let mut d = VectorDetector::new(3);
+        SimScheduler::new(0).run_with(&p, &mut d);
+        assert_eq!(d.racy_vars(), vec![x]);
+    }
+
+    #[test]
+    fn protected_accesses_clean() {
+        let mut b = ProgramBuilder::new("clean", 3);
+        let x = b.var("x");
+        let l = b.lock("m");
+        b.critical(Tid(1), l, [Op::Write(x)]);
+        b.critical(Tid(2), l, [Op::Write(x)]);
+        b.fork_join_all();
+        let p = b.build();
+        let mut d = VectorDetector::new(3);
+        SimScheduler::new(0).run_with(&p, &mut d);
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn fasttrack_agrees_with_vector_detector_on_random_programs() {
+        // The headline cross-validation: identical racy-variable sets on
+        // many random programs × schedules.
+        let mut checked = 0;
+        for seed in 0..120u64 {
+            let config = RandomProgramConfig {
+                threads: 2 + (seed % 3) as usize,
+                steps_per_thread: 6,
+                vars: 3,
+                locks: 2,
+                lock_probability: 0.3 + 0.4 * ((seed % 5) as f64 / 5.0),
+                write_probability: 0.5,
+            };
+            let p = random_program("fuzz", config, seed);
+            let pair = {
+                let mut pair = PairObserver(
+                    FastTrack::new(p.num_threads()),
+                    VectorDetector::new(p.num_threads()),
+                );
+                SimScheduler::new(seed.wrapping_mul(31)).run_with(&p, &mut pair);
+                pair
+            };
+            assert_eq!(
+                pair.0.racy_vars(),
+                pair.1.racy_vars(),
+                "detectors disagree on seed {seed}"
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, 120);
+    }
+
+    #[test]
+    fn manual_interleaving_matches_fasttrack() {
+        let (x, l) = (VarId(0), LockId(0));
+        let script: Vec<(Tid, Op)> = vec![
+            (Tid(0), Op::Write(x)),
+            (Tid(0), Op::Release(l)),
+            (Tid(1), Op::Acquire(l)),
+            (Tid(1), Op::Write(x)),
+            (Tid(2), Op::Read(x)), // races with both writes
+        ];
+        let mut ft = FastTrack::new(3);
+        let mut vd = VectorDetector::new(3);
+        for &(t, op) in &script {
+            ft.op(t, op);
+            vd.op(t, op);
+        }
+        assert_eq!(ft.racy_vars(), vd.racy_vars());
+        assert_eq!(vd.racy_vars(), vec![x]);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! FastTrack (Flanagan & Freund, PLDI 2009) — the online race-detection
+//! baseline of the ParaMount evaluation (Table 2).
+//!
+//! FastTrack is *not* an enumeration-based detector: it checks, on every
+//! access, whether the access is ordered after all conflicting prior
+//! accesses under happened-before. Its contribution is replacing the
+//! per-variable vector clocks of DJIT⁺ with lightweight *epochs*
+//! (`clock@tid`) on the common paths:
+//!
+//! * writes are totally ordered in race-free executions, so the last write
+//!   is a single epoch;
+//! * reads are usually ordered after the last read, so the read state is
+//!   an epoch too, *adaptively* inflated to a full vector only while reads
+//!   are genuinely concurrent.
+//!
+//! Two detectors live here:
+//!
+//! * [`FastTrack`] — the real algorithm, epochs and all.
+//! * [`VectorDetector`] — the DJIT⁺-style full-vector detector FastTrack
+//!   was derived from. It is obviously correct, so the test suite uses it
+//!   as FastTrack's oracle: on every input both must flag the same set of
+//!   racy variables.
+//!
+//! Both implement [`paramount_trace::OpObserver`], so any executor
+//! (deterministic sim, real threads) can drive them over the same workload
+//! programs the ParaMount detector sees.
+
+mod djit;
+mod fasttrack;
+mod report;
+
+pub use djit::VectorDetector;
+pub use fasttrack::FastTrack;
+pub use report::{RaceKind, RaceReport};

@@ -1,0 +1,63 @@
+use paramount_trace::VarId;
+use paramount_vclock::Tid;
+use std::fmt;
+
+/// What kind of conflicting pair was caught.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RaceKind {
+    /// Current write conflicts with a previous write.
+    WriteWrite,
+    /// Current read conflicts with a previous write.
+    WriteRead,
+    /// Current write conflicts with a previous read.
+    ReadWrite,
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaceKind::WriteWrite => write!(f, "write-write"),
+            RaceKind::WriteRead => write!(f, "write-read"),
+            RaceKind::ReadWrite => write!(f, "read-write"),
+        }
+    }
+}
+
+/// One reported race (the first detected per variable).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RaceReport {
+    /// The racy variable.
+    pub var: VarId,
+    /// The conflict shape.
+    pub kind: RaceKind,
+    /// The thread whose access completed the race.
+    pub tid: Tid,
+    /// The thread that performed the earlier conflicting access.
+    pub other: Tid,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} race on {} between {} and {}",
+            self.kind, self.var, self.tid, self.other
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let r = RaceReport {
+            var: VarId(3),
+            kind: RaceKind::WriteRead,
+            tid: Tid(1),
+            other: Tid(0),
+        };
+        assert_eq!(r.to_string(), "write-read race on v3 between t2 and t1");
+    }
+}

@@ -1,0 +1,207 @@
+//! Structural analysis of posets and their cut lattices.
+//!
+//! Used by the benchmark harness for input characterization (events,
+//! happened-before density, concurrency width) and by the memory model:
+//! the BFS *level profile* — how many cuts hold exactly `ℓ` events — is
+//! precisely the intermediate-state storage that makes Cooper–Marzullo
+//! BFS exhaust memory on wide lattices.
+
+use crate::{CutSpace, EventId, Frontier, Tid};
+use std::collections::HashMap;
+
+/// Summary statistics of a poset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PosetStats {
+    /// Threads/processes.
+    pub threads: usize,
+    /// Total events.
+    pub events: usize,
+    /// Happened-before pairs (`|H|`), counted exactly — O(|E|²).
+    pub hb_pairs: u64,
+    /// Fraction of cross-thread event pairs that are ordered (0 =
+    /// antichain threads, 1 = totally ordered execution).
+    pub sync_density: f64,
+    /// Length of the longest chain (critical path, in events).
+    pub height: usize,
+}
+
+/// Computes [`PosetStats`] for any cut space.
+pub fn poset_stats<S: CutSpace + ?Sized>(space: &S) -> PosetStats {
+    let n = space.num_threads();
+    let ids: Vec<EventId> = (0..n)
+        .flat_map(|t| {
+            let tid = Tid::from(t);
+            (1..=space.events_of(tid) as u32).map(move |k| EventId::new(tid, k))
+        })
+        .collect();
+    let mut hb_pairs = 0u64;
+    let mut cross_pairs = 0u64;
+    let mut cross_ordered = 0u64;
+    for &a in &ids {
+        for &b in &ids {
+            if a == b {
+                continue;
+            }
+            let ordered = space.hb(a, b);
+            if ordered {
+                hb_pairs += 1;
+            }
+            if a.tid != b.tid && a < b {
+                cross_pairs += 1;
+                if ordered || space.hb(b, a) {
+                    cross_ordered += 1;
+                }
+            }
+        }
+    }
+    // Longest chain: events in any linear extension, DP over history.
+    let mut depth: HashMap<EventId, usize> = HashMap::new();
+    let order = crate::topo::weight_order(space);
+    let mut height = 0usize;
+    for &e in &order {
+        let vc = space.vc(e);
+        let mut best = 0usize;
+        for j in 0..n {
+            let tj = Tid::from(j);
+            let k = if tj == e.tid { e.index - 1 } else { vc.get(tj) };
+            if k >= 1 {
+                best = best.max(depth[&EventId::new(tj, k)]);
+            }
+        }
+        depth.insert(e, best + 1);
+        height = height.max(best + 1);
+    }
+    PosetStats {
+        threads: n,
+        events: ids.len(),
+        hb_pairs,
+        sync_density: if cross_pairs == 0 {
+            0.0
+        } else {
+            cross_ordered as f64 / cross_pairs as f64
+        },
+        height,
+    }
+}
+
+/// The level profile of the cut lattice: `profile[ℓ]` = number of
+/// consistent cuts with exactly `ℓ` events.
+///
+/// Walks the lattice level-by-level (like BFS) so memory is bounded by
+/// the widest level — the same quantity it measures. `cap` aborts once
+/// any level exceeds it (returns `None`), protecting callers from
+/// explosive lattices.
+pub fn level_profile<S: CutSpace + ?Sized>(space: &S, cap: usize) -> Option<Vec<u64>> {
+    use crate::EventId;
+    let n = space.num_threads();
+    let last = space.current_frontier();
+    let mut profile = Vec::new();
+    let mut level: Vec<Frontier> = vec![Frontier::empty(n)];
+    let mut next: std::collections::HashSet<Frontier> = std::collections::HashSet::new();
+    while !level.is_empty() {
+        profile.push(level.len() as u64);
+        for cut in &level {
+            for t in Tid::all(n) {
+                let k = cut.get(t) + 1;
+                if k <= last.get(t) {
+                    let e = EventId::new(t, k);
+                    if cut.enables(space, e) {
+                        next.insert(cut.advanced(t));
+                        if next.len() > cap {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+        level.clear();
+        level.extend(next.drain());
+    }
+    Some(profile)
+}
+
+/// Peak lattice width (widest BFS level), if within `cap`.
+pub fn peak_width<S: CutSpace + ?Sized>(space: &S, cap: usize) -> Option<u64> {
+    level_profile(space, cap).map(|p| p.into_iter().max().unwrap_or(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PosetBuilder;
+    use crate::oracle;
+    use crate::random::RandomComputation;
+    use crate::Poset;
+
+    fn diamond() -> Poset {
+        let mut b = PosetBuilder::new(2);
+        let a = b.append(Tid(0), ());
+        let bb = b.append(Tid(1), ());
+        b.append_after(Tid(0), &[bb], ());
+        b.append_after(Tid(1), &[a], ());
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_stats() {
+        let stats = poset_stats(&diamond());
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.events, 4);
+        assert_eq!(stats.hb_pairs, 4);
+        // Cross pairs: (a,b),(a,d),(b,c),(c,d): ordered are a→d? a→d yes, b→c yes,
+        // (a,b) concurrent, (c,d) concurrent → 2/4.
+        assert!((stats.sync_density - 0.5).abs() < 1e-9);
+        assert_eq!(stats.height, 2);
+    }
+
+    #[test]
+    fn chain_height() {
+        let mut b = PosetBuilder::new(2);
+        let mut last = b.append(Tid(0), ());
+        for i in 0..4 {
+            let t = Tid((i % 2) as u32);
+            last = b.append_after(t, &[last], ());
+        }
+        let p = b.finish();
+        let stats = poset_stats(&p);
+        assert_eq!(stats.height, 5, "fully chained");
+        assert!((stats.sync_density - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level_profile_sums_to_lattice_size() {
+        for seed in 0..10 {
+            let p = RandomComputation::new(3, 4, 0.4, seed).generate();
+            let profile = level_profile(&p, 1_000_000).expect("small lattice");
+            let total: u64 = profile.iter().sum();
+            assert_eq!(total, oracle::count_ideals(&p), "seed {seed}");
+            // Levels = events + 1 (empty through full).
+            assert_eq!(profile.len(), p.num_events() + 1);
+            assert_eq!(profile[0], 1);
+            assert_eq!(*profile.last().unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn antichain_profile_is_binomial() {
+        let mut b = PosetBuilder::new(5);
+        for t in Tid::all(5) {
+            b.append(t, ());
+        }
+        let p = b.finish();
+        let profile = level_profile(&p, 1_000).unwrap();
+        assert_eq!(profile, vec![1, 5, 10, 10, 5, 1]);
+        assert_eq!(peak_width(&p, 1_000), Some(10));
+    }
+
+    #[test]
+    fn cap_aborts_wide_lattices() {
+        let mut b = PosetBuilder::new(12);
+        for t in Tid::all(12) {
+            b.append(t, ());
+            b.append(t, ());
+        }
+        let p = b.finish();
+        assert_eq!(level_profile(&p, 50), None);
+    }
+}

@@ -1,0 +1,168 @@
+//! Incremental construction of posets with automatic vector clocks.
+
+use crate::{Event, EventId, Poset};
+use paramount_vclock::{Tid, VectorClock};
+
+/// Builds a [`Poset`] event by event, computing vector clocks on the fly.
+///
+/// Each appended event implicitly depends on the previous event of its own
+/// thread (process order); [`PosetBuilder::append_after`] adds explicit
+/// cross-thread dependencies (messages, lock hand-offs, fork/join edges).
+/// Dependencies must refer to already-appended events, so construction
+/// order is automatically a linear extension of the resulting poset.
+#[derive(Clone, Debug)]
+pub struct PosetBuilder<P = ()> {
+    threads: Vec<Vec<Event<P>>>,
+    /// Running clock per thread (clock of its latest event).
+    thread_clocks: Vec<VectorClock>,
+}
+
+impl<P> PosetBuilder<P> {
+    /// A builder for an `n`-thread computation.
+    pub fn new(n: usize) -> Self {
+        PosetBuilder {
+            threads: (0..n).map(|_| Vec::new()).collect(),
+            thread_clocks: (0..n).map(|_| VectorClock::zero(n)).collect(),
+        }
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total events appended so far.
+    pub fn num_events(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+
+    /// Appends a purely process-ordered event to thread `t`.
+    pub fn append(&mut self, t: Tid, payload: P) -> EventId {
+        self.append_after(t, &[], payload)
+    }
+
+    /// Appends an event to thread `t` that additionally depends on `deps`.
+    ///
+    /// The new event's clock is `tick(t)` of the thread clock joined with
+    /// every dependency's clock — i.e. Algorithm 3 generalized to any
+    /// number of incoming edges.
+    pub fn append_after(&mut self, t: Tid, deps: &[EventId], payload: P) -> EventId {
+        let i = t.index();
+        // Collect dependency clocks first to appease the borrow checker
+        // (deps may point into any thread, including t itself).
+        let dep_clocks: Vec<VectorClock> = deps
+            .iter()
+            .map(|&d| {
+                debug_assert!(
+                    (d.index as usize) <= self.threads[d.tid.index()].len(),
+                    "dependency on a not-yet-appended event"
+                );
+                self.threads[d.tid.index()][(d.index - 1) as usize].vc.clone()
+            })
+            .collect();
+        let clock = &mut self.thread_clocks[i];
+        clock.tick(t);
+        for dc in &dep_clocks {
+            clock.join(dc);
+        }
+        let id = EventId::new(t, clock.get(t));
+        self.threads[i].push(Event {
+            id,
+            vc: clock.clone(),
+            payload,
+        });
+        id
+    }
+
+    /// Appends an event whose clock was computed externally (e.g. by the
+    /// trace recorder's own Algorithm 3 bookkeeping). The clock must
+    /// dominate the thread's previous clock and have `vc[t]` equal to the
+    /// next index.
+    pub fn append_with_clock(&mut self, t: Tid, vc: VectorClock, payload: P) -> EventId {
+        let i = t.index();
+        let next = self.threads[i].len() as u32 + 1;
+        debug_assert_eq!(vc.get(t), next, "external clock must index the next event");
+        debug_assert!(
+            self.thread_clocks[i].le(&vc),
+            "external clock must dominate the thread's history"
+        );
+        let id = EventId::new(t, next);
+        self.thread_clocks[i] = vc.clone();
+        self.threads[i].push(Event { id, vc, payload });
+        id
+    }
+
+    /// Current clock of a thread (the clock of its latest event).
+    pub fn thread_clock(&self, t: Tid) -> &VectorClock {
+        &self.thread_clocks[t.index()]
+    }
+
+    /// Finalizes the poset.
+    pub fn finish(self) -> Poset<P> {
+        Poset::from_threads(self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_order_only() {
+        let mut b = PosetBuilder::new(2);
+        let a1 = b.append(Tid(0), ());
+        let a2 = b.append(Tid(0), ());
+        let b1 = b.append(Tid(1), ());
+        let p = b.finish();
+        assert_eq!(p.vc(a1).as_slice(), &[1, 0]);
+        assert_eq!(p.vc(a2).as_slice(), &[2, 0]);
+        assert_eq!(p.vc(b1).as_slice(), &[0, 1]);
+        assert!(p.happened_before(a1, a2));
+        assert!(p.concurrent(a2, b1));
+    }
+
+    #[test]
+    fn cross_dependencies_reproduce_figure_4d() {
+        let mut b = PosetBuilder::new(2);
+        let e1_1 = b.append(Tid(0), ());
+        let e2_1 = b.append(Tid(1), ());
+        let e1_2 = b.append_after(Tid(0), &[e2_1], ());
+        let e2_2 = b.append_after(Tid(1), &[e1_1], ());
+        let p = b.finish();
+        assert_eq!(p.vc(e1_1).as_slice(), &[1, 0]);
+        assert_eq!(p.vc(e2_1).as_slice(), &[0, 1]);
+        assert_eq!(p.vc(e1_2).as_slice(), &[2, 1]);
+        assert_eq!(p.vc(e2_2).as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn transitive_knowledge_flows_through_deps() {
+        // t0: a ; t1: b after a ; t2: c after b — c must know about a.
+        let mut bld = PosetBuilder::new(3);
+        let a = bld.append(Tid(0), ());
+        let b = bld.append_after(Tid(1), &[a], ());
+        let c = bld.append_after(Tid(2), &[b], ());
+        let p = bld.finish();
+        assert_eq!(p.vc(c).as_slice(), &[1, 1, 1]);
+        assert!(p.happened_before(a, c));
+    }
+
+    #[test]
+    fn append_with_clock_round_trip() {
+        let mut b = PosetBuilder::new(2);
+        b.append_with_clock(Tid(0), VectorClock::from_components(vec![1, 0]), ());
+        b.append_with_clock(Tid(1), VectorClock::from_components(vec![1, 1]), ());
+        let p = b.finish();
+        assert!(p.happened_before(EventId::new(Tid(0), 1), EventId::new(Tid(1), 1)));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn append_with_clock_rejects_stale_clock() {
+        let mut b = PosetBuilder::new(2);
+        b.append_with_clock(Tid(0), VectorClock::from_components(vec![1, 5]), ());
+        // Second clock does not dominate the first on component 1.
+        b.append_with_clock(Tid(0), VectorClock::from_components(vec![2, 0]), ());
+    }
+}

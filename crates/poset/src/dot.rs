@@ -1,0 +1,159 @@
+//! Graphviz DOT export — visualize posets and cut lattices.
+//!
+//! `dot -Tpng` of [`poset_to_dot`] draws the event DAG in the style of
+//! the paper's Figure 4(a) (threads as rows, covering edges as arrows);
+//! [`lattice_to_dot`] draws the lattice of consistent cuts like
+//! Figure 4(c). Lattice export walks every cut, so cap it to small
+//! posets.
+
+use crate::{oracle, CutSpace, EventId, Frontier, Tid};
+use std::fmt::Write as _;
+
+/// Renders the event DAG (covering edges) as a DOT digraph.
+///
+/// `label` receives each event and returns its node label; pass
+/// `|id| id.to_string()` for the paper's `e1[2]` style.
+pub fn poset_to_dot<S: CutSpace + ?Sized>(
+    space: &S,
+    label: impl Fn(EventId) -> String,
+) -> String {
+    let n = space.num_threads();
+    let mut out = String::from("digraph poset {\n  rankdir=LR;\n  node [shape=box];\n");
+    // One subgraph (row) per thread, chained by process order.
+    for t in 0..n {
+        let tid = Tid::from(t);
+        let events = space.events_of(tid);
+        let _ = writeln!(out, "  subgraph cluster_t{t} {{");
+        let _ = writeln!(out, "    label=\"{tid}\";");
+        for k in 1..=events as u32 {
+            let id = EventId::new(tid, k);
+            let _ = writeln!(out, "    n{t}_{k} [label=\"{}\"];", label(id));
+        }
+        let _ = writeln!(out, "  }}");
+        for k in 1..events as u32 {
+            let _ = writeln!(out, "  n{t}_{k} -> n{t}_{};", k + 1);
+        }
+    }
+    // Cross-thread covering edges from the vector clocks.
+    for t in 0..n {
+        let tid = Tid::from(t);
+        for k in 1..=space.events_of(tid) as u32 {
+            let id = EventId::new(tid, k);
+            let vc = space.vc(id);
+            for j in 0..n {
+                if j == t {
+                    continue;
+                }
+                let tj = Tid::from(j);
+                let dep = vc.get(tj);
+                if dep == 0 {
+                    continue;
+                }
+                // Only draw if not already implied by the previous event
+                // of the same thread (covering-edge pruning).
+                let implied = k > 1 && space.vc(EventId::new(tid, k - 1)).get(tj) >= dep;
+                if !implied {
+                    let _ = writeln!(out, "  n{j}_{dep} -> n{t}_{k};");
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the lattice of consistent cuts (Hasse diagram) as DOT.
+/// Returns `None` if the lattice exceeds `cap` cuts.
+pub fn lattice_to_dot<S: CutSpace + ?Sized>(space: &S, cap: usize) -> Option<String> {
+    let cuts = oracle::enumerate_reachability_generic(space, cap)?;
+    let index = |g: &Frontier| -> String {
+        g.as_slice()
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("_")
+    };
+    let mut out = String::from("digraph lattice {\n  rankdir=BT;\n  node [shape=ellipse];\n");
+    for g in &cuts {
+        let _ = writeln!(out, "  c{} [label=\"{g}\"];", index(g));
+    }
+    // Hasse edges: successors by one event.
+    let n = space.num_threads();
+    for g in &cuts {
+        for t in 0..n {
+            let tid = Tid::from(t);
+            let next = g.get(tid) + 1;
+            if next as usize <= space.events_of(tid) {
+                let e = EventId::new(tid, next);
+                if g.enables(space, e) {
+                    let succ = g.advanced(tid);
+                    let _ = writeln!(out, "  c{} -> c{};", index(g), index(&succ));
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PosetBuilder;
+
+    fn diamond() -> crate::Poset {
+        let mut b = PosetBuilder::new(2);
+        let a = b.append(Tid(0), ());
+        let bb = b.append(Tid(1), ());
+        b.append_after(Tid(0), &[bb], ());
+        b.append_after(Tid(1), &[a], ());
+        b.finish()
+    }
+
+    #[test]
+    fn poset_dot_contains_nodes_and_cross_edges() {
+        let p = diamond();
+        let dot = poset_to_dot(&p, |id| id.to_string());
+        assert!(dot.starts_with("digraph poset"));
+        assert!(dot.contains("label=\"e1[2]\""));
+        // Cross edges e2[1] → e1[2] and e1[1] → e2[2].
+        assert!(dot.contains("n1_1 -> n0_2;"), "{dot}");
+        assert!(dot.contains("n0_1 -> n1_2;"), "{dot}");
+        // Process-order chains.
+        assert!(dot.contains("n0_1 -> n0_2;"));
+    }
+
+    #[test]
+    fn lattice_dot_has_seven_nodes() {
+        let p = diamond();
+        let dot = lattice_to_dot(&p, 100).expect("small lattice");
+        assert_eq!(dot.matches("label=\"{").count(), 7);
+        // The empty cut has two successors.
+        assert_eq!(dot.matches("c0_0 -> ").count(), 2, "{dot}");
+    }
+
+    #[test]
+    fn lattice_dot_caps() {
+        let mut b = PosetBuilder::new(6);
+        for t in Tid::all(6) {
+            b.append(t, ());
+            b.append(t, ());
+        }
+        let p = b.finish();
+        assert!(lattice_to_dot(&p, 10).is_none());
+    }
+
+    #[test]
+    fn covering_edge_pruning() {
+        // Chain t0 → t1 twice: the second cross edge from the same source
+        // thread is implied only if the previous event already saw it.
+        let mut b = PosetBuilder::new(2);
+        let a1 = b.append(Tid(0), ());
+        let b1 = b.append_after(Tid(1), &[a1], ());
+        let _b2 = b.append_after(Tid(1), &[a1], ()); // same dep: implied
+        let _ = b1;
+        let p = b.finish();
+        let dot = poset_to_dot(&p, |id| id.to_string());
+        assert_eq!(dot.matches("n0_1 -> n1_").count(), 1, "{dot}");
+    }
+}

@@ -1,0 +1,111 @@
+use paramount_vclock::{Tid, VectorClock};
+use std::fmt;
+
+/// Identifies one event: the `index`-th event executed by thread `tid`.
+///
+/// Indices are 1-based, matching the paper's `e_i[k]` notation; index 0 is
+/// reserved for "no event yet" and only ever appears inside frontiers,
+/// never as an `EventId`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId {
+    /// Executing thread.
+    pub tid: Tid,
+    /// 1-based position within the thread's event sequence.
+    pub index: u32,
+}
+
+impl EventId {
+    /// Builds an id, asserting the 1-based index invariant.
+    pub fn new(tid: Tid, index: u32) -> Self {
+        debug_assert!(index >= 1, "event indices are 1-based");
+        EventId { tid, index }
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Paper notation: e_i[k] with 1-based thread ids.
+        write!(f, "e{}[{}]", self.tid.0 + 1, self.index)
+    }
+}
+
+/// One event of the computation: its vector clock plus a caller-chosen
+/// payload (operation kind, variable id, …).
+///
+/// The vector clock fully encodes the event's causal history: `vc[tid]` is
+/// the event's own index and `vc[j]` (for `j ≠ tid`) is the index of the
+/// latest event of thread `j` that happened before this one. In particular
+/// the least consistent cut containing the event — the paper's `Gmin(e)` —
+/// is exactly `vc` read as a frontier.
+#[derive(Clone, Debug)]
+pub struct Event<P = ()> {
+    /// The event's identity (thread and 1-based index).
+    pub id: EventId,
+    /// Fidge/Mattern timestamp encoding the causal history.
+    pub vc: VectorClock,
+    /// Caller payload (e.g. `Read(x)` / `Write(x)` for race detection).
+    pub payload: P,
+}
+
+impl<P> Event<P> {
+    /// The event's executing thread.
+    #[inline]
+    pub fn tid(&self) -> Tid {
+        self.id.tid
+    }
+
+    /// The event's 1-based index on its thread.
+    #[inline]
+    pub fn index(&self) -> u32 {
+        self.id.index
+    }
+
+    /// True iff `self` happened before `other` (strict causal order).
+    pub fn happened_before<Q>(&self, other: &Event<Q>) -> bool {
+        self.vc.happened_before(&other.vc)
+    }
+
+    /// True iff the two events are causally unordered.
+    pub fn concurrent_with<Q>(&self, other: &Event<Q>) -> bool {
+        self.vc.concurrent_with(&other.vc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramount_vclock::VectorClock;
+
+    fn ev(tid: u32, index: u32, vc: &[u32]) -> Event {
+        Event {
+            id: EventId::new(Tid(tid), index),
+            vc: VectorClock::from_components(vc.to_vec()),
+            payload: (),
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(EventId::new(Tid(0), 2).to_string(), "e1[2]");
+        assert_eq!(EventId::new(Tid(1), 1).to_string(), "e2[1]");
+    }
+
+    #[test]
+    fn event_ordering_via_clocks() {
+        let a = ev(0, 1, &[1, 0]);
+        let b = ev(1, 1, &[0, 1]);
+        let c = ev(0, 2, &[2, 1]);
+        assert!(a.happened_before(&c));
+        assert!(b.happened_before(&c));
+        assert!(a.concurrent_with(&b));
+        assert!(!c.happened_before(&a));
+    }
+
+    #[test]
+    fn id_ordering_is_lexicographic() {
+        // Ord on EventId is (tid, index); used only for deterministic
+        // tie-breaking in reports, not for causality.
+        assert!(EventId::new(Tid(0), 9) < EventId::new(Tid(1), 1));
+        assert!(EventId::new(Tid(1), 1) < EventId::new(Tid(1), 2));
+    }
+}

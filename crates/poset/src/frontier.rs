@@ -1,0 +1,327 @@
+use crate::{CutSpace, EventId};
+use paramount_vclock::{Tid, VectorClock};
+use std::fmt;
+
+/// A global state, identified by its frontier: per thread, the 1-based index
+/// of the latest included event (0 = none).
+///
+/// This is the paper's `{i1, i2, …, in}` notation — e.g. `{1,0}` is the cut
+/// containing only `e1[1]`. A frontier is *consistent* (a down-set of the
+/// happened-before order) iff every included event's causal predecessors are
+/// also included; [`Frontier::is_consistent`] checks exactly that using the
+/// events' vector clocks.
+///
+/// Consistent cuts of a poset form a distributive lattice under the product
+/// order [`Frontier::leq`]; componentwise min/max ([`Frontier::meet`] /
+/// [`Frontier::join`]) are its lattice operations and preserve consistency.
+///
+/// ```
+/// use paramount_poset::{Frontier, Tid};
+///
+/// let a = Frontier::from_counts(vec![2, 1]);
+/// let b = Frontier::from_counts(vec![1, 3]);
+/// assert!(!a.leq(&b) && !b.leq(&a));         // incomparable cuts...
+/// assert_eq!(a.join(&b).as_slice(), &[2, 3]); // ...with a least upper bound
+/// assert_eq!(a.meet(&b).as_slice(), &[1, 1]);
+/// assert_eq!(a.to_string(), "{2,1}");
+/// assert_eq!(a.get(Tid(0)), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Frontier {
+    counts: Vec<u32>,
+}
+
+impl Frontier {
+    /// The empty cut (no events on any thread).
+    pub fn empty(n: usize) -> Self {
+        Frontier {
+            counts: vec![0; n],
+        }
+    }
+
+    /// Builds a frontier from explicit per-thread counts.
+    pub fn from_counts(counts: Vec<u32>) -> Self {
+        Frontier { counts }
+    }
+
+    /// Reads a frontier straight out of a vector clock.
+    ///
+    /// For an event `e`, `Frontier::from_clock(&e.vc)` is `Gmin(e)` — the
+    /// least consistent cut containing `e` (§2.2 of the paper).
+    pub fn from_clock(vc: &VectorClock) -> Self {
+        Frontier {
+            counts: vc.as_slice().to_vec(),
+        }
+    }
+
+    /// Number of threads the frontier spans.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True for a zero-width frontier.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Count for thread `t` (0 = no event of `t` included).
+    #[inline]
+    pub fn get(&self, t: Tid) -> u32 {
+        self.counts[t.index()]
+    }
+
+    /// Sets the count for thread `t`.
+    #[inline]
+    pub fn set(&mut self, t: Tid, count: u32) {
+        self.counts[t.index()] = count;
+    }
+
+    /// Raw per-thread counts (thread id is the index).
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// The frontier event of thread `t`, i.e. the paper's `G[i]`;
+    /// `None` when the cut contains no event of `t`.
+    pub fn frontier_event(&self, t: Tid) -> Option<EventId> {
+        match self.counts[t.index()] {
+            0 => None,
+            k => Some(EventId::new(t, k)),
+        }
+    }
+
+    /// Iterates over all frontier events (threads with at least one event).
+    pub fn frontier_events(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.counts.iter().enumerate().filter_map(|(i, &k)| {
+            if k == 0 {
+                None
+            } else {
+                Some(EventId::new(Tid::from(i), k))
+            }
+        })
+    }
+
+    /// Total number of events in the cut.
+    pub fn total_events(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Does the cut contain the given event?
+    #[inline]
+    pub fn contains(&self, e: EventId) -> bool {
+        e.index <= self.counts[e.tid.index()]
+    }
+
+    /// Product order `self ≤ other`: every component ≤ (the comparison the
+    /// paper uses to define intervals `Gmin(e) ≤ G ≤ Gbnd(e)`).
+    pub fn leq(&self, other: &Frontier) -> bool {
+        debug_assert_eq!(self.len(), other.len(), "frontier width mismatch");
+        self.counts
+            .iter()
+            .zip(&other.counts)
+            .all(|(a, b)| a <= b)
+    }
+
+    /// Lattice join: componentwise max. The join of two consistent cuts is
+    /// consistent (union of down-sets).
+    pub fn join(&self, other: &Frontier) -> Frontier {
+        debug_assert_eq!(self.len(), other.len(), "frontier width mismatch");
+        Frontier {
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(a, b)| *a.max(b))
+                .collect(),
+        }
+    }
+
+    /// Lattice meet: componentwise min (intersection of down-sets).
+    pub fn meet(&self, other: &Frontier) -> Frontier {
+        debug_assert_eq!(self.len(), other.len(), "frontier width mismatch");
+        Frontier {
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(a, b)| *a.min(b))
+                .collect(),
+        }
+    }
+
+    /// Raises `self` to the componentwise max with `other` in place.
+    pub fn join_assign(&mut self, other: &Frontier) {
+        debug_assert_eq!(self.len(), other.len(), "frontier width mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// Consistency check: the cut is a down-set of happened-before.
+    ///
+    /// Using the vector-clock encoding it suffices to check, for each
+    /// thread `i` with `G[i] ≥ 1`, that the frontier event `E_i[G[i]]`'s
+    /// clock is dominated by `G` — the event's clock *is* its causal
+    /// history, so domination means every predecessor is included.
+    pub fn is_consistent<S: CutSpace + ?Sized>(&self, space: &S) -> bool {
+        debug_assert_eq!(self.len(), space.num_threads(), "frontier width mismatch");
+        self.frontier_events().all(|id| {
+            let vc = space.vc(id);
+            vc.as_slice()
+                .iter()
+                .zip(&self.counts)
+                .all(|(need, have)| need <= have)
+        })
+    }
+
+    /// Is event `e` *enabled* at this cut — i.e. is `self` extended with `e`
+    /// still consistent? Requires `e` to be the next event of its thread.
+    pub fn enables<S: CutSpace + ?Sized>(&self, space: &S, e: EventId) -> bool {
+        debug_assert_eq!(
+            e.index,
+            self.get(e.tid) + 1,
+            "enables() is defined for the next event of its thread"
+        );
+        let vc = space.vc(e);
+        vc.as_slice().iter().enumerate().all(|(j, &need)| {
+            if j == e.tid.index() {
+                true // own component is e.index itself
+            } else {
+                need <= self.counts[j]
+            }
+        })
+    }
+
+    /// The cut obtained by executing one more event of thread `t`.
+    pub fn advanced(&self, t: Tid) -> Frontier {
+        let mut next = self.clone();
+        next.counts[t.index()] += 1;
+        next
+    }
+}
+
+impl fmt::Debug for Frontier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{:?}", self.counts)
+    }
+}
+
+impl fmt::Display for Frontier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Paper notation: {1,0}.
+        write!(f, "{{")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PosetBuilder;
+    use crate::Poset;
+
+    /// The poset of Figure 4(a): two threads, two events each, with
+    /// `e2[1] → e1[2]` and `e1[1] → e2[2]` (cross dependencies).
+    fn figure4_poset() -> Poset {
+        let mut b = PosetBuilder::new(2);
+        let e1_1 = b.append(Tid(0), ());
+        let e2_1 = b.append(Tid(1), ());
+        b.append_after(Tid(0), &[e2_1], ());
+        b.append_after(Tid(1), &[e1_1], ());
+        b.finish()
+    }
+
+    #[test]
+    fn paper_figure_4_consistency() {
+        let p = figure4_poset();
+        // G1 = {1,0} and G2 = {1,2} are consistent; G3 = {2,0} is not
+        // (it misses e2[1] → e1[2]).
+        assert!(Frontier::from_counts(vec![1, 0]).is_consistent(&p));
+        assert!(Frontier::from_counts(vec![1, 2]).is_consistent(&p));
+        assert!(!Frontier::from_counts(vec![2, 0]).is_consistent(&p));
+        assert!(!Frontier::from_counts(vec![0, 2]).is_consistent(&p));
+    }
+
+    #[test]
+    fn empty_cut_is_always_consistent() {
+        let p = figure4_poset();
+        assert!(Frontier::empty(2).is_consistent(&p));
+    }
+
+    #[test]
+    fn contains_and_frontier_events() {
+        let g = Frontier::from_counts(vec![2, 0, 1]);
+        assert!(g.contains(EventId::new(Tid(0), 1)));
+        assert!(g.contains(EventId::new(Tid(0), 2)));
+        assert!(!g.contains(EventId::new(Tid(0), 3)));
+        assert!(!g.contains(EventId::new(Tid(1), 1)));
+        let fe: Vec<EventId> = g.frontier_events().collect();
+        assert_eq!(
+            fe,
+            vec![EventId::new(Tid(0), 2), EventId::new(Tid(2), 1)]
+        );
+        assert_eq!(g.total_events(), 3);
+    }
+
+    #[test]
+    fn product_order_and_lattice_ops() {
+        let a = Frontier::from_counts(vec![1, 2]);
+        let b = Frontier::from_counts(vec![2, 1]);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        assert_eq!(a.join(&b).as_slice(), &[2, 2]);
+        assert_eq!(a.meet(&b).as_slice(), &[1, 1]);
+        assert!(a.meet(&b).leq(&a));
+        assert!(a.leq(&a.join(&b)));
+    }
+
+    #[test]
+    fn join_of_consistent_cuts_is_consistent() {
+        let p = figure4_poset();
+        let a = Frontier::from_counts(vec![2, 1]); // needs e2[1]: ok
+        let b = Frontier::from_counts(vec![1, 2]);
+        assert!(a.is_consistent(&p));
+        assert!(b.is_consistent(&p));
+        assert!(a.join(&b).is_consistent(&p));
+        assert!(a.meet(&b).is_consistent(&p));
+    }
+
+    #[test]
+    fn enables_respects_cross_dependencies() {
+        let p = figure4_poset();
+        let g = Frontier::from_counts(vec![1, 0]);
+        // e1[2] needs e2[1]; e2[1] needs nothing beyond e1[0].
+        assert!(!g.enables(&p, EventId::new(Tid(0), 2)));
+        assert!(g.enables(&p, EventId::new(Tid(1), 1)));
+        let g2 = g.advanced(Tid(1));
+        assert!(g2.enables(&p, EventId::new(Tid(0), 2)));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Frontier::from_counts(vec![1, 0]).to_string(), "{1,0}");
+        assert_eq!(Frontier::empty(3).to_string(), "{0,0,0}");
+    }
+
+    #[test]
+    fn from_clock_is_gmin() {
+        let p = figure4_poset();
+        // Gmin(e1[2]) = e1[2].vc = [2,1].
+        let id = EventId::new(Tid(0), 2);
+        let gmin = Frontier::from_clock(p.vc(id));
+        assert_eq!(gmin.as_slice(), &[2, 1]);
+        assert!(gmin.is_consistent(&p));
+        assert!(gmin.contains(id));
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! Event posets and consistent global states (consistent cuts).
+//!
+//! A concurrent execution is modeled — as in §2 of the ParaMount paper — as
+//! a poset `P = (E, →)` of events under Lamport's happened-before relation,
+//! with the events of each thread forming a totally ordered sequence. This
+//! crate provides:
+//!
+//! * [`EventId`] / [`Event`] / [`Poset`] — the poset itself, stored as
+//!   per-thread event sequences whose vector clocks encode the full
+//!   happened-before relation (§2.2).
+//! * [`Frontier`] — a global state identified by the per-thread event
+//!   counts of its frontier, with consistency checks, lattice meet/join,
+//!   and the product comparison `G ≤ G'` used to bound intervals.
+//! * [`builder::PosetBuilder`] — an explicit-dependency DAG builder that
+//!   computes vector clocks incrementally.
+//! * [`topo`] — linear extensions (`→p` orders): vector-clock-weight sort
+//!   and Kahn's algorithm over covering edges, both satisfying the paper's
+//!   Property 1 (`e → f ⇒ e →p f`).
+//! * [`random`] — the random "distributed computation" generator behind the
+//!   paper's `d-300`, `d-500` and `d-10K` benchmarks.
+//! * [`oracle`] — brute-force enumeration and counting of all consistent
+//!   cuts, used as the ground truth the real algorithms are tested against.
+//!
+//! The poset is generic over an event payload `P` (operation kind, memory
+//! address, …) so that the enumeration layer stays payload-agnostic while
+//! the predicate-detection layer can attach whatever it needs.
+
+pub mod analysis;
+pub mod builder;
+pub mod dot;
+mod event;
+mod frontier;
+pub mod oracle;
+mod poset;
+pub mod random;
+mod space;
+pub mod topo;
+
+pub use event::{Event, EventId};
+pub use frontier::Frontier;
+pub use poset::Poset;
+pub use space::CutSpace;
+pub use paramount_vclock::{ClockOrdering, Tid, VectorClock};

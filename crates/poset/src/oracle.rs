@@ -1,0 +1,241 @@
+//! Brute-force enumeration of consistent cuts — the test oracle.
+//!
+//! Two independent, deliberately naive implementations:
+//!
+//! * [`enumerate_product_scan`] walks the full product space
+//!   `∏ (|E_i|+1)` and filters by [`Frontier::is_consistent`]. Obviously
+//!   correct, exponential in everything; use on tiny posets only.
+//! * [`enumerate_reachability`] grows cuts event by event from the empty
+//!   cut with a visited set. Linear in the number of consistent cuts.
+//!
+//! The real algorithms (BFS, DFS, lexical, ParaMount) are tested for set
+//! equality against these, and the two oracles are tested against each
+//! other.
+
+use crate::{CutSpace, Frontier, Poset};
+use paramount_vclock::Tid;
+use std::collections::HashSet;
+
+/// Enumerates every consistent cut by scanning the whole product space.
+///
+/// Returns cuts in lexicographic frontier order (a useful property for
+/// comparing against the lexical algorithm's output order).
+pub fn enumerate_product_scan<P>(poset: &Poset<P>) -> Vec<Frontier> {
+    let n = poset.num_threads();
+    let limits: Vec<u32> = (0..n)
+        .map(|t| poset.events_of(Tid::from(t)) as u32)
+        .collect();
+    let mut out = Vec::new();
+    let mut current = vec![0u32; n];
+    loop {
+        let frontier = Frontier::from_counts(current.clone());
+        if frontier.is_consistent(poset) {
+            out.push(frontier);
+        }
+        // Mixed-radix increment, least significant = last component, so
+        // output order is lexicographic on the frontier vector.
+        let mut i = n;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if current[i] < limits[i] {
+                current[i] += 1;
+                for c in current.iter_mut().skip(i + 1) {
+                    *c = 0;
+                }
+                break;
+            }
+        }
+        if n == 0 {
+            // Zero-width poset: only the empty frontier exists.
+            return out;
+        }
+    }
+}
+
+/// Enumerates every consistent cut by breadth-first reachability from the
+/// empty cut, deduplicating with a hash set.
+pub fn enumerate_reachability<P>(poset: &Poset<P>) -> Vec<Frontier> {
+    let n = poset.num_threads();
+    let mut seen: HashSet<Frontier> = HashSet::new();
+    let mut stack = vec![Frontier::empty(n)];
+    seen.insert(Frontier::empty(n));
+    let mut out = Vec::new();
+    while let Some(g) = stack.pop() {
+        for t in Tid::all(n) {
+            let next_index = g.get(t) + 1;
+            if next_index as usize <= poset.events_of(t) {
+                let e = crate::EventId::new(t, next_index);
+                if g.enables(poset, e) {
+                    let succ = g.advanced(t);
+                    if seen.insert(succ.clone()) {
+                        stack.push(succ);
+                    }
+                }
+            }
+        }
+        out.push(g);
+    }
+    out
+}
+
+/// Capped reachability enumeration over any [`CutSpace`]; returns `None`
+/// when the lattice exceeds `cap` cuts (protects callers from explosive
+/// inputs — used by the DOT exporter).
+pub fn enumerate_reachability_generic<S: CutSpace + ?Sized>(
+    space: &S,
+    cap: usize,
+) -> Option<Vec<Frontier>> {
+    let n = space.num_threads();
+    let mut seen: HashSet<Frontier> = HashSet::new();
+    let mut stack = vec![Frontier::empty(n)];
+    seen.insert(Frontier::empty(n));
+    let mut out = Vec::new();
+    while let Some(g) = stack.pop() {
+        for t in Tid::all(n) {
+            let next_index = g.get(t) + 1;
+            if next_index as usize <= space.events_of(t) {
+                let e = crate::EventId::new(t, next_index);
+                if g.enables(space, e) {
+                    let succ = g.advanced(t);
+                    if seen.insert(succ.clone()) {
+                        if seen.len() > cap {
+                            return None;
+                        }
+                        stack.push(succ);
+                    }
+                }
+            }
+        }
+        out.push(g);
+    }
+    Some(out)
+}
+
+/// Number of consistent cuts — the paper's `i(P)`.
+pub fn count_ideals<P>(poset: &Poset<P>) -> u64 {
+    let n = poset.num_threads();
+    let mut seen: HashSet<Frontier> = HashSet::new();
+    let mut stack = vec![Frontier::empty(n)];
+    seen.insert(Frontier::empty(n));
+    while let Some(g) = stack.pop() {
+        for t in Tid::all(n) {
+            let next_index = g.get(t) + 1;
+            if next_index as usize <= poset.events_of(t) {
+                let e = crate::EventId::new(t, next_index);
+                if g.enables(poset, e) {
+                    let succ = g.advanced(t);
+                    if seen.insert(succ.clone()) {
+                        stack.push(succ);
+                    }
+                }
+            }
+        }
+    }
+    seen.len() as u64
+}
+
+/// Sorts cuts into canonical (lexicographic) order — helper for comparing
+/// enumerations that emit in different orders.
+pub fn canonicalize(mut cuts: Vec<Frontier>) -> Vec<Frontier> {
+    cuts.sort_unstable();
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PosetBuilder;
+    use crate::random::RandomComputation;
+
+    fn figure4() -> Poset {
+        let mut b = PosetBuilder::new(2);
+        let a = b.append(Tid(0), ());
+        let bb = b.append(Tid(1), ());
+        b.append_after(Tid(0), &[bb], ());
+        b.append_after(Tid(1), &[a], ());
+        b.finish()
+    }
+
+    #[test]
+    fn figure4_has_seven_consistent_cuts() {
+        // 3×3 grid minus the two inconsistent corners {2,0} and {0,2}
+        // (Figure 4(c) grays exactly those out).
+        let p = figure4();
+        let cuts = enumerate_product_scan(&p);
+        assert_eq!(cuts.len(), 7);
+        assert_eq!(count_ideals(&p), 7);
+        assert!(!cuts.contains(&Frontier::from_counts(vec![2, 0])));
+        assert!(!cuts.contains(&Frontier::from_counts(vec![0, 2])));
+    }
+
+    #[test]
+    fn figure2_monitor_example_has_eight_cuts() {
+        // Figure 2(a): t1 = e1, x.notify, e3 ; t2 = x.wait, e2 with the
+        // monitor edge x.notify → x.wait. The paper draws G1..G8.
+        let mut b = PosetBuilder::new(2);
+        b.append(Tid(0), ()); // e1
+        let notify = b.append(Tid(0), ());
+        b.append(Tid(0), ()); // e3
+        b.append_after(Tid(1), &[notify], ()); // x.wait
+        b.append(Tid(1), ()); // e2
+        let p = b.finish();
+        assert_eq!(count_ideals(&p), 8);
+    }
+
+    #[test]
+    fn oracles_agree_on_random_posets() {
+        for seed in 0..30 {
+            let p = RandomComputation::new(3, 5, 0.4, seed).generate();
+            let a = canonicalize(enumerate_product_scan(&p));
+            let b = canonicalize(enumerate_reachability(&p));
+            assert_eq!(a, b, "oracle mismatch on seed {seed}");
+            assert_eq!(a.len() as u64, count_ideals(&p));
+        }
+    }
+
+    #[test]
+    fn independent_chains_multiply() {
+        // Two independent chains of lengths 2 and 3: (2+1)*(3+1) = 12 ideals.
+        let mut b = PosetBuilder::new(2);
+        b.append(Tid(0), ());
+        b.append(Tid(0), ());
+        b.append(Tid(1), ());
+        b.append(Tid(1), ());
+        b.append(Tid(1), ());
+        let p = b.finish();
+        assert_eq!(count_ideals(&p), 12);
+    }
+
+    #[test]
+    fn totally_ordered_events_form_a_chain() {
+        // t0 → t1 → t0 → t1 fully synchronized: ideals = |E| + 1.
+        let mut b = PosetBuilder::new(2);
+        let mut last = b.append(Tid(0), ());
+        for i in 0..5 {
+            let t = Tid((i % 2 == 0) as u32);
+            last = b.append_after(t, &[last], ());
+        }
+        let p = b.finish();
+        assert_eq!(count_ideals(&p), 7);
+    }
+
+    #[test]
+    fn empty_poset_has_one_cut() {
+        let p: Poset = Poset::empty(4);
+        assert_eq!(count_ideals(&p), 1);
+        assert_eq!(enumerate_product_scan(&p).len(), 1);
+        assert_eq!(enumerate_reachability(&p).len(), 1);
+    }
+
+    #[test]
+    fn product_scan_emits_lexicographic_order() {
+        let p = figure4();
+        let cuts = enumerate_product_scan(&p);
+        let mut sorted = cuts.clone();
+        sorted.sort_unstable();
+        assert_eq!(cuts, sorted);
+    }
+}

@@ -1,0 +1,245 @@
+use crate::{Event, EventId, Frontier};
+use paramount_vclock::{Tid, VectorClock};
+
+/// A poset of events under happened-before, stored as one totally ordered
+/// event sequence per thread (§2.1 of the paper).
+///
+/// The cross-thread part of the order is carried entirely by the events'
+/// vector clocks: `e → f  ⇔  e.vc ≤ f.vc ∧ e ≠ f`. This makes the poset a
+/// plain, immutable, cache-friendly array-of-arrays; all enumeration
+/// algorithms walk it without auxiliary graph structures.
+///
+/// `P` is the per-event payload (defaults to `()` for pure enumeration).
+#[derive(Clone, Debug)]
+pub struct Poset<P = ()> {
+    threads: Vec<Vec<Event<P>>>,
+}
+
+impl<P> Poset<P> {
+    /// Builds a poset from per-thread event sequences.
+    ///
+    /// Panics (in debug builds) if ids are inconsistent with positions or
+    /// clocks have the wrong width — the invariants every algorithm in this
+    /// workspace relies on.
+    pub fn from_threads(threads: Vec<Vec<Event<P>>>) -> Self {
+        #[cfg(debug_assertions)]
+        let n = threads.len();
+        #[cfg(debug_assertions)]
+        for (i, seq) in threads.iter().enumerate() {
+            for (k, e) in seq.iter().enumerate() {
+                debug_assert_eq!(e.id.tid.index(), i, "event stored on wrong thread");
+                debug_assert_eq!(e.id.index as usize, k + 1, "event index mismatch");
+                debug_assert_eq!(e.vc.len(), n, "clock width mismatch");
+                debug_assert_eq!(
+                    e.vc.get(Tid::from(i)),
+                    e.id.index,
+                    "own clock component must equal the event index"
+                );
+            }
+        }
+        Poset { threads }
+    }
+
+    /// An empty poset over `n` threads.
+    pub fn empty(n: usize) -> Self {
+        Poset {
+            threads: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of threads (the paper's `n`).
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total number of events (the paper's `|E|`).
+    pub fn num_events(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+
+    /// Number of events of one thread.
+    #[inline]
+    pub fn events_of(&self, t: Tid) -> usize {
+        self.threads[t.index()].len()
+    }
+
+    /// The event with the given id.
+    #[inline]
+    pub fn event(&self, id: EventId) -> &Event<P> {
+        &self.threads[id.tid.index()][(id.index - 1) as usize]
+    }
+
+    /// The vector clock of the given event.
+    #[inline]
+    pub fn vc(&self, id: EventId) -> &VectorClock {
+        &self.event(id).vc
+    }
+
+    /// The payload of the given event.
+    #[inline]
+    pub fn payload(&self, id: EventId) -> &P {
+        &self.event(id).payload
+    }
+
+    /// Iterates over all events, thread by thread.
+    pub fn events(&self) -> impl Iterator<Item = &Event<P>> {
+        self.threads.iter().flat_map(|seq| seq.iter())
+    }
+
+    /// Iterates over the events of one thread in program order.
+    pub fn thread_events(&self, t: Tid) -> impl Iterator<Item = &Event<P>> {
+        self.threads[t.index()].iter()
+    }
+
+    /// The final global state: every event of every thread.
+    pub fn final_frontier(&self) -> Frontier {
+        Frontier::from_counts(self.threads.iter().map(|s| s.len() as u32).collect())
+    }
+
+    /// `e → f` (strict happened-before), decided from the vector clocks.
+    pub fn happened_before(&self, e: EventId, f: EventId) -> bool {
+        if e == f {
+            return false;
+        }
+        // e → f ⇔ f's history includes e: e.index ≤ f.vc[e.tid].
+        // (Cheaper than a full clock comparison and equivalent for events
+        // of a well-formed computation.)
+        e.index <= self.vc(f).get(e.tid)
+    }
+
+    /// `e` and `f` are concurrent (causally unordered, distinct).
+    pub fn concurrent(&self, e: EventId, f: EventId) -> bool {
+        e != f && !self.happened_before(e, f) && !self.happened_before(f, e)
+    }
+
+    /// Immediate (covering-edge over-approximation) predecessors of an
+    /// event: the previous event of its own thread plus, per other thread
+    /// `j`, the latest event of `j` in its history. At most `n` ids.
+    ///
+    /// Every `e → f` pair is reachable through these edges, which is all
+    /// Kahn's algorithm and the builders need; the set may include
+    /// transitively implied edges (that is harmless).
+    pub fn immediate_predecessors(&self, id: EventId) -> Vec<EventId> {
+        let vc = self.vc(id);
+        let mut preds = Vec::new();
+        for j in 0..self.num_threads() {
+            let tj = Tid::from(j);
+            let k = if tj == id.tid {
+                id.index - 1
+            } else {
+                vc.get(tj)
+            };
+            if k >= 1 {
+                preds.push(EventId::new(tj, k));
+            }
+        }
+        preds
+    }
+
+    /// Counts the pairs of the happened-before relation (the paper's `|H|`),
+    /// by brute force — O(|E|²), intended for reporting on small posets.
+    pub fn count_hb_pairs(&self) -> u64 {
+        let ids: Vec<EventId> = self.events().map(|e| e.id).collect();
+        let mut count = 0;
+        for &e in &ids {
+            for &f in &ids {
+                if self.happened_before(e, f) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+impl<P: Clone> Poset<P> {
+    /// The restriction of the poset to a consistent cut: keeps only the
+    /// events inside `frontier`. Useful for slicing off a prefix of an
+    /// online computation.
+    pub fn prefix(&self, frontier: &Frontier) -> Poset<P> {
+        debug_assert_eq!(frontier.len(), self.num_threads());
+        let threads = self
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(i, seq)| seq[..frontier.get(Tid::from(i)) as usize].to_vec())
+            .collect();
+        Poset { threads }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PosetBuilder;
+
+    fn diamond() -> Poset {
+        // t0: a -> c ; t1: b -> d ; cross: b → c, a → d  (Figure 4 shape)
+        let mut b = PosetBuilder::new(2);
+        let a = b.append(Tid(0), ());
+        let bb = b.append(Tid(1), ());
+        b.append_after(Tid(0), &[bb], ());
+        b.append_after(Tid(1), &[a], ());
+        b.finish()
+    }
+
+    #[test]
+    fn sizes() {
+        let p = diamond();
+        assert_eq!(p.num_threads(), 2);
+        assert_eq!(p.num_events(), 4);
+        assert_eq!(p.events_of(Tid(0)), 2);
+        assert_eq!(p.final_frontier().as_slice(), &[2, 2]);
+    }
+
+    #[test]
+    fn happened_before_from_clocks() {
+        let p = diamond();
+        let a = EventId::new(Tid(0), 1);
+        let b = EventId::new(Tid(1), 1);
+        let c = EventId::new(Tid(0), 2);
+        let d = EventId::new(Tid(1), 2);
+        assert!(p.happened_before(a, c));
+        assert!(p.happened_before(b, c));
+        assert!(p.happened_before(a, d));
+        assert!(p.happened_before(b, d)); // via b's own thread order? b→d same thread
+        assert!(p.concurrent(a, b));
+        assert!(p.concurrent(c, d));
+        assert!(!p.happened_before(c, c));
+    }
+
+    #[test]
+    fn immediate_predecessors_cover_history() {
+        let p = diamond();
+        let c = EventId::new(Tid(0), 2);
+        let preds = p.immediate_predecessors(c);
+        assert!(preds.contains(&EventId::new(Tid(0), 1)));
+        assert!(preds.contains(&EventId::new(Tid(1), 1)));
+        let a = EventId::new(Tid(0), 1);
+        assert!(p.immediate_predecessors(a).is_empty());
+    }
+
+    #[test]
+    fn hb_pair_count() {
+        let p = diamond();
+        // Pairs: a→c, b→c, a→d, b→d = 4.
+        assert_eq!(p.count_hb_pairs(), 4);
+    }
+
+    #[test]
+    fn prefix_restricts_events() {
+        let p = diamond();
+        let pre = p.prefix(&Frontier::from_counts(vec![1, 1]));
+        assert_eq!(pre.num_events(), 2);
+        assert_eq!(pre.final_frontier().as_slice(), &[1, 1]);
+    }
+
+    #[test]
+    fn empty_poset() {
+        let p: Poset = Poset::empty(3);
+        assert_eq!(p.num_events(), 0);
+        assert_eq!(p.final_frontier().as_slice(), &[0, 0, 0]);
+        assert!(Frontier::empty(3).is_consistent(&p));
+    }
+}

@@ -1,0 +1,214 @@
+//! Random distributed computations — the paper's `d-*` benchmarks.
+//!
+//! The evaluation's `d-300`, `d-500` and `d-10K` inputs are "randomly
+//! generated posets for modeling distributed computations": `n` processes
+//! each executing a sequence of events, with messages creating cross-process
+//! happened-before edges. This module reproduces that model with a seeded
+//! generator so every benchmark row is reproducible.
+//!
+//! The message model: a process with a pending incoming message always
+//! consumes it at its next event (a *receive*, adding the
+//! `send → receive` edge); otherwise the event is a *send* to a uniformly
+//! random other process with probability `message_fraction`, else an
+//! *internal* event. Eager receipt makes the fraction an effective
+//! density knob: 0.0 yields independent chains (maximal lattice
+//! `∏(|E_i|+1)`), values near 1.0 an almost totally ordered computation.
+
+use crate::builder::PosetBuilder;
+use crate::Poset;
+use paramount_vclock::Tid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Configuration for one random distributed computation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RandomComputation {
+    /// Number of processes (the paper's `n`; 10 for the `d-*` posets).
+    pub processes: usize,
+    /// Events per process (total events = `processes * events_per_process`).
+    pub events_per_process: usize,
+    /// Probability that an event attempts to be a send (and, symmetrically,
+    /// that an event consumes a pending message when one is available).
+    pub message_fraction: f64,
+    /// RNG seed; same seed ⇒ same poset.
+    pub seed: u64,
+}
+
+impl RandomComputation {
+    /// Convenience constructor.
+    pub fn new(
+        processes: usize,
+        events_per_process: usize,
+        message_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        RandomComputation {
+            processes,
+            events_per_process,
+            message_fraction,
+            seed,
+        }
+    }
+
+    /// Total number of events this configuration generates.
+    pub fn total_events(&self) -> usize {
+        self.processes * self.events_per_process
+    }
+
+    /// Generates the poset.
+    pub fn generate(&self) -> Poset {
+        self.generate_with_payload(|_, _| ())
+    }
+
+    /// Generates the poset, attaching `payload(tid, kind)` to each event.
+    pub fn generate_with_payload<P>(
+        &self,
+        mut payload: impl FnMut(Tid, RandomEventKind) -> P,
+    ) -> Poset<P> {
+        assert!(self.processes > 0, "need at least one process");
+        assert!(
+            (0.0..=1.0).contains(&self.message_fraction),
+            "message_fraction must be a probability"
+        );
+        let n = self.processes;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut builder = PosetBuilder::new(n);
+        // Pending messages per destination process: the sending EventId.
+        let mut inboxes: Vec<VecDeque<crate::EventId>> = vec![VecDeque::new(); n];
+        // Remaining quota per process.
+        let mut remaining: Vec<usize> = vec![self.events_per_process; n];
+        let mut alive: Vec<usize> = (0..n).filter(|&i| remaining[i] > 0).collect();
+
+        while !alive.is_empty() {
+            // Pick a random process that still has quota — this interleaves
+            // the processes, so message edges can point in any direction.
+            let slot = rng.gen_range(0..alive.len());
+            let p = alive[slot];
+            let t = Tid::from(p);
+
+            let id = if !inboxes[p].is_empty() {
+                // Eager, batched receive: the destination's next event
+                // consumes *every* pending message (join of all senders'
+                // clocks). Without eager batching, high send rates just
+                // pile up unconsumed messages and the density knob stops
+                // controlling the lattice size.
+                let sends: Vec<crate::EventId> = inboxes[p].drain(..).collect();
+                builder.append_after(t, &sends, payload(t, RandomEventKind::Receive))
+            } else if rng.gen_bool(self.message_fraction) && n > 1 {
+                // Send to a uniformly random other process.
+                let mut dest = rng.gen_range(0..n - 1);
+                if dest >= p {
+                    dest += 1;
+                }
+                let id = builder.append(t, payload(t, RandomEventKind::Send));
+                inboxes[dest].push_back(id);
+                id
+            } else {
+                builder.append(t, payload(t, RandomEventKind::Internal))
+            };
+            let _ = id;
+
+            remaining[p] -= 1;
+            if remaining[p] == 0 {
+                alive.swap_remove(slot);
+            }
+        }
+        builder.finish()
+    }
+}
+
+/// What a generated event was, for payload attachment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RandomEventKind {
+    /// Purely local event.
+    Internal,
+    /// Message send (creates an edge to a later receive, if consumed).
+    Send,
+    /// Message receive (has an incoming edge from its send).
+    Receive,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::count_ideals;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RandomComputation::new(4, 8, 0.5, 42).generate();
+        let b = RandomComputation::new(4, 8, 0.5, 42).generate();
+        assert_eq!(a.num_events(), b.num_events());
+        for (ea, eb) in a.events().zip(b.events()) {
+            assert_eq!(ea.id, eb.id);
+            assert_eq!(ea.vc, eb.vc);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = RandomComputation::new(4, 8, 0.5, 1).generate();
+        let b = RandomComputation::new(4, 8, 0.5, 2).generate();
+        let same = a
+            .events()
+            .zip(b.events())
+            .all(|(ea, eb)| ea.vc == eb.vc);
+        assert!(!same, "two seeds produced identical computations");
+    }
+
+    #[test]
+    fn shape_matches_configuration() {
+        let cfg = RandomComputation::new(5, 7, 0.3, 9);
+        let p = cfg.generate();
+        assert_eq!(p.num_threads(), 5);
+        assert_eq!(p.num_events(), cfg.total_events());
+        for t in Tid::all(5) {
+            assert_eq!(p.events_of(t), 7);
+        }
+    }
+
+    #[test]
+    fn zero_fraction_yields_independent_chains() {
+        let p = RandomComputation::new(3, 4, 0.0, 7).generate();
+        // No messages: lattice is the full product (4+1)^3.
+        assert_eq!(count_ideals(&p), 125);
+    }
+
+    #[test]
+    fn high_fraction_shrinks_the_lattice() {
+        let loose = RandomComputation::new(3, 5, 0.1, 11).generate();
+        let tight = RandomComputation::new(3, 5, 0.9, 11).generate();
+        assert!(
+            count_ideals(&tight) < count_ideals(&loose),
+            "more messages should mean fewer consistent cuts"
+        );
+    }
+
+    #[test]
+    fn single_process_is_a_chain() {
+        let p = RandomComputation::new(1, 10, 0.5, 3).generate();
+        assert_eq!(count_ideals(&p), 11);
+    }
+
+    #[test]
+    fn payload_reflects_event_kinds() {
+        let cfg = RandomComputation::new(3, 10, 0.8, 5);
+        let p = cfg.generate_with_payload(|_, kind| kind);
+        let sends = p
+            .events()
+            .filter(|e| *e.payload() == RandomEventKind::Send)
+            .count();
+        let receives = p
+            .events()
+            .filter(|e| *e.payload() == RandomEventKind::Receive)
+            .count();
+        assert!(sends >= receives, "every receive consumes a send");
+        assert!(sends > 0, "fraction 0.8 must generate sends");
+    }
+
+    impl<P> crate::Event<P> {
+        fn payload(&self) -> &P {
+            &self.payload
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The [`CutSpace`] abstraction: anything cuts can be enumerated over.
+//!
+//! Offline algorithms walk an immutable [`crate::Poset`]. ParaMount's
+//! *online* mode (the paper's Algorithm 4) walks a poset that is still
+//! growing while bounded enumerations run concurrently. Both expose the
+//! same three primitives — thread count, per-thread event count, and the
+//! vector clock of an event — which is everything the enumeration layer
+//! needs. `CutSpace` captures that contract so every algorithm in
+//! `paramount-enumerate` works unchanged over either store.
+//!
+//! Contract for concurrent implementors (Theorem 3 of the paper): an event
+//! must be fully published — its clock readable via [`CutSpace::vc`] —
+//! before any interval whose `Gbnd` covers it is handed to a worker.
+//! Bounded enumerators only touch events inside `Gbnd`, so they never
+//! observe a partially inserted event.
+
+use crate::{EventId, Frontier, Poset};
+use paramount_vclock::{Tid, VectorClock};
+
+/// A store of events that consistent cuts can range over.
+pub trait CutSpace {
+    /// Number of threads (fixed for the lifetime of the space).
+    fn num_threads(&self) -> usize;
+
+    /// Number of *published* events of thread `t` (may grow over time for
+    /// online spaces).
+    fn events_of(&self, t: Tid) -> usize;
+
+    /// Vector clock of a published event.
+    fn vc(&self, id: EventId) -> &VectorClock;
+
+    /// The frontier containing every currently published event.
+    fn current_frontier(&self) -> Frontier {
+        Frontier::from_counts(
+            (0..self.num_threads())
+                .map(|t| self.events_of(Tid::from(t)) as u32)
+                .collect(),
+        )
+    }
+
+    /// `e → f` (strict happened-before) among published events.
+    fn hb(&self, e: EventId, f: EventId) -> bool {
+        e != f && e.index <= self.vc(f).get(e.tid)
+    }
+
+    /// `e` and `f` are concurrent.
+    fn concurrent(&self, e: EventId, f: EventId) -> bool {
+        e != f && !self.hb(e, f) && !self.hb(f, e)
+    }
+}
+
+impl<P> CutSpace for Poset<P> {
+    #[inline]
+    fn num_threads(&self) -> usize {
+        Poset::num_threads(self)
+    }
+
+    #[inline]
+    fn events_of(&self, t: Tid) -> usize {
+        Poset::events_of(self, t)
+    }
+
+    #[inline]
+    fn vc(&self, id: EventId) -> &VectorClock {
+        Poset::vc(self, id)
+    }
+}
+
+impl<S: CutSpace + ?Sized> CutSpace for &S {
+    fn num_threads(&self) -> usize {
+        (**self).num_threads()
+    }
+
+    fn events_of(&self, t: Tid) -> usize {
+        (**self).events_of(t)
+    }
+
+    fn vc(&self, id: EventId) -> &VectorClock {
+        (**self).vc(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PosetBuilder;
+
+    #[test]
+    fn poset_implements_cut_space() {
+        let mut b = PosetBuilder::new(2);
+        let a = b.append(Tid(0), ());
+        b.append_after(Tid(1), &[a], ());
+        let p = b.finish();
+        let space: &dyn CutSpace = &p;
+        assert_eq!(space.num_threads(), 2);
+        assert_eq!(space.events_of(Tid(0)), 1);
+        assert_eq!(space.current_frontier().as_slice(), &[1, 1]);
+        assert!(space.hb(a, EventId::new(Tid(1), 1)));
+        assert!(!space.concurrent(a, EventId::new(Tid(1), 1)));
+    }
+
+    #[test]
+    fn reference_forwarding() {
+        let p: Poset = Poset::empty(3);
+        let r = &p;
+        assert_eq!(CutSpace::num_threads(&r), 3);
+        assert_eq!(r.current_frontier().as_slice(), &[0, 0, 0]);
+    }
+}

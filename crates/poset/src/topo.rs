@@ -1,0 +1,196 @@
+//! Linear extensions of the poset — the paper's total order `→p`.
+//!
+//! ParaMount may use *any* topological order of the event DAG (§3.1); the
+//! choice only affects how the lattice is carved into intervals, never
+//! correctness. Two orders are provided:
+//!
+//! * [`weight_order`] — sort events by vector-clock weight. If `e → f`
+//!   then `e.vc ≨ f.vc`, so `weight(e) < weight(f)`: the sort is a valid
+//!   linear extension, computed in `O(|E| log |E|)` with no graph walk.
+//! * [`kahn_order`] — classic Kahn's algorithm over the covering edges,
+//!   `O(|E| + |H|)` as analyzed in §3.4 of the paper.
+//!
+//! Both are deterministic (ties broken by `(tid, index)`), which keeps
+//! interval partitions — and therefore benchmark numbers — reproducible.
+
+use crate::{CutSpace, EventId};
+use paramount_vclock::Tid;
+use std::collections::VecDeque;
+
+/// Linear extension by vector-clock weight (sum of components).
+///
+/// Ties (necessarily concurrent or equal-weight-incomparable events) are
+/// broken by `(tid, index)` for determinism.
+pub fn weight_order<S: CutSpace + ?Sized>(poset: &S) -> Vec<EventId> {
+    let mut ids: Vec<(u64, EventId)> = all_event_ids(poset)
+        .map(|id| (poset.vc(id).weight(), id))
+        .collect();
+    ids.sort_unstable_by_key(|&(w, id)| (w, id.tid, id.index));
+    ids.into_iter().map(|(_, id)| id).collect()
+}
+
+/// Linear extension via Kahn's algorithm over the covering edges exposed by
+/// [`crate::Poset::immediate_predecessors`].
+pub fn kahn_order<S: CutSpace + ?Sized>(poset: &S) -> Vec<EventId> {
+    let n = poset.num_threads();
+    // Dense index for events: offsets[t] + (index-1).
+    let mut offsets = vec![0usize; n + 1];
+    for t in 0..n {
+        offsets[t + 1] = offsets[t] + poset.events_of(Tid::from(t));
+    }
+    let total = offsets[n];
+    let dense = |id: EventId| offsets[id.tid.index()] + (id.index - 1) as usize;
+
+    let mut indegree = vec![0u32; total];
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); total];
+    for id in all_event_ids(poset) {
+        let d = dense(id);
+        for pred in immediate_predecessors(poset, id) {
+            indegree[d] += 1;
+            successors[dense(pred)].push(d);
+        }
+    }
+
+    // Seed with all zero-indegree events, in (tid, index) order for
+    // determinism.
+    let mut queue: VecDeque<EventId> = VecDeque::new();
+    for t in 0..n {
+        for k in 1..=poset.events_of(Tid::from(t)) as u32 {
+            let id = EventId::new(Tid::from(t), k);
+            if indegree[dense(id)] == 0 {
+                queue.push_back(id);
+            }
+        }
+    }
+
+    // Map dense index back to EventId once, for the successor walk.
+    let mut id_of = vec![EventId::new(Tid(0), 1); total];
+    for id in all_event_ids(poset) {
+        id_of[dense(id)] = id;
+    }
+
+    let mut order = Vec::with_capacity(total);
+    while let Some(id) = queue.pop_front() {
+        order.push(id);
+        for &s in &successors[dense(id)] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                queue.push_back(id_of[s]);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), total, "poset contained a cycle?");
+    order
+}
+
+/// Checks that `order` is a permutation of all events satisfying the
+/// paper's Property 1: `e → f ⇒ e →p f`. O(|E|²); intended for tests.
+pub fn is_linear_extension<S: CutSpace + ?Sized>(poset: &S, order: &[EventId]) -> bool {
+    let total: usize = (0..poset.num_threads())
+        .map(|t| poset.events_of(Tid::from(t)))
+        .sum();
+    if order.len() != total {
+        return false;
+    }
+    let mut position = std::collections::HashMap::new();
+    for (pos, &id) in order.iter().enumerate() {
+        if position.insert(id, pos).is_some() {
+            return false; // duplicate
+        }
+    }
+    for &e in order {
+        for &f in order {
+            if poset.hb(e, f) && position[&e] >= position[&f] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+
+/// All event ids of a space, thread by thread, in program order.
+fn all_event_ids<S: CutSpace + ?Sized>(space: &S) -> impl Iterator<Item = EventId> + '_ {
+    (0..space.num_threads()).flat_map(move |t| {
+        let tid = Tid::from(t);
+        (1..=space.events_of(tid) as u32).map(move |k| EventId::new(tid, k))
+    })
+}
+
+/// Covering-edge predecessors derived from the vector clock (the
+/// `CutSpace` twin of [`crate::Poset::immediate_predecessors`]).
+fn immediate_predecessors<S: CutSpace + ?Sized>(space: &S, id: EventId) -> Vec<EventId> {
+    let vc = space.vc(id);
+    let mut preds = Vec::new();
+    for j in 0..space.num_threads() {
+        let tj = Tid::from(j);
+        let k = if tj == id.tid { id.index - 1 } else { vc.get(tj) };
+        if k >= 1 {
+            preds.push(EventId::new(tj, k));
+        }
+    }
+    preds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PosetBuilder;
+    use crate::random::RandomComputation;
+    use crate::Poset;
+
+    fn figure4() -> Poset {
+        let mut b = PosetBuilder::new(2);
+        let a = b.append(Tid(0), ());
+        let bb = b.append(Tid(1), ());
+        b.append_after(Tid(0), &[bb], ());
+        b.append_after(Tid(1), &[a], ());
+        b.finish()
+    }
+
+    #[test]
+    fn weight_order_is_linear_extension() {
+        let p = figure4();
+        let order = weight_order(&p);
+        assert!(is_linear_extension(&p, &order));
+    }
+
+    #[test]
+    fn kahn_order_is_linear_extension() {
+        let p = figure4();
+        let order = kahn_order(&p);
+        assert!(is_linear_extension(&p, &order));
+    }
+
+    #[test]
+    fn orders_on_random_computations() {
+        for seed in 0..20 {
+            let p = RandomComputation::new(4, 6, 0.5, seed).generate();
+            let w = weight_order(&p);
+            let k = kahn_order(&p);
+            assert!(is_linear_extension(&p, &w), "weight order failed seed {seed}");
+            assert!(is_linear_extension(&p, &k), "kahn order failed seed {seed}");
+        }
+    }
+
+    #[test]
+    fn is_linear_extension_rejects_bad_orders() {
+        let p = figure4();
+        let mut order = weight_order(&p);
+        // Swapping the first and last events must break Property 1 (the
+        // first event of a thread happens before the last of the same
+        // thread in this poset).
+        order.swap(0, 3);
+        assert!(!is_linear_extension(&p, &order));
+        // Truncated order is not a permutation.
+        assert!(!is_linear_extension(&p, &order[..3]));
+    }
+
+    #[test]
+    fn empty_poset_orders() {
+        let p: Poset = Poset::empty(3);
+        assert!(weight_order(&p).is_empty());
+        assert!(kahn_order(&p).is_empty());
+        assert!(is_linear_extension(&p, &[]));
+    }
+}

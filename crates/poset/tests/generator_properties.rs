@@ -1,0 +1,138 @@
+//! Property tests for the random distributed-computation generator and
+//! the structural invariants every generated poset must satisfy.
+
+use paramount_poset::random::{RandomComputation, RandomEventKind};
+use paramount_poset::{oracle, topo, CutSpace, EventId, Frontier, Tid};
+use proptest::prelude::*;
+
+fn arb_computation() -> impl Strategy<Value = RandomComputation> {
+    (2usize..6, 1usize..7, 0.0f64..1.0, any::<u64>()).prop_map(|(n, events, frac, seed)| {
+        RandomComputation::new(n, events, frac, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Vector clocks of generated posets are internally consistent:
+    /// own component = index, monotone along threads, and every
+    /// component points at an existing event.
+    #[test]
+    fn generated_clocks_are_well_formed(config in arb_computation()) {
+        let p = config.generate();
+        let n = CutSpace::num_threads(&p);
+        for t in 0..n {
+            let tid = Tid::from(t);
+            let mut prev: Option<paramount_vclock::VectorClock> = None;
+            for (k, e) in p.thread_events(tid).enumerate() {
+                prop_assert_eq!(e.vc.get(tid), k as u32 + 1);
+                for j in 0..n {
+                    let tj = Tid::from(j);
+                    prop_assert!(
+                        (e.vc.get(tj) as usize) <= CutSpace::events_of(&p, tj),
+                        "dangling clock component"
+                    );
+                }
+                if let Some(prev) = &prev {
+                    prop_assert!(prev.le(&e.vc));
+                }
+                prev = Some(e.vc.clone());
+            }
+        }
+    }
+
+    /// Receives know their sender: every receive's clock strictly
+    /// dominates some other-thread prefix (and internals/sends only know
+    /// what process order gives them... unless they follow a receive).
+    #[test]
+    fn receive_events_carry_cross_knowledge(config in arb_computation()) {
+        let p = config.generate_with_payload(|_, kind| kind);
+        for e in p.events() {
+            if *&e.payload == RandomEventKind::Receive {
+                let cross = (0..CutSpace::num_threads(&p)).any(|j| {
+                    let tj = Tid::from(j);
+                    tj != e.tid() && e.vc.get(tj) > 0
+                });
+                prop_assert!(cross, "receive with no cross edge at {}", e.id);
+            }
+        }
+    }
+
+    /// `Gmin(e)` read from any generated event's clock is a consistent
+    /// cut containing `e` as its own-thread frontier event (§2.2).
+    #[test]
+    fn gmin_from_clock_is_consistent(config in arb_computation()) {
+        let p = config.generate();
+        for e in p.events() {
+            let gmin = Frontier::from_clock(&e.vc);
+            prop_assert!(gmin.is_consistent(&p), "Gmin({}) inconsistent", e.id);
+            prop_assert_eq!(gmin.get(e.tid()), e.index());
+        }
+    }
+
+    /// Both topological orders are linear extensions of every generated
+    /// poset, and the interval partition under each covers the lattice.
+    #[test]
+    fn orders_and_partition_on_generated(config in arb_computation()) {
+        // Keep the oracle affordable.
+        prop_assume!(config.processes * config.events_per_process <= 18);
+        let p = config.generate();
+        for order in [topo::weight_order(&p), topo::kahn_order(&p)] {
+            prop_assert!(topo::is_linear_extension(&p, &order));
+        }
+        let total = oracle::count_ideals(&p);
+        prop_assert!(total >= (p.num_events() + 1) as u64, "chain lower bound");
+        // Upper bound: the full product.
+        let product: u64 = (0..CutSpace::num_threads(&p))
+            .map(|t| CutSpace::events_of(&p, Tid::from(t)) as u64 + 1)
+            .product();
+        prop_assert!(total <= product);
+    }
+
+    /// The level profile (when affordable) sums to the lattice size and
+    /// peaks at least as high as the widest antichain of threads.
+    #[test]
+    fn level_profile_consistency(config in arb_computation()) {
+        prop_assume!(config.processes * config.events_per_process <= 16);
+        let p = config.generate();
+        let profile = paramount_poset::analysis::level_profile(&p, 1_000_000)
+            .expect("small lattice");
+        let total: u64 = profile.iter().sum();
+        prop_assert_eq!(total, oracle::count_ideals(&p));
+        prop_assert_eq!(profile.len(), p.num_events() + 1);
+    }
+
+    /// `prefix()` of a consistent cut is itself a well-formed poset whose
+    /// lattice divides into the original's (every ideal of the prefix is
+    /// an ideal of the whole).
+    #[test]
+    fn prefix_posets_embed(
+        config in arb_computation(),
+        idx in any::<prop::sample::Index>(),
+    ) {
+        prop_assume!(config.processes * config.events_per_process <= 16);
+        let p = config.generate();
+        let cuts = oracle::enumerate_product_scan(&p);
+        let chosen = &cuts[idx.index(cuts.len())];
+        let prefix = p.prefix(chosen);
+        prop_assert_eq!(prefix.num_events() as u64, chosen.total_events());
+        for small in oracle::enumerate_product_scan(&prefix) {
+            // Same frontier, interpreted in the full poset, is consistent.
+            prop_assert!(small.is_consistent(&p));
+            prop_assert!(small.leq(chosen));
+        }
+    }
+
+    /// EventId display and ordering invariants hold across generated ids.
+    #[test]
+    fn event_id_roundtrip(config in arb_computation()) {
+        let p = config.generate();
+        for e in p.events() {
+            let id = e.id;
+            let shown = format!("{id}");
+            prop_assert!(shown.starts_with('e'));
+            let again = EventId::new(id.tid, id.index);
+            prop_assert_eq!(id, again);
+        }
+    }
+}

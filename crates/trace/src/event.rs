@@ -1,0 +1,203 @@
+use crate::VarId;
+use paramount_poset::Tid;
+use std::fmt;
+
+/// One monitored memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Access {
+    /// The variable touched.
+    pub var: VarId,
+    /// Write (`true`) or read (`false`).
+    pub is_write: bool,
+    /// The globally first write of this variable (set by the recorder).
+    ///
+    /// The paper's detector (§5.2) never blames initialization writes for
+    /// a race — "no other thread can have reference to an uninstantiated
+    /// object" — which is how it avoids FastTrack's benign report on
+    /// `set (correct)`. The flag carries that information to the race
+    /// predicate; FastTrack deliberately ignores it.
+    pub init: bool,
+}
+
+impl Access {
+    /// A read of `var`.
+    pub fn read(var: VarId) -> Self {
+        Access {
+            var,
+            is_write: false,
+            init: false,
+        }
+    }
+
+    /// A write of `var`.
+    pub fn write(var: VarId) -> Self {
+        Access {
+            var,
+            is_write: true,
+            init: false,
+        }
+    }
+
+    /// The initializing (globally first) write of `var`.
+    pub fn init_write(var: VarId) -> Self {
+        Access {
+            var,
+            is_write: true,
+            init: true,
+        }
+    }
+
+    /// Do two accesses conflict (same variable, at least one write)?
+    pub fn conflicts_with(&self, other: &Access) -> bool {
+        self.var == other.var && (self.is_write || other.is_write)
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", if self.is_write { "w" } else { "r" }, self.var)
+    }
+}
+
+/// The §4.4 *event collection*: all monitored accesses a thread performed
+/// between two synchronization points, merged into one poset event.
+///
+/// Per variable only the first write is kept; if the segment never writes
+/// the variable, its first read is kept instead (Figure 9). Every access
+/// in the collection shares the collection's single vector clock.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct EventCollection {
+    accesses: Vec<Access>,
+}
+
+impl EventCollection {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an access under the first-write-else-first-read rule.
+    ///
+    /// Returns `true` if the collection changed.
+    pub fn record(&mut self, access: Access) -> bool {
+        match self.accesses.iter_mut().find(|a| a.var == access.var) {
+            None => {
+                self.accesses.push(access);
+                true
+            }
+            Some(existing) => {
+                if access.is_write && !existing.is_write {
+                    // A write arrives for a variable we only read so far:
+                    // the write is what must be stored (Figure 9's rule).
+                    existing.is_write = true;
+                    existing.init = access.init;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// The merged accesses (at most one per variable).
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// True when no access was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Does any stored access conflict with `access`?
+    pub fn conflicts_with(&self, access: &Access) -> bool {
+        self.accesses.iter().any(|a| a.conflicts_with(access))
+    }
+}
+
+/// A captured event — the payload type of observed posets.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// A merged segment of monitored reads/writes (§4.4).
+    Accesses(EventCollection),
+    /// A lock acquisition (captured only when
+    /// [`crate::RecorderConfig::capture_sync`] is on).
+    Acquire(crate::LockId),
+    /// A lock release.
+    Release(crate::LockId),
+    /// This thread forked the given thread.
+    Fork(Tid),
+    /// This thread joined the given thread.
+    Join(Tid),
+}
+
+impl TraceEvent {
+    /// The collection, if this is an access event.
+    pub fn collection(&self) -> Option<&EventCollection> {
+        match self {
+            TraceEvent::Accesses(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_rules() {
+        let w = Access::write(VarId(1));
+        let r = Access::read(VarId(1));
+        let other = Access::read(VarId(2));
+        assert!(w.conflicts_with(&r));
+        assert!(w.conflicts_with(&w));
+        assert!(r.conflicts_with(&w));
+        assert!(!r.conflicts_with(&r));
+        assert!(!w.conflicts_with(&other));
+    }
+
+    #[test]
+    fn figure9_merging() {
+        // t1: w(v1), r(v1), r(v2), r(v2) → stored: w(v1), r(v2).
+        let mut ec = EventCollection::new();
+        assert!(ec.record(Access::write(VarId(1))));
+        assert!(!ec.record(Access::read(VarId(1))));
+        assert!(ec.record(Access::read(VarId(2))));
+        assert!(!ec.record(Access::read(VarId(2))));
+        assert_eq!(
+            ec.accesses(),
+            &[Access::write(VarId(1)), Access::read(VarId(2))]
+        );
+    }
+
+    #[test]
+    fn read_then_write_upgrades_to_write() {
+        // "Only the first write is stored; if there is no write, the first
+        // read" — a later write displaces an earlier read.
+        let mut ec = EventCollection::new();
+        ec.record(Access::read(VarId(5)));
+        assert!(ec.record(Access::write(VarId(5))));
+        assert_eq!(ec.accesses(), &[Access::write(VarId(5))]);
+        // A second write does not change anything (first write is kept).
+        assert!(!ec.record(Access::write(VarId(5))));
+    }
+
+    #[test]
+    fn collection_conflicts() {
+        let mut ec = EventCollection::new();
+        ec.record(Access::read(VarId(1)));
+        ec.record(Access::write(VarId(2)));
+        assert!(ec.conflicts_with(&Access::write(VarId(1))));
+        assert!(ec.conflicts_with(&Access::read(VarId(2))));
+        assert!(!ec.conflicts_with(&Access::read(VarId(1))));
+        assert!(!ec.conflicts_with(&Access::write(VarId(9))));
+    }
+
+    #[test]
+    fn trace_event_collection_accessor() {
+        let ec = EventCollection::new();
+        assert!(TraceEvent::Accesses(ec.clone()).collection().is_some());
+        assert!(TraceEvent::Fork(Tid(1)).collection().is_none());
+    }
+}

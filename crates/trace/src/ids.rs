@@ -1,0 +1,54 @@
+use std::fmt;
+
+/// A shared variable (one monitored memory location / field).
+///
+/// The paper reports detections as "variables with data races"; `VarId` is
+/// the unit those reports count. Workloads register human-readable names
+/// through [`crate::ProgramBuilder::var`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as an index into per-variable tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A lock (mutex / monitor) identity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LockId(pub u32);
+
+impl LockId {
+    /// The id as an index into per-lock tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(VarId(3).to_string(), "v3");
+        assert_eq!(LockId(0).to_string(), "l0");
+        assert_eq!(VarId(7).index(), 7);
+        assert_eq!(LockId(2).index(), 2);
+    }
+}

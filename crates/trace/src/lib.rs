@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! Execution-capture substrate — this repository's replacement for the
+//! paper's JVM bytecode injection (§4.1, §4.4).
+//!
+//! The paper's detector injects monitoring instructions into Java programs
+//! at class-load time; what reaches the enumeration layer is only a poset
+//! of read/write events whose happened-before edges come from three rules:
+//! process order, lock atomicity, and fork–join. This crate produces the
+//! same posets from an explicit, portable program model:
+//!
+//! * [`Op`] / [`Program`] — a concurrent program as per-thread operation
+//!   sequences over shared variables and locks, with `fork`/`join`
+//!   structure. The workloads crate builds its benchmark programs
+//!   (banking, tsp, sor, …) in this form.
+//! * [`Recorder`] — the vector-clock bookkeeping of §4.1: thread clocks,
+//!   lock clocks, Algorithm 3 at every synchronization, plus the §4.4
+//!   *event collection* optimization (consecutive accesses between
+//!   synchronizations merge into one event storing only the first write —
+//!   or, failing that, the first read — of each variable).
+//! * [`sim::SimScheduler`] — a deterministic, seeded interleaving executor:
+//!   same program + same seed ⇒ same observed poset. All benchmark tables
+//!   are generated this way so rows are reproducible.
+//! * [`exec::ThreadedExecutor`] — a real-thread executor with genuine
+//!   `std::sync` locking, used to drive the *online* detector the way the
+//!   paper's instrumented JVM threads drive theirs (each program thread
+//!   inserts its event, then continues).
+//!
+//! Captured events are [`TraceEvent`]s; a trace becomes a
+//! `Poset<TraceEvent>` (offline) or streams into the online engine.
+
+pub mod exec;
+mod event;
+pub mod gen;
+mod ids;
+mod observer;
+mod op;
+mod recorder;
+pub mod sim;
+
+pub use event::{Access, EventCollection, TraceEvent};
+pub use ids::{LockId, VarId};
+pub use op::{Op, Program, ProgramBuilder, ThreadScript};
+pub use observer::{CollectOps, NullObserver, OpObserver, PairObserver, RecorderObserver};
+pub use recorder::{EventOut, PosetCollector, Recorder, RecorderConfig};
+
+pub use paramount_poset::{Poset, Tid};

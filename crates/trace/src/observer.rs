@@ -1,0 +1,146 @@
+//! The [`OpObserver`] abstraction: anything that watches an execution.
+//!
+//! Both executors ([`crate::sim`], [`crate::exec`]) report every executed
+//! operation, in the real (or simulated) global order, to an observer.
+//! The happened-before [`Recorder`] is one observer; the FastTrack
+//! baseline detector is another; `MultiObserver` runs several at once for
+//! cross-validation tests.
+
+use crate::recorder::EventOut;
+use crate::{Op, Recorder};
+use paramount_poset::Tid;
+
+/// Receives executed operations in execution order.
+///
+/// Executors guarantee the synchronization-order discipline documented on
+/// [`Recorder`]: `Release` is reported before the lock is really free,
+/// `Acquire` after it is really held, `Fork` before the child runs,
+/// `Join` after the child's [`OpObserver::thread_finished`].
+pub trait OpObserver {
+    /// One operation executed by thread `t`.
+    fn op(&mut self, t: Tid, op: Op);
+
+    /// Thread `t` executed its last operation.
+    fn thread_finished(&mut self, t: Tid);
+}
+
+/// Adapts the happened-before [`Recorder`] to the observer interface.
+pub struct RecorderObserver<E> {
+    /// The wrapped recorder.
+    pub recorder: Recorder<E>,
+}
+
+impl<E: EventOut> RecorderObserver<E> {
+    /// Wraps a recorder.
+    pub fn new(recorder: Recorder<E>) -> Self {
+        RecorderObserver { recorder }
+    }
+
+    /// Flushes all segments and returns the recorder's event consumer.
+    pub fn finish(self) -> E {
+        self.recorder.finish()
+    }
+}
+
+impl<E: EventOut> OpObserver for RecorderObserver<E> {
+    fn op(&mut self, t: Tid, op: Op) {
+        match op {
+            Op::Read(v) => self.recorder.read(t, v),
+            Op::Write(v) => self.recorder.write(t, v),
+            Op::Acquire(l) => self.recorder.acquire(t, l),
+            Op::Release(l) => self.recorder.release(t, l),
+            Op::Fork(child) => self.recorder.fork(t, child),
+            Op::Join(child) => self.recorder.join(t, child),
+            Op::Work(_) => {}
+        }
+    }
+
+    fn thread_finished(&mut self, t: Tid) {
+        self.recorder.finish_thread(t);
+    }
+}
+
+/// Runs two observers in lockstep (for detector cross-validation).
+pub struct PairObserver<A, B>(pub A, pub B);
+
+impl<A: OpObserver, B: OpObserver> OpObserver for PairObserver<A, B> {
+    fn op(&mut self, t: Tid, op: Op) {
+        self.0.op(t, op);
+        self.1.op(t, op);
+    }
+
+    fn thread_finished(&mut self, t: Tid) {
+        self.0.thread_finished(t);
+        self.1.thread_finished(t);
+    }
+}
+
+/// An observer that ignores everything — used to time the *uninstrumented*
+/// execution ("Base" in Table 2).
+#[derive(Default, Debug, Clone, Copy)]
+pub struct NullObserver;
+
+impl OpObserver for NullObserver {
+    fn op(&mut self, _t: Tid, _op: Op) {}
+
+    fn thread_finished(&mut self, _t: Tid) {}
+}
+
+/// An observer that records the raw op stream (tests).
+#[derive(Default, Debug)]
+pub struct CollectOps {
+    /// Executed operations in global order.
+    pub ops: Vec<(Tid, Op)>,
+    /// Threads in the order they finished.
+    pub finished: Vec<Tid>,
+}
+
+impl OpObserver for CollectOps {
+    fn op(&mut self, t: Tid, op: Op) {
+        self.ops.push((t, op));
+    }
+
+    fn thread_finished(&mut self, t: Tid) {
+        self.finished.push(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProgramBuilder, VarId};
+
+    #[test]
+    fn collect_ops_sees_global_order() {
+        let mut b = ProgramBuilder::new("p", 2);
+        let x = b.var("x");
+        b.push(Tid(0), Op::Write(x));
+        b.push(Tid(1), Op::Read(x));
+        b.fork_join_all();
+        let p = b.build();
+        let mut collect = CollectOps::default();
+        crate::sim::SimScheduler::new(1).run_with(&p, &mut collect);
+        assert_eq!(collect.ops.len(), p.num_ops());
+        assert_eq!(collect.finished.len(), 2);
+        // Process order preserved per thread.
+        let t1_ops: Vec<Op> = collect
+            .ops
+            .iter()
+            .filter(|(t, _)| *t == Tid(1))
+            .map(|&(_, op)| op)
+            .collect();
+        assert_eq!(t1_ops, vec![Op::Read(VarId(0))]);
+    }
+
+    #[test]
+    fn pair_observer_feeds_both() {
+        let mut b = ProgramBuilder::new("p", 1);
+        let x = b.var("x");
+        b.push(Tid(0), Op::Write(x));
+        let p = b.build();
+        let mut pair = PairObserver(CollectOps::default(), CollectOps::default());
+        crate::sim::SimScheduler::new(0).run_with(&p, &mut pair);
+        assert_eq!(pair.0.ops, pair.1.ops);
+        assert_eq!(pair.0.ops.len(), 1);
+    }
+}

@@ -1,0 +1,372 @@
+use crate::{LockId, VarId};
+use paramount_poset::Tid;
+use std::fmt;
+
+/// One operation of the program model.
+///
+/// This is the instruction set the paper's bytecode injection effectively
+/// monitors: variable accesses (the predicate-relevant events), lock
+/// operations and thread lifecycle (the happened-before sources), plus
+/// opaque local work for timing realism.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Read a shared variable.
+    Read(VarId),
+    /// Write a shared variable.
+    Write(VarId),
+    /// Acquire a lock (blocks while held elsewhere).
+    Acquire(LockId),
+    /// Release a lock (must be held by this thread).
+    Release(LockId),
+    /// Start another thread (it must not have started yet).
+    Fork(Tid),
+    /// Wait for another thread to finish all its operations.
+    Join(Tid),
+    /// Local computation of the given relative weight (no shared effects).
+    Work(u32),
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read(v) => write!(f, "r({v})"),
+            Op::Write(v) => write!(f, "w({v})"),
+            Op::Acquire(l) => write!(f, "acq({l})"),
+            Op::Release(l) => write!(f, "rel({l})"),
+            Op::Fork(t) => write!(f, "fork({t})"),
+            Op::Join(t) => write!(f, "join({t})"),
+            Op::Work(w) => write!(f, "work({w})"),
+        }
+    }
+}
+
+/// The operations of one thread, in program order.
+pub type ThreadScript = Vec<Op>;
+
+/// A complete concurrent program in the op model.
+///
+/// Thread 0 is the main thread and starts running; every other thread must
+/// be started by exactly one `Fork` somewhere in the program (threads no
+/// one forks simply never run — the validator flags them).
+#[derive(Clone, Debug)]
+pub struct Program {
+    threads: Vec<ThreadScript>,
+    var_names: Vec<String>,
+    lock_names: Vec<String>,
+    name: String,
+}
+
+impl Program {
+    /// Number of threads (including never-started ones, if any).
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Number of registered shared variables.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Number of registered locks.
+    pub fn num_locks(&self) -> usize {
+        self.lock_names.len()
+    }
+
+    /// The script of one thread.
+    pub fn script(&self, t: Tid) -> &[Op] {
+        &self.threads[t.index()]
+    }
+
+    /// Total operations across all threads.
+    pub fn num_ops(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+
+    /// Human-readable program name (used in benchmark tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The registered name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// The registered name of a lock.
+    pub fn lock_name(&self, l: LockId) -> &str {
+        &self.lock_names[l.index()]
+    }
+
+    /// Structural validation: every non-main thread forked exactly once
+    /// and only by an earlier-startable thread; joins target real threads;
+    /// per-thread lock operations balance. Returns a list of problems
+    /// (empty = valid).
+    pub fn validate(&self) -> Vec<String> {
+        let n = self.num_threads();
+        let mut problems = Vec::new();
+        let mut fork_count = vec![0usize; n];
+        for (i, script) in self.threads.iter().enumerate() {
+            let mut held: Vec<LockId> = Vec::new();
+            for op in script {
+                match *op {
+                    Op::Fork(t) => {
+                        if t.index() >= n {
+                            problems.push(format!("t{}: fork of unknown {t}", i + 1));
+                        } else if t.index() == i {
+                            problems.push(format!("t{}: forks itself", i + 1));
+                        } else {
+                            fork_count[t.index()] += 1;
+                        }
+                    }
+                    Op::Join(t) => {
+                        if t.index() >= n {
+                            problems.push(format!("t{}: join of unknown {t}", i + 1));
+                        }
+                    }
+                    Op::Acquire(l) => {
+                        if held.contains(&l) {
+                            problems.push(format!("t{}: re-acquires held {l}", i + 1));
+                        } else {
+                            held.push(l);
+                        }
+                    }
+                    Op::Release(l) => {
+                        if let Some(pos) = held.iter().position(|&h| h == l) {
+                            held.remove(pos);
+                        } else {
+                            problems.push(format!("t{}: releases unheld {l}", i + 1));
+                        }
+                    }
+                    Op::Read(v) | Op::Write(v) => {
+                        if v.index() >= self.var_names.len() {
+                            problems.push(format!("t{}: unregistered {v}", i + 1));
+                        }
+                    }
+                    Op::Work(_) => {}
+                }
+            }
+            if !held.is_empty() {
+                problems.push(format!("t{}: ends holding {:?}", i + 1, held));
+            }
+        }
+        for (i, &count) in fork_count.iter().enumerate() {
+            if i == 0 && count > 0 {
+                problems.push("main thread is forked".to_string());
+            }
+            if i != 0 && count > 1 {
+                problems.push(format!("t{} forked {count} times", i + 1));
+            }
+            if i != 0 && count == 0 && !self.threads[i].is_empty() {
+                problems.push(format!("t{} has code but is never forked", i + 1));
+            }
+        }
+        problems
+    }
+}
+
+/// Fluent builder for [`Program`]s.
+#[derive(Clone, Debug)]
+pub struct ProgramBuilder {
+    threads: Vec<ThreadScript>,
+    var_names: Vec<String>,
+    lock_names: Vec<String>,
+    name: String,
+}
+
+impl ProgramBuilder {
+    /// A program named `name` with `threads` empty thread scripts.
+    pub fn new(name: impl Into<String>, threads: usize) -> Self {
+        ProgramBuilder {
+            threads: vec![Vec::new(); threads],
+            var_names: Vec::new(),
+            lock_names: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Registers a shared variable.
+    pub fn var(&mut self, name: impl Into<String>) -> VarId {
+        let id = VarId(self.var_names.len() as u32);
+        self.var_names.push(name.into());
+        id
+    }
+
+    /// Registers `count` variables with a common prefix (`prefix[0]`, …).
+    pub fn vars(&mut self, prefix: &str, count: usize) -> Vec<VarId> {
+        (0..count)
+            .map(|i| self.var(format!("{prefix}[{i}]")))
+            .collect()
+    }
+
+    /// Registers a lock.
+    pub fn lock(&mut self, name: impl Into<String>) -> LockId {
+        let id = LockId(self.lock_names.len() as u32);
+        self.lock_names.push(name.into());
+        id
+    }
+
+    /// Registers `count` locks with a common prefix.
+    pub fn locks(&mut self, prefix: &str, count: usize) -> Vec<LockId> {
+        (0..count)
+            .map(|i| self.lock(format!("{prefix}[{i}]")))
+            .collect()
+    }
+
+    /// Appends one op to a thread's script.
+    pub fn push(&mut self, t: Tid, op: Op) -> &mut Self {
+        self.threads[t.index()].push(op);
+        self
+    }
+
+    /// Appends several ops to a thread's script.
+    pub fn extend(&mut self, t: Tid, ops: impl IntoIterator<Item = Op>) -> &mut Self {
+        self.threads[t.index()].extend(ops);
+        self
+    }
+
+    /// Appends a lock-protected critical section: `acq l; ops…; rel l`.
+    pub fn critical(&mut self, t: Tid, l: LockId, ops: impl IntoIterator<Item = Op>) -> &mut Self {
+        self.push(t, Op::Acquire(l));
+        self.extend(t, ops);
+        self.push(t, Op::Release(l))
+    }
+
+    /// Makes thread 0 fork all other threads up front and join them at the
+    /// end — the usual benchmark harness shape.
+    pub fn fork_join_all(&mut self) -> &mut Self {
+        let n = self.threads.len();
+        let mut main_prefix: Vec<Op> = Vec::new();
+        let mut main_suffix: Vec<Op> = Vec::new();
+        for t in 1..n {
+            main_prefix.push(Op::Fork(Tid::from(t)));
+            main_suffix.push(Op::Join(Tid::from(t)));
+        }
+        let script = &mut self.threads[0];
+        let mut combined = main_prefix;
+        combined.append(script);
+        combined.extend(main_suffix);
+        *script = combined;
+        self
+    }
+
+    /// Like [`ProgramBuilder::fork_join_all`], but main first runs `init`
+    /// ops *before* forking anyone — the usual way benchmarks initialize
+    /// shared state so first writes are ordered before every worker
+    /// access (and the §5.2 initialization rule applies cleanly).
+    pub fn fork_join_all_with_init(&mut self, init: impl IntoIterator<Item = Op>) -> &mut Self {
+        self.fork_join_all();
+        let script = &mut self.threads[0];
+        let mut combined: Vec<Op> = init.into_iter().collect();
+        combined.append(script);
+        *script = combined;
+        self
+    }
+
+    /// Finalizes the program, panicking on structural problems.
+    pub fn build(self) -> Program {
+        let program = Program {
+            threads: self.threads,
+            var_names: self.var_names,
+            lock_names: self.lock_names,
+            name: self.name,
+        };
+        let problems = program.validate();
+        assert!(
+            problems.is_empty(),
+            "invalid program {}: {problems:?}",
+            program.name
+        );
+        program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_program() {
+        let mut b = ProgramBuilder::new("demo", 2);
+        let x = b.var("x");
+        let l = b.lock("m");
+        b.critical(Tid(0), l, [Op::Write(x)]);
+        b.critical(Tid(1), l, [Op::Read(x)]);
+        b.fork_join_all();
+        let p = b.build();
+        assert_eq!(p.name(), "demo");
+        assert_eq!(p.num_threads(), 2);
+        assert_eq!(p.num_vars(), 1);
+        assert_eq!(p.var_name(x), "x");
+        assert_eq!(p.lock_name(l), "m");
+        // Main: fork t2, acq, w, rel, join t2.
+        assert_eq!(p.script(Tid(0)).len(), 5);
+        assert!(p.validate().is_empty());
+    }
+
+    #[test]
+    fn validator_catches_unbalanced_locks() {
+        let mut b = ProgramBuilder::new("bad-locks", 1);
+        let l = b.lock("m");
+        b.push(Tid(0), Op::Acquire(l));
+        let program = Program {
+            threads: b.threads.clone(),
+            var_names: b.var_names.clone(),
+            lock_names: b.lock_names.clone(),
+            name: "bad-locks".into(),
+        };
+        let problems = program.validate();
+        assert!(problems.iter().any(|p| p.contains("ends holding")));
+    }
+
+    #[test]
+    fn validator_catches_unforked_thread() {
+        let mut b = ProgramBuilder::new("orphan", 2);
+        let x = b.var("x");
+        b.push(Tid(1), Op::Read(x));
+        let program = Program {
+            threads: b.threads.clone(),
+            var_names: b.var_names.clone(),
+            lock_names: b.lock_names.clone(),
+            name: "orphan".into(),
+        };
+        assert!(program
+            .validate()
+            .iter()
+            .any(|p| p.contains("never forked")));
+    }
+
+    #[test]
+    fn validator_catches_double_acquire_and_bad_release() {
+        let mut b = ProgramBuilder::new("bad", 1);
+        let l = b.lock("m");
+        b.push(Tid(0), Op::Acquire(l));
+        b.push(Tid(0), Op::Acquire(l));
+        b.push(Tid(0), Op::Release(l));
+        b.push(Tid(0), Op::Release(l));
+        let program = Program {
+            threads: b.threads.clone(),
+            var_names: b.var_names.clone(),
+            lock_names: b.lock_names.clone(),
+            name: "bad".into(),
+        };
+        let problems = program.validate();
+        assert!(problems.iter().any(|p| p.contains("re-acquires")));
+        assert!(problems.iter().any(|p| p.contains("releases unheld")));
+    }
+
+    #[test]
+    fn op_display() {
+        assert_eq!(Op::Read(VarId(1)).to_string(), "r(v1)");
+        assert_eq!(Op::Fork(Tid(2)).to_string(), "fork(t3)");
+        assert_eq!(Op::Work(5).to_string(), "work(5)");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid program")]
+    fn build_panics_on_invalid() {
+        let mut b = ProgramBuilder::new("broken", 2);
+        let x = b.var("x");
+        b.push(Tid(1), Op::Write(x)); // t2 never forked
+        b.build();
+    }
+}

@@ -1,0 +1,397 @@
+//! Vector-clock capture of executions — the paper's Part I (§4.1) with the
+//! event-collection optimization of §4.4.
+
+use crate::{Access, EventCollection, LockId, TraceEvent, VarId};
+use paramount_poset::builder::PosetBuilder;
+use paramount_poset::{Poset, Tid};
+use paramount_vclock::VectorClock;
+
+/// Where captured events go.
+///
+/// Offline capture collects into a poset ([`PosetCollector`]); online
+/// capture streams each event into the enumeration engine the moment it is
+/// complete (any `FnMut` closure works).
+pub trait EventOut {
+    /// Receives one captured event with its final vector clock.
+    fn emit(&mut self, t: Tid, vc: VectorClock, event: TraceEvent);
+}
+
+impl<F: FnMut(Tid, VectorClock, TraceEvent)> EventOut for F {
+    fn emit(&mut self, t: Tid, vc: VectorClock, event: TraceEvent) {
+        self(t, vc, event)
+    }
+}
+
+/// Collects captured events into a `Poset<TraceEvent>`.
+pub struct PosetCollector {
+    builder: PosetBuilder<TraceEvent>,
+}
+
+impl PosetCollector {
+    /// A collector for an `n`-thread execution.
+    pub fn new(n: usize) -> Self {
+        PosetCollector {
+            builder: PosetBuilder::new(n),
+        }
+    }
+
+    /// The observed poset.
+    pub fn into_poset(self) -> Poset<TraceEvent> {
+        self.builder.finish()
+    }
+}
+
+impl EventOut for PosetCollector {
+    fn emit(&mut self, t: Tid, vc: VectorClock, event: TraceEvent) {
+        self.builder.append_with_clock(t, vc, event);
+    }
+}
+
+/// Capture configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RecorderConfig {
+    /// Also capture synchronization operations (acquire/release/fork/join)
+    /// as poset events. The race detector leaves this off — §4.4 captures
+    /// only predicate-relevant accesses — but general predicate detection
+    /// (e.g. the Figure 2 monitor example) wants the sync events visible.
+    pub capture_sync: bool,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            capture_sync: false,
+        }
+    }
+}
+
+/// The happened-before recorder.
+///
+/// One instance observes a whole execution. Callers report operations in
+/// each thread's program order; cross-thread calls must reflect the real
+/// synchronization order (a lock's release reported before the next
+/// acquire of that lock, a fork before the child's first operation, a join
+/// after the child's last). Both provided executors guarantee this.
+///
+/// Clock discipline: a thread's clock component ticks exactly once per
+/// *emitted* event, so `vc[t]` equals the event's 1-based index on `t` —
+/// the invariant the poset layer builds on. Synchronization that is not
+/// captured as an event only *joins* clocks (knowledge transfer without a
+/// new poset element).
+///
+/// ```
+/// use paramount_trace::{PosetCollector, Recorder, RecorderConfig, VarId, LockId};
+/// use paramount_poset::{EventId, Tid};
+///
+/// let mut r = Recorder::new(2, 1, RecorderConfig::default(), PosetCollector::new(2));
+/// r.acquire(Tid(0), LockId(0));
+/// r.write(Tid(0), VarId(0));
+/// r.release(Tid(0), LockId(0));
+/// r.acquire(Tid(1), LockId(0)); // after t0's release: lock-atomicity edge
+/// r.read(Tid(1), VarId(0));
+/// r.release(Tid(1), LockId(0));
+/// let poset = r.finish().into_poset();
+/// assert!(poset.happened_before(
+///     EventId::new(Tid(0), 1),
+///     EventId::new(Tid(1), 1),
+/// ));
+/// ```
+pub struct Recorder<E> {
+    config: RecorderConfig,
+    clocks: Vec<VectorClock>,
+    lock_clocks: Vec<VectorClock>,
+    /// Open access segment per thread (clock fixed at open).
+    segments: Vec<Option<Segment>>,
+    /// Variables that have been written at least once (first writes are
+    /// flagged as initialization — §5.2 refinement).
+    written: Vec<bool>,
+    out: E,
+    events_emitted: u64,
+}
+
+struct Segment {
+    clock: VectorClock,
+    collection: EventCollection,
+}
+
+impl<E: EventOut> Recorder<E> {
+    /// A recorder for `n` threads and `locks` locks, emitting into `out`.
+    pub fn new(n: usize, locks: usize, config: RecorderConfig, out: E) -> Self {
+        Recorder {
+            config,
+            clocks: (0..n).map(|_| VectorClock::zero(n)).collect(),
+            lock_clocks: (0..locks).map(|_| VectorClock::zero(n)).collect(),
+            segments: (0..n).map(|_| None).collect(),
+            written: Vec::new(),
+            out,
+            events_emitted: 0,
+        }
+    }
+
+    /// Number of threads being observed.
+    pub fn num_threads(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Events emitted so far.
+    pub fn events_emitted(&self) -> u64 {
+        self.events_emitted
+    }
+
+    /// Thread `t` reads variable `v`.
+    pub fn read(&mut self, t: Tid, v: VarId) {
+        self.record_access(t, Access::read(v));
+    }
+
+    /// Thread `t` writes variable `v`.
+    pub fn write(&mut self, t: Tid, v: VarId) {
+        if self.written.len() <= v.index() {
+            self.written.resize(v.index() + 1, false);
+        }
+        let first = !self.written[v.index()];
+        self.written[v.index()] = true;
+        let access = if first {
+            Access::init_write(v)
+        } else {
+            Access::write(v)
+        };
+        self.record_access(t, access);
+    }
+
+    fn record_access(&mut self, t: Tid, access: Access) {
+        let i = t.index();
+        if self.segments[i].is_none() {
+            // Open a segment: this is a new poset event — tick now so the
+            // collection's shared clock indexes it correctly.
+            self.clocks[i].tick(t);
+            self.segments[i] = Some(Segment {
+                clock: self.clocks[i].clone(),
+                collection: EventCollection::new(),
+            });
+        }
+        self.segments[i]
+            .as_mut()
+            .expect("just opened")
+            .collection
+            .record(access);
+    }
+
+    /// Thread `t` acquired lock `l` (report *after* the real acquisition).
+    pub fn acquire(&mut self, t: Tid, l: LockId) {
+        self.close_segment(t);
+        // Algorithm 3 knowledge transfer: the acquirer learns everything
+        // the last releaser knew.
+        let lock_vc = self.lock_clocks[l.index()].clone();
+        self.clocks[t.index()].join(&lock_vc);
+        if self.config.capture_sync {
+            self.emit_sync(t, TraceEvent::Acquire(l));
+            // The acquire event itself becomes part of the lock's history.
+            self.lock_clocks[l.index()] = self.clocks[t.index()].clone();
+        }
+    }
+
+    /// Thread `t` is about to release lock `l` (report *before* the real
+    /// release).
+    pub fn release(&mut self, t: Tid, l: LockId) {
+        self.close_segment(t);
+        if self.config.capture_sync {
+            self.emit_sync(t, TraceEvent::Release(l));
+        }
+        // Everything `t` did up to here flows to the next acquirer.
+        self.lock_clocks[l.index()] = self.clocks[t.index()].clone();
+    }
+
+    /// Thread `parent` forks `child` (report *before* the child starts).
+    pub fn fork(&mut self, parent: Tid, child: Tid) {
+        self.close_segment(parent);
+        if self.config.capture_sync {
+            self.emit_sync(parent, TraceEvent::Fork(child));
+        }
+        let parent_vc = self.clocks[parent.index()].clone();
+        self.clocks[child.index()].join(&parent_vc);
+    }
+
+    /// Thread `parent` joined `child` (report *after* the child finished,
+    /// including its [`Recorder::finish_thread`]).
+    pub fn join(&mut self, parent: Tid, child: Tid) {
+        self.close_segment(parent);
+        let child_vc = self.clocks[child.index()].clone();
+        self.clocks[parent.index()].join(&child_vc);
+        if self.config.capture_sync {
+            self.emit_sync(parent, TraceEvent::Join(child));
+        }
+    }
+
+    /// Thread `t` finished: flush its open segment.
+    pub fn finish_thread(&mut self, t: Tid) {
+        self.close_segment(t);
+    }
+
+    /// Flushes every open segment and returns the event consumer.
+    pub fn finish(mut self) -> E {
+        for t in 0..self.num_threads() {
+            self.close_segment(Tid::from(t));
+        }
+        self.out
+    }
+
+    fn close_segment(&mut self, t: Tid) {
+        if let Some(segment) = self.segments[t.index()].take() {
+            debug_assert!(
+                !segment.collection.is_empty(),
+                "segments only open on an access"
+            );
+            self.events_emitted += 1;
+            self.out
+                .emit(t, segment.clock, TraceEvent::Accesses(segment.collection));
+        }
+    }
+
+    fn emit_sync(&mut self, t: Tid, event: TraceEvent) {
+        self.clocks[t.index()].tick(t);
+        self.events_emitted += 1;
+        self.out.emit(t, self.clocks[t.index()].clone(), event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramount_poset::EventId;
+
+    fn access_poset(f: impl FnOnce(&mut Recorder<PosetCollector>)) -> Poset<TraceEvent> {
+        let mut r = Recorder::new(2, 2, RecorderConfig::default(), PosetCollector::new(2));
+        f(&mut r);
+        r.finish().into_poset()
+    }
+
+    #[test]
+    fn figure9_segment_merging_end_to_end() {
+        // t1: w(v1) r(v1) r(v2) r(v2) | acq l | r(v1) w(v2) | rel l
+        let p = access_poset(|r| {
+            let (v1, v2, l) = (VarId(0), VarId(1), LockId(0));
+            r.write(Tid(0), v1);
+            r.read(Tid(0), v1);
+            r.read(Tid(0), v2);
+            r.read(Tid(0), v2);
+            r.acquire(Tid(0), l);
+            r.read(Tid(0), v1);
+            r.write(Tid(0), v2);
+            r.release(Tid(0), l);
+        });
+        assert_eq!(p.num_events(), 2, "two segments, two collections");
+        let first = p.payload(EventId::new(Tid(0), 1)).collection().unwrap();
+        // Globally first writes carry the §5.2 initialization flag.
+        assert_eq!(
+            first.accesses(),
+            &[Access::init_write(VarId(0)), Access::read(VarId(1))]
+        );
+        let second = p.payload(EventId::new(Tid(0), 2)).collection().unwrap();
+        assert_eq!(
+            second.accesses(),
+            &[Access::read(VarId(0)), Access::init_write(VarId(1))]
+        );
+    }
+
+    #[test]
+    fn lock_atomicity_creates_hb_edge() {
+        // t0 writes x under l; t1 then reads x under l (real order:
+        // t0's release before t1's acquire). The two collections must be
+        // causally ordered.
+        let p = access_poset(|r| {
+            let (x, l) = (VarId(0), LockId(0));
+            r.acquire(Tid(0), l);
+            r.write(Tid(0), x);
+            r.release(Tid(0), l);
+            r.acquire(Tid(1), l);
+            r.read(Tid(1), x);
+            r.release(Tid(1), l);
+        });
+        let e0 = EventId::new(Tid(0), 1);
+        let e1 = EventId::new(Tid(1), 1);
+        assert!(p.happened_before(e0, e1));
+        assert!(!p.concurrent(e0, e1));
+    }
+
+    #[test]
+    fn unsynchronized_accesses_stay_concurrent() {
+        let p = access_poset(|r| {
+            r.write(Tid(0), VarId(0));
+            r.write(Tid(1), VarId(0));
+        });
+        assert!(p.concurrent(EventId::new(Tid(0), 1), EventId::new(Tid(1), 1)));
+    }
+
+    #[test]
+    fn fork_and_join_edges() {
+        let p = access_poset(|r| {
+            let x = VarId(0);
+            r.write(Tid(0), x); // parent event 1
+            r.fork(Tid(0), Tid(1));
+            r.write(Tid(1), x); // child event 1 — after fork
+            r.finish_thread(Tid(1));
+            r.join(Tid(0), Tid(1));
+            r.read(Tid(0), x); // parent event 2 — after join
+        });
+        let parent1 = EventId::new(Tid(0), 1);
+        let child1 = EventId::new(Tid(1), 1);
+        let parent2 = EventId::new(Tid(0), 2);
+        assert!(p.happened_before(parent1, child1), "fork edge");
+        assert!(p.happened_before(child1, parent2), "join edge");
+    }
+
+    #[test]
+    fn capture_sync_emits_sync_events() {
+        let mut r = Recorder::new(
+            2,
+            1,
+            RecorderConfig { capture_sync: true },
+            PosetCollector::new(2),
+        );
+        let (x, l) = (VarId(0), LockId(0));
+        r.acquire(Tid(0), l);
+        r.write(Tid(0), x);
+        r.release(Tid(0), l);
+        r.acquire(Tid(1), l);
+        r.read(Tid(1), x);
+        r.release(Tid(1), l);
+        let p = r.finish().into_poset();
+        // t0: acq, accesses, rel ; t1: acq, accesses, rel.
+        assert_eq!(p.num_events(), 6);
+        assert!(matches!(
+            p.payload(EventId::new(Tid(0), 1)),
+            TraceEvent::Acquire(_)
+        ));
+        // Release of t0 happens before acquire of t1 (monitor edge of
+        // Figure 2).
+        assert!(p.happened_before(EventId::new(Tid(0), 3), EventId::new(Tid(1), 1)));
+    }
+
+    #[test]
+    fn clock_indices_match_emitted_events() {
+        // Sync joins must not tick: emitted event k of a thread has
+        // vc[t] == k even with interleaved lock traffic.
+        let p = access_poset(|r| {
+            let (x, l) = (VarId(0), LockId(0));
+            for _ in 0..3 {
+                r.acquire(Tid(0), l);
+                r.write(Tid(0), x);
+                r.release(Tid(0), l);
+            }
+        });
+        assert_eq!(p.num_events(), 3);
+        for k in 1..=3u32 {
+            let id = EventId::new(Tid(0), k);
+            assert_eq!(p.vc(id).get(Tid(0)), k);
+        }
+    }
+
+    #[test]
+    fn events_emitted_counter() {
+        let mut r = Recorder::new(1, 0, RecorderConfig::default(), PosetCollector::new(1));
+        r.write(Tid(0), VarId(0));
+        assert_eq!(r.events_emitted(), 0, "segment still open");
+        r.finish_thread(Tid(0));
+        assert_eq!(r.events_emitted(), 1);
+    }
+}

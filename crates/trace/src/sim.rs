@@ -1,0 +1,292 @@
+//! Deterministic seeded execution of [`Program`]s.
+//!
+//! The paper runs each Java benchmark once and converts the observed path
+//! to a poset; different machines observe different paths. For reproducible
+//! benchmark tables this module replaces wall-clock nondeterminism with a
+//! seeded scheduler: at every step one runnable thread is chosen uniformly
+//! at random (respecting lock blocking and fork/join gating) and executes
+//! exactly one operation. Same program + same seed ⇒ byte-identical poset.
+
+use crate::observer::{OpObserver, RecorderObserver};
+use crate::recorder::{EventOut, PosetCollector};
+use crate::{Op, Program, Recorder, RecorderConfig, TraceEvent};
+use paramount_poset::{Poset, Tid};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic interleaving executor.
+#[derive(Clone, Copy, Debug)]
+pub struct SimScheduler {
+    /// RNG seed selecting the interleaving.
+    pub seed: u64,
+    /// Capture configuration forwarded to the recorder.
+    pub config: RecorderConfig,
+}
+
+impl SimScheduler {
+    /// A scheduler with the given seed and default capture config.
+    pub fn new(seed: u64) -> Self {
+        SimScheduler {
+            seed,
+            config: RecorderConfig::default(),
+        }
+    }
+
+    /// Also capture synchronization events.
+    pub fn with_sync_capture(mut self) -> Self {
+        self.config = RecorderConfig { capture_sync: true };
+        self
+    }
+
+    /// Runs the program to completion, returning the observed poset.
+    pub fn run(&self, program: &Program) -> Poset<TraceEvent> {
+        let collector = PosetCollector::new(program.num_threads());
+        self.run_into(program, collector).into_poset()
+    }
+
+    /// Runs the program, streaming captured events into `out` (the online
+    /// detector path). Returns `out`.
+    pub fn run_into<E: EventOut>(&self, program: &Program, out: E) -> E {
+        let recorder = Recorder::new(
+            program.num_threads(),
+            program.num_locks(),
+            self.config,
+            out,
+        );
+        let mut observer = RecorderObserver::new(recorder);
+        self.run_with(program, &mut observer);
+        observer.finish()
+    }
+
+    /// Runs the program, reporting every executed operation to `observer`
+    /// (the generic path — FastTrack and cross-validation tests use this).
+    pub fn run_with<Ob: OpObserver>(&self, program: &Program, observer: &mut Ob) {
+        let problems = program.validate();
+        assert!(problems.is_empty(), "invalid program: {problems:?}");
+
+        let n = program.num_threads();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut pc = vec![0usize; n];
+        let mut started = vec![false; n];
+        let mut finished = vec![false; n];
+        started[0] = true;
+        let mut lock_holder: Vec<Option<Tid>> = vec![None; program.num_locks()];
+
+        let runnable = |t: usize,
+                        pc: &[usize],
+                        started: &[bool],
+                        finished: &[bool],
+                        lock_holder: &[Option<Tid>]|
+         -> bool {
+            if !started[t] || finished[t] {
+                return false;
+            }
+            match program.script(Tid::from(t)).get(pc[t]) {
+                None => true, // will finish on its next step
+                Some(Op::Acquire(l)) => lock_holder[l.index()].is_none(),
+                Some(Op::Join(c)) => finished[c.index()],
+                Some(_) => true,
+            }
+        };
+
+        loop {
+            let candidates: Vec<usize> = (0..n)
+                .filter(|&t| runnable(t, &pc, &started, &finished, &lock_holder))
+                .collect();
+            if candidates.is_empty() {
+                let stuck: Vec<usize> = (0..n)
+                    .filter(|&t| started[t] && !finished[t])
+                    .collect();
+                assert!(
+                    stuck.is_empty(),
+                    "deadlock: threads {stuck:?} blocked forever"
+                );
+                break;
+            }
+            let t = candidates[rng.gen_range(0..candidates.len())];
+            let tid = Tid::from(t);
+            match program.script(tid).get(pc[t]).copied() {
+                None => {
+                    observer.thread_finished(tid);
+                    finished[t] = true;
+                    continue;
+                }
+                Some(op) => {
+                    // Maintain the scheduler's own lock/lifecycle state;
+                    // the observer only sees the operation stream.
+                    match op {
+                        Op::Acquire(l) => {
+                            debug_assert!(lock_holder[l.index()].is_none());
+                            lock_holder[l.index()] = Some(tid);
+                        }
+                        Op::Release(l) => {
+                            debug_assert_eq!(lock_holder[l.index()], Some(tid));
+                            lock_holder[l.index()] = None;
+                        }
+                        Op::Fork(child) => {
+                            debug_assert!(!started[child.index()], "double fork");
+                            started[child.index()] = true;
+                        }
+                        Op::Join(child) => {
+                            debug_assert!(finished[child.index()]);
+                        }
+                        Op::Read(_) | Op::Write(_) | Op::Work(_) => {}
+                    }
+                    observer.op(tid, op);
+                    pc[t] += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+    use paramount_poset::EventId;
+
+    fn two_thread_locked_program() -> Program {
+        let mut b = ProgramBuilder::new("locked", 2);
+        let x = b.var("x");
+        let l = b.lock("m");
+        b.critical(Tid(0), l, [Op::Write(x)]);
+        b.critical(Tid(1), l, [Op::Write(x)]);
+        b.fork_join_all();
+        b.build()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = two_thread_locked_program();
+        let a = SimScheduler::new(7).run(&p);
+        let b = SimScheduler::new(7).run(&p);
+        assert_eq!(a.num_events(), b.num_events());
+        for (ea, eb) in a.events().zip(b.events()) {
+            assert_eq!(ea.id, eb.id);
+            assert_eq!(ea.vc, eb.vc);
+            assert_eq!(ea.payload, eb.payload);
+        }
+    }
+
+    #[test]
+    fn seeds_explore_different_interleavings() {
+        // With both orders possible, some pair of seeds must disagree on
+        // which thread's critical section ran first.
+        let p = two_thread_locked_program();
+        let firsts: std::collections::HashSet<bool> = (0..40)
+            .map(|seed| {
+                let poset = SimScheduler::new(seed).run(&p);
+                // true iff t0's event happened before t1's.
+                poset.happened_before(EventId::new(Tid(0), 1), EventId::new(Tid(1), 1))
+            })
+            .collect();
+        assert_eq!(firsts.len(), 2, "scheduler never flipped the lock order");
+    }
+
+    #[test]
+    fn locked_sections_are_always_ordered() {
+        let p = two_thread_locked_program();
+        for seed in 0..20 {
+            let poset = SimScheduler::new(seed).run(&p);
+            let a = EventId::new(Tid(0), 1);
+            let b = EventId::new(Tid(1), 1);
+            assert!(
+                !poset.concurrent(a, b),
+                "critical sections concurrent at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn racy_accesses_are_concurrent_in_some_schedule() {
+        let mut b = ProgramBuilder::new("racy", 2);
+        let x = b.var("x");
+        b.push(Tid(0), Op::Write(x));
+        b.push(Tid(1), Op::Write(x));
+        b.fork_join_all();
+        let p = b.build();
+        let poset = SimScheduler::new(0).run(&p);
+        // Sync ops emit no events, so main's write is its event 1 even
+        // though the fork precedes it in program order.
+        assert!(poset.concurrent(EventId::new(Tid(0), 1), EventId::new(Tid(1), 1)));
+    }
+
+    #[test]
+    fn fork_join_all_orders_main_around_children() {
+        let mut b = ProgramBuilder::new("fj", 3);
+        let x = b.var("x");
+        b.push(Tid(0), Op::Write(x));
+        b.push(Tid(1), Op::Write(x));
+        b.push(Tid(2), Op::Write(x));
+        b.fork_join_all();
+        let p = b.build();
+        let poset = SimScheduler::new(3).run(&p);
+        // Main's write comes after the forks in fork_join_all()? No: the
+        // builder puts forks first, main body, then joins — main's body is
+        // concurrent with children. Children exist and wrote x.
+        assert_eq!(poset.num_events(), 3);
+        assert_eq!(poset.events_of(Tid(1)), 1);
+        assert_eq!(poset.events_of(Tid(2)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let mut b = ProgramBuilder::new("deadlock", 2);
+        let l1 = b.lock("a");
+        let l2 = b.lock("b");
+        // Classic lock-order inversion, forced by Work-free lockstep: with
+        // seed search, some schedule interleaves into deadlock. To make the
+        // panic deterministic, have each thread grab its first lock and
+        // then the other's with no release.
+        b.push(Tid(0), Op::Acquire(l1));
+        b.push(Tid(0), Op::Acquire(l2));
+        b.push(Tid(0), Op::Release(l2));
+        b.push(Tid(0), Op::Release(l1));
+        b.push(Tid(1), Op::Acquire(l2));
+        b.push(Tid(1), Op::Acquire(l1));
+        b.push(Tid(1), Op::Release(l1));
+        b.push(Tid(1), Op::Release(l2));
+        b.fork_join_all();
+        let p = b.build();
+        // Find a seed that deadlocks (both grab their first lock before
+        // either grabs its second); panic propagates from run().
+        for seed in 0..1000 {
+            SimScheduler::new(seed).run(&p);
+        }
+    }
+
+    #[test]
+    fn sync_capture_produces_figure2_poset() {
+        // Figure 2: t1 = e1, notify (release), e3 ; t2 = wait (acquire), e2.
+        // Model notify/wait as a release/acquire pair on one monitor.
+        let mut b = ProgramBuilder::new("figure2", 2);
+        let e1 = b.var("e1");
+        let e2 = b.var("e2");
+        let e3 = b.var("e3");
+        let m = b.lock("x");
+        b.push(Tid(0), Op::Fork(Tid(1)));
+        b.push(Tid(0), Op::Write(e1));
+        b.push(Tid(0), Op::Acquire(m));
+        b.push(Tid(0), Op::Release(m)); // x.notify
+        b.push(Tid(0), Op::Write(e3));
+        b.push(Tid(1), Op::Acquire(m)); // x.wait — must follow the notify
+        b.push(Tid(1), Op::Release(m));
+        b.push(Tid(1), Op::Write(e2));
+        b.push(Tid(0), Op::Join(Tid(1)));
+        let p = b.build();
+        // Force the schedule where t1's notify precedes t2's wait by
+        // searching seeds; with capture_sync the monitor edge appears.
+        for seed in 0..50 {
+            let poset = SimScheduler::new(seed).with_sync_capture().run(&p);
+            // Count consistent cuts: must be ≥ the 8 of Figure 2(b) shape
+            // when the edge exists (extra sync events inflate the count,
+            // so just sanity-check the edge itself).
+            let n_t0 = poset.events_of(Tid(0));
+            let n_t1 = poset.events_of(Tid(1));
+            assert!(n_t0 >= 4 && n_t1 >= 3, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for the capture pipeline: random programs × random
+//! schedules must always yield well-formed posets.
+
+use paramount_trace::gen::{random_program, RandomProgramConfig};
+use paramount_trace::sim::SimScheduler;
+use paramount_trace::{Op, TraceEvent};
+use paramount_poset::{CutSpace, EventId, Tid};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = (RandomProgramConfig, u64, u64)> {
+    (
+        2usize..5,
+        3usize..9,
+        1usize..5,
+        0usize..3,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(threads, steps, vars, locks, lock_p, write_p, gen_seed, sched_seed)| {
+                (
+                    RandomProgramConfig {
+                        threads,
+                        steps_per_thread: steps,
+                        vars,
+                        locks,
+                        lock_probability: lock_p,
+                        write_probability: write_p,
+                    },
+                    gen_seed,
+                    sched_seed,
+                )
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every captured event's clock indexes it correctly and clocks are
+    /// monotone along each thread.
+    #[test]
+    fn clocks_are_well_formed((config, gen_seed, sched_seed) in arb_config()) {
+        let program = random_program("fuzz", config, gen_seed);
+        let poset = SimScheduler::new(sched_seed).run(&program);
+        for t in 0..CutSpace::num_threads(&poset) {
+            let tid = Tid::from(t);
+            let mut previous: Option<paramount_vclock::VectorClock> = None;
+            for (k, event) in poset.thread_events(tid).enumerate() {
+                prop_assert_eq!(event.vc.get(tid), k as u32 + 1, "own component");
+                if let Some(prev) = &previous {
+                    prop_assert!(prev.le(&event.vc), "clock regression");
+                }
+                previous = Some(event.vc.clone());
+            }
+        }
+    }
+
+    /// Event collections never hold two accesses to the same variable,
+    /// and captured events never exceed executed accesses.
+    #[test]
+    fn collections_are_merged((config, gen_seed, sched_seed) in arb_config()) {
+        let program = random_program("fuzz", config, gen_seed);
+        let poset = SimScheduler::new(sched_seed).run(&program);
+        let mut captured_accesses = 0usize;
+        for event in poset.events() {
+            let TraceEvent::Accesses(collection) = &event.payload else {
+                prop_assert!(false, "race capture emits only collections");
+                continue;
+            };
+            prop_assert!(!collection.is_empty(), "empty collection emitted");
+            let mut vars: Vec<_> = collection.accesses().iter().map(|a| a.var).collect();
+            captured_accesses += vars.len();
+            vars.sort_unstable();
+            vars.dedup();
+            prop_assert_eq!(vars.len(), collection.accesses().len(), "duplicate var");
+        }
+        let executed_accesses = (0..program.num_threads())
+            .flat_map(|t| program.script(Tid::from(t)).iter())
+            .filter(|op| matches!(op, Op::Read(_) | Op::Write(_)))
+            .count();
+        prop_assert!(captured_accesses <= executed_accesses);
+    }
+
+    /// Exactly one access per written variable carries the init flag, and
+    /// it is a write.
+    #[test]
+    fn one_init_write_per_variable((config, gen_seed, sched_seed) in arb_config()) {
+        let program = random_program("fuzz", config, gen_seed);
+        let poset = SimScheduler::new(sched_seed).run(&program);
+        let mut init_count = vec![0usize; program.num_vars()];
+        let mut written = vec![false; program.num_vars()];
+        for event in poset.events() {
+            if let TraceEvent::Accesses(collection) = &event.payload {
+                for access in collection.accesses() {
+                    if access.is_write {
+                        written[access.var.index()] = true;
+                    }
+                    if access.init {
+                        prop_assert!(access.is_write, "init flag on a read");
+                        init_count[access.var.index()] += 1;
+                    }
+                }
+            }
+        }
+        for v in 0..program.num_vars() {
+            if written[v] {
+                prop_assert_eq!(init_count[v], 1, "var {} init writes", v);
+            } else {
+                prop_assert_eq!(init_count[v], 0);
+            }
+        }
+    }
+
+    /// Critical sections of the same lock are never concurrent: any two
+    /// collections captured strictly inside them are causally ordered.
+    #[test]
+    fn same_lock_sections_are_ordered(
+        threads in 2usize..4,
+        sections in 1usize..4,
+        sched_seed in any::<u64>(),
+    ) {
+        use paramount_trace::{ProgramBuilder};
+        let mut b = ProgramBuilder::new("locked", threads + 1);
+        let x = b.var("x");
+        let l = b.lock("m");
+        for t in 1..=threads {
+            for _ in 0..sections {
+                b.critical(Tid::from(t), l, [Op::Write(x), Op::Read(x)]);
+            }
+        }
+        b.fork_join_all_with_init([Op::Write(x)]);
+        let program = b.build();
+        let poset = SimScheduler::new(sched_seed).run(&program);
+        let ids: Vec<EventId> = poset
+            .events()
+            .map(|e| e.id)
+            .filter(|id| id.tid != Tid(0))
+            .collect();
+        for &a in &ids {
+            for &b in &ids {
+                if a.tid != b.tid {
+                    prop_assert!(!poset.concurrent(a, b), "{} || {}", a, b);
+                }
+            }
+        }
+    }
+
+    /// The simulated and threaded executors capture the same number of
+    /// events per thread for lock-free programs (segment structure is
+    /// schedule-independent).
+    #[test]
+    fn sim_and_threads_agree_on_event_counts(
+        (config, gen_seed, sched_seed) in arb_config()
+    ) {
+        let config = RandomProgramConfig { lock_probability: 0.0, locks: 0, ..config };
+        let program = random_program("fuzz", config, gen_seed);
+        let sim = SimScheduler::new(sched_seed).run(&program);
+        let real = paramount_trace::exec::run_threads(
+            &program,
+            paramount_trace::RecorderConfig::default(),
+            0,
+            paramount_trace::PosetCollector::new(program.num_threads()),
+        )
+        .into_poset();
+        for t in 0..program.num_threads() {
+            let tid = Tid::from(t);
+            prop_assert_eq!(
+                CutSpace::events_of(&sim, tid),
+                CutSpace::events_of(&real, tid)
+            );
+        }
+    }
+}

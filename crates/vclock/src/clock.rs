@@ -1,0 +1,298 @@
+use crate::Tid;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::Index;
+
+/// Outcome of comparing two vector clocks under happened-before.
+///
+/// Unlike `std::cmp::Ordering`, vector clocks form a *partial* order: two
+/// clocks taken from concurrent events are mutually incomparable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClockOrdering {
+    /// Componentwise equal.
+    Equal,
+    /// Strictly less on at least one component, greater on none
+    /// (the left event happened before the right one).
+    Before,
+    /// Strictly greater on at least one component, less on none.
+    After,
+    /// Less on some component and greater on another (concurrent events).
+    Concurrent,
+}
+
+/// A Fidge/Mattern vector clock.
+///
+/// Component `i` counts events of thread `i` known to have happened before
+/// (or at) the point this clock stamps. For an event `e` executed by thread
+/// `t`, `e.vc[t]` is the 1-based index of `e` within `t`'s event sequence,
+/// and for `j != t`, `e.vc[j]` is the index of the latest event of thread
+/// `j` with `e_j → e` (0 if none) — exactly the encoding of §2.2 of the
+/// paper. Consequently the frontier of the least consistent cut containing
+/// `e`, `Gmin(e)`, *is* `e.vc` verbatim, which is what makes the ParaMount
+/// interval computation O(n) per event.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct VectorClock {
+    components: Vec<u32>,
+}
+
+impl VectorClock {
+    /// The zero clock for an `n`-thread computation.
+    pub fn zero(n: usize) -> Self {
+        VectorClock {
+            components: vec![0; n],
+        }
+    }
+
+    /// Builds a clock directly from its components.
+    pub fn from_components(components: Vec<u32>) -> Self {
+        VectorClock { components }
+    }
+
+    /// Number of threads this clock spans.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True for the zero-width clock (no threads).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Component for thread `t`.
+    #[inline]
+    pub fn get(&self, t: Tid) -> u32 {
+        self.components[t.index()]
+    }
+
+    /// Sets the component for thread `t`.
+    #[inline]
+    pub fn set(&mut self, t: Tid, value: u32) {
+        self.components[t.index()] = value;
+    }
+
+    /// Raw component slice (thread id is the index).
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.components
+    }
+
+    /// Consumes the clock, yielding its components.
+    pub fn into_components(self) -> Vec<u32> {
+        self.components
+    }
+
+    /// Advances thread `t`'s own component by one (a local event).
+    #[inline]
+    pub fn tick(&mut self, t: Tid) {
+        self.components[t.index()] += 1;
+    }
+
+    /// Componentwise maximum with `other` (the lattice join).
+    ///
+    /// This is the message-receive / lock-acquire update of vector-clock
+    /// algorithms: after `self.join(other)`, `self` dominates both inputs.
+    pub fn join(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// Componentwise minimum with `other` (the lattice meet).
+    pub fn meet(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            if *b < *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// The paper's Algorithm 3, `calculateVectorClock(vc_i, vc_j)`.
+    ///
+    /// `self` is the acquiring side's clock (a thread's clock, `vc_i`);
+    /// `other` is the clock of the resource being synchronized with (a lock
+    /// or another thread, `vc_j`). The thread ticks its own component,
+    /// joins in the resource's knowledge, and the resource's clock is
+    /// brought up to date with the result. The returned clock is the stamp
+    /// for the new event.
+    pub fn acquire_merge(&mut self, own: Tid, other: &mut VectorClock) -> VectorClock {
+        self.tick(own);
+        self.join(other);
+        other.clone_from(self);
+        self.clone()
+    }
+
+    /// `self ≤ other` under the product order (every component ≤).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
+        self.components
+            .iter()
+            .zip(&other.components)
+            .all(|(a, b)| a <= b)
+    }
+
+    /// Full four-way comparison under the happened-before partial order.
+    pub fn partial_cmp_hb(&self, other: &VectorClock) -> ClockOrdering {
+        debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
+        let mut less = false;
+        let mut greater = false;
+        for (a, b) in self.components.iter().zip(&other.components) {
+            match a.cmp(b) {
+                Ordering::Less => less = true,
+                Ordering::Greater => greater = true,
+                Ordering::Equal => {}
+            }
+            if less && greater {
+                return ClockOrdering::Concurrent;
+            }
+        }
+        match (less, greater) {
+            (false, false) => ClockOrdering::Equal,
+            (true, false) => ClockOrdering::Before,
+            (false, true) => ClockOrdering::After,
+            (true, true) => unreachable!("early return above"),
+        }
+    }
+
+    /// True iff the event stamped `self` happened before the event stamped
+    /// `other` (strictly).
+    pub fn happened_before(&self, other: &VectorClock) -> bool {
+        self.partial_cmp_hb(other) == ClockOrdering::Before
+    }
+
+    /// True iff the two stamps belong to concurrent events.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        self.partial_cmp_hb(other) == ClockOrdering::Concurrent
+    }
+
+    /// Sum of all components — a cheap measure of "how much happened".
+    pub fn weight(&self) -> u64 {
+        self.components.iter().map(|&c| c as u64).sum()
+    }
+}
+
+impl Index<Tid> for VectorClock {
+    type Output = u32;
+
+    #[inline]
+    fn index(&self, t: Tid) -> &u32 {
+        &self.components[t.index()]
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vc{:?}", self.components)
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(components: &[u32]) -> VectorClock {
+        VectorClock::from_components(components.to_vec())
+    }
+
+    #[test]
+    fn zero_clock_is_all_zero() {
+        let c = VectorClock::zero(3);
+        assert_eq!(c.as_slice(), &[0, 0, 0]);
+        assert_eq!(c.weight(), 0);
+    }
+
+    #[test]
+    fn tick_advances_only_own_component() {
+        let mut c = VectorClock::zero(3);
+        c.tick(Tid(1));
+        c.tick(Tid(1));
+        c.tick(Tid(2));
+        assert_eq!(c.as_slice(), &[0, 2, 1]);
+    }
+
+    #[test]
+    fn join_takes_componentwise_max() {
+        let mut a = vc(&[3, 0, 5]);
+        a.join(&vc(&[1, 4, 5]));
+        assert_eq!(a.as_slice(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn meet_takes_componentwise_min() {
+        let mut a = vc(&[3, 0, 5]);
+        a.meet(&vc(&[1, 4, 5]));
+        assert_eq!(a.as_slice(), &[1, 0, 5]);
+    }
+
+    #[test]
+    fn paper_figure_4d_example() {
+        // Figure 4(d): e1[1].vc = [1,0], e2[1].vc = [0,1],
+        // e1[2].vc = [2,1], e2[2].vc = [1,2].
+        let e1_1 = vc(&[1, 0]);
+        let e2_1 = vc(&[0, 1]);
+        let e1_2 = vc(&[2, 1]);
+        let e2_2 = vc(&[1, 2]);
+        assert!(e1_1.happened_before(&e1_2));
+        assert!(e2_1.happened_before(&e1_2));
+        assert!(e1_1.happened_before(&e2_2));
+        assert!(e1_1.concurrent_with(&e2_1));
+        assert!(e1_2.concurrent_with(&e2_2));
+    }
+
+    #[test]
+    fn algorithm_3_lock_acquire() {
+        // A thread t0 with clock [2,0] acquires a lock whose clock is [0,3]
+        // (last released by t1 after its third event). Algorithm 3: tick own,
+        // join, copy back to the lock.
+        let mut thread = vc(&[2, 0]);
+        let mut lock = vc(&[0, 3]);
+        let event = thread.acquire_merge(Tid(0), &mut lock);
+        assert_eq!(event.as_slice(), &[3, 3]);
+        assert_eq!(thread.as_slice(), &[3, 3]);
+        assert_eq!(lock.as_slice(), &[3, 3]);
+    }
+
+    #[test]
+    fn partial_cmp_all_four_outcomes() {
+        assert_eq!(vc(&[1, 2]).partial_cmp_hb(&vc(&[1, 2])), ClockOrdering::Equal);
+        assert_eq!(vc(&[1, 2]).partial_cmp_hb(&vc(&[1, 3])), ClockOrdering::Before);
+        assert_eq!(vc(&[1, 3]).partial_cmp_hb(&vc(&[1, 2])), ClockOrdering::After);
+        assert_eq!(
+            vc(&[0, 3]).partial_cmp_hb(&vc(&[1, 2])),
+            ClockOrdering::Concurrent
+        );
+    }
+
+    #[test]
+    fn le_is_reflexive_and_matches_cmp() {
+        let a = vc(&[1, 2, 3]);
+        let b = vc(&[1, 3, 3]);
+        assert!(a.le(&a));
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+    }
+
+    #[test]
+    fn display_formats_like_the_paper() {
+        assert_eq!(vc(&[2, 1]).to_string(), "[2,1]");
+        assert_eq!(VectorClock::zero(0).to_string(), "[]");
+    }
+}

@@ -1,0 +1,95 @@
+use crate::{Tid, VectorClock};
+use std::fmt;
+
+/// A FastTrack epoch: the pair `clock@tid`.
+///
+/// FastTrack's key observation is that reads and writes are usually
+/// *totally* ordered in race-free programs, so the full vector clock kept by
+/// DJIT⁺-style detectors can be replaced by the clock of the single last
+/// access — an epoch — on the fast path. This type carries the two
+/// comparisons FastTrack needs:
+///
+/// * [`Epoch::happens_before_clock`] — `e ⪯ C` iff `e.clock ≤ C[e.tid]`
+///   (an O(1) test against a thread's vector clock), and
+/// * ordinary equality for the same-epoch fast path.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Epoch {
+    /// Clock value of the access.
+    pub clock: u32,
+    /// Thread that performed the access.
+    pub tid: Tid,
+}
+
+impl Epoch {
+    /// The "never accessed" epoch: clock 0 on thread 0.
+    ///
+    /// Clock values of real events are ≥ 1 (indices are 1-based, matching
+    /// vector-clock components), so the zero epoch happens-before every
+    /// thread clock and never races.
+    pub const NONE: Epoch = Epoch {
+        clock: 0,
+        tid: Tid(0),
+    };
+
+    /// Builds the epoch of thread `t`'s latest event given `t`'s clock.
+    pub fn of(t: Tid, clock_of_t: &VectorClock) -> Epoch {
+        Epoch {
+            clock: clock_of_t.get(t),
+            tid: t,
+        }
+    }
+
+    /// `self ⪯ clock`: the stamped access is ordered before (or at) the
+    /// point described by `clock`.
+    #[inline]
+    pub fn happens_before_clock(&self, clock: &VectorClock) -> bool {
+        self.clock <= clock.get(self.tid)
+    }
+
+    /// True for the sentinel "never accessed" epoch.
+    #[inline]
+    pub fn is_none(&self) -> bool {
+        self.clock == 0
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.clock, self.tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_epoch_precedes_everything() {
+        let zero = VectorClock::zero(4);
+        assert!(Epoch::NONE.happens_before_clock(&zero));
+        assert!(Epoch::NONE.is_none());
+    }
+
+    #[test]
+    fn epoch_of_reads_own_component() {
+        let clock = VectorClock::from_components(vec![3, 7, 1]);
+        let e = Epoch::of(Tid(1), &clock);
+        assert_eq!(e, Epoch { clock: 7, tid: Tid(1) });
+        assert!(!e.is_none());
+    }
+
+    #[test]
+    fn happens_before_clock_is_component_test() {
+        let e = Epoch { clock: 5, tid: Tid(2) };
+        let later = VectorClock::from_components(vec![0, 0, 5]);
+        let earlier = VectorClock::from_components(vec![9, 9, 4]);
+        assert!(e.happens_before_clock(&later));
+        assert!(!e.happens_before_clock(&earlier));
+    }
+
+    #[test]
+    fn display_uses_fasttrack_notation() {
+        let e = Epoch { clock: 5, tid: Tid(2) };
+        assert_eq!(e.to_string(), "5@t3");
+    }
+}

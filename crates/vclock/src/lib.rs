@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! Vector clocks and happened-before algebra.
+//!
+//! This crate is the lowest layer of the ParaMount reproduction
+//! (Chang & Garg, *A Parallel Algorithm for Global States Enumeration in
+//! Concurrent Systems*, PPoPP 2015). Everything above it — event posets,
+//! enumeration, predicate detection, FastTrack — speaks in terms of the
+//! types defined here:
+//!
+//! * [`Tid`] — a dense thread (or process) identifier.
+//! * [`VectorClock`] — Fidge/Mattern vector clocks with the merge kernel of
+//!   the paper's Algorithm 3 ([`VectorClock::acquire_merge`]).
+//! * [`Epoch`] — the `clock@tid` pairs FastTrack uses in place of full
+//!   vectors on its fast path.
+//! * [`ClockOrdering`] — the four-way outcome of comparing two vector
+//!   clocks under the happened-before partial order.
+//!
+//! The representation is deliberately flat: a vector clock is a `Vec<u32>`
+//! indexed by thread id, with no per-entry boxing, so the comparison loops
+//! that dominate enumeration are branch-predictable linear scans.
+
+mod clock;
+mod epoch;
+mod tid;
+
+pub use clock::{ClockOrdering, VectorClock};
+pub use epoch::Epoch;
+pub use tid::Tid;

@@ -1,0 +1,70 @@
+use std::fmt;
+
+/// A dense thread (or, in distributed computations, process) identifier.
+///
+/// Thread ids index vector-clock components and frontier slots, so they are
+/// required to be dense: a computation over `n` threads uses exactly the ids
+/// `0..n`. The paper writes threads as `t1..tn` (1-based); this crate is
+/// 0-based throughout and the `Display` impl prints the paper's 1-based name.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Tid(pub u32);
+
+impl Tid {
+    /// The id as a `usize` index, for vector-clock and frontier slots.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over all thread ids of an `n`-thread computation.
+    pub fn all(n: usize) -> impl ExactSizeIterator<Item = Tid> {
+        (0..n as u32).map(Tid)
+    }
+}
+
+impl From<usize> for Tid {
+    #[inline]
+    fn from(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize);
+        Tid(i as u32)
+    }
+}
+
+impl From<u32> for Tid {
+    #[inline]
+    fn from(i: u32) -> Self {
+        Tid(i)
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Paper notation: threads are t1, t2, ...
+        write!(f, "t{}", self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(Tid(0).to_string(), "t1");
+        assert_eq!(Tid(7).to_string(), "t8");
+    }
+
+    #[test]
+    fn all_yields_dense_ids() {
+        let ids: Vec<Tid> = Tid::all(4).collect();
+        assert_eq!(ids, vec![Tid(0), Tid(1), Tid(2), Tid(3)]);
+        assert_eq!(Tid::all(0).len(), 0);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for i in [0usize, 1, 63, 1000] {
+            assert_eq!(Tid::from(i).index(), i);
+        }
+    }
+}

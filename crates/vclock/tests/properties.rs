@@ -1,0 +1,130 @@
+//! Property-based tests for the vector-clock lattice algebra.
+
+use paramount_vclock::{ClockOrdering, Tid, VectorClock};
+use proptest::prelude::*;
+
+const WIDTH: usize = 6;
+
+fn arb_clock() -> impl Strategy<Value = VectorClock> {
+    prop::collection::vec(0u32..50, WIDTH).prop_map(VectorClock::from_components)
+}
+
+proptest! {
+    #[test]
+    fn join_is_commutative(a in arb_clock(), b in arb_clock()) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn join_is_associative(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        let mut left = a.clone();
+        left.join(&b);
+        left.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut right = a.clone();
+        right.join(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn join_is_idempotent_and_dominates(a in arb_clock(), b in arb_clock()) {
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+        let mut jj = j.clone();
+        jj.join(&b);
+        prop_assert_eq!(j, jj);
+    }
+
+    #[test]
+    fn meet_join_absorption(a in arb_clock(), b in arb_clock()) {
+        // a ∧ (a ∨ b) = a
+        let mut join = a.clone();
+        join.join(&b);
+        let mut absorbed = a.clone();
+        absorbed.meet(&join);
+        prop_assert_eq!(absorbed, a);
+    }
+
+    #[test]
+    fn le_is_a_partial_order(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        prop_assert!(a.le(&a));
+        if a.le(&b) && b.le(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        if a.le(&b) && b.le(&c) {
+            prop_assert!(a.le(&c));
+        }
+    }
+
+    #[test]
+    fn cmp_agrees_with_le(a in arb_clock(), b in arb_clock()) {
+        let ord = a.partial_cmp_hb(&b);
+        match ord {
+            ClockOrdering::Equal => {
+                prop_assert!(a.le(&b) && b.le(&a));
+            }
+            ClockOrdering::Before => {
+                prop_assert!(a.le(&b) && !b.le(&a));
+            }
+            ClockOrdering::After => {
+                prop_assert!(b.le(&a) && !a.le(&b));
+            }
+            ClockOrdering::Concurrent => {
+                prop_assert!(!a.le(&b) && !b.le(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_is_antisymmetric(a in arb_clock(), b in arb_clock()) {
+        let forward = a.partial_cmp_hb(&b);
+        let backward = b.partial_cmp_hb(&a);
+        let flipped = match forward {
+            ClockOrdering::Equal => ClockOrdering::Equal,
+            ClockOrdering::Before => ClockOrdering::After,
+            ClockOrdering::After => ClockOrdering::Before,
+            ClockOrdering::Concurrent => ClockOrdering::Concurrent,
+        };
+        prop_assert_eq!(backward, flipped);
+    }
+
+    #[test]
+    fn acquire_merge_dominates_inputs(
+        a in arb_clock(),
+        b in arb_clock(),
+        t in 0..WIDTH as u32,
+    ) {
+        // Precondition of Algorithm 3: only the owner ticks its own
+        // component, so the acquiring thread's own entry dominates any
+        // other clock's view of it. Establish it explicitly.
+        let mut a = a;
+        let own = a.get(Tid(t)).max(b.get(Tid(t)));
+        a.set(Tid(t), own);
+        let before = a.clone();
+        let mut thread = a.clone();
+        let mut resource = b.clone();
+        let stamp = thread.acquire_merge(Tid(t), &mut resource);
+        // The stamp strictly advances the acquiring thread's component...
+        prop_assert_eq!(stamp.get(Tid(t)), before.get(Tid(t)) + 1);
+        // ...dominates both inputs...
+        prop_assert!(before.le(&stamp));
+        prop_assert!(b.le(&stamp));
+        // ...and all three clocks agree afterwards (Algorithm 3 lines 4-5).
+        prop_assert_eq!(&stamp, &thread);
+        prop_assert_eq!(&stamp, &resource);
+    }
+
+    #[test]
+    fn weight_is_monotone(a in arb_clock(), b in arb_clock()) {
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(j.weight() >= a.weight().max(b.weight()));
+    }
+}

@@ -1,0 +1,125 @@
+//! `banking` — the lost-update bug pattern of Farchi, Nir & Ur [8].
+//!
+//! Tellers read the shared balance *outside* the account lock (a stale
+//! read), compute, then write the new balance inside the lock. The
+//! unprotected read races with other tellers' protected writes: exactly
+//! one racy variable (`balance`), as in the paper's Table 2.
+
+use paramount_trace::{Op, Program, ProgramBuilder, Tid};
+
+/// Workload size.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Teller threads (the paper drives the benchmark with 4 threads
+    /// total, i.e. 3 workers plus main).
+    pub tellers: usize,
+    /// Deposit transactions per teller.
+    pub rounds: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            tellers: 3,
+            rounds: 2,
+        }
+    }
+}
+
+/// Builds the banking program.
+pub fn program(params: &Params) -> Program {
+    let mut b = ProgramBuilder::new("banking", params.tellers + 1);
+    let balance = b.var("account.balance");
+    let audit = b.var("account.auditLog");
+    let lock = b.lock("account.lock");
+
+    for t in 1..=params.tellers {
+        let tid = Tid::from(t);
+        for _ in 0..params.rounds {
+            // The bug: the balance is read before taking the lock...
+            b.push(tid, Op::Read(balance));
+            b.push(tid, Op::Work(20));
+            // ...and the update happens inside it (lost update).
+            b.critical(
+                tid,
+                lock,
+                [Op::Read(balance), Op::Write(balance), Op::Write(audit)],
+            );
+        }
+    }
+    // Main opens the account before any teller exists.
+    b.fork_join_all_with_init([Op::Write(balance), Op::Write(audit)]);
+    b.build()
+}
+
+/// The Table 1 trace variant: the *fully unsynchronized* bug pattern.
+///
+/// The paper's `bank` poset has 96 events over 8 threads and exactly
+/// 13⁸ = 815,730,721 consistent cuts — the full product lattice — which
+/// means its captured segments carry no cross-thread edges at all (the
+/// buggy tellers never synchronize). This builder reproduces that shape:
+/// per round, one read segment and one write segment, split by a private
+/// pace lock (no cross edges), so `tellers` threads with `rounds` rounds
+/// give a `(2·rounds+1)^tellers` lattice.
+pub fn wide_program(tellers: usize, rounds: usize) -> Program {
+    let mut b = ProgramBuilder::new("bank", tellers + 1);
+    let balance = b.var("account.balance");
+    for t in 1..=tellers {
+        let tid = Tid::from(t);
+        let pace = b.lock(format!("teller{t}.pace"));
+        for _ in 0..rounds {
+            b.push(tid, Op::Read(balance));
+            b.critical(tid, pace, []);
+            b.push(tid, Op::Write(balance));
+            b.critical(tid, pace, []);
+        }
+    }
+    b.fork_join_all_with_init([Op::Write(balance)]);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramount_detect::online::detect_races_sim;
+    use paramount_detect::DetectorConfig;
+    use paramount_trace::VarId;
+
+    #[test]
+    fn exactly_the_balance_races() {
+        for seed in 0..6 {
+            let p = program(&Params::default());
+            let report = detect_races_sim(&p, seed, &DetectorConfig::default());
+            assert_eq!(
+                report.racy_vars,
+                vec![VarId(0)],
+                "seed {seed}: {:?}",
+                report.detections
+            );
+        }
+    }
+
+    #[test]
+    fn wide_variant_has_full_product_lattice() {
+        use paramount_trace::sim::SimScheduler;
+        // 3 tellers x 2 rounds: (2*2+1)^3 = 125 cuts once main's init
+        // event is in, plus the empty cut.
+        let p = wide_program(3, 2);
+        let poset = SimScheduler::new(1).run(&p);
+        assert_eq!(paramount_poset::oracle::count_ideals(&poset), 126);
+    }
+
+    #[test]
+    fn scales_with_params() {
+        let small = program(&Params {
+            tellers: 2,
+            rounds: 1,
+        });
+        let big = program(&Params {
+            tellers: 4,
+            rounds: 3,
+        });
+        assert!(big.num_ops() > small.num_ops());
+        assert_eq!(big.num_threads(), 5);
+    }
+}

@@ -1,0 +1,71 @@
+//! The `d-*` random distributed computations of Table 1.
+//!
+//! The paper's `d-300`, `d-500` and `d-10K` posets model distributed
+//! computations over 10 processes with 300 / 500 / 10,000 events and
+//! lattices of 42 M / 237 M / 4,962 M consistent cuts. The generators
+//! here keep the process count and event counts, with the message density
+//! chosen so the lattices land in a range a laptop enumerates in seconds
+//! to minutes (the paper's testbed ran hours on these); `scaled(...)`
+//! exposes the knobs for anyone wanting the original magnitudes.
+
+use paramount_poset::random::RandomComputation;
+
+/// Number of processes used by every `d-*` input (as in the paper).
+pub const PROCESSES: usize = 10;
+
+/// `d-300`: 10 processes × 30 events.
+pub fn d300() -> RandomComputation {
+    RandomComputation::new(PROCESSES, 30, 0.78, 300)
+}
+
+/// `d-500`: 10 processes × 50 events.
+pub fn d500() -> RandomComputation {
+    RandomComputation::new(PROCESSES, 50, 0.80, 500)
+}
+
+/// `d-10K`: 10 processes × 1,000 events. At the default density the
+/// lattice is the largest of the three, as in the paper.
+pub fn d10k() -> RandomComputation {
+    RandomComputation::new(PROCESSES, 1000, 0.92, 10_000)
+}
+
+/// A custom-size distributed computation with the same model.
+pub fn scaled(events_per_process: usize, message_fraction: f64, seed: u64) -> RandomComputation {
+    RandomComputation::new(PROCESSES, events_per_process, message_fraction, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramount_poset::oracle::count_ideals;
+
+    #[test]
+    fn shapes_match_the_paper() {
+        assert_eq!(d300().total_events(), 300);
+        assert_eq!(d500().total_events(), 500);
+        assert_eq!(d10k().total_events(), 10_000);
+    }
+
+    #[test]
+    fn lattice_sizes_are_ordered_and_nontrivial() {
+        // Tiny proxies (4 processes) with the same densities: the ordering
+        // smaller-input < larger-input must already show. Full-size `d-*`
+        // lattices are counted by the table1 harness, not a unit test.
+        let small = RandomComputation::new(4, 6, 0.78, 300).generate();
+        let larger = RandomComputation::new(4, 9, 0.80, 500).generate();
+        let a = count_ideals(&small);
+        let b = count_ideals(&larger);
+        assert!(a > 20, "proxy too synchronized: {a}");
+        assert!(b > a, "expected the larger input to have more cuts");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = d300().generate();
+        let b = d300().generate();
+        assert_eq!(a.num_events(), b.num_events());
+        let va: Vec<_> = a.events().map(|e| e.vc.clone()).collect();
+        let vb: Vec<_> = b.events().map(|e| e.vc.clone()).collect();
+        assert_eq!(va, vb);
+    }
+}

@@ -1,0 +1,131 @@
+//! `hedc` — the web-crawler / meta-search harness (8 threads, as in the
+//! paper — the only benchmark driven with more than 4).
+//!
+//! Crawler tasks are dispatched through a properly locked task pool;
+//! every worker folds its results into four shared statistics counters
+//! **without synchronization** — four racy variables, matching Table 2's
+//! `hedc` row (the paper's 345-variable count includes the whole
+//! application; the four detections are what both detectors report).
+
+use paramount_trace::{Op, Program, ProgramBuilder, Tid};
+
+/// Workload size.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Crawler threads (paper: 8 total, i.e. 7 workers + main).
+    pub workers: usize,
+    /// Tasks fetched per worker.
+    pub tasks: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            workers: 7,
+            tasks: 1,
+        }
+    }
+}
+
+/// Builds the hedc program.
+pub fn program(params: &Params) -> Program {
+    let mut b = ProgramBuilder::new("hedc", params.workers + 1);
+    let pool = b.var("taskPool.head");
+    let stats: Vec<_> = (0..4)
+        .map(|i| {
+            b.var(match i {
+                0 => "stats.pagesFetched".to_string(),
+                1 => "stats.bytesFetched".to_string(),
+                2 => "stats.errors".to_string(),
+                _ => "stats.elapsedTotal".to_string(),
+            })
+        })
+        .collect();
+    let pool_lock = b.lock("taskPool.lock");
+
+    for w in 0..params.workers {
+        let tid = Tid::from(w + 1);
+        for _ in 0..params.tasks {
+            // Pull a task (locked — clean).
+            b.critical(tid, pool_lock, [Op::Read(pool), Op::Write(pool)]);
+            b.push(tid, Op::Work(60));
+            // Fold results into the shared counters — unsynchronized.
+            for &s in &stats {
+                b.push(tid, Op::Read(s));
+                b.push(tid, Op::Write(s));
+            }
+        }
+    }
+    let mut init = vec![Op::Write(pool)];
+    init.extend(stats.iter().map(|&v| Op::Write(v)));
+    b.fork_join_all_with_init(init);
+    b.build()
+}
+
+/// The Table 1 trace variant: each worker's statistics updates land in
+/// `segments` separate unsynchronized events (split by a private pace
+/// lock), with a single locked pool access chaining the workers only
+/// weakly — a wide, hedc-shaped lattice like the paper's 4.5-billion-cut
+/// poset.
+pub fn wide_program(workers: usize, segments: usize) -> Program {
+    let mut b = ProgramBuilder::new("hedc", workers + 1);
+    let pool = b.var("taskPool.head");
+    let stat = b.var("stats.pagesFetched");
+    let pool_lock = b.lock("taskPool.lock");
+    for w in 0..workers {
+        let tid = Tid::from(w + 1);
+        let pace = b.lock(format!("worker{w}.pace"));
+        b.critical(tid, pool_lock, [Op::Read(pool), Op::Write(pool)]);
+        for _ in 0..segments {
+            b.push(tid, Op::Read(stat));
+            b.push(tid, Op::Write(stat));
+            b.critical(tid, pace, []);
+        }
+    }
+    b.fork_join_all_with_init([Op::Write(pool), Op::Write(stat)]);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramount_detect::online::detect_races_sim;
+    use paramount_detect::DetectorConfig;
+    use paramount_trace::VarId;
+
+    #[test]
+    fn all_four_counters_race_and_nothing_else() {
+        for seed in 0..4 {
+            let report = detect_races_sim(
+                &program(&Params::default()),
+                seed,
+                &DetectorConfig::default(),
+            );
+            assert_eq!(
+                report.racy_vars,
+                vec![VarId(1), VarId(2), VarId(3), VarId(4)],
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn eight_threads_like_the_paper() {
+        assert_eq!(program(&Params::default()).num_threads(), 8);
+    }
+
+    #[test]
+    fn wide_variant_shape() {
+        use paramount_trace::sim::SimScheduler;
+        // Small instance: 3 workers x 2 segments. Each worker: 1 pool
+        // event + 2 stat events.
+        let p = wide_program(3, 2);
+        assert!(p.validate().is_empty());
+        let poset = SimScheduler::new(5).run(&p);
+        assert_eq!(poset.num_events(), 1 + 3 * 3, "main init + 3 per worker");
+        // Wider than deep: the stat segments of different workers are
+        // concurrent in some schedule (no shared locks around them).
+        let cuts = paramount_poset::oracle::count_ideals(&poset);
+        assert!(cuts > 27, "lattice too synchronized: {cuts}");
+    }
+}

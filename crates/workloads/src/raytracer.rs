@@ -1,0 +1,98 @@
+//! `raytracer` — the row-parallel 3D ray tracer (Java Grande style).
+//!
+//! Workers render disjoint rows of the image (thread-private), read the
+//! shared scene (initialized by main, read-only afterwards), and fold
+//! their row checksums into a shared `checksum` accumulator **without
+//! synchronization** — the well-known JGF raytracer race: one racy
+//! variable.
+//!
+//! This is also the workload the paper's RV runtime dies on (`o.o.m.`):
+//! with enough rows per worker the lattice of cuts is far too wide for a
+//! whole-lattice BFS, while interval-bounded enumeration cruises. The
+//! `rows` parameter controls that width.
+
+use paramount_trace::{Op, Program, ProgramBuilder, Tid};
+
+/// Workload size.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Render threads (paper total: 4 threads).
+    pub workers: usize,
+    /// Rows rendered per worker — each row is a separate poset event, so
+    /// this is the lattice-width knob.
+    pub rows: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            workers: 3,
+            rows: 2,
+        }
+    }
+}
+
+/// Builds the raytracer program.
+pub fn program(params: &Params) -> Program {
+    let mut b = ProgramBuilder::new("raytracer", params.workers + 1);
+    let scene = b.var("scene");
+    let checksum = b.var("checksum");
+    let rows: Vec<_> = (0..params.workers)
+        .map(|w| b.var(format!("image.rows[{w}]")))
+        .collect();
+
+    for w in 0..params.workers {
+        let tid = Tid::from(w + 1);
+        let pace = b.lock(format!("rowFence{w}"));
+        for _ in 0..params.rows {
+            // Render one row: read-only scene, private output row.
+            b.push(tid, Op::Read(scene));
+            b.push(tid, Op::Work(40));
+            b.push(tid, Op::Write(rows[w]));
+            // Split rows into separate events (private lock, no cross
+            // edges) so the poset width grows with `rows`.
+            b.critical(tid, pace, []);
+        }
+        // The bug: the checksum accumulation is not synchronized.
+        b.push(tid, Op::Read(checksum));
+        b.push(tid, Op::Write(checksum));
+    }
+    let mut init = vec![Op::Write(scene), Op::Write(checksum)];
+    init.extend(rows.iter().map(|&v| Op::Write(v)));
+    b.fork_join_all_with_init(init);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramount_detect::online::detect_races_sim;
+    use paramount_detect::DetectorConfig;
+    use paramount_trace::VarId;
+
+    #[test]
+    fn only_the_checksum_races() {
+        for seed in 0..5 {
+            let report = detect_races_sim(
+                &program(&Params::default()),
+                seed,
+                &DetectorConfig::default(),
+            );
+            assert_eq!(report.racy_vars, vec![VarId(1)], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rows_widen_the_poset() {
+        use paramount_trace::sim::SimScheduler;
+        let narrow = SimScheduler::new(0).run(&program(&Params {
+            workers: 3,
+            rows: 1,
+        }));
+        let wide = SimScheduler::new(0).run(&program(&Params {
+            workers: 3,
+            rows: 6,
+        }));
+        assert!(wide.num_events() > narrow.num_events() + 10);
+    }
+}

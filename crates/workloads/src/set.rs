@@ -1,0 +1,128 @@
+//! `set (faulty)` / `set (correct)` — the concurrent linked-list set of
+//! Herlihy & Shavit [15] with hand-over-hand locking.
+//!
+//! The list holds nodes `0..3`; each node has a `next` pointer guarded by
+//! its own lock. Thread roles (4 threads, as in the paper):
+//!
+//! * **main** builds the initial list (initializing `next0..next2`
+//!   *before* any worker exists — properly ordered writes);
+//! * **adder** allocates node 3 — writing its `next` **without a lock**,
+//!   the initialization write the paper's §5.2 discusses — then links it
+//!   in under node 1's lock;
+//! * **remover** (faulty build only) performs the documented bug: during
+//!   a concurrent add/remove, the new node's `next` is accessed without
+//!   holding its lock;
+//! * **reader** traverses with proper hand-over-hand locking.
+//!
+//! Consequences, matching Table 2 exactly:
+//! * *correct*: the only conflicting concurrent pair on `next3` involves
+//!   the initialization write → FastTrack reports 1 benign race, the
+//!   ParaMount detector (init rule) reports 0.
+//! * *faulty*: the remover's unlocked write also races with the reader's
+//!   locked read — a non-initialization pair → both detectors report 1.
+
+use paramount_trace::{Op, Program, ProgramBuilder, Tid};
+
+/// Builds the set benchmark; `faulty` selects the buggy remove.
+pub fn program(faulty: bool) -> Program {
+    let name = if faulty { "set (faulty)" } else { "set (correct)" };
+    let mut b = ProgramBuilder::new(name, 4);
+    let next: Vec<_> = (0..4).map(|i| b.var(format!("node{i}.next"))).collect();
+    let locks: Vec<_> = (0..4).map(|i| b.lock(format!("node{i}.lock"))).collect();
+
+    let adder = Tid(1);
+    let remover = Tid(2);
+    let reader = Tid(3);
+
+    // Adder: allocate node 3 (unlocked init write), then link it in under
+    // node 1's lock.
+    b.push(adder, Op::Write(next[3]));
+    b.critical(adder, locks[1], [Op::Read(next[1]), Op::Write(next[1])]);
+
+    // Remover: remove node 2 — reads node 1's next under lock, then
+    // unlinks under node 1+2's locks (hand-over-hand).
+    b.push(remover, Op::Acquire(locks[1]));
+    b.push(remover, Op::Read(next[1]));
+    b.push(remover, Op::Acquire(locks[2]));
+    b.push(remover, Op::Read(next[2]));
+    b.push(remover, Op::Write(next[1]));
+    b.push(remover, Op::Release(locks[2]));
+    b.push(remover, Op::Release(locks[1]));
+    if faulty {
+        // The bug: touching the (possibly just-linked) node 3's next
+        // without holding node 3's lock.
+        b.push(remover, Op::Write(next[3]));
+    }
+
+    // Reader: hand-over-hand traversal reaching node 3.
+    b.push(reader, Op::Acquire(locks[0]));
+    b.push(reader, Op::Read(next[0]));
+    b.push(reader, Op::Acquire(locks[3]));
+    b.push(reader, Op::Release(locks[0]));
+    b.push(reader, Op::Read(next[3]));
+    b.push(reader, Op::Release(locks[3]));
+
+    b.fork_join_all_with_init([
+        Op::Write(next[0]),
+        Op::Write(next[1]),
+        Op::Write(next[2]),
+    ]);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramount_detect::online::detect_races_sim;
+    use paramount_detect::DetectorConfig;
+    use paramount_fasttrack::FastTrack;
+    use paramount_trace::sim::SimScheduler;
+    use paramount_trace::VarId;
+
+    #[test]
+    fn correct_set_is_clean_for_paramount_but_not_fasttrack() {
+        for seed in 0..8 {
+            let p = program(false);
+            let report = detect_races_sim(&p, seed, &DetectorConfig::default());
+            assert!(
+                report.racy_vars.is_empty(),
+                "seed {seed}: {:?}",
+                report.detections
+            );
+            let mut ft = FastTrack::new(p.num_threads());
+            SimScheduler::new(seed).run_with(&p, &mut ft);
+            assert_eq!(
+                ft.racy_vars(),
+                vec![VarId(3)],
+                "seed {seed}: FastTrack must flag the init write on node3.next"
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_set_races_on_node3_next_for_both() {
+        for seed in 0..8 {
+            let p = program(true);
+            let report = detect_races_sim(&p, seed, &DetectorConfig::default());
+            assert_eq!(report.racy_vars, vec![VarId(3)], "seed {seed}");
+            let mut ft = FastTrack::new(p.num_threads());
+            SimScheduler::new(seed).run_with(&p, &mut ft);
+            assert_eq!(ft.racy_vars(), vec![VarId(3)], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn strict_mode_agrees_with_fasttrack_on_correct_set() {
+        // Without the init rule, ParaMount sees the same benign race.
+        let p = program(false);
+        let report = detect_races_sim(
+            &p,
+            3,
+            &DetectorConfig {
+                ignore_init_races: false,
+                ..DetectorConfig::default()
+            },
+        );
+        assert_eq!(report.racy_vars, vec![VarId(3)]);
+    }
+}

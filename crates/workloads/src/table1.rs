@@ -1,0 +1,174 @@
+//! The enumeration inputs of Table 1: the `d-*` posets plus the traces of
+//! `bank`, `tsp`, `hedc` and `elevator` at enumeration scale.
+//!
+//! Table 1 measures *pure enumeration* (no predicate), so these are plain
+//! posets. Sizes were calibrated against the paper (see `EXPERIMENTS.md`):
+//!
+//! | input | paper cuts | [`Scale::Default`] cuts | notes |
+//! |---|---|---|---|
+//! | d-300 | 42 M | ~42.5 M | paper-exact events (10×30) and size |
+//! | d-500 | 237 M | ~222 M | paper-exact events (10×50), −6% size |
+//! | d-10K | 4,962 M | ~1,130 M | paper-exact events (10×1000), 4.4× down |
+//! | bank | 815.7 M (=13⁸) | 43.0 M (=9⁸) | same full-product shape, scaled |
+//! | tsp | 13 M | ~13 M | same order, deep-pruning trace |
+//! | hedc | 4,486 M | ~61 M | same wide shape, scaled |
+//! | elevator | 27,643 M | see `EXPERIMENTS.md` | same long-wide shape, scaled |
+//!
+//! The paper's `bank`, `hedc` and `elevator` rows exhaust BFS memory; the
+//! scaled lattices preserve that by keeping their BFS peak width above
+//! the harness's frontier budget while the `d-*`/`tsp` widths stay below.
+//! [`Scale::Full`] restores paper-exact `bank` (13⁸) for long runs.
+
+use crate::{banking, elevator, hedc, tsp};
+use paramount_poset::Poset;
+use paramount_trace::sim::SimScheduler;
+use paramount_trace::TraceEvent;
+
+/// Benchmark sizing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long smoke runs (CI, tests).
+    Smoke,
+    /// The default harness size (minutes for the full table).
+    Default,
+    /// Paper-exact `bank` and larger `hedc`/`elevator` (hours).
+    Full,
+}
+
+/// One Table 1 input.
+pub struct Table1Input {
+    /// Row name, matching the paper.
+    pub name: &'static str,
+    /// Threads/processes (the paper's `n` column).
+    pub n: usize,
+    /// The poset to enumerate.
+    pub poset: Poset<TraceEvent>,
+}
+
+fn erase(p: Poset<()>) -> Poset<TraceEvent> {
+    // Random posets carry no payloads; give them empty collections so the
+    // whole table is one poset type.
+    Poset::from_threads(
+        (0..paramount_poset::CutSpace::num_threads(&p))
+            .map(|t| {
+                p.thread_events(paramount_poset::Tid::from(t))
+                    .map(|e| paramount_poset::Event {
+                        id: e.id,
+                        vc: e.vc.clone(),
+                        payload: TraceEvent::Accesses(paramount_trace::EventCollection::new()),
+                    })
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+/// Builds every Table 1 row at the given scale.
+pub fn inputs(scale: Scale) -> Vec<Table1Input> {
+    // (d300 events, d500 events, d10k events, bank rounds, tsp subs,
+    //  hedc segments, elevator (trips, moves))
+    let (d300, d500, d10k, bank, tsp_sub, hedc_seg, elev) = match scale {
+        Scale::Smoke => (10usize, 12, 16, 2, 4, 2, (2usize, 2usize)),
+        Scale::Default => (30, 50, 1000, 4, 20, 4, (3, 3)),
+        Scale::Full => (30, 50, 1000, 6, 40, 5, (3, 4)),
+    };
+    vec![
+        Table1Input {
+            name: "d-300",
+            n: 10,
+            poset: erase(crate::distributed::scaled(d300, 0.83, 300).generate()),
+        },
+        Table1Input {
+            name: "d-500",
+            n: 10,
+            poset: erase(crate::distributed::scaled(d500, 0.705, 500).generate()),
+        },
+        Table1Input {
+            name: "d-10K",
+            n: 10,
+            poset: erase(crate::distributed::scaled(d10k, 0.98, 10_000).generate()),
+        },
+        Table1Input {
+            name: "bank",
+            n: 9,
+            poset: SimScheduler::new(17).run(&banking::wide_program(8, bank)),
+        },
+        Table1Input {
+            name: "tsp",
+            n: 9,
+            poset: SimScheduler::new(17).run(&tsp::program(&tsp::Params {
+                workers: 8,
+                subproblems: tsp_sub,
+                prune_depth: 2,
+            })),
+        },
+        Table1Input {
+            name: "hedc",
+            n: 12,
+            poset: SimScheduler::new(17).run(&hedc::wide_program(11, hedc_seg)),
+        },
+        Table1Input {
+            name: "elevator",
+            n: 12,
+            poset: SimScheduler::new(17).run(&elevator::wide_program(11, elev.0, elev.1)),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_inputs_have_expected_shapes() {
+        let inputs = inputs(Scale::Smoke);
+        assert_eq!(inputs.len(), 7);
+        for input in &inputs {
+            assert_eq!(
+                paramount_poset::CutSpace::num_threads(&input.poset),
+                input.n,
+                "{}",
+                input.name
+            );
+            assert!(input.poset.num_events() > 0, "{}", input.name);
+        }
+    }
+
+    #[test]
+    fn smoke_lattices_are_enumerable_and_nontrivial() {
+        use paramount_enumerate::{lexical, EnumError};
+        use std::ops::ControlFlow;
+        // Cap the walk: the test asserts non-degeneracy, not the exact
+        // size (full sizes are the harness's job and take minutes).
+        const CAP: u64 = 2_000_000;
+        for input in inputs(Scale::Smoke) {
+            let mut count = 0u64;
+            let mut sink = |_: &paramount_poset::Frontier| {
+                count += 1;
+                if count >= CAP {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            };
+            match lexical::enumerate(&input.poset, &mut sink) {
+                Ok(_) | Err(EnumError::Stopped) => {}
+                Err(e) => panic!("{}: {e}", input.name),
+            }
+            assert!(
+                count > input.poset.num_events() as u64,
+                "{}: lattice degenerate ({count} cuts)",
+                input.name
+            );
+        }
+    }
+
+    #[test]
+    fn default_events_match_paper_counts() {
+        // The d-* rows keep the paper's event counts exactly.
+        let inputs = inputs(Scale::Default);
+        assert_eq!(inputs[0].poset.num_events(), 300);
+        assert_eq!(inputs[1].poset.num_events(), 500);
+        assert_eq!(inputs[2].poset.num_events(), 10_000);
+    }
+}

@@ -1,0 +1,101 @@
+//! The detector × workload matrix: for every Table 2 program, the three
+//! detectors (ParaMount online, the RV-runtime analog, FastTrack) produce
+//! the row the paper reports — including the places they deliberately
+//! disagree.
+
+use paramount_detect::offline::detect_races_offline_bfs;
+use paramount_detect::online::detect_races_sim;
+use paramount_detect::DetectorConfig;
+use paramount_fasttrack::FastTrack;
+use paramount_trace::sim::SimScheduler;
+use paramount_workloads::table2_suite;
+
+/// The RV analog runs without the §5.2 init refinement (RV reported the
+/// benign races) — its expected counts differ from ParaMount's exactly on
+/// the `set` benchmarks.
+fn rv_expected(name: &str, paramount: usize) -> usize {
+    match name {
+        "set (correct)" => 1, // the benign initialization race
+        _ => paramount,
+    }
+}
+
+#[test]
+fn full_detector_matrix() {
+    let config = DetectorConfig::default();
+    let rv_config = DetectorConfig {
+        ignore_init_races: false,
+        ..DetectorConfig::default()
+    };
+    for bench in table2_suite() {
+        let seed = 3u64;
+
+        let pm = detect_races_sim(&bench.program, seed, &config);
+        assert_eq!(
+            pm.num_detections(),
+            bench.expected_paramount,
+            "{}: ParaMount",
+            bench.name
+        );
+
+        let rv = detect_races_offline_bfs(&bench.program, seed, &rv_config);
+        assert!(rv.outcome.completed(), "{}: RV should finish at default scale", bench.name);
+        assert_eq!(
+            rv.num_detections(),
+            rv_expected(bench.name, bench.expected_paramount),
+            "{}: RV analog",
+            bench.name
+        );
+        // Exactly-once on both enumeration detectors: same lattice.
+        assert_eq!(pm.cuts, rv.cuts, "{}: cut counts", bench.name);
+
+        let mut ft = FastTrack::new(bench.program.num_threads());
+        SimScheduler::new(seed).run_with(&bench.program, &mut ft);
+        assert_eq!(
+            ft.racy_vars().len(),
+            bench.expected_fasttrack,
+            "{}: FastTrack",
+            bench.name
+        );
+    }
+}
+
+/// The disagreement triangle on `set (correct)` is exactly the paper's:
+/// ParaMount 0, RV 1 (benign), FastTrack 1 (benign).
+#[test]
+fn set_correct_disagreement_triangle() {
+    let program = paramount_workloads::set::program(false);
+    let pm = detect_races_sim(&program, 1, &DetectorConfig::default());
+    let rv = detect_races_offline_bfs(
+        &program,
+        1,
+        &DetectorConfig {
+            ignore_init_races: false,
+            ..DetectorConfig::default()
+        },
+    );
+    let mut ft = FastTrack::new(program.num_threads());
+    SimScheduler::new(1).run_with(&program, &mut ft);
+    assert_eq!(pm.num_detections(), 0);
+    assert_eq!(rv.num_detections(), 1);
+    assert_eq!(ft.racy_vars().len(), 1);
+    // And the benign variable is the same one RV and FastTrack point at.
+    assert_eq!(rv.racy_vars, ft.racy_vars());
+}
+
+/// Detection results are schedule-independent for the whole suite (the
+/// races are structural, not lucky interleavings).
+#[test]
+fn detections_are_schedule_independent() {
+    for bench in table2_suite() {
+        let baseline = detect_races_sim(&bench.program, 11, &DetectorConfig::default());
+        for seed in [23u64, 37, 59] {
+            let run = detect_races_sim(&bench.program, seed, &DetectorConfig::default());
+            assert_eq!(
+                run.racy_vars, baseline.racy_vars,
+                "{}: seed {seed} changed detections",
+                bench.name
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: build a small poset of events, enumerate every consistent
+//! global state with the sequential lexical algorithm, then do it again in
+//! parallel with ParaMount and check both agree.
+//!
+//! The poset is the paper's Figure 4: two threads, two events each, with
+//! cross dependencies `e2[1] → e1[2]` and `e1[1] → e2[2]`. Its lattice has
+//! exactly 7 consistent cuts (Figure 4(c)).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use paramount_suite::prelude::*;
+use std::ops::ControlFlow;
+
+fn main() {
+    // 1. Build the poset. Vector clocks are computed automatically from
+    //    the declared dependencies.
+    let mut builder = PosetBuilder::new(2);
+    let e1_1 = builder.append(Tid(0), "e1[1]");
+    let e2_1 = builder.append(Tid(1), "e2[1]");
+    let e1_2 = builder.append_after(Tid(0), &[e2_1], "e1[2]");
+    let e2_2 = builder.append_after(Tid(1), &[e1_1], "e2[2]");
+    let poset = builder.finish();
+
+    println!("events and their vector clocks:");
+    for id in [e1_1, e2_1, e1_2, e2_2] {
+        println!("  {id}  vc={}", poset.vc(id));
+    }
+
+    // 2. Sequential enumeration (Garg/Ganter lexical order).
+    println!("\nconsistent global states (lexical order):");
+    let mut cuts = Vec::new();
+    let mut sink = |cut: &Frontier| {
+        println!("  {cut}");
+        cuts.push(cut.clone());
+        ControlFlow::<()>::Continue(())
+    };
+    paramount_suite::paramount_enumerate::lexical::enumerate(&poset, &mut sink)
+        .expect("lexical enumeration cannot fail");
+    assert_eq!(cuts.len(), 7, "Figure 4 has exactly 7 consistent cuts");
+
+    // 3. The same lattice, in parallel: ParaMount partitions it into one
+    //    interval per event (run with 4 worker threads here).
+    let order = topo::weight_order(&poset);
+    println!("\nParaMount partition under ->p = {order:?}:");
+    for interval in partition(&poset, &order) {
+        println!(
+            "  I({})  = [{}, {}]{}",
+            interval.event,
+            interval.gmin,
+            interval.gbnd,
+            if interval.include_empty { "  (+ empty cut)" } else { "" }
+        );
+    }
+
+    let sink = ConcurrentCollectSink::new();
+    let stats = ParaMount::new(Algorithm::Lexical)
+        .with_threads(4)
+        .enumerate(&poset, &sink)
+        .expect("enumeration failed");
+    let mut parallel = sink.into_cuts();
+    parallel.sort();
+    cuts.sort();
+    assert_eq!(parallel, cuts, "parallel == sequential, each cut exactly once");
+    println!(
+        "\nParaMount enumerated {} cuts over {} intervals — identical to the sequential run.",
+        stats.cuts, stats.intervals
+    );
+}

@@ -1,0 +1,64 @@
+//! Online-and-parallel data-race detection — the paper's §4/§5.2 use
+//! case, on three of its benchmarks.
+//!
+//! Each program runs on real threads; every captured event streams into
+//! the online ParaMount engine whose workers enumerate the new event's
+//! interval of global states and evaluate the race predicate
+//! (Algorithm 6) on each. FastTrack runs on the same executions for
+//! comparison. Note the `set (correct)` row: FastTrack flags the benign
+//! initialization write, the ParaMount detector does not (§5.2).
+//!
+//! Run with: `cargo run --example race_detection`
+
+use paramount_suite::paramount_detect::online::detect_races_threaded;
+use paramount_suite::paramount_detect::DetectorConfig;
+use paramount_suite::paramount_fasttrack::FastTrack;
+use paramount_suite::paramount_trace::exec::run_threads_observed;
+use paramount_suite::paramount_workloads as workloads;
+
+fn main() {
+    let programs = vec![
+        ("banking", workloads::banking::program(&Default::default())),
+        ("set (faulty)", workloads::set::program(true)),
+        ("set (correct)", workloads::set::program(false)),
+    ];
+
+    for (name, program) in &programs {
+        println!("== {name} ({} threads, {} monitored variables)", program.num_threads(), program.num_vars());
+
+        // ParaMount online detector: real threads + concurrent interval
+        // enumeration + race predicate.
+        let report = detect_races_threaded(program, 50, &DetectorConfig::default());
+        println!(
+            "  ParaMount: {} global states enumerated from {} events in {:.1} ms",
+            report.cuts,
+            report.events,
+            report.wall.as_secs_f64() * 1e3
+        );
+        if report.racy_vars.is_empty() {
+            println!("  ParaMount: no races");
+        }
+        for d in &report.detections {
+            println!(
+                "  ParaMount: RACE on '{}' — {} vs {} witnessed at global state {}",
+                program.var_name(d.var),
+                d.event,
+                d.other,
+                d.cut
+            );
+        }
+
+        // FastTrack over an identical (fresh) execution.
+        let ft = run_threads_observed(program, 50, FastTrack::new(program.num_threads()));
+        for r in ft.races() {
+            println!("  FastTrack: {} ({})", r, program.var_name(r.var));
+        }
+        if ft.races().is_empty() {
+            println!("  FastTrack: no races");
+        }
+        println!();
+    }
+    println!("note the disagreement on `set (correct)`: the initialization write is");
+    println!("benign (no other thread could hold a reference yet) — the ParaMount");
+    println!("detector applies that rule, FastTrack reports the race.");
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper into bench_results/.
+#
+#   ./run_experiments.sh           # Default scale (minutes)
+#   ./run_experiments.sh --smoke   # quick pass (seconds–minute)
+#   ./run_experiments.sh --full    # paper-exact sizes (hours)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+SCALE="${1:-}"
+OUT=bench_results
+mkdir -p "$OUT"
+
+echo "building (release)..."
+cargo build --release -p paramount-bench --bins
+
+for target in table1 fig10 fig11 fig12 table2 table3; do
+    echo "== $target $SCALE"
+    cargo run --release -q -p paramount-bench --bin "$target" -- $SCALE \
+        | tee "$OUT/$target.txt"
+done
+
+echo
+echo "results written to $OUT/"

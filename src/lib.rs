@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! **paramount-suite** — the workspace façade of the ParaMount
+//! reproduction (Chang & Garg, *A Parallel Algorithm for Global States
+//! Enumeration in Concurrent Systems*, PPoPP 2015).
+//!
+//! This crate re-exports the public API of every member crate so the
+//! `examples/` and the cross-crate integration tests have one import
+//! root. Library users should usually depend on the member crates
+//! directly:
+//!
+//! * [`paramount`] — the parallel/online enumeration algorithm itself;
+//! * [`paramount_vclock`] / [`paramount_poset`] — vector clocks, posets,
+//!   frontiers;
+//! * [`paramount_enumerate`] — the sequential BFS/DFS/lexical baselines;
+//! * [`paramount_trace`] — execution capture (programs, recorder,
+//!   schedulers);
+//! * [`paramount_detect`] — the online-and-parallel predicate detector
+//!   and the offline BFS (RV-analog) detector;
+//! * [`paramount_fasttrack`] — the FastTrack baseline race detector;
+//! * [`paramount_workloads`] — the paper's benchmark programs.
+
+pub use paramount;
+pub use paramount_detect;
+pub use paramount_enumerate;
+pub use paramount_fasttrack;
+pub use paramount_poset;
+pub use paramount_trace;
+pub use paramount_vclock;
+pub use paramount_workloads;
+
+/// Convenience prelude for examples and tests.
+pub mod prelude {
+    pub use paramount::{
+        partition, Algorithm, AtomicCountSink, ConcurrentCollectSink, Interval, OnlineEngine,
+        OnlineEngineConfig, OnlinePoset, ParaMount, ParallelCutSink,
+    };
+    pub use paramount_detect::{DetectorConfig, RacePredicate};
+    pub use paramount_poset::{
+        builder::PosetBuilder, oracle, random::RandomComputation, topo, CutSpace, Event,
+        EventId, Frontier, Poset, Tid, VectorClock,
+    };
+    pub use paramount_trace::{Op, Program, ProgramBuilder, TraceEvent};
+}

@@ -1,0 +1,160 @@
+//! Stress tests for the online engine under real concurrency: many
+//! producer threads, many enumeration workers, one CPU or many — the
+//! exactly-once guarantee must hold regardless.
+
+use paramount_suite::prelude::*;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Hammer the engine with concurrent producers that interleave
+/// cross-thread dependencies, then verify the cut count against an
+/// offline recount of whatever poset was actually observed.
+#[test]
+fn concurrent_producers_exactly_once() {
+    for round in 0..3u64 {
+        const PRODUCERS: usize = 4;
+        const EVENTS_PER_PRODUCER: usize = 12;
+        let counter = Arc::new(AtomicU64::new(0));
+        let sink_counter = Arc::clone(&counter);
+        let engine = Arc::new(OnlineEngine::new(
+            PRODUCERS,
+            OnlineEngineConfig {
+                workers: 3,
+                ..OnlineEngineConfig::default()
+            },
+            move |_: &Frontier, _: EventId| {
+                sink_counter.fetch_add(1, Ordering::Relaxed);
+                ControlFlow::Continue(())
+            },
+        ));
+        let barrier = Arc::new(std::sync::Barrier::new(PRODUCERS));
+        std::thread::scope(|scope| {
+            for p in 0..PRODUCERS {
+                let engine = Arc::clone(&engine);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    for k in 0..EVENTS_PER_PRODUCER {
+                        // Mix in dependencies on whatever a neighbor has
+                        // published (racy reads of progress are fine: any
+                        // already-published event is a valid dependency).
+                        let deps: Vec<EventId> = if (k + p + round as usize) % 4 == 3 {
+                            let other = Tid::from((p + 1) % PRODUCERS);
+                            let published = engine.poset().events_of(other) as u32;
+                            if published > 0 {
+                                vec![EventId::new(other, published)]
+                            } else {
+                                vec![]
+                            }
+                        } else {
+                            vec![]
+                        };
+                        engine.observe_after(Tid::from(p), &deps, ());
+                    }
+                });
+            }
+        });
+        let engine = Arc::try_unwrap(engine).unwrap_or_else(|_| panic!("still shared"));
+        let report = engine.finish();
+        assert_eq!(report.events as usize, PRODUCERS * EVENTS_PER_PRODUCER);
+        let expected = oracle::count_ideals(&report.poset);
+        assert_eq!(report.cuts, expected, "round {round}");
+        assert_eq!(counter.load(Ordering::Relaxed), expected, "round {round}");
+        assert!(report.error.is_none());
+    }
+}
+
+/// Budgeted online engine: if an interval exceeds the BFS budget the
+/// engine reports it (and never silently drops cuts when it completes).
+#[test]
+fn online_budget_is_reported_not_swallowed() {
+    // Wide poset: one event per thread across 12 threads, inserted from
+    // one producer. With the BFS subroutine and a tiny budget, some
+    // interval must blow the limit.
+    let engine = OnlineEngine::new(
+        12,
+        OnlineEngineConfig {
+            algorithm: Algorithm::Bfs,
+            workers: 2,
+            frontier_budget: Some(16),
+        },
+        move |_: &Frontier, _: EventId| ControlFlow::Continue(()),
+    );
+    for t in 0..12 {
+        engine.observe_after(Tid::from(t as usize), &[], ());
+    }
+    let report = engine.finish();
+    assert!(
+        report.error.is_some(),
+        "a 2^11-cut interval must exceed 16 frontiers"
+    );
+
+    // Same stream with the lexical subroutine: no budget, must complete
+    // with the exact count 2^12.
+    let engine = OnlineEngine::new(
+        12,
+        OnlineEngineConfig {
+            algorithm: Algorithm::Lexical,
+            workers: 2,
+            frontier_budget: Some(16),
+        },
+        move |_: &Frontier, _: EventId| ControlFlow::Continue(()),
+    );
+    for t in 0..12 {
+        engine.observe_after(Tid::from(t as usize), &[], ());
+    }
+    let report = engine.finish();
+    assert!(report.error.is_none());
+    assert_eq!(report.cuts, 1 << 12);
+}
+
+/// Interleaving insertion with enumeration must never deadlock even when
+/// the sink itself is slow (workers busy while producers insert).
+#[test]
+fn slow_sink_does_not_deadlock() {
+    let engine = OnlineEngine::new(
+        3,
+        OnlineEngineConfig {
+            workers: 1,
+            ..OnlineEngineConfig::default()
+        },
+        move |_: &Frontier, _: EventId| {
+            std::thread::yield_now();
+            ControlFlow::Continue(())
+        },
+    );
+    for k in 0..30 {
+        engine.observe_after(Tid(k % 3), &[], ());
+    }
+    let report = engine.finish();
+    assert_eq!(report.events, 30);
+    assert_eq!(report.cuts, 11 * 11 * 11);
+}
+
+/// Owner attribution: every visited cut's owner event must be on the
+/// cut's frontier of its own thread (the §predicate contract).
+#[test]
+fn owner_is_frontier_event_of_its_thread() {
+    let violations = Arc::new(AtomicU64::new(0));
+    let sink_violations = Arc::clone(&violations);
+    let engine = OnlineEngine::new(
+        3,
+        OnlineEngineConfig::default(),
+        move |cut: &Frontier, owner: EventId| {
+            // Exception: the empty cut reports the first event as owner.
+            if cut.total_events() > 0 && cut.get(owner.tid) != owner.index {
+                sink_violations.fetch_add(1, Ordering::Relaxed);
+            }
+            ControlFlow::Continue(())
+        },
+    );
+    let mut prev: Option<EventId> = None;
+    for k in 0..18 {
+        let deps: Vec<EventId> = prev.into_iter().filter(|_| k % 3 == 0).collect();
+        prev = Some(engine.observe_after(Tid(k % 3), &deps, ()));
+    }
+    let report = engine.finish();
+    assert!(report.cuts > 0);
+    assert_eq!(violations.load(Ordering::Relaxed), 0);
+}

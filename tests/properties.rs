@@ -1,0 +1,177 @@
+//! Property-based tests over the whole stack: the paper's lemmas and
+//! theorems checked on randomized posets and programs.
+
+use paramount_suite::paramount_enumerate::{bfs, dfs, lexical, CollectSink};
+use paramount_suite::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+
+/// Random poset parameters small enough for the brute-force oracle.
+fn arb_poset() -> impl Strategy<Value = Poset> {
+    (2usize..5, 2usize..5, 0.0f64..0.9, any::<u64>()).prop_map(|(n, events, frac, seed)| {
+        RandomComputation::new(n, events, frac, seed).generate()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 2 (via Lemmas 1–3): ParaMount enumerates every consistent
+    /// cut exactly once, for every subroutine, matching the oracle.
+    #[test]
+    fn paramount_equals_oracle(poset in arb_poset(), algo_idx in 0usize..3, threads in 1usize..5) {
+        let algorithm = Algorithm::ALL[algo_idx];
+        let expected = oracle::enumerate_product_scan(&poset);
+        let sink = ConcurrentCollectSink::new();
+        ParaMount::new(algorithm)
+            .with_threads(threads)
+            .enumerate(&poset, &sink)
+            .unwrap();
+        let got = oracle::canonicalize(sink.into_cuts());
+        prop_assert_eq!(got, expected);
+    }
+
+    /// All three sequential algorithms agree with the oracle and emit no
+    /// duplicates.
+    #[test]
+    fn sequential_algorithms_equal_oracle(poset in arb_poset()) {
+        let expected = oracle::enumerate_product_scan(&poset);
+        for algorithm in Algorithm::ALL {
+            let mut sink = CollectSink::default();
+            algorithm.run(&poset, &mut sink).unwrap();
+            let unique: HashSet<_> = sink.cuts.iter().cloned().collect();
+            prop_assert_eq!(unique.len(), sink.cuts.len(), "{:?} duplicated", algorithm);
+            prop_assert_eq!(oracle::canonicalize(sink.cuts), expected.clone(), "{:?}", algorithm);
+        }
+    }
+
+    /// Theorem 1 + Lemmas 2/3: Gbnd consistent; intervals disjointly cover.
+    #[test]
+    fn interval_partition_lemmas(poset in arb_poset(), use_kahn in any::<bool>()) {
+        let order = if use_kahn { topo::kahn_order(&poset) } else { topo::weight_order(&poset) };
+        prop_assert!(topo::is_linear_extension(&poset, &order));
+        let intervals = partition(&poset, &order);
+        for iv in &intervals {
+            prop_assert!(iv.gbnd.is_consistent(&poset), "Theorem 1");
+            prop_assert!(iv.gmin.is_consistent(&poset));
+            prop_assert!(iv.gmin.leq(&iv.gbnd));
+        }
+        for cut in oracle::enumerate_product_scan(&poset) {
+            let owners = intervals.iter().filter(|iv| iv.contains(&cut)).count();
+            if cut.total_events() == 0 {
+                prop_assert_eq!(owners, 0, "empty cut is special-cased");
+            } else {
+                prop_assert_eq!(owners, 1, "cut {} owned {} times", cut, owners);
+            }
+        }
+    }
+
+    /// The lexical algorithm emits cuts in strictly increasing
+    /// lexicographic order and touches exactly `i(P)` cuts (work bound).
+    #[test]
+    fn lexical_order_and_work(poset in arb_poset()) {
+        let mut sink = CollectSink::default();
+        let stats = lexical::enumerate(&poset, &mut sink).unwrap();
+        for w in sink.cuts.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert_eq!(stats.cuts as usize, sink.cuts.len());
+        prop_assert_eq!(stats.peak_frontiers, 1, "lexical is stateless");
+        prop_assert_eq!(stats.cuts, oracle::count_ideals(&poset));
+    }
+
+    /// Early stop is honored by every algorithm after exactly k cuts.
+    #[test]
+    fn early_stop_after_k(poset in arb_poset(), k in 1u64..10) {
+        let total = oracle::count_ideals(&poset);
+        for algorithm in Algorithm::ALL {
+            let mut seen = 0u64;
+            let mut sink = |_: &Frontier| {
+                seen += 1;
+                if seen >= k { ControlFlow::Break(()) } else { ControlFlow::Continue(()) }
+            };
+            let result = algorithm.run(&poset, &mut sink);
+            if k <= total {
+                prop_assert!(result.is_err(), "{:?} should stop", algorithm);
+                prop_assert_eq!(seen, k);
+            } else {
+                prop_assert!(result.is_ok());
+                prop_assert_eq!(seen, total);
+            }
+        }
+    }
+
+    /// Online insertion (replaying any linear extension) enumerates the
+    /// same lattice as offline.
+    #[test]
+    fn online_equals_offline(poset in arb_poset(), workers in 1usize..4) {
+        let expected = oracle::count_ideals(&poset);
+        let counter = std::sync::Arc::new(AtomicCountSink::new());
+        let sink_counter = std::sync::Arc::clone(&counter);
+        let engine = OnlineEngine::new(
+            CutSpace::num_threads(&poset),
+            OnlineEngineConfig { workers, ..OnlineEngineConfig::default() },
+            move |cut: &Frontier, owner: EventId| sink_counter.visit(cut, owner),
+        );
+        for id in topo::weight_order(&poset) {
+            engine.observe_with_clock(id.tid, poset.vc(id).clone(), ());
+        }
+        let report = engine.finish();
+        prop_assert_eq!(report.cuts, expected);
+        prop_assert_eq!(counter.count(), expected);
+    }
+
+    /// BFS visits levels in nondecreasing cut-size order, and its peak
+    /// frontier count is an upper bound on every level.
+    #[test]
+    fn bfs_level_structure(poset in arb_poset()) {
+        let mut sink = CollectSink::default();
+        let stats = bfs::enumerate(&poset, &bfs::BfsOptions::default(), &mut sink).unwrap();
+        let sizes: Vec<u64> = sink.cuts.iter().map(Frontier::total_events).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&sizes, &sorted);
+        // Every level fits within the reported peak.
+        let mut counts = std::collections::HashMap::new();
+        for s in sizes {
+            *counts.entry(s).or_insert(0usize) += 1;
+        }
+        prop_assert!(counts.values().all(|&c| c <= stats.peak_frontiers));
+    }
+
+    /// DFS with a budget either completes exactly like unbudgeted DFS or
+    /// reports OutOfBudget — never silently truncates.
+    #[test]
+    fn dfs_budget_soundness(poset in arb_poset(), budget in 1usize..64) {
+        let expected = oracle::count_ideals(&poset);
+        let mut sink = CollectSink::default();
+        match dfs::enumerate(&poset, &dfs::DfsOptions { frontier_budget: Some(budget) }, &mut sink) {
+            Ok(stats) => {
+                prop_assert_eq!(stats.cuts, expected);
+                prop_assert!(stats.peak_frontiers <= budget);
+            }
+            Err(paramount::EnumError::OutOfBudget { live_frontiers, .. }) => {
+                prop_assert!(live_frontiers > budget);
+            }
+            Err(e) => prop_assert!(false, "unexpected error {:?}", e),
+        }
+    }
+
+    /// Frontier lattice laws hold for cuts sampled from real posets.
+    #[test]
+    fn frontier_lattice_laws(poset in arb_poset(), i in any::<prop::sample::Index>(), j in any::<prop::sample::Index>()) {
+        let cuts = oracle::enumerate_product_scan(&poset);
+        let a = &cuts[i.index(cuts.len())];
+        let b = &cuts[j.index(cuts.len())];
+        let join = a.join(b);
+        let meet = a.meet(b);
+        prop_assert!(join.is_consistent(&poset), "join closed");
+        prop_assert!(meet.is_consistent(&poset), "meet closed");
+        prop_assert!(meet.leq(a) && meet.leq(b));
+        prop_assert!(a.leq(&join) && b.leq(&join));
+        // Absorption.
+        prop_assert_eq!(&a.meet(&join), a);
+        prop_assert_eq!(&a.join(&meet), a);
+    }
+}
