@@ -46,10 +46,8 @@ fn bench_order_choice(c: &mut Criterion) {
             .iter()
             .map(|iv| {
                 let mut sink = paramount_enumerate::CountSink::default();
-                paramount_enumerate::lexical::enumerate_bounded(
-                    &p, &iv.gmin, &iv.gbnd, &mut sink,
-                )
-                .unwrap();
+                paramount_enumerate::lexical::enumerate_bounded(&p, &iv.gmin, &iv.gbnd, &mut sink)
+                    .unwrap();
                 sink.count
             })
             .collect();

@@ -57,8 +57,7 @@ fn bench_bounded_interval(c: &mut Criterion) {
     group.bench_function("lexical", |b| {
         b.iter(|| {
             let mut sink = CountSink::default();
-            lexical::enumerate_bounded(&poset, &largest.gmin, &largest.gbnd, &mut sink)
-                .unwrap();
+            lexical::enumerate_bounded(&poset, &largest.gmin, &largest.gbnd, &mut sink).unwrap();
             sink.count
         })
     });

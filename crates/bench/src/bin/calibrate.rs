@@ -32,7 +32,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(50_000_000);
     println!("cap = {}", group_digits(cap));
-    println!("{:>6} {:>6} {:>5} {:>16} {:>7} {:>8}", "events", "n", "frac", "cuts", "capped", "secs");
+    println!(
+        "{:>6} {:>6} {:>5} {:>16} {:>7} {:>8}",
+        "events", "n", "frac", "cuts", "capped", "secs"
+    );
     for &(events, frac) in &[
         (8usize, 0.70f64),
         (8, 0.78),

@@ -27,13 +27,19 @@ fn count_capped(p: &paramount_poset::Poset, cap: u64) -> (u64, bool, f64) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let events: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(30);
-    let cap: u64 = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(100_000_000);
+    let cap: u64 = args
+        .get(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000_000);
     let seed: u64 = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(300);
     let fracs: Vec<f64> = args
         .get(4)
         .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
         .unwrap_or_else(|| vec![0.90, 0.93, 0.95, 0.97, 0.98]);
-    println!("events/proc = {events}, cap = {}, seed = {seed}", group_digits(cap));
+    println!(
+        "events/proc = {events}, cap = {}, seed = {seed}",
+        group_digits(cap)
+    );
     for frac in fracs {
         let p = RandomComputation::new(10, events, frac, seed).generate();
         let (cuts, capped, secs) = count_capped(&p, cap);

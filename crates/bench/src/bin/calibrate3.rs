@@ -23,7 +23,10 @@ fn probe(name: &str, poset: &paramount_poset::Poset<paramount_trace::TraceEvent>
             ControlFlow::Continue(())
         }
     };
-    let capped = matches!(lexical::enumerate(poset, &mut sink), Err(EnumError::Stopped));
+    let capped = matches!(
+        lexical::enumerate(poset, &mut sink),
+        Err(EnumError::Stopped)
+    );
     let lex_secs = start.elapsed().as_secs_f64();
 
     // BFS width probe (budget 20M frontiers so it terminates either way).

@@ -23,7 +23,10 @@ fn probe<S: CutSpace + ?Sized>(name: &str, poset: &S, cap: u64, bfs_budget: usiz
             ControlFlow::Continue(())
         }
     };
-    let capped = matches!(lexical::enumerate(poset, &mut sink), Err(EnumError::Stopped));
+    let capped = matches!(
+        lexical::enumerate(poset, &mut sink),
+        Err(EnumError::Stopped)
+    );
     let lex_secs = start.elapsed().as_secs_f64();
 
     let (peak, oom, bfs_secs) = if capped {
@@ -61,8 +64,18 @@ fn main() {
         .unwrap_or(30_000_000);
 
     if which == "all" || which == "d" {
-        probe("d-300", &distributed::scaled(30, 0.83, 300).generate(), u64::MAX, budget);
-        probe("d-500", &distributed::scaled(50, 0.705, 500).generate(), u64::MAX, budget);
+        probe(
+            "d-300",
+            &distributed::scaled(30, 0.83, 300).generate(),
+            u64::MAX,
+            budget,
+        );
+        probe(
+            "d-500",
+            &distributed::scaled(50, 0.705, 500).generate(),
+            u64::MAX,
+            budget,
+        );
     }
     if which == "all" || which == "tsp" {
         for (sub, depth) in [(20usize, 2usize), (20, 3), (40, 2)] {
@@ -77,7 +90,12 @@ fn main() {
     if which == "all" || which == "elev" {
         for (trips, moves) in [(3usize, 3usize), (2, 4), (3, 4)] {
             let p = SimScheduler::new(17).run(&elevator::wide_program(11, trips, moves));
-            probe(&format!("elev-w 11x{trips}x{moves}"), &p, 2_000_000_000, budget);
+            probe(
+                &format!("elev-w 11x{trips}x{moves}"),
+                &p,
+                2_000_000_000,
+                budget,
+            );
         }
     }
     if which == "d10k" {

@@ -30,12 +30,25 @@ const SKIP_OVER: u64 = 150_000_000;
 fn main() {
     let scale = paramount_bench::scale_from_args();
     let full = std::env::args().any(|a| a == "--full");
+    let mut metrics = paramount_bench::metrics_out::from_args();
     println!("Figure 10: speedup of B-Para over sequential BFS (scale {scale:?})");
-    println!("cores on this host: {}\n", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    println!(
+        "cores on this host: {}\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
 
     let mut table = Table::new(&[
-        "Benchmark", "wall 1", "wall 2", "wall 4", "wall 8",
-        "sim 1", "sim 2", "sim 4", "sim 8",
+        "Benchmark",
+        "wall 1",
+        "wall 2",
+        "wall 4",
+        "wall 8",
+        "sim 1",
+        "sim 2",
+        "sim 4",
+        "sim 8",
     ]);
     for input in table1::inputs(scale) {
         if !SERIES.contains(&input.name) {
@@ -78,7 +91,12 @@ fn main() {
                     .with_threads(threads)
                     .enumerate(poset, &sink)
             });
-            res.expect("unbudgeted");
+            let stats = res.expect("unbudgeted");
+            paramount_bench::metrics_out::record(
+                &mut metrics,
+                &format!("fig10.{}.bfs.t{threads}", input.name),
+                &stats.metrics,
+            );
             cells.push(format!("{:.2}x", speedup(base, d)));
         }
         for &threads in &THREAD_SWEEP {
@@ -87,5 +105,6 @@ fn main() {
         table.row(cells);
     }
     table.print();
+    paramount_bench::metrics_out::flush(metrics);
     println!("\n(wall: measured vs sequential BFS; sim: work-stealing makespan model)");
 }

@@ -17,12 +17,27 @@ const SERIES: [&str; 4] = ["d-300", "d-10K", "hedc", "elevator"];
 
 fn main() {
     let scale = paramount_bench::scale_from_args();
-    println!("Figure 11: speedup of L-Para over the sequential lexical algorithm (scale {scale:?})");
-    println!("cores on this host: {}\n", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let mut metrics = paramount_bench::metrics_out::from_args();
+    println!(
+        "Figure 11: speedup of L-Para over the sequential lexical algorithm (scale {scale:?})"
+    );
+    println!(
+        "cores on this host: {}\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
 
     let mut table = Table::new(&[
-        "Benchmark", "wall 1", "wall 2", "wall 4", "wall 8",
-        "sim 1", "sim 2", "sim 4", "sim 8",
+        "Benchmark",
+        "wall 1",
+        "wall 2",
+        "wall 4",
+        "wall 8",
+        "sim 1",
+        "sim 2",
+        "sim 4",
+        "sim 8",
     ]);
     for input in table1::inputs(scale) {
         if !SERIES.contains(&input.name) {
@@ -36,8 +51,7 @@ fn main() {
         let mut work: Vec<u64> = Vec::with_capacity(intervals.len());
         for iv in &intervals {
             let mut sink = CountSink::default();
-            lexical::enumerate_bounded(poset, &iv.gmin, &iv.gbnd, &mut sink)
-                .expect("stateless");
+            lexical::enumerate_bounded(poset, &iv.gmin, &iv.gbnd, &mut sink).expect("stateless");
             work.push(sink.count);
         }
 
@@ -53,7 +67,12 @@ fn main() {
                     .with_threads(threads)
                     .enumerate(poset, &sink)
             });
-            res.expect("stateless");
+            let stats = res.expect("stateless");
+            paramount_bench::metrics_out::record(
+                &mut metrics,
+                &format!("fig11.{}.lexical.t{threads}", input.name),
+                &stats.metrics,
+            );
             cells.push(format!("{:.2}x", speedup(base, d)));
         }
         for &threads in &THREAD_SWEEP {
@@ -62,5 +81,6 @@ fn main() {
         table.row(cells);
     }
     table.print();
+    paramount_bench::metrics_out::flush(metrics);
     println!("\n(wall: measured vs sequential lexical; sim: work-stealing makespan model)");
 }

@@ -19,6 +19,7 @@ static ALLOC: CountingAllocator = CountingAllocator;
 
 fn main() {
     let scale = paramount_bench::scale_from_args();
+    let mut metrics = paramount_bench::metrics_out::from_args();
     println!("Figure 12: peak heap growth during enumeration (scale {scale:?})\n");
 
     let mut table = Table::new(&["Benchmark", "Lexical", "L-Para(8)", "BFS (contrast)"]);
@@ -32,13 +33,18 @@ fn main() {
             sink.count
         });
 
-        let (_, para_peak) = alloc_track::measure_peak(|| {
+        let (para_stats, para_peak) = alloc_track::measure_peak(|| {
             let sink = AtomicCountSink::new();
             ParaMount::new(Algorithm::Lexical)
                 .with_threads(8)
                 .enumerate(poset, &sink)
-                .expect("stateless");
+                .expect("stateless")
         });
+        paramount_bench::metrics_out::record(
+            &mut metrics,
+            &format!("fig12.{}.lexical.t8", input.name),
+            &para_stats.metrics,
+        );
 
         // The BFS contrast column is skipped for very large lattices
         // (minutes per run on one core) — the lexical columns are the
@@ -70,5 +76,6 @@ fn main() {
         ]);
     }
     table.print();
+    paramount_bench::metrics_out::flush(metrics);
     println!("\n(expected shape: Lexical ≈ L-Para, both far below BFS — Figure 12)");
 }

@@ -40,6 +40,7 @@ fn fmt_result(result: Result<Duration, EnumError>) -> String {
 fn main() {
     let scale = paramount_bench::scale_from_args();
     let budget = budget_from_args();
+    let mut metrics = paramount_bench::metrics_out::from_args();
     println!("Table 1: global-states enumeration running time");
     println!(
         "(scale {scale:?}; BFS frontier budget {} ≈ the paper's 2 GB JVM heap)\n",
@@ -75,29 +76,29 @@ fn main() {
             (sink.count, d)
         };
 
-        let skip_bfs_family =
-            lex_count > SKIP_OVER && !std::env::args().any(|a| a == "--full");
+        let skip_bfs_family = lex_count > SKIP_OVER && !std::env::args().any(|a| a == "--full");
 
         // Sequential BFS under the memory budget.
         let bfs_result = if skip_bfs_family {
             None
         } else {
             Some({
-            let mut sink = CountSink::default();
-            let (res, d) = time(|| {
-                bfs::enumerate(
-                    poset,
-                    &BfsOptions {
-                        frontier_budget: Some(budget),
-                    },
-                    &mut sink,
-                )
-            });
-            res.map(|_| d)
+                let mut sink = CountSink::default();
+                let (res, d) = time(|| {
+                    bfs::enumerate(
+                        poset,
+                        &BfsOptions {
+                            frontier_budget: Some(budget),
+                        },
+                        &mut sink,
+                    )
+                });
+                res.map(|_| d)
             })
         };
 
-        let para = |algorithm: Algorithm, threads: usize| -> Result<Duration, EnumError> {
+        let metrics = &mut metrics;
+        let mut para = |algorithm: Algorithm, threads: usize| -> Result<Duration, EnumError> {
             let sink = AtomicCountSink::new();
             let (res, d) = time(|| {
                 ParaMount::new(algorithm)
@@ -107,6 +108,11 @@ fn main() {
             });
             res.map(|stats| {
                 assert_eq!(stats.cuts, lex_count, "{}: cut count mismatch", input.name);
+                paramount_bench::metrics_out::record(
+                    metrics,
+                    &format!("table1.{}.{}.t{threads}", input.name, algorithm.name()),
+                    &stats.metrics,
+                );
                 d
             })
         };
@@ -135,6 +141,7 @@ fn main() {
         table.row(cells);
     }
     table.print();
+    paramount_bench::metrics_out::flush(metrics);
     println!(
         "\n('skip' = BFS family omitted for lattices over {} cuts — run with --full)",
         group_digits(SKIP_OVER)

@@ -26,6 +26,7 @@ fn ms(d: std::time::Duration) -> String {
 }
 
 fn main() {
+    let mut metrics = paramount_bench::metrics_out::from_args();
     println!("Table 2: online data-race detection (times in ms)\n");
     let mut table = Table::new(&[
         "Benchmark",
@@ -60,6 +61,13 @@ fn main() {
 
         // ParaMount online detector (init rule on, as implemented in §5.2).
         let pm = detect_races_threaded(program, WORK_SCALE, &DetectorConfig::default());
+        if let Some(snapshot) = &pm.metrics {
+            paramount_bench::metrics_out::record(
+                &mut metrics,
+                &format!("table2.{name}.online"),
+                snapshot,
+            );
+        }
 
         // RV analog: offline, BFS, no init refinement, capped memory.
         let rv = detect_races_offline_bfs_threaded(
@@ -99,5 +107,6 @@ fn main() {
         ]);
     }
     table.print();
+    paramount_bench::metrics_out::flush(metrics);
     println!("\n(#PM/#RV/#FT: variables with detected races; '-' where the detector died)");
 }

@@ -11,6 +11,7 @@
 
 pub mod alloc_track;
 pub mod fmt;
+pub mod metrics_out;
 pub mod schedule;
 pub mod timing;
 
@@ -30,6 +31,18 @@ pub fn bench_poset_medium() -> paramount_poset::Poset {
 /// thousand cuts).
 pub fn bench_poset_speedup() -> paramount_poset::Poset {
     paramount_poset::random::RandomComputation::new(8, 8, 0.72, 7).generate()
+}
+
+/// Parses harness scale from argv: `--smoke` selects the quick size,
+/// `--full` the paper-exact (hours-long) size.
+pub fn scale_from_args() -> paramount_workloads::table1::Scale {
+    if std::env::args().any(|a| a == "--smoke") {
+        paramount_workloads::table1::Scale::Smoke
+    } else if std::env::args().any(|a| a == "--full") {
+        paramount_workloads::table1::Scale::Full
+    } else {
+        paramount_workloads::table1::Scale::Default
+    }
 }
 
 #[cfg(test)]
@@ -58,17 +71,5 @@ mod tests {
         assert!(!capped && medium > 1_000, "medium lattice: {medium}");
         let (speedup, capped) = capped_count(&super::bench_poset_speedup(), 8_000_000);
         assert!(!capped && speedup > 10_000, "speedup lattice: {speedup}");
-    }
-}
-
-/// Parses harness scale from argv: `--smoke` selects the quick size,
-/// `--full` the paper-exact (hours-long) size.
-pub fn scale_from_args() -> paramount_workloads::table1::Scale {
-    if std::env::args().any(|a| a == "--smoke") {
-        paramount_workloads::table1::Scale::Smoke
-    } else if std::env::args().any(|a| a == "--full") {
-        paramount_workloads::table1::Scale::Full
-    } else {
-        paramount_workloads::table1::Scale::Default
     }
 }

@@ -21,10 +21,7 @@ pub fn makespan(tasks: &[u64], workers: usize) -> u64 {
     let mut loads = vec![0u64; workers];
     for &task in tasks {
         // Place on the least-loaded worker (what stealing converges to).
-        let min = loads
-            .iter_mut()
-            .min_by_key(|l| **l)
-            .expect("workers >= 1");
+        let min = loads.iter_mut().min_by_key(|l| **l).expect("workers >= 1");
         *min += task;
     }
     loads.into_iter().max().unwrap_or(0)

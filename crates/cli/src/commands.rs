@@ -14,11 +14,7 @@ pub type CommandError = String;
 
 /// `paramount count <trace> [--algo A] [--threads N]`: number of
 /// consistent global states of the trace's poset.
-pub fn count(
-    input: &str,
-    algorithm: Algorithm,
-    threads: usize,
-) -> Result<String, CommandError> {
+pub fn count(input: &str, algorithm: Algorithm, threads: usize) -> Result<String, CommandError> {
     let trace = parse_trace(input).map_err(|e| e.to_string())?;
     let poset = trace.to_poset(false);
     let sink = AtomicCountSink::new();
@@ -33,6 +29,42 @@ pub fn count(
         stats.intervals,
         algorithm.name(),
     ))
+}
+
+/// `paramount stats <trace> [--algo A] [--threads N] [--json]`: run the
+/// parallel enumeration and report the engine's observability snapshot —
+/// interval dispatch/completion counts, the per-interval cut-count
+/// histogram, worker busy/idle tallies. `--json` emits one JSON object
+/// per line (stable keys, no dependencies) for scripting.
+pub fn stats(
+    input: &str,
+    algorithm: Algorithm,
+    threads: usize,
+    json: bool,
+) -> Result<String, CommandError> {
+    let trace = parse_trace(input).map_err(|e| e.to_string())?;
+    let poset = trace.to_poset(false);
+    let sink = AtomicCountSink::new();
+    let stats = ParaMount::new(algorithm)
+        .with_threads(threads)
+        .enumerate(&poset, &sink)
+        .map_err(|e| e.to_string())?;
+    if json {
+        return Ok(stats
+            .metrics
+            .to_json_lines(&format!("stats.{}", algorithm.name())));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} events, {} consistent global states ({} intervals, {} subroutine)",
+        poset.num_events(),
+        stats.cuts,
+        stats.intervals,
+        algorithm.name(),
+    );
+    out.push_str(&stats.metrics.render_text());
+    Ok(out)
 }
 
 /// `paramount enumerate <trace> [--limit K]`: print the cuts (lexical
@@ -67,9 +99,8 @@ pub fn races(input: &str, strict: bool) -> Result<String, CommandError> {
     let trace = parse_trace(input).map_err(|e| e.to_string())?;
     let poset = trace.to_poset(false);
     let predicate = RacePredicate::new(trace.var_names.len(), !strict);
-    let sink = |cut: &Frontier, owner: paramount_poset::EventId| {
-        predicate.evaluate(&poset, cut, owner)
-    };
+    let sink =
+        |cut: &Frontier, owner: paramount_poset::EventId| predicate.evaluate(&poset, cut, owner);
     let stats = ParaMount::new(Algorithm::Lexical)
         .enumerate(&poset, &sink)
         .map_err(|e| e.to_string())?;
@@ -172,7 +203,11 @@ pub fn info(input: &str) -> Result<String, CommandError> {
     let _ = writeln!(out, "operations: {}", trace.ops.len());
     let _ = writeln!(out, "variables:  {}", trace.var_names.len());
     let _ = writeln!(out, "locks:      {}", trace.lock_names.len());
-    let _ = writeln!(out, "events:     {} (merged collections)", poset.num_events());
+    let _ = writeln!(
+        out,
+        "events:     {} (merged collections)",
+        poset.num_events()
+    );
     let _ = writeln!(out, "hb pairs:   {}", poset.count_hb_pairs());
     // Lattice size, capped so `info` stays fast on huge traces.
     const CAP: u64 = 10_000_000;
@@ -225,6 +260,20 @@ threads 3
     fn count_command() {
         let out = count(RACY, Algorithm::Lexical, 1).unwrap();
         assert!(out.contains("consistent global states"), "{out}");
+    }
+
+    #[test]
+    fn stats_command_text_and_json() {
+        let text = stats(RACY, Algorithm::Lexical, 2, false).unwrap();
+        assert!(text.contains("consistent global states"), "{text}");
+        assert!(text.contains("intervals"), "{text}");
+        let json = stats(RACY, Algorithm::Lexical, 2, true).unwrap();
+        // One object per line, every line self-contained JSON.
+        assert!(json.lines().count() > 1, "{json}");
+        for line in json.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"label\":\"stats.lexical\""), "{line}");
+        }
     }
 
     #[test]

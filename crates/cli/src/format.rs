@@ -118,7 +118,10 @@ pub fn parse_trace(input: &str) -> Result<TraceFile, ParseError> {
             .parse()
             .map_err(|_| err(line_no, format!("invalid thread id `{first}`")))?;
         if tid >= n {
-            return Err(err(line_no, format!("thread {tid} out of range (threads {n})")));
+            return Err(err(
+                line_no,
+                format!("thread {tid} out of range (threads {n})"),
+            ));
         }
         let kind = parts
             .next()
@@ -135,10 +138,9 @@ pub fn parse_trace(input: &str) -> Result<TraceFile, ParseError> {
             ("join", Some(t)) => Op::Join(Tid(t
                 .parse()
                 .map_err(|_| err(line_no, "invalid join target"))?)),
-            ("work", Some(w)) => Op::Work(
-                w.parse()
-                    .map_err(|_| err(line_no, "invalid work weight"))?,
-            ),
+            ("work", Some(w)) => {
+                Op::Work(w.parse().map_err(|_| err(line_no, "invalid work weight"))?)
+            }
             (other, _) => {
                 return Err(err(
                     line_no,
@@ -193,10 +195,18 @@ pub fn trace_of_program(program: &paramount_trace::Program, seed: u64) -> TraceF
         threads: program.num_threads(),
         ops: collect.ops,
         var_names: (0..program.num_vars())
-            .map(|v| program.var_name(paramount_trace::VarId(v as u32)).to_string())
+            .map(|v| {
+                program
+                    .var_name(paramount_trace::VarId(v as u32))
+                    .to_string()
+            })
             .collect(),
         lock_names: (0..program.num_locks())
-            .map(|l| program.lock_name(paramount_trace::LockId(l as u32)).to_string())
+            .map(|l| {
+                program
+                    .lock_name(paramount_trace::LockId(l as u32))
+                    .to_string()
+            })
             .collect(),
     }
 }

@@ -10,6 +10,7 @@ paramount — global-states enumeration & predicate detection (PPoPP'15 ParaMoun
 
 USAGE:
   paramount count <trace>      [--algo lexical|bfs|dfs] [--threads N]
+  paramount stats <trace>      [--algo lexical|bfs|dfs] [--threads N] [--json]
   paramount enumerate <trace>  [--limit K]
   paramount races <trace>      [--strict]
   paramount possibly <trace>   --state a,b,c [--definitely]
@@ -30,6 +31,22 @@ WORKLOADS for `gen`: banking, set-faulty, set-correct, arraylist1,
 arraylist2, sor, elevator, tsp, raytracer, hedc
 ";
 
+fn parse_algo(args: &[String]) -> Result<Algorithm, String> {
+    match flag_value(args, "--algo").as_deref() {
+        None | Some("lexical") => Ok(Algorithm::Lexical),
+        Some("bfs") => Ok(Algorithm::Bfs),
+        Some("dfs") => Ok(Algorithm::Dfs),
+        Some(other) => Err(format!("unknown algorithm `{other}`")),
+    }
+}
+
+fn parse_threads(args: &[String]) -> Result<usize, String> {
+    flag_value(args, "--threads")
+        .map(|v| v.parse().map_err(|_| "invalid --threads".to_string()))
+        .transpose()
+        .map(|t| t.unwrap_or(0))
+}
+
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
@@ -47,17 +64,21 @@ fn run() -> Result<String, String> {
     match command {
         "count" => {
             let path = args.get(1).ok_or("count: missing trace file")?;
-            let algorithm = match flag_value(&args, "--algo").as_deref() {
-                None | Some("lexical") => Algorithm::Lexical,
-                Some("bfs") => Algorithm::Bfs,
-                Some("dfs") => Algorithm::Dfs,
-                Some(other) => return Err(format!("unknown algorithm `{other}`")),
-            };
-            let threads = flag_value(&args, "--threads")
-                .map(|v| v.parse().map_err(|_| "invalid --threads".to_string()))
-                .transpose()?
-                .unwrap_or(0);
-            commands::count(&read_trace_file(path)?, algorithm, threads)
+            commands::count(
+                &read_trace_file(path)?,
+                parse_algo(&args)?,
+                parse_threads(&args)?,
+            )
+        }
+        "stats" => {
+            let path = args.get(1).ok_or("stats: missing trace file")?;
+            let json = args.iter().any(|a| a == "--json");
+            commands::stats(
+                &read_trace_file(path)?,
+                parse_algo(&args)?,
+                parse_threads(&args)?,
+                json,
+            )
         }
         "enumerate" => {
             let path = args.get(1).ok_or("enumerate: missing trace file")?;

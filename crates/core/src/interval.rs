@@ -131,10 +131,8 @@ pub fn measure_interval_work<Sp: CutSpace + ?Sized>(
         .iter()
         .map(|iv| {
             let mut sink = paramount_enumerate::CountSink::default();
-            paramount_enumerate::lexical::enumerate_bounded(
-                space, &iv.gmin, &iv.gbnd, &mut sink,
-            )
-            .expect("lexical is stateless");
+            paramount_enumerate::lexical::enumerate_bounded(space, &iv.gmin, &iv.gbnd, &mut sink)
+                .expect("lexical is stateless");
             sink.count + u64::from(iv.include_empty)
         })
         .collect()
@@ -235,19 +233,13 @@ mod tests {
                     // Empty cut: owned via include_empty, not bounds.
                     assert!(owners.is_empty(), "seed {seed}: empty cut in an interval");
                 } else {
-                    assert_eq!(
-                        owners.len(),
-                        1,
-                        "seed {seed}: cut {g} owned by {owners:?}"
-                    );
+                    assert_eq!(owners.len(), 1, "seed {seed}: cut {g} owned by {owners:?}");
                     // Lemma 2's witness: the owner is the →p-last event in G.
                     let pos: HashMap<EventId, usize> =
                         order.iter().enumerate().map(|(i, &e)| (e, i)).collect();
                     let last = g
                         .frontier_events()
-                        .flat_map(|fe| {
-                            (1..=fe.index).map(move |k| EventId::new(fe.tid, k))
-                        })
+                        .flat_map(|fe| (1..=fe.index).map(move |k| EventId::new(fe.tid, k)))
                         .max_by_key(|e| pos[e])
                         .expect("non-empty cut");
                     assert_eq!(owners[0], last, "seed {seed}");
@@ -309,10 +301,7 @@ mod tests {
         ivs[0].enumerate(&p, Algorithm::Lexical, &mut sink).unwrap();
         assert_eq!(
             sink.cuts,
-            vec![
-                Frontier::empty(2),
-                Frontier::from_counts(vec![1, 0])
-            ]
+            vec![Frontier::empty(2), Frontier::from_counts(vec![1, 0])]
         );
     }
 }

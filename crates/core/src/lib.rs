@@ -37,14 +37,16 @@
 //! the sequential [`paramount_enumerate::CutSink`].
 
 pub mod interval;
+pub mod metrics;
 pub mod offline;
 pub mod online;
 mod sink;
 pub mod store;
 
 pub use interval::{measure_interval_work, partition, Interval};
+pub use metrics::{HistogramSnapshot, MetricsSnapshot, ParaMetrics, WorkerSnapshot};
 pub use offline::{ParaMount, ParaStats};
-pub use online::{OnlineEngine, OnlineEngineConfig, OnlinePoset, OnlineReport};
+pub use online::{BackpressurePolicy, OnlineEngine, OnlineEngineConfig, OnlinePoset, OnlineReport};
 pub use sink::{AtomicCountSink, ConcurrentCollectSink, ParallelCutSink, SinkBridge};
 
 pub use paramount_enumerate::{Algorithm, EnumError, EnumStats};

@@ -1,0 +1,742 @@
+//! **ParaMetrics** — the observability layer of both execution modes.
+//!
+//! Every quantity the ROADMAP's "heavy traffic" goal needs to watch is an
+//! atomic cell in one [`ParaMetrics`] registry: how many events were
+//! inserted, how many intervals were dispatched / completed / spilled /
+//! rejected, how many cuts came out, how skewed the per-interval work is
+//! (the log₂ histogram that Rayon's work stealing flattens offline and the
+//! online worker pool must absorb live), how long the insertion critical
+//! section holds its mutex, how deep the dispatch queue gets, and how busy
+//! each enumeration worker is.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never perturb the hot path.** Counters touched per *cut* are
+//!    sharded across cache lines ([`ShardedCounter`]); everything touched
+//!    per *interval* or per *event* is a single relaxed atomic op.
+//! 2. **No new dependencies.** Histograms are fixed arrays of atomics with
+//!    log₂ bucketing; the JSON-lines writer is hand-rolled (§ the CI gate
+//!    builds with exactly the seed dependency set).
+//! 3. **Snapshots are plain data.** [`MetricsSnapshot`] is `Clone + Eq`
+//!    and owns everything, so reports outlive the engine and can be
+//!    diffed in tests.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of shards in a [`ShardedCounter`]. Eight 64-byte lines absorb
+/// the handful of enumeration workers the engine runs without false
+/// sharing; the sum is only folded on snapshot.
+const SHARDS: usize = 8;
+
+/// Histogram buckets: value 0, then one bucket per power of two up to
+/// `2^63` (bucket `i` holds values in `[2^(i-1), 2^i)`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// Monotone counter sharded across cache lines.
+///
+/// `add` picks a per-thread shard (round-robin assignment on first use),
+/// so concurrent workers never contend on one line; `sum` folds all
+/// shards — exact once writers have quiesced, approximate while live.
+#[derive(Default)]
+pub struct ShardedCounter {
+    shards: [PaddedU64; SHARDS],
+}
+
+thread_local! {
+    static THREAD_SHARD: usize = {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS
+    };
+}
+
+impl ShardedCounter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` on this thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        THREAD_SHARD.with(|&s| self.shards[s].0.fetch_add(n, Ordering::Relaxed));
+    }
+
+    /// Adds `n` on an explicit shard (workers pass their index — cheaper
+    /// than the thread-local lookup and deterministic in tests).
+    #[inline]
+    pub fn add_on(&self, shard: usize, n: u64) {
+        self.shards[shard % SHARDS]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Folded total across shards.
+    pub fn sum(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for ShardedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ShardedCounter({})", self.sum())
+    }
+}
+
+/// A current-value gauge that also remembers its high-water mark.
+///
+/// The queue-depth instrument: `inc` on dispatch, `dec` on receive; the
+/// high-water mark is the backpressure headline number.
+#[derive(Default, Debug)]
+pub struct HighWaterGauge {
+    value: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl HighWaterGauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the gauge by one and folds the new value into the mark.
+    #[inline]
+    pub fn inc(&self) {
+        let now = self.value.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Lowers the gauge by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Largest value ever observed.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// Lock-free histogram with log₂ buckets — the shape instrument for
+/// quantities that span orders of magnitude (per-interval cut counts,
+/// critical-section nanoseconds).
+pub struct Log2Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `1 + floor(log2(v))`.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+impl Log2Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Log2Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Log2Histogram(count={})", self.count())
+    }
+}
+
+/// Per-worker busy/idle accounting. Workers time themselves around the
+/// blocking receive (idle) and the interval enumeration (busy).
+#[derive(Default, Debug)]
+pub struct WorkerTally {
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+    intervals: AtomicU64,
+}
+
+impl WorkerTally {
+    /// Adds enumeration time.
+    #[inline]
+    pub fn add_busy(&self, ns: u64) {
+        self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Adds queue-wait time.
+    #[inline]
+    pub fn add_idle(&self, ns: u64) {
+        self.idle_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Counts one completed interval.
+    #[inline]
+    pub fn add_interval(&self) {
+        self.intervals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> WorkerSnapshot {
+        WorkerSnapshot {
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            idle_ns: self.idle_ns.load(Ordering::Relaxed),
+            intervals: self.intervals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The registry: every instrument both engines record into.
+///
+/// One registry is shared per engine run (`Arc` between the engine, its
+/// workers and any live observer); [`ParaMetrics::snapshot`] folds it
+/// into plain data at any time — the folded totals are exact once the
+/// writers have quiesced (after `finish`/`enumerate` returns).
+#[derive(Debug)]
+pub struct ParaMetrics {
+    /// Events inserted into the (online) poset.
+    pub events_inserted: ShardedCounter,
+    /// Intervals handed to the worker pool (or the Rayon scheduler).
+    pub intervals_dispatched: ShardedCounter,
+    /// Intervals fully enumerated.
+    pub intervals_completed: ShardedCounter,
+    /// Intervals diverted to the overflow deque
+    /// ([`BackpressurePolicy::SpillToDeque`]).
+    ///
+    /// [`BackpressurePolicy::SpillToDeque`]: crate::online::BackpressurePolicy::SpillToDeque
+    pub intervals_spilled: ShardedCounter,
+    /// Intervals dropped at dispatch ([`BackpressurePolicy::Fail`] with a
+    /// saturated queue) — any nonzero value means the cut count is not
+    /// Theorem-2 complete and the report says so.
+    ///
+    /// [`BackpressurePolicy::Fail`]: crate::online::BackpressurePolicy::Fail
+    pub intervals_rejected: ShardedCounter,
+    /// Cuts emitted to the sink.
+    pub cuts_emitted: ShardedCounter,
+    /// Distribution of cut counts per interval — the work-skew instrument
+    /// (Figure 10/11's load-balance story, measured instead of assumed).
+    pub interval_cuts: Log2Histogram,
+    /// Nanoseconds spent inside the insertion critical section (clock
+    /// bookkeeping + snapshot under the poset mutex — Algorithm 4's
+    /// atomic block).
+    pub insert_critical_ns: Log2Histogram,
+    /// Dispatch-queue depth (current + high-water mark).
+    pub queue_depth: HighWaterGauge,
+    workers: Box<[WorkerTally]>,
+}
+
+impl ParaMetrics {
+    /// A registry with `workers` per-worker tally slots (0 is fine for
+    /// offline runs that only want counters and histograms).
+    pub fn new(workers: usize) -> Self {
+        ParaMetrics {
+            events_inserted: ShardedCounter::new(),
+            intervals_dispatched: ShardedCounter::new(),
+            intervals_completed: ShardedCounter::new(),
+            intervals_spilled: ShardedCounter::new(),
+            intervals_rejected: ShardedCounter::new(),
+            cuts_emitted: ShardedCounter::new(),
+            interval_cuts: Log2Histogram::new(),
+            insert_critical_ns: Log2Histogram::new(),
+            queue_depth: HighWaterGauge::new(),
+            workers: (0..workers).map(|_| WorkerTally::default()).collect(),
+        }
+    }
+
+    /// The tally slot of worker `index` (clamped into range so offline
+    /// callers with an unknown pool size can still record). A registry
+    /// built with zero slots discards the recording.
+    pub fn worker(&self, index: usize) -> &WorkerTally {
+        if self.workers.is_empty() {
+            static DISCARD: WorkerTally = WorkerTally {
+                busy_ns: AtomicU64::new(0),
+                idle_ns: AtomicU64::new(0),
+                intervals: AtomicU64::new(0),
+            };
+            return &DISCARD;
+        }
+        &self.workers[index % self.workers.len()]
+    }
+
+    /// Number of worker tally slots.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Folds every instrument into an owned [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            events_inserted: self.events_inserted.sum(),
+            intervals_dispatched: self.intervals_dispatched.sum(),
+            intervals_completed: self.intervals_completed.sum(),
+            intervals_spilled: self.intervals_spilled.sum(),
+            intervals_rejected: self.intervals_rejected.sum(),
+            cuts_emitted: self.cuts_emitted.sum(),
+            interval_cuts: self.interval_cuts.snapshot(),
+            insert_critical_ns: self.insert_critical_ns.snapshot(),
+            queue_depth: self.queue_depth.get(),
+            queue_depth_high_water: self.queue_depth.high_water(),
+            workers: self.workers.iter().map(WorkerTally::snapshot).collect(),
+        }
+    }
+}
+
+impl Default for ParaMetrics {
+    fn default() -> Self {
+        ParaMetrics::new(0)
+    }
+}
+
+/// Owned, comparable snapshot of a [`Log2Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observation counts per log₂ bucket (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 < q <= 1.0`), or 0 when empty. A bucket upper bound is
+    /// `2^i - 1`, so the estimate is exact to within one power of two —
+    /// plenty for skew reporting.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        self.max
+    }
+
+    /// Iterator over the non-empty buckets as `(lower, upper, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lower_bound(i), bucket_upper_bound(i), c))
+    }
+}
+
+/// Smallest value that lands in bucket `i`.
+fn bucket_lower_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// Largest value that lands in bucket `i`.
+fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// Owned snapshot of one worker's tally.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// Nanoseconds spent enumerating intervals.
+    pub busy_ns: u64,
+    /// Nanoseconds spent waiting on the dispatch queue.
+    pub idle_ns: u64,
+    /// Intervals this worker completed.
+    pub intervals: u64,
+}
+
+impl WorkerSnapshot {
+    /// Fraction of accounted time spent busy (0 when nothing recorded).
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy_ns + self.idle_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / total as f64
+        }
+    }
+}
+
+/// Plain-data snapshot of a whole [`ParaMetrics`] registry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Events inserted.
+    pub events_inserted: u64,
+    /// Intervals dispatched to workers.
+    pub intervals_dispatched: u64,
+    /// Intervals fully enumerated.
+    pub intervals_completed: u64,
+    /// Intervals diverted to the overflow deque.
+    pub intervals_spilled: u64,
+    /// Intervals dropped by the `Fail` backpressure policy.
+    pub intervals_rejected: u64,
+    /// Cuts emitted.
+    pub cuts_emitted: u64,
+    /// Per-interval cut-count distribution.
+    pub interval_cuts: HistogramSnapshot,
+    /// Insertion critical-section time distribution (ns).
+    pub insert_critical_ns: HistogramSnapshot,
+    /// Queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Queue depth high-water mark.
+    pub queue_depth_high_water: u64,
+    /// Per-worker busy/idle tallies.
+    pub workers: Vec<WorkerSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Human-readable multi-line report.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "events inserted:      {}", self.events_inserted);
+        let _ = writeln!(out, "intervals dispatched: {}", self.intervals_dispatched);
+        let _ = writeln!(out, "intervals completed:  {}", self.intervals_completed);
+        if self.intervals_spilled > 0 {
+            let _ = writeln!(out, "intervals spilled:    {}", self.intervals_spilled);
+        }
+        if self.intervals_rejected > 0 {
+            let _ = writeln!(
+                out,
+                "intervals REJECTED:   {} (Fail policy: cut count is incomplete)",
+                self.intervals_rejected
+            );
+        }
+        let _ = writeln!(out, "cuts emitted:         {}", self.cuts_emitted);
+        let _ = writeln!(
+            out,
+            "queue depth:          {} now, {} high-water",
+            self.queue_depth, self.queue_depth_high_water
+        );
+        let _ = writeln!(
+            out,
+            "interval cut counts:  mean {:.1}, p50 <= {}, p99 <= {}, max {}",
+            self.interval_cuts.mean(),
+            self.interval_cuts.quantile_bound(0.5),
+            self.interval_cuts.quantile_bound(0.99),
+            self.interval_cuts.max,
+        );
+        for (lo, hi, count) in self.interval_cuts.nonzero_buckets() {
+            let _ = writeln!(out, "  cuts/interval {lo}..={hi}: {count}");
+        }
+        if self.insert_critical_ns.count() > 0 {
+            let _ = writeln!(
+                out,
+                "insert critical path: mean {:.0} ns, p99 <= {} ns, max {} ns",
+                self.insert_critical_ns.mean(),
+                self.insert_critical_ns.quantile_bound(0.99),
+                self.insert_critical_ns.max,
+            );
+        }
+        for (i, w) in self.workers.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "worker {i}: {} intervals, busy {:.3} ms, idle {:.3} ms ({:.0}% busy)",
+                w.intervals,
+                w.busy_ns as f64 / 1e6,
+                w.idle_ns as f64 / 1e6,
+                w.utilization() * 100.0,
+            );
+        }
+        out
+    }
+
+    /// Machine-readable report: one JSON object per line (hand-rolled —
+    /// the workspace takes no serialization dependency). `label` tags
+    /// every line so multi-run files (bench sweeps) stay greppable.
+    pub fn to_json_lines(&self, label: &str) -> String {
+        let mut out = String::new();
+        self.write_json_lines(label, &mut out);
+        out
+    }
+
+    /// As [`MetricsSnapshot::to_json_lines`], appending into `out`.
+    pub fn write_json_lines(&self, label: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        let label = json_escape(label);
+        for (name, value) in [
+            ("events_inserted", self.events_inserted),
+            ("intervals_dispatched", self.intervals_dispatched),
+            ("intervals_completed", self.intervals_completed),
+            ("intervals_spilled", self.intervals_spilled),
+            ("intervals_rejected", self.intervals_rejected),
+            ("cuts_emitted", self.cuts_emitted),
+        ] {
+            let _ = writeln!(
+                out,
+                "{{\"label\":\"{label}\",\"metric\":\"{name}\",\"type\":\"counter\",\"value\":{value}}}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{{\"label\":\"{label}\",\"metric\":\"queue_depth\",\"type\":\"gauge\",\"value\":{},\"high_water\":{}}}",
+            self.queue_depth, self.queue_depth_high_water
+        );
+        for (name, h) in [
+            ("interval_cuts", &self.interval_cuts),
+            ("insert_critical_ns", &self.insert_critical_ns),
+        ] {
+            let _ = write!(
+                out,
+                "{{\"label\":\"{label}\",\"metric\":\"{name}\",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
+                h.count(),
+                h.sum,
+                h.max,
+                h.quantile_bound(0.5),
+                h.quantile_bound(0.99),
+            );
+            let mut first = true;
+            for (lo, _, count) in h.nonzero_buckets() {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "{{\"ge\":{lo},\"count\":{count}}}");
+            }
+            out.push_str("]}\n");
+        }
+        for (i, w) in self.workers.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{{\"label\":\"{label}\",\"metric\":\"worker\",\"type\":\"worker\",\"index\":{i},\"busy_ns\":{},\"idle_ns\":{},\"intervals\":{}}}",
+                w.busy_ns, w.idle_ns, w.intervals
+            );
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert!(bucket_lower_bound(i) <= bucket_upper_bound(i));
+            assert_eq!(bucket_of(bucket_lower_bound(i)), i);
+            assert_eq!(bucket_of(bucket_upper_bound(i)), i);
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Log2Histogram::new();
+        for v in [0, 1, 1, 5, 9, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 6);
+        assert_eq!(snap.sum, 1016);
+        assert_eq!(snap.max, 1000);
+        assert_eq!(snap.buckets[0], 1); // the zero
+        assert_eq!(snap.buckets[1], 2); // the ones
+        assert_eq!(snap.buckets[3], 1); // 5 in [4,8)
+        assert_eq!(snap.buckets[4], 1); // 9 in [8,16)
+        assert_eq!(snap.buckets[10], 1); // 1000 in [512,1024)
+        assert_eq!(snap.quantile_bound(0.5), 1);
+        assert_eq!(snap.quantile_bound(1.0), 1023);
+    }
+
+    #[test]
+    fn sharded_counter_is_exact_across_threads() {
+        let counter = ShardedCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        counter.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.sum(), 80_000);
+        counter.add_on(3, 5);
+        assert_eq!(counter.sum(), 80_005);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let g = HighWaterGauge::new();
+        g.inc();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_water(), 3);
+    }
+
+    #[test]
+    fn registry_snapshot_round_trip() {
+        let m = ParaMetrics::new(2);
+        m.events_inserted.add(3);
+        m.intervals_dispatched.add(3);
+        m.intervals_completed.add(2);
+        m.cuts_emitted.add_on(0, 10);
+        m.cuts_emitted.add_on(1, 20);
+        m.interval_cuts.record(10);
+        m.interval_cuts.record(20);
+        m.queue_depth.inc();
+        m.worker(0).add_busy(500);
+        m.worker(0).add_interval();
+        m.worker(1).add_idle(300);
+        let snap = m.snapshot();
+        assert_eq!(snap.events_inserted, 3);
+        assert_eq!(snap.cuts_emitted, 30);
+        assert_eq!(snap.interval_cuts.count(), 2);
+        assert_eq!(snap.queue_depth, 1);
+        assert_eq!(snap.queue_depth_high_water, 1);
+        assert_eq!(snap.workers.len(), 2);
+        assert_eq!(snap.workers[0].intervals, 1);
+        assert!(snap.workers[0].utilization() > 0.99);
+        assert!(snap.workers[1].utilization() < 0.01);
+        // Snapshots are plain data: clonable and comparable.
+        assert_eq!(snap.clone(), snap);
+    }
+
+    #[test]
+    fn worker_slot_clamps_out_of_range() {
+        let m = ParaMetrics::new(2);
+        m.worker(7).add_interval(); // lands on 7 % 2 = 1
+        assert_eq!(m.snapshot().workers[1].intervals, 1);
+        let empty = ParaMetrics::new(0);
+        let _ = empty.snapshot(); // no slots: snapshot must not panic
+    }
+
+    #[test]
+    fn json_lines_are_one_object_per_line() {
+        let m = ParaMetrics::new(1);
+        m.cuts_emitted.add(7);
+        m.interval_cuts.record(7);
+        let text = m.snapshot().to_json_lines("smoke \"test\"");
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            // Escaped label must not break the quoting.
+            assert!(line.contains("\"label\":\"smoke \\\"test\\\"\""), "{line}");
+        }
+        assert!(text.contains("\"metric\":\"cuts_emitted\",\"type\":\"counter\",\"value\":7"));
+        assert!(text.contains("\"metric\":\"interval_cuts\""));
+        assert!(text.contains("\"ge\":4,\"count\":1"));
+    }
+
+    #[test]
+    fn render_text_mentions_the_headline_numbers() {
+        let m = ParaMetrics::new(1);
+        m.events_inserted.add(5);
+        m.cuts_emitted.add(42);
+        m.interval_cuts.record(42);
+        m.queue_depth.inc();
+        m.queue_depth.dec();
+        let text = m.snapshot().render_text();
+        assert!(text.contains("events inserted:      5"), "{text}");
+        assert!(text.contains("cuts emitted:         42"), "{text}");
+        assert!(text.contains("1 high-water"), "{text}");
+    }
+
+    #[test]
+    fn quantiles_on_empty_histogram_are_zero() {
+        let snap = HistogramSnapshot::default();
+        assert_eq!(snap.quantile_bound(0.5), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+}

@@ -13,10 +13,13 @@
 //! Figure 10/11 speedup shapes.
 
 use crate::interval::{partition, Interval};
+use crate::metrics::{MetricsSnapshot, ParaMetrics};
 use crate::sink::ParallelCutSink;
 use paramount_enumerate::{Algorithm, EnumError};
 use paramount_poset::{topo, CutSpace, EventId};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration and entry points for offline parallel enumeration.
 ///
@@ -44,7 +47,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 /// assert_eq!(stats.cuts, 7);
 /// assert_eq!(sink.count(), 7);
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ParaMount {
     /// The bounded sequential subroutine run on each interval.
     pub algorithm: Algorithm,
@@ -57,6 +60,9 @@ pub struct ParaMount {
     /// a budget that kills a whole-lattice BFS usually passes easily per
     /// interval.
     pub frontier_budget: Option<usize>,
+    /// External metrics registry; when absent each run folds into a fresh
+    /// one (see [`ParaStats::metrics`]).
+    metrics: Option<Arc<ParaMetrics>>,
 }
 
 impl ParaMount {
@@ -66,6 +72,7 @@ impl ParaMount {
             algorithm,
             threads: 0,
             frontier_budget: None,
+            metrics: None,
         }
     }
 
@@ -79,6 +86,23 @@ impl ParaMount {
     pub fn with_frontier_budget(mut self, budget: Option<usize>) -> Self {
         self.frontier_budget = budget;
         self
+    }
+
+    /// Records into a caller-owned registry instead of a per-run one —
+    /// lets several enumerations accumulate into one set of instruments
+    /// (a bench sweep), or a live observer watch a long run.
+    pub fn with_metrics(mut self, metrics: Arc<ParaMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Worker slots the metrics registry should carry for this config.
+    fn pool_width(&self) -> usize {
+        if self.threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.threads
+        }
     }
 
     /// Enumerates every consistent cut of `space` exactly once, in
@@ -119,6 +143,17 @@ impl ParaMount {
         Sp: CutSpace + Sync + ?Sized,
         K: ParallelCutSink + ?Sized,
     {
+        // A shared registry accumulates across calls; a fresh one scopes
+        // the snapshot to exactly this run.
+        let owned_registry;
+        let registry: &ParaMetrics = match &self.metrics {
+            Some(shared) => shared.as_ref(),
+            None => {
+                owned_registry = ParaMetrics::new(self.pool_width());
+                &owned_registry
+            }
+        };
+
         // Special case: an empty poset still has its one empty cut, but no
         // event interval carries it.
         if intervals.is_empty() {
@@ -126,21 +161,37 @@ impl ParaMount {
             // No event exists to own the empty cut; report a placeholder id.
             let placeholder = EventId::new(paramount_poset::Tid(0), 1);
             return match sink.visit(&empty, placeholder) {
-                std::ops::ControlFlow::Continue(()) => Ok(ParaStats {
-                    cuts: 1,
-                    intervals: 0,
-                    peak_frontiers: 1,
-                }),
+                std::ops::ControlFlow::Continue(()) => {
+                    registry.cuts_emitted.add(1);
+                    Ok(ParaStats {
+                        cuts: 1,
+                        intervals: 0,
+                        peak_frontiers: 1,
+                        metrics: registry.snapshot(),
+                    })
+                }
                 std::ops::ControlFlow::Break(()) => Err(EnumError::Stopped),
             };
         }
 
+        registry.intervals_dispatched.add(intervals.len() as u64);
         let cuts = AtomicU64::new(0);
         let peak = AtomicUsize::new(0);
         let run = || -> Result<(), EnumError> {
             use rayon::prelude::*;
             intervals.par_iter().try_for_each(|iv| {
+                // Rayon pool threads have a stable index; work stolen onto
+                // a non-pool thread (possible with the global pool) is
+                // tallied on slot 0.
+                let widx = rayon::current_thread_index().unwrap_or(0);
+                let started = Instant::now();
                 let stats = self.run_interval(space, iv, sink)?;
+                let tally = registry.worker(widx);
+                tally.add_busy(started.elapsed().as_nanos() as u64);
+                tally.add_interval();
+                registry.intervals_completed.add_on(widx, 1);
+                registry.cuts_emitted.add_on(widx, stats.cuts);
+                registry.interval_cuts.record(stats.cuts);
                 cuts.fetch_add(stats.cuts, Ordering::Relaxed);
                 peak.fetch_max(stats.peak_frontiers, Ordering::Relaxed);
                 Ok(())
@@ -162,6 +213,7 @@ impl ParaMount {
             cuts: cuts.load(Ordering::Relaxed),
             intervals: intervals.len(),
             peak_frontiers: peak.load(Ordering::Relaxed),
+            metrics: registry.snapshot(),
         })
     }
 
@@ -218,7 +270,7 @@ impl ParaMount {
 }
 
 /// Aggregate statistics from one parallel enumeration.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ParaStats {
     /// Total cuts emitted (equals `i(P)` — Theorem 2).
     pub cuts: u64,
@@ -227,6 +279,11 @@ pub struct ParaStats {
     /// Largest per-interval frontier storage any worker needed (1 for the
     /// lexical subroutine; the partitioning win for BFS shows up here).
     pub peak_frontiers: usize,
+    /// Observability snapshot: per-interval cut-count histogram, worker
+    /// busy tallies, counter totals. Scoped to this run unless a shared
+    /// registry was attached via [`ParaMount::with_metrics`] (then it
+    /// holds everything recorded so far).
+    pub metrics: MetricsSnapshot,
 }
 
 #[cfg(test)]
@@ -277,7 +334,9 @@ mod tests {
     fn kahn_and_weight_orders_agree_on_totals() {
         let p = RandomComputation::new(4, 6, 0.5, 5).generate();
         let a = AtomicCountSink::new();
-        ParaMount::new(Algorithm::Lexical).enumerate(&p, &a).unwrap();
+        ParaMount::new(Algorithm::Lexical)
+            .enumerate(&p, &a)
+            .unwrap();
         let b = AtomicCountSink::new();
         let order = paramount_poset::topo::kahn_order(&p);
         ParaMount::new(Algorithm::Lexical)
@@ -290,7 +349,9 @@ mod tests {
     fn empty_poset_emits_single_empty_cut() {
         let p: Poset = Poset::empty(3);
         let sink = ConcurrentCollectSink::new();
-        let stats = ParaMount::new(Algorithm::Lexical).enumerate(&p, &sink).unwrap();
+        let stats = ParaMount::new(Algorithm::Lexical)
+            .enumerate(&p, &sink)
+            .unwrap();
         assert_eq!(stats.cuts, 1);
         assert_eq!(sink.into_cuts(), vec![Frontier::empty(3)]);
     }
@@ -344,6 +405,42 @@ mod tests {
             .unwrap();
         assert_eq!(stats.cuts, 256);
         assert_eq!(sink.count(), 256);
+    }
+
+    #[test]
+    fn offline_metrics_reconcile_with_stats() {
+        let p = RandomComputation::new(4, 5, 0.4, 11).generate();
+        let sink = AtomicCountSink::new();
+        let stats = ParaMount::new(Algorithm::Lexical)
+            .with_threads(2)
+            .enumerate(&p, &sink)
+            .unwrap();
+        let m = &stats.metrics;
+        assert_eq!(m.cuts_emitted, stats.cuts);
+        assert_eq!(m.intervals_dispatched as usize, stats.intervals);
+        assert_eq!(m.intervals_completed, m.intervals_dispatched);
+        assert_eq!(m.interval_cuts.count() as usize, stats.intervals);
+        assert_eq!(m.interval_cuts.sum, stats.cuts);
+        assert_eq!(m.workers.len(), 2);
+        let per_worker: u64 = m.workers.iter().map(|w| w.intervals).sum();
+        assert_eq!(per_worker as usize, stats.intervals);
+    }
+
+    #[test]
+    fn shared_registry_accumulates_across_runs() {
+        use crate::metrics::ParaMetrics;
+        use std::sync::Arc;
+        let p = RandomComputation::new(3, 4, 0.4, 2).generate();
+        let registry = Arc::new(ParaMetrics::new(1));
+        let pm = ParaMount::new(Algorithm::Lexical)
+            .with_threads(1)
+            .with_metrics(Arc::clone(&registry));
+        let a = pm.enumerate(&p, &AtomicCountSink::new()).unwrap();
+        let b = pm.enumerate(&p, &AtomicCountSink::new()).unwrap();
+        // Stats scope to each run; the shared registry holds both.
+        assert_eq!(a.cuts, b.cuts);
+        assert_eq!(registry.snapshot().cuts_emitted, a.cuts + b.cuts);
+        assert_eq!(b.metrics.cuts_emitted, a.cuts + b.cuts);
     }
 
     #[test]

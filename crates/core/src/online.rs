@@ -14,15 +14,28 @@
 //! hand-built crossbeam-channel fan-out, because intervals must start the
 //! moment they are created (work arrives as a stream, not a batch) and the
 //! pool must outlive any single call.
+//!
+//! The dispatch queue is **bounded** ([`OnlineEngineConfig::queue_capacity`])
+//! with an explicit [`BackpressurePolicy`]. Interval sizes are wildly
+//! uneven (`i(P)` is exponential in the worst case), so an unbounded queue
+//! silently converts a slow sink into unbounded memory growth; a bounded
+//! one makes the overload behaviour a stated policy instead of an
+//! accident. Every run records into a [`ParaMetrics`] registry — queue
+//! depth, per-interval cut counts, worker busy/idle time, insertion
+//! critical-section time — surfaced in [`OnlineReport::metrics`].
 
 use crate::interval::Interval;
+use crate::metrics::{MetricsSnapshot, ParaMetrics};
 use crate::sink::{ParallelCutSink, SinkBridge};
 use crate::store::AppendVec;
+use crossbeam_channel::TrySendError;
 use paramount_enumerate::{Algorithm, CutSink, EnumError};
 use paramount_poset::{CutSpace, Event, EventId, Frontier, Poset, Tid, VectorClock};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A poset that grows while it is being enumerated.
 ///
@@ -132,9 +145,7 @@ impl<P> OnlinePoset<P> {
         // Snapshot of the maximal events of all threads, still inside the
         // critical section: exactly the events inserted before (or being)
         // e — a valid Gbnd per Definition 1, consistent per Theorem 1.
-        let gbnd = Frontier::from_counts(
-            self.threads.iter().map(|seq| seq.len() as u32).collect(),
-        );
+        let gbnd = Frontier::from_counts(self.threads.iter().map(|seq| seq.len() as u32).collect());
         (
             id,
             Interval {
@@ -178,6 +189,34 @@ impl<P> CutSpace for OnlinePoset<P> {
     }
 }
 
+/// What `observe_*` does when the dispatch queue is full.
+///
+/// The queue fills exactly when insertions outpace enumeration — with
+/// exponentially sized intervals that is a *when*, not an *if*, on heavy
+/// traffic. The policy decides who absorbs the overload.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Block the observing thread until a worker frees a slot. Slows the
+    /// observed program down (the paper's implicit model: instrumentation
+    /// is allowed to throttle execution) but loses nothing — Theorem 3's
+    /// "every cut exactly once" holds unconditionally.
+    #[default]
+    Block,
+    /// Never block: divert overflow intervals to an unbounded deque that
+    /// workers drain with priority. Keeps the observed program at full
+    /// speed and still loses nothing, at the cost of re-admitting the
+    /// unbounded memory the queue bound was meant to cap — the spill
+    /// counter in [`ParaMetrics`] makes that cost visible.
+    SpillToDeque,
+    /// Never block and never buffer: drop the interval and count it in
+    /// [`ParaMetrics::intervals_rejected`]. The cut count is then a lower
+    /// bound, not Theorem 2's exact `i(P)` —
+    /// [`OnlineReport::is_complete`] returns false and the stats
+    /// renderer flags the run. For load-shedding monitors that prefer
+    /// losing data over perturbing the program.
+    Fail,
+}
+
 /// Configuration for the online engine.
 #[derive(Clone, Copy, Debug)]
 pub struct OnlineEngineConfig {
@@ -188,6 +227,11 @@ pub struct OnlineEngineConfig {
     pub workers: usize,
     /// Per-interval frontier budget for stateful subroutines.
     pub frontier_budget: Option<usize>,
+    /// Capacity of the interval dispatch queue (≥ 1). When full, the
+    /// [`BackpressurePolicy`] decides what `observe_*` does.
+    pub queue_capacity: usize,
+    /// What to do when the dispatch queue is full.
+    pub backpressure: BackpressurePolicy,
 }
 
 impl Default for OnlineEngineConfig {
@@ -196,6 +240,8 @@ impl Default for OnlineEngineConfig {
             algorithm: Algorithm::Lexical,
             workers: 4,
             frontier_budget: None,
+            queue_capacity: 1024,
+            backpressure: BackpressurePolicy::Block,
         }
     }
 }
@@ -203,17 +249,27 @@ impl Default for OnlineEngineConfig {
 struct EngineShared<P> {
     poset: Arc<OnlinePoset<P>>,
     sink: Box<dyn ParallelCutSink>,
-    cuts: AtomicU64,
     stopped: AtomicBool,
     error: Mutex<Option<EnumError>>,
+    metrics: ParaMetrics,
+    /// Overflow intervals under [`BackpressurePolicy::SpillToDeque`].
+    /// Workers drain it with priority; `finish` closes the channel only
+    /// after producers stop, so leftover spill is drained post-close.
+    spill: Mutex<VecDeque<Interval>>,
+}
+
+/// Pops one spilled interval, never holding the lock across enumeration.
+fn pop_spill<P>(shared: &EngineShared<P>) -> Option<Interval> {
+    shared.spill.lock().pop_front()
 }
 
 /// The online enumeration engine: an [`OnlinePoset`] plus a worker pool
-/// draining a channel of freshly created intervals.
+/// draining a bounded channel of freshly created intervals.
 ///
 /// `observe_*` calls may come from many program threads concurrently; the
 /// per-call cost beyond the enumeration itself is one mutex-protected
-/// insert and one channel send.
+/// insert and one channel send (which may block, spill or shed under a
+/// full queue — see [`BackpressurePolicy`]).
 pub struct OnlineEngine<P: Send + Sync + 'static> {
     shared: Arc<EngineShared<P>>,
     sender: Option<crossbeam_channel::Sender<Interval>>,
@@ -238,21 +294,23 @@ impl<P: Send + Sync + 'static> OnlineEngine<P> {
         sink: impl ParallelCutSink + 'static,
     ) -> Self {
         assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.queue_capacity >= 1, "queue capacity must be >= 1");
         let shared = Arc::new(EngineShared {
             poset,
             sink: Box::new(sink),
-            cuts: AtomicU64::new(0),
             stopped: AtomicBool::new(false),
             error: Mutex::new(None),
+            metrics: ParaMetrics::new(config.workers),
+            spill: Mutex::new(VecDeque::new()),
         });
-        let (sender, receiver) = crossbeam_channel::unbounded::<Interval>();
+        let (sender, receiver) = crossbeam_channel::bounded::<Interval>(config.queue_capacity);
         let workers = (0..config.workers)
             .map(|w| {
                 let shared = Arc::clone(&shared);
                 let receiver = receiver.clone();
                 std::thread::Builder::new()
                     .name(format!("paramount-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, &receiver, config))
+                    .spawn(move || worker_loop(&shared, &receiver, config, w))
                     .expect("failed to spawn enumeration worker")
             })
             .collect();
@@ -267,25 +325,67 @@ impl<P: Send + Sync + 'static> OnlineEngine<P> {
     /// Observes an event of thread `t` with explicit dependencies; clock
     /// computed internally. Returns the event id.
     pub fn observe_after(&self, t: Tid, deps: &[EventId], payload: P) -> EventId {
+        let start = Instant::now();
         let (id, interval) = self.shared.poset.insert_after(t, deps, payload);
+        self.note_insert(start);
         self.dispatch(interval);
         id
     }
 
     /// Observes an event whose clock the caller computed (recorder path).
     pub fn observe_with_clock(&self, t: Tid, vc: VectorClock, payload: P) -> EventId {
+        let start = Instant::now();
         let (id, interval) = self.shared.poset.insert_with_clock(t, vc, payload);
+        self.note_insert(start);
         self.dispatch(interval);
         id
+    }
+
+    fn note_insert(&self, start: Instant) {
+        let m = &self.shared.metrics;
+        m.insert_critical_ns
+            .record(start.elapsed().as_nanos() as u64);
+        m.events_inserted.add(1);
     }
 
     fn dispatch(&self, interval: Interval) {
         if self.shared.stopped.load(Ordering::Relaxed) {
             return; // sink asked for a global stop; drop new work
         }
-        if let Some(sender) = &self.sender {
-            // Receivers only disappear after `finish`, which consumes self.
-            let _ = sender.send(interval);
+        // Receivers only disappear after `finish`, which consumes self, so
+        // send failures below mean shutdown raced a stop — safe to drop.
+        let Some(sender) = &self.sender else { return };
+        let m = &self.shared.metrics;
+        m.intervals_dispatched.add(1);
+        // The gauge goes up *before* the send and back down if the send
+        // fails: a worker may receive (and decrement) the instant the
+        // interval lands in the channel, before a post-send increment
+        // would run, underflowing the gauge. The channel's send/recv
+        // synchronization orders this increment before that decrement.
+        m.queue_depth.inc();
+        match self.config.backpressure {
+            BackpressurePolicy::Block => {
+                if sender.send(interval).is_err() {
+                    m.queue_depth.dec();
+                }
+            }
+            BackpressurePolicy::SpillToDeque => match sender.try_send(interval) {
+                Ok(()) => {}
+                Err(TrySendError::Full(interval)) => {
+                    m.queue_depth.dec();
+                    self.shared.spill.lock().push_back(interval);
+                    m.intervals_spilled.add(1);
+                }
+                Err(TrySendError::Disconnected(_)) => m.queue_depth.dec(),
+            },
+            BackpressurePolicy::Fail => match sender.try_send(interval) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    m.queue_depth.dec();
+                    m.intervals_rejected.add(1);
+                }
+                Err(TrySendError::Disconnected(_)) => m.queue_depth.dec(),
+            },
         }
     }
 
@@ -304,12 +404,22 @@ impl<P: Send + Sync + 'static> OnlineEngine<P> {
         self.config.workers
     }
 
-    /// Closes the stream, waits for all pending intervals to drain, and
-    /// reports totals.
+    /// Live snapshot of the metrics registry. Counters are folded with
+    /// relaxed loads, so totals are approximate while workers run and
+    /// exact after [`OnlineEngine::finish`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Closes the stream, waits for all pending intervals — queued *and*
+    /// spilled — to drain, and reports totals.
     pub fn finish(mut self) -> OnlineReport<P>
     where
         P: Clone,
     {
+        // Dropping the sender closes the channel; workers drain what is
+        // queued, then (channel closed ⇒ no producer ⇒ spill is frozen)
+        // drain the spill deque, then exit. No interval is lost.
         drop(self.sender.take());
         for handle in self.workers.drain(..) {
             handle.join().expect("enumeration worker panicked");
@@ -318,10 +428,12 @@ impl<P: Send + Sync + 'static> OnlineEngine<P> {
         drop(self); // Drop is a no-op now: sender taken, workers joined.
         let shared = Arc::try_unwrap(shared)
             .unwrap_or_else(|_| panic!("worker still holds the engine state"));
+        let metrics = shared.metrics.snapshot();
         OnlineReport {
-            cuts: shared.cuts.load(Ordering::Relaxed),
+            cuts: metrics.cuts_emitted,
             events: shared.poset.num_events() as u64,
             error: shared.error.into_inner(),
+            metrics,
             poset: shared.poset.snapshot(),
         }
     }
@@ -340,23 +452,66 @@ fn worker_loop<P>(
     shared: &EngineShared<P>,
     receiver: &crossbeam_channel::Receiver<Interval>,
     config: OnlineEngineConfig,
+    index: usize,
 ) {
-    for interval in receiver.iter() {
-        if shared.stopped.load(Ordering::Relaxed) {
-            continue; // drain without enumerating
+    loop {
+        // Spill first: overflow intervals are the oldest backlog, and
+        // checking here guarantees the deque drains while the channel is
+        // busy (spill only grows when the channel is full, so there is
+        // always traffic to piggyback on).
+        let interval = match pop_spill(shared) {
+            Some(interval) => interval,
+            None => {
+                let wait = Instant::now();
+                match receiver.recv() {
+                    Ok(interval) => {
+                        shared
+                            .metrics
+                            .worker(index)
+                            .add_idle(wait.elapsed().as_nanos() as u64);
+                        shared.metrics.queue_depth.dec();
+                        interval
+                    }
+                    Err(_) => break, // channel closed: producers are done
+                }
+            }
+        };
+        process_interval(shared, &interval, config, index);
+    }
+    // The channel is closed, so no new spill can appear: whatever is left
+    // in the deque is the final backlog — drain it to completion.
+    while let Some(interval) = pop_spill(shared) {
+        process_interval(shared, &interval, config, index);
+    }
+}
+
+fn process_interval<P>(
+    shared: &EngineShared<P>,
+    interval: &Interval,
+    config: OnlineEngineConfig,
+    index: usize,
+) {
+    if shared.stopped.load(Ordering::Relaxed) {
+        return; // drain without enumerating
+    }
+    let m = &shared.metrics;
+    let start = Instant::now();
+    let result = run_interval(shared, interval, config);
+    let tally = m.worker(index);
+    tally.add_busy(start.elapsed().as_nanos() as u64);
+    tally.add_interval();
+    match result {
+        Ok(cuts) => {
+            m.cuts_emitted.add_on(index, cuts);
+            m.intervals_completed.add_on(index, 1);
+            m.interval_cuts.record(cuts);
         }
-        let result = run_interval(shared, &interval, config);
-        match result {
-            Ok(cuts) => {
-                shared.cuts.fetch_add(cuts, Ordering::Relaxed);
-            }
-            Err(EnumError::Stopped) => {
-                shared.stopped.store(true, Ordering::Relaxed);
-            }
-            Err(err) => {
-                shared.stopped.store(true, Ordering::Relaxed);
-                shared.error.lock().get_or_insert(err);
-            }
+        Err(EnumError::Stopped) => {
+            shared.stopped.store(true, Ordering::Relaxed);
+        }
+        Err(err) => {
+            shared.stopped.store(true, Ordering::Relaxed);
+            shared.error.lock().get_or_insert(err);
         }
     }
 }
@@ -407,14 +562,28 @@ fn run_interval<P>(
 
 /// Result of a completed online enumeration.
 pub struct OnlineReport<P> {
-    /// Total cuts enumerated (= `i(P)` of the final poset, Theorem 2).
+    /// Total cuts enumerated (= `i(P)` of the final poset, Theorem 2 —
+    /// unless the run stopped early or shed work, see
+    /// [`OnlineReport::is_complete`]).
     pub cuts: u64,
     /// Events observed.
     pub events: u64,
     /// Budget error, if a stateful subroutine tripped its limit.
     pub error: Option<EnumError>,
+    /// Folded observability counters for the whole run: queue-depth
+    /// high-water mark, per-interval cut-count histogram, worker
+    /// busy/idle tallies, insertion critical-section times.
+    pub metrics: MetricsSnapshot,
     /// The final, frozen poset.
     pub poset: Poset<P>,
+}
+
+impl<P> OnlineReport<P> {
+    /// True when `cuts` is exactly `i(P)`: no error, and no interval was
+    /// shed by [`BackpressurePolicy::Fail`].
+    pub fn is_complete(&self) -> bool {
+        self.error.is_none() && self.metrics.intervals_rejected == 0
+    }
 }
 
 #[cfg(test)]
@@ -536,8 +705,7 @@ mod tests {
                 });
             }
         });
-        let engine = StdArc::try_unwrap(engine)
-            .unwrap_or_else(|_| panic!("engine still shared"));
+        let engine = StdArc::try_unwrap(engine).unwrap_or_else(|_| panic!("engine still shared"));
         let report = engine.finish();
         assert_eq!(report.events, 24);
         // The online count must equal the offline lattice size of the
@@ -546,6 +714,7 @@ mod tests {
         assert_eq!(report.cuts, expected);
         assert_eq!(counter.count(), expected);
         assert!(report.error.is_none());
+        assert!(report.is_complete());
     }
 
     #[test]
@@ -576,5 +745,128 @@ mod tests {
         );
         engine.observe_after(Tid(0), &[], ());
         drop(engine); // must not hang or leak threads
+    }
+
+    #[test]
+    fn report_metrics_are_internally_consistent() {
+        let reference = RandomComputation::new(3, 6, 0.3, 42).generate();
+        let engine = OnlineEngine::new(
+            3,
+            OnlineEngineConfig {
+                workers: 2,
+                ..OnlineEngineConfig::default()
+            },
+            move |_: &Frontier, _: EventId| ControlFlow::Continue(()),
+        );
+        for &id in &paramount_poset::topo::weight_order(&reference) {
+            engine.observe_with_clock(id.tid, reference.vc(id).clone(), ());
+        }
+        let report = engine.finish();
+        let m = &report.metrics;
+        assert_eq!(m.events_inserted, report.events);
+        assert_eq!(m.intervals_dispatched, report.events);
+        assert_eq!(m.intervals_completed, report.events);
+        assert_eq!(m.intervals_spilled, 0);
+        assert_eq!(m.intervals_rejected, 0);
+        assert_eq!(m.cuts_emitted, report.cuts);
+        // Every interval's cut count went through the histogram; the sums
+        // must reconcile exactly with the headline count.
+        assert_eq!(m.interval_cuts.count(), report.events);
+        assert_eq!(m.interval_cuts.sum, report.cuts);
+        // Every insert was timed.
+        assert_eq!(m.insert_critical_ns.count(), report.events);
+        // Queue fully drained; high-water mark observed at least one send.
+        assert_eq!(m.queue_depth, 0);
+        assert!(m.queue_depth_high_water >= 1);
+        // Worker tallies add up to the dispatched total.
+        assert_eq!(m.workers.len(), 2);
+        let by_worker: u64 = m.workers.iter().map(|w| w.intervals).sum();
+        assert_eq!(by_worker, report.events);
+        assert!(report.is_complete());
+    }
+
+    #[test]
+    fn spill_policy_loses_no_cuts_under_tiny_queue() {
+        let reference = RandomComputation::new(3, 6, 0.3, 7).generate();
+        let counter = StdArc::new(AtomicCountSink::new());
+        let counter_in_sink = StdArc::clone(&counter);
+        let engine = OnlineEngine::new(
+            3,
+            OnlineEngineConfig {
+                workers: 1,
+                queue_capacity: 1,
+                backpressure: BackpressurePolicy::SpillToDeque,
+                ..OnlineEngineConfig::default()
+            },
+            move |cut: &Frontier, owner| {
+                // Slow consumer: force the 1-slot queue to overflow.
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                counter_in_sink.visit(cut, owner)
+            },
+        );
+        for &id in &paramount_poset::topo::weight_order(&reference) {
+            engine.observe_with_clock(id.tid, reference.vc(id).clone(), ());
+        }
+        let report = engine.finish();
+        let expected = oracle::count_ideals(&report.poset);
+        assert_eq!(report.cuts, expected, "spill must not lose intervals");
+        assert_eq!(counter.count(), expected);
+        assert_eq!(report.metrics.intervals_rejected, 0);
+        assert_eq!(
+            report.metrics.intervals_completed,
+            report.metrics.intervals_dispatched
+        );
+        assert!(report.is_complete());
+    }
+
+    #[test]
+    fn fail_policy_sheds_load_and_reports_incomplete() {
+        let release = StdArc::new(AtomicBool::new(false));
+        let gate = StdArc::clone(&release);
+        let engine = OnlineEngine::new(
+            2,
+            OnlineEngineConfig {
+                workers: 1,
+                queue_capacity: 1,
+                backpressure: BackpressurePolicy::Fail,
+                ..OnlineEngineConfig::default()
+            },
+            move |_: &Frontier, _: EventId| {
+                // Hold the single worker hostage until all inserts landed.
+                while !gate.load(Ordering::Relaxed) {
+                    std::thread::yield_now();
+                }
+                ControlFlow::Continue(())
+            },
+        );
+        for _ in 0..30 {
+            engine.observe_after(Tid(0), &[], ());
+            engine.observe_after(Tid(1), &[], ());
+        }
+        release.store(true, Ordering::Relaxed);
+        let report = engine.finish();
+        let m = &report.metrics;
+        assert!(m.intervals_rejected > 0, "queue must have shed load");
+        assert_eq!(
+            m.intervals_completed + m.intervals_rejected,
+            m.intervals_dispatched
+        );
+        assert!(!report.is_complete());
+        // Shed work means a strict undercount versus the true lattice.
+        assert!(report.cuts < oracle::count_ideals(&report.poset));
+    }
+
+    #[test]
+    fn live_metrics_snapshot_is_available_mid_run() {
+        let engine = OnlineEngine::new(
+            2,
+            OnlineEngineConfig::default(),
+            move |_: &Frontier, _: EventId| ControlFlow::Continue(()),
+        );
+        engine.observe_after(Tid(0), &[], ());
+        let live = engine.metrics();
+        assert_eq!(live.events_inserted, 1);
+        let report = engine.finish();
+        assert_eq!(report.metrics.events_inserted, 1);
     }
 }

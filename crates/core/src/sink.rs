@@ -169,6 +169,50 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_collect_preserves_every_distinct_cut() {
+        // Content integrity, not just a length check: every thread emits a
+        // distinct set of frontiers and each one must come back intact —
+        // no torn, duplicated, or lost pushes under contention.
+        let sink = ConcurrentCollectSink::new();
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let sink = &sink;
+                s.spawn(move || {
+                    for k in 0..64 {
+                        let _ = sink.visit(&g(&[t + 1, k, t * 64 + k]), owner());
+                    }
+                });
+            }
+        });
+        let mut cuts = sink.into_cuts();
+        assert_eq!(cuts.len(), 8 * 64);
+        cuts.sort_by_key(|c| c.get(Tid(2)));
+        for (i, cut) in cuts.iter().enumerate() {
+            let (t, k) = ((i / 64) as u32, (i % 64) as u32);
+            assert_eq!(cut, &g(&[t + 1, k, t * 64 + k]), "cut {i} torn or lost");
+        }
+    }
+
+    #[test]
+    fn atomic_count_is_exact_through_concurrent_bridges() {
+        // The real call path: each worker wraps the shared sink in its own
+        // SinkBridge; the total must still be exact.
+        let sink = AtomicCountSink::new();
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let sink = &sink;
+                s.spawn(move || {
+                    let mut bridge = SinkBridge::new(sink, EventId::new(Tid(t), 1));
+                    for k in 0..500 {
+                        let _ = bridge.visit(&g(&[t, k]));
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.count(), 8 * 500);
+    }
+
+    #[test]
     fn closure_sink_and_bridge() {
         let hits = AtomicUsize::new(0);
         let closure = |_: &Frontier, _: EventId| {

@@ -57,7 +57,7 @@ fn writers_and_scanning_readers() {
     });
     assert_eq!(store.len(), WRITERS * PER_WRITER);
     // Per-writer sequences must each appear exactly once.
-    let mut per_writer = vec![0usize; WRITERS];
+    let mut per_writer = [0usize; WRITERS];
     for &(w, _) in store.iter() {
         per_writer[w] += 1;
     }

@@ -100,13 +100,11 @@ mod tests {
     /// Local predicate: thread's frontier event writes the given variable.
     fn writes_var(var: u32) -> LocalPredicate {
         Box::new(move |_, _, payload| {
-            payload
-                .and_then(TraceEvent::collection)
-                .is_some_and(|ec| {
-                    ec.accesses()
-                        .iter()
-                        .any(|a| a.is_write && a.var == VarId(var))
-                })
+            payload.and_then(TraceEvent::collection).is_some_and(|ec| {
+                ec.accesses()
+                    .iter()
+                    .any(|a| a.is_write && a.var == VarId(var))
+            })
         })
     }
 
@@ -152,11 +150,9 @@ mod tests {
     #[test]
     fn detect_all_keeps_enumerating() {
         let p = two_writer_poset();
-        let pred = ConjunctivePredicate::new(vec![
-            Box::new(|_, _, _| true),
-            Box::new(|_, _, _| true),
-        ])
-        .detect_all();
+        let pred =
+            ConjunctivePredicate::new(vec![Box::new(|_, _, _| true), Box::new(|_, _, _| true)])
+                .detect_all();
         let owner = EventId::new(Tid(0), 1);
         let mut visits = 0;
         for g in paramount_poset::oracle::enumerate_product_scan(&p) {

@@ -167,8 +167,7 @@ mod tests {
                 let k = cut.get(t) + 1;
                 if k as usize <= space.events_of(t) {
                     let e = EventId::new(t, k);
-                    if cut.enables(space, e)
-                        && exists_phi_path(space, &cut.advanced(t), last, phi)
+                    if cut.enables(space, e) && exists_phi_path(space, &cut.advanced(t), last, phi)
                     {
                         return true;
                     }
@@ -179,7 +178,8 @@ mod tests {
         for seed in 0..15 {
             let p = RandomComputation::new(3, 3, 0.4, seed).generate();
             let last = p.final_frontier();
-            let preds: Vec<Box<dyn Fn(&Frontier) -> bool>> = vec![
+            type Pred = Box<dyn Fn(&Frontier) -> bool>;
+            let preds: Vec<Pred> = vec![
                 Box::new(|g: &Frontier| g.get(Tid(0)) >= g.get(Tid(1))),
                 Box::new(|g: &Frontier| g.total_events() % 2 == 0 || g.get(Tid(2)) > 0),
                 Box::new(|g: &Frontier| g.get(Tid(2)) <= 2),
@@ -198,7 +198,7 @@ mod tests {
         // random threshold predicate.
         for seed in 0..10 {
             let p = RandomComputation::new(3, 3, 0.5, seed).generate();
-            let threshold = (seed % 4) as u64 * 2;
+            let threshold = (seed % 4) * 2;
             let phi = |g: &Frontier| g.total_events() <= 9 - threshold.min(9);
             let vag = ag(&p, phi);
             let veg = eg(&p, phi);

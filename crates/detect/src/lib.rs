@@ -52,7 +52,9 @@ mod report;
 mod view;
 
 pub use conjunctive::ConjunctivePredicate;
-pub use linear::{find_first_satisfying, ConjunctiveLinear, LinearOutcome, LinearPredicate};
+pub use linear::{
+    find_first_satisfying, ConjunctiveLinear, LinearOutcome, LinearPredicate, LocalPredicate,
+};
 pub use modality::{definitely, possibly};
 pub use mutex::{MutexViolation, MutexViolationPredicate};
 pub use race::{RaceDetection, RacePredicate};

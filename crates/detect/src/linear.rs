@@ -33,18 +33,20 @@ pub trait LinearPredicate {
     fn forbidden(&self, view: &dyn EventView, cut: &Frontier) -> Option<Tid>;
 }
 
+/// A boxed per-thread local predicate: receives the thread's frontier
+/// index (0 = no event yet) and the frontier event's payload.
+pub type LocalPredicate = Box<dyn Fn(u32, Option<&TraceEvent>) -> bool + Send + Sync>;
+
 /// A conjunctive predicate `l₀ ∧ l₁ ∧ … ∧ lₙ₋₁` over per-thread local
 /// states — the canonical linear predicate.
 pub struct ConjunctiveLinear {
-    locals: Vec<Box<dyn Fn(u32, Option<&TraceEvent>) -> bool + Send + Sync>>,
+    locals: Vec<LocalPredicate>,
 }
 
 impl ConjunctiveLinear {
     /// `locals[i]` receives thread `i`'s frontier index (0 = no event)
     /// and payload.
-    pub fn new(
-        locals: Vec<Box<dyn Fn(u32, Option<&TraceEvent>) -> bool + Send + Sync>>,
-    ) -> Self {
+    pub fn new(locals: Vec<LocalPredicate>) -> Self {
         ConjunctiveLinear { locals }
     }
 }
@@ -149,7 +151,7 @@ mod tests {
     }
 
     /// Local: thread's frontier event writes `var`.
-    fn wants(var: u32) -> Box<dyn Fn(u32, Option<&TraceEvent>) -> bool + Send + Sync> {
+    fn wants(var: u32) -> LocalPredicate {
         Box::new(move |_, payload| {
             payload
                 .and_then(TraceEvent::collection)
@@ -170,8 +172,7 @@ mod tests {
     fn finds_the_least_satisfying_cut() {
         let p = sample_poset();
         let predicate = ConjunctiveLinear::new(vec![wants(0), wants(1)]);
-        let outcome =
-            find_first_satisfying(&p, &p, &predicate, &Frontier::empty(2));
+        let outcome = find_first_satisfying(&p, &p, &predicate, &Frontier::empty(2));
         assert_eq!(
             outcome,
             LinearOutcome::Satisfied(Frontier::from_counts(vec![1, 1]))
@@ -182,8 +183,7 @@ mod tests {
     fn unsatisfiable_when_a_local_never_holds() {
         let p = sample_poset();
         let predicate = ConjunctiveLinear::new(vec![wants(0), wants(9)]);
-        let outcome =
-            find_first_satisfying(&p, &p, &predicate, &Frontier::empty(2));
+        let outcome = find_first_satisfying(&p, &p, &predicate, &Frontier::empty(2));
         assert_eq!(outcome, LinearOutcome::Unsatisfiable);
     }
 
@@ -199,8 +199,7 @@ mod tests {
                     wants((target + 1) % 3),
                     Box::new(|_, _| true),
                 ]);
-                let fast =
-                    find_first_satisfying(&p, &p, &predicate, &Frontier::empty(3));
+                let fast = find_first_satisfying(&p, &p, &predicate, &Frontier::empty(3));
                 // Oracle: the ≤-least satisfying cut via full enumeration.
                 let satisfying: Vec<Frontier> = oracle::enumerate_product_scan(&p)
                     .into_iter()
@@ -217,10 +216,7 @@ mod tests {
                         );
                         // Least: dominated by every satisfying cut.
                         for other in &satisfying {
-                            assert!(
-                                cut.leq(other),
-                                "seed {seed}: {cut} not least vs {other}"
-                            );
+                            assert!(cut.leq(other), "seed {seed}: {cut} not least vs {other}");
                         }
                     }
                 }
@@ -233,8 +229,7 @@ mod tests {
         let p = sample_poset();
         let predicate = ConjunctiveLinear::new(vec![wants(2), Box::new(|_, _| true)]);
         // From empty: satisfied at {2,0}.
-        let from_empty =
-            find_first_satisfying(&p, &p, &predicate, &Frontier::empty(2));
+        let from_empty = find_first_satisfying(&p, &p, &predicate, &Frontier::empty(2));
         assert_eq!(
             from_empty,
             LinearOutcome::Satisfied(Frontier::from_counts(vec![2, 0]))

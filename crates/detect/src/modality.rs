@@ -16,9 +16,9 @@
 //!   answer is no. `O(n · i(P))` time like the underlying BFS.
 
 use paramount_enumerate::bfs::{self, BfsOptions};
+use paramount_enumerate::fxhash::FxHashSet;
 use paramount_enumerate::{EnumError, FirstMatchSink};
 use paramount_poset::{CutSpace, EventId, Frontier, Tid};
-use paramount_enumerate::fxhash::FxHashSet;
 
 /// Does some consistent cut satisfy `phi`? Returns the first witness
 /// found (in BFS order).
@@ -101,7 +101,11 @@ mod tests {
         let p = diamond();
         let witness = possibly(&p, |g| g.as_slice() == [1, 1]);
         assert_eq!(witness, Some(Frontier::from_counts(vec![1, 1])));
-        assert_eq!(possibly(&p, |g| g.as_slice() == [2, 0]), None, "inconsistent");
+        assert_eq!(
+            possibly(&p, |g| g.as_slice() == [2, 0]),
+            None,
+            "inconsistent"
+        );
     }
 
     #[test]
@@ -163,8 +167,7 @@ mod tests {
                 let k = cut.get(t) + 1;
                 if k <= last.get(t) {
                     let e = EventId::new(t, k);
-                    if cut.enables(space, e) && !all_paths_hit(space, &cut.advanced(t), last, phi)
-                    {
+                    if cut.enables(space, e) && !all_paths_hit(space, &cut.advanced(t), last, phi) {
                         return false;
                     }
                 }
@@ -175,7 +178,8 @@ mod tests {
             let p = RandomComputation::new(3, 3, 0.4, seed).generate();
             let last = p.final_frontier();
             // A few predicate shapes.
-            let preds: Vec<Box<dyn Fn(&Frontier) -> bool>> = vec![
+            type Pred = Box<dyn Fn(&Frontier) -> bool>;
+            let preds: Vec<Pred> = vec![
                 Box::new(|g: &Frontier| g.total_events() == 3),
                 Box::new(|g: &Frontier| g.get(Tid(0)) == 2),
                 Box::new(|g: &Frontier| g.get(Tid(0)) == 1 && g.get(Tid(1)) == 0),

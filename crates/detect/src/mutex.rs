@@ -33,18 +33,15 @@ impl HoldsTable {
         let mut holds = Vec::with_capacity(n);
         for t in 0..n {
             let tid = Tid::from(t);
-            let mut per_thread: Vec<Vec<LockId>> = Vec::with_capacity(
-                paramount_poset::CutSpace::events_of(poset, tid) + 1,
-            );
+            let mut per_thread: Vec<Vec<LockId>> =
+                Vec::with_capacity(paramount_poset::CutSpace::events_of(poset, tid) + 1);
             per_thread.push(Vec::new());
             let mut current: Vec<LockId> = Vec::new();
             for event in poset.thread_events(tid) {
                 match event.payload {
-                    TraceEvent::Acquire(l) => {
-                        if !current.contains(&l) {
-                            current.push(l);
-                            current.sort_unstable();
-                        }
+                    TraceEvent::Acquire(l) if !current.contains(&l) => {
+                        current.push(l);
+                        current.sort_unstable();
                     }
                     TraceEvent::Release(l) => current.retain(|&h| h != l),
                     _ => {}

@@ -97,6 +97,7 @@ pub fn detect_races_on_poset_bfs(
         events: poset.num_events() as u64,
         wall: start.elapsed(),
         outcome,
+        metrics: None, // sequential: no pool, no queue, nothing metered
     }
 }
 
@@ -112,15 +113,14 @@ pub fn detect_races_offline_paramount(
     let start = Instant::now();
     let poset = SimScheduler::new(seed).run(program);
     let predicate = RacePredicate::new(program.num_vars(), config.ignore_init_races);
-    let sink = |cut: &Frontier, owner: paramount_poset::EventId| {
-        predicate.evaluate(&poset, cut, owner)
-    };
+    let sink =
+        |cut: &Frontier, owner: paramount_poset::EventId| predicate.evaluate(&poset, cut, owner);
     let runner = ParaMount::new(config.algorithm)
         .with_threads(config.workers)
         .with_frontier_budget(config.frontier_budget);
     let result = runner.enumerate(&poset, &sink);
-    let (cuts, outcome) = match result {
-        Ok(stats) => (stats.cuts, DetectorOutcome::Completed),
+    let (cuts, outcome, metrics) = match result {
+        Ok(stats) => (stats.cuts, DetectorOutcome::Completed, Some(stats.metrics)),
         Err(EnumError::OutOfBudget {
             live_frontiers,
             budget,
@@ -130,8 +130,9 @@ pub fn detect_races_offline_paramount(
                 live_frontiers,
                 budget,
             },
+            None,
         ),
-        Err(EnumError::Stopped) => (0, DetectorOutcome::Completed),
+        Err(EnumError::Stopped) => (0, DetectorOutcome::Completed, None),
     };
     RaceDetectionReport {
         detector: "ParaMount (offline)",
@@ -141,6 +142,7 @@ pub fn detect_races_offline_paramount(
         events: poset.num_events() as u64,
         wall: start.elapsed(),
         outcome,
+        metrics,
     }
 }
 
@@ -166,13 +168,7 @@ pub fn table3_rows() -> Vec<[&'static str; 5]> {
             "Global States Enumeration",
             "Predicate Assumption",
         ],
-        [
-            "ParaMount",
-            "Online",
-            "1-pass",
-            "Parallel",
-            "No assumption",
-        ],
+        ["ParaMount", "Online", "1-pass", "Parallel", "No assumption"],
         [
             "RV runtime (analog)",
             "Offline",
@@ -236,8 +232,7 @@ mod tests {
 
     #[test]
     fn offline_paramount_agrees_too() {
-        let report =
-            detect_races_offline_paramount(&racy_program(), 2, &DetectorConfig::default());
+        let report = detect_races_offline_paramount(&racy_program(), 2, &DetectorConfig::default());
         assert_eq!(report.racy_vars, vec![VarId(0)]);
     }
 
@@ -248,13 +243,13 @@ mod tests {
         // ParaMount detector sails through on the same budget.
         let mut b = ProgramBuilder::new("wide", 9);
         let vars: Vec<VarId> = (0..9).map(|i| b.var(format!("x{i}"))).collect();
-        for t in 1..9usize {
+        for (t, &var) in vars.iter().enumerate().skip(1) {
             // A private lock per thread splits the accesses into several
             // poset events without ordering anything across threads —
             // keeping the lattice wide (4^8 cuts).
             let own_lock = b.lock(format!("l{t}"));
             for _ in 0..3 {
-                b.push(Tid::from(t), Op::Write(vars[t]));
+                b.push(Tid::from(t), Op::Write(var));
                 b.critical(Tid::from(t), own_lock, []);
             }
         }

@@ -39,18 +39,20 @@ impl EventOut for EngineOut<'_> {
 /// Generic online predicate detection over a deterministic (seeded)
 /// execution: `predicate` is evaluated on every consistent cut of the
 /// observed poset, concurrently with the run. Returns (cuts, events,
-/// budget error).
+/// budget error, engine metrics).
 pub fn run_online_sim<F>(
     program: &Program,
     seed: u64,
     config: &DetectorConfig,
     predicate: F,
-) -> (u64, u64, Option<paramount::EnumError>)
+) -> (
+    u64,
+    u64,
+    Option<paramount::EnumError>,
+    paramount::MetricsSnapshot,
+)
 where
-    F: Fn(&OnlinePoset<TraceEvent>, &Frontier, EventId) -> ControlFlow<()>
-        + Send
-        + Sync
-        + 'static,
+    F: Fn(&OnlinePoset<TraceEvent>, &Frontier, EventId) -> ControlFlow<()> + Send + Sync + 'static,
 {
     let poset = Arc::new(OnlinePoset::<TraceEvent>::new(program.num_threads()));
     let sink_poset = Arc::clone(&poset);
@@ -60,12 +62,13 @@ where
             algorithm: config.algorithm,
             workers: config.workers,
             frontier_budget: config.frontier_budget,
+            ..OnlineEngineConfig::default()
         },
         move |cut: &Frontier, owner: EventId| predicate(sink_poset.as_ref(), cut, owner),
     );
     SimScheduler::new(seed).run_into(program, EngineOut::new(&engine));
     let report = engine.finish();
-    (report.cuts, report.events, report.error)
+    (report.cuts, report.events, report.error, report.metrics)
 }
 
 /// Race detection over a deterministic (seeded) execution — the
@@ -81,13 +84,19 @@ pub fn detect_races_sim(
         config.ignore_init_races,
     ));
     let sink_predicate = Arc::clone(&predicate);
-    let (cuts, events, error) = run_online_sim(
-        program,
-        seed,
-        config,
-        move |view, cut, owner| sink_predicate.evaluate(view, cut, owner),
-    );
-    finish_report("ParaMount (sim)", &predicate, cuts, events, error, start)
+    let (cuts, events, error, metrics) =
+        run_online_sim(program, seed, config, move |view, cut, owner| {
+            sink_predicate.evaluate(view, cut, owner)
+        });
+    finish_report(
+        "ParaMount (sim)",
+        &predicate,
+        cuts,
+        events,
+        error,
+        Some(metrics),
+        start,
+    )
 }
 
 /// Race detection over a *real multithreaded* execution — the paper's
@@ -113,6 +122,7 @@ pub fn detect_races_threaded(
             algorithm: config.algorithm,
             workers: config.workers,
             frontier_budget: config.frontier_budget,
+            ..OnlineEngineConfig::default()
         },
         move |cut: &Frontier, owner: EventId| {
             sink_predicate.evaluate(sink_poset.as_ref(), cut, owner)
@@ -131,16 +141,19 @@ pub fn detect_races_threaded(
         report.cuts,
         report.events,
         report.error,
+        Some(report.metrics),
         start,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish_report(
     detector: &'static str,
     predicate: &RacePredicate,
     cuts: u64,
     events: u64,
     error: Option<paramount::EnumError>,
+    metrics: Option<paramount::MetricsSnapshot>,
     start: Instant,
 ) -> RaceDetectionReport {
     let outcome = match error {
@@ -161,6 +174,7 @@ fn finish_report(
         events,
         wall: start.elapsed(),
         outcome,
+        metrics,
     }
 }
 
@@ -203,8 +217,7 @@ mod tests {
     #[test]
     fn threaded_detector_agrees_on_detections() {
         for _ in 0..5 {
-            let report =
-                detect_races_threaded(&racy_program(), 0, &DetectorConfig::default());
+            let report = detect_races_threaded(&racy_program(), 0, &DetectorConfig::default());
             assert_eq!(report.racy_vars, vec![VarId(0)]);
             assert!(report.outcome.completed());
         }
@@ -256,7 +269,7 @@ mod tests {
             }),
         ]));
         let sink_pred = Arc::clone(&pred);
-        let (_, _, _) = run_online_sim(&p, 3, &DetectorConfig::default(), move |v, c, o| {
+        let _ = run_online_sim(&p, 3, &DetectorConfig::default(), move |v, c, o| {
             sink_pred.evaluate(v, c, o)
         });
         assert!(pred.detected(), "both writers on one frontier must occur");

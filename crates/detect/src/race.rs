@@ -173,12 +173,7 @@ impl RacePredicate {
 
     /// Distinct racy variables, sorted — the number Table 2 reports.
     pub fn racy_vars(&self) -> Vec<VarId> {
-        let mut v: Vec<VarId> = self
-            .detections
-            .lock()
-            .iter()
-            .map(|d| d.var)
-            .collect();
+        let mut v: Vec<VarId> = self.detections.lock().iter().map(|d| d.var).collect();
         v.sort_unstable();
         v.dedup();
         v

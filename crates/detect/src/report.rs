@@ -42,6 +42,10 @@ pub struct RaceDetectionReport {
     pub wall: Duration,
     /// Completion status.
     pub outcome: DetectorOutcome,
+    /// Engine observability snapshot, when the detector ran through a
+    /// metered engine (online or offline ParaMount). `None` for the
+    /// sequential BFS analog, which has no worker pool or queue.
+    pub metrics: Option<paramount::MetricsSnapshot>,
 }
 
 impl RaceDetectionReport {

@@ -78,7 +78,10 @@ mod tests {
     #[test]
     fn poset_view_round_trip() {
         let mut b = PosetBuilder::new(2);
-        let a = b.append(Tid(0), collection(&[Access::write(paramount_trace::VarId(0))]));
+        let a = b.append(
+            Tid(0),
+            collection(&[Access::write(paramount_trace::VarId(0))]),
+        );
         let c = b.append_after(Tid(1), &[a], collection(&[]));
         let p = b.finish();
         let view: &dyn EventView = &p;

@@ -15,9 +15,9 @@
 //! [`EnumError::OutOfBudget`] when exceeded — reproducing the paper's
 //! `o.o.m.` rows without actually exhausting the machine.
 
+use crate::fxhash::FxHashSet;
 use crate::{debug_check_interval, CutSink, EnumError, EnumStats};
 use paramount_poset::{CutSpace, EventId, Frontier, Tid};
-use crate::fxhash::FxHashSet;
 
 /// Tuning for the BFS enumerator.
 #[derive(Clone, Copy, Debug, Default)]
@@ -70,6 +70,7 @@ pub fn enumerate_bounded<Sp: CutSpace + ?Sized, S: CutSink>(
                     continue; // would leave the interval
                 }
                 let e = EventId::new(t, next_index);
+                stats.expansions += 1;
                 if cut.enables(poset, e) {
                     next.insert(cut.advanced(t));
                 }
@@ -98,9 +99,9 @@ mod tests {
     use super::*;
     use crate::CollectSink;
     use paramount_poset::builder::PosetBuilder;
-    use paramount_poset::Poset;
     use paramount_poset::oracle;
     use paramount_poset::random::RandomComputation;
+    use paramount_poset::Poset;
 
     fn figure4() -> Poset {
         let mut b = PosetBuilder::new(2);
@@ -184,7 +185,10 @@ mod tests {
         )
         .unwrap_err();
         match err {
-            EnumError::OutOfBudget { live_frontiers, budget } => {
+            EnumError::OutOfBudget {
+                live_frontiers,
+                budget,
+            } => {
                 assert!(live_frontiers > 50);
                 assert_eq!(budget, 50);
             }
@@ -226,8 +230,7 @@ mod tests {
         let p = figure4();
         let g = Frontier::from_counts(vec![1, 1]);
         let mut sink = CollectSink::default();
-        let stats =
-            enumerate_bounded(&p, &g, &g, &BfsOptions::default(), &mut sink).unwrap();
+        let stats = enumerate_bounded(&p, &g, &g, &BfsOptions::default(), &mut sink).unwrap();
         assert_eq!(stats.cuts, 1);
         assert_eq!(sink.cuts, vec![g]);
     }

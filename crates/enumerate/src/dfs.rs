@@ -8,9 +8,9 @@
 //! growth makes a useful ablation against BFS's level storage in the
 //! memory benchmarks.
 
+use crate::fxhash::FxHashSet;
 use crate::{debug_check_interval, CutSink, EnumError, EnumStats};
 use paramount_poset::{CutSpace, EventId, Frontier, Tid};
-use crate::fxhash::FxHashSet;
 
 /// Tuning for the DFS enumerator.
 #[derive(Clone, Copy, Debug, Default)]
@@ -60,6 +60,7 @@ pub fn enumerate_bounded<Sp: CutSpace + ?Sized, S: CutSink>(
                 continue;
             }
             let e = EventId::new(t, next_index);
+            stats.expansions += 1;
             if cut.enables(poset, e) {
                 let succ = cut.advanced(t);
                 if visited.insert(succ.clone()) {
@@ -86,9 +87,9 @@ mod tests {
     use super::*;
     use crate::CollectSink;
     use paramount_poset::builder::PosetBuilder;
-    use paramount_poset::Poset;
     use paramount_poset::oracle;
     use paramount_poset::random::RandomComputation;
+    use paramount_poset::Poset;
 
     fn figure4() -> Poset {
         let mut b = PosetBuilder::new(2);
@@ -118,8 +119,7 @@ mod tests {
             let mut dfs_sink = CollectSink::default();
             enumerate(&p, &DfsOptions::default(), &mut dfs_sink).unwrap();
             let mut bfs_sink = CollectSink::default();
-            crate::bfs::enumerate(&p, &crate::bfs::BfsOptions::default(), &mut bfs_sink)
-                .unwrap();
+            crate::bfs::enumerate(&p, &crate::bfs::BfsOptions::default(), &mut bfs_sink).unwrap();
             assert_eq!(
                 oracle::canonicalize(dfs_sink.cuts),
                 oracle::canonicalize(bfs_sink.cuts),

@@ -43,7 +43,10 @@ use paramount_poset::{CutSpace, EventId, Frontier, Tid};
 /// let shown: Vec<String> = sink.cuts.iter().map(|c| c.to_string()).collect();
 /// assert_eq!(shown, ["{0,0}", "{0,1}", "{1,0}", "{1,1}"]);
 /// ```
-pub fn enumerate<Sp: CutSpace + ?Sized, S: CutSink>(poset: &Sp, sink: &mut S) -> Result<EnumStats, EnumError> {
+pub fn enumerate<Sp: CutSpace + ?Sized, S: CutSink>(
+    poset: &Sp,
+    sink: &mut S,
+) -> Result<EnumStats, EnumError> {
     let empty = Frontier::empty(poset.num_threads());
     let last = poset.current_frontier();
     enumerate_bounded(poset, &empty, &last, sink)
@@ -61,6 +64,7 @@ pub fn enumerate_bounded<Sp: CutSpace + ?Sized, S: CutSink>(
     let mut stats = EnumStats {
         cuts: 0,
         peak_frontiers: 1, // stateless: exactly one live frontier
+        expansions: 0,
     };
     let mut g = gmin.clone();
 
@@ -72,7 +76,7 @@ pub fn enumerate_bounded<Sp: CutSpace + ?Sized, S: CutSink>(
         if &g == gbnd {
             break;
         }
-        if !advance(poset, gmin, gbnd, &mut g) {
+        if !advance(poset, gmin, gbnd, &mut g, &mut stats.expansions) {
             // Gbnd is the lexical maximum of the interval, so a successor
             // must exist until we reach it.
             debug_assert!(false, "no lexical successor before gbnd — interval bug");
@@ -84,9 +88,17 @@ pub fn enumerate_bounded<Sp: CutSpace + ?Sized, S: CutSink>(
 
 /// Replaces `g` with its lexical successor within `[gmin, gbnd]`.
 /// Returns `false` if no successor exists (only possible at `gbnd`).
-fn advance<Sp: CutSpace + ?Sized>(poset: &Sp, gmin: &Frontier, gbnd: &Frontier, g: &mut Frontier) -> bool {
+/// Each position scanned counts one probe into `expansions`.
+fn advance<Sp: CutSpace + ?Sized>(
+    poset: &Sp,
+    gmin: &Frontier,
+    gbnd: &Frontier,
+    g: &mut Frontier,
+    expansions: &mut u64,
+) -> bool {
     let n = g.len();
     for k in (0..n).rev() {
+        *expansions += 1;
         let tk = Tid::from(k);
         if g.get(tk) >= gbnd.get(tk) {
             continue; // thread k is at its bound
@@ -141,9 +153,9 @@ mod tests {
     use super::*;
     use crate::CollectSink;
     use paramount_poset::builder::PosetBuilder;
-    use paramount_poset::Poset;
     use paramount_poset::oracle;
     use paramount_poset::random::RandomComputation;
+    use paramount_poset::Poset;
 
     fn figure4() -> Poset {
         let mut b = PosetBuilder::new(2);
@@ -268,6 +280,19 @@ mod tests {
         let stats = enumerate(&p, &mut sink).unwrap();
         assert_eq!(stats.peak_frontiers, 1);
         assert_eq!(stats.cuts, sink.count);
+    }
+
+    #[test]
+    fn expansions_are_a_deterministic_work_witness() {
+        let p = RandomComputation::new(4, 5, 0.3, 9).generate();
+        let run = || {
+            let mut sink = crate::CountSink::default();
+            enumerate(&p, &mut sink).unwrap()
+        };
+        // Same poset, same interval ⇒ bit-identical stats, probes included.
+        let first = run();
+        assert_eq!(first, run());
+        assert!(first.expansions >= first.cuts - 1, "one probe per advance");
     }
 
     #[test]

@@ -78,6 +78,13 @@ pub struct EnumStats {
     pub cuts: u64,
     /// Peak number of simultaneously stored frontiers (1 for lexical).
     pub peak_frontiers: usize,
+    /// Successor-candidate probes performed: one per event examined for
+    /// enabledness (BFS/DFS) or per position scanned by the lexical
+    /// `advance`. A deterministic work witness — for a fixed interval it
+    /// does not vary run to run, so tests can assert on it, and the
+    /// `cuts / expansions` ratio exposes each algorithm's per-cut
+    /// overhead (the paper's `O(n²)` lexical bound made measurable).
+    pub expansions: u64,
 }
 
 /// Algorithm selector used by benchmarks and the ParaMount subroutine

@@ -129,7 +129,6 @@ mod tests {
         };
         let _ = sink.visit(&g(&[0]));
         let _ = sink.visit(&g(&[1]));
-        drop(sink);
         assert_eq!(seen, 2);
     }
 }

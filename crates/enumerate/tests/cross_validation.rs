@@ -69,8 +69,7 @@ fn arbitrary_intervals_agree() {
             if !lo.leq(hi) {
                 continue;
             }
-            let expected: Vec<&Frontier> =
-                cuts.iter().filter(|g| lo.leq(g) && g.leq(hi)).collect();
+            let expected: Vec<&Frontier> = cuts.iter().filter(|g| lo.leq(g) && g.leq(hi)).collect();
 
             let mut lex = Vec::new();
             let mut sink = |g: &Frontier| {

@@ -57,7 +57,9 @@ impl<P> PosetBuilder<P> {
                     (d.index as usize) <= self.threads[d.tid.index()].len(),
                     "dependency on a not-yet-appended event"
                 );
-                self.threads[d.tid.index()][(d.index - 1) as usize].vc.clone()
+                self.threads[d.tid.index()][(d.index - 1) as usize]
+                    .vc
+                    .clone()
             })
             .collect();
         let clock = &mut self.thread_clocks[i];

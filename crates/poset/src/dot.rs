@@ -13,10 +13,7 @@ use std::fmt::Write as _;
 ///
 /// `label` receives each event and returns its node label; pass
 /// `|id| id.to_string()` for the paper's `e1[2]` style.
-pub fn poset_to_dot<S: CutSpace + ?Sized>(
-    space: &S,
-    label: impl Fn(EventId) -> String,
-) -> String {
+pub fn poset_to_dot<S: CutSpace + ?Sized>(space: &S, label: impl Fn(EventId) -> String) -> String {
     let n = space.num_threads();
     let mut out = String::from("digraph poset {\n  rankdir=LR;\n  node [shape=box];\n");
     // One subgraph (row) per thread, chained by process order.

@@ -34,9 +34,7 @@ pub struct Frontier {
 impl Frontier {
     /// The empty cut (no events on any thread).
     pub fn empty(n: usize) -> Self {
-        Frontier {
-            counts: vec![0; n],
-        }
+        Frontier { counts: vec![0; n] }
     }
 
     /// Builds a frontier from explicit per-thread counts.
@@ -119,10 +117,7 @@ impl Frontier {
     /// paper uses to define intervals `Gmin(e) ≤ G ≤ Gbnd(e)`).
     pub fn leq(&self, other: &Frontier) -> bool {
         debug_assert_eq!(self.len(), other.len(), "frontier width mismatch");
-        self.counts
-            .iter()
-            .zip(&other.counts)
-            .all(|(a, b)| a <= b)
+        self.counts.iter().zip(&other.counts).all(|(a, b)| a <= b)
     }
 
     /// Lattice join: componentwise max. The join of two consistent cuts is
@@ -267,10 +262,7 @@ mod tests {
         assert!(!g.contains(EventId::new(Tid(0), 3)));
         assert!(!g.contains(EventId::new(Tid(1), 1)));
         let fe: Vec<EventId> = g.frontier_events().collect();
-        assert_eq!(
-            fe,
-            vec![EventId::new(Tid(0), 2), EventId::new(Tid(2), 1)]
-        );
+        assert_eq!(fe, vec![EventId::new(Tid(0), 2), EventId::new(Tid(2), 1)]);
         assert_eq!(g.total_events(), 3);
     }
 

@@ -39,6 +39,6 @@ pub mod topo;
 
 pub use event::{Event, EventId};
 pub use frontier::Frontier;
+pub use paramount_vclock::{ClockOrdering, Tid, VectorClock};
 pub use poset::Poset;
 pub use space::CutSpace;
-pub use paramount_vclock::{ClockOrdering, Tid, VectorClock};

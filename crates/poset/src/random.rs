@@ -149,10 +149,7 @@ mod tests {
     fn different_seeds_differ() {
         let a = RandomComputation::new(4, 8, 0.5, 1).generate();
         let b = RandomComputation::new(4, 8, 0.5, 2).generate();
-        let same = a
-            .events()
-            .zip(b.events())
-            .all(|(ea, eb)| ea.vc == eb.vc);
+        let same = a.events().zip(b.events()).all(|(ea, eb)| ea.vc == eb.vc);
         assert!(!same, "two seeds produced identical computations");
     }
 

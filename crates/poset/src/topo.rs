@@ -108,7 +108,6 @@ pub fn is_linear_extension<S: CutSpace + ?Sized>(poset: &S, order: &[EventId]) -
     true
 }
 
-
 /// All event ids of a space, thread by thread, in program order.
 fn all_event_ids<S: CutSpace + ?Sized>(space: &S) -> impl Iterator<Item = EventId> + '_ {
     (0..space.num_threads()).flat_map(move |t| {
@@ -124,7 +123,11 @@ fn immediate_predecessors<S: CutSpace + ?Sized>(space: &S, id: EventId) -> Vec<E
     let mut preds = Vec::new();
     for j in 0..space.num_threads() {
         let tj = Tid::from(j);
-        let k = if tj == id.tid { id.index - 1 } else { vc.get(tj) };
+        let k = if tj == id.tid {
+            id.index - 1
+        } else {
+            vc.get(tj)
+        };
         if k >= 1 {
             preds.push(EventId::new(tj, k));
         }
@@ -168,7 +171,10 @@ mod tests {
             let p = RandomComputation::new(4, 6, 0.5, seed).generate();
             let w = weight_order(&p);
             let k = kahn_order(&p);
-            assert!(is_linear_extension(&p, &w), "weight order failed seed {seed}");
+            assert!(
+                is_linear_extension(&p, &w),
+                "weight order failed seed {seed}"
+            );
             assert!(is_linear_extension(&p, &k), "kahn order failed seed {seed}");
         }
     }

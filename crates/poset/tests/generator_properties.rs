@@ -6,9 +6,8 @@ use paramount_poset::{oracle, topo, CutSpace, EventId, Frontier, Tid};
 use proptest::prelude::*;
 
 fn arb_computation() -> impl Strategy<Value = RandomComputation> {
-    (2usize..6, 1usize..7, 0.0f64..1.0, any::<u64>()).prop_map(|(n, events, frac, seed)| {
-        RandomComputation::new(n, events, frac, seed)
-    })
+    (2usize..6, 1usize..7, 0.0f64..1.0, any::<u64>())
+        .prop_map(|(n, events, frac, seed)| RandomComputation::new(n, events, frac, seed))
 }
 
 proptest! {

@@ -59,10 +59,12 @@ pub fn run_threads_observed<Ob: OpObserver + Send>(
         .map(|_| <parking_lot::RawMutex as parking_lot::lock_api::RawMutex>::INIT)
         .collect();
     // Start gates and completion flags for fork/join.
-    let gates: Vec<(Mutex<bool>, Condvar)> =
-        (0..n).map(|_| (Mutex::new(false), Condvar::new())).collect();
-    let done: Vec<(Mutex<bool>, Condvar)> =
-        (0..n).map(|_| (Mutex::new(false), Condvar::new())).collect();
+    let gates: Vec<(Mutex<bool>, Condvar)> = (0..n)
+        .map(|_| (Mutex::new(false), Condvar::new()))
+        .collect();
+    let done: Vec<(Mutex<bool>, Condvar)> = (0..n)
+        .map(|_| (Mutex::new(false), Condvar::new()))
+        .collect();
     // Shared variables actually touched, so Work/access patterns resemble
     // a real program (atomics: the *model* races are what we detect; the
     // executor itself stays UB-free).

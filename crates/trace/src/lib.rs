@@ -28,8 +28,8 @@
 //! Captured events are [`TraceEvent`]s; a trace becomes a
 //! `Poset<TraceEvent>` (offline) or streams into the online engine.
 
-pub mod exec;
 mod event;
+pub mod exec;
 pub mod gen;
 mod ids;
 mod observer;
@@ -39,8 +39,8 @@ pub mod sim;
 
 pub use event::{Access, EventCollection, TraceEvent};
 pub use ids::{LockId, VarId};
-pub use op::{Op, Program, ProgramBuilder, ThreadScript};
 pub use observer::{CollectOps, NullObserver, OpObserver, PairObserver, RecorderObserver};
+pub use op::{Op, Program, ProgramBuilder, ThreadScript};
 pub use recorder::{EventOut, PosetCollector, Recorder, RecorderConfig};
 
 pub use paramount_poset::{Poset, Tid};

@@ -48,21 +48,13 @@ impl EventOut for PosetCollector {
 }
 
 /// Capture configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct RecorderConfig {
     /// Also capture synchronization operations (acquire/release/fork/join)
     /// as poset events. The race detector leaves this off — §4.4 captures
     /// only predicate-relevant accesses — but general predicate detection
     /// (e.g. the Figure 2 monitor example) wants the sync events visible.
     pub capture_sync: bool,
-}
-
-impl Default for RecorderConfig {
-    fn default() -> Self {
-        RecorderConfig {
-            capture_sync: false,
-        }
-    }
 }
 
 /// The happened-before recorder.

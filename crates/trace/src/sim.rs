@@ -47,12 +47,7 @@ impl SimScheduler {
     /// Runs the program, streaming captured events into `out` (the online
     /// detector path). Returns `out`.
     pub fn run_into<E: EventOut>(&self, program: &Program, out: E) -> E {
-        let recorder = Recorder::new(
-            program.num_threads(),
-            program.num_locks(),
-            self.config,
-            out,
-        );
+        let recorder = Recorder::new(program.num_threads(), program.num_locks(), self.config, out);
         let mut observer = RecorderObserver::new(recorder);
         self.run_with(program, &mut observer);
         observer.finish()
@@ -95,9 +90,7 @@ impl SimScheduler {
                 .filter(|&t| runnable(t, &pc, &started, &finished, &lock_holder))
                 .collect();
             if candidates.is_empty() {
-                let stuck: Vec<usize> = (0..n)
-                    .filter(|&t| started[t] && !finished[t])
-                    .collect();
+                let stuck: Vec<usize> = (0..n).filter(|&t| started[t] && !finished[t]).collect();
                 assert!(
                     stuck.is_empty(),
                     "deadlock: threads {stuck:?} blocked forever"

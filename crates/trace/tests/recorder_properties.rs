@@ -1,10 +1,10 @@
 //! Property tests for the capture pipeline: random programs × random
 //! schedules must always yield well-formed posets.
 
+use paramount_poset::{CutSpace, EventId, Tid};
 use paramount_trace::gen::{random_program, RandomProgramConfig};
 use paramount_trace::sim::SimScheduler;
 use paramount_trace::{Op, TraceEvent};
-use paramount_poset::{CutSpace, EventId, Tid};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = (RandomProgramConfig, u64, u64)> {

@@ -272,9 +272,18 @@ mod tests {
 
     #[test]
     fn partial_cmp_all_four_outcomes() {
-        assert_eq!(vc(&[1, 2]).partial_cmp_hb(&vc(&[1, 2])), ClockOrdering::Equal);
-        assert_eq!(vc(&[1, 2]).partial_cmp_hb(&vc(&[1, 3])), ClockOrdering::Before);
-        assert_eq!(vc(&[1, 3]).partial_cmp_hb(&vc(&[1, 2])), ClockOrdering::After);
+        assert_eq!(
+            vc(&[1, 2]).partial_cmp_hb(&vc(&[1, 2])),
+            ClockOrdering::Equal
+        );
+        assert_eq!(
+            vc(&[1, 2]).partial_cmp_hb(&vc(&[1, 3])),
+            ClockOrdering::Before
+        );
+        assert_eq!(
+            vc(&[1, 3]).partial_cmp_hb(&vc(&[1, 2])),
+            ClockOrdering::After
+        );
         assert_eq!(
             vc(&[0, 3]).partial_cmp_hb(&vc(&[1, 2])),
             ClockOrdering::Concurrent

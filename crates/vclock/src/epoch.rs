@@ -74,13 +74,22 @@ mod tests {
     fn epoch_of_reads_own_component() {
         let clock = VectorClock::from_components(vec![3, 7, 1]);
         let e = Epoch::of(Tid(1), &clock);
-        assert_eq!(e, Epoch { clock: 7, tid: Tid(1) });
+        assert_eq!(
+            e,
+            Epoch {
+                clock: 7,
+                tid: Tid(1)
+            }
+        );
         assert!(!e.is_none());
     }
 
     #[test]
     fn happens_before_clock_is_component_test() {
-        let e = Epoch { clock: 5, tid: Tid(2) };
+        let e = Epoch {
+            clock: 5,
+            tid: Tid(2),
+        };
         let later = VectorClock::from_components(vec![0, 0, 5]);
         let earlier = VectorClock::from_components(vec![9, 9, 4]);
         assert!(e.happens_before_clock(&later));
@@ -89,7 +98,10 @@ mod tests {
 
     #[test]
     fn display_uses_fasttrack_notation() {
-        let e = Epoch { clock: 5, tid: Tid(2) };
+        let e = Epoch {
+            clock: 5,
+            tid: Tid(2),
+        };
         assert_eq!(e.to_string(), "5@t3");
     }
 }

@@ -28,7 +28,11 @@ impl Default for Params {
 
 /// Builds the container benchmark; `synchronized` selects `arraylist2`.
 pub fn program(synchronized: bool, params: &Params) -> Program {
-    let name = if synchronized { "arraylist2" } else { "arraylist1" };
+    let name = if synchronized {
+        "arraylist2"
+    } else {
+        "arraylist1"
+    };
     let mut b = ProgramBuilder::new(name, params.workers + 1);
     let size = b.var("list.size");
     let elem0 = b.var("list.elements[0]");

@@ -39,14 +39,14 @@ pub fn program(params: &Params) -> Program {
         .collect();
     let ctrl = b.lock("controller.lock");
 
-    for c in 0..params.cars {
+    for (c, &position) in positions.iter().enumerate() {
         let tid = Tid::from(c + 1);
         for _ in 0..params.trips {
             // Claim a request under the controller lock.
             b.critical(tid, ctrl, [Op::Read(pending), Op::Write(pending)]);
             // Travel: time passes, only own position changes.
             b.push(tid, Op::Work(params.travel_work));
-            b.push(tid, Op::Write(positions[c]));
+            b.push(tid, Op::Write(position));
             // Report the completed trip.
             b.critical(tid, ctrl, [Op::Write(log)]);
         }
@@ -64,16 +64,14 @@ pub fn wide_program(cars: usize, trips: usize, moves: usize) -> Program {
     let mut b = ProgramBuilder::new("elevator", cars + 1);
     let pending = b.var("controller.pendingRequests");
     let ctrl = b.lock("controller.lock");
-    let positions: Vec<_> = (0..cars)
-        .map(|c| b.var(format!("car{c}.floor")))
-        .collect();
-    for c in 0..cars {
+    let positions: Vec<_> = (0..cars).map(|c| b.var(format!("car{c}.floor"))).collect();
+    for (c, &position) in positions.iter().enumerate() {
         let tid = Tid::from(c + 1);
         let pace = b.lock(format!("car{c}.pace"));
         for _ in 0..trips {
             b.critical(tid, ctrl, [Op::Read(pending), Op::Write(pending)]);
             for _ in 0..moves {
-                b.push(tid, Op::Write(positions[c]));
+                b.push(tid, Op::Write(position));
                 b.critical(tid, pace, []);
             }
         }

@@ -41,14 +41,14 @@ pub fn program(params: &Params) -> Program {
         .map(|w| b.var(format!("image.rows[{w}]")))
         .collect();
 
-    for w in 0..params.workers {
+    for (w, &row) in rows.iter().enumerate() {
         let tid = Tid::from(w + 1);
         let pace = b.lock(format!("rowFence{w}"));
         for _ in 0..params.rows {
             // Render one row: read-only scene, private output row.
             b.push(tid, Op::Read(scene));
             b.push(tid, Op::Work(40));
-            b.push(tid, Op::Write(rows[w]));
+            b.push(tid, Op::Write(row));
             // Split rows into separate events (private lock, no cross
             // edges) so the poset width grows with `rows`.
             b.critical(tid, pace, []);

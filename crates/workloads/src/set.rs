@@ -25,7 +25,11 @@ use paramount_trace::{Op, Program, ProgramBuilder, Tid};
 
 /// Builds the set benchmark; `faulty` selects the buggy remove.
 pub fn program(faulty: bool) -> Program {
-    let name = if faulty { "set (faulty)" } else { "set (correct)" };
+    let name = if faulty {
+        "set (faulty)"
+    } else {
+        "set (correct)"
+    };
     let mut b = ProgramBuilder::new(name, 4);
     let next: Vec<_> = (0..4).map(|i| b.var(format!("node{i}.next"))).collect();
     let locks: Vec<_> = (0..4).map(|i| b.lock(format!("node{i}.lock"))).collect();
@@ -62,11 +66,7 @@ pub fn program(faulty: bool) -> Program {
     b.push(reader, Op::Read(next[3]));
     b.push(reader, Op::Release(locks[3]));
 
-    b.fork_join_all_with_init([
-        Op::Write(next[0]),
-        Op::Write(next[1]),
-        Op::Write(next[2]),
-    ]);
+    b.fork_join_all_with_init([Op::Write(next[0]), Op::Write(next[1]), Op::Write(next[2])]);
     b.build()
 }
 

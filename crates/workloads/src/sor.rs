@@ -81,7 +81,11 @@ mod tests {
                 seed,
                 &DetectorConfig::default(),
             );
-            assert!(report.racy_vars.is_empty(), "seed {seed}: {:?}", report.detections);
+            assert!(
+                report.racy_vars.is_empty(),
+                "seed {seed}: {:?}",
+                report.detections
+            );
         }
     }
 

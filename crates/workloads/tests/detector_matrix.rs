@@ -39,7 +39,11 @@ fn full_detector_matrix() {
         );
 
         let rv = detect_races_offline_bfs(&bench.program, seed, &rv_config);
-        assert!(rv.outcome.completed(), "{}: RV should finish at default scale", bench.name);
+        assert!(
+            rv.outcome.completed(),
+            "{}: RV should finish at default scale",
+            bench.name
+        );
         assert_eq!(
             rv.num_detections(),
             rv_expected(bench.name, bench.expected_paramount),

@@ -13,9 +13,9 @@
 //! Run with: `cargo run --example distributed_monitor`
 
 use paramount_suite::prelude::*;
-use std::sync::Mutex;
 use std::ops::ControlFlow;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Per-process phase: event index within [enter, exit] = critical.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -81,11 +81,12 @@ fn main() {
     let found = witness.lock().unwrap().clone();
     match found {
         Some(cut) => {
-            println!(
-                "\nCONDITION POSSIBLE: all {PROCESSES} processes can be critical at once,"
-            );
+            println!("\nCONDITION POSSIBLE: all {PROCESSES} processes can be critical at once,");
             println!("witnessed by consistent global state {cut}");
-            println!("({} global states inspected before the witness)", report.cuts);
+            println!(
+                "({} global states inspected before the witness)",
+                report.cuts
+            );
             // Double-check the witness offline.
             assert!(cut.is_consistent(&computation));
         }

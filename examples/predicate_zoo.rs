@@ -43,11 +43,11 @@ fn main() {
     //    once?" — answered in polynomial time via linearity (reference
     //    [13]), no lattice walk.
     let n = CutSpace::num_threads(&poset);
-    let locals: Vec<Box<dyn Fn(u32, Option<&TraceEvent>) -> bool + Send + Sync>> = (0..n)
+    let locals: Vec<detect::LocalPredicate> = (0..n)
         .map(|i| {
             let is_worker = i != 0;
             Box::new(move |k: u32, _: Option<&TraceEvent>| !is_worker || k >= 1)
-                as Box<dyn Fn(u32, Option<&TraceEvent>) -> bool + Send + Sync>
+                as detect::LocalPredicate
         })
         .collect();
     let conj = detect::ConjunctiveLinear::new(locals);

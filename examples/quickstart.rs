@@ -48,7 +48,11 @@ fn main() {
             interval.event,
             interval.gmin,
             interval.gbnd,
-            if interval.include_empty { "  (+ empty cut)" } else { "" }
+            if interval.include_empty {
+                "  (+ empty cut)"
+            } else {
+                ""
+            }
         );
     }
 
@@ -60,7 +64,10 @@ fn main() {
     let mut parallel = sink.into_cuts();
     parallel.sort();
     cuts.sort();
-    assert_eq!(parallel, cuts, "parallel == sequential, each cut exactly once");
+    assert_eq!(
+        parallel, cuts,
+        "parallel == sequential, each cut exactly once"
+    );
     println!(
         "\nParaMount enumerated {} cuts over {} intervals — identical to the sequential run.",
         stats.cuts, stats.intervals

@@ -24,7 +24,11 @@ fn main() {
     ];
 
     for (name, program) in &programs {
-        println!("== {name} ({} threads, {} monitored variables)", program.num_threads(), program.num_vars());
+        println!(
+            "== {name} ({} threads, {} monitored variables)",
+            program.num_threads(),
+            program.num_vars()
+        );
 
         // ParaMount online detector: real threads + concurrent interval
         // enumeration + race predicate.

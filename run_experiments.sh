@@ -4,19 +4,37 @@
 #   ./run_experiments.sh           # Default scale (minutes)
 #   ./run_experiments.sh --smoke   # quick pass (seconds–minute)
 #   ./run_experiments.sh --full    # paper-exact sizes (hours)
+#
+# Each metered binary also drops its engine-metrics JSON lines next to
+# its table (bench_results/<target>.metrics.jsonl).
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if ! command -v cargo >/dev/null 2>&1; then
+    echo "error: cargo not found on PATH — install a Rust toolchain (rustup.rs) first" >&2
+    exit 1
+fi
 
 SCALE="${1:-}"
 OUT=bench_results
 mkdir -p "$OUT"
 
 echo "building (release)..."
-cargo build --release -p paramount-bench --bins
+if ! cargo build --release -p paramount-bench --bins; then
+    echo "error: release build failed — not running any experiment" >&2
+    exit 1
+fi
+
+# table3 is the qualitative comparison — nothing to meter there.
+METERED="table1 fig10 fig11 fig12 table2"
 
 for target in table1 fig10 fig11 fig12 table2 table3; do
     echo "== $target $SCALE"
-    cargo run --release -q -p paramount-bench --bin "$target" -- $SCALE \
+    extra=()
+    if [[ " $METERED " == *" $target "* ]]; then
+        extra=(--metrics-out "$OUT/$target.metrics.jsonl")
+    fi
+    cargo run --release -q -p paramount-bench --bin "$target" -- $SCALE "${extra[@]}" \
         | tee "$OUT/$target.txt"
 done
 

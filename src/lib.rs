@@ -31,13 +31,14 @@ pub use paramount_workloads;
 /// Convenience prelude for examples and tests.
 pub mod prelude {
     pub use paramount::{
-        partition, Algorithm, AtomicCountSink, ConcurrentCollectSink, Interval, OnlineEngine,
-        OnlineEngineConfig, OnlinePoset, ParaMount, ParallelCutSink,
+        partition, Algorithm, AtomicCountSink, BackpressurePolicy, ConcurrentCollectSink, Interval,
+        MetricsSnapshot, OnlineEngine, OnlineEngineConfig, OnlinePoset, ParaMetrics, ParaMount,
+        ParallelCutSink,
     };
     pub use paramount_detect::{DetectorConfig, RacePredicate};
     pub use paramount_poset::{
-        builder::PosetBuilder, oracle, random::RandomComputation, topo, CutSpace, Event,
-        EventId, Frontier, Poset, Tid, VectorClock,
+        builder::PosetBuilder, oracle, random::RandomComputation, topo, CutSpace, Event, EventId,
+        Frontier, Poset, Tid, VectorClock,
     };
     pub use paramount_trace::{Op, Program, ProgramBuilder, TraceEvent};
 }

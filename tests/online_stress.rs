@@ -78,6 +78,7 @@ fn online_budget_is_reported_not_swallowed() {
             algorithm: Algorithm::Bfs,
             workers: 2,
             frontier_budget: Some(16),
+            ..OnlineEngineConfig::default()
         },
         move |_: &Frontier, _: EventId| ControlFlow::Continue(()),
     );
@@ -98,6 +99,7 @@ fn online_budget_is_reported_not_swallowed() {
             algorithm: Algorithm::Lexical,
             workers: 2,
             frontier_budget: Some(16),
+            ..OnlineEngineConfig::default()
         },
         move |_: &Frontier, _: EventId| ControlFlow::Continue(()),
     );
@@ -130,6 +132,123 @@ fn slow_sink_does_not_deadlock() {
     let report = engine.finish();
     assert_eq!(report.events, 30);
     assert_eq!(report.cuts, 11 * 11 * 11);
+}
+
+/// The backpressure acceptance test: a deliberately slow sink saturates a
+/// tiny bounded queue under `BackpressurePolicy::Block` while concurrent
+/// producers hammer the engine. The blocking sends must throttle the
+/// producers — never drop work — so the final count has to match a
+/// sequential BFS recount of the very poset that was observed.
+#[test]
+fn blocked_backpressure_loses_no_cuts_under_saturation() {
+    const PRODUCERS: usize = 4;
+    const EVENTS_PER_PRODUCER: usize = 8;
+    let counter = Arc::new(AtomicU64::new(0));
+    let sink_counter = Arc::clone(&counter);
+    let engine = Arc::new(OnlineEngine::new(
+        PRODUCERS,
+        OnlineEngineConfig {
+            workers: 2,
+            queue_capacity: 2, // tiny on purpose: saturate immediately
+            backpressure: BackpressurePolicy::Block,
+            ..OnlineEngineConfig::default()
+        },
+        move |_: &Frontier, _: EventId| {
+            // Slow consumer: enumeration lags far behind insertion.
+            std::thread::sleep(std::time::Duration::from_micros(20));
+            sink_counter.fetch_add(1, Ordering::Relaxed);
+            ControlFlow::Continue(())
+        },
+    ));
+    let barrier = Arc::new(std::sync::Barrier::new(PRODUCERS));
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let engine = Arc::clone(&engine);
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                for k in 0..EVENTS_PER_PRODUCER {
+                    let deps: Vec<EventId> = if (k + p) % 4 == 3 {
+                        let other = Tid::from((p + 1) % PRODUCERS);
+                        let published = engine.poset().events_of(other) as u32;
+                        if published > 0 {
+                            vec![EventId::new(other, published)]
+                        } else {
+                            vec![]
+                        }
+                    } else {
+                        vec![]
+                    };
+                    engine.observe_after(Tid::from(p), &deps, ());
+                }
+            });
+        }
+    });
+    let engine = Arc::try_unwrap(engine).unwrap_or_else(|_| panic!("still shared"));
+    let report = engine.finish();
+    assert_eq!(report.events as usize, PRODUCERS * EVENTS_PER_PRODUCER);
+
+    // Zero lost cuts: the sequential BFS baseline on the same poset is the
+    // ground truth (Theorem 2 — the interval partition covers the lattice).
+    let mut baseline_sink = paramount_suite::paramount_enumerate::CountSink::default();
+    let baseline = paramount_suite::paramount_enumerate::bfs::enumerate(
+        &report.poset,
+        &Default::default(),
+        &mut baseline_sink,
+    )
+    .expect("baseline BFS must complete");
+    assert_eq!(report.cuts, baseline.cuts, "cuts lost under backpressure");
+    assert_eq!(counter.load(Ordering::Relaxed), baseline.cuts);
+
+    // The observability story: every interval dispatched and completed,
+    // nothing shed, and the queue really did fill up.
+    let m = &report.metrics;
+    assert_eq!(m.intervals_dispatched, report.events);
+    assert_eq!(m.intervals_completed, report.events);
+    assert_eq!(m.intervals_rejected, 0);
+    assert_eq!(m.cuts_emitted, report.cuts);
+    assert!(
+        m.queue_depth_high_water >= 2,
+        "a 2-slot queue under a slow sink must hit its high-water mark"
+    );
+    assert!(report.is_complete());
+}
+
+/// Drain-on-finish with a slow consumer and a saturated 1-slot queue under
+/// `SpillToDeque`: overflow intervals park in the spill deque and MUST all
+/// be enumerated before `finish` returns (channel closes first, spill
+/// drains after — Theorem 3's no-missed-cuts through the overflow path).
+#[test]
+fn spill_deque_drains_completely_on_finish() {
+    let engine = OnlineEngine::new(
+        2,
+        OnlineEngineConfig {
+            workers: 1,
+            queue_capacity: 1,
+            backpressure: BackpressurePolicy::SpillToDeque,
+            ..OnlineEngineConfig::default()
+        },
+        move |_: &Frontier, _: EventId| {
+            std::thread::sleep(std::time::Duration::from_micros(30));
+            ControlFlow::Continue(())
+        },
+    );
+    // Burst 40 events from one thread as fast as possible: the single slow
+    // worker cannot keep up, so most intervals overflow into the deque.
+    for k in 0..40u32 {
+        engine.observe_after(Tid(k % 2), &[], ());
+    }
+    let report = engine.finish();
+    assert_eq!(report.events, 40);
+    let expected = oracle::count_ideals(&report.poset);
+    assert_eq!(report.cuts, expected, "spilled intervals were dropped");
+    let m = &report.metrics;
+    assert!(
+        m.intervals_spilled > 0,
+        "queue never overflowed: not a stress"
+    );
+    assert_eq!(m.intervals_completed, m.intervals_dispatched);
+    assert!(report.is_complete());
 }
 
 /// Owner attribution: every visited cut's owner event must be on the

@@ -21,10 +21,9 @@ fn oracle_racy_vars(poset: &Poset<TraceEvent>, include_init: bool) -> Vec<VarId>
             if a.tid == b.tid || !poset.concurrent(a, b) {
                 continue;
             }
-            let (Some(ca), Some(cb)) = (
-                poset.payload(a).collection(),
-                poset.payload(b).collection(),
-            ) else {
+            let (Some(ca), Some(cb)) =
+                (poset.payload(a).collection(), poset.payload(b).collection())
+            else {
                 continue;
             };
             for x in ca.accesses() {
