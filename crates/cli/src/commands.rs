@@ -1,7 +1,9 @@
 //! The `paramount` subcommands, as testable functions returning their
-//! output as a `String`.
+//! output as a `String`. Commands operate on an already-parsed
+//! [`TraceFile`] so the binary can parse once and map read vs parse
+//! failures to distinct exit codes.
 
-use crate::format::{parse_trace, trace_of_program, write_trace, TraceFile};
+use crate::format::{trace_of_program, write_trace, TraceFile};
 use paramount::{Algorithm, AtomicCountSink, ParaMount};
 use paramount_detect::{modality, RacePredicate};
 use paramount_enumerate::CollectSink;
@@ -14,8 +16,11 @@ pub type CommandError = String;
 
 /// `paramount count <trace> [--algo A] [--threads N]`: number of
 /// consistent global states of the trace's poset.
-pub fn count(input: &str, algorithm: Algorithm, threads: usize) -> Result<String, CommandError> {
-    let trace = parse_trace(input).map_err(|e| e.to_string())?;
+pub fn count(
+    trace: &TraceFile,
+    algorithm: Algorithm,
+    threads: usize,
+) -> Result<String, CommandError> {
     let poset = trace.to_poset(false);
     let sink = AtomicCountSink::new();
     let stats = ParaMount::new(algorithm)
@@ -37,12 +42,11 @@ pub fn count(input: &str, algorithm: Algorithm, threads: usize) -> Result<String
 /// histogram, worker busy/idle tallies. `--json` emits one JSON object
 /// per line (stable keys, no dependencies) for scripting.
 pub fn stats(
-    input: &str,
+    trace: &TraceFile,
     algorithm: Algorithm,
     threads: usize,
     json: bool,
 ) -> Result<String, CommandError> {
-    let trace = parse_trace(input).map_err(|e| e.to_string())?;
     let poset = trace.to_poset(false);
     let sink = AtomicCountSink::new();
     let stats = ParaMount::new(algorithm)
@@ -69,8 +73,7 @@ pub fn stats(
 
 /// `paramount enumerate <trace> [--limit K]`: print the cuts (lexical
 /// order), up to a limit.
-pub fn enumerate(input: &str, limit: usize) -> Result<String, CommandError> {
-    let trace = parse_trace(input).map_err(|e| e.to_string())?;
+pub fn enumerate(trace: &TraceFile, limit: usize) -> Result<String, CommandError> {
     let poset = trace.to_poset(false);
     let mut out = String::new();
     let mut printed = 0usize;
@@ -95,8 +98,7 @@ pub fn enumerate(input: &str, limit: usize) -> Result<String, CommandError> {
 
 /// `paramount races <trace> [--strict]`: data races over all inferred
 /// interleavings of the trace.
-pub fn races(input: &str, strict: bool) -> Result<String, CommandError> {
-    let trace = parse_trace(input).map_err(|e| e.to_string())?;
+pub fn races(trace: &TraceFile, strict: bool) -> Result<String, CommandError> {
     let poset = trace.to_poset(false);
     let predicate = RacePredicate::new(trace.var_names.len(), !strict);
     let sink =
@@ -131,11 +133,10 @@ pub fn races(input: &str, strict: bool) -> Result<String, CommandError> {
 /// `paramount possibly <trace> --state a,b,c [--definitely]`: can the
 /// execution reach the given global state — and must it?
 pub fn reachability(
-    input: &str,
+    trace: &TraceFile,
     state: &str,
     check_definitely: bool,
 ) -> Result<String, CommandError> {
-    let trace = parse_trace(input).map_err(|e| e.to_string())?;
     let poset = trace.to_poset(false);
     let counts: Vec<u32> = state
         .split(',')
@@ -195,8 +196,7 @@ pub fn gen(workload: &str, seed: u64) -> Result<String, CommandError> {
 }
 
 /// `paramount info <trace>`: structural summary of the observed poset.
-pub fn info(input: &str) -> Result<String, CommandError> {
-    let trace = parse_trace(input).map_err(|e| e.to_string())?;
+pub fn info(trace: &TraceFile) -> Result<String, CommandError> {
     let poset = trace.to_poset(false);
     let mut out = String::new();
     let _ = writeln!(out, "threads:    {}", trace.threads);
@@ -244,6 +244,7 @@ pub fn cuts_of(trace: &TraceFile) -> Vec<Frontier> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::format::parse_trace;
 
     const RACY: &str = "\
 threads 3
@@ -256,18 +257,22 @@ threads 3
 0 join 2
 ";
 
+    fn racy() -> TraceFile {
+        parse_trace(RACY).unwrap()
+    }
+
     #[test]
     fn count_command() {
-        let out = count(RACY, Algorithm::Lexical, 1).unwrap();
+        let out = count(&racy(), Algorithm::Lexical, 1).unwrap();
         assert!(out.contains("consistent global states"), "{out}");
     }
 
     #[test]
     fn stats_command_text_and_json() {
-        let text = stats(RACY, Algorithm::Lexical, 2, false).unwrap();
+        let text = stats(&racy(), Algorithm::Lexical, 2, false).unwrap();
         assert!(text.contains("consistent global states"), "{text}");
         assert!(text.contains("intervals"), "{text}");
-        let json = stats(RACY, Algorithm::Lexical, 2, true).unwrap();
+        let json = stats(&racy(), Algorithm::Lexical, 2, true).unwrap();
         // One object per line, every line self-contained JSON.
         assert!(json.lines().count() > 1, "{json}");
         for line in json.lines() {
@@ -278,11 +283,11 @@ threads 3
 
     #[test]
     fn races_command_finds_x() {
-        let out = races(RACY, false).unwrap();
+        let out = races(&racy(), false).unwrap();
         assert!(out.contains("RACE on `x`"), "{out}");
         // Strict mode also reports (main's init write is ordered by fork,
         // so the worker pair is the race either way).
-        let strict = races(RACY, true).unwrap();
+        let strict = races(&racy(), true).unwrap();
         assert!(strict.contains("RACE on `x`"), "{strict}");
     }
 
@@ -296,40 +301,40 @@ threads 2
 0 join 1
 0 read x
 ";
-        let out = races(clean, false).unwrap();
+        let out = races(&parse_trace(clean).unwrap(), false).unwrap();
         assert!(out.contains("no data races"), "{out}");
     }
 
     #[test]
     fn enumerate_respects_limit() {
-        let out = enumerate(RACY, 3).unwrap();
+        let out = enumerate(&racy(), 3).unwrap();
         assert!(out.contains("truncated"), "{out}");
         assert_eq!(out.lines().count(), 4); // 3 cuts + truncation note
     }
 
     #[test]
     fn reachability_command() {
-        let possible = reachability(RACY, "1,0,0", true).unwrap();
+        let possible = reachability(&racy(), "1,0,0", true).unwrap();
         assert!(possible.contains("POSSIBLY"), "{possible}");
         assert!(possible.contains("DEFINITELY"), "{possible}");
         // t1's write before main's (fork edge) is impossible.
-        let impossible = reachability(RACY, "0,1,0", false).unwrap();
+        let impossible = reachability(&racy(), "0,1,0", false).unwrap();
         assert!(impossible.contains("NO:"), "{impossible}");
         // Wrong arity errors out.
-        assert!(reachability(RACY, "1,0", false).is_err());
+        assert!(reachability(&racy(), "1,0", false).is_err());
     }
 
     #[test]
     fn gen_round_trips_through_races() {
         let trace_text = gen("banking", 7).unwrap();
-        let out = races(&trace_text, false).unwrap();
+        let out = races(&parse_trace(&trace_text).unwrap(), false).unwrap();
         assert!(out.contains("RACE on `account.balance`"), "{out}");
         assert!(gen("nope", 0).is_err());
     }
 
     #[test]
     fn info_summarizes() {
-        let out = info(RACY).unwrap();
+        let out = info(&racy()).unwrap();
         assert!(out.contains("threads:    3"));
         assert!(out.contains("states:"));
     }

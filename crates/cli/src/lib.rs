@@ -26,5 +26,6 @@
 
 pub mod commands;
 pub mod format;
+pub mod net;
 
 pub use format::{parse_trace, write_trace, ParseError, TraceFile};

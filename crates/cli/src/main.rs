@@ -2,7 +2,8 @@
 //! recorded traces. Run `paramount help` for usage.
 
 use paramount::Algorithm;
-use paramount_cli::commands;
+use paramount_cli::net::{self, ServeOptions, Target};
+use paramount_cli::{commands, format};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -11,12 +12,21 @@ paramount — global-states enumeration & predicate detection (PPoPP'15 ParaMoun
 USAGE:
   paramount count <trace>      [--algo lexical|bfs|dfs] [--threads N]
   paramount stats <trace>      [--algo lexical|bfs|dfs] [--threads N] [--json]
+  paramount stats --connect HOST:PORT | --unix PATH    (scrape a live daemon)
   paramount enumerate <trace>  [--limit K]
   paramount races <trace>      [--strict]
   paramount possibly <trace>   --state a,b,c [--definitely]
   paramount info <trace>
   paramount gen <workload>     [--seed S]        (writes a trace to stdout)
+  paramount serve              [--listen ADDR]... [--unix PATH]...
+                               [--algo A] [--workers K] [--max-sessions N]
+                               [--max-events N] [--idle-timeout SECS] [--quiet]
+  paramount send <trace>       --connect HOST:PORT | --unix PATH
+                               [--algo A] [--workers K] [--label L] [--capture-sync]
+  paramount shutdown           --connect HOST:PORT | --unix PATH
   paramount help
+
+EXIT CODES: 0 ok, 1 usage/run error, 2 cannot read input, 3 cannot parse input.
 
 TRACE FORMAT (text, one op per line, observed order):
   threads 3
@@ -30,6 +40,43 @@ TRACE FORMAT (text, one op per line, observed order):
 WORKLOADS for `gen`: banking, set-faulty, set-correct, arraylist1,
 arraylist2, sor, elevator, tsp, raytracer, hedc
 ";
+
+/// Failure classes, each with its own exit code so scripts can tell a
+/// missing file (2) from a malformed trace (3) from everything else (1).
+enum CliError {
+    Usage(String),
+    Io(String),
+    Parse(String),
+    Run(String),
+}
+
+impl CliError {
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Io(m) | CliError::Parse(m) | CliError::Run(m) => m,
+        }
+    }
+
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) | CliError::Run(_) => 1,
+            CliError::Io(_) => 2,
+            CliError::Parse(_) => 3,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Run(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::Usage(message.to_string())
+    }
+}
 
 fn parse_algo(args: &[String]) -> Result<Algorithm, String> {
     match flag_value(args, "--algo").as_deref() {
@@ -54,31 +101,176 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
-fn read_trace_file(path: &str) -> Result<String, String> {
-    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+/// All values of a repeatable flag (`--listen a --listen b`).
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
 }
 
-fn run() -> Result<String, String> {
+fn parse_number<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, CliError> {
+    flag_value(args, flag)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("invalid {flag} value `{v}`")))
+        })
+        .transpose()
+}
+
+/// Reads and parses a trace file, mapping the two failure modes to
+/// their exit codes and naming the offending path in both.
+fn load_trace(path: &str) -> Result<format::TraceFile, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+    format::parse_trace(&text).map_err(|e| CliError::Parse(format!("cannot parse {path}: {e}")))
+}
+
+/// `--connect HOST:PORT` or `--unix PATH`, if either is present.
+fn parse_target(args: &[String]) -> Result<Option<Target>, CliError> {
+    if let Some(addr) = flag_value(args, "--connect") {
+        return Ok(Some(Target::Tcp(addr)));
+    }
+    if let Some(path) = flag_value(args, "--unix") {
+        #[cfg(unix)]
+        return Ok(Some(Target::Unix(path.into())));
+        #[cfg(not(unix))]
+        return Err(CliError::Usage(format!(
+            "--unix {path} is not supported on this platform"
+        )));
+    }
+    Ok(None)
+}
+
+fn require_target(args: &[String], command: &str) -> Result<Target, CliError> {
+    parse_target(args)?.ok_or_else(|| {
+        CliError::Usage(format!(
+            "{command}: missing --connect HOST:PORT (or --unix PATH)"
+        ))
+    })
+}
+
+/// Arranges for SIGINT/SIGTERM to drain the daemon instead of killing
+/// the process: the handler only flips a flag; a watcher thread asks the
+/// server to shut down, which finalizes every live session first.
+#[cfg(unix)]
+fn install_signal_drain(handle: paramount_ingest::ServerHandle) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+    std::thread::Builder::new()
+        .name("paramount-signal-drain".to_string())
+        .spawn(move || loop {
+            if SIGNALED.load(Ordering::SeqCst) {
+                eprintln!("draining (signal received) ...");
+                handle.shutdown();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        })
+        .expect("spawn signal watcher");
+}
+
+#[cfg(not(unix))]
+fn install_signal_drain(_handle: paramount_ingest::ServerHandle) {}
+
+fn serve(args: &[String]) -> Result<String, CliError> {
+    let mut opts = ServeOptions {
+        listen: flag_values(args, "--listen"),
+        unix: flag_values(args, "--unix")
+            .into_iter()
+            .map(Into::into)
+            .collect(),
+        algorithm: parse_algo(args)?,
+        ..ServeOptions::default()
+    };
+    if let Some(workers) = parse_number(args, "--workers")? {
+        opts.workers = workers;
+    }
+    if let Some(max_sessions) = parse_number(args, "--max-sessions")? {
+        opts.max_sessions = max_sessions;
+    }
+    if let Some(max_events) = parse_number(args, "--max-events")? {
+        opts.max_events = max_events;
+    }
+    if let Some(secs) = parse_number(args, "--idle-timeout")? {
+        opts.idle_timeout_secs = secs;
+    }
+    if opts.listen.is_empty() && opts.unix.is_empty() {
+        opts.listen.push("127.0.0.1:7667".to_string());
+    }
+    let (server, addrs) = net::build_server(&opts).map_err(CliError::Run)?;
+    for addr in &addrs {
+        println!("listening on tcp {addr}");
+    }
+    for path in &opts.unix {
+        println!("listening on unix {}", path.display());
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    install_signal_drain(server.handle());
+    let quiet = args.iter().any(|a| a == "--quiet");
+    net::run_daemon(server, quiet).map_err(CliError::Run)
+}
+
+fn send(args: &[String]) -> Result<String, CliError> {
+    let path = args.get(1).ok_or("send: missing trace file")?;
+    let trace = load_trace(path)?;
+    let target = require_target(args, "send")?;
+    let algorithm = if flag_value(args, "--algo").is_some() {
+        Some(parse_algo(args)?)
+    } else {
+        None
+    };
+    let workers = parse_number(args, "--workers")?;
+    let label = flag_value(args, "--label");
+    let capture_sync = args.iter().any(|a| a == "--capture-sync");
+    net::send(&trace, &target, algorithm, workers, label, capture_sync).map_err(CliError::Run)
+}
+
+fn run() -> Result<String, CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("help");
     match command {
         "count" => {
             let path = args.get(1).ok_or("count: missing trace file")?;
-            commands::count(
-                &read_trace_file(path)?,
+            Ok(commands::count(
+                &load_trace(path)?,
                 parse_algo(&args)?,
                 parse_threads(&args)?,
-            )
+            )?)
         }
         "stats" => {
+            // With a target, scrape a live daemon's ingest counters
+            // instead of enumerating a trace.
+            if let Some(target) = parse_target(&args)? {
+                return net::remote_stats(&target).map_err(CliError::Run);
+            }
             let path = args.get(1).ok_or("stats: missing trace file")?;
             let json = args.iter().any(|a| a == "--json");
-            commands::stats(
-                &read_trace_file(path)?,
+            Ok(commands::stats(
+                &load_trace(path)?,
                 parse_algo(&args)?,
                 parse_threads(&args)?,
                 json,
-            )
+            )?)
         }
         "enumerate" => {
             let path = args.get(1).ok_or("enumerate: missing trace file")?;
@@ -86,22 +278,26 @@ fn run() -> Result<String, String> {
                 .map(|v| v.parse().map_err(|_| "invalid --limit".to_string()))
                 .transpose()?
                 .unwrap_or(1000);
-            commands::enumerate(&read_trace_file(path)?, limit)
+            Ok(commands::enumerate(&load_trace(path)?, limit)?)
         }
         "races" => {
             let path = args.get(1).ok_or("races: missing trace file")?;
             let strict = args.iter().any(|a| a == "--strict");
-            commands::races(&read_trace_file(path)?, strict)
+            Ok(commands::races(&load_trace(path)?, strict)?)
         }
         "possibly" => {
             let path = args.get(1).ok_or("possibly: missing trace file")?;
             let state = flag_value(&args, "--state").ok_or("possibly: missing --state a,b,c")?;
             let definitely = args.iter().any(|a| a == "--definitely");
-            commands::reachability(&read_trace_file(path)?, &state, definitely)
+            Ok(commands::reachability(
+                &load_trace(path)?,
+                &state,
+                definitely,
+            )?)
         }
         "info" => {
             let path = args.get(1).ok_or("info: missing trace file")?;
-            commands::info(&read_trace_file(path)?)
+            Ok(commands::info(&load_trace(path)?)?)
         }
         "gen" => {
             let workload = args.get(1).ok_or("gen: missing workload name")?;
@@ -109,10 +305,18 @@ fn run() -> Result<String, String> {
                 .map(|v| v.parse().map_err(|_| "invalid --seed".to_string()))
                 .transpose()?
                 .unwrap_or(1);
-            commands::gen(workload, seed)
+            Ok(commands::gen(workload, seed)?)
+        }
+        "serve" => serve(&args),
+        "send" => send(&args),
+        "shutdown" => {
+            let target = require_target(&args, "shutdown")?;
+            net::remote_shutdown(&target).map_err(CliError::Run)
         }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -122,9 +326,9 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("error: {}", error.message());
+            ExitCode::from(error.exit_code())
         }
     }
 }

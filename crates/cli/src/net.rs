@@ -1,0 +1,292 @@
+//! Networked subcommands: `paramount serve`, `paramount send`, and
+//! `paramount stats --connect` — thin, testable glue between argv and
+//! [`paramount_ingest`].
+
+use paramount::Algorithm;
+use paramount_ingest::{
+    Client, EndReason, Hello, ServeSummary, Server, ServerConfig, SessionReport,
+};
+use paramount_trace::textfmt::TraceFile;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+/// Where a client-side command connects.
+#[derive(Clone, Debug)]
+pub enum Target {
+    /// `--connect HOST:PORT`.
+    Tcp(String),
+    /// `--unix PATH`.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl Target {
+    fn connect(&self) -> Result<Client, String> {
+        match self {
+            Target::Tcp(addr) => {
+                Client::connect_tcp(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+            }
+            #[cfg(unix)]
+            Target::Unix(path) => Client::connect_unix(path)
+                .map_err(|e| format!("cannot connect to {}: {e}", path.display())),
+        }
+    }
+}
+
+/// Everything `paramount serve` accepts from argv.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// TCP endpoints to bind (`--listen`, repeatable).
+    pub listen: Vec<String>,
+    /// Unix-socket endpoints to bind (`--unix`, repeatable).
+    pub unix: Vec<PathBuf>,
+    /// Default bounded subroutine for sessions that don't pick one.
+    pub algorithm: Algorithm,
+    /// Default per-session enumeration workers (0 = engine default).
+    pub workers: usize,
+    /// Concurrent-session cap.
+    pub max_sessions: u64,
+    /// Per-session event cap.
+    pub max_events: u64,
+    /// Per-session idle timeout in seconds.
+    pub idle_timeout_secs: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            listen: Vec::new(),
+            unix: Vec::new(),
+            algorithm: Algorithm::Lexical,
+            workers: 0,
+            max_sessions: ServerConfig::default().max_sessions,
+            max_events: paramount_ingest::SessionLimits::default().max_events,
+            idle_timeout_secs: 30,
+        }
+    }
+}
+
+/// Builds and binds the daemon from options; returns it plus the bound
+/// TCP addresses (resolved, so `--listen 127.0.0.1:0` is reportable).
+pub fn build_server(opts: &ServeOptions) -> Result<(Server, Vec<SocketAddr>), String> {
+    let mut config = ServerConfig::default();
+    config.session.engine.algorithm = opts.algorithm;
+    if opts.workers > 0 {
+        config.session.engine.workers = opts.workers;
+    }
+    config.max_sessions = opts.max_sessions;
+    config.session.limits.max_events = opts.max_events;
+    config.session.limits.idle_timeout = std::time::Duration::from_secs(opts.idle_timeout_secs);
+    let mut server = Server::new(config);
+    for addr in &opts.listen {
+        server
+            .bind_tcp(addr.as_str())
+            .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    }
+    for path in &opts.unix {
+        #[cfg(unix)]
+        server
+            .bind_unix(path)
+            .map_err(|e| format!("cannot listen on {}: {e}", path.display()))?;
+        #[cfg(not(unix))]
+        return Err(format!(
+            "--unix {} is not supported on this platform",
+            path.display()
+        ));
+    }
+    let addrs = server.tcp_addrs();
+    Ok((server, addrs))
+}
+
+/// One human-readable line per finished session.
+pub fn session_line(report: &SessionReport) -> String {
+    format!(
+        "session {}{}: {} events, {} consistent global states (reason {}{})",
+        report.id,
+        report
+            .label
+            .as_deref()
+            .map(|l| format!(" [{l}]"))
+            .unwrap_or_default(),
+        report.events,
+        report.cuts,
+        report.reason,
+        if report.complete { "" } else { ", INCOMPLETE" },
+    )
+}
+
+/// Runs the daemon until shutdown (SIGINT or a `SHUTDOWN` frame),
+/// printing each session's final report as it lands, and returns the
+/// drain summary text.
+pub fn run_daemon(server: Server, quiet: bool) -> Result<String, String> {
+    let summary = server
+        .run(move |report| {
+            if !quiet {
+                println!("{}", session_line(report));
+            }
+        })
+        .map_err(|e| format!("serve failed: {e}"))?;
+    Ok(summary_text(&summary))
+}
+
+/// The end-of-run summary: totals plus the daemon-wide ingest counters.
+pub fn summary_text(summary: &ServeSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "served {} sessions ({} clean, {} aborted)",
+        summary.reports.len(),
+        summary
+            .reports
+            .iter()
+            .filter(|r| r.reason == EndReason::End)
+            .count(),
+        summary
+            .reports
+            .iter()
+            .filter(|r| r.reason != EndReason::End)
+            .count(),
+    );
+    out.push_str(&summary.ingest.render_text());
+    out
+}
+
+/// `paramount send`: stream a parsed trace into a daemon and report the
+/// daemon's final count in the same shape as `paramount count`.
+pub fn send(
+    trace: &TraceFile,
+    target: &Target,
+    algorithm: Option<Algorithm>,
+    workers: Option<usize>,
+    label: Option<String>,
+    capture_sync: bool,
+) -> Result<String, String> {
+    let mut client = target.connect()?;
+    let hello = Hello {
+        threads: trace.threads,
+        algorithm,
+        workers,
+        capture_sync,
+        label,
+    };
+    let session = client.hello(&hello).map_err(|e| e.to_string())?;
+    client.stream_trace(trace).map_err(|e| e.to_string())?;
+    let report = client.finish().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{} events, {} consistent global states (session {session}, reason {}{})\n",
+        report.events,
+        report.cuts,
+        report.reason,
+        if report.complete { "" } else { ", INCOMPLETE" },
+    ))
+}
+
+/// `paramount stats --connect`: scrape a live daemon's ingest counters
+/// (JSON lines, same shape as `--json`).
+pub fn remote_stats(target: &Target) -> Result<String, String> {
+    let mut client = target.connect()?;
+    let lines = client.stats().map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `paramount shutdown`-style admin: ask a daemon to drain and exit.
+pub fn remote_shutdown(target: &Target) -> Result<String, String> {
+    let client = target.connect()?;
+    client.request_shutdown().map_err(|e| e.to_string())?;
+    Ok("daemon draining\n".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{parse_trace, trace_of_program, write_trace};
+    use paramount_workloads::banking;
+
+    /// The full CLI path end to end: build+run a daemon on an ephemeral
+    /// port, `send` the banking trace, and check the count line matches
+    /// what the offline `count` command computes for the same trace.
+    #[test]
+    fn send_matches_offline_count() {
+        let opts = ServeOptions {
+            listen: vec!["127.0.0.1:0".to_string()],
+            ..ServeOptions::default()
+        };
+        let (server, addrs) = build_server(&opts).expect("bind");
+        let handle = server.handle();
+        let daemon = std::thread::spawn(move || server.run(|_| {}).expect("run"));
+
+        let text = write_trace(&trace_of_program(
+            &banking::program(&banking::Params::default()),
+            3,
+        ));
+        let trace = parse_trace(&text).expect("parse");
+        let offline = crate::commands::count(&trace, Algorithm::Lexical, 2).expect("count");
+        let streamed = send(
+            &trace,
+            &Target::Tcp(addrs[0].to_string()),
+            None,
+            None,
+            Some("cli-test".to_string()),
+            false,
+        )
+        .expect("send");
+
+        let states = |s: &str| -> u64 {
+            s.split(" consistent global states").next().unwrap()[..]
+                .rsplit(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(
+            states(&streamed),
+            states(&offline),
+            "send: {streamed} vs count: {offline}"
+        );
+        assert!(streamed.contains("reason end"), "{streamed}");
+
+        let stats = remote_stats(&Target::Tcp(addrs[0].to_string())).expect("stats");
+        assert!(stats.contains("\"sessions_opened\""), "{stats}");
+
+        handle.shutdown();
+        daemon.join().expect("daemon");
+    }
+
+    #[test]
+    fn summary_text_counts_outcomes() {
+        let opts = ServeOptions {
+            listen: vec!["127.0.0.1:0".to_string()],
+            ..ServeOptions::default()
+        };
+        let (server, addrs) = build_server(&opts).expect("bind");
+        let daemon = {
+            let handle = server.handle();
+            let join = std::thread::spawn(move || run_daemon(server, true).expect("run"));
+            let trace = parse_trace("threads 1\n0 write x\n").expect("parse");
+            send(
+                &trace,
+                &Target::Tcp(addrs[0].to_string()),
+                None,
+                None,
+                None,
+                false,
+            )
+            .expect("send");
+            handle.shutdown();
+            join
+        };
+        let summary = daemon.join().expect("daemon");
+        assert!(
+            summary.contains("served 1 sessions (1 clean, 0 aborted)"),
+            "{summary}"
+        );
+        assert!(summary.contains("sessions opened"), "{summary}");
+    }
+}

@@ -44,7 +44,9 @@ mod sink;
 pub mod store;
 
 pub use interval::{measure_interval_work, partition, Interval};
-pub use metrics::{HistogramSnapshot, MetricsSnapshot, ParaMetrics, WorkerSnapshot};
+pub use metrics::{
+    HistogramSnapshot, IngestMetrics, IngestSnapshot, MetricsSnapshot, ParaMetrics, WorkerSnapshot,
+};
 pub use offline::{ParaMount, ParaStats};
 pub use online::{BackpressurePolicy, OnlineEngine, OnlineEngineConfig, OnlinePoset, OnlineReport};
 pub use sink::{AtomicCountSink, ConcurrentCollectSink, ParallelCutSink, SinkBridge};

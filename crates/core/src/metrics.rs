@@ -579,6 +579,135 @@ impl MetricsSnapshot {
     }
 }
 
+/// Daemon-side instruments of the streaming ingestion layer (`paramount
+/// serve`): one registry per daemon, shared by every connection thread.
+///
+/// These sit in the same module as [`ParaMetrics`] deliberately — they use
+/// the same sharded-atomic primitives, the same snapshot discipline, and
+/// the same hand-rolled text/JSON renderers, so `paramount stats` can
+/// cover a running daemon with the exact vocabulary it uses for a single
+/// enumeration run.
+#[derive(Debug, Default)]
+pub struct IngestMetrics {
+    /// Sessions accepted and registered (`HELLO` succeeded).
+    pub sessions_opened: ShardedCounter,
+    /// Sessions refused (capacity, limits, or a malformed `HELLO`).
+    pub sessions_rejected: ShardedCounter,
+    /// Sessions finalized with a complete `END` handshake.
+    pub sessions_completed: ShardedCounter,
+    /// Sessions finalized early (disconnect, limit, timeout, shutdown).
+    pub sessions_aborted: ShardedCounter,
+    /// Wire frames decoded successfully (all kinds, all sessions).
+    pub frames_decoded: ShardedCounter,
+    /// Lines that failed to decode or violated the session state machine.
+    pub decode_errors: ShardedCounter,
+    /// Raw bytes read off accepted connections.
+    pub bytes_in: ShardedCounter,
+    /// Concurrently live sessions (current + high-water mark).
+    pub active_sessions: HighWaterGauge,
+}
+
+impl IngestMetrics {
+    /// A fresh registry with every instrument at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds every instrument into an owned [`IngestSnapshot`].
+    pub fn snapshot(&self) -> IngestSnapshot {
+        IngestSnapshot {
+            sessions_opened: self.sessions_opened.sum(),
+            sessions_rejected: self.sessions_rejected.sum(),
+            sessions_completed: self.sessions_completed.sum(),
+            sessions_aborted: self.sessions_aborted.sum(),
+            frames_decoded: self.frames_decoded.sum(),
+            decode_errors: self.decode_errors.sum(),
+            bytes_in: self.bytes_in.sum(),
+            active_sessions: self.active_sessions.get(),
+            active_sessions_high_water: self.active_sessions.high_water(),
+        }
+    }
+}
+
+/// Plain-data snapshot of an [`IngestMetrics`] registry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IngestSnapshot {
+    /// Sessions accepted and registered.
+    pub sessions_opened: u64,
+    /// Sessions refused.
+    pub sessions_rejected: u64,
+    /// Sessions that completed the `END` handshake.
+    pub sessions_completed: u64,
+    /// Sessions finalized early.
+    pub sessions_aborted: u64,
+    /// Frames decoded.
+    pub frames_decoded: u64,
+    /// Decode/state errors.
+    pub decode_errors: u64,
+    /// Bytes read.
+    pub bytes_in: u64,
+    /// Live sessions at snapshot time.
+    pub active_sessions: u64,
+    /// Most sessions ever live at once.
+    pub active_sessions_high_water: u64,
+}
+
+impl IngestSnapshot {
+    /// Human-readable multi-line report (same style as
+    /// [`MetricsSnapshot::render_text`]).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "sessions opened:      {}", self.sessions_opened);
+        if self.sessions_rejected > 0 {
+            let _ = writeln!(out, "sessions rejected:    {}", self.sessions_rejected);
+        }
+        let _ = writeln!(out, "sessions completed:   {}", self.sessions_completed);
+        if self.sessions_aborted > 0 {
+            let _ = writeln!(out, "sessions aborted:     {}", self.sessions_aborted);
+        }
+        let _ = writeln!(
+            out,
+            "sessions active:      {} now, {} high-water",
+            self.active_sessions, self.active_sessions_high_water
+        );
+        let _ = writeln!(out, "frames decoded:       {}", self.frames_decoded);
+        if self.decode_errors > 0 {
+            let _ = writeln!(out, "decode errors:        {}", self.decode_errors);
+        }
+        let _ = writeln!(out, "bytes in:             {}", self.bytes_in);
+        out
+    }
+
+    /// Machine-readable report: one JSON object per line, same shape as
+    /// [`MetricsSnapshot::to_json_lines`].
+    pub fn to_json_lines(&self, label: &str) -> String {
+        use std::fmt::Write as _;
+        let label = json_escape(label);
+        let mut out = String::new();
+        for (name, value) in [
+            ("sessions_opened", self.sessions_opened),
+            ("sessions_rejected", self.sessions_rejected),
+            ("sessions_completed", self.sessions_completed),
+            ("sessions_aborted", self.sessions_aborted),
+            ("frames_decoded", self.frames_decoded),
+            ("decode_errors", self.decode_errors),
+            ("bytes_in", self.bytes_in),
+        ] {
+            let _ = writeln!(
+                out,
+                "{{\"label\":\"{label}\",\"metric\":\"{name}\",\"type\":\"counter\",\"value\":{value}}}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{{\"label\":\"{label}\",\"metric\":\"active_sessions\",\"type\":\"gauge\",\"value\":{},\"high_water\":{}}}",
+            self.active_sessions, self.active_sessions_high_water
+        );
+        out
+    }
+}
+
 /// Escapes a string for embedding in a JSON string literal.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -738,5 +867,40 @@ mod tests {
         let snap = HistogramSnapshot::default();
         assert_eq!(snap.quantile_bound(0.5), 0);
         assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn ingest_metrics_snapshot_and_renderers() {
+        let m = IngestMetrics::new();
+        m.sessions_opened.add(3);
+        m.sessions_completed.add(2);
+        m.sessions_aborted.add(1);
+        m.frames_decoded.add(100);
+        m.bytes_in.add(4096);
+        m.active_sessions.inc();
+        m.active_sessions.inc();
+        m.active_sessions.dec();
+        let snap = m.snapshot();
+        assert_eq!(snap.sessions_opened, 3);
+        assert_eq!(snap.active_sessions, 1);
+        assert_eq!(snap.active_sessions_high_water, 2);
+
+        let text = snap.render_text();
+        assert!(text.contains("sessions opened:      3"), "{text}");
+        assert!(text.contains("sessions aborted:     1"), "{text}");
+        assert!(text.contains("1 now, 2 high-water"), "{text}");
+        // Zero-valued trouble counters stay out of the human report.
+        assert!(!text.contains("decode errors"), "{text}");
+        assert!(!text.contains("sessions rejected"), "{text}");
+
+        let json = snap.to_json_lines("ingest");
+        for line in json.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"label\":\"ingest\""), "{line}");
+        }
+        assert!(json.contains("\"metric\":\"sessions_opened\",\"type\":\"counter\",\"value\":3"));
+        assert!(json.contains(
+            "\"metric\":\"active_sessions\",\"type\":\"gauge\",\"value\":1,\"high_water\":2"
+        ));
     }
 }

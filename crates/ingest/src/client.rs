@@ -1,0 +1,369 @@
+//! Client side of the wire protocol: replay recorded traces or pipe a
+//! live [`ThreadedExecutor`](paramount_trace::exec) run onto a socket.
+//!
+//! The client buffers `EVENT` frames (they are fire-and-forget; the
+//! server only speaks on errors) and flushes the buffer at every
+//! synchronous frame (`HELLO`, `FLUSH`, `STATS`, `END`), so streaming a
+//! large trace costs one syscall per ~8 KiB, not one per event.
+
+use crate::proto::{
+    parse_server_line, ClientFrame, DecodeError, Hello, ServerFrame, WireOp, WireReport,
+};
+use paramount_trace::textfmt::{render_op, TraceFile};
+use paramount_trace::{exec, LockId, OpObserver, Program, VarId};
+use paramount_poset::Tid;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Outbound buffer size that triggers a socket write.
+const WRITE_CHUNK: usize = 8 * 1024;
+
+/// Everything that can go wrong on the client side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server answered `ERR` — the frame (or session) was rejected.
+    Rejected(DecodeError),
+    /// The server sent something that is not a valid frame, or a valid
+    /// frame where a different one was required.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Rejected(e) => write!(f, "server rejected: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+enum ClientStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to a `paramount serve` daemon.
+pub struct Client {
+    stream: ClientStream,
+    /// Pending outbound frame lines.
+    wbuf: Vec<u8>,
+    /// Inbound bytes not yet consumed as lines.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    session: Option<u64>,
+}
+
+impl Client {
+    /// Connects over TCP.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self::from_stream(ClientStream::Tcp(stream)))
+    }
+
+    /// Connects over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Self> {
+        let stream = UnixStream::connect(path)?;
+        Ok(Self::from_stream(ClientStream::Unix(stream)))
+    }
+
+    fn from_stream(stream: ClientStream) -> Self {
+        Client {
+            stream,
+            wbuf: Vec::new(),
+            rbuf: Vec::new(),
+            rpos: 0,
+            session: None,
+        }
+    }
+
+    /// The server-assigned session id, once [`Client::hello`] succeeded.
+    pub fn session_id(&self) -> Option<u64> {
+        self.session
+    }
+
+    fn queue_line(&mut self, line: &str) -> io::Result<()> {
+        self.wbuf.extend_from_slice(line.as_bytes());
+        self.wbuf.push(b'\n');
+        if self.wbuf.len() >= WRITE_CHUNK {
+            self.flush_out()?;
+        }
+        Ok(())
+    }
+
+    fn flush_out(&mut self) -> io::Result<()> {
+        if !self.wbuf.is_empty() {
+            self.stream.write_all(&self.wbuf)?;
+            self.wbuf.clear();
+        }
+        self.stream.flush()
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        loop {
+            if let Some(rel) = self.rbuf[self.rpos..].iter().position(|&b| b == b'\n') {
+                let end = self.rpos + rel;
+                let line = String::from_utf8_lossy(&self.rbuf[self.rpos..end]).into_owned();
+                self.rpos = end + 1;
+                if self.rpos == self.rbuf.len() {
+                    self.rbuf.clear();
+                    self.rpos = 0;
+                }
+                return Ok(line);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn read_frame(&mut self) -> Result<ServerFrame, ClientError> {
+        let line = self.read_line()?;
+        parse_server_line(&line)
+            .map_err(|e| ClientError::Protocol(format!("{e} (line `{line}`)")))
+    }
+
+    /// Reads frames until a non-`STAT` one arrives, returning it and the
+    /// collected `STAT` bodies.
+    fn read_until_final(&mut self) -> Result<(ServerFrame, Vec<String>), ClientError> {
+        let mut stats = Vec::new();
+        loop {
+            match self.read_frame()? {
+                ServerFrame::Stat(json) => stats.push(json),
+                frame => return Ok((frame, stats)),
+            }
+        }
+    }
+
+    fn expect_ok(&mut self) -> Result<Vec<(String, String)>, ClientError> {
+        match self.read_frame()? {
+            ServerFrame::Ok(kvs) => Ok(kvs),
+            ServerFrame::Err(e) => Err(ClientError::Rejected(e)),
+            other => Err(ClientError::Protocol(format!(
+                "expected OK, got `{}`",
+                other.encode()
+            ))),
+        }
+    }
+
+    /// Opens a session; returns the server-assigned id.
+    pub fn hello(&mut self, hello: &Hello) -> Result<u64, ClientError> {
+        self.queue_line(&ClientFrame::Hello(hello.clone()).encode())?;
+        self.flush_out()?;
+        let kvs = self.expect_ok()?;
+        let id = kvs
+            .iter()
+            .find(|(k, _)| k == "session")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| ClientError::Protocol("OK without a session id".to_string()))?;
+        self.session = Some(id);
+        Ok(id)
+    }
+
+    /// Queues one event frame (fire-and-forget, buffered).
+    pub fn event(&mut self, tid: usize, op: &WireOp) -> io::Result<()> {
+        self.queue_line(&ClientFrame::Event {
+            tid,
+            op: op.clone(),
+        }
+        .encode())
+    }
+
+    /// Queues one event frame from a pre-rendered op body (`read x`,
+    /// `fork 2`, … — trace-line syntax). Avoids re-allocating a
+    /// [`WireOp`] on hot replay paths.
+    pub fn event_line(&mut self, tid: usize, body: &str) -> io::Result<()> {
+        self.queue_line(&format!("EVENT {tid} {body}"))
+    }
+
+    /// Queues every operation of a parsed trace file. Compose with
+    /// [`Client::hello`] before and [`Client::finish`] after.
+    pub fn stream_trace(&mut self, trace: &TraceFile) -> io::Result<()> {
+        for &(tid, op) in &trace.ops {
+            let body = render_op(op, &trace.var_names, &trace.lock_names);
+            self.event_line(tid.index(), &body)?;
+        }
+        Ok(())
+    }
+
+    /// Synchronous barrier: flushes all queued events and returns the
+    /// server's live progress `(events, cuts)`.
+    pub fn flush_sync(&mut self) -> Result<(u64, u64), ClientError> {
+        self.queue_line(&ClientFrame::Flush.encode())?;
+        self.flush_out()?;
+        let kvs = self.expect_ok()?;
+        let get = |key: &str| -> Result<u64, ClientError> {
+            kvs.iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.parse().ok())
+                .ok_or_else(|| ClientError::Protocol(format!("FLUSH OK without {key}")))
+        };
+        Ok((get("events")?, get("cuts")?))
+    }
+
+    /// Fetches metrics as JSON lines: the session's engine metrics when a
+    /// session is open, the daemon-wide ingest counters otherwise.
+    pub fn stats(&mut self) -> Result<Vec<String>, ClientError> {
+        self.queue_line(&ClientFrame::Stats.encode())?;
+        self.flush_out()?;
+        let (final_frame, stats) = self.read_until_final()?;
+        match final_frame {
+            ServerFrame::Ok(_) => Ok(stats),
+            ServerFrame::Err(e) => Err(ClientError::Rejected(e)),
+            other => Err(ClientError::Protocol(format!(
+                "expected OK after STAT lines, got `{}`",
+                other.encode()
+            ))),
+        }
+    }
+
+    /// Ends the session cleanly and returns the server's final report.
+    pub fn finish(mut self) -> Result<WireReport, ClientError> {
+        self.queue_line(&ClientFrame::End.encode())?;
+        self.flush_out()?;
+        loop {
+            match self.read_frame()? {
+                ServerFrame::Report(report) => return Ok(report),
+                // Stale ERR responses to earlier fire-and-forget events
+                // surface here instead of a report.
+                ServerFrame::Err(e) => return Err(ClientError::Rejected(e)),
+                ServerFrame::Ok(_) | ServerFrame::Stat(_) => {}
+            }
+        }
+    }
+
+    /// Asks the daemon to drain and exit (admin; only valid before a
+    /// session is opened on this connection).
+    pub fn request_shutdown(mut self) -> Result<(), ClientError> {
+        self.queue_line(&ClientFrame::Shutdown.encode())?;
+        self.flush_out()?;
+        self.expect_ok()?;
+        Ok(())
+    }
+}
+
+/// An [`OpObserver`] that forwards every executed operation onto the
+/// wire — plug it into [`exec::run_threads_observed`] and a real threaded
+/// execution streams into the daemon as it runs. I/O failures are sticky
+/// (the observer interface cannot propagate them mid-run) and surface
+/// when the observer is [`WireObserver::finish`]ed.
+pub struct WireObserver {
+    client: Client,
+    var_names: Vec<String>,
+    lock_names: Vec<String>,
+    error: Option<io::Error>,
+}
+
+impl WireObserver {
+    /// Wraps a connected client (the `HELLO` must already have been
+    /// sent) with the program's name tables.
+    pub fn new(client: Client, program: &Program) -> Self {
+        WireObserver {
+            client,
+            var_names: (0..program.num_vars())
+                .map(|v| program.var_name(VarId(v as u32)).to_string())
+                .collect(),
+            lock_names: (0..program.num_locks())
+                .map(|l| program.lock_name(LockId(l as u32)).to_string())
+                .collect(),
+            error: None,
+        }
+    }
+
+    /// Ends the session: propagates any sticky stream error, then `END`s
+    /// and returns the daemon's final report.
+    pub fn finish(self) -> Result<WireReport, ClientError> {
+        if let Some(e) = self.error {
+            return Err(e.into());
+        }
+        self.client.finish()
+    }
+}
+
+impl OpObserver for WireObserver {
+    fn op(&mut self, t: Tid, op: paramount_trace::Op) {
+        if self.error.is_some() {
+            return;
+        }
+        let body = render_op(op, &self.var_names, &self.lock_names);
+        if let Err(e) = self.client.event_line(t.index(), &body) {
+            self.error = Some(e);
+        }
+    }
+
+    fn thread_finished(&mut self, _t: Tid) {
+        // Nothing on the wire: the server flushes a thread's open segment
+        // when it is joined or when the session finalizes.
+    }
+}
+
+/// Runs `program` on real threads ([`exec::run_threads_observed`]) while
+/// streaming every operation into the daemon; returns the daemon's final
+/// report. `configure` may adjust the `HELLO` (label, algorithm, …).
+pub fn stream_program(
+    mut client: Client,
+    program: &Program,
+    work_scale: u32,
+    configure: impl FnOnce(&mut Hello),
+) -> Result<WireReport, ClientError> {
+    let mut hello = Hello::new(program.num_threads());
+    configure(&mut hello);
+    client.hello(&hello)?;
+    let observer = WireObserver::new(client, program);
+    let observer = exec::run_threads_observed(program, work_scale, observer);
+    observer.finish()
+}

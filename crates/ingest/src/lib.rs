@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! Streaming trace ingestion — `paramount serve` and its wire protocol.
+//!
+//! The paper's online detector (§4.2, Algorithm 4) assumes the observed
+//! program and the enumeration engine share an address space: each
+//! instrumented thread inserts its event and continues. This crate
+//! removes that assumption. A daemon ([`server::Server`]) owns one
+//! [`OnlineEngine`](paramount::OnlineEngine) per *session* and clients
+//! stream happened-before-relevant operations to it over TCP or Unix
+//! sockets using a newline-delimited text protocol ([`proto`]) whose
+//! `EVENT` frames reuse the trace file format's per-line operation
+//! syntax — anything `paramount gen` writes can be piped onto a socket.
+//!
+//! The load-bearing invariant lives in [`session`]: frames are validated
+//! and fed to the recorder in an order that keeps every engine insertion
+//! a linearization of happened-before, so Theorem 3 ("every cut of the
+//! observed prefix, exactly once") holds *wherever the stream stops* — a
+//! clean `END`, a mid-stream disconnect, a tripped limit, or a daemon
+//! shutdown all finalize to an exact report for what arrived.
+//!
+//! ```no_run
+//! use paramount_ingest::{Client, Hello, Server, ServerConfig, WireOp};
+//!
+//! let mut server = Server::new(ServerConfig::default());
+//! let addr = server.bind_tcp("127.0.0.1:0").unwrap();
+//! let handle = server.handle();
+//! let daemon = std::thread::spawn(move || server.run(|_| {}).unwrap());
+//!
+//! let mut client = Client::connect_tcp(addr).unwrap();
+//! client.hello(&Hello::new(2)).unwrap();
+//! client.event(0, &WireOp::Write("x".into())).unwrap();
+//! client.event(1, &WireOp::Read("x".into())).unwrap();
+//! let report = client.finish().unwrap();
+//! assert_eq!(report.cuts, 4); // two concurrent events: 2×2 lattice
+//!
+//! handle.shutdown();
+//! daemon.join().unwrap();
+//! ```
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use client::{stream_program, Client, ClientError, WireObserver};
+pub use proto::{
+    parse_client_line, parse_server_line, ClientFrame, DecodeError, EndReason, ErrCode, Hello,
+    ServerFrame, WireOp, WireReport, MAX_LINE_BYTES, PROTOCOL_VERSION,
+};
+pub use server::{ServeSummary, Server, ServerConfig, ServerHandle};
+pub use session::{Session, SessionConfig, SessionLimits, SessionReport};

@@ -1,0 +1,661 @@
+//! The `paramount/1` wire protocol: newline-delimited text frames.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Reuse the trace format.** An `EVENT` frame body is exactly one
+//!    line of the textual trace format (`read x`, `fork 2`, …), parsed by
+//!    the same grammar ([`paramount_trace::textfmt::parse_op_body`]) the
+//!    CLI uses for whole files. Anything `paramount gen` emits can be
+//!    piped onto a socket unchanged (minus the `threads N` header, which
+//!    becomes the `HELLO` frame).
+//! 2. **No dependencies.** Hand-rolled split/parse over `&str`; the only
+//!    allocation per frame is the owned names an op carries.
+//! 3. **Strict validation.** Every malformed line maps to a
+//!    [`DecodeError`] with a machine-readable [`ErrCode`] and a
+//!    human-readable message; the server never guesses.
+//!
+//! # Grammar
+//!
+//! Client → server, one frame per `\n`-terminated line:
+//!
+//! ```text
+//! HELLO paramount/1 threads=<N> [algo=lexical|bfs|dfs] [workers=<K>]
+//!       [capture_sync=0|1] [label=<token>]
+//! EVENT <tid> <op> [<arg>]        # op/arg exactly as in the trace format
+//! FLUSH                           # barrier: ack + live progress counters
+//! STATS                           # session metrics (daemon-wide pre-HELLO)
+//! END                             # finalize: drain, report, close
+//! SHUTDOWN                        # admin (pre-HELLO): drain the daemon
+//! ```
+//!
+//! Server → client:
+//!
+//! ```text
+//! OK [key=value ...]
+//! ERR <code> <message…>
+//! STAT <json-object>              # repeated, then OK
+//! REPORT events=<n> cuts=<n> complete=<bool> reason=<reason>
+//! ```
+
+use paramount::Algorithm;
+use paramount_trace::textfmt::{parse_op_body, ParseError};
+use paramount_trace::{LockId, Op, VarId};
+use std::fmt;
+
+/// Version token every `HELLO` must carry.
+pub const PROTOCOL_VERSION: &str = "paramount/1";
+
+/// Longest accepted frame line, in bytes. A line longer than this is a
+/// protocol error — it bounds per-connection buffering against hostile or
+/// broken clients.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Machine-readable error class, sent as the first token of `ERR`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrCode {
+    /// Malformed frame (syntax).
+    Proto,
+    /// Well-formed frame that violates the session state machine
+    /// (tid out of range, event after join, fork of a started thread, …).
+    State,
+    /// A configured resource limit was exceeded.
+    Limit,
+    /// Unsupported protocol version in `HELLO`.
+    Version,
+}
+
+impl ErrCode {
+    /// The wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrCode::Proto => "proto",
+            ErrCode::State => "state",
+            ErrCode::Limit => "limit",
+            ErrCode::Version => "version",
+        }
+    }
+
+    /// Parses a wire token.
+    pub fn from_token(s: &str) -> Option<Self> {
+        Some(match s {
+            "proto" => ErrCode::Proto,
+            "state" => ErrCode::State,
+            "limit" => ErrCode::Limit,
+            "version" => ErrCode::Version,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A decode or validation failure, ready to render as an `ERR` frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Error class.
+    pub code: ErrCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl DecodeError {
+    /// Shorthand constructor.
+    pub fn new(code: ErrCode, message: impl Into<String>) -> Self {
+        DecodeError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn proto(message: impl Into<String>) -> DecodeError {
+    DecodeError::new(ErrCode::Proto, message)
+}
+
+/// An operation as it travels on the wire: names, not interned ids.
+/// The receiving session interns names into its own tables (the same
+/// first-appearance numbering `parse_trace` uses).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireOp {
+    /// Read of a named variable.
+    Read(String),
+    /// Write of a named variable.
+    Write(String),
+    /// Acquire of a named lock.
+    Acquire(String),
+    /// Release of a named lock.
+    Release(String),
+    /// Fork of a thread id.
+    Fork(usize),
+    /// Join of a thread id.
+    Join(usize),
+    /// Local work of the given weight (ignored by the poset, still a
+    /// legal frame so `gen` output pipes through unchanged).
+    Work(u32),
+}
+
+impl WireOp {
+    /// Renders the op body in trace-line syntax.
+    pub fn render(&self) -> String {
+        match self {
+            WireOp::Read(v) => format!("read {v}"),
+            WireOp::Write(v) => format!("write {v}"),
+            WireOp::Acquire(l) => format!("acquire {l}"),
+            WireOp::Release(l) => format!("release {l}"),
+            WireOp::Fork(t) => format!("fork {t}"),
+            WireOp::Join(t) => format!("join {t}"),
+            WireOp::Work(w) => format!("work {w}"),
+        }
+    }
+}
+
+/// `HELLO` parameters: what the client declares about its stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Hello {
+    /// Number of observed threads (0-based tids).
+    pub threads: usize,
+    /// Bounded subroutine override (`None` = server default).
+    pub algorithm: Option<Algorithm>,
+    /// Enumeration worker override (`None` = server default; the server
+    /// caps it).
+    pub workers: Option<usize>,
+    /// Also capture acquire/release/fork/join as poset events.
+    pub capture_sync: bool,
+    /// Optional session label (single token) echoed in reports.
+    pub label: Option<String>,
+}
+
+impl Hello {
+    /// A minimal `HELLO` for `threads` observed threads.
+    pub fn new(threads: usize) -> Self {
+        Hello {
+            threads,
+            algorithm: None,
+            workers: None,
+            capture_sync: false,
+            label: None,
+        }
+    }
+
+    /// Renders the frame line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut out = format!("HELLO {PROTOCOL_VERSION} threads={}", self.threads);
+        if let Some(algo) = self.algorithm {
+            out.push_str(&format!(" algo={}", algo.name()));
+        }
+        if let Some(workers) = self.workers {
+            out.push_str(&format!(" workers={workers}"));
+        }
+        if self.capture_sync {
+            out.push_str(" capture_sync=1");
+        }
+        if let Some(label) = &self.label {
+            out.push_str(&format!(" label={label}"));
+        }
+        out
+    }
+}
+
+/// One client → server frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientFrame {
+    /// Session start.
+    Hello(Hello),
+    /// One observed operation of `tid`.
+    Event {
+        /// Executing thread (0-based).
+        tid: usize,
+        /// The operation, names not yet interned.
+        op: WireOp,
+    },
+    /// Barrier: ack with live progress.
+    Flush,
+    /// Metrics request.
+    Stats,
+    /// Clean end of stream.
+    End,
+    /// Admin: drain the whole daemon.
+    Shutdown,
+}
+
+impl ClientFrame {
+    /// Renders the frame line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            ClientFrame::Hello(h) => h.encode(),
+            ClientFrame::Event { tid, op } => format!("EVENT {tid} {}", op.render()),
+            ClientFrame::Flush => "FLUSH".to_string(),
+            ClientFrame::Stats => "STATS".to_string(),
+            ClientFrame::End => "END".to_string(),
+            ClientFrame::Shutdown => "SHUTDOWN".to_string(),
+        }
+    }
+}
+
+/// Parses one client frame line (already stripped of the newline).
+pub fn parse_client_line(line: &str) -> Result<ClientFrame, DecodeError> {
+    let line = line.trim_end_matches('\r');
+    let mut parts = line.split_whitespace();
+    let verb = parts.next().ok_or_else(|| proto("empty frame"))?;
+    match verb {
+        "HELLO" => parse_hello(parts),
+        "EVENT" => parse_event(line, parts),
+        "FLUSH" => expect_bare(parts, ClientFrame::Flush),
+        "STATS" => expect_bare(parts, ClientFrame::Stats),
+        "END" => expect_bare(parts, ClientFrame::End),
+        "SHUTDOWN" => expect_bare(parts, ClientFrame::Shutdown),
+        other => Err(proto(format!("unknown frame `{other}`"))),
+    }
+}
+
+fn expect_bare<'a>(
+    mut parts: impl Iterator<Item = &'a str>,
+    frame: ClientFrame,
+) -> Result<ClientFrame, DecodeError> {
+    match parts.next() {
+        None => Ok(frame),
+        Some(extra) => Err(proto(format!("trailing token `{extra}`"))),
+    }
+}
+
+fn parse_hello<'a>(parts: impl Iterator<Item = &'a str>) -> Result<ClientFrame, DecodeError> {
+    let mut version_seen = false;
+    let mut threads: Option<usize> = None;
+    let mut hello = Hello::new(0);
+    for token in parts {
+        if !version_seen {
+            if token != PROTOCOL_VERSION {
+                return Err(DecodeError::new(
+                    ErrCode::Version,
+                    format!("unsupported protocol `{token}` (want {PROTOCOL_VERSION})"),
+                ));
+            }
+            version_seen = true;
+            continue;
+        }
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| proto(format!("expected key=value, got `{token}`")))?;
+        match key {
+            "threads" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| proto(format!("invalid threads `{value}`")))?;
+                if n == 0 {
+                    return Err(proto("need at least one thread"));
+                }
+                threads = Some(n);
+            }
+            "algo" => {
+                hello.algorithm = Some(match value {
+                    "lexical" => Algorithm::Lexical,
+                    "bfs" => Algorithm::Bfs,
+                    "dfs" => Algorithm::Dfs,
+                    other => return Err(proto(format!("unknown algorithm `{other}`"))),
+                });
+            }
+            "workers" => {
+                let w: usize = value
+                    .parse()
+                    .map_err(|_| proto(format!("invalid workers `{value}`")))?;
+                if w == 0 {
+                    return Err(proto("workers must be >= 1"));
+                }
+                hello.workers = Some(w);
+            }
+            "capture_sync" => {
+                hello.capture_sync = match value {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(proto(format!("invalid capture_sync `{other}`"))),
+                };
+            }
+            "label" => {
+                if value.is_empty() {
+                    return Err(proto("empty label"));
+                }
+                hello.label = Some(value.to_string());
+            }
+            other => return Err(proto(format!("unknown HELLO key `{other}`"))),
+        }
+    }
+    if !version_seen {
+        return Err(DecodeError::new(ErrCode::Version, "missing protocol version"));
+    }
+    hello.threads = threads.ok_or_else(|| proto("HELLO missing threads=N"))?;
+    Ok(ClientFrame::Hello(hello))
+}
+
+fn parse_event<'a>(
+    line: &str,
+    mut parts: impl Iterator<Item = &'a str>,
+) -> Result<ClientFrame, DecodeError> {
+    let tid_token = parts.next().ok_or_else(|| proto("EVENT missing thread id"))?;
+    let tid: usize = tid_token
+        .parse()
+        .map_err(|_| proto(format!("invalid thread id `{tid_token}`")))?;
+    let kind = parts.next().ok_or_else(|| proto("EVENT missing operation"))?;
+    let arg = parts.next();
+    if let Some(extra) = parts.next() {
+        return Err(proto(format!("trailing token `{extra}`")));
+    }
+    // Reuse the trace-format grammar: the interners capture the raw name
+    // so the id-based `Op` can be lifted back into a name-carrying
+    // `WireOp` — one source of truth for the operation syntax.
+    let mut var_name: Option<String> = None;
+    let mut lock_name: Option<String> = None;
+    let op = parse_op_body(
+        0,
+        kind,
+        arg,
+        &mut |name| {
+            var_name = Some(name.to_string());
+            VarId(0)
+        },
+        &mut |name| {
+            lock_name = Some(name.to_string());
+            LockId(0)
+        },
+    )
+    .map_err(|ParseError { message, .. }| proto(format!("{message} in `{line}`")))?;
+    let op = match op {
+        Op::Read(_) => WireOp::Read(var_name.expect("read interned a var")),
+        Op::Write(_) => WireOp::Write(var_name.expect("write interned a var")),
+        Op::Acquire(_) => WireOp::Acquire(lock_name.expect("acquire interned a lock")),
+        Op::Release(_) => WireOp::Release(lock_name.expect("release interned a lock")),
+        Op::Fork(t) => WireOp::Fork(t.index()),
+        Op::Join(t) => WireOp::Join(t.index()),
+        Op::Work(w) => WireOp::Work(w),
+    };
+    Ok(ClientFrame::Event { tid, op })
+}
+
+/// Why a session ended — the `reason=` token of a `REPORT` frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EndReason {
+    /// Clean `END` handshake.
+    End,
+    /// The connection dropped mid-stream.
+    Disconnect,
+    /// A session limit tripped.
+    Limit,
+    /// The idle timeout expired.
+    Timeout,
+    /// The daemon drained on shutdown.
+    Shutdown,
+    /// A protocol/state error or an engine error ended the session.
+    Error,
+}
+
+impl EndReason {
+    /// The wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EndReason::End => "end",
+            EndReason::Disconnect => "disconnect",
+            EndReason::Limit => "limit",
+            EndReason::Timeout => "timeout",
+            EndReason::Shutdown => "shutdown",
+            EndReason::Error => "error",
+        }
+    }
+
+    /// Parses a wire token.
+    pub fn from_token(s: &str) -> Option<Self> {
+        Some(match s {
+            "end" => EndReason::End,
+            "disconnect" => EndReason::Disconnect,
+            "limit" => EndReason::Limit,
+            "timeout" => EndReason::Timeout,
+            "shutdown" => EndReason::Shutdown,
+            "error" => EndReason::Error,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for EndReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The final summary of one session, as carried by a `REPORT` frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireReport {
+    /// Events inserted into the session's poset.
+    pub events: u64,
+    /// Consistent cuts enumerated.
+    pub cuts: u64,
+    /// True when `cuts` is Theorem-2 exact for the observed prefix (no
+    /// engine error, no shed intervals).
+    pub complete: bool,
+    /// Why the session ended.
+    pub reason: EndReason,
+}
+
+/// One server → client frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerFrame {
+    /// Acknowledgement, with optional `key=value` details.
+    Ok(Vec<(String, String)>),
+    /// Rejection or failure.
+    Err(DecodeError),
+    /// One line of a metrics dump (JSON object).
+    Stat(String),
+    /// Final session summary.
+    Report(WireReport),
+}
+
+impl ServerFrame {
+    /// Renders the frame line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            ServerFrame::Ok(kvs) => {
+                let mut out = "OK".to_string();
+                for (k, v) in kvs {
+                    out.push_str(&format!(" {k}={v}"));
+                }
+                out
+            }
+            ServerFrame::Err(e) => format!("ERR {} {}", e.code, e.message),
+            ServerFrame::Stat(json) => format!("STAT {json}"),
+            ServerFrame::Report(r) => format!(
+                "REPORT events={} cuts={} complete={} reason={}",
+                r.events, r.cuts, r.complete, r.reason
+            ),
+        }
+    }
+}
+
+/// Parses one server frame line (client side).
+pub fn parse_server_line(line: &str) -> Result<ServerFrame, DecodeError> {
+    let line = line.trim_end_matches('\r');
+    let (verb, rest) = match line.split_once(' ') {
+        Some((v, r)) => (v, r),
+        None => (line, ""),
+    };
+    match verb {
+        "OK" => {
+            let mut kvs = Vec::new();
+            for token in rest.split_whitespace() {
+                let (k, v) = token
+                    .split_once('=')
+                    .ok_or_else(|| proto(format!("bad OK token `{token}`")))?;
+                kvs.push((k.to_string(), v.to_string()));
+            }
+            Ok(ServerFrame::Ok(kvs))
+        }
+        "ERR" => {
+            let (code, message) = match rest.split_once(' ') {
+                Some((c, m)) => (c, m),
+                None => (rest, ""),
+            };
+            let code = ErrCode::from_token(code)
+                .ok_or_else(|| proto(format!("unknown error code `{code}`")))?;
+            Ok(ServerFrame::Err(DecodeError::new(code, message)))
+        }
+        "STAT" => Ok(ServerFrame::Stat(rest.to_string())),
+        "REPORT" => {
+            let mut report = WireReport {
+                events: 0,
+                cuts: 0,
+                complete: false,
+                reason: EndReason::End,
+            };
+            for token in rest.split_whitespace() {
+                let (k, v) = token
+                    .split_once('=')
+                    .ok_or_else(|| proto(format!("bad REPORT token `{token}`")))?;
+                match k {
+                    "events" => {
+                        report.events =
+                            v.parse().map_err(|_| proto(format!("bad events `{v}`")))?
+                    }
+                    "cuts" => {
+                        report.cuts = v.parse().map_err(|_| proto(format!("bad cuts `{v}`")))?
+                    }
+                    "complete" => {
+                        report.complete = match v {
+                            "true" => true,
+                            "false" => false,
+                            _ => return Err(proto(format!("bad complete `{v}`"))),
+                        }
+                    }
+                    "reason" => {
+                        report.reason = EndReason::from_token(v)
+                            .ok_or_else(|| proto(format!("bad reason `{v}`")))?
+                    }
+                    other => return Err(proto(format!("unknown REPORT key `{other}`"))),
+                }
+            }
+            Ok(ServerFrame::Report(report))
+        }
+        other => Err(proto(format!("unknown server frame `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_round_trip() {
+        let hello = Hello {
+            threads: 4,
+            algorithm: Some(Algorithm::Bfs),
+            workers: Some(2),
+            capture_sync: true,
+            label: Some("banking".to_string()),
+        };
+        let line = ClientFrame::Hello(hello.clone()).encode();
+        assert_eq!(
+            line,
+            "HELLO paramount/1 threads=4 algo=bfs workers=2 capture_sync=1 label=banking"
+        );
+        assert_eq!(parse_client_line(&line).unwrap(), ClientFrame::Hello(hello));
+    }
+
+    #[test]
+    fn event_frames_reuse_trace_syntax() {
+        for (line, want) in [
+            (
+                "EVENT 0 read account.balance",
+                WireOp::Read("account.balance".to_string()),
+            ),
+            ("EVENT 0 write x", WireOp::Write("x".to_string())),
+            ("EVENT 0 acquire m", WireOp::Acquire("m".to_string())),
+            ("EVENT 0 release m", WireOp::Release("m".to_string())),
+            ("EVENT 0 fork 3", WireOp::Fork(3)),
+            ("EVENT 0 join 3", WireOp::Join(3)),
+            ("EVENT 0 work 17", WireOp::Work(17)),
+        ] {
+            let frame = parse_client_line(line).unwrap();
+            assert_eq!(frame, ClientFrame::Event { tid: 0, op: want });
+            assert_eq!(frame.encode(), line, "encode is the inverse");
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_strict_errors() {
+        for (line, code) in [
+            ("", ErrCode::Proto),
+            ("NOPE", ErrCode::Proto),
+            ("HELLO paramount/2 threads=2", ErrCode::Version),
+            ("HELLO threads=2", ErrCode::Version),
+            ("HELLO paramount/1", ErrCode::Proto),
+            ("HELLO paramount/1 threads=0", ErrCode::Proto),
+            ("HELLO paramount/1 threads=2 bogus=1", ErrCode::Proto),
+            ("HELLO paramount/1 threads=2 algo=magic", ErrCode::Proto),
+            ("HELLO paramount/1 threads=2 workers=0", ErrCode::Proto),
+            ("EVENT", ErrCode::Proto),
+            ("EVENT x read v", ErrCode::Proto),
+            ("EVENT 0", ErrCode::Proto),
+            ("EVENT 0 frobnicate x", ErrCode::Proto),
+            ("EVENT 0 read x extra", ErrCode::Proto),
+            ("EVENT 0 fork many", ErrCode::Proto),
+            ("FLUSH now", ErrCode::Proto),
+            ("END x", ErrCode::Proto),
+        ] {
+            let err = parse_client_line(line).unwrap_err();
+            assert_eq!(err.code, code, "line `{line}` -> {err}");
+        }
+    }
+
+    #[test]
+    fn server_frames_round_trip() {
+        let frames = [
+            ServerFrame::Ok(vec![("session".to_string(), "7".to_string())]),
+            ServerFrame::Ok(Vec::new()),
+            ServerFrame::Err(DecodeError::new(ErrCode::Limit, "too many sessions")),
+            ServerFrame::Stat("{\"metric\":\"x\",\"value\":1}".to_string()),
+            ServerFrame::Report(WireReport {
+                events: 96,
+                cuts: 815730721,
+                complete: true,
+                reason: EndReason::End,
+            }),
+            ServerFrame::Report(WireReport {
+                events: 12,
+                cuts: 40,
+                complete: true,
+                reason: EndReason::Disconnect,
+            }),
+        ];
+        for frame in frames {
+            let line = frame.encode();
+            assert_eq!(parse_server_line(&line).unwrap(), frame, "{line}");
+        }
+    }
+
+    #[test]
+    fn end_reasons_and_codes_cover_their_tokens() {
+        for reason in [
+            EndReason::End,
+            EndReason::Disconnect,
+            EndReason::Limit,
+            EndReason::Timeout,
+            EndReason::Shutdown,
+            EndReason::Error,
+        ] {
+            assert_eq!(EndReason::from_token(reason.as_str()), Some(reason));
+        }
+        for code in [ErrCode::Proto, ErrCode::State, ErrCode::Limit, ErrCode::Version] {
+            assert_eq!(ErrCode::from_token(code.as_str()), Some(code));
+        }
+        assert_eq!(EndReason::from_token("nope"), None);
+        assert_eq!(ErrCode::from_token("nope"), None);
+    }
+}

@@ -1,0 +1,651 @@
+//! The `paramount serve` daemon: multi-session ingestion over TCP and
+//! Unix sockets.
+//!
+//! Threading model: one accept loop (nonblocking listeners polled on a
+//! short tick) plus one thread per connection. Each connection thread
+//! owns its [`Session`] outright — no session state is shared, so a
+//! malformed stream, a slow client or a mid-stream disconnect is strictly
+//! a single-session event: the thread finalizes its session into a
+//! [`SessionReport`] (exact for the observed prefix, see the session
+//! module docs) and the daemon keeps serving everyone else.
+//!
+//! Shutdown is a drain, not a kill: [`ServerHandle::shutdown`] (hooked to
+//! SIGINT by the CLI) stops the accept loop and raises a flag every
+//! connection thread checks on its read tick; each finalizes with reason
+//! `shutdown`, emits a final `REPORT` to its client, and exits. `run`
+//! then joins everything and returns a [`ServeSummary`] with every
+//! session report and the daemon-wide [`IngestSnapshot`].
+
+use crate::proto::{
+    parse_client_line, ClientFrame, DecodeError, EndReason, ErrCode, ServerFrame, MAX_LINE_BYTES,
+};
+use crate::session::{Session, SessionConfig, SessionReport};
+use paramount::{IngestMetrics, IngestSnapshot};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// How long the accept loop sleeps when no listener had a connection.
+const ACCEPT_TICK: Duration = Duration::from_millis(10);
+
+/// Read-timeout tick for connection threads: the granularity at which a
+/// blocked reader notices shutdown and idle timeouts.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Daemon configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Per-session configuration (engine defaults + limits).
+    pub session: SessionConfig,
+    /// Most sessions allowed to be live at once; further `HELLO`s get
+    /// `ERR limit` and the connection closes.
+    pub max_sessions: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            session: SessionConfig::default(),
+            max_sessions: 64,
+        }
+    }
+}
+
+/// One bound endpoint.
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// Nonblocking accept: `Ok(Some)` on a connection, `Ok(None)` when
+    /// nothing is pending.
+    fn poll_accept(&self) -> io::Result<Option<Stream>> {
+        match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((stream, _)) => Ok(Some(Stream::Tcp(stream))),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            #[cfg(unix)]
+            Listener::Unix(l, _) => match l.accept() {
+                Ok((stream, _)) => Ok(Some(Stream::Unix(stream))),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+/// One accepted connection, TCP or Unix — a unified blocking byte stream
+/// with a read timeout.
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn set_read_timeout(&self, timeout: Duration) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(Some(timeout)),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(Some(timeout)),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Remote-controllable stop switch for a running server. Clone-free:
+/// cheap to share (it is one `Arc`), safe to trigger from a signal
+/// watcher thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful drain: stop accepting, finalize every live
+    /// session (reason `shutdown`), return from [`Server::run`].
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything [`Server::run`] returns after the drain.
+pub struct ServeSummary {
+    /// Final report of every session the daemon served, in completion
+    /// order.
+    pub reports: Vec<SessionReport>,
+    /// Daemon-wide ingest counters.
+    pub ingest: IngestSnapshot,
+}
+
+/// The ingestion daemon. Bind one or more endpoints, then [`Server::run`].
+pub struct Server {
+    config: ServerConfig,
+    listeners: Vec<Listener>,
+    metrics: Arc<IngestMetrics>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// A server with no endpoints yet.
+    pub fn new(config: ServerConfig) -> Self {
+        Server {
+            config,
+            listeners: Vec::new(),
+            metrics: Arc::new(IngestMetrics::new()),
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Binds a TCP endpoint. `addr` may use port 0 for an ephemeral port;
+    /// the actual address is returned (and [`Server::tcp_addrs`] lists
+    /// them all).
+    pub fn bind_tcp(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        self.listeners.push(Listener::Tcp(listener));
+        Ok(local)
+    }
+
+    /// Binds a Unix-domain socket at `path`.
+    #[cfg(unix)]
+    pub fn bind_unix(&mut self, path: impl Into<PathBuf>) -> io::Result<()> {
+        let path = path.into();
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+        self.listeners.push(Listener::Unix(listener, path));
+        Ok(())
+    }
+
+    /// The bound TCP addresses (for ephemeral-port tests and banners).
+    pub fn tcp_addrs(&self) -> Vec<SocketAddr> {
+        self.listeners
+            .iter()
+            .filter_map(|l| match l {
+                Listener::Tcp(l) => l.local_addr().ok(),
+                #[cfg(unix)]
+                Listener::Unix(..) => None,
+            })
+            .collect()
+    }
+
+    /// A stop switch usable from another thread (or a signal handler's
+    /// watcher).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            stop: Arc::clone(&self.stop),
+        }
+    }
+
+    /// Live daemon-wide counters.
+    pub fn ingest_metrics(&self) -> IngestSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Serves until [`ServerHandle::shutdown`], calling `notify` with
+    /// each session's final report the moment it finalizes (connection
+    /// threads call it, so it must be `Sync`). Returns the drained
+    /// summary.
+    pub fn run<F>(self, notify: F) -> io::Result<ServeSummary>
+    where
+        F: Fn(&SessionReport) + Send + Sync + 'static,
+    {
+        assert!(
+            !self.listeners.is_empty(),
+            "bind at least one endpoint before run()"
+        );
+        let notify = Arc::new(notify);
+        let next_id = Arc::new(AtomicU64::new(1));
+        let (report_tx, report_rx) = mpsc::channel::<SessionReport>();
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.stop.load(Ordering::Relaxed) {
+            let mut accepted_any = false;
+            for listener in &self.listeners {
+                loop {
+                    match listener.poll_accept() {
+                        Ok(Some(stream)) => {
+                            accepted_any = true;
+                            let ctx = ConnCtx {
+                                config: self.config,
+                                metrics: Arc::clone(&self.metrics),
+                                stop: Arc::clone(&self.stop),
+                                next_id: Arc::clone(&next_id),
+                                report_tx: report_tx.clone(),
+                                notify: Arc::clone(&notify),
+                            };
+                            workers.push(
+                                std::thread::Builder::new()
+                                    .name("paramount-ingest-conn".to_string())
+                                    .spawn(move || serve_connection(stream, ctx))
+                                    .expect("failed to spawn connection thread"),
+                            );
+                        }
+                        Ok(None) => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        // A single failed accept (e.g. EMFILE) must not
+                        // take the daemon down; back off and keep serving.
+                        Err(_) => break,
+                    }
+                }
+            }
+            workers.retain(|w| !w.is_finished());
+            if !accepted_any {
+                std::thread::sleep(ACCEPT_TICK);
+            }
+        }
+        // Drain: connection threads see the stop flag on their next read
+        // tick and finalize with reason `shutdown`.
+        for worker in workers {
+            let _ = worker.join();
+        }
+        drop(report_tx);
+        let reports = report_rx.into_iter().collect();
+        // Unbind Unix sockets eagerly so a restart can rebind the path.
+        for listener in &self.listeners {
+            #[cfg(unix)]
+            if let Listener::Unix(_, path) = listener {
+                let _ = std::fs::remove_file(path);
+            }
+            #[cfg(not(unix))]
+            let _ = listener;
+        }
+        Ok(ServeSummary {
+            reports,
+            ingest: self.metrics.snapshot(),
+        })
+    }
+}
+
+/// Everything a connection thread needs, bundled for the spawn.
+struct ConnCtx<F: Fn(&SessionReport) + Send + Sync> {
+    config: ServerConfig,
+    metrics: Arc<IngestMetrics>,
+    stop: Arc<AtomicBool>,
+    next_id: Arc<AtomicU64>,
+    report_tx: mpsc::Sender<SessionReport>,
+    notify: Arc<F>,
+}
+
+/// Reads `\n`-terminated lines off a timeout-ticking stream. BufReader's
+/// `read_line` cannot be used here: a timeout mid-line would drop the
+/// partial buffer. This reader keeps partial data across ticks and
+/// enforces [`MAX_LINE_BYTES`].
+struct LineReader {
+    buf: Vec<u8>,
+    /// Parse cursor: bytes before this offset were already returned.
+    pos: usize,
+}
+
+/// One read-tick outcome.
+enum Tick {
+    /// A full line (without the terminator).
+    Line(String),
+    /// Timeout expired with no complete line — chance to check flags.
+    Idle,
+    /// Peer closed the stream.
+    Eof,
+    /// The line grew past [`MAX_LINE_BYTES`].
+    Oversize,
+    /// Hard I/O error; the connection is unusable (details are not
+    /// actionable here — every caller treats this as a disconnect).
+    Err,
+}
+
+impl LineReader {
+    fn new() -> Self {
+        LineReader {
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    fn next(&mut self, stream: &mut Stream) -> Tick {
+        loop {
+            if let Some(rel) = self.buf[self.pos..].iter().position(|&b| b == b'\n') {
+                let end = self.pos + rel;
+                let line = String::from_utf8_lossy(&self.buf[self.pos..end]).into_owned();
+                self.pos = end + 1;
+                // Compact once the consumed prefix dominates the buffer.
+                if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+                    self.buf.drain(..self.pos);
+                    self.pos = 0;
+                }
+                return Tick::Line(line);
+            }
+            if self.buf.len() - self.pos > MAX_LINE_BYTES {
+                return Tick::Oversize;
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return Tick::Eof,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Tick::Idle
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return Tick::Err,
+            }
+        }
+    }
+}
+
+fn send(stream: &mut Stream, frame: &ServerFrame) -> io::Result<()> {
+    let mut line = frame.encode();
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+/// The per-connection protocol loop. Every exit path that has an open
+/// session finalizes it and files the report — the daemon never leaks a
+/// running engine.
+fn serve_connection<F: Fn(&SessionReport) + Send + Sync>(mut stream: Stream, ctx: ConnCtx<F>) {
+    if stream.set_read_timeout(READ_TICK).is_err() {
+        return;
+    }
+    let mut reader = LineReader::new();
+    let mut session: Option<Session> = None;
+    let mut last_frame = Instant::now();
+    // Sessions get their configured idle budget; a connection that never
+    // says HELLO gets the same budget to do so.
+    let pre_hello_idle = ctx.config.session.limits.idle_timeout;
+
+    let outcome: EndReason = loop {
+        match reader.next(&mut stream) {
+            Tick::Idle => {
+                if ctx.stop.load(Ordering::Relaxed) {
+                    if session.is_some() {
+                        break EndReason::Shutdown;
+                    }
+                    return;
+                }
+                let idle_budget = session
+                    .as_ref()
+                    .map(|s| s.idle_timeout())
+                    .unwrap_or(pre_hello_idle);
+                if last_frame.elapsed() >= idle_budget {
+                    if session.is_some() {
+                        let _ = send(
+                            &mut stream,
+                            &ServerFrame::Err(DecodeError::new(
+                                ErrCode::Limit,
+                                format!("idle for more than {idle_budget:?}"),
+                            )),
+                        );
+                        break EndReason::Timeout;
+                    }
+                    return; // silent pre-HELLO connection: just drop it
+                }
+            }
+            Tick::Eof => {
+                if session.is_some() {
+                    break EndReason::Disconnect;
+                }
+                return;
+            }
+            Tick::Oversize => {
+                ctx.metrics.decode_errors.add(1);
+                let _ = send(
+                    &mut stream,
+                    &ServerFrame::Err(DecodeError::new(
+                        ErrCode::Proto,
+                        format!("line exceeds {MAX_LINE_BYTES} bytes"),
+                    )),
+                );
+                if session.is_some() {
+                    break EndReason::Error;
+                }
+                return;
+            }
+            Tick::Err => {
+                if session.is_some() {
+                    break EndReason::Disconnect;
+                }
+                return;
+            }
+            Tick::Line(line) => {
+                last_frame = Instant::now();
+                ctx.metrics.bytes_in.add(line.len() as u64 + 1);
+                if line.trim().is_empty() {
+                    continue; // blank keep-alive lines are free
+                }
+                let frame = match parse_client_line(&line) {
+                    Ok(frame) => {
+                        ctx.metrics.frames_decoded.add(1);
+                        frame
+                    }
+                    Err(err) => {
+                        // Malformed input is survivable: reject the frame,
+                        // keep the session; the stream stays line-aligned
+                        // because frames are lines.
+                        ctx.metrics.decode_errors.add(1);
+                        if send(&mut stream, &ServerFrame::Err(err)).is_err() {
+                            if session.is_some() {
+                                break EndReason::Disconnect;
+                            }
+                            return;
+                        }
+                        continue;
+                    }
+                };
+                match handle_frame(frame, &mut stream, &mut session, &ctx) {
+                    FrameOutcome::Continue => {}
+                    FrameOutcome::Close(reason) => {
+                        if session.is_some() {
+                            break reason;
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+    };
+
+    let session = session.expect("loop only breaks with a live session");
+    let clean = outcome == EndReason::End;
+    let report = session.finalize(outcome);
+    if clean {
+        ctx.metrics.sessions_completed.add(1);
+    } else {
+        ctx.metrics.sessions_aborted.add(1);
+    }
+    ctx.metrics.active_sessions.dec();
+    // Best-effort: tell the client how its session ended. On a clean END
+    // this is the acknowledged REPORT; on disconnect the write fails and
+    // that is fine.
+    let _ = send(&mut stream, &ServerFrame::Report(report.wire()));
+    (ctx.notify)(&report);
+    let _ = ctx.report_tx.send(report);
+}
+
+enum FrameOutcome {
+    Continue,
+    /// Stop the loop; finalize with this reason if a session is open.
+    Close(EndReason),
+}
+
+fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
+    frame: ClientFrame,
+    stream: &mut Stream,
+    session: &mut Option<Session>,
+    ctx: &ConnCtx<F>,
+) -> FrameOutcome {
+    let reply = |stream: &mut Stream, frame: &ServerFrame| {
+        if send(stream, frame).is_err() {
+            FrameOutcome::Close(EndReason::Disconnect)
+        } else {
+            FrameOutcome::Continue
+        }
+    };
+    match frame {
+        ClientFrame::Hello(hello) => {
+            if session.is_some() {
+                ctx.metrics.decode_errors.add(1);
+                return reply(
+                    stream,
+                    &ServerFrame::Err(DecodeError::new(
+                        ErrCode::State,
+                        "session already established",
+                    )),
+                );
+            }
+            if ctx.metrics.active_sessions.get() >= ctx.config.max_sessions {
+                ctx.metrics.sessions_rejected.add(1);
+                let _ = send(
+                    stream,
+                    &ServerFrame::Err(DecodeError::new(
+                        ErrCode::Limit,
+                        format!("daemon is at its session limit ({})", ctx.config.max_sessions),
+                    )),
+                );
+                return FrameOutcome::Close(EndReason::Limit);
+            }
+            let id = ctx.next_id.fetch_add(1, Ordering::Relaxed);
+            match Session::open(id, &hello, &ctx.config.session) {
+                Ok(s) => {
+                    ctx.metrics.sessions_opened.add(1);
+                    ctx.metrics.active_sessions.inc();
+                    *session = Some(s);
+                    reply(
+                        stream,
+                        &ServerFrame::Ok(vec![("session".to_string(), id.to_string())]),
+                    )
+                }
+                Err(err) => {
+                    ctx.metrics.sessions_rejected.add(1);
+                    let _ = send(stream, &ServerFrame::Err(err));
+                    FrameOutcome::Close(EndReason::Limit)
+                }
+            }
+        }
+        ClientFrame::Event { tid, op } => {
+            let Some(s) = session.as_mut() else {
+                ctx.metrics.decode_errors.add(1);
+                return reply(
+                    stream,
+                    &ServerFrame::Err(DecodeError::new(ErrCode::State, "EVENT before HELLO")),
+                );
+            };
+            match s.apply(tid, &op) {
+                Ok(()) => FrameOutcome::Continue, // fire-and-forget
+                Err(err) => {
+                    ctx.metrics.decode_errors.add(1);
+                    let fatal = err.code == ErrCode::Limit;
+                    let out = reply(stream, &ServerFrame::Err(err));
+                    if fatal {
+                        // Limits end the session (exact prefix report);
+                        // state errors only reject the frame.
+                        FrameOutcome::Close(EndReason::Limit)
+                    } else {
+                        out
+                    }
+                }
+            }
+        }
+        ClientFrame::Flush => {
+            let Some(s) = session.as_ref() else {
+                ctx.metrics.decode_errors.add(1);
+                return reply(
+                    stream,
+                    &ServerFrame::Err(DecodeError::new(ErrCode::State, "FLUSH before HELLO")),
+                );
+            };
+            let (events, cuts) = s.progress();
+            reply(
+                stream,
+                &ServerFrame::Ok(vec![
+                    ("events".to_string(), events.to_string()),
+                    ("cuts".to_string(), cuts.to_string()),
+                ]),
+            )
+        }
+        ClientFrame::Stats => {
+            // In-session: the session's engine metrics. Pre-HELLO: the
+            // daemon-wide ingest counters (this is how `paramount stats
+            // --connect` scrapes a live daemon).
+            let json = match session.as_ref() {
+                Some(s) => {
+                    let label = s.label().unwrap_or("session").to_string();
+                    s.metrics().to_json_lines(&label)
+                }
+                None => ctx.metrics.snapshot().to_json_lines("ingest"),
+            };
+            for line in json.lines() {
+                if send(stream, &ServerFrame::Stat(line.to_string())).is_err() {
+                    return FrameOutcome::Close(EndReason::Disconnect);
+                }
+            }
+            reply(stream, &ServerFrame::Ok(Vec::new()))
+        }
+        ClientFrame::End => {
+            if session.is_none() {
+                ctx.metrics.decode_errors.add(1);
+                return reply(
+                    stream,
+                    &ServerFrame::Err(DecodeError::new(ErrCode::State, "END before HELLO")),
+                );
+            }
+            FrameOutcome::Close(EndReason::End)
+        }
+        ClientFrame::Shutdown => {
+            if session.is_some() {
+                ctx.metrics.decode_errors.add(1);
+                return reply(
+                    stream,
+                    &ServerFrame::Err(DecodeError::new(
+                        ErrCode::State,
+                        "SHUTDOWN is an admin frame; END your session first",
+                    )),
+                );
+            }
+            let out = reply(stream, &ServerFrame::Ok(Vec::new()));
+            ctx.stop.store(true, Ordering::Relaxed);
+            out
+        }
+    }
+}

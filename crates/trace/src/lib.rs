@@ -36,11 +36,13 @@ mod observer;
 mod op;
 mod recorder;
 pub mod sim;
+pub mod textfmt;
 
 pub use event::{Access, EventCollection, TraceEvent};
 pub use ids::{LockId, VarId};
 pub use observer::{CollectOps, NullObserver, OpObserver, PairObserver, RecorderObserver};
 pub use op::{Op, Program, ProgramBuilder, ThreadScript};
 pub use recorder::{EventOut, PosetCollector, Recorder, RecorderConfig};
+pub use textfmt::{parse_trace, write_trace, ParseError, TraceFile};
 
 pub use paramount_poset::{Poset, Tid};

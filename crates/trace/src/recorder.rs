@@ -125,6 +125,21 @@ impl<E: EventOut> Recorder<E> {
         self.clocks.len()
     }
 
+    /// Number of locks currently known to the recorder.
+    pub fn num_locks(&self) -> usize {
+        self.lock_clocks.len()
+    }
+
+    /// Grows the lock table so ids `0..n` are valid. Streaming sessions
+    /// (the ingest wire protocol) intern locks by name on first use, so
+    /// the full lock count is not known when the recorder is created.
+    pub fn ensure_locks(&mut self, n: usize) {
+        let threads = self.num_threads();
+        while self.lock_clocks.len() < n {
+            self.lock_clocks.push(VectorClock::zero(threads));
+        }
+    }
+
     /// Events emitted so far.
     pub fn events_emitted(&self) -> u64 {
         self.events_emitted

@@ -1,0 +1,316 @@
+//! Parsing and writing the textual trace format.
+//!
+//! This lives in the trace crate (not the CLI) because it is shared
+//! infrastructure: the `paramount` command-line tool reads and writes
+//! whole trace files, and the `paramount-ingest` wire protocol reuses the
+//! same per-line operation syntax for its `EVENT` frames.
+
+use crate::{Op, OpObserver, PosetCollector, Recorder, RecorderConfig, TraceEvent};
+use paramount_poset::{Poset, Tid};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed trace: thread count, the observed global operation order,
+/// and the name tables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceFile {
+    /// Number of threads (0-based ids).
+    pub threads: usize,
+    /// Operations in observed order: `(executing thread, operation)`.
+    pub ops: Vec<(Tid, Op)>,
+    /// Variable names, indexed by `VarId`.
+    pub var_names: Vec<String>,
+    /// Lock names, indexed by `LockId`.
+    pub lock_names: Vec<String>,
+}
+
+/// A parse failure, with the offending 1-based line number.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl TraceFile {
+    /// Replays the trace through the happened-before recorder, yielding
+    /// the observed poset.
+    pub fn to_poset(&self, capture_sync: bool) -> Poset<TraceEvent> {
+        let recorder = Recorder::new(
+            self.threads,
+            self.lock_names.len(),
+            RecorderConfig { capture_sync },
+            PosetCollector::new(self.threads),
+        );
+        let mut observer = crate::RecorderObserver::new(recorder);
+        for &(tid, op) in &self.ops {
+            observer.op(tid, op);
+        }
+        for t in 0..self.threads {
+            observer.thread_finished(Tid::from(t));
+        }
+        observer.finish().into_poset()
+    }
+
+    /// Name of a variable (for reports).
+    pub fn var_name(&self, v: crate::VarId) -> &str {
+        &self.var_names[v.index()]
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses one operation body — the part of a trace line after the thread
+/// id, e.g. `read balance` or `fork 2` — interning variable and lock
+/// names through the provided closures.
+///
+/// Shared between [`parse_trace`] and the ingest wire codec (`EVENT`
+/// frames carry exactly this syntax). `line` is only used for error
+/// reporting.
+pub fn parse_op_body(
+    line_no: usize,
+    kind: &str,
+    arg: Option<&str>,
+    intern_var: &mut dyn FnMut(&str) -> crate::VarId,
+    intern_lock: &mut dyn FnMut(&str) -> crate::LockId,
+) -> Result<Op, ParseError> {
+    let op = match (kind, arg) {
+        ("read", Some(name)) => Op::Read(intern_var(name)),
+        ("write", Some(name)) => Op::Write(intern_var(name)),
+        ("acquire", Some(name)) => Op::Acquire(intern_lock(name)),
+        ("release", Some(name)) => Op::Release(intern_lock(name)),
+        ("fork", Some(t)) => Op::Fork(Tid(t
+            .parse()
+            .map_err(|_| err(line_no, "invalid fork target"))?)),
+        ("join", Some(t)) => Op::Join(Tid(t
+            .parse()
+            .map_err(|_| err(line_no, "invalid join target"))?)),
+        ("work", Some(w)) => Op::Work(w.parse().map_err(|_| err(line_no, "invalid work weight"))?),
+        (other, _) => {
+            return Err(err(
+                line_no,
+                format!("unknown or malformed operation `{other}`"),
+            ))
+        }
+    };
+    Ok(op)
+}
+
+/// Renders one operation in the trace-line syntax (inverse of
+/// [`parse_op_body`]), given the session's name tables.
+pub fn render_op(op: Op, var_names: &[String], lock_names: &[String]) -> String {
+    match op {
+        Op::Read(v) => format!("read {}", var_names[v.index()]),
+        Op::Write(v) => format!("write {}", var_names[v.index()]),
+        Op::Acquire(l) => format!("acquire {}", lock_names[l.index()]),
+        Op::Release(l) => format!("release {}", lock_names[l.index()]),
+        Op::Fork(t) => format!("fork {}", t.index()),
+        Op::Join(t) => format!("join {}", t.index()),
+        Op::Work(w) => format!("work {w}"),
+    }
+}
+
+/// Parses the textual trace format.
+pub fn parse_trace(input: &str) -> Result<TraceFile, ParseError> {
+    let mut threads: Option<usize> = None;
+    let mut ops = Vec::new();
+    let mut vars: Vec<String> = Vec::new();
+    let mut var_index: HashMap<String, u32> = HashMap::new();
+    let mut locks: Vec<String> = Vec::new();
+    let mut lock_index: HashMap<String, u32> = HashMap::new();
+
+    for (i, raw) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let first = parts.next().expect("non-empty line");
+        if first == "threads" {
+            let count: usize = parts
+                .next()
+                .ok_or_else(|| err(line_no, "missing thread count"))?
+                .parse()
+                .map_err(|_| err(line_no, "invalid thread count"))?;
+            if count == 0 {
+                return Err(err(line_no, "need at least one thread"));
+            }
+            threads = Some(count);
+            continue;
+        }
+        let n = threads.ok_or_else(|| err(line_no, "`threads N` must come first"))?;
+        let tid: usize = first
+            .parse()
+            .map_err(|_| err(line_no, format!("invalid thread id `{first}`")))?;
+        if tid >= n {
+            return Err(err(
+                line_no,
+                format!("thread {tid} out of range (threads {n})"),
+            ));
+        }
+        let kind = parts
+            .next()
+            .ok_or_else(|| err(line_no, "missing operation"))?;
+        let arg = parts.next();
+        let op = parse_op_body(
+            line_no,
+            kind,
+            arg,
+            &mut |name| {
+                let id = *var_index.entry(name.to_string()).or_insert_with(|| {
+                    vars.push(name.to_string());
+                    vars.len() as u32 - 1
+                });
+                crate::VarId(id)
+            },
+            &mut |name| {
+                let id = *lock_index.entry(name.to_string()).or_insert_with(|| {
+                    locks.push(name.to_string());
+                    locks.len() as u32 - 1
+                });
+                crate::LockId(id)
+            },
+        )?;
+        if let Some(extra) = parts.next() {
+            return Err(err(line_no, format!("trailing token `{extra}`")));
+        }
+        ops.push((Tid::from(tid), op));
+    }
+    let threads = threads.ok_or_else(|| err(1, "missing `threads N` header"))?;
+    Ok(TraceFile {
+        threads,
+        ops,
+        var_names: vars,
+        lock_names: locks,
+    })
+}
+
+/// Writes a trace in the textual format (inverse of [`parse_trace`]).
+pub fn write_trace(trace: &TraceFile) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("threads {}\n", trace.threads));
+    for &(tid, op) in &trace.ops {
+        out.push_str(&format!(
+            "{} {}\n",
+            tid.index(),
+            render_op(op, &trace.var_names, &trace.lock_names)
+        ));
+    }
+    out
+}
+
+/// Records a workload program's (seeded) execution as a trace file —
+/// `paramount gen`'s engine.
+pub fn trace_of_program(program: &crate::Program, seed: u64) -> TraceFile {
+    let mut collect = crate::CollectOps::default();
+    crate::sim::SimScheduler::new(seed).run_with(program, &mut collect);
+    TraceFile {
+        threads: program.num_threads(),
+        ops: collect.ops,
+        var_names: (0..program.num_vars())
+            .map(|v| program.var_name(crate::VarId(v as u32)).to_string())
+            .collect(),
+        lock_names: (0..program.num_locks())
+            .map(|l| program.lock_name(crate::LockId(l as u32)).to_string())
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a sample trace
+threads 2
+0 write balance
+0 fork 1
+1 acquire m
+1 read balance
+1 release m
+0 join 1
+";
+
+    #[test]
+    fn parse_round_trip() {
+        let trace = parse_trace(SAMPLE).unwrap();
+        assert_eq!(trace.threads, 2);
+        assert_eq!(trace.ops.len(), 6);
+        assert_eq!(trace.var_names, vec!["balance"]);
+        assert_eq!(trace.lock_names, vec!["m"]);
+        let rendered = write_trace(&trace);
+        let reparsed = parse_trace(&rendered).unwrap();
+        assert_eq!(trace, reparsed);
+    }
+
+    #[test]
+    fn to_poset_builds_hb() {
+        let trace = parse_trace(SAMPLE).unwrap();
+        let poset = trace.to_poset(false);
+        // Main's write, then (via fork) t1's read: ordered.
+        assert_eq!(poset.num_events(), 2);
+        let a = paramount_poset::EventId::new(Tid(0), 1);
+        let b = paramount_poset::EventId::new(Tid(1), 1);
+        assert!(poset.happened_before(a, b));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = parse_trace("threads 2\n9 read x\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("out of range"));
+
+        let e = parse_trace("0 read x\n").unwrap_err();
+        assert!(e.message.contains("threads"));
+
+        let e = parse_trace("threads 2\n0 frobnicate x\n").unwrap_err();
+        assert!(e.message.contains("unknown"));
+
+        let e = parse_trace("threads 2\n0 read x extra\n").unwrap_err();
+        assert!(e.message.contains("trailing"));
+
+        let e = parse_trace("threads 0\n").unwrap_err();
+        assert!(e.message.contains("at least one"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let trace = parse_trace("\n# hi\nthreads 1\n\n0 work 5\n# bye\n").unwrap();
+        assert_eq!(trace.ops.len(), 1);
+    }
+
+    #[test]
+    fn gen_program_trace_is_parsable() {
+        let program = crate::gen::random_program(
+            "fuzz",
+            crate::gen::RandomProgramConfig::default(),
+            11,
+        );
+        let trace = trace_of_program(&program, 3);
+        let rendered = write_trace(&trace);
+        let reparsed = parse_trace(&rendered).unwrap();
+        assert_eq!(reparsed.ops.len(), program.num_ops());
+        // The replayed poset must match a direct capture of the same seed.
+        let direct = crate::sim::SimScheduler::new(3).run(&program);
+        let replayed = reparsed.to_poset(false);
+        assert_eq!(direct.num_events(), replayed.num_events());
+        for (a, b) in direct.events().zip(replayed.events()) {
+            assert_eq!(a.vc, b.vc);
+        }
+    }
+}

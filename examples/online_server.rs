@@ -1,97 +1,118 @@
-//! Non-terminating programs: monitoring a "server" that never exits.
+//! Streaming ingestion end to end: monitoring live executions over the
+//! wire.
 //!
 //! Offline enumeration algorithms need the complete poset before they can
 //! start; ParaMount's online mode enumerates *incrementally*, so a
 //! long-running service can be monitored continuously — the paper's
-//! motivation for web-server applications (§1, §7).
+//! motivation for web-server applications (§1, §7). This example takes
+//! that one step further than in-process observation: it spawns a real
+//! `paramount serve` daemon on a loopback socket and feeds it through
+//! `paramount_ingest::client`, exactly as an external process would.
 //!
-//! This example simulates a request-processing server: worker threads
-//! handle batches of requests indefinitely (here: until we stop them),
-//! while the online detector watches for a mutual-exclusion-style
-//! condition — two workers simultaneously past their "critical section
-//! entered" event — and reports periodically without ever needing the
-//! execution to finish.
+//! Two sessions run against the daemon:
+//!
+//! 1. **monitor** — a hand-rolled request-processing loop (workers take a
+//!    bus lock, touch the shared queue, then do private work) streamed
+//!    frame by frame, with periodic `FLUSH` round-trips printing exact
+//!    global-state counts while the poset is still growing. The final
+//!    report is verified against an offline recount of the same trace.
+//! 2. **banking-live** — a real threaded execution of the banking
+//!    workload, piped onto the socket as it happens via
+//!    [`paramount_ingest::stream_program`]. Its lattice size is
+//!    interleaving-independent, so the expected count is known exactly.
 //!
 //! Run with: `cargo run --example online_server`
 
+use paramount_ingest::{stream_program, Client, Hello, Server, ServerConfig, WireOp};
 use paramount_suite::prelude::*;
-use std::ops::ControlFlow;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use paramount_trace::textfmt;
+use paramount_workloads::banking;
 
 fn main() {
+    // The daemon: one in-process `paramount serve`, ephemeral port.
+    let mut server = Server::new(ServerConfig::default());
+    let addr = server.bind_tcp("127.0.0.1:0").expect("bind loopback");
+    let handle = server.handle();
+    let daemon = std::thread::spawn(move || {
+        server
+            .run(|report| {
+                println!(
+                    "[daemon]  session {} ({}) finalized: {} events, {} global states, reason {}",
+                    report.id,
+                    report.label.as_deref().unwrap_or("-"),
+                    report.events,
+                    report.cuts,
+                    report.reason,
+                );
+            })
+            .expect("serve")
+    });
+    println!("[daemon]  listening on tcp {addr}");
+
+    // Session 1: the "server that never exits", monitored frame by frame.
     const WORKERS: usize = 3;
-    const BATCHES: usize = 40; // "forever", abridged for the example
+    const BATCHES: usize = 12;
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let mut hello = Hello::new(WORKERS);
+    hello.label = Some("monitor".to_string());
+    client.hello(&hello).expect("HELLO");
 
-    // Condition: all workers' frontier events are odd-indexed — in this
-    // toy encoding, "inside request processing" — simultaneously.
-    let overlaps = Arc::new(AtomicU64::new(0));
-    let cuts_seen = Arc::new(AtomicU64::new(0));
-    let sink_overlaps = Arc::clone(&overlaps);
-    let sink_cuts = Arc::clone(&cuts_seen);
-    let engine = OnlineEngine::new(
-        WORKERS,
-        OnlineEngineConfig {
-            workers: 2,
-            ..OnlineEngineConfig::default()
-        },
-        move |cut: &Frontier, _owner: EventId| {
-            sink_cuts.fetch_add(1, Ordering::Relaxed);
-            let all_processing = (0..WORKERS).all(|i| {
-                let k = cut.get(Tid::from(i));
-                k > 0 && k % 2 == 1
-            });
-            if all_processing {
-                sink_overlaps.fetch_add(1, Ordering::Relaxed);
-            }
-            ControlFlow::Continue(())
-        },
-    );
-
-    // The "server": each batch, every worker emits a begin-processing
-    // event (odd) and an end-processing event (even); occasionally a
-    // worker hands work to its neighbor, creating a causal edge. Events
-    // stream into the engine as they happen; enumeration runs behind.
-    let mut last_end: Vec<Option<EventId>> = vec![None; WORKERS];
+    // Mirror every frame as a trace line so we can recount offline.
+    let mut mirror = vec![format!("threads {WORKERS}")];
     for batch in 0..BATCHES {
         for w in 0..WORKERS {
-            let t = Tid::from(w);
-            // begin processing (depends on neighbor's last completion
-            // every third batch — a hand-off edge)
-            let deps: Vec<EventId> = if batch % 3 == 2 {
-                last_end[(w + 1) % WORKERS].into_iter().collect()
-            } else {
-                Vec::new()
-            };
-            engine.observe_after(t, &deps, ());
-            // end processing
-            last_end[w] = Some(engine.observe_after(t, &[], ()));
+            let ops = [
+                WireOp::Acquire("bus".to_string()),
+                WireOp::Write("queue".to_string()),
+                WireOp::Release("bus".to_string()),
+                WireOp::Write(format!("scratch{w}")),
+            ];
+            for op in &ops {
+                client.event(w, op).expect("EVENT");
+                mirror.push(format!("{w} {}", op.render()));
+            }
         }
-        if batch % 10 == 9 {
-            // Periodic report — the poset is still growing, yet counts
-            // are exact for everything enumerated so far.
+        if batch % 4 == 3 {
+            // FLUSH is a synchronous barrier: the daemon reports exactly
+            // how far insertion and enumeration have progressed.
+            let (events, cuts) = client.flush_sync().expect("FLUSH");
             println!(
-                "after batch {:>2}: {:>9} global states inspected, {:>7} all-processing overlaps",
+                "[monitor] after batch {:>2}: {events:>3} events inserted, {cuts:>4} global states so far",
                 batch + 1,
-                cuts_seen.load(Ordering::Relaxed),
-                overlaps.load(Ordering::Relaxed),
             );
         }
     }
+    let report = client.finish().expect("REPORT");
+    println!(
+        "[monitor] final report: {} events, {} consistent global states (complete: {})",
+        report.events, report.cuts, report.complete,
+    );
 
-    let report = engine.finish();
-    println!(
-        "\nserver 'ran forever' ({} events); the monitor kept up incrementally:",
-        report.events
-    );
-    println!(
-        "  {} consistent global states enumerated exactly once, {} overlap states",
-        report.cuts,
-        overlaps.load(Ordering::Relaxed)
-    );
-    // Sanity: the final count matches an offline recount of the frozen
-    // poset.
-    let expected = oracle::count_ideals(&report.poset);
+    // Every cut exactly once, across the wire: recount the identical
+    // trace offline and compare.
+    let trace = textfmt::parse_trace(&(mirror.join("\n") + "\n")).expect("mirror trace");
+    let expected = oracle::count_ideals(&trace.to_poset(false));
     assert_eq!(report.cuts, expected);
-    println!("  (verified against an offline recount: {expected})");
+    println!("[monitor] verified against an offline recount: {expected}");
+
+    // Session 2: a live threaded execution, streamed as it happens.
+    let program = banking::wide_program(3, 2);
+    let client = Client::connect_tcp(addr).expect("connect");
+    let report = stream_program(client, &program, 1, |hello| {
+        hello.label = Some("banking-live".to_string());
+    })
+    .expect("stream banking");
+    println!(
+        "[banking] {} events, {} consistent global states from a live execution",
+        report.events, report.cuts,
+    );
+    // wide_program(t, r) has exactly 1 + (2r+1)^t ideals, whatever the
+    // interleaving — the daemon must agree.
+    assert_eq!(report.cuts, 126);
+
+    // Drain: every session already finalized; print the daemon totals.
+    handle.shutdown();
+    let summary = daemon.join().expect("daemon thread");
+    println!();
+    print!("{}", summary.ingest.render_text());
 }
