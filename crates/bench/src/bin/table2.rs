@@ -82,10 +82,13 @@ fn main() {
         let rv_time = match rv.outcome {
             DetectorOutcome::Completed => ms(rv.wall),
             DetectorOutcome::OutOfMemory { .. } => "o.o.m.".to_string(),
+            DetectorOutcome::Faulted { .. } => "fault".to_string(),
         };
         let rv_count = match rv.outcome {
             DetectorOutcome::Completed => rv.num_detections().to_string(),
-            DetectorOutcome::OutOfMemory { .. } => "-".to_string(),
+            DetectorOutcome::OutOfMemory { .. } | DetectorOutcome::Faulted { .. } => {
+                "-".to_string()
+            }
         };
 
         // FastTrack over the same threaded execution.

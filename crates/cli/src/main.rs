@@ -23,6 +23,7 @@ USAGE:
                                [--max-events N] [--idle-timeout SECS] [--quiet]
   paramount send <trace>       --connect HOST:PORT | --unix PATH
                                [--algo A] [--workers K] [--label L] [--capture-sync]
+                               [--retries N] [--backoff-ms MS]   (reconnect & replay)
   paramount shutdown           --connect HOST:PORT | --unix PATH
   paramount help
 
@@ -242,7 +243,19 @@ fn send(args: &[String]) -> Result<String, CliError> {
     let workers = parse_number(args, "--workers")?;
     let label = flag_value(args, "--label");
     let capture_sync = args.iter().any(|a| a == "--capture-sync");
-    net::send(&trace, &target, algorithm, workers, label, capture_sync).map_err(CliError::Run)
+    let retries = parse_number(args, "--retries")?.unwrap_or(0);
+    let backoff_ms = parse_number(args, "--backoff-ms")?.unwrap_or(200);
+    net::send(
+        &trace,
+        &target,
+        algorithm,
+        workers,
+        label,
+        capture_sync,
+        retries,
+        backoff_ms,
+    )
+    .map_err(CliError::Run)
 }
 
 fn run() -> Result<String, CliError> {

@@ -4,7 +4,8 @@
 
 use paramount::Algorithm;
 use paramount_ingest::{
-    Client, EndReason, Hello, ServeSummary, Server, ServerConfig, SessionReport,
+    send_trace_with_retry, Client, EndReason, Hello, ServeSummary, Server, ServerConfig,
+    SessionReport,
 };
 use paramount_trace::textfmt::TraceFile;
 use std::fmt::Write as _;
@@ -22,14 +23,26 @@ pub enum Target {
 }
 
 impl Target {
-    fn connect(&self) -> Result<Client, String> {
+    fn connect_io(&self) -> std::io::Result<Client> {
         match self {
-            Target::Tcp(addr) => {
-                Client::connect_tcp(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
-            }
+            Target::Tcp(addr) => Client::connect_tcp(addr.as_str()),
             #[cfg(unix)]
-            Target::Unix(path) => Client::connect_unix(path)
-                .map_err(|e| format!("cannot connect to {}: {e}", path.display())),
+            Target::Unix(path) => Client::connect_unix(path),
+        }
+    }
+
+    fn connect(&self) -> Result<Client, String> {
+        self.connect_io()
+            .map_err(|e| format!("cannot connect to {self}: {e}"))
+    }
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Target::Tcp(addr) => write!(f, "{addr}"),
+            #[cfg(unix)]
+            Target::Unix(path) => write!(f, "{}", path.display()),
         }
     }
 }
@@ -154,6 +167,11 @@ pub fn summary_text(summary: &ServeSummary) -> String {
 
 /// `paramount send`: stream a parsed trace into a daemon and report the
 /// daemon's final count in the same shape as `paramount count`.
+///
+/// `retries` extra attempts reconnect and replay the whole session with
+/// exponential backoff starting at `backoff_ms` (see
+/// [`paramount_ingest::RetryPolicy`]); on exhaustion the error names the
+/// server-acknowledged partial prefix.
 pub fn send(
     trace: &TraceFile,
     target: &Target,
@@ -161,8 +179,9 @@ pub fn send(
     workers: Option<usize>,
     label: Option<String>,
     capture_sync: bool,
+    retries: u32,
+    backoff_ms: u64,
 ) -> Result<String, String> {
-    let mut client = target.connect()?;
     let hello = Hello {
         threads: trace.threads,
         algorithm,
@@ -170,15 +189,24 @@ pub fn send(
         capture_sync,
         label,
     };
-    let session = client.hello(&hello).map_err(|e| e.to_string())?;
-    client.stream_trace(trace).map_err(|e| e.to_string())?;
-    let report = client.finish().map_err(|e| e.to_string())?;
+    let policy = paramount_ingest::RetryPolicy::new(
+        retries.saturating_add(1),
+        std::time::Duration::from_millis(backoff_ms),
+    );
+    let (report, session, attempts) =
+        send_trace_with_retry(|| target.connect_io(), &hello, trace, policy)
+            .map_err(|e| format!("cannot send to {target}: {e}"))?;
     Ok(format!(
-        "{} events, {} consistent global states (session {session}, reason {}{})\n",
+        "{} events, {} consistent global states (session {session}, reason {}{}{})\n",
         report.events,
         report.cuts,
         report.reason,
         if report.complete { "" } else { ", INCOMPLETE" },
+        if attempts > 1 {
+            format!(", {attempts} attempts")
+        } else {
+            String::new()
+        },
     ))
 }
 
@@ -234,6 +262,8 @@ mod tests {
             None,
             Some("cli-test".to_string()),
             false,
+            0,
+            200,
         )
         .expect("send");
 
@@ -259,6 +289,120 @@ mod tests {
         daemon.join().expect("daemon");
     }
 
+    /// `send --retries`: the daemon's front door drops the first
+    /// connection cold; the retry replays the whole session and the
+    /// reported count still matches the offline oracle.
+    #[test]
+    fn send_retries_through_a_dropped_first_connection() {
+        use std::net::{TcpListener, TcpStream};
+
+        let opts = ServeOptions {
+            listen: vec!["127.0.0.1:0".to_string()],
+            ..ServeOptions::default()
+        };
+        let (server, addrs) = build_server(&opts).expect("bind");
+        let upstream = addrs[0];
+        let handle = server.handle();
+        let daemon = std::thread::spawn(move || server.run(|_| {}).expect("run"));
+
+        // A flaky front door: connection 1 is dropped on sight,
+        // connection 2 is proxied byte-for-byte to the real daemon.
+        let door = TcpListener::bind("127.0.0.1:0").expect("bind door");
+        let door_addr = door.local_addr().unwrap();
+        let proxy = std::thread::spawn(move || {
+            let (first, _) = door.accept().expect("accept doomed");
+            drop(first);
+            let (client_side, _) = door.accept().expect("accept retry");
+            let server_side = TcpStream::connect(upstream).expect("dial upstream");
+            let mut c2s_src = client_side.try_clone().expect("clone");
+            let mut c2s_dst = server_side.try_clone().expect("clone");
+            let uplink = std::thread::spawn(move || {
+                let _ = std::io::copy(&mut c2s_src, &mut c2s_dst);
+                let _ = c2s_dst.shutdown(std::net::Shutdown::Write);
+            });
+            let (mut s2c_src, mut s2c_dst) = (server_side, client_side);
+            let _ = std::io::copy(&mut s2c_src, &mut s2c_dst);
+            uplink.join().expect("uplink");
+        });
+
+        let text = write_trace(&trace_of_program(
+            &banking::program(&banking::Params::default()),
+            3,
+        ));
+        let trace = parse_trace(&text).expect("parse");
+        let offline = crate::commands::count(&trace, Algorithm::Lexical, 2).expect("count");
+        let streamed = send(
+            &trace,
+            &Target::Tcp(door_addr.to_string()),
+            None,
+            None,
+            None,
+            false,
+            2,
+            1,
+        )
+        .expect("retry must recover");
+
+        assert!(streamed.contains("2 attempts"), "{streamed}");
+        let states = |s: &str| -> u64 {
+            s.split(" consistent global states").next().unwrap()[..]
+                .rsplit(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(states(&streamed), states(&offline));
+
+        proxy.join().expect("proxy");
+        handle.shutdown();
+        daemon.join().expect("daemon");
+    }
+
+    /// Every connection dies: the send exhausts its attempts and the
+    /// error surfaces the acknowledged partial prefix (the CLI maps this
+    /// to a nonzero exit).
+    #[test]
+    fn send_exhausting_retries_reports_partial_prefix() {
+        use std::net::TcpListener;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let dropper = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while let Ok((stream, _)) = listener.accept() {
+                    drop(stream);
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+            })
+        };
+
+        let trace = parse_trace("threads 1\n0 write x\n").expect("parse");
+        let err = send(
+            &trace,
+            &Target::Tcp(addr.to_string()),
+            None,
+            None,
+            None,
+            false,
+            2,
+            1,
+        )
+        .expect_err("every attempt is dropped");
+        assert!(err.contains("after 3 attempts"), "{err}");
+        assert!(err.contains("partial prefix"), "{err}");
+
+        stop.store(true, Ordering::SeqCst);
+        let _ = std::net::TcpStream::connect(addr); // unblock the accept loop
+        dropper.join().expect("dropper");
+    }
+
     #[test]
     fn summary_text_counts_outcomes() {
         let opts = ServeOptions {
@@ -277,6 +421,8 @@ mod tests {
                 None,
                 None,
                 false,
+                0,
+                200,
             )
             .expect("send");
             handle.shutdown();

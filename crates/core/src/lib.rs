@@ -36,6 +36,7 @@
 //! Consumers receive cuts through [`ParallelCutSink`], the `Sync` analog of
 //! the sequential [`paramount_enumerate::CutSink`].
 
+pub mod faults;
 pub mod interval;
 pub mod metrics;
 pub mod offline;
@@ -43,13 +44,14 @@ pub mod online;
 mod sink;
 pub mod store;
 
+pub use faults::{FaultLog, FaultPlan, Outcome, QuarantinedInterval};
 pub use interval::{measure_interval_work, partition, Interval};
 pub use metrics::{
     HistogramSnapshot, IngestMetrics, IngestSnapshot, MetricsSnapshot, ParaMetrics, WorkerSnapshot,
 };
 pub use offline::{ParaMount, ParaStats};
 pub use online::{BackpressurePolicy, OnlineEngine, OnlineEngineConfig, OnlinePoset, OnlineReport};
-pub use sink::{AtomicCountSink, ConcurrentCollectSink, ParallelCutSink, SinkBridge};
+pub use sink::{AtomicCountSink, ConcurrentCollectSink, MeteredSink, ParallelCutSink, SinkBridge};
 
-pub use paramount_enumerate::{Algorithm, EnumError, EnumStats};
+pub use paramount_enumerate::{panic_message, Algorithm, EnumError, EnumStats};
 pub use paramount_poset::{CutSpace, EventId, Frontier, Poset, Tid, VectorClock};

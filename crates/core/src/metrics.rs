@@ -260,6 +260,24 @@ pub struct ParaMetrics {
     pub intervals_rejected: ShardedCounter,
     /// Cuts emitted to the sink.
     pub cuts_emitted: ShardedCounter,
+    /// Worker panics contained at the per-interval `catch_unwind`
+    /// boundary (sink/predicate panics and injected faults alike).
+    pub worker_panics: ShardedCounter,
+    /// Intervals abandoned into the [`FaultLog`] after a contained
+    /// panic (or an injected dispatch fault) — any nonzero value means
+    /// the run is [`Outcome::Degraded`] and the report says so.
+    ///
+    /// [`FaultLog`]: crate::faults::FaultLog
+    /// [`Outcome::Degraded`]: crate::faults::Outcome::Degraded
+    pub intervals_quarantined: ShardedCounter,
+    /// Intervals re-run after a panic that emitted zero cuts (the one
+    /// bounded retry before quarantine).
+    pub intervals_retried: ShardedCounter,
+    /// Worker bodies restarted by the supervisor after an escaped panic.
+    pub worker_restarts: ShardedCounter,
+    /// Worker threads that could not be spawned at engine construction
+    /// (the engine degrades to the workers that did start).
+    pub worker_spawn_failures: ShardedCounter,
     /// Distribution of cut counts per interval — the work-skew instrument
     /// (Figure 10/11's load-balance story, measured instead of assumed).
     pub interval_cuts: Log2Histogram,
@@ -283,6 +301,11 @@ impl ParaMetrics {
             intervals_spilled: ShardedCounter::new(),
             intervals_rejected: ShardedCounter::new(),
             cuts_emitted: ShardedCounter::new(),
+            worker_panics: ShardedCounter::new(),
+            intervals_quarantined: ShardedCounter::new(),
+            intervals_retried: ShardedCounter::new(),
+            worker_restarts: ShardedCounter::new(),
+            worker_spawn_failures: ShardedCounter::new(),
             interval_cuts: Log2Histogram::new(),
             insert_critical_ns: Log2Histogram::new(),
             queue_depth: HighWaterGauge::new(),
@@ -319,6 +342,11 @@ impl ParaMetrics {
             intervals_spilled: self.intervals_spilled.sum(),
             intervals_rejected: self.intervals_rejected.sum(),
             cuts_emitted: self.cuts_emitted.sum(),
+            worker_panics: self.worker_panics.sum(),
+            intervals_quarantined: self.intervals_quarantined.sum(),
+            intervals_retried: self.intervals_retried.sum(),
+            worker_restarts: self.worker_restarts.sum(),
+            worker_spawn_failures: self.worker_spawn_failures.sum(),
             interval_cuts: self.interval_cuts.snapshot(),
             insert_critical_ns: self.insert_critical_ns.snapshot(),
             queue_depth: self.queue_depth.get(),
@@ -446,6 +474,16 @@ pub struct MetricsSnapshot {
     pub intervals_rejected: u64,
     /// Cuts emitted.
     pub cuts_emitted: u64,
+    /// Worker panics contained at the per-interval boundary.
+    pub worker_panics: u64,
+    /// Intervals quarantined into the fault log.
+    pub intervals_quarantined: u64,
+    /// Intervals retried after a zero-emission panic.
+    pub intervals_retried: u64,
+    /// Worker bodies restarted by the supervisor.
+    pub worker_restarts: u64,
+    /// Worker threads that failed to spawn (engine degraded).
+    pub worker_spawn_failures: u64,
     /// Per-interval cut-count distribution.
     pub interval_cuts: HistogramSnapshot,
     /// Insertion critical-section time distribution (ns).
@@ -474,6 +512,29 @@ impl MetricsSnapshot {
                 out,
                 "intervals REJECTED:   {} (Fail policy: cut count is incomplete)",
                 self.intervals_rejected
+            );
+        }
+        if self.worker_panics > 0 {
+            let _ = writeln!(out, "worker panics:        {}", self.worker_panics);
+        }
+        if self.intervals_quarantined > 0 {
+            let _ = writeln!(
+                out,
+                "intervals QUARANTINED: {} (degraded: see fault log for Gmin/Gbnd)",
+                self.intervals_quarantined
+            );
+        }
+        if self.intervals_retried > 0 {
+            let _ = writeln!(out, "intervals retried:    {}", self.intervals_retried);
+        }
+        if self.worker_restarts > 0 {
+            let _ = writeln!(out, "worker restarts:      {}", self.worker_restarts);
+        }
+        if self.worker_spawn_failures > 0 {
+            let _ = writeln!(
+                out,
+                "worker spawn failures: {} (pool degraded)",
+                self.worker_spawn_failures
             );
         }
         let _ = writeln!(out, "cuts emitted:         {}", self.cuts_emitted);
@@ -535,6 +596,11 @@ impl MetricsSnapshot {
             ("intervals_spilled", self.intervals_spilled),
             ("intervals_rejected", self.intervals_rejected),
             ("cuts_emitted", self.cuts_emitted),
+            ("worker_panics", self.worker_panics),
+            ("intervals_quarantined", self.intervals_quarantined),
+            ("intervals_retried", self.intervals_retried),
+            ("worker_restarts", self.worker_restarts),
+            ("worker_spawn_failures", self.worker_spawn_failures),
         ] {
             let _ = writeln!(
                 out,
@@ -597,6 +663,9 @@ pub struct IngestMetrics {
     pub sessions_completed: ShardedCounter,
     /// Sessions finalized early (disconnect, limit, timeout, shutdown).
     pub sessions_aborted: ShardedCounter,
+    /// Sessions whose connection thread panicked and was finalized to a
+    /// `Fault` report by the containment boundary (subset of aborted).
+    pub sessions_faulted: ShardedCounter,
     /// Wire frames decoded successfully (all kinds, all sessions).
     pub frames_decoded: ShardedCounter,
     /// Lines that failed to decode or violated the session state machine.
@@ -620,6 +689,7 @@ impl IngestMetrics {
             sessions_rejected: self.sessions_rejected.sum(),
             sessions_completed: self.sessions_completed.sum(),
             sessions_aborted: self.sessions_aborted.sum(),
+            sessions_faulted: self.sessions_faulted.sum(),
             frames_decoded: self.frames_decoded.sum(),
             decode_errors: self.decode_errors.sum(),
             bytes_in: self.bytes_in.sum(),
@@ -640,6 +710,8 @@ pub struct IngestSnapshot {
     pub sessions_completed: u64,
     /// Sessions finalized early.
     pub sessions_aborted: u64,
+    /// Sessions finalized by the panic-containment boundary.
+    pub sessions_faulted: u64,
     /// Frames decoded.
     pub frames_decoded: u64,
     /// Decode/state errors.
@@ -666,6 +738,9 @@ impl IngestSnapshot {
         if self.sessions_aborted > 0 {
             let _ = writeln!(out, "sessions aborted:     {}", self.sessions_aborted);
         }
+        if self.sessions_faulted > 0 {
+            let _ = writeln!(out, "sessions FAULTED:     {}", self.sessions_faulted);
+        }
         let _ = writeln!(
             out,
             "sessions active:      {} now, {} high-water",
@@ -690,6 +765,7 @@ impl IngestSnapshot {
             ("sessions_rejected", self.sessions_rejected),
             ("sessions_completed", self.sessions_completed),
             ("sessions_aborted", self.sessions_aborted),
+            ("sessions_faulted", self.sessions_faulted),
             ("frames_decoded", self.frames_decoded),
             ("decode_errors", self.decode_errors),
             ("bytes_in", self.bytes_in),
@@ -860,6 +936,48 @@ mod tests {
         assert!(text.contains("events inserted:      5"), "{text}");
         assert!(text.contains("cuts emitted:         42"), "{text}");
         assert!(text.contains("1 high-water"), "{text}");
+    }
+
+    #[test]
+    fn fault_counters_surface_in_both_renderers_only_when_nonzero() {
+        let clean = ParaMetrics::new(1).snapshot();
+        let text = clean.render_text();
+        assert!(!text.contains("worker panics"), "{text}");
+        assert!(!text.contains("QUARANTINED"), "{text}");
+        assert!(!text.contains("worker restarts"), "{text}");
+
+        let m = ParaMetrics::new(1);
+        m.worker_panics.add(2);
+        m.intervals_quarantined.add(1);
+        m.intervals_retried.add(1);
+        m.worker_restarts.add(1);
+        m.worker_spawn_failures.add(1);
+        let snap = m.snapshot();
+        assert_eq!(snap.worker_panics, 2);
+        assert_eq!(snap.intervals_quarantined, 1);
+        let text = snap.render_text();
+        assert!(text.contains("worker panics:        2"), "{text}");
+        assert!(text.contains("intervals QUARANTINED: 1"), "{text}");
+        assert!(text.contains("intervals retried:    1"), "{text}");
+        assert!(text.contains("worker restarts:      1"), "{text}");
+        assert!(text.contains("worker spawn failures: 1"), "{text}");
+        let json = snap.to_json_lines("faults");
+        assert!(json.contains("\"metric\":\"worker_panics\",\"type\":\"counter\",\"value\":2"));
+        assert!(json
+            .contains("\"metric\":\"intervals_quarantined\",\"type\":\"counter\",\"value\":1"));
+        assert!(json.contains("\"metric\":\"worker_restarts\",\"type\":\"counter\",\"value\":1"));
+    }
+
+    #[test]
+    fn ingest_faulted_counter_renders() {
+        let m = IngestMetrics::new();
+        m.sessions_faulted.add(3);
+        let snap = m.snapshot();
+        assert_eq!(snap.sessions_faulted, 3);
+        assert!(snap.render_text().contains("sessions FAULTED:     3"));
+        assert!(snap
+            .to_json_lines("ingest")
+            .contains("\"metric\":\"sessions_faulted\",\"type\":\"counter\",\"value\":3"));
     }
 
     #[test]

@@ -12,11 +12,14 @@
 //! static chunking would idle most threads; stealing is essential to the
 //! Figure 10/11 speedup shapes.
 
+use crate::faults::{FaultLog, FaultPlan, QuarantinedInterval};
 use crate::interval::{partition, Interval};
 use crate::metrics::{MetricsSnapshot, ParaMetrics};
-use crate::sink::ParallelCutSink;
-use paramount_enumerate::{Algorithm, EnumError};
+use crate::sink::{MeteredSink, ParallelCutSink, SinkBridge};
+use paramount_enumerate::{panic_message, Algorithm, EnumError};
 use paramount_poset::{topo, CutSpace, EventId};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -63,6 +66,10 @@ pub struct ParaMount {
     /// External metrics registry; when absent each run folds into a fresh
     /// one (see [`ParaStats::metrics`]).
     metrics: Option<Arc<ParaMetrics>>,
+    /// Deterministic fault-injection plan. Inert unless the `chaos`
+    /// feature compiles the injection sites in (panic isolation itself is
+    /// always on — the plan only *creates* faults, never handles them).
+    pub faults: FaultPlan,
 }
 
 impl ParaMount {
@@ -73,7 +80,15 @@ impl ParaMount {
             threads: 0,
             frontier_budget: None,
             metrics: None,
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Arms a deterministic fault-injection plan (active only when the
+    /// crate is built with the `chaos` feature).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Sets the worker-thread count (0 = Rayon default).
@@ -167,6 +182,7 @@ impl ParaMount {
                         cuts: 1,
                         intervals: 0,
                         peak_frontiers: 1,
+                        faults: FaultLog::default(),
                         metrics: registry.snapshot(),
                     })
                 }
@@ -174,9 +190,41 @@ impl ParaMount {
             };
         }
 
+        #[cfg(feature = "chaos")]
+        if self.faults.arms_sink() {
+            let chaos = ChaosRefSink {
+                plan: self.faults,
+                calls: AtomicU64::new(0),
+                inner: sink,
+            };
+            return self.enumerate_isolated(space, intervals, &chaos, registry);
+        }
+        self.enumerate_isolated(space, intervals, sink, registry)
+    }
+
+    /// The parallel fan-out proper, with per-interval panic isolation: a
+    /// sink panic is caught at the interval boundary, retried once if
+    /// nothing of the interval had been delivered (retrying a partial
+    /// interval would double-deliver its prefix — Theorem 2's exactly-once
+    /// guarantee outranks completeness), and otherwise quarantined with
+    /// the delivered-prefix length on record. The surviving intervals are
+    /// unaffected: the interval partition is exactly what makes the blast
+    /// radius of a fault one interval, never the run.
+    fn enumerate_isolated<Sp, K>(
+        &self,
+        space: &Sp,
+        intervals: &[Interval],
+        sink: &K,
+        registry: &ParaMetrics,
+    ) -> Result<ParaStats, EnumError>
+    where
+        Sp: CutSpace + Sync + ?Sized,
+        K: ParallelCutSink + ?Sized,
+    {
         registry.intervals_dispatched.add(intervals.len() as u64);
         let cuts = AtomicU64::new(0);
         let peak = AtomicUsize::new(0);
+        let fault_log = Mutex::new(FaultLog::default());
         let run = || -> Result<(), EnumError> {
             use rayon::prelude::*;
             intervals.par_iter().try_for_each(|iv| {
@@ -185,27 +233,59 @@ impl ParaMount {
                 // tallied on slot 0.
                 let widx = rayon::current_thread_index().unwrap_or(0);
                 let started = Instant::now();
-                let stats = self.run_interval(space, iv, sink)?;
+                let outcome = self.run_interval_isolated(space, iv, sink, registry);
                 let tally = registry.worker(widx);
                 tally.add_busy(started.elapsed().as_nanos() as u64);
                 tally.add_interval();
-                registry.intervals_completed.add_on(widx, 1);
-                registry.cuts_emitted.add_on(widx, stats.cuts);
-                registry.interval_cuts.record(stats.cuts);
-                cuts.fetch_add(stats.cuts, Ordering::Relaxed);
-                peak.fetch_max(stats.peak_frontiers, Ordering::Relaxed);
-                Ok(())
+                match outcome {
+                    Ok(stats) => {
+                        registry.intervals_completed.add_on(widx, 1);
+                        registry.cuts_emitted.add_on(widx, stats.cuts);
+                        registry.interval_cuts.record(stats.cuts);
+                        cuts.fetch_add(stats.cuts, Ordering::Relaxed);
+                        peak.fetch_max(stats.peak_frontiers, Ordering::Relaxed);
+                        Ok(())
+                    }
+                    Err(IntervalFault::Error(err)) => Err(err),
+                    Err(IntervalFault::Panicked {
+                        emitted,
+                        attempts,
+                        message,
+                    }) => {
+                        registry.intervals_quarantined.add(1);
+                        if emitted > 0 {
+                            // The delivered prefix is real output: count it,
+                            // so `stats.cuts` equals cuts the sink saw.
+                            registry.cuts_emitted.add_on(widx, emitted);
+                            cuts.fetch_add(emitted, Ordering::Relaxed);
+                        }
+                        fault_log.lock().push(QuarantinedInterval {
+                            interval: iv.clone(),
+                            cuts_emitted: emitted,
+                            attempts,
+                            message,
+                        });
+                        Ok(())
+                    }
+                }
             })
         };
 
         let result = if self.threads == 0 {
             run()
         } else {
-            let pool = rayon::ThreadPoolBuilder::new()
+            match rayon::ThreadPoolBuilder::new()
                 .num_threads(self.threads)
                 .build()
-                .expect("failed to build worker pool");
-            pool.install(run)
+            {
+                Ok(pool) => pool.install(run),
+                Err(_) => {
+                    // Degrade to the caller's (global) pool instead of
+                    // aborting a run whose inputs are perfectly fine.
+                    registry.worker_spawn_failures.add(1);
+                    run()
+                }
+            }
         };
         result?;
 
@@ -213,8 +293,50 @@ impl ParaMount {
             cuts: cuts.load(Ordering::Relaxed),
             intervals: intervals.len(),
             peak_frontiers: peak.load(Ordering::Relaxed),
+            faults: fault_log.into_inner(),
             metrics: registry.snapshot(),
         })
+    }
+
+    /// One interval under a `catch_unwind` boundary, with its deliveries
+    /// metered so a fault knows the exact prefix length that reached the
+    /// sink. At most one retry, and only from a clean slate.
+    fn run_interval_isolated<Sp, K>(
+        &self,
+        space: &Sp,
+        iv: &Interval,
+        sink: &K,
+        registry: &ParaMetrics,
+    ) -> Result<paramount_enumerate::EnumStats, IntervalFault>
+    where
+        Sp: CutSpace + ?Sized,
+        K: ParallelCutSink + ?Sized,
+    {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let emitted = AtomicU64::new(0);
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                self.run_interval(space, iv, sink, &emitted)
+            }));
+            match run {
+                Ok(Ok(stats)) => return Ok(stats),
+                Ok(Err(err)) => return Err(IntervalFault::Error(err)),
+                Err(payload) => {
+                    registry.worker_panics.add(1);
+                    let delivered = emitted.load(Ordering::Relaxed);
+                    if delivered == 0 && attempts == 1 {
+                        registry.intervals_retried.add(1);
+                        continue;
+                    }
+                    return Err(IntervalFault::Panicked {
+                        emitted: delivered,
+                        attempts,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            }
+        }
     }
 
     fn run_interval<Sp, K>(
@@ -222,13 +344,13 @@ impl ParaMount {
         space: &Sp,
         iv: &Interval,
         sink: &K,
+        emitted: &AtomicU64,
     ) -> Result<paramount_enumerate::EnumStats, EnumError>
     where
         Sp: CutSpace + ?Sized,
         K: ParallelCutSink + ?Sized,
     {
-        use crate::sink::SinkBridge;
-        let mut bridge = SinkBridge::new(sink, iv.event);
+        let mut bridge = MeteredSink::new(SinkBridge::new(sink, iv.event), emitted);
         let mut extra = 0;
         if iv.include_empty {
             use paramount_enumerate::CutSink;
@@ -269,21 +391,72 @@ impl ParaMount {
     }
 }
 
+/// How one interval's processing ended when it did not end cleanly.
+enum IntervalFault {
+    /// A real enumeration error (`Stopped`, `OutOfBudget`) — propagates.
+    Error(EnumError),
+    /// A panic unwound out of the sink; the interval is quarantined.
+    Panicked {
+        emitted: u64,
+        attempts: u32,
+        message: String,
+    },
+}
+
+/// Chaos wrapper over a borrowed shared sink: panics *before* delegating
+/// on plan-selected calls, so an injected fault never half-delivers a cut
+/// and the emission meter agrees exactly with what the inner sink saw.
+#[cfg(feature = "chaos")]
+struct ChaosRefSink<'a, K: ?Sized> {
+    plan: FaultPlan,
+    calls: AtomicU64,
+    inner: &'a K,
+}
+
+#[cfg(feature = "chaos")]
+impl<K: ParallelCutSink + ?Sized> ParallelCutSink for ChaosRefSink<'_, K> {
+    fn visit(
+        &self,
+        cut: &paramount_poset::Frontier,
+        owner: EventId,
+    ) -> std::ops::ControlFlow<()> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.plan.sink_call_faults(call) {
+            panic!("chaos: sink panic injected at call {call}");
+        }
+        self.inner.visit(cut, owner)
+    }
+}
+
 /// Aggregate statistics from one parallel enumeration.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ParaStats {
-    /// Total cuts emitted (equals `i(P)` — Theorem 2).
+    /// Total cuts emitted (equals `i(P)` — Theorem 2 — when
+    /// [`ParaStats::faults`] is empty; under quarantine it counts exactly
+    /// the cuts the sink saw, delivered prefixes included).
     pub cuts: u64,
     /// Number of intervals processed (= number of events).
     pub intervals: usize,
     /// Largest per-interval frontier storage any worker needed (1 for the
     /// lexical subroutine; the partitioning win for BFS shows up here).
     pub peak_frontiers: usize,
+    /// Intervals quarantined after a panic unwound out of the sink. Empty
+    /// on a clean run; each entry carries its `[Gmin, Gbnd]` pair so the
+    /// skipped region is exactly re-enumerable.
+    pub faults: FaultLog,
     /// Observability snapshot: per-interval cut-count histogram, worker
     /// busy tallies, counter totals. Scoped to this run unless a shared
     /// registry was attached via [`ParaMount::with_metrics`] (then it
     /// holds everything recorded so far).
     pub metrics: MetricsSnapshot,
+}
+
+impl ParaStats {
+    /// `Complete` when every interval enumerated cleanly, `Degraded`
+    /// (carrying the quarantine log) otherwise.
+    pub fn outcome(&self) -> crate::faults::Outcome<'_> {
+        self.faults.outcome()
+    }
 }
 
 #[cfg(test)]
@@ -441,6 +614,98 @@ mod tests {
         assert_eq!(a.cuts, b.cuts);
         assert_eq!(registry.snapshot().cuts_emitted, a.cuts + b.cuts);
         assert_eq!(b.metrics.cuts_emitted, a.cuts + b.cuts);
+    }
+
+    /// Delivered cuts plus each quarantined interval's remainder must
+    /// equal the oracle lattice size exactly (Theorem 2 under faults).
+    fn assert_exact_partition(p: &Poset, stats: &ParaStats) {
+        let mut skipped = 0u64;
+        for q in &stats.faults.quarantined {
+            let mut csink = paramount_enumerate::CollectSink::default();
+            q.interval
+                .enumerate(p, Algorithm::Lexical, &mut csink)
+                .unwrap();
+            skipped += csink.cuts.len() as u64 - q.cuts_emitted;
+        }
+        assert_eq!(stats.cuts + skipped, oracle::count_ideals(p));
+    }
+
+    #[test]
+    fn panicking_sink_quarantines_only_its_interval() {
+        let p = RandomComputation::new(3, 5, 0.4, 21).generate();
+        let order = paramount_poset::topo::weight_order(&p);
+        let victim = order[order.len() / 2];
+        let sink = move |_: &Frontier, owner: EventId| {
+            if owner == victim {
+                panic!("poisoned predicate");
+            }
+            ControlFlow::Continue(())
+        };
+        let stats = ParaMount::new(Algorithm::Lexical)
+            .with_threads(2)
+            .enumerate(&p, &sink)
+            .unwrap();
+        assert_eq!(stats.faults.len(), 1);
+        let q = &stats.faults.quarantined[0];
+        assert_eq!(q.interval.event, victim);
+        assert_eq!(q.attempts, 2, "one clean-slate retry, then quarantine");
+        assert_eq!(q.cuts_emitted, 0);
+        assert!(q.message.contains("poisoned predicate"));
+        assert!(!stats.outcome().is_complete());
+        assert_eq!(stats.metrics.worker_panics, 2);
+        assert_eq!(stats.metrics.intervals_retried, 1);
+        assert_eq!(stats.metrics.intervals_quarantined, 1);
+        assert_eq!(
+            stats.metrics.intervals_completed + stats.metrics.intervals_quarantined,
+            stats.metrics.intervals_dispatched
+        );
+        assert_exact_partition(&p, &stats);
+    }
+
+    #[test]
+    fn transient_panic_is_retried_to_completion_offline() {
+        let p = RandomComputation::new(3, 4, 0.4, 9).generate();
+        let order = paramount_poset::topo::weight_order(&p);
+        let victim = *order.last().unwrap();
+        let armed = std::sync::atomic::AtomicBool::new(true);
+        let sink = |_: &Frontier, owner: EventId| {
+            // Panic exactly once, on the first delivery of the victim's
+            // interval — before anything of it reached the sink.
+            if owner == victim && armed.swap(false, Ordering::Relaxed) {
+                panic!("transient");
+            }
+            ControlFlow::Continue(())
+        };
+        let stats = ParaMount::new(Algorithm::Lexical)
+            .with_threads(2)
+            .enumerate(&p, &sink)
+            .unwrap();
+        assert!(stats.outcome().is_complete());
+        assert!(stats.faults.is_empty());
+        assert_eq!(stats.metrics.worker_panics, 1);
+        assert_eq!(stats.metrics.intervals_retried, 1);
+        assert_eq!(stats.cuts, oracle::count_ideals(&p));
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn chaos_offline_partitions_exactly_under_pinned_seeds() {
+        use crate::faults::FaultPlan;
+        for seed in [3u64, 17, 99] {
+            let p = RandomComputation::new(3, 5, 0.4, seed).generate();
+            let counter = AtomicCountSink::new();
+            let stats = ParaMount::new(Algorithm::Lexical)
+                .with_threads(2)
+                .with_faults(FaultPlan {
+                    seed,
+                    sink_panic_every: Some(11),
+                    ..FaultPlan::default()
+                })
+                .enumerate(&p, &counter)
+                .unwrap();
+            assert_eq!(counter.count(), stats.cuts, "meter vs sink, seed {seed}");
+            assert_exact_partition(&p, &stats);
+        }
     }
 
     #[test]

@@ -24,16 +24,18 @@
 //! depth, per-interval cut counts, worker busy/idle time, insertion
 //! critical-section time — surfaced in [`OnlineReport::metrics`].
 
+use crate::faults::{FaultLog, FaultPlan, Outcome, QuarantinedInterval};
 use crate::interval::Interval;
 use crate::metrics::{MetricsSnapshot, ParaMetrics};
-use crate::sink::{ParallelCutSink, SinkBridge};
+use crate::sink::{MeteredSink, ParallelCutSink, SinkBridge};
 use crate::store::AppendVec;
 use crossbeam_channel::TrySendError;
-use paramount_enumerate::{Algorithm, CutSink, EnumError};
+use paramount_enumerate::{panic_message, Algorithm, CutSink, EnumError};
 use paramount_poset::{CutSpace, Event, EventId, Frontier, Poset, Tid, VectorClock};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -232,6 +234,16 @@ pub struct OnlineEngineConfig {
     pub queue_capacity: usize,
     /// What to do when the dispatch queue is full.
     pub backpressure: BackpressurePolicy,
+    /// How many times the supervisor may restart a worker body after a
+    /// panic escapes the per-interval isolation boundary (shared budget
+    /// across the pool). `0` lets a twice-panicking worker die; the
+    /// remaining workers — and, ultimately, `finish`'s inline drain —
+    /// still process every queued interval.
+    pub worker_restart_budget: u32,
+    /// Deterministic fault-injection plan. Inert unless the crate is
+    /// built with the `chaos` feature **and** the plan arms a site; see
+    /// [`FaultPlan`].
+    pub faults: FaultPlan,
 }
 
 impl Default for OnlineEngineConfig {
@@ -242,6 +254,8 @@ impl Default for OnlineEngineConfig {
             frontier_budget: None,
             queue_capacity: 1024,
             backpressure: BackpressurePolicy::Block,
+            worker_restart_budget: 8,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -256,11 +270,63 @@ struct EngineShared<P> {
     /// Workers drain it with priority; `finish` closes the channel only
     /// after producers stop, so leftover spill is drained post-close.
     spill: Mutex<VecDeque<Interval>>,
+    /// Intervals abandoned after contained panics (and injected dispatch
+    /// faults): the degraded-run record surfaced as
+    /// [`OnlineReport::faults`].
+    fault_log: Mutex<FaultLog>,
+    /// Per-worker-slot in-flight tracking: which interval the slot is
+    /// processing and how many of its cuts the sink has already seen.
+    /// The supervisor reads it when a panic escapes the per-interval
+    /// boundary, so even a dying worker body cannot lose an interval —
+    /// it gets quarantined with an exact emission count instead.
+    in_flight: Box<[InFlightSlot]>,
+    /// Remaining supervisor restarts, shared across the pool. Signed so
+    /// concurrent decrements past zero stay well-defined.
+    restart_budget: AtomicI64,
+    /// Ordinal counters backing the fault plan's "k-th call" sites.
+    #[cfg(feature = "chaos")]
+    fault_state: crate::faults::FaultState,
+}
+
+#[derive(Default)]
+struct InFlightSlot {
+    interval: Mutex<Option<Interval>>,
+    emitted: AtomicU64,
+}
+
+impl<P> EngineShared<P> {
+    fn slot(&self, index: usize) -> &InFlightSlot {
+        &self.in_flight[index % self.in_flight.len()]
+    }
 }
 
 /// Pops one spilled interval, never holding the lock across enumeration.
 fn pop_spill<P>(shared: &EngineShared<P>) -> Option<Interval> {
     shared.spill.lock().pop_front()
+}
+
+/// Abandons an interval into the fault log. The prefix the sink already
+/// saw (`emitted` cuts, delivered before the fault) is added to the cut
+/// total so the headline count stays exactly "cuts the sink received".
+fn quarantine<P>(
+    shared: &EngineShared<P>,
+    interval: Interval,
+    emitted: u64,
+    attempts: u32,
+    message: String,
+    index: usize,
+) {
+    let m = &shared.metrics;
+    m.intervals_quarantined.add(1);
+    if emitted > 0 {
+        m.cuts_emitted.add_on(index, emitted);
+    }
+    shared.fault_log.lock().push(QuarantinedInterval {
+        interval,
+        cuts_emitted: emitted,
+        attempts,
+        message,
+    });
 }
 
 /// The online enumeration engine: an [`OnlinePoset`] plus a worker pool
@@ -273,6 +339,10 @@ fn pop_spill<P>(shared: &EngineShared<P>) -> Option<Interval> {
 pub struct OnlineEngine<P: Send + Sync + 'static> {
     shared: Arc<EngineShared<P>>,
     sender: Option<crossbeam_channel::Sender<Interval>>,
+    /// Kept so `finish` can drain intervals no worker lived to process
+    /// (total pool death past the restart budget, or zero spawned
+    /// workers): the report is exact even with a dead pool.
+    receiver: crossbeam_channel::Receiver<Interval>,
     workers: Vec<std::thread::JoinHandle<()>>,
     config: OnlineEngineConfig,
 }
@@ -295,28 +365,56 @@ impl<P: Send + Sync + 'static> OnlineEngine<P> {
     ) -> Self {
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.queue_capacity >= 1, "queue capacity must be >= 1");
+        let sink: Box<dyn ParallelCutSink> = Box::new(sink);
+        #[cfg(feature = "chaos")]
+        let sink: Box<dyn ParallelCutSink> = if config.faults.arms_sink() {
+            Box::new(ChaosSink {
+                plan: config.faults,
+                calls: AtomicU64::new(0),
+                inner: sink,
+            })
+        } else {
+            sink
+        };
         let shared = Arc::new(EngineShared {
             poset,
-            sink: Box::new(sink),
+            sink,
             stopped: AtomicBool::new(false),
             error: Mutex::new(None),
             metrics: ParaMetrics::new(config.workers),
             spill: Mutex::new(VecDeque::new()),
+            fault_log: Mutex::new(FaultLog::default()),
+            in_flight: (0..config.workers).map(|_| InFlightSlot::default()).collect(),
+            restart_budget: AtomicI64::new(i64::from(config.worker_restart_budget)),
+            #[cfg(feature = "chaos")]
+            fault_state: crate::faults::FaultState::default(),
         });
         let (sender, receiver) = crossbeam_channel::bounded::<Interval>(config.queue_capacity);
-        let workers = (0..config.workers)
-            .map(|w| {
-                let shared = Arc::clone(&shared);
-                let receiver = receiver.clone();
-                std::thread::Builder::new()
-                    .name(format!("paramount-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, &receiver, config, w))
-                    .expect("failed to spawn enumeration worker")
-            })
-            .collect();
+        // Spawn failures degrade the pool instead of aborting engine
+        // construction: whatever workers did start carry the load, and
+        // with zero workers `dispatch` falls back to enumerating inline
+        // on the observing thread (slow, but complete and alive).
+        let mut workers = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            #[cfg(feature = "chaos")]
+            if config.faults.spawn_faults(shared.fault_state.next_spawn()) {
+                shared.metrics.worker_spawn_failures.add(1);
+                continue;
+            }
+            let worker_shared = Arc::clone(&shared);
+            let receiver = receiver.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("paramount-worker-{w}"))
+                .spawn(move || worker_entry(&worker_shared, &receiver, config, w));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(_) => shared.metrics.worker_spawn_failures.add(1),
+            }
+        }
         OnlineEngine {
             shared,
             sender: Some(sender),
+            receiver,
             workers,
             config,
         }
@@ -357,6 +455,28 @@ impl<P: Send + Sync + 'static> OnlineEngine<P> {
         let Some(sender) = &self.sender else { return };
         let m = &self.shared.metrics;
         m.intervals_dispatched.add(1);
+        if self.workers.is_empty() {
+            // Degraded mode (no worker could be spawned): enumerate on
+            // the observing thread so nothing queues unserved.
+            process_interval(&self.shared, &interval, self.config, 0);
+            return;
+        }
+        #[cfg(feature = "chaos")]
+        if self
+            .config
+            .faults
+            .send_faults(self.shared.fault_state.next_send())
+        {
+            quarantine(
+                &self.shared,
+                interval,
+                0,
+                1,
+                "chaos: queue send failed".to_string(),
+                0,
+            );
+            return;
+        }
         // The gauge goes up *before* the send and back down if the send
         // fails: a worker may receive (and decrement) the instant the
         // interval lands in the channel, before a post-send increment
@@ -422,17 +542,35 @@ impl<P: Send + Sync + 'static> OnlineEngine<P> {
         // drain the spill deque, then exit. No interval is lost.
         drop(self.sender.take());
         for handle in self.workers.drain(..) {
-            handle.join().expect("enumeration worker panicked");
+            // A worker that died past the supervisor's restart budget is
+            // already accounted for (its in-flight interval was
+            // quarantined); joining must not re-raise its panic.
+            let _ = handle.join();
+        }
+        // If the whole pool died (or never spawned), queued and spilled
+        // intervals are still pending — drain them inline so the report
+        // covers every dispatched interval regardless of pool health.
+        while let Ok(interval) = self.receiver.try_recv() {
+            self.shared.metrics.queue_depth.dec();
+            process_interval(&self.shared, &interval, self.config, 0);
+        }
+        while let Some(interval) = pop_spill(&self.shared) {
+            process_interval(&self.shared, &interval, self.config, 0);
         }
         let shared = Arc::clone(&self.shared);
         drop(self); // Drop is a no-op now: sender taken, workers joined.
-        let shared = Arc::try_unwrap(shared)
-            .unwrap_or_else(|_| panic!("worker still holds the engine state"));
+        // Deliberately no `Arc::try_unwrap`: everything the report needs
+        // is readable through the shared handle, so a leaked clone (a
+        // worker body still unwinding, an embedder's debug handle)
+        // degrades nothing and can no longer abort finalize.
         let metrics = shared.metrics.snapshot();
+        let faults = shared.fault_log.lock().clone();
+        let error = shared.error.lock().take();
         OnlineReport {
             cuts: metrics.cuts_emitted,
             events: shared.poset.num_events() as u64,
-            error: shared.error.into_inner(),
+            error,
+            faults,
             metrics,
             poset: shared.poset.snapshot(),
         }
@@ -445,6 +583,50 @@ impl<P: Send + Sync + 'static> Drop for OnlineEngine<P> {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+    }
+}
+
+/// Worker thread entry: supervises [`worker_loop`], restarting the body
+/// when a panic escapes the per-interval isolation (which only happens
+/// for faults *outside* `process_interval`'s own `catch_unwind` — e.g.
+/// an injected worker kill, or a panic in the queue plumbing). The
+/// in-flight interval is quarantined before the restart, so even a
+/// dying worker never loses work; the restart budget is shared across
+/// the pool and a worker that exhausts it simply exits, leaving its
+/// queue share to the survivors (and ultimately to `finish`'s inline
+/// drain).
+fn worker_entry<P>(
+    shared: &EngineShared<P>,
+    receiver: &crossbeam_channel::Receiver<Interval>,
+    config: OnlineEngineConfig,
+    index: usize,
+) {
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(shared, receiver, config, index)
+        }));
+        let payload = match run {
+            Ok(()) => return, // clean exit: channel closed and spill drained
+            Err(payload) => payload,
+        };
+        shared.metrics.worker_panics.add(1);
+        let slot = shared.slot(index);
+        if let Some(interval) = slot.interval.lock().take() {
+            let emitted = slot.emitted.load(Ordering::Relaxed);
+            quarantine(
+                shared,
+                interval,
+                emitted,
+                1,
+                panic_message(payload.as_ref()),
+                index,
+            );
+        }
+        if shared.restart_budget.fetch_sub(1, Ordering::Relaxed) > 0 {
+            shared.metrics.worker_restarts.add(1);
+            continue; // phoenix: the same thread resumes as a fresh body
+        }
+        return; // budget exhausted: die quietly, survivors take over
     }
 }
 
@@ -485,6 +667,27 @@ fn worker_loop<P>(
     }
 }
 
+/// Injection point for the "kill a worker mid-interval" fault: records
+/// the interval in the slot first, so the supervisor quarantines it —
+/// the injected death must not be able to lose work either.
+#[cfg(feature = "chaos")]
+fn chaos_maybe_kill_worker<P>(
+    shared: &EngineShared<P>,
+    config: &OnlineEngineConfig,
+    interval: &Interval,
+    index: usize,
+) {
+    if config
+        .faults
+        .pickup_kills_worker(shared.fault_state.next_pickup())
+    {
+        let slot = shared.slot(index);
+        slot.emitted.store(0, Ordering::Relaxed);
+        *slot.interval.lock() = Some(interval.clone());
+        panic!("chaos: worker killed at interval pickup");
+    }
+}
+
 fn process_interval<P>(
     shared: &EngineShared<P>,
     interval: &Interval,
@@ -494,24 +697,65 @@ fn process_interval<P>(
     if shared.stopped.load(Ordering::Relaxed) {
         return; // drain without enumerating
     }
+    #[cfg(feature = "chaos")]
+    chaos_maybe_kill_worker(shared, &config, interval, index);
+    #[cfg(feature = "chaos")]
+    if let Some(us) = config.faults.worker_delay_us {
+        std::thread::sleep(std::time::Duration::from_micros(us));
+    }
     let m = &shared.metrics;
+    let slot = shared.slot(index);
     let start = Instant::now();
-    let result = run_interval(shared, interval, config);
+    let mut attempts = 0u32;
+    // The per-interval isolation boundary. The sink is reachable after
+    // the catch by design (shared, `&self`-based, synchronized
+    // internally), so `AssertUnwindSafe` asserts exactly the contract
+    // `ParallelCutSink` already demands of implementations; the slot's
+    // emission meter makes the delivered prefix observable across the
+    // unwind.
+    let outcome = loop {
+        attempts += 1;
+        slot.emitted.store(0, Ordering::Relaxed);
+        *slot.interval.lock() = Some(interval.clone());
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_interval(shared, interval, config, &slot.emitted)
+        }));
+        *slot.interval.lock() = None;
+        match result {
+            Ok(done) => break Ok(done),
+            Err(payload) => {
+                m.worker_panics.add(1);
+                let emitted = slot.emitted.load(Ordering::Relaxed);
+                // Retry only from a clean slate: if any cut of this
+                // interval already reached the sink, a re-run would
+                // deliver it twice (Theorem 2's exactly-once), so the
+                // interval goes straight to quarantine.
+                if emitted == 0 && attempts == 1 {
+                    m.intervals_retried.add(1);
+                    continue;
+                }
+                break Err((emitted, panic_message(payload.as_ref())));
+            }
+        }
+    };
     let tally = m.worker(index);
     tally.add_busy(start.elapsed().as_nanos() as u64);
     tally.add_interval();
-    match result {
-        Ok(cuts) => {
+    match outcome {
+        Ok(Ok(cuts)) => {
             m.cuts_emitted.add_on(index, cuts);
             m.intervals_completed.add_on(index, 1);
             m.interval_cuts.record(cuts);
         }
-        Err(EnumError::Stopped) => {
+        Ok(Err(EnumError::Stopped)) => {
             shared.stopped.store(true, Ordering::Relaxed);
         }
-        Err(err) => {
+        Ok(Err(err)) => {
             shared.stopped.store(true, Ordering::Relaxed);
             shared.error.lock().get_or_insert(err);
+        }
+        Err((emitted, message)) => {
+            quarantine(shared, interval.clone(), emitted, attempts, message, index);
         }
     }
 }
@@ -520,9 +764,11 @@ fn run_interval<P>(
     shared: &EngineShared<P>,
     interval: &Interval,
     config: OnlineEngineConfig,
+    emitted: &AtomicU64,
 ) -> Result<u64, EnumError> {
     let space = shared.poset.as_ref();
-    let mut bridge = SinkBridge::new(shared.sink.as_ref(), interval.event);
+    let bridge = SinkBridge::new(shared.sink.as_ref(), interval.event);
+    let mut bridge = MeteredSink::new(bridge, emitted);
     let mut extra = 0;
     if interval.include_empty {
         let empty = Frontier::empty(space.num_threads());
@@ -560,16 +806,43 @@ fn run_interval<P>(
     Ok(stats.cuts + extra)
 }
 
+/// Shared-sink wrapper that panics on fault-plan-selected deliveries —
+/// the "predicate panics at the k-th call" injection site. Panics fire
+/// *before* the inner sink is invoked, so an injected fault never
+/// half-delivers a cut: the emission meter and the real sink agree
+/// exactly on what was seen.
+#[cfg(feature = "chaos")]
+struct ChaosSink {
+    plan: FaultPlan,
+    calls: AtomicU64,
+    inner: Box<dyn ParallelCutSink>,
+}
+
+#[cfg(feature = "chaos")]
+impl ParallelCutSink for ChaosSink {
+    fn visit(&self, cut: &Frontier, owner: EventId) -> std::ops::ControlFlow<()> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.plan.sink_call_faults(call) {
+            panic!("chaos: sink panic injected at call {call}");
+        }
+        self.inner.visit(cut, owner)
+    }
+}
+
 /// Result of a completed online enumeration.
 pub struct OnlineReport<P> {
     /// Total cuts enumerated (= `i(P)` of the final poset, Theorem 2 —
-    /// unless the run stopped early or shed work, see
-    /// [`OnlineReport::is_complete`]).
+    /// unless the run stopped early, shed work, or quarantined
+    /// intervals; see [`OnlineReport::is_complete`]).
     pub cuts: u64,
     /// Events observed.
     pub events: u64,
     /// Budget error, if a stateful subroutine tripped its limit.
     pub error: Option<EnumError>,
+    /// Faults survived: every quarantined interval with its `Gmin`/`Gbnd`
+    /// pair, delivered-prefix length, and panic message. Empty on a
+    /// clean run; see [`OnlineReport::outcome`].
+    pub faults: FaultLog,
     /// Folded observability counters for the whole run: queue-depth
     /// high-water mark, per-interval cut-count histogram, worker
     /// busy/idle tallies, insertion critical-section times.
@@ -579,10 +852,21 @@ pub struct OnlineReport<P> {
 }
 
 impl<P> OnlineReport<P> {
-    /// True when `cuts` is exactly `i(P)`: no error, and no interval was
-    /// shed by [`BackpressurePolicy::Fail`].
+    /// True when `cuts` is exactly `i(P)`: no error, no interval shed by
+    /// [`BackpressurePolicy::Fail`], and nothing quarantined.
     pub fn is_complete(&self) -> bool {
-        self.error.is_none() && self.metrics.intervals_rejected == 0
+        self.error.is_none()
+            && self.metrics.intervals_rejected == 0
+            && self.faults.is_empty()
+    }
+
+    /// [`Outcome::Complete`], or [`Outcome::Degraded`] with the fault
+    /// log when intervals were quarantined. The degraded cut set is
+    /// still exact on everything outside the log: intervals are
+    /// disjoint (Theorem 2), so `cuts` + the log's per-interval
+    /// remainders partition `i(P)`.
+    pub fn outcome(&self) -> Outcome<'_> {
+        self.faults.outcome()
     }
 }
 
@@ -654,12 +938,9 @@ mod tests {
             // ...and compare against the offline oracle.
             let expected = oracle::enumerate_product_scan(&reference);
             assert_eq!(report.cuts as usize, expected.len(), "seed {seed}");
-            let mut got: Vec<Frontier> = Vec::new();
-            got.extend(
-                StdArc::try_unwrap(sink)
-                    .unwrap_or_else(|_| panic!("sink still shared"))
-                    .into_cuts(),
-            );
+            // `take_cuts` reads through the shared handle — the closure
+            // sink's leaked clone cannot abort result extraction.
+            let got: Vec<Frontier> = sink.take_cuts();
             assert_eq!(oracle::canonicalize(got), expected, "seed {seed}");
         }
     }
@@ -670,20 +951,22 @@ mod tests {
         // handful of cross-thread dependencies) while workers enumerate.
         let counter = StdArc::new(AtomicCountSink::new());
         let counter_in_sink = StdArc::clone(&counter);
-        let engine = StdArc::new(OnlineEngine::new(
+        // Scoped threads borrow the engine directly: no `Arc` around it,
+        // so teardown needs no `try_unwrap` at all.
+        let engine = OnlineEngine::new(
             4,
             OnlineEngineConfig {
                 workers: 4,
                 ..OnlineEngineConfig::default()
             },
             move |cut: &Frontier, owner| counter_in_sink.visit(cut, owner),
-        ));
+        );
 
-        let barrier = StdArc::new(std::sync::Barrier::new(4));
+        let barrier = std::sync::Barrier::new(4);
         std::thread::scope(|s| {
             for t in 0..4u32 {
-                let engine = StdArc::clone(&engine);
-                let barrier = StdArc::clone(&barrier);
+                let engine = &engine;
+                let barrier = &barrier;
                 s.spawn(move || {
                     barrier.wait();
                     for k in 0..6 {
@@ -705,7 +988,6 @@ mod tests {
                 });
             }
         });
-        let engine = StdArc::try_unwrap(engine).unwrap_or_else(|_| panic!("engine still shared"));
         let report = engine.finish();
         assert_eq!(report.events, 24);
         // The online count must equal the offline lattice size of the
@@ -868,5 +1150,302 @@ mod tests {
         assert_eq!(live.events_inserted, 1);
         let report = engine.finish();
         assert_eq!(report.metrics.events_inserted, 1);
+    }
+
+    /// Theorem 2's disjoint cover, under faults: the delivered cuts plus
+    /// each quarantined interval's remainder (re-enumerated offline on
+    /// the final poset, minus the delivered prefix) must partition the
+    /// oracle lattice count exactly — no cut lost, none double-counted.
+    fn assert_exact_partition<P: Clone + Send + Sync>(report: &OnlineReport<P>) {
+        let total = oracle::count_ideals(&report.poset);
+        let mut skipped = 0u64;
+        for q in &report.faults.quarantined {
+            let mut sink = paramount_enumerate::CollectSink::default();
+            q.interval
+                .enumerate(&report.poset, Algorithm::Lexical, &mut sink)
+                .expect("lexical re-enumeration is stateless");
+            skipped += sink.cuts.len() as u64 - q.cuts_emitted;
+            assert!(q.skipped_cuts_bound() >= u128::from(sink.cuts.len() as u64 - q.cuts_emitted));
+        }
+        assert_eq!(report.cuts + skipped, total, "degraded partition not exact");
+    }
+
+    #[test]
+    fn panicking_sink_quarantines_its_interval_and_degrades() {
+        let reference = RandomComputation::new(3, 5, 0.4, 11).generate();
+        let order = paramount_poset::topo::weight_order(&reference);
+        let victim = order[order.len() / 2];
+        let counter = StdArc::new(AtomicCountSink::new());
+        let counter_in_sink = StdArc::clone(&counter);
+        let engine = OnlineEngine::new(
+            3,
+            OnlineEngineConfig {
+                workers: 2,
+                ..OnlineEngineConfig::default()
+            },
+            move |cut: &Frontier, owner: EventId| {
+                if owner == victim {
+                    panic!("predicate exploded");
+                }
+                counter_in_sink.visit(cut, owner)
+            },
+        );
+        for &id in &order {
+            engine.observe_with_clock(id.tid, reference.vc(id).clone(), ());
+        }
+        let report = engine.finish();
+        // The faulted interval panicked on its first delivery (clean
+        // slate), earned one retry, panicked again, and was quarantined.
+        assert_eq!(report.faults.len(), 1);
+        let q = &report.faults.quarantined[0];
+        assert_eq!(q.interval.event, victim);
+        assert_eq!(q.cuts_emitted, 0);
+        assert_eq!(q.attempts, 2);
+        assert!(q.message.contains("predicate exploded"), "{}", q.message);
+        assert!(!report.is_complete());
+        assert!(!report.outcome().is_complete());
+        match report.outcome() {
+            Outcome::Degraded(log) => assert_eq!(log.len(), 1),
+            Outcome::Complete => panic!("run must be degraded"),
+        }
+        let m = &report.metrics;
+        assert_eq!(m.worker_panics, 2);
+        assert_eq!(m.intervals_retried, 1);
+        assert_eq!(m.intervals_quarantined, 1);
+        assert_eq!(
+            m.intervals_completed + m.intervals_quarantined,
+            m.intervals_dispatched
+        );
+        assert_eq!(counter.count(), report.cuts);
+        assert_exact_partition(&report);
+    }
+
+    #[test]
+    fn partial_emission_skips_retry_and_reports_exact_prefix() {
+        // t0: two events; t1: one concurrent event whose interval spans
+        // {0,1},{1,1},{2,1}. The sink delivers the first cut, then
+        // panics — a retry would double-deliver it, so the engine must
+        // quarantine immediately with the prefix length on record.
+        let visits = StdArc::new(AtomicU64::new(0));
+        let visits_in_sink = StdArc::clone(&visits);
+        let engine = OnlineEngine::new(
+            2,
+            OnlineEngineConfig {
+                workers: 1,
+                ..OnlineEngineConfig::default()
+            },
+            move |_: &Frontier, owner: EventId| {
+                if owner.tid == Tid(1) && visits_in_sink.fetch_add(1, Ordering::Relaxed) + 1 == 2 {
+                    panic!("mid-interval fault");
+                }
+                ControlFlow::Continue(())
+            },
+        );
+        engine.observe_after(Tid(0), &[], ());
+        engine.observe_after(Tid(0), &[], ());
+        engine.observe_after(Tid(1), &[], ());
+        let report = engine.finish();
+        assert_eq!(report.faults.len(), 1);
+        let q = &report.faults.quarantined[0];
+        assert_eq!(q.cuts_emitted, 1, "exactly the delivered prefix");
+        assert_eq!(q.attempts, 1, "partial emission forbids the retry");
+        assert_eq!(report.metrics.intervals_retried, 0);
+        assert_eq!(report.metrics.worker_panics, 1);
+        // Lattice: 6 cuts total; the quarantined interval held 3, one
+        // was delivered. 2 + 1 + 1 = 4 delivered overall.
+        assert_eq!(report.cuts, 4);
+        assert_eq!(q.skipped_cuts_bound(), 2);
+        assert_exact_partition(&report);
+    }
+
+    #[test]
+    fn transient_panic_is_retried_and_run_completes() {
+        let first = StdArc::new(AtomicBool::new(true));
+        let first_in_sink = StdArc::clone(&first);
+        let counter = StdArc::new(AtomicCountSink::new());
+        let counter_in_sink = StdArc::clone(&counter);
+        let engine = OnlineEngine::new(
+            2,
+            OnlineEngineConfig {
+                workers: 2,
+                ..OnlineEngineConfig::default()
+            },
+            move |cut: &Frontier, owner: EventId| {
+                // Panic once, on the very first delivery of t1's
+                // interval — before anything of it was delivered.
+                if owner.tid == Tid(1) && first_in_sink.swap(false, Ordering::Relaxed) {
+                    panic!("transient");
+                }
+                counter_in_sink.visit(cut, owner)
+            },
+        );
+        engine.observe_after(Tid(0), &[], ());
+        engine.observe_after(Tid(0), &[], ());
+        engine.observe_after(Tid(1), &[], ());
+        let report = engine.finish();
+        assert!(report.is_complete(), "retry must recover a transient fault");
+        assert!(report.outcome().is_complete());
+        assert!(report.faults.is_empty());
+        assert_eq!(report.metrics.worker_panics, 1);
+        assert_eq!(report.metrics.intervals_retried, 1);
+        assert_eq!(report.metrics.intervals_quarantined, 0);
+        assert_eq!(report.cuts, 6);
+        assert_eq!(counter.count(), 6);
+    }
+
+    #[test]
+    fn worker_panic_never_terminates_the_process_across_many_intervals() {
+        // Every t1-owned interval panics on every delivery: multiple
+        // quarantines, all contained, engine finishes normally.
+        let counter = StdArc::new(AtomicCountSink::new());
+        let counter_in_sink = StdArc::clone(&counter);
+        let engine = OnlineEngine::new(
+            2,
+            OnlineEngineConfig {
+                workers: 2,
+                worker_restart_budget: 2,
+                ..OnlineEngineConfig::default()
+            },
+            move |cut: &Frontier, owner: EventId| {
+                if owner.tid == Tid(1) {
+                    panic!("poisoned predicate");
+                }
+                counter_in_sink.visit(cut, owner)
+            },
+        );
+        for _ in 0..5 {
+            engine.observe_after(Tid(0), &[], ());
+            engine.observe_after(Tid(1), &[], ());
+        }
+        let report = engine.finish();
+        assert_eq!(report.faults.len(), 5, "every t1 interval quarantined");
+        assert_eq!(report.metrics.intervals_quarantined, 5);
+        assert_eq!(report.metrics.worker_panics, 10, "each retried once");
+        assert!(!report.is_complete());
+        assert_eq!(counter.count(), report.cuts);
+        assert_exact_partition(&report);
+    }
+
+    #[cfg(feature = "chaos")]
+    mod chaos {
+        use super::*;
+
+        #[test]
+        fn spawn_failures_degrade_the_pool_and_stay_exact() {
+            // Fail 2 of 4 spawns → half pool; fail all 4 → inline mode.
+            for fail in [2u32, 4] {
+                let counter = StdArc::new(AtomicCountSink::new());
+                let counter_in_sink = StdArc::clone(&counter);
+                let engine = OnlineEngine::new(
+                    2,
+                    OnlineEngineConfig {
+                        workers: 4,
+                        faults: FaultPlan {
+                            spawn_fail_first: fail,
+                            ..FaultPlan::default()
+                        },
+                        ..OnlineEngineConfig::default()
+                    },
+                    move |cut: &Frontier, owner| counter_in_sink.visit(cut, owner),
+                );
+                for _ in 0..4 {
+                    engine.observe_after(Tid(0), &[], ());
+                    engine.observe_after(Tid(1), &[], ());
+                }
+                let report = engine.finish();
+                assert_eq!(report.metrics.worker_spawn_failures, u64::from(fail));
+                assert_eq!(report.cuts, oracle::count_ideals(&report.poset));
+                assert_eq!(counter.count(), report.cuts);
+                assert!(report.is_complete(), "degraded pool loses nothing");
+            }
+        }
+
+        #[test]
+        fn injected_worker_kill_quarantines_in_flight_and_respawns() {
+            let engine = OnlineEngine::new(
+                2,
+                OnlineEngineConfig {
+                    workers: 2,
+                    faults: FaultPlan {
+                        worker_kill_at: Some(3),
+                        ..FaultPlan::default()
+                    },
+                    ..OnlineEngineConfig::default()
+                },
+                |_: &Frontier, _: EventId| ControlFlow::Continue(()),
+            );
+            for _ in 0..6 {
+                engine.observe_after(Tid(0), &[], ());
+                engine.observe_after(Tid(1), &[], ());
+            }
+            let report = engine.finish();
+            assert_eq!(report.metrics.worker_panics, 1);
+            assert_eq!(report.metrics.worker_restarts, 1);
+            assert_eq!(report.faults.len(), 1, "the in-flight interval");
+            assert_eq!(report.faults.quarantined[0].cuts_emitted, 0);
+            assert!(!report.is_complete());
+            assert_exact_partition(&report);
+        }
+
+        #[test]
+        fn injected_send_failures_quarantine_at_dispatch() {
+            let engine = OnlineEngine::new(
+                2,
+                OnlineEngineConfig {
+                    workers: 2,
+                    faults: FaultPlan {
+                        send_fail_every: Some(4),
+                        ..FaultPlan::default()
+                    },
+                    ..OnlineEngineConfig::default()
+                },
+                |_: &Frontier, _: EventId| ControlFlow::Continue(()),
+            );
+            for _ in 0..6 {
+                engine.observe_after(Tid(0), &[], ());
+                engine.observe_after(Tid(1), &[], ());
+            }
+            let report = engine.finish();
+            assert_eq!(report.faults.len(), 3, "sends 4, 8, 12 fail");
+            assert!(report
+                .faults
+                .quarantined
+                .iter()
+                .all(|q| q.message.contains("queue send failed")));
+            assert_eq!(report.metrics.intervals_quarantined, 3);
+            assert_eq!(
+                report.metrics.intervals_completed + report.metrics.intervals_quarantined,
+                report.metrics.intervals_dispatched
+            );
+            assert_exact_partition(&report);
+        }
+
+        #[test]
+        fn seeded_sink_chaos_partitions_exactly_under_every_seed() {
+            for seed in [1u64, 7, 42] {
+                let reference = RandomComputation::new(3, 5, 0.4, seed).generate();
+                let counter = StdArc::new(AtomicCountSink::new());
+                let counter_in_sink = StdArc::clone(&counter);
+                let engine = OnlineEngine::new(
+                    3,
+                    OnlineEngineConfig {
+                        workers: 3,
+                        faults: FaultPlan {
+                            seed,
+                            sink_panic_every: Some(13),
+                            ..FaultPlan::default()
+                        },
+                        ..OnlineEngineConfig::default()
+                    },
+                    move |cut: &Frontier, owner| counter_in_sink.visit(cut, owner),
+                );
+                for &id in &paramount_poset::topo::weight_order(&reference) {
+                    engine.observe_with_clock(id.tid, reference.vc(id).clone(), ());
+                }
+                let report = engine.finish();
+                assert_eq!(counter.count(), report.cuts, "seed {seed}");
+                assert_exact_partition(&report);
+            }
+        }
     }
 }

@@ -72,6 +72,14 @@ impl ConcurrentCollectSink {
         self.cuts.into_inner()
     }
 
+    /// Takes the collected cuts out of a *shared* handle, leaving the
+    /// collector empty. Teardown paths use this instead of
+    /// `Arc::try_unwrap(..) + into_cuts()`, so a leaked clone of the
+    /// handle cannot abort result extraction.
+    pub fn take_cuts(&self) -> Vec<Frontier> {
+        std::mem::take(&mut *self.cuts.lock())
+    }
+
     /// Number of cuts collected so far.
     pub fn len(&self) -> usize {
         self.cuts.lock().len()
@@ -117,6 +125,33 @@ impl<K: ParallelCutSink + ?Sized> CutSink for SinkBridge<'_, K> {
     #[inline]
     fn visit(&mut self, cut: &Frontier) -> ControlFlow<()> {
         self.shared.visit(cut, self.owner)
+    }
+}
+
+/// Wraps a sequential [`CutSink`], counting every delivery whose `visit`
+/// *returned* into an external atomic. The counter survives a panic
+/// unwinding out of the inner sink (the count is visible through the
+/// `catch_unwind` boundary), which is what lets the engine know exactly
+/// how many cuts of an interval the sink saw before a fault: a delivery
+/// that panicked mid-visit is conservatively *not* counted.
+pub struct MeteredSink<'a, S> {
+    inner: S,
+    emitted: &'a AtomicU64,
+}
+
+impl<'a, S: CutSink> MeteredSink<'a, S> {
+    /// Meters `inner`, adding one to `emitted` per completed delivery.
+    pub fn new(inner: S, emitted: &'a AtomicU64) -> Self {
+        MeteredSink { inner, emitted }
+    }
+}
+
+impl<S: CutSink> CutSink for MeteredSink<'_, S> {
+    #[inline]
+    fn visit(&mut self, cut: &Frontier) -> ControlFlow<()> {
+        let flow = self.inner.visit(cut);
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+        flow
     }
 }
 
@@ -230,5 +265,39 @@ mod tests {
         let closure = |_: &Frontier, _: EventId| ControlFlow::Break(());
         let mut bridge = SinkBridge::new(&closure, owner());
         assert!(bridge.visit(&g(&[0])).is_break());
+    }
+
+    #[test]
+    fn take_cuts_reads_through_a_shared_handle() {
+        let sink = std::sync::Arc::new(ConcurrentCollectSink::new());
+        let _ = sink.visit(&g(&[1, 0]), owner());
+        let leaked = std::sync::Arc::clone(&sink); // a clone stays alive
+        assert_eq!(sink.take_cuts().len(), 1);
+        assert!(leaked.is_empty(), "take leaves the collector empty");
+    }
+
+    #[test]
+    fn metered_sink_counts_only_completed_deliveries() {
+        let emitted = AtomicU64::new(0);
+        let mut seen = 0u32;
+        let mut inner = |_: &Frontier| {
+            seen += 1;
+            ControlFlow::Continue(())
+        };
+        {
+            let mut metered = MeteredSink::new(&mut inner, &emitted);
+            let _ = metered.visit(&g(&[1]));
+            let _ = metered.visit(&g(&[2]));
+        }
+        assert_eq!(seen, 2);
+        assert_eq!(emitted.load(Ordering::Relaxed), 2);
+        // A panicking delivery must not be counted.
+        let panicky = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut boom = |_: &Frontier| -> ControlFlow<()> { panic!("boom") };
+            let mut metered = MeteredSink::new(&mut boom, &emitted);
+            let _ = metered.visit(&g(&[3]));
+        }));
+        assert!(panicky.is_err());
+        assert_eq!(emitted.load(Ordering::Relaxed), 2);
     }
 }

@@ -71,13 +71,23 @@ pub fn detect_races_on_poset_bfs(
         cuts += 1;
         predicate.evaluate_all_pairs(poset, cut)
     };
-    let result = bfs::enumerate(
-        poset,
-        &BfsOptions {
-            frontier_budget: config.frontier_budget,
-        },
-        &mut sink,
-    );
+    // Isolate the predicate boundary: a panicking predicate degrades to
+    // a `Faulted` report carrying whatever was detected before the
+    // fault, instead of unwinding out of the detector.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        bfs::enumerate(
+            poset,
+            &BfsOptions {
+                frontier_budget: config.frontier_budget,
+            },
+            &mut sink,
+        )
+    }))
+    .unwrap_or_else(|payload| {
+        Err(EnumError::Panicked {
+            message: paramount_enumerate::panic_message(payload.as_ref()),
+        })
+    });
     let outcome = match result {
         Ok(_) => DetectorOutcome::Completed,
         Err(EnumError::OutOfBudget {
@@ -88,6 +98,7 @@ pub fn detect_races_on_poset_bfs(
             budget,
         },
         Err(EnumError::Stopped) => DetectorOutcome::Completed,
+        Err(EnumError::Panicked { message }) => DetectorOutcome::Faulted { message },
     };
     RaceDetectionReport {
         detector: "BFS-offline (RV analog)",
@@ -133,6 +144,7 @@ pub fn detect_races_offline_paramount(
             None,
         ),
         Err(EnumError::Stopped) => (0, DetectorOutcome::Completed, None),
+        Err(EnumError::Panicked { message }) => (0, DetectorOutcome::Faulted { message }, None),
     };
     RaceDetectionReport {
         detector: "ParaMount (offline)",

@@ -15,6 +15,13 @@ pub enum DetectorOutcome {
         /// The configured budget.
         budget: usize,
     },
+    /// The predicate (or a sink wrapping it) panicked and the panic was
+    /// contained at the enumeration boundary. Detections gathered before
+    /// the fault are still in the report.
+    Faulted {
+        /// The stringified panic payload.
+        message: String,
+    },
 }
 
 impl DetectorOutcome {
@@ -65,6 +72,10 @@ mod tests {
         assert!(!DetectorOutcome::OutOfMemory {
             live_frontiers: 10,
             budget: 5
+        }
+        .completed());
+        assert!(!DetectorOutcome::Faulted {
+            message: "boom".into()
         }
         .completed());
     }

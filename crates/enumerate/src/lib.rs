@@ -52,6 +52,15 @@ pub enum EnumError {
     /// The sink requested an early stop (e.g. a predicate matched and the
     /// caller only needed the first witness).
     Stopped,
+    /// The sink (or a user predicate inside it) panicked mid-enumeration
+    /// and the panic was contained at the enumeration boundary (see
+    /// [`Algorithm::run_isolated`]). Carries the panic payload rendered
+    /// as a string so the fault is reportable across threads.
+    Panicked {
+        /// The panic payload, stringified (`&str`/`String` payloads are
+        /// preserved verbatim; anything else becomes a placeholder).
+        message: String,
+    },
 }
 
 impl fmt::Display for EnumError {
@@ -65,11 +74,28 @@ impl fmt::Display for EnumError {
                 "out of budget: {live_frontiers} live frontiers exceeds limit {budget}"
             ),
             EnumError::Stopped => write!(f, "stopped early by sink"),
+            EnumError::Panicked { message } => {
+                write!(f, "sink panicked during enumeration: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for EnumError {}
+
+/// Renders a caught panic payload (from [`std::panic::catch_unwind`])
+/// as a human-readable string. `&str` and `String` payloads — the
+/// overwhelmingly common cases from `panic!`/`assert!` — are preserved
+/// verbatim; anything else becomes a stable placeholder.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Statistics reported by a completed enumeration.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -142,6 +168,49 @@ impl Algorithm {
             }
             Algorithm::Lexical => lexical::enumerate_bounded(poset, gmin, gbnd, sink),
         }
+    }
+
+    /// Runs the full enumeration with the sink boundary isolated behind
+    /// [`std::panic::catch_unwind`]: a panicking sink/predicate surfaces
+    /// as [`EnumError::Panicked`] instead of unwinding through the caller
+    /// (and, in a worker pool, killing the process). Cuts delivered
+    /// before the panic have already reached the sink; the enumerators
+    /// themselves are stateless across calls, so the caller may re-run
+    /// with a repaired sink.
+    ///
+    /// The closure is wrapped in [`std::panic::AssertUnwindSafe`]: the
+    /// sink is reachable after the catch, and any interior state it
+    /// mutated mid-panic is the sink's own responsibility — the
+    /// enumeration core holds no shared state that a panic can corrupt.
+    pub fn run_isolated<Sp: CutSpace + ?Sized, S: CutSink>(
+        self,
+        poset: &Sp,
+        sink: &mut S,
+    ) -> Result<EnumStats, EnumError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run(poset, sink)))
+            .unwrap_or_else(|payload| {
+                Err(EnumError::Panicked {
+                    message: panic_message(payload.as_ref()),
+                })
+            })
+    }
+
+    /// Bounded-interval variant of [`Algorithm::run_isolated`].
+    pub fn run_bounded_isolated<Sp: CutSpace + ?Sized, S: CutSink>(
+        self,
+        poset: &Sp,
+        gmin: &Frontier,
+        gbnd: &Frontier,
+        sink: &mut S,
+    ) -> Result<EnumStats, EnumError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_bounded(poset, gmin, gbnd, sink)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(EnumError::Panicked {
+                message: panic_message(payload.as_ref()),
+            })
+        })
     }
 }
 

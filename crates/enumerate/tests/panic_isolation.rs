@@ -1,0 +1,105 @@
+//! Panic containment at the sink boundary: a predicate or sink that
+//! panics mid-enumeration must surface as [`EnumError::Panicked`] from
+//! `run_isolated`, never unwind through the caller — and since the
+//! enumerators are stateless across calls, a clean rerun must still
+//! produce the exact count.
+
+use paramount_enumerate::{Algorithm, CountSink, CutSink, EnumError};
+use paramount_poset::random::RandomComputation;
+use paramount_poset::{oracle, Frontier, Tid};
+use std::ops::ControlFlow;
+
+/// Counts cuts and panics on the `n`-th visit — a stand-in for a buggy
+/// user predicate evaluated inside the sink.
+struct PanicAtSink {
+    seen: u64,
+    panic_at: u64,
+}
+
+impl CutSink for PanicAtSink {
+    fn visit(&mut self, _cut: &Frontier) -> ControlFlow<()> {
+        self.seen += 1;
+        if self.seen == self.panic_at {
+            panic!("predicate bug on cut #{}", self.seen);
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+#[test]
+fn panicking_sink_is_contained_and_clean_rerun_is_exact() {
+    let poset = RandomComputation::new(3, 6, 0.3, 11).generate();
+    let expected = oracle::count_ideals(&poset);
+    assert!(expected > 4, "poset must be big enough to panic mid-run");
+
+    for algorithm in Algorithm::ALL {
+        // Panic partway through: run_isolated reports, never unwinds.
+        let mut sink = PanicAtSink {
+            seen: 0,
+            panic_at: 3,
+        };
+        let err = algorithm
+            .run_isolated(&poset, &mut sink)
+            .expect_err("sink panic must surface as an error");
+        match err {
+            EnumError::Panicked { message } => {
+                assert!(
+                    message.contains("predicate bug on cut #3"),
+                    "{algorithm:?}: payload must survive: {message}"
+                );
+            }
+            other => panic!("{algorithm:?}: expected Panicked, got {other:?}"),
+        }
+        // The sink really did see a delivered prefix before the panic.
+        assert_eq!(sink.seen, 3, "{algorithm:?}");
+
+        // Stateless core: a clean rerun of the same algorithm on the
+        // same poset is still exact.
+        let mut clean = CountSink::default();
+        algorithm
+            .run_isolated(&poset, &mut clean)
+            .expect("clean rerun");
+        assert_eq!(clean.count, expected, "{algorithm:?}");
+    }
+}
+
+/// A panic on the very first visit (before any cut is delivered) is the
+/// retry-eligible case the engines rely on: zero cuts escaped.
+#[test]
+fn first_visit_panic_delivers_nothing() {
+    let poset = RandomComputation::new(2, 4, 0.2, 5).generate();
+    for algorithm in Algorithm::ALL {
+        let mut sink = PanicAtSink {
+            seen: 0,
+            panic_at: 1,
+        };
+        let err = algorithm.run_isolated(&poset, &mut sink).expect_err("panic");
+        assert!(matches!(err, EnumError::Panicked { .. }), "{algorithm:?}");
+        assert_eq!(sink.seen, 1, "{algorithm:?}: panicked on the 1st visit");
+    }
+}
+
+/// The bounded-interval variant is isolated the same way — this is the
+/// exact boundary the parallel engines call per interval.
+#[test]
+fn bounded_interval_panic_is_contained() {
+    let poset = RandomComputation::new(3, 5, 0.4, 23).generate();
+    let gmin = Frontier::empty(3);
+    let gbnd = Frontier::from_counts((0..3).map(|t| poset.events_of(Tid(t)) as u32).collect());
+    for algorithm in Algorithm::ALL {
+        let mut sink = PanicAtSink {
+            seen: 0,
+            panic_at: 2,
+        };
+        let err = algorithm
+            .run_bounded_isolated(&poset, &gmin, &gbnd, &mut sink)
+            .expect_err("panic");
+        assert!(matches!(err, EnumError::Panicked { .. }), "{algorithm:?}");
+
+        let mut clean = CountSink::default();
+        algorithm
+            .run_bounded_isolated(&poset, &gmin, &gbnd, &mut clean)
+            .expect("clean rerun");
+        assert_eq!(clean.count, oracle::count_ideals(&poset), "{algorithm:?}");
+    }
+}

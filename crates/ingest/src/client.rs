@@ -18,9 +18,15 @@ use std::net::{TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 
 /// Outbound buffer size that triggers a socket write.
 const WRITE_CHUNK: usize = 8 * 1024;
+
+/// Events between synchronous `FLUSH` checkpoints when a retrying send
+/// streams a trace: each checkpoint both drains the write buffer and
+/// records the server-acknowledged prefix for the failure report.
+const CHECKPOINT_EVENTS: u64 = 512;
 
 /// Everything that can go wrong on the client side.
 #[derive(Debug)]
@@ -294,6 +300,158 @@ impl Client {
         self.expect_ok()?;
         Ok(())
     }
+}
+
+/// Reconnect-and-replay policy for fault-tolerant sends.
+///
+/// `EVENT` frames are fire-and-forget and a session dies with its
+/// connection, so the sound retry unit is the *whole session*: a fresh
+/// connection, a fresh `HELLO`, the trace replayed from the start. (The
+/// daemon independently finalizes the dead session's prefix — Theorem 3
+/// holds wherever the stream stopped — so nothing is lost, merely
+/// reported twice under different session ids.)
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, connection included (1 = no retry).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub backoff: Duration,
+    /// Backoff ceiling (pre-jitter).
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter (tests pin schedules with it).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            backoff: Duration::from_millis(200),
+            max_backoff: Duration::from_secs(5),
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `attempts` total attempts and the given base backoff.
+    pub fn new(attempts: u32, backoff: Duration) -> Self {
+        RetryPolicy {
+            attempts: attempts.max(1),
+            backoff,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The sleep before attempt `attempt` (2-based; attempt 1 never
+    /// waits): exponential in the retry index, capped at `max_backoff`,
+    /// plus a deterministic splitmix jitter of up to half the base —
+    /// retrying clients desynchronize instead of stampeding a daemon
+    /// that just came back.
+    pub fn delay_before(&self, attempt: u32) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let exp = (attempt - 2).min(16);
+        let base = self
+            .backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        let half = (base.as_millis() as u64) / 2;
+        let jitter = if half == 0 {
+            0
+        } else {
+            paramount::faults::splitmix64(self.jitter_seed ^ u64::from(attempt)) % half
+        };
+        base + Duration::from_millis(jitter)
+    }
+}
+
+/// How far the last attempt of a failed retrying send got: the prefix
+/// the daemon synchronously acknowledged at the latest checkpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SendProgress {
+    /// Attempts actually made.
+    pub attempts: u32,
+    /// Events the daemon acknowledged in the final attempt's session.
+    pub events: u64,
+    /// Cuts the daemon had enumerated at that acknowledgement.
+    pub cuts: u64,
+}
+
+/// A retrying send that exhausted its attempts: the final transport
+/// error plus the acknowledged partial prefix.
+#[derive(Debug)]
+pub struct SendError {
+    /// The last attempt's error.
+    pub error: ClientError,
+    /// Acknowledged progress of the last attempt.
+    pub progress: SendProgress,
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} attempt{}; partial prefix: server acknowledged {} events / {} cuts",
+            self.error,
+            self.progress.attempts,
+            if self.progress.attempts == 1 { "" } else { "s" },
+            self.progress.events,
+            self.progress.cuts,
+        )
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Streams a parsed trace into a daemon with reconnect-and-replay (see
+/// [`RetryPolicy`]). When `policy.attempts > 1` the stream checkpoints
+/// with a synchronous `FLUSH` every [`CHECKPOINT_EVENTS`] events, so a
+/// failure reports exactly how much the daemon acknowledged. Returns the
+/// final report, the session id, and the number of attempts used.
+pub fn send_trace_with_retry(
+    mut connect: impl FnMut() -> io::Result<Client>,
+    hello: &Hello,
+    trace: &TraceFile,
+    policy: RetryPolicy,
+) -> Result<(WireReport, u64, u32), SendError> {
+    let attempts = policy.attempts.max(1);
+    let checkpointing = attempts > 1;
+    let mut progress = SendProgress::default();
+    let mut last_error = None;
+    for attempt in 1..=attempts {
+        progress.attempts = attempt;
+        progress.events = 0;
+        progress.cuts = 0;
+        std::thread::sleep(policy.delay_before(attempt));
+        let result = (|| -> Result<(WireReport, u64), ClientError> {
+            let mut client = connect()?;
+            let session = client.hello(hello)?;
+            let mut sent = 0u64;
+            for &(tid, op) in &trace.ops {
+                let body = render_op(op, &trace.var_names, &trace.lock_names);
+                client.event_line(tid.index(), &body)?;
+                sent += 1;
+                if checkpointing && sent % CHECKPOINT_EVENTS == 0 {
+                    let (events, cuts) = client.flush_sync()?;
+                    progress.events = events;
+                    progress.cuts = cuts;
+                }
+            }
+            let report = client.finish()?;
+            Ok((report, session))
+        })();
+        match result {
+            Ok((report, session)) => return Ok((report, session, attempt)),
+            Err(error) => last_error = Some(error),
+        }
+    }
+    Err(SendError {
+        error: last_error
+            .unwrap_or_else(|| ClientError::Protocol("no attempt was made".to_string())),
+        progress,
+    })
 }
 
 /// An [`OpObserver`] that forwards every executed operation onto the

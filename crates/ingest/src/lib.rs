@@ -42,7 +42,10 @@ pub mod proto;
 pub mod server;
 pub mod session;
 
-pub use client::{stream_program, Client, ClientError, WireObserver};
+pub use client::{
+    send_trace_with_retry, stream_program, Client, ClientError, RetryPolicy, SendError,
+    SendProgress, WireObserver,
+};
 pub use proto::{
     parse_client_line, parse_server_line, ClientFrame, DecodeError, EndReason, ErrCode, Hello,
     ServerFrame, WireOp, WireReport, MAX_LINE_BYTES, PROTOCOL_VERSION,

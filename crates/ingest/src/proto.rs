@@ -397,6 +397,9 @@ pub enum EndReason {
     Shutdown,
     /// A protocol/state error or an engine error ended the session.
     Error,
+    /// A panic unwound out of the session's machinery; the report covers
+    /// the prefix observed before the fault (and the daemon kept serving).
+    Fault,
 }
 
 impl EndReason {
@@ -409,6 +412,7 @@ impl EndReason {
             EndReason::Timeout => "timeout",
             EndReason::Shutdown => "shutdown",
             EndReason::Error => "error",
+            EndReason::Fault => "fault",
         }
     }
 
@@ -421,6 +425,7 @@ impl EndReason {
             "timeout" => EndReason::Timeout,
             "shutdown" => EndReason::Shutdown,
             "error" => EndReason::Error,
+            "fault" => EndReason::Fault,
             _ => return None,
         })
     }
@@ -649,6 +654,7 @@ mod tests {
             EndReason::Timeout,
             EndReason::Shutdown,
             EndReason::Error,
+            EndReason::Fault,
         ] {
             assert_eq!(EndReason::from_token(reason.as_str()), Some(reason));
         }

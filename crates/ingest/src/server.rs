@@ -20,11 +20,12 @@ use crate::proto::{
     parse_client_line, ClientFrame, DecodeError, EndReason, ErrCode, ServerFrame, MAX_LINE_BYTES,
 };
 use crate::session::{Session, SessionConfig, SessionReport};
-use paramount::{IngestMetrics, IngestSnapshot};
+use paramount::{panic_message, IngestMetrics, IngestSnapshot};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -97,6 +98,14 @@ impl Stream {
             Stream::Tcp(s) => s.set_read_timeout(Some(timeout)),
             #[cfg(unix)]
             Stream::Unix(s) => s.set_read_timeout(Some(timeout)),
+        }
+    }
+
+    fn set_write_timeout(&self, timeout: Duration) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(Some(timeout)),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_write_timeout(Some(timeout)),
         }
     }
 }
@@ -255,12 +264,15 @@ impl Server {
                                 report_tx: report_tx.clone(),
                                 notify: Arc::clone(&notify),
                             };
-                            workers.push(
-                                std::thread::Builder::new()
-                                    .name("paramount-ingest-conn".to_string())
-                                    .spawn(move || serve_connection(stream, ctx))
-                                    .expect("failed to spawn connection thread"),
-                            );
+                            match std::thread::Builder::new()
+                                .name("paramount-ingest-conn".to_string())
+                                .spawn(move || serve_connection(stream, ctx))
+                            {
+                                Ok(handle) => workers.push(handle),
+                                // Spawn failure (thread exhaustion) drops
+                                // this connection, never the daemon.
+                                Err(_) => {}
+                            }
                         }
                         Ok(None) => break,
                         Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -381,28 +393,83 @@ fn send(stream: &mut Stream, frame: &ServerFrame) -> io::Result<()> {
     stream.flush()
 }
 
-/// The per-connection protocol loop. Every exit path that has an open
-/// session finalizes it and files the report — the daemon never leaks a
-/// running engine.
+/// One connection thread: runs the protocol loop under a panic boundary,
+/// then finalizes. Every exit path that has an open session finalizes it
+/// and files the report — the daemon never leaks a running engine, and a
+/// panic anywhere in the loop (a buggy frame handler, an injected chaos
+/// fault, a panic escaping the session's engine plumbing) is strictly a
+/// single-session event: the session finalizes with reason `fault`, the
+/// prefix observed before the fault is reported exactly, and the daemon
+/// keeps serving everyone else.
 fn serve_connection<F: Fn(&SessionReport) + Send + Sync>(mut stream: Stream, ctx: ConnCtx<F>) {
     if stream.set_read_timeout(READ_TICK).is_err() {
         return;
     }
-    let mut reader = LineReader::new();
+    // Write deadline: a reply blocked on an unread socket fails the write
+    // instead of wedging this thread on a stalled client (best-effort —
+    // not every transport supports it).
+    let _ = stream.set_write_timeout(ctx.config.session.limits.write_timeout);
     let mut session: Option<Session> = None;
+    let mut faulted = false;
+    let reason = match catch_unwind(AssertUnwindSafe(|| {
+        connection_loop(&mut stream, &mut session, &ctx)
+    })) {
+        Ok(Some(reason)) => reason,
+        Ok(None) => return, // no session was ever open: nothing to file
+        Err(_) => {
+            faulted = true;
+            EndReason::Fault
+        }
+    };
+    let Some(session) = session.take() else {
+        return; // panicked before HELLO: no books to balance
+    };
+    let (id, label) = (session.id(), session.label().map(String::from));
+    let clean = reason == EndReason::End;
+    // Finalize under its own unwind boundary: the accounting below must
+    // run even if engine teardown itself faults.
+    let report =
+        catch_unwind(AssertUnwindSafe(|| session.finalize(reason))).unwrap_or_else(|payload| {
+            faulted = true;
+            SessionReport::failed(id, label, panic_message(payload.as_ref()))
+        });
+    if faulted {
+        ctx.metrics.sessions_faulted.add(1);
+    } else if clean {
+        ctx.metrics.sessions_completed.add(1);
+    } else {
+        ctx.metrics.sessions_aborted.add(1);
+    }
+    ctx.metrics.active_sessions.dec();
+    // Best-effort: tell the client how its session ended. On a clean END
+    // this is the acknowledged REPORT; on disconnect the write fails and
+    // that is fine.
+    let _ = send(&mut stream, &ServerFrame::Report(report.wire()));
+    (ctx.notify)(&report);
+    let _ = ctx.report_tx.send(report);
+}
+
+/// The protocol loop proper. Returns the end reason when a session is
+/// open, `None` when the connection closed without one.
+fn connection_loop<F: Fn(&SessionReport) + Send + Sync>(
+    stream: &mut Stream,
+    session: &mut Option<Session>,
+    ctx: &ConnCtx<F>,
+) -> Option<EndReason> {
+    let mut reader = LineReader::new();
     let mut last_frame = Instant::now();
     // Sessions get their configured idle budget; a connection that never
     // says HELLO gets the same budget to do so.
     let pre_hello_idle = ctx.config.session.limits.idle_timeout;
 
-    let outcome: EndReason = loop {
-        match reader.next(&mut stream) {
+    loop {
+        match reader.next(stream) {
             Tick::Idle => {
                 if ctx.stop.load(Ordering::Relaxed) {
                     if session.is_some() {
-                        break EndReason::Shutdown;
+                        return Some(EndReason::Shutdown);
                     }
-                    return;
+                    return None;
                 }
                 let idle_budget = session
                     .as_ref()
@@ -411,42 +478,42 @@ fn serve_connection<F: Fn(&SessionReport) + Send + Sync>(mut stream: Stream, ctx
                 if last_frame.elapsed() >= idle_budget {
                     if session.is_some() {
                         let _ = send(
-                            &mut stream,
+                            stream,
                             &ServerFrame::Err(DecodeError::new(
                                 ErrCode::Limit,
                                 format!("idle for more than {idle_budget:?}"),
                             )),
                         );
-                        break EndReason::Timeout;
+                        return Some(EndReason::Timeout);
                     }
-                    return; // silent pre-HELLO connection: just drop it
+                    return None; // silent pre-HELLO connection: just drop it
                 }
             }
             Tick::Eof => {
                 if session.is_some() {
-                    break EndReason::Disconnect;
+                    return Some(EndReason::Disconnect);
                 }
-                return;
+                return None;
             }
             Tick::Oversize => {
                 ctx.metrics.decode_errors.add(1);
                 let _ = send(
-                    &mut stream,
+                    stream,
                     &ServerFrame::Err(DecodeError::new(
                         ErrCode::Proto,
                         format!("line exceeds {MAX_LINE_BYTES} bytes"),
                     )),
                 );
                 if session.is_some() {
-                    break EndReason::Error;
+                    return Some(EndReason::Error);
                 }
-                return;
+                return None;
             }
             Tick::Err => {
                 if session.is_some() {
-                    break EndReason::Disconnect;
+                    return Some(EndReason::Disconnect);
                 }
-                return;
+                return None;
             }
             Tick::Line(line) => {
                 last_frame = Instant::now();
@@ -464,43 +531,27 @@ fn serve_connection<F: Fn(&SessionReport) + Send + Sync>(mut stream: Stream, ctx
                         // keep the session; the stream stays line-aligned
                         // because frames are lines.
                         ctx.metrics.decode_errors.add(1);
-                        if send(&mut stream, &ServerFrame::Err(err)).is_err() {
+                        if send(stream, &ServerFrame::Err(err)).is_err() {
                             if session.is_some() {
-                                break EndReason::Disconnect;
+                                return Some(EndReason::Disconnect);
                             }
-                            return;
+                            return None;
                         }
                         continue;
                     }
                 };
-                match handle_frame(frame, &mut stream, &mut session, &ctx) {
+                match handle_frame(frame, stream, session, ctx) {
                     FrameOutcome::Continue => {}
                     FrameOutcome::Close(reason) => {
                         if session.is_some() {
-                            break reason;
+                            return Some(reason);
                         }
-                        return;
+                        return None;
                     }
                 }
             }
         }
-    };
-
-    let session = session.expect("loop only breaks with a live session");
-    let clean = outcome == EndReason::End;
-    let report = session.finalize(outcome);
-    if clean {
-        ctx.metrics.sessions_completed.add(1);
-    } else {
-        ctx.metrics.sessions_aborted.add(1);
     }
-    ctx.metrics.active_sessions.dec();
-    // Best-effort: tell the client how its session ended. On a clean END
-    // this is the acknowledged REPORT; on disconnect the write fails and
-    // that is fine.
-    let _ = send(&mut stream, &ServerFrame::Report(report.wire()));
-    (ctx.notify)(&report);
-    let _ = ctx.report_tx.send(report);
 }
 
 enum FrameOutcome {
@@ -572,7 +623,19 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
                 );
             };
             match s.apply(tid, &op) {
-                Ok(()) => FrameOutcome::Continue, // fire-and-forget
+                Ok(()) => {
+                    // Deterministic fault injection: blow up this session
+                    // thread after the configured number of accepted
+                    // events — the chaos suite's probe that a session
+                    // panic is contained and the daemon keeps serving.
+                    #[cfg(feature = "chaos")]
+                    if let Some(after) = ctx.config.session.engine.faults.session_panic_after {
+                        if s.wire_events() == after {
+                            panic!("chaos: session panic injected after {after} events");
+                        }
+                    }
+                    FrameOutcome::Continue // fire-and-forget
+                }
                 Err(err) => {
                     ctx.metrics.decode_errors.add(1);
                     let fatal = err.code == ErrCode::Limit;

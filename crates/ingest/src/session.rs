@@ -44,6 +44,10 @@ pub struct SessionLimits {
     /// A connection silent for this long is finalized with reason
     /// `timeout` (enforced by the server's read loop).
     pub idle_timeout: Duration,
+    /// Per-connection write deadline: a reply blocked on an unread socket
+    /// for this long fails the write instead of wedging the connection
+    /// thread (a stalled client must not pin a session forever).
+    pub write_timeout: Duration,
 }
 
 impl Default for SessionLimits {
@@ -53,6 +57,7 @@ impl Default for SessionLimits {
             max_events: 10_000_000,
             max_workers: 16,
             idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -109,6 +114,23 @@ impl SessionReport {
             cuts: self.cuts,
             complete: self.complete,
             reason: self.reason,
+        }
+    }
+
+    /// The report of a session whose finalization itself faulted: zero
+    /// counts, reason [`EndReason::Fault`], the panic text as the error.
+    /// Last-resort accounting — it keeps the daemon's books balanced when
+    /// a panic unwound through everything else.
+    pub fn failed(id: u64, label: Option<String>, message: String) -> SessionReport {
+        SessionReport {
+            id,
+            label,
+            reason: EndReason::Fault,
+            events: 0,
+            cuts: 0,
+            complete: false,
+            error: Some(message),
+            metrics: MetricsSnapshot::default(),
         }
     }
 }
@@ -347,18 +369,37 @@ impl Session {
         // (the last insertions), then returns it; dropping it leaves
         // `self.engine` as the only handle.
         drop(self.recorder.finish());
-        let engine = Arc::try_unwrap(self.engine)
-            .unwrap_or_else(|_| panic!("session engine still shared at finalize"));
-        let report = engine.finish();
-        SessionReport {
-            id: self.id,
-            label: self.label,
-            reason,
-            events: report.events,
-            cuts: report.cuts,
-            complete: report.is_complete(),
-            error: report.error.as_ref().map(|e| e.to_string()),
-            metrics: report.metrics,
+        match Arc::try_unwrap(self.engine) {
+            Ok(engine) => {
+                let report = engine.finish();
+                SessionReport {
+                    id: self.id,
+                    label: self.label,
+                    reason,
+                    events: report.events,
+                    cuts: report.cuts,
+                    complete: report.is_complete(),
+                    error: report.error.as_ref().map(|e| e.to_string()),
+                    metrics: report.metrics,
+                }
+            }
+            // A leaked engine handle (a recorder that did not drop its
+            // clone, e.g. because a panic unwound through it) must not
+            // panic finalize: report the live snapshot, marked incomplete
+            // — the prefix counts are real, the drain just never ran.
+            Err(shared) => {
+                let metrics = shared.metrics();
+                SessionReport {
+                    id: self.id,
+                    label: self.label,
+                    reason,
+                    events: metrics.events_inserted,
+                    cuts: metrics.cuts_emitted,
+                    complete: false,
+                    error: Some("engine handle still shared at finalize; report is a live snapshot".to_string()),
+                    metrics,
+                }
+            }
         }
     }
 

@@ -1,0 +1,243 @@
+//! Fault-tolerance tests for the wire layer: reconnect-and-replay on the
+//! client side, panic containment on the daemon side.
+
+use paramount_ingest::{
+    send_trace_with_retry, Client, EndReason, Hello, RetryPolicy, Server, ServerConfig,
+    SessionReport,
+};
+use paramount_trace::textfmt::trace_of_program;
+use paramount_workloads::banking;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
+
+fn spawn_daemon(
+    config: ServerConfig,
+) -> (
+    SocketAddr,
+    paramount_ingest::ServerHandle,
+    mpsc::Receiver<(Option<String>, EndReason, u64, bool)>,
+    std::thread::JoinHandle<paramount_ingest::ServeSummary>,
+) {
+    let mut server = Server::new(config);
+    let addr = server.bind_tcp("127.0.0.1:0").expect("bind loopback");
+    let handle = server.handle();
+    let (tx, rx) = mpsc::channel();
+    let tx = Mutex::new(tx);
+    let daemon = std::thread::spawn(move || {
+        server
+            .run(move |report: &SessionReport| {
+                let _ = tx.lock().unwrap().send((
+                    report.label.clone(),
+                    report.reason,
+                    report.cuts,
+                    report.complete,
+                ));
+            })
+            .expect("daemon run")
+    });
+    (addr, handle, rx, daemon)
+}
+
+#[test]
+fn retry_delays_are_deterministic_exponential_and_capped() {
+    let policy = RetryPolicy {
+        attempts: 8,
+        backoff: Duration::from_millis(100),
+        max_backoff: Duration::from_millis(400),
+        jitter_seed: 42,
+    };
+    // The first attempt never waits.
+    assert_eq!(policy.delay_before(1), Duration::ZERO);
+    for attempt in 2..=8 {
+        let a = policy.delay_before(attempt);
+        let b = policy.delay_before(attempt);
+        assert_eq!(a, b, "same seed, same attempt, same delay");
+        // Base doubles per retry (100, 200, 400, capped at 400), and the
+        // jitter adds strictly less than half the base on top.
+        let exp = (attempt - 2).min(16);
+        let base = Duration::from_millis((100u64 << exp).min(400));
+        assert!(a >= base, "attempt {attempt}: {a:?} < base {b:?}");
+        assert!(a < base + base / 2 + Duration::from_millis(1));
+    }
+    // A different seed lands on a different schedule somewhere.
+    let other = RetryPolicy {
+        jitter_seed: 43,
+        ..policy
+    };
+    assert!((2..=8).any(|n| policy.delay_before(n) != other.delay_before(n)));
+}
+
+/// First connection dies before the session opens; the retry lands on a
+/// healthy daemon and the replay completes with the exact count.
+#[test]
+fn retrying_send_survives_a_dropped_first_connection() {
+    // A listener that accepts one connection and immediately drops it.
+    let doomed = TcpListener::bind("127.0.0.1:0").expect("bind doomed");
+    let doomed_addr = doomed.local_addr().unwrap();
+    let dropper = std::thread::spawn(move || {
+        let (stream, _) = doomed.accept().expect("accept doomed");
+        drop(stream);
+    });
+
+    let (addr, handle, _rx, daemon) = spawn_daemon(ServerConfig::default());
+    let trace = trace_of_program(&banking::wide_program(3, 2), 42);
+
+    let mut connections = 0u32;
+    let policy = RetryPolicy::new(3, Duration::from_millis(1));
+    let (report, _session, attempts) = send_trace_with_retry(
+        || {
+            connections += 1;
+            if connections == 1 {
+                Client::connect_tcp(doomed_addr)
+            } else {
+                Client::connect_tcp(addr)
+            }
+        },
+        &Hello::new(trace.threads),
+        &trace,
+        policy,
+    )
+    .expect("retry must recover");
+
+    assert_eq!(attempts, 2, "second attempt should succeed");
+    assert!(report.complete);
+    assert_eq!(report.reason, EndReason::End);
+    let mut oracle = paramount_enumerate::CountSink::default();
+    paramount_enumerate::bfs::enumerate(
+        &trace.to_poset(false),
+        &paramount_enumerate::bfs::BfsOptions::default(),
+        &mut oracle,
+    )
+    .expect("oracle BFS");
+    assert_eq!(report.cuts, oracle.count, "replayed session must be exact");
+
+    dropper.join().unwrap();
+    handle.shutdown();
+    daemon.join().unwrap();
+}
+
+/// Every connection is dropped right after the first checkpoint `FLUSH`
+/// is acknowledged: the send must exhaust its attempts and report the
+/// exact server-acknowledged prefix, not pretend nothing happened.
+#[test]
+fn exhausted_retries_report_the_acknowledged_partial_prefix() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake");
+    let addr = listener.local_addr().unwrap();
+    // A fake daemon speaking just enough protocol: ack the HELLO, count
+    // EVENT frames, ack the first FLUSH with the observed count, then
+    // drop the connection.
+    let fake = std::thread::spawn(move || {
+        for _ in 0..2 {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = stream;
+            let mut line = String::new();
+            let mut events = 0u64;
+            loop {
+                line.clear();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    break;
+                }
+                let frame = line.trim_end();
+                if frame.starts_with("HELLO") {
+                    writer.write_all(b"OK session=9\n").expect("ack hello");
+                } else if frame.starts_with("EVENT") {
+                    events += 1;
+                } else if frame.starts_with("FLUSH") {
+                    writeln!(writer, "OK events={events} cuts=7").expect("ack flush");
+                    break; // connection dropped with events still inbound
+                }
+            }
+        }
+    });
+
+    // 600 events: past the 512-event checkpoint, so exactly one FLUSH
+    // lands before the fake daemon hangs up.
+    let mut text = String::from("threads 2\n");
+    for i in 0..600 {
+        text.push_str(&format!("{} read x\n", i % 2));
+    }
+    let trace = paramount_trace::textfmt::parse_trace(&text).expect("trace");
+
+    let err = send_trace_with_retry(
+        || Client::connect_tcp(addr),
+        &Hello::new(2),
+        &trace,
+        RetryPolicy::new(2, Duration::from_millis(1)),
+    )
+    .expect_err("every attempt is dropped");
+
+    assert_eq!(err.progress.attempts, 2);
+    assert_eq!(err.progress.events, 512, "checkpointed prefix survives");
+    assert_eq!(err.progress.cuts, 7);
+    let rendered = err.to_string();
+    assert!(
+        rendered.contains("partial prefix") && rendered.contains("512"),
+        "failure must surface the acknowledged prefix: {rendered}"
+    );
+    fake.join().unwrap();
+}
+
+/// Fault-injected daemon runs: only meaningful when the injection sites
+/// are compiled in.
+#[cfg(feature = "chaos")]
+mod chaos {
+    use super::*;
+
+    /// A session thread panics mid-stream (injected after 3 events). The
+    /// daemon must finalize that session with reason `fault`, stay up,
+    /// and serve a subsequent clean session exactly.
+    #[test]
+    fn session_panic_finalizes_as_fault_and_daemon_keeps_serving() {
+        let mut config = ServerConfig::default();
+        config.session.engine.faults.session_panic_after = Some(3);
+        let (addr, handle, rx, daemon) = spawn_daemon(config);
+
+        // Doomed session: 4 events, so the 3rd trips the injected panic.
+        let mut doomed = Client::connect_tcp(addr).expect("connect doomed");
+        let mut hello = Hello::new(2);
+        hello.label = Some("doomed".to_string());
+        doomed.hello(&hello).expect("hello");
+        for i in 0..4 {
+            doomed
+                .event_line(i % 2, "read x")
+                .expect("buffered event write");
+        }
+        // The injected panic unwinds out of the session machinery, but
+        // the connection thread contains it, finalizes the observed
+        // prefix, and still delivers the report: 2 reads accepted before
+        // the fault (one open segment per thread) is a 2x2 lattice.
+        let report = doomed.finish().expect("fault report still delivered");
+        assert_eq!(report.reason, EndReason::Fault);
+        assert_eq!(report.cuts, 4, "prefix report stays Theorem-2 exact");
+
+        let (label, reason, cuts, complete) =
+            rx.recv_timeout(Duration::from_secs(10)).expect("report");
+        assert_eq!(label.as_deref(), Some("doomed"));
+        assert_eq!(reason, EndReason::Fault);
+        assert_eq!(cuts, 4);
+        assert!(complete, "the observed prefix itself is exact");
+
+        // The daemon is still serving: a clean session under the panic
+        // threshold completes with the exact count (2 concurrent reads:
+        // a 2x2 lattice of cuts).
+        let mut clean = Client::connect_tcp(addr).expect("connect clean");
+        clean.hello(&Hello::new(2)).expect("hello");
+        clean.event_line(0, "read x").expect("event");
+        clean.event_line(1, "read x").expect("event");
+        let report = clean.finish().expect("clean session completes");
+        assert_eq!(report.reason, EndReason::End);
+        assert!(report.complete);
+        assert_eq!(report.cuts, 4);
+
+        handle.shutdown();
+        let summary = daemon.join().expect("daemon thread");
+        assert_eq!(summary.ingest.sessions_opened, 2);
+        assert_eq!(summary.ingest.sessions_faulted, 1);
+        assert_eq!(summary.ingest.sessions_completed, 1);
+        assert_eq!(summary.ingest.sessions_aborted, 0);
+    }
+}
