@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static EVENTS: AtomicUsize = AtomicUsize::new(0);
 
 /// Counting wrapper around the system allocator.
 pub struct CountingAllocator;
@@ -26,6 +27,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let ptr = System.alloc(layout);
         if !ptr.is_null() {
+            EVENTS.fetch_add(1, Ordering::Relaxed);
             let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(live, Ordering::Relaxed);
         }
@@ -40,6 +42,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let new_ptr = System.realloc(ptr, layout, new_size);
         if !new_ptr.is_null() {
+            EVENTS.fetch_add(1, Ordering::Relaxed);
             if new_size >= layout.size() {
                 let grow = new_size - layout.size();
                 let live = LIVE.fetch_add(grow, Ordering::Relaxed) + grow;
@@ -76,6 +79,23 @@ pub fn measure_peak<T>(f: impl FnOnce() -> T) -> (T, usize) {
     let value = f();
     let peak = peak_bytes().saturating_sub(baseline);
     (value, peak)
+}
+
+/// Total allocation events (every successful `alloc` or `realloc` call)
+/// since process start.
+pub fn alloc_events() -> usize {
+    EVENTS.load(Ordering::Relaxed)
+}
+
+/// Counts allocation events while `f` runs — the instrument behind the
+/// allocations-per-cut report (`allocs` binary). Only meaningful in
+/// binaries that installed [`CountingAllocator`]; single caller at a time
+/// (the counter is global), so wrap whole benchmark runs, not parallel
+/// sub-tasks.
+pub fn measure_allocs<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let before = alloc_events();
+    let value = f();
+    (value, alloc_events() - before)
 }
 
 /// Formats a byte count as MB with one decimal.

@@ -5,14 +5,14 @@
 use paramount_bench::fmt::group_digits;
 use paramount_enumerate::{lexical, EnumError};
 use paramount_poset::random::RandomComputation;
-use paramount_poset::Frontier;
+use paramount_poset::CutRef;
 use std::ops::ControlFlow;
 use std::time::Instant;
 
 fn count_capped(p: &paramount_poset::Poset, cap: u64) -> (u64, bool, f64) {
     let mut count = 0u64;
     let start = Instant::now();
-    let mut sink = |_: &Frontier| {
+    let mut sink = |_: CutRef<'_>| {
         count += 1;
         if count >= cap {
             ControlFlow::Break(())

@@ -6,7 +6,7 @@
 use paramount_bench::fmt::group_digits;
 use paramount_enumerate::bfs::{self, BfsOptions};
 use paramount_enumerate::{lexical, CountSink, EnumError};
-use paramount_poset::{CutSpace, Frontier};
+use paramount_poset::{CutRef, CutSpace};
 use paramount_trace::sim::SimScheduler;
 use paramount_workloads::{banking, distributed, elevator, hedc, tsp};
 use std::ops::ControlFlow;
@@ -15,7 +15,7 @@ use std::time::Instant;
 fn probe<S: CutSpace + ?Sized>(name: &str, poset: &S, cap: u64, bfs_budget: usize) {
     let mut count = 0u64;
     let start = Instant::now();
-    let mut sink = |_: &Frontier| {
+    let mut sink = |_: CutRef<'_>| {
         count += 1;
         if count >= cap {
             ControlFlow::Break(())

@@ -52,7 +52,7 @@ mod tests {
 
     fn capped_count(p: &paramount_poset::Poset, cap: u64) -> (u64, bool) {
         let mut count = 0;
-        let mut sink = |_: &paramount_poset::Frontier| {
+        let mut sink = |_: paramount_poset::CutRef<'_>| {
             count += 1;
             if count >= cap {
                 ControlFlow::Break(())

@@ -7,7 +7,7 @@ use crate::format::{trace_of_program, write_trace, TraceFile};
 use paramount::{Algorithm, AtomicCountSink, ParaMount};
 use paramount_detect::{modality, RacePredicate};
 use paramount_enumerate::CollectSink;
-use paramount_poset::Frontier;
+use paramount_poset::{CutRef, Frontier};
 use std::fmt::Write as _;
 use std::ops::ControlFlow;
 
@@ -77,7 +77,7 @@ pub fn enumerate(trace: &TraceFile, limit: usize) -> Result<String, CommandError
     let poset = trace.to_poset(false);
     let mut out = String::new();
     let mut printed = 0usize;
-    let mut sink = |cut: &Frontier| {
+    let mut sink = |cut: CutRef<'_>| {
         let _ = writeln!(out, "{cut}");
         printed += 1;
         if printed >= limit {
@@ -102,7 +102,7 @@ pub fn races(trace: &TraceFile, strict: bool) -> Result<String, CommandError> {
     let poset = trace.to_poset(false);
     let predicate = RacePredicate::new(trace.var_names.len(), !strict);
     let sink =
-        |cut: &Frontier, owner: paramount_poset::EventId| predicate.evaluate(&poset, cut, owner);
+        |cut: CutRef<'_>, owner: paramount_poset::EventId| predicate.evaluate(&poset, cut, owner);
     let stats = ParaMount::new(Algorithm::Lexical)
         .enumerate(&poset, &sink)
         .map_err(|e| e.to_string())?;
@@ -150,7 +150,7 @@ pub fn reachability(
         ));
     }
     let target = Frontier::from_counts(counts);
-    let phi = |g: &Frontier| g == &target;
+    let phi = |g: CutRef<'_>| g == target;
     let mut out = String::new();
     match modality::possibly(&poset, phi) {
         Some(_) => {
@@ -212,7 +212,7 @@ pub fn info(trace: &TraceFile) -> Result<String, CommandError> {
     // Lattice size, capped so `info` stays fast on huge traces.
     const CAP: u64 = 10_000_000;
     let mut count = 0u64;
-    let mut sink = |_: &Frontier| {
+    let mut sink = |_: CutRef<'_>| {
         count += 1;
         if count >= CAP {
             ControlFlow::Break(())

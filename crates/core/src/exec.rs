@@ -1,0 +1,780 @@
+//! The shared interval-execution core.
+//!
+//! Both execution modes — offline (Algorithm 1) and online (Algorithm 4)
+//! — reduce to the same job: run a bounded subroutine over intervals
+//! `I(e) = [Gmin(e), Gbnd(e)]`, survive sink faults without losing or
+//! double-delivering cuts, and account for everything in one metrics
+//! registry. This module is the single implementation of that job:
+//!
+//! * [`IntervalExecutor`] — the per-interval machinery: subroutine
+//!   dispatch, delivery metering, the `catch_unwind` isolation boundary
+//!   with its clean-slate-retry/quarantine protocol, and the chaos
+//!   injection site at the sink.
+//! * **Batch mode** (`IntervalExecutor::run_batch`) — fan a
+//!   pre-partitioned interval list over a Rayon pool with work stealing
+//!   (the offline engine is a thin front-end over this).
+//! * **Streaming mode** (`StreamExecutor`) — a supervised worker pool
+//!   draining a bounded channel of intervals as they are created, with an
+//!   explicit [`BackpressurePolicy`] and a delta-coded spill buffer (the
+//!   online engine feeds this incrementally).
+//!
+//! The isolation contract (identical in both modes): a panic unwinding
+//! out of the sink is caught at the interval boundary; the interval is
+//! retried once i*f and only if* nothing of it had been delivered
+//! (re-running a partial interval would double-deliver its prefix —
+//! Theorem 2's exactly-once guarantee outranks completeness), and
+//! otherwise quarantined with the exact delivered-prefix length on
+//! record. Interval disjointness (Lemmas 2–3) is what makes the blast
+//! radius of a fault one interval, never the run.
+
+use crate::faults::{FaultLog, FaultPlan, QuarantinedInterval};
+use crate::interval::Interval;
+use crate::metrics::{MetricsSnapshot, ParaMetrics};
+use crate::sink::{MeteredSink, ParallelCutSink, SinkBridge};
+use crate::store::PackedIntervalQueue;
+use crossbeam_channel::TrySendError;
+use paramount_enumerate::{panic_message, Algorithm, EnumError, EnumStats};
+use paramount_poset::CutSpace;
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The interval-execution core shared by both engines: subroutine
+/// configuration plus the one `catch_unwind` retry/quarantine
+/// implementation in the crate.
+///
+/// Plain `Copy` data — engines embed one and the worker pool reads it
+/// through shared state.
+#[derive(Clone, Copy, Debug)]
+pub struct IntervalExecutor {
+    /// Bounded sequential subroutine run on each interval.
+    pub algorithm: Algorithm,
+    /// Per-interval frontier budget for the stateful subroutines
+    /// (BFS/DFS); the lexical subroutine is stateless and ignores it.
+    pub frontier_budget: Option<usize>,
+    /// Deterministic fault-injection plan (inert unless the `chaos`
+    /// feature compiles the sites in).
+    pub faults: FaultPlan,
+}
+
+impl IntervalExecutor {
+    /// An executor over the given subroutine, with no budget and no
+    /// injected faults.
+    pub fn new(algorithm: Algorithm) -> Self {
+        IntervalExecutor {
+            algorithm,
+            frontier_budget: None,
+            faults: FaultPlan::default(),
+        }
+    }
+
+    /// Enumerates one interval into `sink`, metering every completed
+    /// delivery into `emitted` so a fault knows the exact prefix length
+    /// that reached the sink.
+    fn run_interval<Sp, K>(
+        &self,
+        space: &Sp,
+        iv: &Interval,
+        sink: &K,
+        emitted: &AtomicU64,
+    ) -> Result<EnumStats, EnumError>
+    where
+        Sp: CutSpace + ?Sized,
+        K: ParallelCutSink + ?Sized,
+    {
+        let mut bridge = MeteredSink::new(SinkBridge::new(sink, iv.event), emitted);
+        iv.enumerate_budgeted(space, self.algorithm, self.frontier_budget, &mut bridge)
+    }
+
+    /// One interval under the `catch_unwind` boundary — the single
+    /// retry/quarantine decision point for both execution modes. At most
+    /// one retry, and only from a clean slate (`emitted == 0`).
+    ///
+    /// `emitted` is reset at the start of every attempt; in streaming
+    /// mode it doubles as the in-flight slot's meter, observable by the
+    /// supervisor across a worker-body panic.
+    fn run_isolated<Sp, K>(
+        &self,
+        space: &Sp,
+        iv: &Interval,
+        sink: &K,
+        metrics: &ParaMetrics,
+        emitted: &AtomicU64,
+    ) -> Result<EnumStats, IntervalFault>
+    where
+        Sp: CutSpace + ?Sized,
+        K: ParallelCutSink + ?Sized,
+    {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            emitted.store(0, Ordering::Relaxed);
+            // The sink is reachable after the catch by design (shared,
+            // `&self`-based, synchronized internally), so
+            // `AssertUnwindSafe` asserts exactly the contract
+            // `ParallelCutSink` already demands of implementations.
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                self.run_interval(space, iv, sink, emitted)
+            }));
+            match run {
+                Ok(Ok(stats)) => return Ok(stats),
+                Ok(Err(err)) => return Err(IntervalFault::Error(err)),
+                Err(payload) => {
+                    metrics.worker_panics.add(1);
+                    let delivered = emitted.load(Ordering::Relaxed);
+                    if delivered == 0 && attempts == 1 {
+                        metrics.intervals_retried.add(1);
+                        continue;
+                    }
+                    return Err(IntervalFault::Panicked {
+                        emitted: delivered,
+                        attempts,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Batch mode: fans a pre-partitioned interval list over a Rayon
+    /// pool. `threads == 0` uses the global pool; any other value builds
+    /// a dedicated pool of exactly that size (degrading to the caller's
+    /// pool — counted in `worker_spawn_failures` — if the build fails).
+    pub(crate) fn run_batch<Sp, K>(
+        &self,
+        threads: usize,
+        space: &Sp,
+        intervals: &[Interval],
+        sink: &K,
+        metrics: &ParaMetrics,
+    ) -> Result<BatchOutcome, EnumError>
+    where
+        Sp: CutSpace + Sync + ?Sized,
+        K: ParallelCutSink + ?Sized,
+    {
+        #[cfg(feature = "chaos")]
+        if self.faults.arms_sink() {
+            let chaos = ChaosSink::new(self.faults, sink);
+            return self.run_batch_inner(threads, space, intervals, &chaos, metrics);
+        }
+        self.run_batch_inner(threads, space, intervals, sink, metrics)
+    }
+
+    fn run_batch_inner<Sp, K>(
+        &self,
+        threads: usize,
+        space: &Sp,
+        intervals: &[Interval],
+        sink: &K,
+        metrics: &ParaMetrics,
+    ) -> Result<BatchOutcome, EnumError>
+    where
+        Sp: CutSpace + Sync + ?Sized,
+        K: ParallelCutSink + ?Sized,
+    {
+        metrics.intervals_dispatched.add(intervals.len() as u64);
+        let cuts = AtomicU64::new(0);
+        let peak = AtomicUsize::new(0);
+        let fault_log = Mutex::new(FaultLog::default());
+        let run = || -> Result<(), EnumError> {
+            use rayon::prelude::*;
+            intervals.par_iter().try_for_each(|iv| {
+                // Rayon pool threads have a stable index; work stolen onto
+                // a non-pool thread (possible with the global pool) is
+                // tallied on slot 0.
+                let widx = rayon::current_thread_index().unwrap_or(0);
+                let started = Instant::now();
+                let emitted = AtomicU64::new(0);
+                let outcome = self.run_isolated(space, iv, sink, metrics, &emitted);
+                let tally = metrics.worker(widx);
+                tally.add_busy(started.elapsed().as_nanos() as u64);
+                tally.add_interval();
+                match outcome {
+                    Ok(stats) => {
+                        metrics.intervals_completed.add_on(widx, 1);
+                        metrics.cuts_emitted.add_on(widx, stats.cuts);
+                        metrics.interval_cuts.record(stats.cuts);
+                        cuts.fetch_add(stats.cuts, Ordering::Relaxed);
+                        peak.fetch_max(stats.peak_frontiers, Ordering::Relaxed);
+                        Ok(())
+                    }
+                    Err(IntervalFault::Error(err)) => Err(err),
+                    Err(IntervalFault::Panicked {
+                        emitted,
+                        attempts,
+                        message,
+                    }) => {
+                        cuts.fetch_add(emitted, Ordering::Relaxed);
+                        record_quarantine(
+                            metrics, &fault_log, iv, emitted, attempts, message, widx,
+                        );
+                        Ok(())
+                    }
+                }
+            })
+        };
+
+        let result = if threads == 0 {
+            run()
+        } else {
+            match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+                Ok(pool) => pool.install(run),
+                Err(_) => {
+                    // Degrade to the caller's (global) pool instead of
+                    // aborting a run whose inputs are perfectly fine.
+                    metrics.worker_spawn_failures.add(1);
+                    run()
+                }
+            }
+        };
+        result?;
+
+        Ok(BatchOutcome {
+            cuts: cuts.load(Ordering::Relaxed),
+            peak_frontiers: peak.load(Ordering::Relaxed),
+            faults: fault_log.into_inner(),
+        })
+    }
+}
+
+/// How one interval's processing ended when it did not end cleanly.
+pub(crate) enum IntervalFault {
+    /// A real enumeration error (`Stopped`, `OutOfBudget`).
+    Error(EnumError),
+    /// A panic unwound out of the sink; the interval is quarantined.
+    Panicked {
+        /// Cuts the sink saw before the fault.
+        emitted: u64,
+        /// Attempts made (2 means the clean-slate retry also failed).
+        attempts: u32,
+        /// Stringified panic payload.
+        message: String,
+    },
+}
+
+/// What a batch fan-out produced; the offline front-end folds this into
+/// its public stats.
+pub(crate) struct BatchOutcome {
+    pub cuts: u64,
+    pub peak_frontiers: usize,
+    pub faults: FaultLog,
+}
+
+/// Abandons an interval into the fault log. The prefix the sink already
+/// saw (`emitted` cuts, delivered before the fault) is added to the cut
+/// total so the headline count stays exactly "cuts the sink received".
+fn record_quarantine(
+    metrics: &ParaMetrics,
+    fault_log: &Mutex<FaultLog>,
+    interval: &Interval,
+    emitted: u64,
+    attempts: u32,
+    message: String,
+    widx: usize,
+) {
+    metrics.intervals_quarantined.add(1);
+    if emitted > 0 {
+        metrics.cuts_emitted.add_on(widx, emitted);
+    }
+    fault_log.lock().push(QuarantinedInterval {
+        interval: interval.clone(),
+        cuts_emitted: emitted,
+        attempts,
+        message,
+    });
+}
+
+/// What `submit` does when the streaming dispatch queue is full.
+///
+/// The queue fills exactly when insertions outpace enumeration — with
+/// exponentially sized intervals that is a *when*, not an *if*, on heavy
+/// traffic. The policy decides who absorbs the overload.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Block the observing thread until a worker frees a slot. Slows the
+    /// observed program down (the paper's implicit model: instrumentation
+    /// is allowed to throttle execution) but loses nothing — Theorem 3's
+    /// "every cut exactly once" holds unconditionally.
+    #[default]
+    Block,
+    /// Never block: divert overflow intervals to an unbounded buffer that
+    /// workers drain with priority. Keeps the observed program at full
+    /// speed and still loses nothing, at the cost of re-admitting the
+    /// unbounded memory the queue bound was meant to cap — the spill
+    /// counter in [`ParaMetrics`] makes that cost visible, and the
+    /// buffer stores delta-coded descriptors
+    /// ([`crate::store::PackedIntervalQueue`]) to keep it small.
+    SpillToDeque,
+    /// Never block and never buffer: drop the interval and count it in
+    /// [`ParaMetrics::intervals_rejected`]. The cut count is then a lower
+    /// bound, not Theorem 2's exact `i(P)` — for load-shedding monitors
+    /// that prefer losing data over perturbing the program.
+    Fail,
+}
+
+/// Streaming-mode pool parameters (the executor-facing subset of the
+/// online engine's public config).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct StreamParams {
+    /// Enumeration worker threads (≥ 1).
+    pub workers: usize,
+    /// Capacity of the bounded dispatch channel (≥ 1).
+    pub queue_capacity: usize,
+    /// What `submit` does when the channel is full.
+    pub backpressure: BackpressurePolicy,
+    /// Shared supervisor restart budget for panics that escape the
+    /// per-interval boundary.
+    pub worker_restart_budget: u32,
+}
+
+/// Per-worker-slot in-flight tracking: which interval the slot is
+/// processing and how many of its cuts the sink has already seen. The
+/// supervisor reads it when a panic escapes the per-interval boundary,
+/// so even a dying worker body cannot lose an interval — it gets
+/// quarantined with an exact emission count instead.
+#[derive(Default)]
+struct InFlightSlot {
+    interval: Mutex<Option<Interval>>,
+    emitted: AtomicU64,
+}
+
+struct StreamShared<Sp> {
+    space: Arc<Sp>,
+    exec: IntervalExecutor,
+    sink: Box<dyn ParallelCutSink>,
+    stopped: AtomicBool,
+    error: Mutex<Option<EnumError>>,
+    metrics: ParaMetrics,
+    /// Overflow intervals under [`BackpressurePolicy::SpillToDeque`],
+    /// delta-coded. Workers drain it with priority; `finish` closes the
+    /// channel only after producers stop, so leftover spill is drained
+    /// post-close.
+    spill: Mutex<PackedIntervalQueue>,
+    fault_log: Mutex<FaultLog>,
+    in_flight: Box<[InFlightSlot]>,
+    /// Remaining supervisor restarts, shared across the pool. Signed so
+    /// concurrent decrements past zero stay well-defined.
+    restart_budget: AtomicI64,
+    /// Ordinal counters backing the fault plan's "k-th call" sites.
+    #[cfg(feature = "chaos")]
+    fault_state: crate::faults::FaultState,
+}
+
+impl<Sp> StreamShared<Sp> {
+    fn slot(&self, index: usize) -> &InFlightSlot {
+        &self.in_flight[index % self.in_flight.len()]
+    }
+}
+
+/// Pops one spilled interval, never holding the lock across enumeration.
+fn pop_spill<Sp>(shared: &StreamShared<Sp>) -> Option<Interval> {
+    shared.spill.lock().pop_front()
+}
+
+/// Streaming mode: a supervised worker pool draining a bounded channel
+/// of intervals as a front-end `submit`s them. The online engine wraps
+/// this around its growing poset; any `CutSpace` whose published prefix
+/// is stable under concurrent growth works.
+pub(crate) struct StreamExecutor<Sp: CutSpace + Send + Sync + 'static> {
+    shared: Arc<StreamShared<Sp>>,
+    sender: Option<crossbeam_channel::Sender<Interval>>,
+    /// Kept so `finish` can drain intervals no worker lived to process
+    /// (total pool death past the restart budget, or zero spawned
+    /// workers): the report is exact even with a dead pool.
+    receiver: crossbeam_channel::Receiver<Interval>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    backpressure: BackpressurePolicy,
+}
+
+/// What a finished stream produced; the online front-end folds this into
+/// its public report.
+pub(crate) struct StreamOutcome {
+    pub error: Option<EnumError>,
+    pub faults: FaultLog,
+    pub metrics: MetricsSnapshot,
+}
+
+impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
+    /// Starts the pool. Spawn failures degrade the pool instead of
+    /// aborting construction: whatever workers did start carry the load,
+    /// and with zero workers `submit` falls back to enumerating inline
+    /// on the calling thread (slow, but complete and alive).
+    pub fn new(
+        space: Arc<Sp>,
+        exec: IntervalExecutor,
+        params: StreamParams,
+        sink: Box<dyn ParallelCutSink>,
+    ) -> Self {
+        assert!(params.workers >= 1, "need at least one worker");
+        assert!(params.queue_capacity >= 1, "queue capacity must be >= 1");
+        #[cfg(feature = "chaos")]
+        let sink: Box<dyn ParallelCutSink> = if exec.faults.arms_sink() {
+            Box::new(ChaosSink::new(exec.faults, sink))
+        } else {
+            sink
+        };
+        let n = space.num_threads();
+        let shared = Arc::new(StreamShared {
+            space,
+            exec,
+            sink,
+            stopped: AtomicBool::new(false),
+            error: Mutex::new(None),
+            metrics: ParaMetrics::new(params.workers),
+            spill: Mutex::new(PackedIntervalQueue::new(n)),
+            fault_log: Mutex::new(FaultLog::default()),
+            in_flight: (0..params.workers)
+                .map(|_| InFlightSlot::default())
+                .collect(),
+            restart_budget: AtomicI64::new(i64::from(params.worker_restart_budget)),
+            #[cfg(feature = "chaos")]
+            fault_state: crate::faults::FaultState::default(),
+        });
+        let (sender, receiver) = crossbeam_channel::bounded::<Interval>(params.queue_capacity);
+        let mut workers = Vec::with_capacity(params.workers);
+        for w in 0..params.workers {
+            #[cfg(feature = "chaos")]
+            if exec.faults.spawn_faults(shared.fault_state.next_spawn()) {
+                shared.metrics.worker_spawn_failures.add(1);
+                continue;
+            }
+            let worker_shared = Arc::clone(&shared);
+            let receiver = receiver.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("paramount-worker-{w}"))
+                .spawn(move || worker_entry(&worker_shared, &receiver, w));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(_) => shared.metrics.worker_spawn_failures.add(1),
+            }
+        }
+        StreamExecutor {
+            shared,
+            sender: Some(sender),
+            receiver,
+            workers,
+            backpressure: params.backpressure,
+        }
+    }
+
+    /// The metrics registry the pool records into (live while running).
+    pub fn metrics(&self) -> &ParaMetrics {
+        &self.shared.metrics
+    }
+
+    /// True once the sink has requested a global stop.
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stopped.load(Ordering::Relaxed)
+    }
+
+    /// Hands one freshly created interval to the pool, applying the
+    /// configured backpressure policy when the queue is full.
+    pub fn submit(&self, interval: Interval) {
+        if self.shared.stopped.load(Ordering::Relaxed) {
+            return; // sink asked for a global stop; drop new work
+        }
+        // Receivers only disappear after `finish`, which consumes self, so
+        // send failures below mean shutdown raced a stop — safe to drop.
+        let Some(sender) = &self.sender else { return };
+        let m = &self.shared.metrics;
+        m.intervals_dispatched.add(1);
+        if self.workers.is_empty() {
+            // Degraded mode (no worker could be spawned): enumerate on
+            // the calling thread so nothing queues unserved.
+            process_interval(&self.shared, &interval, 0);
+            return;
+        }
+        #[cfg(feature = "chaos")]
+        if self
+            .shared
+            .exec
+            .faults
+            .send_faults(self.shared.fault_state.next_send())
+        {
+            record_quarantine(
+                m,
+                &self.shared.fault_log,
+                &interval,
+                0,
+                1,
+                "chaos: queue send failed".to_string(),
+                0,
+            );
+            return;
+        }
+        // The gauge goes up *before* the send and back down if the send
+        // fails: a worker may receive (and decrement) the instant the
+        // interval lands in the channel, before a post-send increment
+        // would run, underflowing the gauge. The channel's send/recv
+        // synchronization orders this increment before that decrement.
+        m.queue_depth.inc();
+        match self.backpressure {
+            BackpressurePolicy::Block => {
+                if sender.send(interval).is_err() {
+                    m.queue_depth.dec();
+                }
+            }
+            BackpressurePolicy::SpillToDeque => match sender.try_send(interval) {
+                Ok(()) => {}
+                Err(TrySendError::Full(interval)) => {
+                    m.queue_depth.dec();
+                    self.shared.spill.lock().push_back(&interval);
+                    m.intervals_spilled.add(1);
+                }
+                Err(TrySendError::Disconnected(_)) => m.queue_depth.dec(),
+            },
+            BackpressurePolicy::Fail => match sender.try_send(interval) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    m.queue_depth.dec();
+                    m.intervals_rejected.add(1);
+                }
+                Err(TrySendError::Disconnected(_)) => m.queue_depth.dec(),
+            },
+        }
+    }
+
+    /// Closes the stream, waits for all pending intervals — queued *and*
+    /// spilled — to drain, and reports the final tallies.
+    pub fn finish(mut self) -> StreamOutcome {
+        // Dropping the sender closes the channel; workers drain what is
+        // queued, then (channel closed ⇒ no producer ⇒ spill is frozen)
+        // drain the spill buffer, then exit. No interval is lost.
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            // A worker that died past the supervisor's restart budget is
+            // already accounted for (its in-flight interval was
+            // quarantined); joining must not re-raise its panic.
+            let _ = handle.join();
+        }
+        // If the whole pool died (or never spawned), queued and spilled
+        // intervals are still pending — drain them inline so the report
+        // covers every dispatched interval regardless of pool health.
+        while let Ok(interval) = self.receiver.try_recv() {
+            self.shared.metrics.queue_depth.dec();
+            process_interval(&self.shared, &interval, 0);
+        }
+        while let Some(interval) = pop_spill(&self.shared) {
+            process_interval(&self.shared, &interval, 0);
+        }
+        let shared = Arc::clone(&self.shared);
+        drop(self); // Drop is a no-op now: sender taken, workers joined.
+                    // Deliberately no `Arc::try_unwrap`: everything the outcome needs
+                    // is readable through the shared handle, so a leaked clone (a
+                    // worker body still unwinding, an embedder's debug handle)
+                    // degrades nothing and can no longer abort finalize.
+        let outcome = StreamOutcome {
+            error: shared.error.lock().take(),
+            faults: shared.fault_log.lock().clone(),
+            metrics: shared.metrics.snapshot(),
+        };
+        outcome
+    }
+}
+
+impl<Sp: CutSpace + Send + Sync + 'static> Drop for StreamExecutor<Sp> {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Worker thread entry: supervises [`worker_loop`], restarting the body
+/// when a panic escapes the per-interval isolation (which only happens
+/// for faults *outside* the executor's own `catch_unwind` — e.g. an
+/// injected worker kill, or a panic in the queue plumbing). The
+/// in-flight interval is quarantined before the restart, so even a dying
+/// worker never loses work; the restart budget is shared across the pool
+/// and a worker that exhausts it simply exits, leaving its queue share
+/// to the survivors (and ultimately to `finish`'s inline drain).
+fn worker_entry<Sp: CutSpace>(
+    shared: &StreamShared<Sp>,
+    receiver: &crossbeam_channel::Receiver<Interval>,
+    index: usize,
+) {
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| worker_loop(shared, receiver, index)));
+        let payload = match run {
+            Ok(()) => return, // clean exit: channel closed and spill drained
+            Err(payload) => payload,
+        };
+        shared.metrics.worker_panics.add(1);
+        let slot = shared.slot(index);
+        if let Some(interval) = slot.interval.lock().take() {
+            let emitted = slot.emitted.load(Ordering::Relaxed);
+            record_quarantine(
+                &shared.metrics,
+                &shared.fault_log,
+                &interval,
+                emitted,
+                1,
+                panic_message(payload.as_ref()),
+                index,
+            );
+        }
+        if shared.restart_budget.fetch_sub(1, Ordering::Relaxed) > 0 {
+            shared.metrics.worker_restarts.add(1);
+            continue; // phoenix: the same thread resumes as a fresh body
+        }
+        return; // budget exhausted: die quietly, survivors take over
+    }
+}
+
+fn worker_loop<Sp: CutSpace>(
+    shared: &StreamShared<Sp>,
+    receiver: &crossbeam_channel::Receiver<Interval>,
+    index: usize,
+) {
+    loop {
+        // Spill first: overflow intervals are the oldest backlog, and
+        // checking here guarantees the buffer drains while the channel is
+        // busy (spill only grows when the channel is full, so there is
+        // always traffic to piggyback on).
+        let interval = match pop_spill(shared) {
+            Some(interval) => interval,
+            None => {
+                let wait = Instant::now();
+                match receiver.recv() {
+                    Ok(interval) => {
+                        shared
+                            .metrics
+                            .worker(index)
+                            .add_idle(wait.elapsed().as_nanos() as u64);
+                        shared.metrics.queue_depth.dec();
+                        interval
+                    }
+                    Err(_) => break, // channel closed: producers are done
+                }
+            }
+        };
+        process_interval(shared, &interval, index);
+    }
+    // The channel is closed, so no new spill can appear: whatever is left
+    // in the buffer is the final backlog — drain it to completion.
+    while let Some(interval) = pop_spill(shared) {
+        process_interval(shared, &interval, index);
+    }
+}
+
+/// Injection point for the "kill a worker mid-interval" fault: records
+/// the interval in the slot first, so the supervisor quarantines it —
+/// the injected death must not be able to lose work either.
+#[cfg(feature = "chaos")]
+fn chaos_maybe_kill_worker<Sp>(shared: &StreamShared<Sp>, interval: &Interval, index: usize) {
+    if shared
+        .exec
+        .faults
+        .pickup_kills_worker(shared.fault_state.next_pickup())
+    {
+        let slot = shared.slot(index);
+        slot.emitted.store(0, Ordering::Relaxed);
+        *slot.interval.lock() = Some(interval.clone());
+        panic!("chaos: worker killed at interval pickup");
+    }
+}
+
+fn process_interval<Sp: CutSpace>(shared: &StreamShared<Sp>, interval: &Interval, index: usize) {
+    if shared.stopped.load(Ordering::Relaxed) {
+        return; // drain without enumerating
+    }
+    #[cfg(feature = "chaos")]
+    chaos_maybe_kill_worker(shared, interval, index);
+    #[cfg(feature = "chaos")]
+    if let Some(us) = shared.exec.faults.worker_delay_us {
+        std::thread::sleep(std::time::Duration::from_micros(us));
+    }
+    let m = &shared.metrics;
+    let slot = shared.slot(index);
+    let start = Instant::now();
+    // Register the in-flight interval so the supervisor can quarantine
+    // it if this body dies outside the executor's isolation boundary;
+    // the slot's meter makes the delivered prefix observable across any
+    // unwind.
+    *slot.interval.lock() = Some(interval.clone());
+    let outcome = shared.exec.run_isolated(
+        shared.space.as_ref(),
+        interval,
+        shared.sink.as_ref(),
+        m,
+        &slot.emitted,
+    );
+    *slot.interval.lock() = None;
+    let tally = m.worker(index);
+    tally.add_busy(start.elapsed().as_nanos() as u64);
+    tally.add_interval();
+    match outcome {
+        Ok(stats) => {
+            m.cuts_emitted.add_on(index, stats.cuts);
+            m.intervals_completed.add_on(index, 1);
+            m.interval_cuts.record(stats.cuts);
+        }
+        Err(IntervalFault::Error(EnumError::Stopped)) => {
+            shared.stopped.store(true, Ordering::Relaxed);
+        }
+        Err(IntervalFault::Error(err)) => {
+            shared.stopped.store(true, Ordering::Relaxed);
+            shared.error.lock().get_or_insert(err);
+        }
+        Err(IntervalFault::Panicked {
+            emitted,
+            attempts,
+            message,
+        }) => {
+            record_quarantine(
+                m,
+                &shared.fault_log,
+                interval,
+                emitted,
+                attempts,
+                message,
+                index,
+            );
+        }
+    }
+}
+
+/// Chaos wrapper over a sink handle: panics *before* delegating on
+/// plan-selected calls, so an injected fault never half-delivers a cut —
+/// the emission meter and the real sink agree exactly on what was seen.
+/// One type serves both modes: batch wraps `&K`, streaming wraps
+/// `Box<dyn ParallelCutSink>`.
+#[cfg(feature = "chaos")]
+struct ChaosSink<H> {
+    plan: FaultPlan,
+    calls: AtomicU64,
+    inner: H,
+}
+
+#[cfg(feature = "chaos")]
+impl<H> ChaosSink<H> {
+    fn new(plan: FaultPlan, inner: H) -> Self {
+        ChaosSink {
+            plan,
+            calls: AtomicU64::new(0),
+            inner,
+        }
+    }
+}
+
+#[cfg(feature = "chaos")]
+impl<H> ParallelCutSink for ChaosSink<H>
+where
+    H: std::ops::Deref + Send + Sync,
+    H::Target: ParallelCutSink,
+{
+    fn visit(
+        &self,
+        cut: paramount_poset::CutRef<'_>,
+        owner: paramount_poset::EventId,
+    ) -> std::ops::ControlFlow<()> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.plan.sink_call_faults(call) {
+            panic!("chaos: sink panic injected at call {call}");
+        }
+        self.inner.visit(cut, owner)
+    }
+}

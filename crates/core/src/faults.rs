@@ -319,8 +319,16 @@ mod tests {
         assert!(plan.spawn_faults(1) && plan.spawn_faults(2) && !plan.spawn_faults(3));
         // Seeded decisions replay identically.
         let replay: Vec<bool> = (1..=100).map(|c| plan.sink_call_faults(c)).collect();
-        assert_eq!(replay, (1..=100).map(|c| plan.sink_call_faults(c)).collect::<Vec<_>>());
-        assert!(replay.iter().any(|&b| b), "rate ~1/16 over 100 calls should fire");
+        assert_eq!(
+            replay,
+            (1..=100)
+                .map(|c| plan.sink_call_faults(c))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            replay.iter().any(|&b| b),
+            "rate ~1/16 over 100 calls should fire"
+        );
         assert!(FaultPlan::default().is_inert());
         assert!(!FaultPlan::default().sink_call_faults(1));
         assert!(!FaultPlan::default().send_faults(1));

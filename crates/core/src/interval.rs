@@ -39,15 +39,34 @@ impl Interval {
         Sp: CutSpace + ?Sized,
         S: CutSink,
     {
+        self.enumerate_budgeted(space, algorithm, None, sink)
+    }
+
+    /// As [`Interval::enumerate`], with a frontier budget for the stateful
+    /// subroutines. This is the one place the empty-cut special case (the
+    /// first event of `→p` also owns `{0,…,0}`) is handled; both execution
+    /// engines route every interval through here.
+    pub fn enumerate_budgeted<Sp, S>(
+        &self,
+        space: &Sp,
+        algorithm: Algorithm,
+        frontier_budget: Option<usize>,
+        sink: &mut S,
+    ) -> Result<EnumStats, EnumError>
+    where
+        Sp: CutSpace + ?Sized,
+        S: CutSink,
+    {
         let mut extra = 0;
         if self.include_empty {
             let empty = Frontier::empty(space.num_threads());
-            if sink.visit(&empty).is_break() {
+            if sink.visit(empty.as_cut()).is_break() {
                 return Err(EnumError::Stopped);
             }
             extra = 1;
         }
-        let mut stats = algorithm.run_bounded(space, &self.gmin, &self.gbnd, sink)?;
+        let mut stats =
+            algorithm.run_bounded_budgeted(space, &self.gmin, &self.gbnd, frontier_budget, sink)?;
         stats.cuts += extra;
         Ok(stats)
     }
@@ -83,6 +102,84 @@ impl Interval {
     /// Does the interval contain the cut (by bounds alone)?
     pub fn contains(&self, g: &Frontier) -> bool {
         self.gmin.leq(g) && g.leq(&self.gbnd)
+    }
+
+    /// Serializes this interval into a compact delta-coded byte form:
+    /// LEB128 varints for the owner thread and each `gmin[t]`, with
+    /// `gbnd[t]` stored as its (non-negative, usually tiny) delta above
+    /// `gmin[t]`. The owner's index is not stored — `Gmin(e)[e.tid] =
+    /// e.index` by definition, so decoding recovers it for free.
+    ///
+    /// On hot traces the bounds of an interval hug each other (`Gbnd` is
+    /// the insertion-time snapshot, `Gmin` the event's own clock), so the
+    /// encoding shrinks a descriptor to a handful of bytes — the backing
+    /// format of [`crate::store::PackedIntervalQueue`], which keeps the
+    /// spill path's unbounded buffer compact.
+    pub fn pack_into(&self, out: &mut Vec<u8>) {
+        debug_assert_eq!(self.gmin.len(), self.gbnd.len());
+        debug_assert_eq!(
+            self.gmin.get(self.event.tid),
+            self.event.index,
+            "Gmin must contain its own event at its thread"
+        );
+        push_varint(out, self.event.tid.0);
+        out.push(u8::from(self.include_empty));
+        for (&lo, &hi) in self.gmin.as_slice().iter().zip(self.gbnd.as_slice()) {
+            debug_assert!(lo <= hi, "interval bounds inverted");
+            push_varint(out, lo);
+            push_varint(out, hi - lo);
+        }
+    }
+
+    /// Decodes one interval of width `n` from a byte stream produced by
+    /// [`Interval::pack_into`]. Returns `None` on a truncated stream.
+    pub fn unpack(bytes: &mut impl Iterator<Item = u8>, n: usize) -> Option<Interval> {
+        let tid = paramount_poset::Tid(read_varint(bytes)?);
+        let include_empty = bytes.next()? != 0;
+        let mut gmin = Frontier::empty(n);
+        let mut gbnd = Frontier::empty(n);
+        for t in 0..n {
+            let lo = read_varint(bytes)?;
+            let delta = read_varint(bytes)?;
+            gmin.set(paramount_poset::Tid::from(t), lo);
+            gbnd.set(paramount_poset::Tid::from(t), lo + delta);
+        }
+        let event = EventId::new(tid, gmin.get(tid));
+        Some(Interval {
+            event,
+            gmin,
+            gbnd,
+            include_empty,
+        })
+    }
+}
+
+/// LEB128: 7 payload bits per byte, high bit = continuation.
+fn push_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &mut impl Iterator<Item = u8>) -> Option<u32> {
+    let mut v = 0u32;
+    let mut shift = 0u32;
+    loop {
+        let byte = bytes.next()?;
+        v |= u32::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 32 {
+            return None; // malformed: u32 overflow
+        }
     }
 }
 
@@ -153,9 +250,9 @@ impl<'a, S: CutSink> BoundsCheckSink<'a, S> {
 }
 
 impl<S: CutSink> CutSink for BoundsCheckSink<'_, S> {
-    fn visit(&mut self, cut: &Frontier) -> ControlFlow<()> {
+    fn visit(&mut self, cut: paramount_poset::CutRef<'_>) -> ControlFlow<()> {
         assert!(
-            cut.total_events() == 0 || self.interval.contains(cut),
+            cut.total_events() == 0 || self.interval.contains(&cut.to_frontier()),
             "cut {cut} escaped interval of {}",
             self.interval.event
         );
@@ -290,6 +387,40 @@ mod tests {
         // I(e2[2]) spans {1,2}..{2,2}: box = 2×1.
         assert_eq!(ivs[3].box_size(), 2);
         assert_eq!(ivs[0].box_size(), 1);
+    }
+
+    #[test]
+    fn packed_descriptors_round_trip() {
+        for seed in 0..10 {
+            let p = RandomComputation::new(5, 6, 0.4, seed).generate();
+            let order = topo::weight_order(&p);
+            let ivs = partition(&p, &order);
+            let mut buf = Vec::new();
+            for iv in &ivs {
+                iv.pack_into(&mut buf);
+            }
+            let mut bytes = buf.iter().copied();
+            for iv in &ivs {
+                let got = Interval::unpack(&mut bytes, p.num_threads()).expect("decode");
+                assert_eq!(&got, iv, "seed {seed}");
+            }
+            assert!(bytes.next().is_none(), "trailing bytes after decode");
+        }
+    }
+
+    #[test]
+    fn packed_descriptors_are_compact_and_reject_truncation() {
+        let p = figure4();
+        let ivs = partition(&p, &figure5_order());
+        let mut buf = Vec::new();
+        ivs[3].pack_into(&mut buf);
+        // tid + flag + 2 × (varint gmin, varint delta): 6 single-byte
+        // varints for Figure 4's small counts.
+        assert_eq!(buf.len(), 6);
+        for cutoff in 0..buf.len() {
+            let mut short = buf[..cutoff].iter().copied();
+            assert!(Interval::unpack(&mut short, 2).is_none(), "cutoff {cutoff}");
+        }
     }
 
     #[test]

@@ -33,9 +33,15 @@
 //!   lock-free-for-readers structure ([`store::AppendVec`]), so bounded
 //!   enumerations proceed concurrently with insertions (Theorem 3).
 //!
+//! Both modes are thin front-ends over one interval-execution core
+//! ([`exec`]): the same subroutine dispatch, panic-isolation boundary,
+//! retry/quarantine protocol and metrics registry serve batch and
+//! streaming execution alike.
+//!
 //! Consumers receive cuts through [`ParallelCutSink`], the `Sync` analog of
 //! the sequential [`paramount_enumerate::CutSink`].
 
+pub mod exec;
 pub mod faults;
 pub mod interval;
 pub mod metrics;
@@ -44,6 +50,7 @@ pub mod online;
 mod sink;
 pub mod store;
 
+pub use exec::IntervalExecutor;
 pub use faults::{FaultLog, FaultPlan, Outcome, QuarantinedInterval};
 pub use interval::{measure_interval_work, partition, Interval};
 pub use metrics::{
@@ -54,4 +61,4 @@ pub use online::{BackpressurePolicy, OnlineEngine, OnlineEngineConfig, OnlinePos
 pub use sink::{AtomicCountSink, ConcurrentCollectSink, MeteredSink, ParallelCutSink, SinkBridge};
 
 pub use paramount_enumerate::{panic_message, Algorithm, EnumError, EnumStats};
-pub use paramount_poset::{CutSpace, EventId, Frontier, Poset, Tid, VectorClock};
+pub use paramount_poset::{CutRef, CutSpace, EventId, Frontier, Poset, Tid, VectorClock};

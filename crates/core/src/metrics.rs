@@ -963,8 +963,9 @@ mod tests {
         assert!(text.contains("worker spawn failures: 1"), "{text}");
         let json = snap.to_json_lines("faults");
         assert!(json.contains("\"metric\":\"worker_panics\",\"type\":\"counter\",\"value\":2"));
-        assert!(json
-            .contains("\"metric\":\"intervals_quarantined\",\"type\":\"counter\",\"value\":1"));
+        assert!(
+            json.contains("\"metric\":\"intervals_quarantined\",\"type\":\"counter\",\"value\":1")
+        );
         assert!(json.contains("\"metric\":\"worker_restarts\",\"type\":\"counter\",\"value\":1"));
     }
 

@@ -11,18 +11,21 @@
 //! `→p` own cut counts orders of magnitude larger than early ones — so
 //! static chunking would idle most threads; stealing is essential to the
 //! Figure 10/11 speedup shapes.
+//!
+//! This type is a *front-end*: all per-interval machinery — subroutine
+//! dispatch, panic isolation, the retry/quarantine protocol, chaos
+//! injection, metrics — lives in the shared [`crate::exec`] core. The
+//! offline engine's only jobs are ordering, partitioning, and folding a
+//! batch outcome into [`ParaStats`].
 
-use crate::faults::{FaultLog, FaultPlan, QuarantinedInterval};
+use crate::exec::IntervalExecutor;
+use crate::faults::{FaultLog, FaultPlan};
 use crate::interval::{partition, Interval};
 use crate::metrics::{MetricsSnapshot, ParaMetrics};
-use crate::sink::{MeteredSink, ParallelCutSink, SinkBridge};
-use paramount_enumerate::{panic_message, Algorithm, EnumError};
+use crate::sink::ParallelCutSink;
+use paramount_enumerate::{Algorithm, EnumError};
 use paramount_poset::{topo, CutSpace, EventId};
-use parking_lot::Mutex;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Configuration and entry points for offline parallel enumeration.
 ///
@@ -111,6 +114,15 @@ impl ParaMount {
         self
     }
 
+    /// The interval-execution core this configuration describes.
+    fn executor(&self) -> IntervalExecutor {
+        IntervalExecutor {
+            algorithm: self.algorithm,
+            frontier_budget: self.frontier_budget,
+            faults: self.faults,
+        }
+    }
+
     /// Worker slots the metrics registry should carry for this config.
     fn pool_width(&self) -> usize {
         if self.threads == 0 {
@@ -175,7 +187,7 @@ impl ParaMount {
             let empty = paramount_poset::Frontier::empty(space.num_threads());
             // No event exists to own the empty cut; report a placeholder id.
             let placeholder = EventId::new(paramount_poset::Tid(0), 1);
-            return match sink.visit(&empty, placeholder) {
+            return match sink.visit(empty.as_cut(), placeholder) {
                 std::ops::ControlFlow::Continue(()) => {
                     registry.cuts_emitted.add(1);
                     Ok(ParaStats {
@@ -190,241 +202,16 @@ impl ParaMount {
             };
         }
 
-        #[cfg(feature = "chaos")]
-        if self.faults.arms_sink() {
-            let chaos = ChaosRefSink {
-                plan: self.faults,
-                calls: AtomicU64::new(0),
-                inner: sink,
-            };
-            return self.enumerate_isolated(space, intervals, &chaos, registry);
-        }
-        self.enumerate_isolated(space, intervals, sink, registry)
-    }
-
-    /// The parallel fan-out proper, with per-interval panic isolation: a
-    /// sink panic is caught at the interval boundary, retried once if
-    /// nothing of the interval had been delivered (retrying a partial
-    /// interval would double-deliver its prefix — Theorem 2's exactly-once
-    /// guarantee outranks completeness), and otherwise quarantined with
-    /// the delivered-prefix length on record. The surviving intervals are
-    /// unaffected: the interval partition is exactly what makes the blast
-    /// radius of a fault one interval, never the run.
-    fn enumerate_isolated<Sp, K>(
-        &self,
-        space: &Sp,
-        intervals: &[Interval],
-        sink: &K,
-        registry: &ParaMetrics,
-    ) -> Result<ParaStats, EnumError>
-    where
-        Sp: CutSpace + Sync + ?Sized,
-        K: ParallelCutSink + ?Sized,
-    {
-        registry.intervals_dispatched.add(intervals.len() as u64);
-        let cuts = AtomicU64::new(0);
-        let peak = AtomicUsize::new(0);
-        let fault_log = Mutex::new(FaultLog::default());
-        let run = || -> Result<(), EnumError> {
-            use rayon::prelude::*;
-            intervals.par_iter().try_for_each(|iv| {
-                // Rayon pool threads have a stable index; work stolen onto
-                // a non-pool thread (possible with the global pool) is
-                // tallied on slot 0.
-                let widx = rayon::current_thread_index().unwrap_or(0);
-                let started = Instant::now();
-                let outcome = self.run_interval_isolated(space, iv, sink, registry);
-                let tally = registry.worker(widx);
-                tally.add_busy(started.elapsed().as_nanos() as u64);
-                tally.add_interval();
-                match outcome {
-                    Ok(stats) => {
-                        registry.intervals_completed.add_on(widx, 1);
-                        registry.cuts_emitted.add_on(widx, stats.cuts);
-                        registry.interval_cuts.record(stats.cuts);
-                        cuts.fetch_add(stats.cuts, Ordering::Relaxed);
-                        peak.fetch_max(stats.peak_frontiers, Ordering::Relaxed);
-                        Ok(())
-                    }
-                    Err(IntervalFault::Error(err)) => Err(err),
-                    Err(IntervalFault::Panicked {
-                        emitted,
-                        attempts,
-                        message,
-                    }) => {
-                        registry.intervals_quarantined.add(1);
-                        if emitted > 0 {
-                            // The delivered prefix is real output: count it,
-                            // so `stats.cuts` equals cuts the sink saw.
-                            registry.cuts_emitted.add_on(widx, emitted);
-                            cuts.fetch_add(emitted, Ordering::Relaxed);
-                        }
-                        fault_log.lock().push(QuarantinedInterval {
-                            interval: iv.clone(),
-                            cuts_emitted: emitted,
-                            attempts,
-                            message,
-                        });
-                        Ok(())
-                    }
-                }
-            })
-        };
-
-        let result = if self.threads == 0 {
-            run()
-        } else {
-            match rayon::ThreadPoolBuilder::new()
-                .num_threads(self.threads)
-                .build()
-            {
-                Ok(pool) => pool.install(run),
-                Err(_) => {
-                    // Degrade to the caller's (global) pool instead of
-                    // aborting a run whose inputs are perfectly fine.
-                    registry.worker_spawn_failures.add(1);
-                    run()
-                }
-            }
-        };
-        result?;
-
+        let batch = self
+            .executor()
+            .run_batch(self.threads, space, intervals, sink, registry)?;
         Ok(ParaStats {
-            cuts: cuts.load(Ordering::Relaxed),
+            cuts: batch.cuts,
             intervals: intervals.len(),
-            peak_frontiers: peak.load(Ordering::Relaxed),
-            faults: fault_log.into_inner(),
+            peak_frontiers: batch.peak_frontiers,
+            faults: batch.faults,
             metrics: registry.snapshot(),
         })
-    }
-
-    /// One interval under a `catch_unwind` boundary, with its deliveries
-    /// metered so a fault knows the exact prefix length that reached the
-    /// sink. At most one retry, and only from a clean slate.
-    fn run_interval_isolated<Sp, K>(
-        &self,
-        space: &Sp,
-        iv: &Interval,
-        sink: &K,
-        registry: &ParaMetrics,
-    ) -> Result<paramount_enumerate::EnumStats, IntervalFault>
-    where
-        Sp: CutSpace + ?Sized,
-        K: ParallelCutSink + ?Sized,
-    {
-        let mut attempts = 0u32;
-        loop {
-            attempts += 1;
-            let emitted = AtomicU64::new(0);
-            let run = catch_unwind(AssertUnwindSafe(|| {
-                self.run_interval(space, iv, sink, &emitted)
-            }));
-            match run {
-                Ok(Ok(stats)) => return Ok(stats),
-                Ok(Err(err)) => return Err(IntervalFault::Error(err)),
-                Err(payload) => {
-                    registry.worker_panics.add(1);
-                    let delivered = emitted.load(Ordering::Relaxed);
-                    if delivered == 0 && attempts == 1 {
-                        registry.intervals_retried.add(1);
-                        continue;
-                    }
-                    return Err(IntervalFault::Panicked {
-                        emitted: delivered,
-                        attempts,
-                        message: panic_message(payload.as_ref()),
-                    });
-                }
-            }
-        }
-    }
-
-    fn run_interval<Sp, K>(
-        &self,
-        space: &Sp,
-        iv: &Interval,
-        sink: &K,
-        emitted: &AtomicU64,
-    ) -> Result<paramount_enumerate::EnumStats, EnumError>
-    where
-        Sp: CutSpace + ?Sized,
-        K: ParallelCutSink + ?Sized,
-    {
-        let mut bridge = MeteredSink::new(SinkBridge::new(sink, iv.event), emitted);
-        let mut extra = 0;
-        if iv.include_empty {
-            use paramount_enumerate::CutSink;
-            let empty = paramount_poset::Frontier::empty(space.num_threads());
-            if bridge.visit(&empty).is_break() {
-                return Err(EnumError::Stopped);
-            }
-            extra = 1;
-        }
-        let mut stats = match self.algorithm {
-            Algorithm::Bfs => paramount_enumerate::bfs::enumerate_bounded(
-                space,
-                &iv.gmin,
-                &iv.gbnd,
-                &paramount_enumerate::bfs::BfsOptions {
-                    frontier_budget: self.frontier_budget,
-                },
-                &mut bridge,
-            )?,
-            Algorithm::Dfs => paramount_enumerate::dfs::enumerate_bounded(
-                space,
-                &iv.gmin,
-                &iv.gbnd,
-                &paramount_enumerate::dfs::DfsOptions {
-                    frontier_budget: self.frontier_budget,
-                },
-                &mut bridge,
-            )?,
-            Algorithm::Lexical => paramount_enumerate::lexical::enumerate_bounded(
-                space,
-                &iv.gmin,
-                &iv.gbnd,
-                &mut bridge,
-            )?,
-        };
-        stats.cuts += extra;
-        Ok(stats)
-    }
-}
-
-/// How one interval's processing ended when it did not end cleanly.
-enum IntervalFault {
-    /// A real enumeration error (`Stopped`, `OutOfBudget`) — propagates.
-    Error(EnumError),
-    /// A panic unwound out of the sink; the interval is quarantined.
-    Panicked {
-        emitted: u64,
-        attempts: u32,
-        message: String,
-    },
-}
-
-/// Chaos wrapper over a borrowed shared sink: panics *before* delegating
-/// on plan-selected calls, so an injected fault never half-delivers a cut
-/// and the emission meter agrees exactly with what the inner sink saw.
-#[cfg(feature = "chaos")]
-struct ChaosRefSink<'a, K: ?Sized> {
-    plan: FaultPlan,
-    calls: AtomicU64,
-    inner: &'a K,
-}
-
-#[cfg(feature = "chaos")]
-impl<K: ParallelCutSink + ?Sized> ParallelCutSink for ChaosRefSink<'_, K> {
-    fn visit(
-        &self,
-        cut: &paramount_poset::Frontier,
-        owner: EventId,
-    ) -> std::ops::ControlFlow<()> {
-        let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.plan.sink_call_faults(call) {
-            panic!("chaos: sink panic injected at call {call}");
-        }
-        self.inner.visit(cut, owner)
     }
 }
 
@@ -464,9 +251,9 @@ mod tests {
     use super::*;
     use crate::sink::{AtomicCountSink, ConcurrentCollectSink};
     use paramount_poset::random::RandomComputation;
-    use paramount_poset::{oracle, Frontier, Poset};
+    use paramount_poset::{oracle, CutRef, Frontier, Poset};
     use std::ops::ControlFlow;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn matches_oracle_for_all_algorithms_and_thread_counts() {
@@ -533,7 +320,7 @@ mod tests {
     fn early_stop_reports_stopped() {
         let p = RandomComputation::new(4, 5, 0.3, 3).generate();
         let seen = AtomicU64::new(0);
-        let sink = |_: &Frontier, _: EventId| {
+        let sink = |_: CutRef<'_>, _: EventId| {
             if seen.fetch_add(1, Ordering::Relaxed) >= 10 {
                 ControlFlow::Break(())
             } else {
@@ -635,7 +422,7 @@ mod tests {
         let p = RandomComputation::new(3, 5, 0.4, 21).generate();
         let order = paramount_poset::topo::weight_order(&p);
         let victim = order[order.len() / 2];
-        let sink = move |_: &Frontier, owner: EventId| {
+        let sink = move |_: CutRef<'_>, owner: EventId| {
             if owner == victim {
                 panic!("poisoned predicate");
             }
@@ -668,7 +455,7 @@ mod tests {
         let order = paramount_poset::topo::weight_order(&p);
         let victim = *order.last().unwrap();
         let armed = std::sync::atomic::AtomicBool::new(true);
-        let sink = |_: &Frontier, owner: EventId| {
+        let sink = |_: CutRef<'_>, owner: EventId| {
             // Panic exactly once, on the first delivery of the victim's
             // interval — before anything of it reached the sink.
             if owner == victim && armed.swap(false, Ordering::Relaxed) {

@@ -10,32 +10,29 @@
 //! and the snapshot satisfies Definition 1, so Lemmas 1–3 carry over
 //! verbatim: every cut of the final poset is enumerated exactly once.
 //!
-//! Unlike the offline mode there is no Rayon here: the worker pool is a
-//! hand-built crossbeam-channel fan-out, because intervals must start the
-//! moment they are created (work arrives as a stream, not a batch) and the
-//! pool must outlive any single call.
-//!
-//! The dispatch queue is **bounded** ([`OnlineEngineConfig::queue_capacity`])
-//! with an explicit [`BackpressurePolicy`]. Interval sizes are wildly
-//! uneven (`i(P)` is exponential in the worst case), so an unbounded queue
-//! silently converts a slow sink into unbounded memory growth; a bounded
-//! one makes the overload behaviour a stated policy instead of an
-//! accident. Every run records into a [`ParaMetrics`] registry — queue
-//! depth, per-interval cut counts, worker busy/idle time, insertion
+//! The engine here is a *front-end*: [`OnlinePoset`] implements the
+//! atomic block, and everything downstream of `observe_*` — the bounded
+//! dispatch queue with its [`BackpressurePolicy`], the supervised worker
+//! pool, panic isolation, retry/quarantine, metrics — is the shared
+//! streaming executor in [`crate::exec`]. Unlike the offline mode there
+//! is no Rayon in that pool: intervals must start the moment they are
+//! created (work arrives as a stream, not a batch) and the pool must
+//! outlive any single call, so it is a hand-built crossbeam-channel
+//! fan-out. Every run records into a
+//! [`ParaMetrics`](crate::metrics::ParaMetrics) registry — queue depth,
+//! per-interval cut counts, worker busy/idle time, insertion
 //! critical-section time — surfaced in [`OnlineReport::metrics`].
 
-use crate::faults::{FaultLog, FaultPlan, Outcome, QuarantinedInterval};
+pub use crate::exec::BackpressurePolicy;
+use crate::exec::{IntervalExecutor, StreamExecutor, StreamParams};
+use crate::faults::{FaultLog, FaultPlan, Outcome};
 use crate::interval::Interval;
-use crate::metrics::{MetricsSnapshot, ParaMetrics};
-use crate::sink::{MeteredSink, ParallelCutSink, SinkBridge};
+use crate::metrics::MetricsSnapshot;
+use crate::sink::ParallelCutSink;
 use crate::store::AppendVec;
-use crossbeam_channel::TrySendError;
-use paramount_enumerate::{panic_message, Algorithm, CutSink, EnumError};
+use paramount_enumerate::{Algorithm, EnumError};
 use paramount_poset::{CutSpace, Event, EventId, Frontier, Poset, Tid, VectorClock};
 use parking_lot::Mutex;
-use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -191,34 +188,6 @@ impl<P> CutSpace for OnlinePoset<P> {
     }
 }
 
-/// What `observe_*` does when the dispatch queue is full.
-///
-/// The queue fills exactly when insertions outpace enumeration — with
-/// exponentially sized intervals that is a *when*, not an *if*, on heavy
-/// traffic. The policy decides who absorbs the overload.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum BackpressurePolicy {
-    /// Block the observing thread until a worker frees a slot. Slows the
-    /// observed program down (the paper's implicit model: instrumentation
-    /// is allowed to throttle execution) but loses nothing — Theorem 3's
-    /// "every cut exactly once" holds unconditionally.
-    #[default]
-    Block,
-    /// Never block: divert overflow intervals to an unbounded deque that
-    /// workers drain with priority. Keeps the observed program at full
-    /// speed and still loses nothing, at the cost of re-admitting the
-    /// unbounded memory the queue bound was meant to cap — the spill
-    /// counter in [`ParaMetrics`] makes that cost visible.
-    SpillToDeque,
-    /// Never block and never buffer: drop the interval and count it in
-    /// [`ParaMetrics::intervals_rejected`]. The cut count is then a lower
-    /// bound, not Theorem 2's exact `i(P)` —
-    /// [`OnlineReport::is_complete`] returns false and the stats
-    /// renderer flags the run. For load-shedding monitors that prefer
-    /// losing data over perturbing the program.
-    Fail,
-}
-
 /// Configuration for the online engine.
 #[derive(Clone, Copy, Debug)]
 pub struct OnlineEngineConfig {
@@ -260,90 +229,17 @@ impl Default for OnlineEngineConfig {
     }
 }
 
-struct EngineShared<P> {
-    poset: Arc<OnlinePoset<P>>,
-    sink: Box<dyn ParallelCutSink>,
-    stopped: AtomicBool,
-    error: Mutex<Option<EnumError>>,
-    metrics: ParaMetrics,
-    /// Overflow intervals under [`BackpressurePolicy::SpillToDeque`].
-    /// Workers drain it with priority; `finish` closes the channel only
-    /// after producers stop, so leftover spill is drained post-close.
-    spill: Mutex<VecDeque<Interval>>,
-    /// Intervals abandoned after contained panics (and injected dispatch
-    /// faults): the degraded-run record surfaced as
-    /// [`OnlineReport::faults`].
-    fault_log: Mutex<FaultLog>,
-    /// Per-worker-slot in-flight tracking: which interval the slot is
-    /// processing and how many of its cuts the sink has already seen.
-    /// The supervisor reads it when a panic escapes the per-interval
-    /// boundary, so even a dying worker body cannot lose an interval —
-    /// it gets quarantined with an exact emission count instead.
-    in_flight: Box<[InFlightSlot]>,
-    /// Remaining supervisor restarts, shared across the pool. Signed so
-    /// concurrent decrements past zero stay well-defined.
-    restart_budget: AtomicI64,
-    /// Ordinal counters backing the fault plan's "k-th call" sites.
-    #[cfg(feature = "chaos")]
-    fault_state: crate::faults::FaultState,
-}
-
-#[derive(Default)]
-struct InFlightSlot {
-    interval: Mutex<Option<Interval>>,
-    emitted: AtomicU64,
-}
-
-impl<P> EngineShared<P> {
-    fn slot(&self, index: usize) -> &InFlightSlot {
-        &self.in_flight[index % self.in_flight.len()]
-    }
-}
-
-/// Pops one spilled interval, never holding the lock across enumeration.
-fn pop_spill<P>(shared: &EngineShared<P>) -> Option<Interval> {
-    shared.spill.lock().pop_front()
-}
-
-/// Abandons an interval into the fault log. The prefix the sink already
-/// saw (`emitted` cuts, delivered before the fault) is added to the cut
-/// total so the headline count stays exactly "cuts the sink received".
-fn quarantine<P>(
-    shared: &EngineShared<P>,
-    interval: Interval,
-    emitted: u64,
-    attempts: u32,
-    message: String,
-    index: usize,
-) {
-    let m = &shared.metrics;
-    m.intervals_quarantined.add(1);
-    if emitted > 0 {
-        m.cuts_emitted.add_on(index, emitted);
-    }
-    shared.fault_log.lock().push(QuarantinedInterval {
-        interval,
-        cuts_emitted: emitted,
-        attempts,
-        message,
-    });
-}
-
-/// The online enumeration engine: an [`OnlinePoset`] plus a worker pool
-/// draining a bounded channel of freshly created intervals.
+/// The online enumeration engine: an [`OnlinePoset`] feeding the shared
+/// streaming executor ([`crate::exec`]) — a worker pool draining a
+/// bounded channel of freshly created intervals.
 ///
 /// `observe_*` calls may come from many program threads concurrently; the
 /// per-call cost beyond the enumeration itself is one mutex-protected
 /// insert and one channel send (which may block, spill or shed under a
 /// full queue — see [`BackpressurePolicy`]).
 pub struct OnlineEngine<P: Send + Sync + 'static> {
-    shared: Arc<EngineShared<P>>,
-    sender: Option<crossbeam_channel::Sender<Interval>>,
-    /// Kept so `finish` can drain intervals no worker lived to process
-    /// (total pool death past the restart budget, or zero spawned
-    /// workers): the report is exact even with a dead pool.
-    receiver: crossbeam_channel::Receiver<Interval>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    poset: Arc<OnlinePoset<P>>,
+    stream: StreamExecutor<OnlinePoset<P>>,
     config: OnlineEngineConfig,
 }
 
@@ -363,59 +259,21 @@ impl<P: Send + Sync + 'static> OnlineEngine<P> {
         config: OnlineEngineConfig,
         sink: impl ParallelCutSink + 'static,
     ) -> Self {
-        assert!(config.workers >= 1, "need at least one worker");
-        assert!(config.queue_capacity >= 1, "queue capacity must be >= 1");
-        let sink: Box<dyn ParallelCutSink> = Box::new(sink);
-        #[cfg(feature = "chaos")]
-        let sink: Box<dyn ParallelCutSink> = if config.faults.arms_sink() {
-            Box::new(ChaosSink {
-                plan: config.faults,
-                calls: AtomicU64::new(0),
-                inner: sink,
-            })
-        } else {
-            sink
+        let exec = IntervalExecutor {
+            algorithm: config.algorithm,
+            frontier_budget: config.frontier_budget,
+            faults: config.faults,
         };
-        let shared = Arc::new(EngineShared {
-            poset,
-            sink,
-            stopped: AtomicBool::new(false),
-            error: Mutex::new(None),
-            metrics: ParaMetrics::new(config.workers),
-            spill: Mutex::new(VecDeque::new()),
-            fault_log: Mutex::new(FaultLog::default()),
-            in_flight: (0..config.workers).map(|_| InFlightSlot::default()).collect(),
-            restart_budget: AtomicI64::new(i64::from(config.worker_restart_budget)),
-            #[cfg(feature = "chaos")]
-            fault_state: crate::faults::FaultState::default(),
-        });
-        let (sender, receiver) = crossbeam_channel::bounded::<Interval>(config.queue_capacity);
-        // Spawn failures degrade the pool instead of aborting engine
-        // construction: whatever workers did start carry the load, and
-        // with zero workers `dispatch` falls back to enumerating inline
-        // on the observing thread (slow, but complete and alive).
-        let mut workers = Vec::with_capacity(config.workers);
-        for w in 0..config.workers {
-            #[cfg(feature = "chaos")]
-            if config.faults.spawn_faults(shared.fault_state.next_spawn()) {
-                shared.metrics.worker_spawn_failures.add(1);
-                continue;
-            }
-            let worker_shared = Arc::clone(&shared);
-            let receiver = receiver.clone();
-            let spawned = std::thread::Builder::new()
-                .name(format!("paramount-worker-{w}"))
-                .spawn(move || worker_entry(&worker_shared, &receiver, config, w));
-            match spawned {
-                Ok(handle) => workers.push(handle),
-                Err(_) => shared.metrics.worker_spawn_failures.add(1),
-            }
-        }
+        let params = StreamParams {
+            workers: config.workers,
+            queue_capacity: config.queue_capacity,
+            backpressure: config.backpressure,
+            worker_restart_budget: config.worker_restart_budget,
+        };
+        let stream = StreamExecutor::new(Arc::clone(&poset), exec, params, Box::new(sink));
         OnlineEngine {
-            shared,
-            sender: Some(sender),
-            receiver,
-            workers,
+            poset,
+            stream,
             config,
         }
     }
@@ -424,99 +282,54 @@ impl<P: Send + Sync + 'static> OnlineEngine<P> {
     /// computed internally. Returns the event id.
     pub fn observe_after(&self, t: Tid, deps: &[EventId], payload: P) -> EventId {
         let start = Instant::now();
-        let (id, interval) = self.shared.poset.insert_after(t, deps, payload);
+        let (id, interval) = self.poset.insert_after(t, deps, payload);
         self.note_insert(start);
-        self.dispatch(interval);
+        self.stream.submit(interval);
         id
     }
 
     /// Observes an event whose clock the caller computed (recorder path).
     pub fn observe_with_clock(&self, t: Tid, vc: VectorClock, payload: P) -> EventId {
         let start = Instant::now();
-        let (id, interval) = self.shared.poset.insert_with_clock(t, vc, payload);
+        let (id, interval) = self.poset.insert_with_clock(t, vc, payload);
         self.note_insert(start);
-        self.dispatch(interval);
+        self.stream.submit(interval);
         id
     }
 
+    /// Replays a complete reference poset through the engine: every event
+    /// in `→p` (vector-clock-weight) order, with its recorded clock. The
+    /// standard way to drive the online engine from an offline trace —
+    /// tests and benches compare the resulting report against offline
+    /// enumeration of the same poset.
+    pub fn observe_poset(&self, reference: &Poset<P>)
+    where
+        P: Clone,
+    {
+        for &id in &paramount_poset::topo::weight_order(reference) {
+            self.observe_with_clock(
+                id.tid,
+                reference.vc(id).clone(),
+                reference.payload(id).clone(),
+            );
+        }
+    }
+
     fn note_insert(&self, start: Instant) {
-        let m = &self.shared.metrics;
+        let m = self.stream.metrics();
         m.insert_critical_ns
             .record(start.elapsed().as_nanos() as u64);
         m.events_inserted.add(1);
     }
 
-    fn dispatch(&self, interval: Interval) {
-        if self.shared.stopped.load(Ordering::Relaxed) {
-            return; // sink asked for a global stop; drop new work
-        }
-        // Receivers only disappear after `finish`, which consumes self, so
-        // send failures below mean shutdown raced a stop — safe to drop.
-        let Some(sender) = &self.sender else { return };
-        let m = &self.shared.metrics;
-        m.intervals_dispatched.add(1);
-        if self.workers.is_empty() {
-            // Degraded mode (no worker could be spawned): enumerate on
-            // the observing thread so nothing queues unserved.
-            process_interval(&self.shared, &interval, self.config, 0);
-            return;
-        }
-        #[cfg(feature = "chaos")]
-        if self
-            .config
-            .faults
-            .send_faults(self.shared.fault_state.next_send())
-        {
-            quarantine(
-                &self.shared,
-                interval,
-                0,
-                1,
-                "chaos: queue send failed".to_string(),
-                0,
-            );
-            return;
-        }
-        // The gauge goes up *before* the send and back down if the send
-        // fails: a worker may receive (and decrement) the instant the
-        // interval lands in the channel, before a post-send increment
-        // would run, underflowing the gauge. The channel's send/recv
-        // synchronization orders this increment before that decrement.
-        m.queue_depth.inc();
-        match self.config.backpressure {
-            BackpressurePolicy::Block => {
-                if sender.send(interval).is_err() {
-                    m.queue_depth.dec();
-                }
-            }
-            BackpressurePolicy::SpillToDeque => match sender.try_send(interval) {
-                Ok(()) => {}
-                Err(TrySendError::Full(interval)) => {
-                    m.queue_depth.dec();
-                    self.shared.spill.lock().push_back(interval);
-                    m.intervals_spilled.add(1);
-                }
-                Err(TrySendError::Disconnected(_)) => m.queue_depth.dec(),
-            },
-            BackpressurePolicy::Fail => match sender.try_send(interval) {
-                Ok(()) => {}
-                Err(TrySendError::Full(_)) => {
-                    m.queue_depth.dec();
-                    m.intervals_rejected.add(1);
-                }
-                Err(TrySendError::Disconnected(_)) => m.queue_depth.dec(),
-            },
-        }
-    }
-
     /// The growing poset (also a [`CutSpace`], usable for ad-hoc queries).
     pub fn poset(&self) -> &OnlinePoset<P> {
-        &self.shared.poset
+        &self.poset
     }
 
     /// True once the sink has requested a global stop.
     pub fn is_stopped(&self) -> bool {
-        self.shared.stopped.load(Ordering::Relaxed)
+        self.stream.is_stopped()
     }
 
     /// Worker threads in the pool.
@@ -528,304 +341,25 @@ impl<P: Send + Sync + 'static> OnlineEngine<P> {
     /// relaxed loads, so totals are approximate while workers run and
     /// exact after [`OnlineEngine::finish`].
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        self.stream.metrics().snapshot()
     }
 
     /// Closes the stream, waits for all pending intervals — queued *and*
     /// spilled — to drain, and reports totals.
-    pub fn finish(mut self) -> OnlineReport<P>
+    pub fn finish(self) -> OnlineReport<P>
     where
         P: Clone,
     {
-        // Dropping the sender closes the channel; workers drain what is
-        // queued, then (channel closed ⇒ no producer ⇒ spill is frozen)
-        // drain the spill deque, then exit. No interval is lost.
-        drop(self.sender.take());
-        for handle in self.workers.drain(..) {
-            // A worker that died past the supervisor's restart budget is
-            // already accounted for (its in-flight interval was
-            // quarantined); joining must not re-raise its panic.
-            let _ = handle.join();
-        }
-        // If the whole pool died (or never spawned), queued and spilled
-        // intervals are still pending — drain them inline so the report
-        // covers every dispatched interval regardless of pool health.
-        while let Ok(interval) = self.receiver.try_recv() {
-            self.shared.metrics.queue_depth.dec();
-            process_interval(&self.shared, &interval, self.config, 0);
-        }
-        while let Some(interval) = pop_spill(&self.shared) {
-            process_interval(&self.shared, &interval, self.config, 0);
-        }
-        let shared = Arc::clone(&self.shared);
-        drop(self); // Drop is a no-op now: sender taken, workers joined.
-        // Deliberately no `Arc::try_unwrap`: everything the report needs
-        // is readable through the shared handle, so a leaked clone (a
-        // worker body still unwinding, an embedder's debug handle)
-        // degrades nothing and can no longer abort finalize.
-        let metrics = shared.metrics.snapshot();
-        let faults = shared.fault_log.lock().clone();
-        let error = shared.error.lock().take();
+        let OnlineEngine { poset, stream, .. } = self;
+        let outcome = stream.finish();
         OnlineReport {
-            cuts: metrics.cuts_emitted,
-            events: shared.poset.num_events() as u64,
-            error,
-            faults,
-            metrics,
-            poset: shared.poset.snapshot(),
+            cuts: outcome.metrics.cuts_emitted,
+            events: poset.num_events() as u64,
+            error: outcome.error,
+            faults: outcome.faults,
+            metrics: outcome.metrics,
+            poset: poset.snapshot(),
         }
-    }
-}
-
-impl<P: Send + Sync + 'static> Drop for OnlineEngine<P> {
-    fn drop(&mut self) {
-        drop(self.sender.take());
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-/// Worker thread entry: supervises [`worker_loop`], restarting the body
-/// when a panic escapes the per-interval isolation (which only happens
-/// for faults *outside* `process_interval`'s own `catch_unwind` — e.g.
-/// an injected worker kill, or a panic in the queue plumbing). The
-/// in-flight interval is quarantined before the restart, so even a
-/// dying worker never loses work; the restart budget is shared across
-/// the pool and a worker that exhausts it simply exits, leaving its
-/// queue share to the survivors (and ultimately to `finish`'s inline
-/// drain).
-fn worker_entry<P>(
-    shared: &EngineShared<P>,
-    receiver: &crossbeam_channel::Receiver<Interval>,
-    config: OnlineEngineConfig,
-    index: usize,
-) {
-    loop {
-        let run = catch_unwind(AssertUnwindSafe(|| {
-            worker_loop(shared, receiver, config, index)
-        }));
-        let payload = match run {
-            Ok(()) => return, // clean exit: channel closed and spill drained
-            Err(payload) => payload,
-        };
-        shared.metrics.worker_panics.add(1);
-        let slot = shared.slot(index);
-        if let Some(interval) = slot.interval.lock().take() {
-            let emitted = slot.emitted.load(Ordering::Relaxed);
-            quarantine(
-                shared,
-                interval,
-                emitted,
-                1,
-                panic_message(payload.as_ref()),
-                index,
-            );
-        }
-        if shared.restart_budget.fetch_sub(1, Ordering::Relaxed) > 0 {
-            shared.metrics.worker_restarts.add(1);
-            continue; // phoenix: the same thread resumes as a fresh body
-        }
-        return; // budget exhausted: die quietly, survivors take over
-    }
-}
-
-fn worker_loop<P>(
-    shared: &EngineShared<P>,
-    receiver: &crossbeam_channel::Receiver<Interval>,
-    config: OnlineEngineConfig,
-    index: usize,
-) {
-    loop {
-        // Spill first: overflow intervals are the oldest backlog, and
-        // checking here guarantees the deque drains while the channel is
-        // busy (spill only grows when the channel is full, so there is
-        // always traffic to piggyback on).
-        let interval = match pop_spill(shared) {
-            Some(interval) => interval,
-            None => {
-                let wait = Instant::now();
-                match receiver.recv() {
-                    Ok(interval) => {
-                        shared
-                            .metrics
-                            .worker(index)
-                            .add_idle(wait.elapsed().as_nanos() as u64);
-                        shared.metrics.queue_depth.dec();
-                        interval
-                    }
-                    Err(_) => break, // channel closed: producers are done
-                }
-            }
-        };
-        process_interval(shared, &interval, config, index);
-    }
-    // The channel is closed, so no new spill can appear: whatever is left
-    // in the deque is the final backlog — drain it to completion.
-    while let Some(interval) = pop_spill(shared) {
-        process_interval(shared, &interval, config, index);
-    }
-}
-
-/// Injection point for the "kill a worker mid-interval" fault: records
-/// the interval in the slot first, so the supervisor quarantines it —
-/// the injected death must not be able to lose work either.
-#[cfg(feature = "chaos")]
-fn chaos_maybe_kill_worker<P>(
-    shared: &EngineShared<P>,
-    config: &OnlineEngineConfig,
-    interval: &Interval,
-    index: usize,
-) {
-    if config
-        .faults
-        .pickup_kills_worker(shared.fault_state.next_pickup())
-    {
-        let slot = shared.slot(index);
-        slot.emitted.store(0, Ordering::Relaxed);
-        *slot.interval.lock() = Some(interval.clone());
-        panic!("chaos: worker killed at interval pickup");
-    }
-}
-
-fn process_interval<P>(
-    shared: &EngineShared<P>,
-    interval: &Interval,
-    config: OnlineEngineConfig,
-    index: usize,
-) {
-    if shared.stopped.load(Ordering::Relaxed) {
-        return; // drain without enumerating
-    }
-    #[cfg(feature = "chaos")]
-    chaos_maybe_kill_worker(shared, &config, interval, index);
-    #[cfg(feature = "chaos")]
-    if let Some(us) = config.faults.worker_delay_us {
-        std::thread::sleep(std::time::Duration::from_micros(us));
-    }
-    let m = &shared.metrics;
-    let slot = shared.slot(index);
-    let start = Instant::now();
-    let mut attempts = 0u32;
-    // The per-interval isolation boundary. The sink is reachable after
-    // the catch by design (shared, `&self`-based, synchronized
-    // internally), so `AssertUnwindSafe` asserts exactly the contract
-    // `ParallelCutSink` already demands of implementations; the slot's
-    // emission meter makes the delivered prefix observable across the
-    // unwind.
-    let outcome = loop {
-        attempts += 1;
-        slot.emitted.store(0, Ordering::Relaxed);
-        *slot.interval.lock() = Some(interval.clone());
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            run_interval(shared, interval, config, &slot.emitted)
-        }));
-        *slot.interval.lock() = None;
-        match result {
-            Ok(done) => break Ok(done),
-            Err(payload) => {
-                m.worker_panics.add(1);
-                let emitted = slot.emitted.load(Ordering::Relaxed);
-                // Retry only from a clean slate: if any cut of this
-                // interval already reached the sink, a re-run would
-                // deliver it twice (Theorem 2's exactly-once), so the
-                // interval goes straight to quarantine.
-                if emitted == 0 && attempts == 1 {
-                    m.intervals_retried.add(1);
-                    continue;
-                }
-                break Err((emitted, panic_message(payload.as_ref())));
-            }
-        }
-    };
-    let tally = m.worker(index);
-    tally.add_busy(start.elapsed().as_nanos() as u64);
-    tally.add_interval();
-    match outcome {
-        Ok(Ok(cuts)) => {
-            m.cuts_emitted.add_on(index, cuts);
-            m.intervals_completed.add_on(index, 1);
-            m.interval_cuts.record(cuts);
-        }
-        Ok(Err(EnumError::Stopped)) => {
-            shared.stopped.store(true, Ordering::Relaxed);
-        }
-        Ok(Err(err)) => {
-            shared.stopped.store(true, Ordering::Relaxed);
-            shared.error.lock().get_or_insert(err);
-        }
-        Err((emitted, message)) => {
-            quarantine(shared, interval.clone(), emitted, attempts, message, index);
-        }
-    }
-}
-
-fn run_interval<P>(
-    shared: &EngineShared<P>,
-    interval: &Interval,
-    config: OnlineEngineConfig,
-    emitted: &AtomicU64,
-) -> Result<u64, EnumError> {
-    let space = shared.poset.as_ref();
-    let bridge = SinkBridge::new(shared.sink.as_ref(), interval.event);
-    let mut bridge = MeteredSink::new(bridge, emitted);
-    let mut extra = 0;
-    if interval.include_empty {
-        let empty = Frontier::empty(space.num_threads());
-        if bridge.visit(&empty).is_break() {
-            return Err(EnumError::Stopped);
-        }
-        extra = 1;
-    }
-    let stats = match config.algorithm {
-        Algorithm::Bfs => paramount_enumerate::bfs::enumerate_bounded(
-            space,
-            &interval.gmin,
-            &interval.gbnd,
-            &paramount_enumerate::bfs::BfsOptions {
-                frontier_budget: config.frontier_budget,
-            },
-            &mut bridge,
-        )?,
-        Algorithm::Dfs => paramount_enumerate::dfs::enumerate_bounded(
-            space,
-            &interval.gmin,
-            &interval.gbnd,
-            &paramount_enumerate::dfs::DfsOptions {
-                frontier_budget: config.frontier_budget,
-            },
-            &mut bridge,
-        )?,
-        Algorithm::Lexical => paramount_enumerate::lexical::enumerate_bounded(
-            space,
-            &interval.gmin,
-            &interval.gbnd,
-            &mut bridge,
-        )?,
-    };
-    Ok(stats.cuts + extra)
-}
-
-/// Shared-sink wrapper that panics on fault-plan-selected deliveries —
-/// the "predicate panics at the k-th call" injection site. Panics fire
-/// *before* the inner sink is invoked, so an injected fault never
-/// half-delivers a cut: the emission meter and the real sink agree
-/// exactly on what was seen.
-#[cfg(feature = "chaos")]
-struct ChaosSink {
-    plan: FaultPlan,
-    calls: AtomicU64,
-    inner: Box<dyn ParallelCutSink>,
-}
-
-#[cfg(feature = "chaos")]
-impl ParallelCutSink for ChaosSink {
-    fn visit(&self, cut: &Frontier, owner: EventId) -> std::ops::ControlFlow<()> {
-        let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.plan.sink_call_faults(call) {
-            panic!("chaos: sink panic injected at call {call}");
-        }
-        self.inner.visit(cut, owner)
     }
 }
 
@@ -855,9 +389,7 @@ impl<P> OnlineReport<P> {
     /// True when `cuts` is exactly `i(P)`: no error, no interval shed by
     /// [`BackpressurePolicy::Fail`], and nothing quarantined.
     pub fn is_complete(&self) -> bool {
-        self.error.is_none()
-            && self.metrics.intervals_rejected == 0
-            && self.faults.is_empty()
+        self.error.is_none() && self.metrics.intervals_rejected == 0 && self.faults.is_empty()
     }
 
     /// [`Outcome::Complete`], or [`Outcome::Degraded`] with the fault
@@ -876,7 +408,9 @@ mod tests {
     use crate::sink::{AtomicCountSink, ConcurrentCollectSink};
     use paramount_poset::oracle;
     use paramount_poset::random::RandomComputation;
+    use paramount_poset::CutRef;
     use std::ops::ControlFlow;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::Arc as StdArc;
 
     #[test]
@@ -928,12 +462,10 @@ mod tests {
                 },
                 {
                     let sink = StdArc::clone(&sink);
-                    move |cut: &Frontier, owner| sink.visit(cut, owner)
+                    move |cut: CutRef<'_>, owner| sink.visit(cut, owner)
                 },
             );
-            for &id in &paramount_poset::topo::weight_order(&reference) {
-                engine.observe_with_clock(id.tid, reference.vc(id).clone(), ());
-            }
+            engine.observe_poset(&reference);
             let report = engine.finish();
             // ...and compare against the offline oracle.
             let expected = oracle::enumerate_product_scan(&reference);
@@ -959,7 +491,7 @@ mod tests {
                 workers: 4,
                 ..OnlineEngineConfig::default()
             },
-            move |cut: &Frontier, owner| counter_in_sink.visit(cut, owner),
+            move |cut: CutRef<'_>, owner| counter_in_sink.visit(cut, owner),
         );
 
         let barrier = std::sync::Barrier::new(4);
@@ -1007,7 +539,7 @@ mod tests {
                 workers: 2,
                 ..OnlineEngineConfig::default()
             },
-            move |_: &Frontier, _: EventId| ControlFlow::Break(()),
+            move |_: CutRef<'_>, _: EventId| ControlFlow::Break(()),
         );
         for _ in 0..50 {
             engine.observe_after(Tid(0), &[], ());
@@ -1023,7 +555,7 @@ mod tests {
         let engine = OnlineEngine::new(
             2,
             OnlineEngineConfig::default(),
-            move |_: &Frontier, _: EventId| ControlFlow::Continue(()),
+            move |_: CutRef<'_>, _: EventId| ControlFlow::Continue(()),
         );
         engine.observe_after(Tid(0), &[], ());
         drop(engine); // must not hang or leak threads
@@ -1038,11 +570,9 @@ mod tests {
                 workers: 2,
                 ..OnlineEngineConfig::default()
             },
-            move |_: &Frontier, _: EventId| ControlFlow::Continue(()),
+            move |_: CutRef<'_>, _: EventId| ControlFlow::Continue(()),
         );
-        for &id in &paramount_poset::topo::weight_order(&reference) {
-            engine.observe_with_clock(id.tid, reference.vc(id).clone(), ());
-        }
+        engine.observe_poset(&reference);
         let report = engine.finish();
         let m = &report.metrics;
         assert_eq!(m.events_inserted, report.events);
@@ -1080,15 +610,13 @@ mod tests {
                 backpressure: BackpressurePolicy::SpillToDeque,
                 ..OnlineEngineConfig::default()
             },
-            move |cut: &Frontier, owner| {
+            move |cut: CutRef<'_>, owner| {
                 // Slow consumer: force the 1-slot queue to overflow.
                 std::thread::sleep(std::time::Duration::from_micros(50));
                 counter_in_sink.visit(cut, owner)
             },
         );
-        for &id in &paramount_poset::topo::weight_order(&reference) {
-            engine.observe_with_clock(id.tid, reference.vc(id).clone(), ());
-        }
+        engine.observe_poset(&reference);
         let report = engine.finish();
         let expected = oracle::count_ideals(&report.poset);
         assert_eq!(report.cuts, expected, "spill must not lose intervals");
@@ -1113,7 +641,7 @@ mod tests {
                 backpressure: BackpressurePolicy::Fail,
                 ..OnlineEngineConfig::default()
             },
-            move |_: &Frontier, _: EventId| {
+            move |_: CutRef<'_>, _: EventId| {
                 // Hold the single worker hostage until all inserts landed.
                 while !gate.load(Ordering::Relaxed) {
                     std::thread::yield_now();
@@ -1143,7 +671,7 @@ mod tests {
         let engine = OnlineEngine::new(
             2,
             OnlineEngineConfig::default(),
-            move |_: &Frontier, _: EventId| ControlFlow::Continue(()),
+            move |_: CutRef<'_>, _: EventId| ControlFlow::Continue(()),
         );
         engine.observe_after(Tid(0), &[], ());
         let live = engine.metrics();
@@ -1183,16 +711,14 @@ mod tests {
                 workers: 2,
                 ..OnlineEngineConfig::default()
             },
-            move |cut: &Frontier, owner: EventId| {
+            move |cut: CutRef<'_>, owner: EventId| {
                 if owner == victim {
                     panic!("predicate exploded");
                 }
                 counter_in_sink.visit(cut, owner)
             },
         );
-        for &id in &order {
-            engine.observe_with_clock(id.tid, reference.vc(id).clone(), ());
-        }
+        engine.observe_poset(&reference);
         let report = engine.finish();
         // The faulted interval panicked on its first delivery (clean
         // slate), earned one retry, panicked again, and was quarantined.
@@ -1234,7 +760,7 @@ mod tests {
                 workers: 1,
                 ..OnlineEngineConfig::default()
             },
-            move |_: &Frontier, owner: EventId| {
+            move |_: CutRef<'_>, owner: EventId| {
                 if owner.tid == Tid(1) && visits_in_sink.fetch_add(1, Ordering::Relaxed) + 1 == 2 {
                     panic!("mid-interval fault");
                 }
@@ -1270,7 +796,7 @@ mod tests {
                 workers: 2,
                 ..OnlineEngineConfig::default()
             },
-            move |cut: &Frontier, owner: EventId| {
+            move |cut: CutRef<'_>, owner: EventId| {
                 // Panic once, on the very first delivery of t1's
                 // interval — before anything of it was delivered.
                 if owner.tid == Tid(1) && first_in_sink.swap(false, Ordering::Relaxed) {
@@ -1306,7 +832,7 @@ mod tests {
                 worker_restart_budget: 2,
                 ..OnlineEngineConfig::default()
             },
-            move |cut: &Frontier, owner: EventId| {
+            move |cut: CutRef<'_>, owner: EventId| {
                 if owner.tid == Tid(1) {
                     panic!("poisoned predicate");
                 }
@@ -1346,7 +872,7 @@ mod tests {
                         },
                         ..OnlineEngineConfig::default()
                     },
-                    move |cut: &Frontier, owner| counter_in_sink.visit(cut, owner),
+                    move |cut: CutRef<'_>, owner| counter_in_sink.visit(cut, owner),
                 );
                 for _ in 0..4 {
                     engine.observe_after(Tid(0), &[], ());
@@ -1372,7 +898,7 @@ mod tests {
                     },
                     ..OnlineEngineConfig::default()
                 },
-                |_: &Frontier, _: EventId| ControlFlow::Continue(()),
+                |_: CutRef<'_>, _: EventId| ControlFlow::Continue(()),
             );
             for _ in 0..6 {
                 engine.observe_after(Tid(0), &[], ());
@@ -1399,7 +925,7 @@ mod tests {
                     },
                     ..OnlineEngineConfig::default()
                 },
-                |_: &Frontier, _: EventId| ControlFlow::Continue(()),
+                |_: CutRef<'_>, _: EventId| ControlFlow::Continue(()),
             );
             for _ in 0..6 {
                 engine.observe_after(Tid(0), &[], ());
@@ -1437,11 +963,9 @@ mod tests {
                         },
                         ..OnlineEngineConfig::default()
                     },
-                    move |cut: &Frontier, owner| counter_in_sink.visit(cut, owner),
+                    move |cut: CutRef<'_>, owner| counter_in_sink.visit(cut, owner),
                 );
-                for &id in &paramount_poset::topo::weight_order(&reference) {
-                    engine.observe_with_clock(id.tid, reference.vc(id).clone(), ());
-                }
+                engine.observe_poset(&reference);
                 let report = engine.finish();
                 assert_eq!(counter.count(), report.cuts, "seed {seed}");
                 assert_exact_partition(&report);

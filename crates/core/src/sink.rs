@@ -1,7 +1,7 @@
 //! Shared-state sinks for parallel enumeration.
 
 use paramount_enumerate::CutSink;
-use paramount_poset::{EventId, Frontier};
+use paramount_poset::{CutRef, EventId, Frontier};
 use parking_lot::Mutex;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -9,6 +9,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// The `Sync` analog of [`CutSink`]: many interval workers feed one sink
 /// concurrently, so `visit` takes `&self` and implementations synchronize
 /// internally (or not at all, like the atomic counter).
+///
+/// As with [`CutSink`], the cut is a borrowed [`CutRef`] into the calling
+/// worker's scratch frontier — valid only for the duration of the call;
+/// retaining sinks copy with [`CutRef::to_frontier`].
 ///
 /// Predicate evaluation in `paramount-detect` happens behind this trait:
 /// the "sink" is the predicate, invoked once per consistent cut.
@@ -24,7 +28,7 @@ pub trait ParallelCutSink: Send + Sync {
     /// special case.
     ///
     /// `Break` requests a global early stop.
-    fn visit(&self, cut: &Frontier, owner: EventId) -> ControlFlow<()>;
+    fn visit(&self, cut: CutRef<'_>, owner: EventId) -> ControlFlow<()>;
 }
 
 /// Lock-free cut counter (`Relaxed` is enough: the total is only read
@@ -48,7 +52,7 @@ impl AtomicCountSink {
 
 impl ParallelCutSink for AtomicCountSink {
     #[inline]
-    fn visit(&self, _cut: &Frontier, _owner: EventId) -> ControlFlow<()> {
+    fn visit(&self, _cut: CutRef<'_>, _owner: EventId) -> ControlFlow<()> {
         self.count.fetch_add(1, Ordering::Relaxed);
         ControlFlow::Continue(())
     }
@@ -92,16 +96,16 @@ impl ConcurrentCollectSink {
 }
 
 impl ParallelCutSink for ConcurrentCollectSink {
-    fn visit(&self, cut: &Frontier, _owner: EventId) -> ControlFlow<()> {
-        self.cuts.lock().push(cut.clone());
+    fn visit(&self, cut: CutRef<'_>, _owner: EventId) -> ControlFlow<()> {
+        self.cuts.lock().push(cut.to_frontier());
         ControlFlow::Continue(())
     }
 }
 
 /// Closures (`Fn`, not `FnMut` — they run concurrently) are sinks.
-impl<F: Fn(&Frontier, EventId) -> ControlFlow<()> + Send + Sync> ParallelCutSink for F {
+impl<F: Fn(CutRef<'_>, EventId) -> ControlFlow<()> + Send + Sync> ParallelCutSink for F {
     #[inline]
-    fn visit(&self, cut: &Frontier, owner: EventId) -> ControlFlow<()> {
+    fn visit(&self, cut: CutRef<'_>, owner: EventId) -> ControlFlow<()> {
         self(cut, owner)
     }
 }
@@ -123,7 +127,7 @@ impl<'a, K: ParallelCutSink + ?Sized> SinkBridge<'a, K> {
 
 impl<K: ParallelCutSink + ?Sized> CutSink for SinkBridge<'_, K> {
     #[inline]
-    fn visit(&mut self, cut: &Frontier) -> ControlFlow<()> {
+    fn visit(&mut self, cut: CutRef<'_>) -> ControlFlow<()> {
         self.shared.visit(cut, self.owner)
     }
 }
@@ -148,7 +152,7 @@ impl<'a, S: CutSink> MeteredSink<'a, S> {
 
 impl<S: CutSink> CutSink for MeteredSink<'_, S> {
     #[inline]
-    fn visit(&mut self, cut: &Frontier) -> ControlFlow<()> {
+    fn visit(&mut self, cut: CutRef<'_>) -> ControlFlow<()> {
         let flow = self.inner.visit(cut);
         self.emitted.fetch_add(1, Ordering::Relaxed);
         flow
@@ -162,7 +166,7 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
 
     fn g(counts: &[u32]) -> Frontier {
-        Frontier::from_counts(counts.to_vec())
+        Frontier::from_slice(counts)
     }
 
     fn owner() -> EventId {
@@ -176,7 +180,7 @@ mod tests {
             for _ in 0..4 {
                 s.spawn(|| {
                     for _ in 0..1000 {
-                        let _ = sink.visit(&g(&[1, 2]), owner());
+                        let _ = sink.visit(g(&[1, 2]).as_cut(), owner());
                     }
                 });
             }
@@ -192,7 +196,7 @@ mod tests {
                 let sink = &sink;
                 s.spawn(move || {
                     for k in 0..100 {
-                        let _ = sink.visit(&g(&[t, k]), owner());
+                        let _ = sink.visit(g(&[t, k]).as_cut(), owner());
                     }
                 });
             }
@@ -214,7 +218,7 @@ mod tests {
                 let sink = &sink;
                 s.spawn(move || {
                     for k in 0..64 {
-                        let _ = sink.visit(&g(&[t + 1, k, t * 64 + k]), owner());
+                        let _ = sink.visit(g(&[t + 1, k, t * 64 + k]).as_cut(), owner());
                     }
                 });
             }
@@ -239,7 +243,7 @@ mod tests {
                 s.spawn(move || {
                     let mut bridge = SinkBridge::new(sink, EventId::new(Tid(t), 1));
                     for k in 0..500 {
-                        let _ = bridge.visit(&g(&[t, k]));
+                        let _ = bridge.visit(g(&[t, k]).as_cut());
                     }
                 });
             }
@@ -250,27 +254,27 @@ mod tests {
     #[test]
     fn closure_sink_and_bridge() {
         let hits = AtomicUsize::new(0);
-        let closure = |_: &Frontier, _: EventId| {
+        let closure = |_: CutRef<'_>, _: EventId| {
             hits.fetch_add(1, Ordering::Relaxed);
             ControlFlow::Continue(())
         };
         let mut bridge = SinkBridge::new(&closure, owner());
-        let _ = bridge.visit(&g(&[0]));
-        let _ = bridge.visit(&g(&[1]));
+        let _ = bridge.visit(g(&[0]).as_cut());
+        let _ = bridge.visit(g(&[1]).as_cut());
         assert_eq!(hits.load(Ordering::Relaxed), 2);
     }
 
     #[test]
     fn break_propagates_through_bridge() {
-        let closure = |_: &Frontier, _: EventId| ControlFlow::Break(());
+        let closure = |_: CutRef<'_>, _: EventId| ControlFlow::Break(());
         let mut bridge = SinkBridge::new(&closure, owner());
-        assert!(bridge.visit(&g(&[0])).is_break());
+        assert!(bridge.visit(g(&[0]).as_cut()).is_break());
     }
 
     #[test]
     fn take_cuts_reads_through_a_shared_handle() {
         let sink = std::sync::Arc::new(ConcurrentCollectSink::new());
-        let _ = sink.visit(&g(&[1, 0]), owner());
+        let _ = sink.visit(g(&[1, 0]).as_cut(), owner());
         let leaked = std::sync::Arc::clone(&sink); // a clone stays alive
         assert_eq!(sink.take_cuts().len(), 1);
         assert!(leaked.is_empty(), "take leaves the collector empty");
@@ -280,22 +284,22 @@ mod tests {
     fn metered_sink_counts_only_completed_deliveries() {
         let emitted = AtomicU64::new(0);
         let mut seen = 0u32;
-        let mut inner = |_: &Frontier| {
+        let mut inner = |_: CutRef<'_>| {
             seen += 1;
             ControlFlow::Continue(())
         };
         {
             let mut metered = MeteredSink::new(&mut inner, &emitted);
-            let _ = metered.visit(&g(&[1]));
-            let _ = metered.visit(&g(&[2]));
+            let _ = metered.visit(g(&[1]).as_cut());
+            let _ = metered.visit(g(&[2]).as_cut());
         }
         assert_eq!(seen, 2);
         assert_eq!(emitted.load(Ordering::Relaxed), 2);
         // A panicking delivery must not be counted.
         let panicky = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut boom = |_: &Frontier| -> ControlFlow<()> { panic!("boom") };
+            let mut boom = |_: CutRef<'_>| -> ControlFlow<()> { panic!("boom") };
             let mut metered = MeteredSink::new(&mut boom, &emitted);
-            let _ = metered.visit(&g(&[3]));
+            let _ = metered.visit(g(&[3]).as_cut());
         }));
         assert!(panicky.is_err());
         assert_eq!(emitted.load(Ordering::Relaxed), 2);

@@ -15,7 +15,9 @@
 //! published elements **never move** — `get` can hand out plain `&T`
 //! borrows that stay valid for the life of the vector.
 
+use crate::interval::Interval;
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::mem::MaybeUninit;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
@@ -166,6 +168,80 @@ impl<T> Drop for AppendVec<T> {
     }
 }
 
+/// A FIFO of interval descriptors stored delta-coded
+/// ([`Interval::pack_into`]) in one contiguous byte ring.
+///
+/// This backs the overflow buffer of the streaming executor's
+/// `SpillToDeque` backpressure policy. That buffer is by design unbounded
+/// — it exists precisely when insertion outpaces enumeration — so its
+/// per-entry footprint is what decides how long an overload can be
+/// absorbed. A packed descriptor is a few bytes against the two full
+/// frontiers (plus `VecDeque` slot) a plain `Interval` costs, and popping
+/// rebuilds the interval only when a worker is actually ready to run it.
+#[derive(Debug, Default)]
+pub struct PackedIntervalQueue {
+    /// Threads per frontier (fixed per queue; needed to decode).
+    n: usize,
+    /// The encoded records, back-to-back in FIFO order.
+    buf: VecDeque<u8>,
+    /// Number of queued intervals.
+    len: usize,
+}
+
+impl PackedIntervalQueue {
+    /// An empty queue for intervals over `n` threads.
+    pub fn new(n: usize) -> Self {
+        PackedIntervalQueue {
+            n,
+            buf: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of queued intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes currently held by the encoded backlog.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Encodes `interval` onto the back of the queue.
+    pub fn push_back(&mut self, interval: &Interval) {
+        debug_assert_eq!(interval.gmin.len(), self.n, "wrong frontier width");
+        let mut scratch = Vec::with_capacity(2 + 2 * self.n);
+        interval.pack_into(&mut scratch);
+        self.buf.extend(scratch);
+        self.len += 1;
+    }
+
+    /// Decodes and removes the oldest interval, if any.
+    pub fn pop_front(&mut self) -> Option<Interval> {
+        if self.len == 0 {
+            return None;
+        }
+        let decoded = {
+            let buf = &mut self.buf;
+            Interval::unpack(&mut std::iter::from_fn(|| buf.pop_front()), self.n)
+        };
+        let interval = decoded.expect("queue holds only whole records");
+        self.len -= 1;
+        if self.len == 0 && self.buf.capacity() > 4096 {
+            // Shed a drained overload spike's capacity instead of keeping
+            // the high-water allocation for the life of the engine.
+            self.buf = VecDeque::new();
+        }
+        Some(interval)
+    }
+}
+
 // SAFETY: moving the vector moves ownership of the Ts; readers share &T.
 unsafe impl<T: Send> Send for AppendVec<T> {}
 // SAFETY: push is internally serialized; get hands out &T, requiring
@@ -272,6 +348,49 @@ mod tests {
             }
         });
         assert_eq!(v.len(), N);
+    }
+
+    #[test]
+    fn packed_queue_is_fifo_and_interleavable() {
+        use paramount_poset::random::RandomComputation;
+        use paramount_poset::topo;
+        let p = RandomComputation::new(4, 6, 0.4, 5).generate();
+        let ivs = crate::interval::partition(&p, &topo::weight_order(&p));
+        let mut q = PackedIntervalQueue::new(p.num_threads());
+        assert!(q.is_empty() && q.pop_front().is_none());
+        // Interleave pushes and pops the way spill traffic does.
+        let mut out = Vec::new();
+        for (i, iv) in ivs.iter().enumerate() {
+            q.push_back(iv);
+            if i % 3 == 2 {
+                out.push(q.pop_front().unwrap());
+            }
+        }
+        while let Some(iv) = q.pop_front() {
+            out.push(iv);
+        }
+        assert_eq!(out, ivs, "FIFO order violated");
+        assert!(q.is_empty() && q.byte_len() == 0);
+    }
+
+    #[test]
+    fn packed_queue_stores_descriptors_compactly() {
+        use paramount_poset::random::RandomComputation;
+        use paramount_poset::topo;
+        let p = RandomComputation::new(8, 40, 0.3, 1).generate();
+        let ivs = crate::interval::partition(&p, &topo::weight_order(&p));
+        let mut q = PackedIntervalQueue::new(p.num_threads());
+        for iv in &ivs {
+            q.push_back(iv);
+        }
+        assert_eq!(q.len(), ivs.len());
+        let plain = ivs.len() * std::mem::size_of::<crate::interval::Interval>();
+        assert!(
+            q.byte_len() < plain / 2,
+            "packed {} bytes vs {} plain",
+            q.byte_len(),
+            plain
+        );
     }
 
     #[test]

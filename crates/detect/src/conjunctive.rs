@@ -9,7 +9,7 @@
 //! predicate; no algorithmic change is needed.
 
 use crate::EventView;
-use paramount_poset::{EventId, Frontier, Tid};
+use paramount_poset::{CutRef, EventId, Frontier, Tid};
 use paramount_trace::TraceEvent;
 use parking_lot::Mutex;
 use std::ops::ControlFlow;
@@ -47,7 +47,7 @@ impl ConjunctivePredicate {
     pub fn evaluate(
         &self,
         view: &(impl EventView + ?Sized),
-        cut: &Frontier,
+        cut: CutRef<'_>,
         _owner: EventId,
     ) -> ControlFlow<()> {
         debug_assert_eq!(self.locals.len(), view.num_threads());
@@ -64,7 +64,7 @@ impl ConjunctivePredicate {
         if all_hold {
             let mut witness = self.witness.lock();
             if witness.is_none() {
-                *witness = Some(cut.clone());
+                *witness = Some(cut.to_frontier());
             }
             if self.stop_at_first {
                 return ControlFlow::Break(());
@@ -125,7 +125,7 @@ mod tests {
         let owner = EventId::new(Tid(0), 1);
         let mut stopped = false;
         for g in paramount_poset::oracle::enumerate_product_scan(&p) {
-            if pred.evaluate(&p, &g, owner).is_break() {
+            if pred.evaluate(&p, g.as_cut(), owner).is_break() {
                 stopped = true;
                 break;
             }
@@ -142,7 +142,7 @@ mod tests {
         let pred = ConjunctivePredicate::new(vec![writes_var(2), writes_var(2)]);
         let owner = EventId::new(Tid(0), 1);
         for g in paramount_poset::oracle::enumerate_product_scan(&p) {
-            assert!(pred.evaluate(&p, &g, owner).is_continue());
+            assert!(pred.evaluate(&p, g.as_cut(), owner).is_continue());
         }
         assert!(!pred.detected());
     }
@@ -156,7 +156,7 @@ mod tests {
         let owner = EventId::new(Tid(0), 1);
         let mut visits = 0;
         for g in paramount_poset::oracle::enumerate_product_scan(&p) {
-            assert!(pred.evaluate(&p, &g, owner).is_continue());
+            assert!(pred.evaluate(&p, g.as_cut(), owner).is_continue());
             visits += 1;
         }
         assert!(visits > 1);

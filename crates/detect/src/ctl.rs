@@ -1,6 +1,6 @@
 //! Temporal operators over the lattice of global states — the
 //! CTL-flavored detection questions of Sen & Garg and Ogale & Garg (the
-//! paper's references [24] and [27]).
+//! paper's references \[24\] and \[27\]).
 //!
 //! An execution's possible behaviors are the maximal chains of its cut
 //! lattice (empty cut → final cut). Branching-time questions over those
@@ -21,13 +21,13 @@
 
 use crate::modality;
 use paramount_enumerate::fxhash::FxHashSet;
-use paramount_poset::{CutSpace, EventId, Frontier, Tid};
+use paramount_poset::{CutRef, CutSpace, EventId, Frontier, Tid};
 
 /// `EF φ`: does some consistent cut satisfy φ? (= `Possibly`.)
 pub fn ef<S, F>(space: &S, phi: F) -> bool
 where
     S: CutSpace + ?Sized,
-    F: FnMut(&Frontier) -> bool,
+    F: FnMut(CutRef<'_>) -> bool,
 {
     modality::possibly(space, phi).is_some()
 }
@@ -37,7 +37,7 @@ where
 pub fn ag<S, F>(space: &S, mut phi: F) -> bool
 where
     S: CutSpace + ?Sized,
-    F: FnMut(&Frontier) -> bool,
+    F: FnMut(CutRef<'_>) -> bool,
 {
     !ef(space, |g| !phi(g))
 }
@@ -47,7 +47,7 @@ where
 pub fn af<S, F>(space: &S, phi: F) -> bool
 where
     S: CutSpace + ?Sized,
-    F: FnMut(&Frontier) -> bool,
+    F: FnMut(CutRef<'_>) -> bool,
 {
     modality::definitely(space, phi)
 }
@@ -60,12 +60,12 @@ where
 pub fn eg<S, F>(space: &S, mut phi: F) -> bool
 where
     S: CutSpace + ?Sized,
-    F: FnMut(&Frontier) -> bool,
+    F: FnMut(CutRef<'_>) -> bool,
 {
     let n = space.num_threads();
     let empty = Frontier::empty(n);
     let last = space.current_frontier();
-    if !phi(&empty) {
+    if !phi(empty.as_cut()) {
         return false;
     }
     if empty == last {
@@ -83,7 +83,7 @@ where
                 let e = EventId::new(t, k);
                 if cut.enables(space, e) {
                     let succ = cut.advanced(t);
-                    if !next.contains(&succ) && phi(&succ) {
+                    if !next.contains(&succ) && phi(succ.as_cut()) {
                         if succ == last {
                             return true;
                         }
@@ -138,7 +138,7 @@ mod tests {
         assert!(eg(&p, |_| true));
         // And false at the final cut kills every path.
         let last = p.final_frontier();
-        assert!(!eg(&p, |g| g != &last));
+        assert!(!eg(&p, |g| g != last));
     }
 
     #[test]
@@ -154,9 +154,9 @@ mod tests {
             space: &S,
             cut: &Frontier,
             last: &Frontier,
-            phi: &impl Fn(&Frontier) -> bool,
+            phi: &impl Fn(CutRef<'_>) -> bool,
         ) -> bool {
-            if !phi(cut) {
+            if !phi(cut.as_cut()) {
                 return false;
             }
             if cut == last {
@@ -178,14 +178,14 @@ mod tests {
         for seed in 0..15 {
             let p = RandomComputation::new(3, 3, 0.4, seed).generate();
             let last = p.final_frontier();
-            type Pred = Box<dyn Fn(&Frontier) -> bool>;
+            type Pred = Box<dyn Fn(CutRef<'_>) -> bool>;
             let preds: Vec<Pred> = vec![
-                Box::new(|g: &Frontier| g.get(Tid(0)) >= g.get(Tid(1))),
-                Box::new(|g: &Frontier| g.total_events() % 2 == 0 || g.get(Tid(2)) > 0),
-                Box::new(|g: &Frontier| g.get(Tid(2)) <= 2),
+                Box::new(|g: CutRef<'_>| g.get(Tid(0)) >= g.get(Tid(1))),
+                Box::new(|g: CutRef<'_>| g.total_events() % 2 == 0 || g.get(Tid(2)) > 0),
+                Box::new(|g: CutRef<'_>| g.get(Tid(2)) <= 2),
             ];
             for (i, phi) in preds.iter().enumerate() {
-                let fast = eg(&p, |g| phi(g));
+                let fast = eg(&p, phi);
                 let slow = exists_phi_path(&p, &Frontier::empty(3), &last, &|g| phi(g));
                 assert_eq!(fast, slow, "seed {seed} pred {i}");
             }
@@ -199,7 +199,7 @@ mod tests {
         for seed in 0..10 {
             let p = RandomComputation::new(3, 3, 0.5, seed).generate();
             let threshold = (seed % 4) * 2;
-            let phi = |g: &Frontier| g.total_events() <= 9 - threshold.min(9);
+            let phi = |g: CutRef<'_>| g.total_events() <= 9 - threshold.min(9);
             let vag = ag(&p, phi);
             let veg = eg(&p, phi);
             let vef = ef(&p, phi);

@@ -29,10 +29,10 @@
 //! * [`modality`] — the Cooper–Marzullo `Possibly(φ)` / `Definitely(φ)`
 //!   detection modalities.
 //! * [`linear`] — the Garg–Waldecker polynomial-time algorithm for
-//!   *linear* predicates (the paper's reference [13]): the special-case
+//!   *linear* predicates (the paper's reference \[13\]): the special-case
 //!   escape hatch that avoids enumeration when the predicate allows it.
 //! * [`ctl`] — branching-time operators (`EF`/`AG`/`EG`/`AF`) over the
-//!   lattice of global states (references [24]/[27]).
+//!   lattice of global states (references \[24\]/\[27\]).
 //! * [`online`] — the online-and-parallel detector ("ParaMount" column of
 //!   Table 2), driven by the deterministic simulator or by real threads.
 //! * [`offline`] — the 2-pass offline BFS detector (the "RV runtime"

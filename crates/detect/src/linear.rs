@@ -1,5 +1,5 @@
 //! Efficient detection of *linear* predicates — the Garg–Waldecker
-//! algorithm (reference [13] of the paper).
+//! algorithm (reference \[13\] of the paper).
 //!
 //! The paper's §1 notes that for certain predicate classes detection
 //! runs in polynomial time because only a partial set of global states
@@ -18,7 +18,7 @@
 //! here versus `i(P)` predicate evaluations through the enumerator.
 
 use crate::EventView;
-use paramount_poset::{CutSpace, EventId, Frontier, Tid};
+use paramount_poset::{CutRef, CutSpace, EventId, Frontier, Tid};
 use paramount_trace::TraceEvent;
 
 /// A linear predicate, presented through its *forbidden thread* oracle.
@@ -30,7 +30,7 @@ use paramount_trace::TraceEvent;
 pub trait LinearPredicate {
     /// Returns a forbidden thread of `cut`, or `None` if `cut` satisfies
     /// the predicate.
-    fn forbidden(&self, view: &dyn EventView, cut: &Frontier) -> Option<Tid>;
+    fn forbidden(&self, view: &dyn EventView, cut: CutRef<'_>) -> Option<Tid>;
 }
 
 /// A boxed per-thread local predicate: receives the thread's frontier
@@ -52,7 +52,7 @@ impl ConjunctiveLinear {
 }
 
 impl LinearPredicate for ConjunctiveLinear {
-    fn forbidden(&self, view: &dyn EventView, cut: &Frontier) -> Option<Tid> {
+    fn forbidden(&self, view: &dyn EventView, cut: CutRef<'_>) -> Option<Tid> {
         for (i, local) in self.locals.iter().enumerate() {
             let t = Tid::from(i);
             let k = cut.get(t);
@@ -102,7 +102,7 @@ where
     let mut cut = start.clone();
     debug_assert!(cut.is_consistent(space), "start must be consistent");
     loop {
-        match predicate.forbidden(view, &cut) {
+        match predicate.forbidden(view, cut.as_cut()) {
             None => return LinearOutcome::Satisfied(cut),
             Some(t) => {
                 let next_index = cut.get(t) + 1;
@@ -203,7 +203,7 @@ mod tests {
                 // Oracle: the ≤-least satisfying cut via full enumeration.
                 let satisfying: Vec<Frontier> = oracle::enumerate_product_scan(&p)
                     .into_iter()
-                    .filter(|g| predicate.forbidden(&p, g).is_none())
+                    .filter(|g| predicate.forbidden(&p, g.as_cut()).is_none())
                     .collect();
                 match fast {
                     LinearOutcome::Unsatisfiable => {

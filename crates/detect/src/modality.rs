@@ -2,7 +2,7 @@
 //! `Definitely(φ)`.
 //!
 //! The paper's detector answers `Possibly(φ)` — does *some* consistent
-//! cut satisfy the predicate? Cooper and Marzullo's original work [6]
+//! cut satisfy the predicate? Cooper and Marzullo's original work \[6\]
 //! also defined the stronger `Definitely(φ)`: does **every** execution
 //! path (every maximal chain of the cut lattice) pass through a
 //! satisfying cut? A bug that is `Possibly` can be scheduled away; a bug
@@ -18,14 +18,14 @@
 use paramount_enumerate::bfs::{self, BfsOptions};
 use paramount_enumerate::fxhash::FxHashSet;
 use paramount_enumerate::{EnumError, FirstMatchSink};
-use paramount_poset::{CutSpace, EventId, Frontier, Tid};
+use paramount_poset::{CutRef, CutSpace, EventId, Frontier, Tid};
 
 /// Does some consistent cut satisfy `phi`? Returns the first witness
 /// found (in BFS order).
 pub fn possibly<S, F>(space: &S, mut phi: F) -> Option<Frontier>
 where
     S: CutSpace + ?Sized,
-    F: FnMut(&Frontier) -> bool,
+    F: FnMut(CutRef<'_>) -> bool,
 {
     let mut sink = FirstMatchSink::new(&mut phi);
     match bfs::enumerate(space, &BfsOptions::default(), &mut sink) {
@@ -40,16 +40,16 @@ where
 /// Implementation: breadth-first over lattice levels, tracking the cuts
 /// reachable along φ-avoiding paths only. `Definitely(φ)` holds iff the
 /// avoiding set dies out before the final cut. (The empty and final cuts
-/// participate like any other cut, as in [6].)
+/// participate like any other cut, as in \[6\].)
 pub fn definitely<S, F>(space: &S, mut phi: F) -> bool
 where
     S: CutSpace + ?Sized,
-    F: FnMut(&Frontier) -> bool,
+    F: FnMut(CutRef<'_>) -> bool,
 {
     let n = space.num_threads();
     let empty = Frontier::empty(n);
     let last = space.current_frontier();
-    if phi(&empty) {
+    if phi(empty.as_cut()) {
         return true; // every path starts here
     }
     let mut level: Vec<Frontier> = vec![empty];
@@ -68,7 +68,7 @@ where
                 let e = EventId::new(t, next_index);
                 if cut.enables(space, e) {
                     let succ = cut.advanced(t);
-                    if !next.contains(&succ) && !phi(&succ) {
+                    if !next.contains(&succ) && !phi(succ.as_cut()) {
                         next.insert(succ);
                     }
                 }
@@ -125,7 +125,7 @@ mod tests {
         b.append(Tid(0), ());
         b.append(Tid(1), ());
         let p = b.finish();
-        let phi = |g: &Frontier| g.as_slice() == [1, 0];
+        let phi = |g: CutRef<'_>| g.as_slice() == [1, 0];
         assert!(possibly(&p, phi).is_some());
         assert!(!definitely(&p, phi));
     }
@@ -154,9 +154,9 @@ mod tests {
             space: &S,
             cut: &Frontier,
             last: &Frontier,
-            phi: &impl Fn(&Frontier) -> bool,
+            phi: &impl Fn(CutRef<'_>) -> bool,
         ) -> bool {
-            if phi(cut) {
+            if phi(cut.as_cut()) {
                 return true;
             }
             if cut == last {
@@ -178,14 +178,14 @@ mod tests {
             let p = RandomComputation::new(3, 3, 0.4, seed).generate();
             let last = p.final_frontier();
             // A few predicate shapes.
-            type Pred = Box<dyn Fn(&Frontier) -> bool>;
+            type Pred = Box<dyn Fn(CutRef<'_>) -> bool>;
             let preds: Vec<Pred> = vec![
-                Box::new(|g: &Frontier| g.total_events() == 3),
-                Box::new(|g: &Frontier| g.get(Tid(0)) == 2),
-                Box::new(|g: &Frontier| g.get(Tid(0)) == 1 && g.get(Tid(1)) == 0),
+                Box::new(|g: CutRef<'_>| g.total_events() == 3),
+                Box::new(|g: CutRef<'_>| g.get(Tid(0)) == 2),
+                Box::new(|g: CutRef<'_>| g.get(Tid(0)) == 1 && g.get(Tid(1)) == 0),
             ];
             for (i, phi) in preds.iter().enumerate() {
-                let fast = definitely(&p, |g| phi(g));
+                let fast = definitely(&p, phi);
                 let slow = all_paths_hit(&p, &Frontier::empty(3), &last, &|g| phi(g));
                 assert_eq!(fast, slow, "seed {seed} pred {i}");
             }

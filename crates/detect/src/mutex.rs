@@ -14,7 +14,7 @@
 //! an `O(n · held)` intersection test.
 
 use crate::EventView;
-use paramount_poset::{EventId, Frontier, Poset, Tid};
+use paramount_poset::{CutRef, EventId, Frontier, Poset, Tid};
 use paramount_trace::{LockId, TraceEvent};
 use parking_lot::Mutex;
 use std::ops::ControlFlow;
@@ -100,7 +100,7 @@ impl MutexViolationPredicate {
     pub fn evaluate(
         &self,
         _view: &(impl EventView + ?Sized),
-        cut: &Frontier,
+        cut: CutRef<'_>,
         _owner: EventId,
     ) -> ControlFlow<()> {
         let n = cut.len();
@@ -123,7 +123,7 @@ impl MutexViolationPredicate {
                             violations.push(MutexViolation {
                                 lock,
                                 holders: (ti, tj),
-                                cut: cut.clone(),
+                                cut: cut.to_frontier(),
                             });
                         }
                         if self.stop_at_first {
@@ -157,7 +157,7 @@ mod tests {
     fn scan(poset: &Poset<TraceEvent>, predicate: &MutexViolationPredicate) {
         let owner = EventId::new(Tid(0), 1);
         for cut in oracle::enumerate_product_scan(poset) {
-            if predicate.evaluate(poset, &cut, owner).is_break() {
+            if predicate.evaluate(poset, cut.as_cut(), owner).is_break() {
                 break;
             }
         }

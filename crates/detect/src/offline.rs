@@ -14,7 +14,7 @@ use crate::{DetectorConfig, DetectorOutcome, RaceDetectionReport, RacePredicate}
 use paramount::{Algorithm, ParaMount};
 use paramount_enumerate::bfs::{self, BfsOptions};
 use paramount_enumerate::EnumError;
-use paramount_poset::{Frontier, Poset};
+use paramount_poset::{CutRef, Poset};
 use paramount_trace::sim::SimScheduler;
 use paramount_trace::{Program, TraceEvent};
 use std::ops::ControlFlow;
@@ -67,7 +67,7 @@ pub fn detect_races_on_poset_bfs(
     let start = Instant::now();
     let predicate = RacePredicate::new(num_vars, config.ignore_init_races);
     let mut cuts = 0u64;
-    let mut sink = |cut: &Frontier| -> ControlFlow<()> {
+    let mut sink = |cut: CutRef<'_>| -> ControlFlow<()> {
         cuts += 1;
         predicate.evaluate_all_pairs(poset, cut)
     };
@@ -125,7 +125,7 @@ pub fn detect_races_offline_paramount(
     let poset = SimScheduler::new(seed).run(program);
     let predicate = RacePredicate::new(program.num_vars(), config.ignore_init_races);
     let sink =
-        |cut: &Frontier, owner: paramount_poset::EventId| predicate.evaluate(&poset, cut, owner);
+        |cut: CutRef<'_>, owner: paramount_poset::EventId| predicate.evaluate(&poset, cut, owner);
     let runner = ParaMount::new(config.algorithm)
         .with_threads(config.workers)
         .with_frontier_budget(config.frontier_budget);

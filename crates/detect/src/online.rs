@@ -8,7 +8,7 @@
 
 use crate::{DetectorConfig, DetectorOutcome, RaceDetectionReport, RacePredicate};
 use paramount::{OnlineEngine, OnlineEngineConfig, OnlinePoset};
-use paramount_poset::{EventId, Frontier};
+use paramount_poset::{CutRef, EventId};
 use paramount_trace::exec;
 use paramount_trace::sim::SimScheduler;
 use paramount_trace::{EventOut, Program, RecorderConfig, TraceEvent};
@@ -52,7 +52,7 @@ pub fn run_online_sim<F>(
     paramount::MetricsSnapshot,
 )
 where
-    F: Fn(&OnlinePoset<TraceEvent>, &Frontier, EventId) -> ControlFlow<()> + Send + Sync + 'static,
+    F: Fn(&OnlinePoset<TraceEvent>, CutRef<'_>, EventId) -> ControlFlow<()> + Send + Sync + 'static,
 {
     let poset = Arc::new(OnlinePoset::<TraceEvent>::new(program.num_threads()));
     let sink_poset = Arc::clone(&poset);
@@ -64,7 +64,7 @@ where
             frontier_budget: config.frontier_budget,
             ..OnlineEngineConfig::default()
         },
-        move |cut: &Frontier, owner: EventId| predicate(sink_poset.as_ref(), cut, owner),
+        move |cut: CutRef<'_>, owner: EventId| predicate(sink_poset.as_ref(), cut, owner),
     );
     SimScheduler::new(seed).run_into(program, EngineOut::new(&engine));
     let report = engine.finish();
@@ -124,7 +124,7 @@ pub fn detect_races_threaded(
             frontier_budget: config.frontier_budget,
             ..OnlineEngineConfig::default()
         },
-        move |cut: &Frontier, owner: EventId| {
+        move |cut: CutRef<'_>, owner: EventId| {
             sink_predicate.evaluate(sink_poset.as_ref(), cut, owner)
         },
     );

@@ -1,7 +1,7 @@
 //! The data-race predicate — Algorithms 5 and 6 of the paper.
 
 use crate::EventView;
-use paramount_poset::{EventId, Frontier, Tid};
+use paramount_poset::{CutRef, EventId, Frontier, Tid};
 use paramount_trace::{TraceEvent, VarId};
 use parking_lot::Mutex;
 use std::ops::ControlFlow;
@@ -66,7 +66,7 @@ impl RacePredicate {
     pub fn evaluate(
         &self,
         view: &(impl EventView + ?Sized),
-        cut: &Frontier,
+        cut: CutRef<'_>,
         owner: EventId,
     ) -> ControlFlow<()> {
         // The empty cut is reported with the first event as owner but
@@ -102,7 +102,7 @@ impl RacePredicate {
                         var: a.var,
                         event: owner,
                         other: frontier_event,
-                        cut: cut.clone(),
+                        cut: cut.to_frontier(),
                     });
                 }
             }
@@ -116,7 +116,7 @@ impl RacePredicate {
     pub fn evaluate_all_pairs(
         &self,
         view: &(impl EventView + ?Sized),
-        cut: &Frontier,
+        cut: CutRef<'_>,
     ) -> ControlFlow<()> {
         let n = view.num_threads();
         for i in 0..n {
@@ -152,7 +152,7 @@ impl RacePredicate {
                             var: a.var,
                             event: ei,
                             other: ej,
-                            cut: cut.clone(),
+                            cut: cut.to_frontier(),
                         });
                     }
                 }
@@ -219,7 +219,7 @@ mod tests {
         let pred = RacePredicate::new(1, true);
         let cut = Frontier::from_counts(vec![1, 1]);
         let owner = EventId::new(Tid(1), 1);
-        let _ = pred.evaluate(&p, &cut, owner);
+        let _ = pred.evaluate(&p, cut.as_cut(), owner);
         assert_eq!(pred.racy_vars(), vec![VarId(0)]);
         let d = &pred.detections()[0];
         assert_eq!(d.event, owner);
@@ -236,7 +236,7 @@ mod tests {
         let p = b.finish();
         let pred = RacePredicate::new(1, true);
         let cut = Frontier::from_counts(vec![1, 1]);
-        let _ = pred.evaluate(&p, &cut, EventId::new(Tid(1), 1));
+        let _ = pred.evaluate(&p, cut.as_cut(), EventId::new(Tid(1), 1));
         assert!(pred.racy_vars().is_empty());
     }
 
@@ -249,11 +249,11 @@ mod tests {
         let cut = Frontier::from_counts(vec![1, 1]);
 
         let strict = RacePredicate::new(1, false);
-        let _ = strict.evaluate(&p, &cut, EventId::new(Tid(1), 1));
+        let _ = strict.evaluate(&p, cut.as_cut(), EventId::new(Tid(1), 1));
         assert_eq!(strict.count(), 1, "without the rule this is a race");
 
         let refined = RacePredicate::new(1, true);
-        let _ = refined.evaluate(&p, &cut, EventId::new(Tid(1), 1));
+        let _ = refined.evaluate(&p, cut.as_cut(), EventId::new(Tid(1), 1));
         assert_eq!(refined.count(), 0, "§5.2 suppresses init races");
     }
 
@@ -266,7 +266,7 @@ mod tests {
         let pred = RacePredicate::new(1, true);
         let _ = pred.evaluate(
             &p,
-            &Frontier::from_counts(vec![1, 1]),
+            Frontier::from_counts(vec![1, 1]).as_cut(),
             EventId::new(Tid(1), 1),
         );
         assert_eq!(pred.count(), 0);
@@ -276,7 +276,7 @@ mod tests {
     fn all_pairs_form_agrees() {
         let p = racy_poset();
         let pred = RacePredicate::new(1, true);
-        let _ = pred.evaluate_all_pairs(&p, &Frontier::from_counts(vec![1, 1]));
+        let _ = pred.evaluate_all_pairs(&p, Frontier::from_counts(vec![1, 1]).as_cut());
         assert_eq!(pred.racy_vars(), vec![VarId(0)]);
     }
 
@@ -286,7 +286,7 @@ mod tests {
         let pred = RacePredicate::new(1, true);
         let cut = Frontier::from_counts(vec![1, 1]);
         for _ in 0..10 {
-            let _ = pred.evaluate(&p, &cut, EventId::new(Tid(1), 1));
+            let _ = pred.evaluate(&p, cut.as_cut(), EventId::new(Tid(1), 1));
         }
         assert_eq!(pred.detections().len(), 1);
     }
@@ -297,7 +297,7 @@ mod tests {
         let pred = RacePredicate::new(1, true);
         let _ = pred.evaluate(
             &p,
-            &Frontier::from_counts(vec![0, 0]),
+            Frontier::from_counts(vec![0, 0]).as_cut(),
             EventId::new(Tid(0), 1),
         );
         assert_eq!(pred.count(), 0);

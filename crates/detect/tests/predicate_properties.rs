@@ -108,7 +108,7 @@ proptest! {
         for ignore_init in [false, true] {
             let predicate = RacePredicate::new(4, ignore_init);
             for iv in &intervals {
-                let mut bridge = |cut: &paramount_poset::Frontier| {
+                let mut bridge = |cut: paramount_poset::CutRef<'_>| {
                     predicate.evaluate(&poset, cut, iv.event)
                 };
                 iv.enumerate(&poset, paramount::Algorithm::Lexical, &mut bridge)

@@ -5,7 +5,7 @@
 //! events. Successors of a cut are obtained by executing one enabled event.
 //! Because a cut with `ℓ` events is only ever generated from cuts with
 //! `ℓ−1` events, deduplicating *within a level* suffices to emit every cut
-//! exactly once — the enhancement (via [12]) the paper applies for its
+//! exactly once — the enhancement (via \[12\]) the paper applies for its
 //! evaluation, and the one implemented here.
 //!
 //! The cost profile that drives the paper's experiments is the live state:
@@ -61,7 +61,7 @@ pub fn enumerate_bounded<Sp: CutSpace + ?Sized, S: CutSink>(
     while !level.is_empty() {
         for cut in &level {
             stats.cuts += 1;
-            if sink.visit(cut).is_break() {
+            if sink.visit(cut.as_cut()).is_break() {
                 return Err(EnumError::Stopped);
             }
             for t in Tid::all(n) {
@@ -219,7 +219,8 @@ mod tests {
     #[test]
     fn early_stop_propagates() {
         let p = figure4();
-        let mut sink = crate::FirstMatchSink::new(|c: &Frontier| c.total_events() == 2);
+        let mut sink =
+            crate::FirstMatchSink::new(|c: paramount_poset::CutRef<'_>| c.total_events() == 2);
         let err = enumerate(&p, &BfsOptions::default(), &mut sink).unwrap_err();
         assert_eq!(err, EnumError::Stopped);
         assert!(sink.witness.is_some());

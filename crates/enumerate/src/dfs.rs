@@ -51,7 +51,7 @@ pub fn enumerate_bounded<Sp: CutSpace + ?Sized, S: CutSink>(
 
     while let Some(cut) = stack.pop() {
         stats.cuts += 1;
-        if sink.visit(&cut).is_break() {
+        if sink.visit(cut.as_cut()).is_break() {
             return Err(EnumError::Stopped);
         }
         for t in Tid::all(n) {
@@ -160,7 +160,8 @@ mod tests {
     #[test]
     fn early_stop_propagates() {
         let p = figure4();
-        let mut sink = crate::FirstMatchSink::new(|c: &Frontier| c.total_events() >= 3);
+        let mut sink =
+            crate::FirstMatchSink::new(|c: paramount_poset::CutRef<'_>| c.total_events() >= 3);
         assert_eq!(
             enumerate(&p, &DfsOptions::default(), &mut sink).unwrap_err(),
             EnumError::Stopped

@@ -70,7 +70,7 @@ pub fn enumerate_bounded<Sp: CutSpace + ?Sized, S: CutSink>(
 
     loop {
         stats.cuts += 1;
-        if sink.visit(&g).is_break() {
+        if sink.visit(g.as_cut()).is_break() {
             return Err(EnumError::Stopped);
         }
         if &g == gbnd {
@@ -298,7 +298,8 @@ mod tests {
     #[test]
     fn early_stop_propagates() {
         let p = figure4();
-        let mut sink = crate::FirstMatchSink::new(|c: &Frontier| c.total_events() == 1);
+        let mut sink =
+            crate::FirstMatchSink::new(|c: paramount_poset::CutRef<'_>| c.total_events() == 1);
         assert_eq!(enumerate(&p, &mut sink).unwrap_err(), EnumError::Stopped);
         assert_eq!(sink.witness, Some(Frontier::from_counts(vec![0, 1])));
     }

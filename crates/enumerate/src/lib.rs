@@ -159,13 +159,36 @@ impl Algorithm {
         gbnd: &Frontier,
         sink: &mut S,
     ) -> Result<EnumStats, EnumError> {
+        self.run_bounded_budgeted(poset, gmin, gbnd, None, sink)
+    }
+
+    /// As [`Algorithm::run_bounded`], with a frontier budget for the
+    /// stateful subroutines (BFS/DFS). The lexical algorithm is stateless
+    /// and ignores the budget — this is the one dispatch point both
+    /// execution engines route through.
+    pub fn run_bounded_budgeted<Sp: CutSpace + ?Sized, S: CutSink>(
+        self,
+        poset: &Sp,
+        gmin: &Frontier,
+        gbnd: &Frontier,
+        frontier_budget: Option<usize>,
+        sink: &mut S,
+    ) -> Result<EnumStats, EnumError> {
         match self {
-            Algorithm::Bfs => {
-                bfs::enumerate_bounded(poset, gmin, gbnd, &bfs::BfsOptions::default(), sink)
-            }
-            Algorithm::Dfs => {
-                dfs::enumerate_bounded(poset, gmin, gbnd, &dfs::DfsOptions::default(), sink)
-            }
+            Algorithm::Bfs => bfs::enumerate_bounded(
+                poset,
+                gmin,
+                gbnd,
+                &bfs::BfsOptions { frontier_budget },
+                sink,
+            ),
+            Algorithm::Dfs => dfs::enumerate_bounded(
+                poset,
+                gmin,
+                gbnd,
+                &dfs::DfsOptions { frontier_budget },
+                sink,
+            ),
             Algorithm::Lexical => lexical::enumerate_bounded(poset, gmin, gbnd, sink),
         }
     }

@@ -1,4 +1,4 @@
-use paramount_poset::Frontier;
+use paramount_poset::{CutRef, Frontier};
 use std::ops::ControlFlow;
 
 /// Consumer of enumerated global states.
@@ -8,12 +8,18 @@ use std::ops::ControlFlow;
 /// this workspace). Returning `ControlFlow::Break(())` aborts the
 /// enumeration, which then reports [`crate::EnumError::Stopped`].
 ///
+/// The cut arrives as a borrowed [`CutRef`]: the enumerators advance one
+/// scratch frontier in place, so the view is only valid for the duration of
+/// the call. Sinks that retain a cut copy it with [`CutRef::to_frontier`];
+/// everything else (counting, predicate evaluation, formatting) reads the
+/// view allocation-free.
+///
 /// Sinks receive only the frontier; they are expected to hold a reference
 /// to the poset themselves if they need event payloads (as the predicate
 /// sinks in `paramount-detect` do).
 pub trait CutSink {
     /// Called for each enumerated consistent cut.
-    fn visit(&mut self, cut: &Frontier) -> ControlFlow<()>;
+    fn visit(&mut self, cut: CutRef<'_>) -> ControlFlow<()>;
 }
 
 /// Counts cuts and otherwise discards them — the cheapest possible sink,
@@ -26,7 +32,7 @@ pub struct CountSink {
 
 impl CutSink for CountSink {
     #[inline]
-    fn visit(&mut self, _cut: &Frontier) -> ControlFlow<()> {
+    fn visit(&mut self, _cut: CutRef<'_>) -> ControlFlow<()> {
         self.count += 1;
         ControlFlow::Continue(())
     }
@@ -41,8 +47,8 @@ pub struct CollectSink {
 
 impl CutSink for CollectSink {
     #[inline]
-    fn visit(&mut self, cut: &Frontier) -> ControlFlow<()> {
-        self.cuts.push(cut.clone());
+    fn visit(&mut self, cut: CutRef<'_>) -> ControlFlow<()> {
+        self.cuts.push(cut.to_frontier());
         ControlFlow::Continue(())
     }
 }
@@ -56,7 +62,7 @@ pub struct FirstMatchSink<F> {
     pub inspected: u64,
 }
 
-impl<F: FnMut(&Frontier) -> bool> FirstMatchSink<F> {
+impl<F: FnMut(CutRef<'_>) -> bool> FirstMatchSink<F> {
     /// Builds a sink that stops at the first `predicate` hit.
     pub fn new(predicate: F) -> Self {
         FirstMatchSink {
@@ -67,11 +73,11 @@ impl<F: FnMut(&Frontier) -> bool> FirstMatchSink<F> {
     }
 }
 
-impl<F: FnMut(&Frontier) -> bool> CutSink for FirstMatchSink<F> {
-    fn visit(&mut self, cut: &Frontier) -> ControlFlow<()> {
+impl<F: FnMut(CutRef<'_>) -> bool> CutSink for FirstMatchSink<F> {
+    fn visit(&mut self, cut: CutRef<'_>) -> ControlFlow<()> {
         self.inspected += 1;
         if (self.predicate)(cut) {
-            self.witness = Some(cut.clone());
+            self.witness = Some(cut.to_frontier());
             ControlFlow::Break(())
         } else {
             ControlFlow::Continue(())
@@ -80,9 +86,9 @@ impl<F: FnMut(&Frontier) -> bool> CutSink for FirstMatchSink<F> {
 }
 
 /// Closures are sinks: convenient for one-off consumers.
-impl<F: FnMut(&Frontier) -> ControlFlow<()>> CutSink for F {
+impl<F: FnMut(CutRef<'_>) -> ControlFlow<()>> CutSink for F {
     #[inline]
-    fn visit(&mut self, cut: &Frontier) -> ControlFlow<()> {
+    fn visit(&mut self, cut: CutRef<'_>) -> ControlFlow<()> {
         self(cut)
     }
 }
@@ -92,30 +98,30 @@ mod tests {
     use super::*;
 
     fn g(counts: &[u32]) -> Frontier {
-        Frontier::from_counts(counts.to_vec())
+        Frontier::from_slice(counts)
     }
 
     #[test]
     fn count_sink_counts() {
         let mut s = CountSink::default();
-        assert!(s.visit(&g(&[0, 0])).is_continue());
-        assert!(s.visit(&g(&[1, 0])).is_continue());
+        assert!(s.visit(g(&[0, 0]).as_cut()).is_continue());
+        assert!(s.visit(g(&[1, 0]).as_cut()).is_continue());
         assert_eq!(s.count, 2);
     }
 
     #[test]
     fn collect_sink_preserves_order() {
         let mut s = CollectSink::default();
-        let _ = s.visit(&g(&[1, 0]));
-        let _ = s.visit(&g(&[0, 1]));
+        let _ = s.visit(g(&[1, 0]).as_cut());
+        let _ = s.visit(g(&[0, 1]).as_cut());
         assert_eq!(s.cuts, vec![g(&[1, 0]), g(&[0, 1])]);
     }
 
     #[test]
     fn first_match_stops_and_records() {
-        let mut s = FirstMatchSink::new(|c: &Frontier| c.get(paramount_poset::Tid(0)) == 1);
-        assert!(s.visit(&g(&[0, 5])).is_continue());
-        assert!(s.visit(&g(&[1, 2])).is_break());
+        let mut s = FirstMatchSink::new(|c: CutRef<'_>| c.get(paramount_poset::Tid(0)) == 1);
+        assert!(s.visit(g(&[0, 5]).as_cut()).is_continue());
+        assert!(s.visit(g(&[1, 2]).as_cut()).is_break());
         assert_eq!(s.witness, Some(g(&[1, 2])));
         assert_eq!(s.inspected, 2);
     }
@@ -123,12 +129,12 @@ mod tests {
     #[test]
     fn closures_are_sinks() {
         let mut seen = 0u32;
-        let mut sink = |_: &Frontier| {
+        let mut sink = |_: CutRef<'_>| {
             seen += 1;
             ControlFlow::<()>::Continue(())
         };
-        let _ = sink.visit(&g(&[0]));
-        let _ = sink.visit(&g(&[1]));
+        let _ = sink.visit(g(&[0]).as_cut());
+        let _ = sink.visit(g(&[1]).as_cut());
         assert_eq!(seen, 2);
     }
 }

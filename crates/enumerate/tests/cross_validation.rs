@@ -6,7 +6,7 @@ use paramount_enumerate::bfs::{self, BfsOptions};
 use paramount_enumerate::dfs::{self, DfsOptions};
 use paramount_enumerate::{lexical, Algorithm, CountSink};
 use paramount_poset::random::RandomComputation;
-use paramount_poset::{oracle, Frontier};
+use paramount_poset::{oracle, CutRef, Frontier};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
 
@@ -43,8 +43,8 @@ fn multiset_exactly_once_medium() {
     let reference = oracle::count_ideals(&p);
     for algorithm in Algorithm::ALL {
         let mut seen: HashMap<Frontier, u32> = HashMap::new();
-        let mut sink = |cut: &Frontier| {
-            *seen.entry(cut.clone()).or_insert(0) += 1;
+        let mut sink = |cut: CutRef<'_>| {
+            *seen.entry(cut.to_frontier()).or_insert(0) += 1;
             ControlFlow::<()>::Continue(())
         };
         algorithm.run(&p, &mut sink).unwrap();
@@ -72,22 +72,22 @@ fn arbitrary_intervals_agree() {
             let expected: Vec<&Frontier> = cuts.iter().filter(|g| lo.leq(g) && g.leq(hi)).collect();
 
             let mut lex = Vec::new();
-            let mut sink = |g: &Frontier| {
-                lex.push(g.clone());
+            let mut sink = |g: CutRef<'_>| {
+                lex.push(g.to_frontier());
                 ControlFlow::<()>::Continue(())
             };
             lexical::enumerate_bounded(&p, lo, hi, &mut sink).unwrap();
 
             let mut bfs_cuts = Vec::new();
-            let mut sink = |g: &Frontier| {
-                bfs_cuts.push(g.clone());
+            let mut sink = |g: CutRef<'_>| {
+                bfs_cuts.push(g.to_frontier());
                 ControlFlow::<()>::Continue(())
             };
             bfs::enumerate_bounded(&p, lo, hi, &BfsOptions::default(), &mut sink).unwrap();
 
             let mut dfs_cuts = Vec::new();
-            let mut sink = |g: &Frontier| {
-                dfs_cuts.push(g.clone());
+            let mut sink = |g: CutRef<'_>| {
+                dfs_cuts.push(g.to_frontier());
                 ControlFlow::<()>::Continue(())
             };
             dfs::enumerate_bounded(&p, lo, hi, &DfsOptions::default(), &mut sink).unwrap();

@@ -6,7 +6,7 @@
 
 use paramount_enumerate::{Algorithm, CountSink, CutSink, EnumError};
 use paramount_poset::random::RandomComputation;
-use paramount_poset::{oracle, Frontier, Tid};
+use paramount_poset::{oracle, CutRef, Frontier, Tid};
 use std::ops::ControlFlow;
 
 /// Counts cuts and panics on the `n`-th visit — a stand-in for a buggy
@@ -17,7 +17,7 @@ struct PanicAtSink {
 }
 
 impl CutSink for PanicAtSink {
-    fn visit(&mut self, _cut: &Frontier) -> ControlFlow<()> {
+    fn visit(&mut self, _cut: CutRef<'_>) -> ControlFlow<()> {
         self.seen += 1;
         if self.seen == self.panic_at {
             panic!("predicate bug on cut #{}", self.seen);
@@ -73,7 +73,9 @@ fn first_visit_panic_delivers_nothing() {
             seen: 0,
             panic_at: 1,
         };
-        let err = algorithm.run_isolated(&poset, &mut sink).expect_err("panic");
+        let err = algorithm
+            .run_isolated(&poset, &mut sink)
+            .expect_err("panic");
         assert!(matches!(err, EnumError::Panicked { .. }), "{algorithm:?}");
         assert_eq!(sink.seen, 1, "{algorithm:?}: panicked on the 1st visit");
     }

@@ -1,5 +1,5 @@
 //! Client side of the wire protocol: replay recorded traces or pipe a
-//! live [`ThreadedExecutor`](paramount_trace::exec) run onto a socket.
+//! live [`run_threads`](paramount_trace::exec::run_threads) run onto a socket.
 //!
 //! The client buffers `EVENT` frames (they are fire-and-forget; the
 //! server only speaks on errors) and flushes the buffer at every
@@ -9,9 +9,9 @@
 use crate::proto::{
     parse_server_line, ClientFrame, DecodeError, Hello, ServerFrame, WireOp, WireReport,
 };
+use paramount_poset::Tid;
 use paramount_trace::textfmt::{render_op, TraceFile};
 use paramount_trace::{exec, LockId, OpObserver, Program, VarId};
-use paramount_poset::Tid;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -179,8 +179,7 @@ impl Client {
 
     fn read_frame(&mut self) -> Result<ServerFrame, ClientError> {
         let line = self.read_line()?;
-        parse_server_line(&line)
-            .map_err(|e| ClientError::Protocol(format!("{e} (line `{line}`)")))
+        parse_server_line(&line).map_err(|e| ClientError::Protocol(format!("{e} (line `{line}`)")))
     }
 
     /// Reads frames until a non-`STAT` one arrives, returning it and the
@@ -222,11 +221,13 @@ impl Client {
 
     /// Queues one event frame (fire-and-forget, buffered).
     pub fn event(&mut self, tid: usize, op: &WireOp) -> io::Result<()> {
-        self.queue_line(&ClientFrame::Event {
-            tid,
-            op: op.clone(),
-        }
-        .encode())
+        self.queue_line(
+            &ClientFrame::Event {
+                tid,
+                op: op.clone(),
+            }
+            .encode(),
+        )
     }
 
     /// Queues one event frame from a pre-rendered op body (`read x`,
@@ -407,7 +408,7 @@ impl std::error::Error for SendError {}
 
 /// Streams a parsed trace into a daemon with reconnect-and-replay (see
 /// [`RetryPolicy`]). When `policy.attempts > 1` the stream checkpoints
-/// with a synchronous `FLUSH` every [`CHECKPOINT_EVENTS`] events, so a
+/// with a synchronous `FLUSH` every `CHECKPOINT_EVENTS` (512) events, so a
 /// failure reports exactly how much the daemon acknowledged. Returns the
 /// final report, the session id, and the number of attempts used.
 pub fn send_trace_with_retry(

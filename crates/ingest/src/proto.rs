@@ -332,7 +332,10 @@ fn parse_hello<'a>(parts: impl Iterator<Item = &'a str>) -> Result<ClientFrame, 
         }
     }
     if !version_seen {
-        return Err(DecodeError::new(ErrCode::Version, "missing protocol version"));
+        return Err(DecodeError::new(
+            ErrCode::Version,
+            "missing protocol version",
+        ));
     }
     hello.threads = threads.ok_or_else(|| proto("HELLO missing threads=N"))?;
     Ok(ClientFrame::Hello(hello))
@@ -342,11 +345,15 @@ fn parse_event<'a>(
     line: &str,
     mut parts: impl Iterator<Item = &'a str>,
 ) -> Result<ClientFrame, DecodeError> {
-    let tid_token = parts.next().ok_or_else(|| proto("EVENT missing thread id"))?;
+    let tid_token = parts
+        .next()
+        .ok_or_else(|| proto("EVENT missing thread id"))?;
     let tid: usize = tid_token
         .parse()
         .map_err(|_| proto(format!("invalid thread id `{tid_token}`")))?;
-    let kind = parts.next().ok_or_else(|| proto("EVENT missing operation"))?;
+    let kind = parts
+        .next()
+        .ok_or_else(|| proto("EVENT missing operation"))?;
     let arg = parts.next();
     if let Some(extra) = parts.next() {
         return Err(proto(format!("trailing token `{extra}`")));
@@ -526,8 +533,7 @@ pub fn parse_server_line(line: &str) -> Result<ServerFrame, DecodeError> {
                     .ok_or_else(|| proto(format!("bad REPORT token `{token}`")))?;
                 match k {
                     "events" => {
-                        report.events =
-                            v.parse().map_err(|_| proto(format!("bad events `{v}`")))?
+                        report.events = v.parse().map_err(|_| proto(format!("bad events `{v}`")))?
                     }
                     "cuts" => {
                         report.cuts = v.parse().map_err(|_| proto(format!("bad cuts `{v}`")))?
@@ -658,7 +664,12 @@ mod tests {
         ] {
             assert_eq!(EndReason::from_token(reason.as_str()), Some(reason));
         }
-        for code in [ErrCode::Proto, ErrCode::State, ErrCode::Limit, ErrCode::Version] {
+        for code in [
+            ErrCode::Proto,
+            ErrCode::State,
+            ErrCode::Limit,
+            ErrCode::Version,
+        ] {
             assert_eq!(ErrCode::from_token(code.as_str()), Some(code));
         }
         assert_eq!(EndReason::from_token("nope"), None);

@@ -591,7 +591,10 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
                     stream,
                     &ServerFrame::Err(DecodeError::new(
                         ErrCode::Limit,
-                        format!("daemon is at its session limit ({})", ctx.config.max_sessions),
+                        format!(
+                            "daemon is at its session limit ({})",
+                            ctx.config.max_sessions
+                        ),
                     )),
                 );
                 return FrameOutcome::Close(EndReason::Limit);

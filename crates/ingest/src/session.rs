@@ -192,7 +192,7 @@ impl Session {
         let engine = Arc::new(OnlineEngine::new(
             hello.threads,
             engine_config,
-            |_: &paramount_poset::Frontier, _: paramount_poset::EventId| {
+            |_: paramount_poset::CutRef<'_>, _: paramount_poset::EventId| {
                 std::ops::ControlFlow::<()>::Continue(())
             },
         ));
@@ -306,9 +306,7 @@ impl Session {
                     return Err(state_err(format!("fork of already-joined thread {child}")));
                 }
                 if self.forked[child] || self.active[child] {
-                    return Err(state_err(format!(
-                        "fork of already-started thread {child}"
-                    )));
+                    return Err(state_err(format!("fork of already-started thread {child}")));
                 }
                 self.forked[child] = true;
                 self.recorder.fork(t, Tid::from(child));
@@ -396,7 +394,10 @@ impl Session {
                     events: metrics.events_inserted,
                     cuts: metrics.cuts_emitted,
                     complete: false,
-                    error: Some("engine handle still shared at finalize; report is a live snapshot".to_string()),
+                    error: Some(
+                        "engine handle still shared at finalize; report is a live snapshot"
+                            .to_string(),
+                    ),
                     metrics,
                 }
             }
@@ -497,8 +498,14 @@ mod tests {
         let err = s.apply(0, &WireOp::Fork(1)).unwrap_err();
         assert_eq!(err.code, ErrCode::State);
         // Self-fork and self-join are state errors.
-        assert_eq!(s.apply(2, &WireOp::Fork(2)).unwrap_err().code, ErrCode::State);
-        assert_eq!(s.apply(2, &WireOp::Join(2)).unwrap_err().code, ErrCode::State);
+        assert_eq!(
+            s.apply(2, &WireOp::Fork(2)).unwrap_err().code,
+            ErrCode::State
+        );
+        assert_eq!(
+            s.apply(2, &WireOp::Join(2)).unwrap_err().code,
+            ErrCode::State
+        );
         // Join flushes the child and seals it.
         s.apply(0, &WireOp::Join(1)).unwrap();
         let err = s.apply(1, &WireOp::Write("y".into())).unwrap_err();
@@ -563,8 +570,14 @@ mod tests {
             s.apply(2, &WireOp::Write("x".into())).unwrap_err().code,
             ErrCode::State
         );
-        assert_eq!(s.apply(0, &WireOp::Fork(7)).unwrap_err().code, ErrCode::State);
-        assert_eq!(s.apply(0, &WireOp::Join(7)).unwrap_err().code, ErrCode::State);
+        assert_eq!(
+            s.apply(0, &WireOp::Fork(7)).unwrap_err().code,
+            ErrCode::State
+        );
+        assert_eq!(
+            s.apply(0, &WireOp::Join(7)).unwrap_err().code,
+            ErrCode::State
+        );
     }
 
     #[test]

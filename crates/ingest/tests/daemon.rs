@@ -135,7 +135,9 @@ fn mid_stream_disconnect_yields_partial_report_and_serving_continues() {
         client.hello(&hello).expect("hello");
         client.event(0, &WireOp::Write("a".into())).expect("event");
         client.event(1, &WireOp::Write("b".into())).expect("event");
-        client.event(0, &WireOp::Acquire("m".into())).expect("event");
+        client
+            .event(0, &WireOp::Acquire("m".into()))
+            .expect("event");
         client.event(0, &WireOp::Write("c".into())).expect("event");
         // The barrier guarantees the daemon consumed everything before
         // the socket drops.
@@ -209,9 +211,13 @@ fn malformed_input_is_survivable() {
     client.hello(&Hello::new(2)).expect("hello");
     client.event(0, &WireOp::Write("x".into())).expect("event");
     // A garbage line: ERR proto, session lives.
-    client.event_line(0, "frobnicate the balance").expect("queue");
+    client
+        .event_line(0, "frobnicate the balance")
+        .expect("queue");
     // An illegal (but well-formed) frame: ERR state, session lives.
-    client.event(1, &WireOp::Release("m".into())).expect("queue");
+    client
+        .event(1, &WireOp::Release("m".into()))
+        .expect("queue");
     let err = client.flush_sync().expect_err("first ERR surfaces");
     match err {
         paramount_ingest::ClientError::Rejected(e) => {
@@ -295,7 +301,9 @@ fn admin_shutdown_drains_live_sessions() {
     let mut hello = Hello::new(1);
     hello.label = Some("drained".to_string());
     lingering.hello(&hello).expect("hello");
-    lingering.event(0, &WireOp::Write("x".into())).expect("event");
+    lingering
+        .event(0, &WireOp::Write("x".into()))
+        .expect("event");
     lingering.flush_sync().expect("flush");
 
     // Admin connection asks the daemon to stop.

@@ -1,6 +1,22 @@
 use crate::{CutSpace, EventId};
 use paramount_vclock::{Tid, VectorClock};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Threads covered without heap allocation. Every workload evaluated in the
+/// paper runs on n ≤ 8 threads, so the common case — including every cut an
+/// enumerator materializes per visit — stays inline.
+const INLINE_CAP: usize = 8;
+
+/// Storage for the per-thread counts: a fixed inline buffer for n ≤
+/// [`INLINE_CAP`], a boxed slice beyond. The width of a frontier is fixed at
+/// construction, so the spilled form never needs to grow and a `Box<[u32]>`
+/// (16 bytes) beats a `Vec` (24 bytes).
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, buf: [u32; INLINE_CAP] },
+    Heap(Box<[u32]>),
+}
 
 /// A global state, identified by its frontier: per thread, the 1-based index
 /// of the latest included event (0 = none).
@@ -15,6 +31,12 @@ use std::fmt;
 /// order [`Frontier::leq`]; componentwise min/max ([`Frontier::meet`] /
 /// [`Frontier::join`]) are its lattice operations and preserve consistency.
 ///
+/// Frontiers up to 8 threads wide are stored inline (no heap allocation):
+/// cloning, [`Frontier::advanced`] and collection into sets are free of
+/// allocator traffic on every paper workload. Wider frontiers spill to a
+/// boxed slice transparently — all operations and orderings are defined on
+/// the logical `&[u32]` slice regardless of representation.
+///
 /// ```
 /// use paramount_poset::{Frontier, Tid};
 ///
@@ -26,20 +48,75 @@ use std::fmt;
 /// assert_eq!(a.to_string(), "{2,1}");
 /// assert_eq!(a.get(Tid(0)), 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone)]
 pub struct Frontier {
-    counts: Vec<u32>,
+    repr: Repr,
+}
+
+/// A borrowed view of a cut — the argument type of the sink `visit`
+/// methods.
+///
+/// Enumerators advance one scratch [`Frontier`] in place and hand sinks a
+/// `CutRef` into it; a sink that retains the cut copies it explicitly with
+/// [`CutRef::to_frontier`], and every other sink (counting, predicate
+/// evaluation, wire encoding) reads it allocation-free. `CutRef` is `Copy`
+/// and exposes the read-only half of the [`Frontier`] API.
+#[derive(Clone, Copy)]
+pub struct CutRef<'a> {
+    counts: &'a [u32],
 }
 
 impl Frontier {
     /// The empty cut (no events on any thread).
     pub fn empty(n: usize) -> Self {
-        Frontier { counts: vec![0; n] }
+        Frontier::from_fn(n, |_| 0)
     }
 
     /// Builds a frontier from explicit per-thread counts.
     pub fn from_counts(counts: Vec<u32>) -> Self {
-        Frontier { counts }
+        if counts.len() <= INLINE_CAP {
+            Self::from_slice(&counts)
+        } else {
+            Frontier {
+                repr: Repr::Heap(counts.into_boxed_slice()),
+            }
+        }
+    }
+
+    /// Builds a frontier by copying a slice of per-thread counts.
+    pub fn from_slice(counts: &[u32]) -> Self {
+        if counts.len() <= INLINE_CAP {
+            let mut buf = [0u32; INLINE_CAP];
+            buf[..counts.len()].copy_from_slice(counts);
+            Frontier {
+                repr: Repr::Inline {
+                    len: counts.len() as u8,
+                    buf,
+                },
+            }
+        } else {
+            Frontier {
+                repr: Repr::Heap(counts.into()),
+            }
+        }
+    }
+
+    /// Builds a frontier of width `n` from a per-thread function — the
+    /// allocation-free analog of `from_counts((0..n).map(f).collect())`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> u32) -> Self {
+        if n <= INLINE_CAP {
+            let mut buf = [0u32; INLINE_CAP];
+            for (i, slot) in buf[..n].iter_mut().enumerate() {
+                *slot = f(i);
+            }
+            Frontier {
+                repr: Repr::Inline { len: n as u8, buf },
+            }
+        } else {
+            Frontier {
+                repr: Repr::Heap((0..n).map(f).collect()),
+            }
+        }
     }
 
     /// Reads a frontier straight out of a vector clock.
@@ -47,110 +124,116 @@ impl Frontier {
     /// For an event `e`, `Frontier::from_clock(&e.vc)` is `Gmin(e)` — the
     /// least consistent cut containing `e` (§2.2 of the paper).
     pub fn from_clock(vc: &VectorClock) -> Self {
-        Frontier {
-            counts: vc.as_slice().to_vec(),
+        Self::from_slice(vc.as_slice())
+    }
+
+    /// True when this frontier's width fits the inline buffer (n ≤ 8): no
+    /// heap allocation backs it, and neither will any clone of it.
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
+    }
+
+    /// A borrowed [`CutRef`] view of this frontier.
+    #[inline]
+    pub fn as_cut(&self) -> CutRef<'_> {
+        CutRef {
+            counts: self.as_slice(),
         }
     }
 
     /// Number of threads the frontier spans.
     #[inline]
     pub fn len(&self) -> usize {
-        self.counts.len()
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(b) => b.len(),
+        }
     }
 
     /// True for a zero-width frontier.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.counts.is_empty()
+        self.len() == 0
     }
 
     /// Count for thread `t` (0 = no event of `t` included).
     #[inline]
     pub fn get(&self, t: Tid) -> u32 {
-        self.counts[t.index()]
+        self.as_slice()[t.index()]
     }
 
     /// Sets the count for thread `t`.
     #[inline]
     pub fn set(&mut self, t: Tid, count: u32) {
-        self.counts[t.index()] = count;
+        self.as_mut_slice()[t.index()] = count;
     }
 
     /// Raw per-thread counts (thread id is the index).
     #[inline]
     pub fn as_slice(&self) -> &[u32] {
-        &self.counts
+        match &self.repr {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(b) => b,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [u32] {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => &mut buf[..*len as usize],
+            Repr::Heap(b) => b,
+        }
     }
 
     /// The frontier event of thread `t`, i.e. the paper's `G[i]`;
     /// `None` when the cut contains no event of `t`.
     pub fn frontier_event(&self, t: Tid) -> Option<EventId> {
-        match self.counts[t.index()] {
-            0 => None,
-            k => Some(EventId::new(t, k)),
-        }
+        self.as_cut().frontier_event(t)
     }
 
     /// Iterates over all frontier events (threads with at least one event).
     pub fn frontier_events(&self) -> impl Iterator<Item = EventId> + '_ {
-        self.counts.iter().enumerate().filter_map(|(i, &k)| {
-            if k == 0 {
-                None
-            } else {
-                Some(EventId::new(Tid::from(i), k))
-            }
-        })
+        self.as_cut().into_frontier_events()
     }
 
     /// Total number of events in the cut.
     pub fn total_events(&self) -> u64 {
-        self.counts.iter().map(|&c| c as u64).sum()
+        self.as_cut().total_events()
     }
 
     /// Does the cut contain the given event?
     #[inline]
     pub fn contains(&self, e: EventId) -> bool {
-        e.index <= self.counts[e.tid.index()]
+        self.as_cut().contains(e)
     }
 
     /// Product order `self ≤ other`: every component ≤ (the comparison the
     /// paper uses to define intervals `Gmin(e) ≤ G ≤ Gbnd(e)`).
     pub fn leq(&self, other: &Frontier) -> bool {
-        debug_assert_eq!(self.len(), other.len(), "frontier width mismatch");
-        self.counts.iter().zip(&other.counts).all(|(a, b)| a <= b)
+        self.as_cut().leq(other.as_cut())
     }
 
     /// Lattice join: componentwise max. The join of two consistent cuts is
     /// consistent (union of down-sets).
     pub fn join(&self, other: &Frontier) -> Frontier {
         debug_assert_eq!(self.len(), other.len(), "frontier width mismatch");
-        Frontier {
-            counts: self
-                .counts
-                .iter()
-                .zip(&other.counts)
-                .map(|(a, b)| *a.max(b))
-                .collect(),
-        }
+        let (a, b) = (self.as_slice(), other.as_slice());
+        Frontier::from_fn(a.len(), |i| a[i].max(b[i]))
     }
 
     /// Lattice meet: componentwise min (intersection of down-sets).
     pub fn meet(&self, other: &Frontier) -> Frontier {
         debug_assert_eq!(self.len(), other.len(), "frontier width mismatch");
-        Frontier {
-            counts: self
-                .counts
-                .iter()
-                .zip(&other.counts)
-                .map(|(a, b)| *a.min(b))
-                .collect(),
-        }
+        let (a, b) = (self.as_slice(), other.as_slice());
+        Frontier::from_fn(a.len(), |i| a[i].min(b[i]))
     }
 
     /// Raises `self` to the componentwise max with `other` in place.
     pub fn join_assign(&mut self, other: &Frontier) {
         debug_assert_eq!(self.len(), other.len(), "frontier width mismatch");
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+        let other = other.as_slice();
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other) {
             if *b > *a {
                 *a = *b;
             }
@@ -164,19 +247,114 @@ impl Frontier {
     /// clock is dominated by `G` — the event's clock *is* its causal
     /// history, so domination means every predecessor is included.
     pub fn is_consistent<S: CutSpace + ?Sized>(&self, space: &S) -> bool {
-        debug_assert_eq!(self.len(), space.num_threads(), "frontier width mismatch");
-        self.frontier_events().all(|id| {
-            let vc = space.vc(id);
-            vc.as_slice()
-                .iter()
-                .zip(&self.counts)
-                .all(|(need, have)| need <= have)
-        })
+        self.as_cut().is_consistent(space)
     }
 
     /// Is event `e` *enabled* at this cut — i.e. is `self` extended with `e`
     /// still consistent? Requires `e` to be the next event of its thread.
     pub fn enables<S: CutSpace + ?Sized>(&self, space: &S, e: EventId) -> bool {
+        self.as_cut().enables(space, e)
+    }
+
+    /// The cut obtained by executing one more event of thread `t`.
+    pub fn advanced(&self, t: Tid) -> Frontier {
+        let mut next = self.clone();
+        next.as_mut_slice()[t.index()] += 1;
+        next
+    }
+}
+
+impl<'a> CutRef<'a> {
+    /// Wraps a raw count slice (thread id is the index).
+    #[inline]
+    pub fn new(counts: &'a [u32]) -> Self {
+        CutRef { counts }
+    }
+
+    /// Copies the cut into an owned [`Frontier`] — the one place a
+    /// retaining sink pays for storage.
+    #[inline]
+    pub fn to_frontier(self) -> Frontier {
+        Frontier::from_slice(self.counts)
+    }
+
+    /// Number of threads the cut spans.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.counts.len()
+    }
+
+    /// True for a zero-width cut.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Count for thread `t` (0 = no event of `t` included).
+    #[inline]
+    pub fn get(self, t: Tid) -> u32 {
+        self.counts[t.index()]
+    }
+
+    /// Raw per-thread counts (thread id is the index).
+    #[inline]
+    pub fn as_slice(self) -> &'a [u32] {
+        self.counts
+    }
+
+    /// The frontier event of thread `t`; `None` when the cut contains no
+    /// event of `t`.
+    pub fn frontier_event(self, t: Tid) -> Option<EventId> {
+        match self.counts[t.index()] {
+            0 => None,
+            k => Some(EventId::new(t, k)),
+        }
+    }
+
+    /// Iterates over all frontier events, consuming the (Copy) view —
+    /// callers borrowing from a `Frontier` use
+    /// [`Frontier::frontier_events`].
+    pub fn into_frontier_events(self) -> impl Iterator<Item = EventId> + 'a {
+        self.counts.iter().enumerate().filter_map(|(i, &k)| {
+            if k == 0 {
+                None
+            } else {
+                Some(EventId::new(Tid::from(i), k))
+            }
+        })
+    }
+
+    /// Total number of events in the cut.
+    pub fn total_events(self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Does the cut contain the given event?
+    #[inline]
+    pub fn contains(self, e: EventId) -> bool {
+        e.index <= self.counts[e.tid.index()]
+    }
+
+    /// Product order `self ≤ other`: every component ≤.
+    pub fn leq(self, other: CutRef<'_>) -> bool {
+        debug_assert_eq!(self.len(), other.len(), "frontier width mismatch");
+        self.counts.iter().zip(other.counts).all(|(a, b)| a <= b)
+    }
+
+    /// Consistency check — see [`Frontier::is_consistent`].
+    pub fn is_consistent<S: CutSpace + ?Sized>(self, space: &S) -> bool {
+        debug_assert_eq!(self.len(), space.num_threads(), "frontier width mismatch");
+        self.into_frontier_events().all(|id| {
+            let vc = space.vc(id);
+            vc.as_slice()
+                .iter()
+                .zip(self.counts)
+                .all(|(need, have)| need <= have)
+        })
+    }
+
+    /// Is event `e` *enabled* at this cut — see [`Frontier::enables`].
+    pub fn enables<S: CutSpace + ?Sized>(self, space: &S, e: EventId) -> bool {
         debug_assert_eq!(
             e.index,
             self.get(e.tid) + 1,
@@ -191,32 +369,107 @@ impl Frontier {
             }
         })
     }
+}
 
-    /// The cut obtained by executing one more event of thread `t`.
-    pub fn advanced(&self, t: Tid) -> Frontier {
-        let mut next = self.clone();
-        next.counts[t.index()] += 1;
-        next
+impl<'a> From<&'a Frontier> for CutRef<'a> {
+    #[inline]
+    fn from(g: &'a Frontier) -> Self {
+        g.as_cut()
     }
+}
+
+// Equality, hashing and ordering are defined on the logical count slice so
+// that the two representations (and the garbage tail of the inline buffer)
+// can never influence the result. Deriving them on the enum would order
+// `Inline` before `Heap` and compare dead buffer slots.
+impl PartialEq for Frontier {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Frontier {}
+
+impl Hash for Frontier {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialOrd for Frontier {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Frontier {
+    /// Lexicographic order of the count vectors — the emission order of the
+    /// lexical enumerator (for equal widths).
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl PartialEq for CutRef<'_> {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.counts == other.counts
+    }
+}
+
+impl Eq for CutRef<'_> {}
+
+impl PartialEq<Frontier> for CutRef<'_> {
+    #[inline]
+    fn eq(&self, other: &Frontier) -> bool {
+        self.counts == other.as_slice()
+    }
+}
+
+impl PartialEq<CutRef<'_>> for Frontier {
+    #[inline]
+    fn eq(&self, other: &CutRef<'_>) -> bool {
+        self.as_slice() == other.counts
+    }
+}
+
+fn fmt_counts(counts: &[u32], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    // Paper notation: {1,0}.
+    write!(f, "{{")?;
+    for (i, c) in counts.iter().enumerate() {
+        if i > 0 {
+            write!(f, ",")?;
+        }
+        write!(f, "{c}")?;
+    }
+    write!(f, "}}")
 }
 
 impl fmt::Debug for Frontier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "G{:?}", self.counts)
+        write!(f, "G{:?}", self.as_slice())
     }
 }
 
 impl fmt::Display for Frontier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        // Paper notation: {1,0}.
-        write!(f, "{{")?;
-        for (i, c) in self.counts.iter().enumerate() {
-            if i > 0 {
-                write!(f, ",")?;
-            }
-            write!(f, "{c}")?;
-        }
-        write!(f, "}}")
+        fmt_counts(self.as_slice(), f)
+    }
+}
+
+impl fmt::Debug for CutRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{:?}", self.counts)
+    }
+}
+
+impl fmt::Display for CutRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_counts(self.counts, f)
     }
 }
 
@@ -315,5 +568,77 @@ mod tests {
         assert_eq!(gmin.as_slice(), &[2, 1]);
         assert!(gmin.is_consistent(&p));
         assert!(gmin.contains(id));
+    }
+
+    #[test]
+    fn narrow_frontiers_are_inline_wide_ones_spill() {
+        assert!(Frontier::empty(8).is_inline());
+        assert!(!Frontier::empty(9).is_inline());
+        let widths = [0usize, 1, 7, 8, 9, 16];
+        for n in widths {
+            let g = Frontier::from_fn(n, |i| i as u32);
+            assert_eq!(g.len(), n);
+            assert_eq!(g.is_inline(), n <= 8);
+            let clone = g.clone();
+            assert_eq!(clone, g);
+            assert_eq!(clone.is_inline(), g.is_inline());
+        }
+    }
+
+    #[test]
+    fn semantics_agree_across_representations() {
+        // The same logical operations at an inline width and a spilled
+        // width — representation must be unobservable.
+        for n in [4usize, 12] {
+            let a = Frontier::from_fn(n, |i| (i as u32) % 3);
+            let b = Frontier::from_fn(n, |i| 2 - (i as u32) % 3);
+            assert_eq!(a.join(&b).len(), n);
+            assert!(a.meet(&b).leq(&a) && a.meet(&b).leq(&b));
+            assert!(a.leq(&a.join(&b)) && b.leq(&a.join(&b)));
+            let mut j = a.clone();
+            j.join_assign(&b);
+            assert_eq!(j, a.join(&b));
+            let t = Tid(n as u32 - 1);
+            assert_eq!(a.advanced(t).get(t), a.get(t) + 1);
+        }
+    }
+
+    #[test]
+    fn equality_hash_and_order_use_the_logical_slice() {
+        use std::collections::hash_map::DefaultHasher;
+        // Two routes to the same logical value (tail garbage would differ).
+        let mut a = Frontier::from_counts(vec![5, 5, 5]);
+        a.set(Tid(2), 1);
+        let b = Frontier::from_counts(vec![5, 5, 1]);
+        assert_eq!(a, b);
+        let hash = |g: &Frontier| {
+            let mut h = DefaultHasher::new();
+            g.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+        assert!(Frontier::from_counts(vec![1, 9]) < Frontier::from_counts(vec![2, 0]));
+        assert!(Frontier::from_fn(12, |_| 1) < Frontier::from_fn(12, |i| 1 + (i / 11) as u32));
+    }
+
+    #[test]
+    fn cut_ref_views_match_the_frontier() {
+        let g = Frontier::from_counts(vec![2, 0, 1]);
+        let c = g.as_cut();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(Tid(0)), 2);
+        assert_eq!(c.total_events(), 3);
+        assert!(c.contains(EventId::new(Tid(2), 1)));
+        assert_eq!(c.frontier_event(Tid(1)), None);
+        assert_eq!(c.to_string(), g.to_string());
+        assert_eq!(format!("{c:?}"), format!("{g:?}"));
+        assert_eq!(c.to_frontier(), g);
+        assert!(c == g);
+        let h = Frontier::from_counts(vec![2, 1, 1]);
+        assert!(c.leq(h.as_cut()) && !h.as_cut().leq(c));
+        let p = figure4_poset();
+        let g = Frontier::from_counts(vec![1, 0]);
+        assert!(g.as_cut().is_consistent(&p));
+        assert!(g.as_cut().enables(&p, EventId::new(Tid(1), 1)));
     }
 }

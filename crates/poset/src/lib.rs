@@ -38,7 +38,7 @@ mod space;
 pub mod topo;
 
 pub use event::{Event, EventId};
-pub use frontier::Frontier;
+pub use frontier::{CutRef, Frontier};
 pub use paramount_vclock::{ClockOrdering, Tid, VectorClock};
 pub use poset::Poset;
 pub use space::CutSpace;

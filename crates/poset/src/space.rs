@@ -31,11 +31,7 @@ pub trait CutSpace {
 
     /// The frontier containing every currently published event.
     fn current_frontier(&self) -> Frontier {
-        Frontier::from_counts(
-            (0..self.num_threads())
-                .map(|t| self.events_of(Tid::from(t)) as u32)
-                .collect(),
-        )
+        Frontier::from_fn(self.num_threads(), |t| self.events_of(Tid::from(t)) as u32)
     }
 
     /// `e → f` (strict happened-before) among published events.

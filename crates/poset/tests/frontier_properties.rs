@@ -1,0 +1,109 @@
+//! Property tests for the `Frontier` lattice operations.
+//!
+//! The set of cuts of an n-thread computation forms a lattice under the
+//! componentwise order (the paper's Lemma 1 relies on this); `meet` and
+//! `join` are the componentwise min/max. These tests check the lattice
+//! laws — idempotence, commutativity, associativity, absorption, and the
+//! `leq` ↔ `meet`/`join` characterisation — at both representation
+//! widths: the inline small-vector encoding (n ≤ 8, no heap allocation)
+//! and the spilled heap encoding (n > 8). A bug that only manifests in
+//! one representation (or at the boundary) shows up here.
+
+use paramount_poset::Frontier;
+use proptest::prelude::*;
+
+/// Frontiers at a width that stays in the inline representation.
+fn arb_inline() -> impl Strategy<Value = (Frontier, Frontier, Frontier)> {
+    arb_triple(1usize..=8)
+}
+
+/// Frontiers at a width that forces the spilled (heap) representation.
+fn arb_spilled() -> impl Strategy<Value = (Frontier, Frontier, Frontier)> {
+    arb_triple(9usize..=20)
+}
+
+/// Three same-width frontiers with independent per-thread counts.
+fn arb_triple(
+    width: std::ops::RangeInclusive<usize>,
+) -> impl Strategy<Value = (Frontier, Frontier, Frontier)> {
+    width.prop_flat_map(|n| {
+        let counts = prop::collection::vec(0u32..50, n);
+        (counts.clone(), counts.clone(), counts).prop_map(|(a, b, c)| {
+            (
+                Frontier::from_counts(a),
+                Frontier::from_counts(b),
+                Frontier::from_counts(c),
+            )
+        })
+    })
+}
+
+/// The laws themselves, shared by both width regimes.
+fn check_lattice_laws(x: &Frontier, y: &Frontier, z: &Frontier) -> Result<(), TestCaseError> {
+    // Idempotence.
+    prop_assert_eq!(&x.meet(x), x);
+    prop_assert_eq!(&x.join(x), x);
+
+    // Commutativity.
+    prop_assert_eq!(x.meet(y), y.meet(x));
+    prop_assert_eq!(x.join(y), y.join(x));
+
+    // Associativity.
+    prop_assert_eq!(x.meet(&y.meet(z)), x.meet(y).meet(z));
+    prop_assert_eq!(x.join(&y.join(z)), x.join(y).join(z));
+
+    // Absorption: x ∧ (x ∨ y) = x and x ∨ (x ∧ y) = x.
+    prop_assert_eq!(&x.meet(&x.join(y)), x);
+    prop_assert_eq!(&x.join(&x.meet(y)), x);
+
+    // leq ↔ meet/join consistency: x ≤ y ⟺ x ∧ y = x ⟺ x ∨ y = y.
+    prop_assert_eq!(x.leq(y), &x.meet(y) == x);
+    prop_assert_eq!(x.leq(y), &x.join(y) == y);
+
+    // meet is the greatest lower bound, join the least upper bound.
+    let m = x.meet(y);
+    let j = x.join(y);
+    prop_assert!(m.leq(x) && m.leq(y));
+    prop_assert!(x.leq(&j) && y.leq(&j));
+
+    // join_assign agrees with join.
+    let mut acc = x.clone();
+    acc.join_assign(y);
+    prop_assert_eq!(acc, j);
+
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Lattice laws at inline width — and confirm the representation is
+    /// actually inline, so the heap-free encoding is what's under test.
+    #[test]
+    fn lattice_laws_inline((x, y, z) in arb_inline()) {
+        prop_assert!(x.is_inline() && y.is_inline() && z.is_inline());
+        prop_assert!(x.meet(&y).is_inline() && x.join(&y).is_inline());
+        check_lattice_laws(&x, &y, &z)?;
+    }
+
+    /// Lattice laws at spilled width — the heap representation.
+    #[test]
+    fn lattice_laws_spilled((x, y, z) in arb_spilled()) {
+        prop_assert!(!x.is_inline() && !y.is_inline() && !z.is_inline());
+        check_lattice_laws(&x, &y, &z)?;
+    }
+
+    /// Equality and `leq` are representation-independent: a frontier
+    /// compares equal to itself however it was built, and the order is a
+    /// partial order (reflexive, antisymmetric, transitive) at any width.
+    #[test]
+    fn leq_is_a_partial_order((x, y, z) in arb_triple(1usize..=20)) {
+        prop_assert!(x.leq(&x));
+        if x.leq(&y) && y.leq(&x) {
+            prop_assert_eq!(&x, &y);
+        }
+        if x.leq(&y) && y.leq(&z) {
+            prop_assert!(x.leq(&z));
+        }
+    }
+}

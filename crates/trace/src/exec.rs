@@ -6,7 +6,7 @@
 //! paper's injected-callback discipline ("a thread cannot execute the next
 //! event until it has successfully inserted the current event into P",
 //! §4.2). Streaming the recorder's output into an
-//! [`paramount::OnlineEngine`] therefore yields a correct online
+//! `paramount::OnlineEngine` therefore yields a correct online
 //! enumeration while the program genuinely runs in parallel.
 //!
 //! Ordering guarantees the recorder relies on:

@@ -20,7 +20,7 @@
 //! * [`sim::SimScheduler`] — a deterministic, seeded interleaving executor:
 //!   same program + same seed ⇒ same observed poset. All benchmark tables
 //!   are generated this way so rows are reproducible.
-//! * [`exec::ThreadedExecutor`] — a real-thread executor with genuine
+//! * [`exec::run_threads`] — a real-thread executor with genuine
 //!   `std::sync` locking, used to drive the *online* detector the way the
 //!   paper's instrumented JVM threads drive theirs (each program thread
 //!   inserts its event, then continues).

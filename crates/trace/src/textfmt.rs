@@ -296,11 +296,8 @@ threads 2
 
     #[test]
     fn gen_program_trace_is_parsable() {
-        let program = crate::gen::random_program(
-            "fuzz",
-            crate::gen::RandomProgramConfig::default(),
-            11,
-        );
+        let program =
+            crate::gen::random_program("fuzz", crate::gen::RandomProgramConfig::default(), 11);
         let trace = trace_of_program(&program, 3);
         let rendered = write_trace(&trace);
         let reparsed = parse_trace(&rendered).unwrap();

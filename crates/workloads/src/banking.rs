@@ -1,4 +1,4 @@
-//! `banking` — the lost-update bug pattern of Farchi, Nir & Ur [8].
+//! `banking` — the lost-update bug pattern of Farchi, Nir & Ur \[8\].
 //!
 //! Tellers read the shared balance *outside* the account lock (a stale
 //! read), compute, then write the new balance inside the lock. The

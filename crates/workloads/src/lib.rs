@@ -14,7 +14,7 @@
 //!
 //! | program     | ParaMount | FastTrack | notes |
 //! |-------------|-----------|-----------|-------|
-//! | banking     | 1 | 1 | lost-update bug pattern [8] |
+//! | banking     | 1 | 1 | lost-update bug pattern \[8\] |
 //! | set_faulty  | 1 | 1 | unprotected `next` during concurrent add/remove |
 //! | set_correct | 0 | 1 | FastTrack flags the benign init write (§5.2) |
 //! | arraylist1  | 3 | 3 | unsynchronized container |

@@ -1,5 +1,5 @@
 //! `set (faulty)` / `set (correct)` — the concurrent linked-list set of
-//! Herlihy & Shavit [15] with hand-over-hand locking.
+//! Herlihy & Shavit \[15\] with hand-over-hand locking.
 //!
 //! The list holds nodes `0..3`; each node has a `next` pointer guarded by
 //! its own lock. Thread roles (4 threads, as in the paper):

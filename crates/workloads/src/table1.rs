@@ -143,7 +143,7 @@ mod tests {
         const CAP: u64 = 2_000_000;
         for input in inputs(Scale::Smoke) {
             let mut count = 0u64;
-            let mut sink = |_: &paramount_poset::Frontier| {
+            let mut sink = |_: paramount_poset::CutRef<'_>| {
                 count += 1;
                 if count >= CAP {
                     ControlFlow::Break(())

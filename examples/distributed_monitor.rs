@@ -38,7 +38,7 @@ fn main() {
     // the critical window. Evaluated concurrently by the engine workers.
     let witness: Arc<Mutex<Option<Frontier>>> = Arc::new(Mutex::new(None));
     let sink_witness = Arc::clone(&witness);
-    let predicate = move |cut: &Frontier, _owner: EventId| {
+    let predicate = move |cut: CutRef<'_>, _owner: EventId| {
         let all_critical = (0..PROCESSES).all(|i| {
             let k = cut.get(Tid::from(i));
             k >= phase.enter && k <= phase.exit
@@ -46,7 +46,7 @@ fn main() {
         if all_critical {
             let mut w = sink_witness.lock().unwrap();
             if w.is_none() {
-                *w = Some(cut.clone());
+                *w = Some(cut.to_frontier());
             }
             ControlFlow::Break(()) // first witness is enough
         } else {

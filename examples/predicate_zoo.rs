@@ -27,7 +27,7 @@ fn main() {
 
     // 1. Data races, by enumerating every global state in parallel.
     let race = detect::RacePredicate::new(program.num_vars(), true);
-    let sink = |cut: &Frontier, owner: EventId| race.evaluate(&poset, cut, owner);
+    let sink = |cut: CutRef<'_>, owner: EventId| race.evaluate(&poset, cut, owner);
     ParaMount::new(Algorithm::Lexical)
         .enumerate(&poset, &sink)
         .expect("enumeration");
@@ -61,7 +61,7 @@ fn main() {
     }
 
     // 3. Possibly vs Definitely for the same condition.
-    let phi = |g: &Frontier| (1..n).all(|i| g.get(Tid::from(i)) >= 1);
+    let phi = |g: CutRef<'_>| (1..n).all(|i| g.get(Tid::from(i)) >= 1);
     let possibly = detect::possibly(&poset, phi).is_some();
     let definitely = detect::definitely(&poset, phi);
     println!("modalities:         Possibly = {possibly}, Definitely = {definitely}");
@@ -69,7 +69,7 @@ fn main() {
     // 4. Mutual exclusion over the sync-captured version of the trace.
     let sync_poset = SimScheduler::new(42).with_sync_capture().run(&program);
     let mutex = detect::MutexViolationPredicate::new(&sync_poset);
-    let sink = |cut: &Frontier, owner: EventId| mutex.evaluate(&sync_poset, cut, owner);
+    let sink = |cut: CutRef<'_>, owner: EventId| mutex.evaluate(&sync_poset, cut, owner);
     let _ = ParaMount::new(Algorithm::Lexical).enumerate(&sync_poset, &sink);
     if mutex.detected() {
         for v in mutex.violations() {

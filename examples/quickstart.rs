@@ -29,9 +29,9 @@ fn main() {
     // 2. Sequential enumeration (Garg/Ganter lexical order).
     println!("\nconsistent global states (lexical order):");
     let mut cuts = Vec::new();
-    let mut sink = |cut: &Frontier| {
+    let mut sink = |cut: CutRef<'_>| {
         println!("  {cut}");
-        cuts.push(cut.clone());
+        cuts.push(cut.to_frontier());
         ControlFlow::<()>::Continue(())
     };
     paramount_suite::paramount_enumerate::lexical::enumerate(&poset, &mut sink)

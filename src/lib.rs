@@ -37,8 +37,8 @@ pub mod prelude {
     };
     pub use paramount_detect::{DetectorConfig, RacePredicate};
     pub use paramount_poset::{
-        builder::PosetBuilder, oracle, random::RandomComputation, topo, CutSpace, Event, EventId,
-        Frontier, Poset, Tid, VectorClock,
+        builder::PosetBuilder, oracle, random::RandomComputation, topo, CutRef, CutSpace, Event,
+        EventId, Frontier, Poset, Tid, VectorClock,
     };
     pub use paramount_trace::{Op, Program, ProgramBuilder, TraceEvent};
 }

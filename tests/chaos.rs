@@ -98,7 +98,7 @@ fn online_chaos_partitions_the_oracle_exactly() {
                 },
                 ..OnlineEngineConfig::default()
             },
-            move |cut: &paramount_poset::Frontier, owner| counter_in_sink.visit(cut, owner),
+            move |cut: paramount_poset::CutRef<'_>, owner| counter_in_sink.visit(cut, owner),
         );
         for &id in &topo::weight_order(&reference) {
             engine.observe_with_clock(id.tid, reference.vc(id).clone(), ());
@@ -190,7 +190,7 @@ fn spawn_failures_stay_exact_end_to_end() {
                 },
                 ..OnlineEngineConfig::default()
             },
-            move |cut: &paramount_poset::Frontier, owner| counter_in_sink.visit(cut, owner),
+            move |cut: paramount_poset::CutRef<'_>, owner| counter_in_sink.visit(cut, owner),
         );
         for &id in &topo::weight_order(&reference) {
             engine.observe_with_clock(id.tid, reference.vc(id).clone(), ());

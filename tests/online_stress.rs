@@ -23,7 +23,7 @@ fn concurrent_producers_exactly_once() {
                 workers: 3,
                 ..OnlineEngineConfig::default()
             },
-            move |_: &Frontier, _: EventId| {
+            move |_: CutRef<'_>, _: EventId| {
                 sink_counter.fetch_add(1, Ordering::Relaxed);
                 ControlFlow::Continue(())
             },
@@ -80,7 +80,7 @@ fn online_budget_is_reported_not_swallowed() {
             frontier_budget: Some(16),
             ..OnlineEngineConfig::default()
         },
-        move |_: &Frontier, _: EventId| ControlFlow::Continue(()),
+        move |_: CutRef<'_>, _: EventId| ControlFlow::Continue(()),
     );
     for t in 0..12 {
         engine.observe_after(Tid::from(t as usize), &[], ());
@@ -101,7 +101,7 @@ fn online_budget_is_reported_not_swallowed() {
             frontier_budget: Some(16),
             ..OnlineEngineConfig::default()
         },
-        move |_: &Frontier, _: EventId| ControlFlow::Continue(()),
+        move |_: CutRef<'_>, _: EventId| ControlFlow::Continue(()),
     );
     for t in 0..12 {
         engine.observe_after(Tid::from(t as usize), &[], ());
@@ -121,7 +121,7 @@ fn slow_sink_does_not_deadlock() {
             workers: 1,
             ..OnlineEngineConfig::default()
         },
-        move |_: &Frontier, _: EventId| {
+        move |_: CutRef<'_>, _: EventId| {
             std::thread::yield_now();
             ControlFlow::Continue(())
         },
@@ -153,7 +153,7 @@ fn blocked_backpressure_loses_no_cuts_under_saturation() {
             backpressure: BackpressurePolicy::Block,
             ..OnlineEngineConfig::default()
         },
-        move |_: &Frontier, _: EventId| {
+        move |_: CutRef<'_>, _: EventId| {
             // Slow consumer: enumeration lags far behind insertion.
             std::thread::sleep(std::time::Duration::from_micros(20));
             sink_counter.fetch_add(1, Ordering::Relaxed);
@@ -228,7 +228,7 @@ fn spill_deque_drains_completely_on_finish() {
             backpressure: BackpressurePolicy::SpillToDeque,
             ..OnlineEngineConfig::default()
         },
-        move |_: &Frontier, _: EventId| {
+        move |_: CutRef<'_>, _: EventId| {
             std::thread::sleep(std::time::Duration::from_micros(30));
             ControlFlow::Continue(())
         },
@@ -260,7 +260,7 @@ fn owner_is_frontier_event_of_its_thread() {
     let engine = OnlineEngine::new(
         3,
         OnlineEngineConfig::default(),
-        move |cut: &Frontier, owner: EventId| {
+        move |cut: CutRef<'_>, owner: EventId| {
             // Exception: the empty cut reports the first event as owner.
             if cut.total_events() > 0 && cut.get(owner.tid) != owner.index {
                 sink_violations.fetch_add(1, Ordering::Relaxed);

@@ -87,7 +87,7 @@ proptest! {
         let total = oracle::count_ideals(&poset);
         for algorithm in Algorithm::ALL {
             let mut seen = 0u64;
-            let mut sink = |_: &Frontier| {
+            let mut sink = |_: CutRef<'_>| {
                 seen += 1;
                 if seen >= k { ControlFlow::Break(()) } else { ControlFlow::Continue(()) }
             };
@@ -112,7 +112,7 @@ proptest! {
         let engine = OnlineEngine::new(
             CutSpace::num_threads(&poset),
             OnlineEngineConfig { workers, ..OnlineEngineConfig::default() },
-            move |cut: &Frontier, owner: EventId| sink_counter.visit(cut, owner),
+            move |cut: CutRef<'_>, owner: EventId| sink_counter.visit(cut, owner),
         );
         for id in topo::weight_order(&poset) {
             engine.observe_with_clock(id.tid, poset.vc(id).clone(), ());
