@@ -21,9 +21,13 @@ USAGE:
   paramount serve              [--listen ADDR]... [--unix PATH]...
                                [--algo A] [--workers K] [--max-sessions N]
                                [--max-events N] [--idle-timeout SECS] [--quiet]
+                               [--idle-timeout-ms MS] [--write-timeout-ms MS]
+                               [--soft-spill-bytes N] [--hard-spill-bytes N]
+                               [--interval-deadline-ms MS] [--busy-retry-ms MS]
   paramount send <trace>       --connect HOST:PORT | --unix PATH
                                [--algo A] [--workers K] [--label L] [--capture-sync]
                                [--retries N] [--backoff-ms MS]   (reconnect & replay)
+                               [--checkpoint-every EVENTS]
   paramount shutdown           --connect HOST:PORT | --unix PATH
   paramount help
 
@@ -214,6 +218,12 @@ fn serve(args: &[String]) -> Result<String, CliError> {
     if let Some(secs) = parse_number(args, "--idle-timeout")? {
         opts.idle_timeout_secs = secs;
     }
+    opts.idle_timeout_ms = parse_number(args, "--idle-timeout-ms")?;
+    opts.write_timeout_ms = parse_number(args, "--write-timeout-ms")?;
+    opts.soft_spill_bytes = parse_number(args, "--soft-spill-bytes")?;
+    opts.hard_spill_bytes = parse_number(args, "--hard-spill-bytes")?;
+    opts.interval_deadline_ms = parse_number(args, "--interval-deadline-ms")?;
+    opts.busy_retry_ms = parse_number(args, "--busy-retry-ms")?;
     if opts.listen.is_empty() && opts.unix.is_empty() {
         opts.listen.push("127.0.0.1:7667".to_string());
     }
@@ -245,6 +255,12 @@ fn send(args: &[String]) -> Result<String, CliError> {
     let capture_sync = args.iter().any(|a| a == "--capture-sync");
     let retries = parse_number(args, "--retries")?.unwrap_or(0);
     let backoff_ms = parse_number(args, "--backoff-ms")?.unwrap_or(200);
+    let checkpoint_every: Option<u64> = parse_number(args, "--checkpoint-every")?;
+    if checkpoint_every == Some(0) {
+        return Err(CliError::Usage(
+            "send: --checkpoint-every must be at least 1 event".to_string(),
+        ));
+    }
     net::send(
         &trace,
         &target,
@@ -254,6 +270,7 @@ fn send(args: &[String]) -> Result<String, CliError> {
         capture_sync,
         retries,
         backoff_ms,
+        checkpoint_every,
     )
     .map_err(CliError::Run)
 }

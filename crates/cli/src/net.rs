@@ -64,6 +64,21 @@ pub struct ServeOptions {
     pub max_events: u64,
     /// Per-session idle timeout in seconds.
     pub idle_timeout_secs: u64,
+    /// Per-session idle timeout in milliseconds (`--idle-timeout-ms`;
+    /// overrides `idle_timeout_secs` when set).
+    pub idle_timeout_ms: Option<u64>,
+    /// Per-session write timeout in milliseconds (`--write-timeout-ms`).
+    pub write_timeout_ms: Option<u64>,
+    /// Soft spill-byte watermark (`--soft-spill-bytes`): past it,
+    /// sessions block producers instead of spilling.
+    pub soft_spill_bytes: Option<usize>,
+    /// Hard spill-byte watermark (`--hard-spill-bytes`): past it, new
+    /// `HELLO`s are rejected `ERR busy` and overflowing work fails fast.
+    pub hard_spill_bytes: Option<usize>,
+    /// Per-interval watchdog deadline in ms (`--interval-deadline-ms`).
+    pub interval_deadline_ms: Option<u64>,
+    /// `retry-after-ms` hint sent with `ERR busy` (`--busy-retry-ms`).
+    pub busy_retry_ms: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -76,6 +91,12 @@ impl Default for ServeOptions {
             max_sessions: ServerConfig::default().max_sessions,
             max_events: paramount_ingest::SessionLimits::default().max_events,
             idle_timeout_secs: 30,
+            idle_timeout_ms: None,
+            write_timeout_ms: None,
+            soft_spill_bytes: None,
+            hard_spill_bytes: None,
+            interval_deadline_ms: None,
+            busy_retry_ms: None,
         }
     }
 }
@@ -90,7 +111,21 @@ pub fn build_server(opts: &ServeOptions) -> Result<(Server, Vec<SocketAddr>), St
     }
     config.max_sessions = opts.max_sessions;
     config.session.limits.max_events = opts.max_events;
-    config.session.limits.idle_timeout = std::time::Duration::from_secs(opts.idle_timeout_secs);
+    config.session.limits.idle_timeout = match opts.idle_timeout_ms {
+        Some(ms) => std::time::Duration::from_millis(ms),
+        None => std::time::Duration::from_secs(opts.idle_timeout_secs),
+    };
+    if let Some(ms) = opts.write_timeout_ms {
+        config.session.limits.write_timeout = std::time::Duration::from_millis(ms);
+    }
+    config.governor.soft_spill_bytes = opts.soft_spill_bytes;
+    config.governor.hard_spill_bytes = opts.hard_spill_bytes;
+    config.governor.interval_deadline = opts
+        .interval_deadline_ms
+        .map(std::time::Duration::from_millis);
+    if let Some(ms) = opts.busy_retry_ms {
+        config.busy_retry_after_ms = ms;
+    }
     let mut server = Server::new(config);
     for addr in &opts.listen {
         server
@@ -171,7 +206,10 @@ pub fn summary_text(summary: &ServeSummary) -> String {
 /// `retries` extra attempts reconnect and replay the whole session with
 /// exponential backoff starting at `backoff_ms` (see
 /// [`paramount_ingest::RetryPolicy`]); on exhaustion the error names the
-/// server-acknowledged partial prefix.
+/// server-acknowledged partial prefix. `checkpoint_every` overrides the
+/// events-per-`FLUSH` checkpoint cadence (must be non-zero; validated by
+/// the argv layer).
+#[allow(clippy::too_many_arguments)]
 pub fn send(
     trace: &TraceFile,
     target: &Target,
@@ -181,6 +219,7 @@ pub fn send(
     capture_sync: bool,
     retries: u32,
     backoff_ms: u64,
+    checkpoint_every: Option<u64>,
 ) -> Result<String, String> {
     let hello = Hello {
         threads: trace.threads,
@@ -189,10 +228,13 @@ pub fn send(
         capture_sync,
         label,
     };
-    let policy = paramount_ingest::RetryPolicy::new(
+    let mut policy = paramount_ingest::RetryPolicy::new(
         retries.saturating_add(1),
         std::time::Duration::from_millis(backoff_ms),
     );
+    if let Some(events) = checkpoint_every {
+        policy = policy.with_checkpoint_every(events);
+    }
     let (report, session, attempts) =
         send_trace_with_retry(|| target.connect_io(), &hello, trace, policy)
             .map_err(|e| format!("cannot send to {target}: {e}"))?;
@@ -264,6 +306,7 @@ mod tests {
             false,
             0,
             200,
+            None,
         )
         .expect("send");
 
@@ -340,6 +383,7 @@ mod tests {
             false,
             2,
             1,
+            None,
         )
         .expect("retry must recover");
 
@@ -393,6 +437,7 @@ mod tests {
             false,
             2,
             1,
+            None,
         )
         .expect_err("every attempt is dropped");
         assert!(err.contains("after 3 attempts"), "{err}");
@@ -423,6 +468,7 @@ mod tests {
                 false,
                 0,
                 200,
+                None,
             )
             .expect("send");
             handle.shutdown();

@@ -28,18 +28,20 @@
 //! radius of a fault one interval, never the run.
 
 use crate::faults::{FaultLog, FaultPlan, QuarantinedInterval};
+use crate::governor::{MemoryBudget, OverloadError, Pressure};
 use crate::interval::Interval;
 use crate::metrics::{MetricsSnapshot, ParaMetrics};
 use crate::sink::{MeteredSink, ParallelCutSink, SinkBridge};
 use crate::store::PackedIntervalQueue;
 use crossbeam_channel::TrySendError;
-use paramount_enumerate::{panic_message, Algorithm, EnumError, EnumStats};
+use paramount_enumerate::{panic_message, Algorithm, CutSink, EnumError, EnumStats};
 use paramount_poset::CutSpace;
 use parking_lot::Mutex;
+use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The interval-execution core shared by both engines: subroutine
 /// configuration plus the one `catch_unwind` retry/quarantine
@@ -54,38 +56,60 @@ pub struct IntervalExecutor {
     /// Per-interval frontier budget for the stateful subroutines
     /// (BFS/DFS); the lexical subroutine is stateless and ignores it.
     pub frontier_budget: Option<usize>,
+    /// Liveness deadline for one in-flight interval (`None` = never
+    /// preempt). Workers check a cooperative cancellation token — and
+    /// this deadline inline — once per visited cut; an interval that
+    /// overstays is preempted and split or quarantined
+    /// ([`crate::governor`]).
+    pub interval_deadline: Option<Duration>,
     /// Deterministic fault-injection plan (inert unless the `chaos`
     /// feature compiles the sites in).
     pub faults: FaultPlan,
 }
 
 impl IntervalExecutor {
-    /// An executor over the given subroutine, with no budget and no
-    /// injected faults.
+    /// An executor over the given subroutine, with no budget, no
+    /// deadline and no injected faults.
     pub fn new(algorithm: Algorithm) -> Self {
         IntervalExecutor {
             algorithm,
             frontier_budget: None,
+            interval_deadline: None,
             faults: FaultPlan::default(),
         }
     }
 
     /// Enumerates one interval into `sink`, metering every completed
     /// delivery into `emitted` so a fault knows the exact prefix length
-    /// that reached the sink.
+    /// that reached the sink. With a preemption guard, the cancellation
+    /// token and deadline are checked *before* each delivery, so a
+    /// preempted attempt's meter is still exactly the delivered prefix.
     fn run_interval<Sp, K>(
         &self,
         space: &Sp,
         iv: &Interval,
         sink: &K,
         emitted: &AtomicU64,
+        preempt: Option<&PreemptGuard<'_>>,
     ) -> Result<EnumStats, EnumError>
     where
         Sp: CutSpace + ?Sized,
         K: ParallelCutSink + ?Sized,
     {
-        let mut bridge = MeteredSink::new(SinkBridge::new(sink, iv.event), emitted);
-        iv.enumerate_budgeted(space, self.algorithm, self.frontier_budget, &mut bridge)
+        let bridge = MeteredSink::new(SinkBridge::new(sink, iv.event), emitted);
+        match preempt {
+            Some(guard) => {
+                let mut wrapped = PreemptSink {
+                    inner: bridge,
+                    guard,
+                };
+                iv.enumerate_budgeted(space, self.algorithm, self.frontier_budget, &mut wrapped)
+            }
+            None => {
+                let mut bridge = bridge;
+                iv.enumerate_budgeted(space, self.algorithm, self.frontier_budget, &mut bridge)
+            }
+        }
     }
 
     /// One interval under the `catch_unwind` boundary — the single
@@ -102,24 +126,39 @@ impl IntervalExecutor {
         sink: &K,
         metrics: &ParaMetrics,
         emitted: &AtomicU64,
+        preempt: Option<&PreemptControl<'_>>,
     ) -> Result<EnumStats, IntervalFault>
     where
         Sp: CutSpace + ?Sized,
         K: ParallelCutSink + ?Sized,
     {
+        let tripped = AtomicBool::new(false);
         let mut attempts = 0u32;
         loop {
             attempts += 1;
             emitted.store(0, Ordering::Relaxed);
+            let guard = preempt.map(|p| PreemptGuard {
+                cancel: p.cancel,
+                deadline_at: p.deadline_at,
+                tripped: &tripped,
+            });
             // The sink is reachable after the catch by design (shared,
             // `&self`-based, synchronized internally), so
             // `AssertUnwindSafe` asserts exactly the contract
             // `ParallelCutSink` already demands of implementations.
             let run = catch_unwind(AssertUnwindSafe(|| {
-                self.run_interval(space, iv, sink, emitted)
+                self.run_interval(space, iv, sink, emitted, guard.as_ref())
             }));
             match run {
                 Ok(Ok(stats)) => return Ok(stats),
+                // The preemption guard stops an enumeration with the same
+                // `Break` a sink uses; the tripped flag is what separates
+                // "deadline expired" from "sink asked for a global stop".
+                Ok(Err(EnumError::Stopped)) if tripped.load(Ordering::Relaxed) => {
+                    return Err(IntervalFault::Preempted {
+                        emitted: emitted.load(Ordering::Relaxed),
+                    })
+                }
                 Ok(Err(err)) => return Err(IntervalFault::Error(err)),
                 Err(payload) => {
                     metrics.worker_panics.add(1);
@@ -185,34 +224,17 @@ impl IntervalExecutor {
                 // a non-pool thread (possible with the global pool) is
                 // tallied on slot 0.
                 let widx = rayon::current_thread_index().unwrap_or(0);
-                let started = Instant::now();
-                let emitted = AtomicU64::new(0);
-                let outcome = self.run_isolated(space, iv, sink, metrics, &emitted);
-                let tally = metrics.worker(widx);
-                tally.add_busy(started.elapsed().as_nanos() as u64);
-                tally.add_interval();
-                match outcome {
-                    Ok(stats) => {
-                        metrics.intervals_completed.add_on(widx, 1);
-                        metrics.cuts_emitted.add_on(widx, stats.cuts);
-                        metrics.interval_cuts.record(stats.cuts);
-                        cuts.fetch_add(stats.cuts, Ordering::Relaxed);
-                        peak.fetch_max(stats.peak_frontiers, Ordering::Relaxed);
-                        Ok(())
-                    }
-                    Err(IntervalFault::Error(err)) => Err(err),
-                    Err(IntervalFault::Panicked {
-                        emitted,
-                        attempts,
-                        message,
-                    }) => {
-                        cuts.fetch_add(emitted, Ordering::Relaxed);
-                        record_quarantine(
-                            metrics, &fault_log, iv, emitted, attempts, message, widx,
-                        );
-                        Ok(())
-                    }
-                }
+                self.run_batch_interval(
+                    space,
+                    iv,
+                    sink,
+                    metrics,
+                    &cuts,
+                    &peak,
+                    &fault_log,
+                    widx,
+                    self.interval_deadline,
+                )
             })
         };
 
@@ -237,6 +259,94 @@ impl IntervalExecutor {
             faults: fault_log.into_inner(),
         })
     }
+
+    /// One batch interval end to end: isolated run, tallies, and the
+    /// fault/preemption disposition. Preemption recurses — a deadline
+    /// expiry with a clean slate splits the interval and runs both
+    /// halves (each under a fresh deadline), an unsplittable single-cut
+    /// box re-runs without a deadline (one cut must not starve the run),
+    /// and a partially delivered interval is quarantined with its exact
+    /// prefix, exactly like a partial panic.
+    #[allow(clippy::too_many_arguments)]
+    fn run_batch_interval<Sp, K>(
+        &self,
+        space: &Sp,
+        iv: &Interval,
+        sink: &K,
+        metrics: &ParaMetrics,
+        cuts: &AtomicU64,
+        peak: &AtomicUsize,
+        fault_log: &Mutex<FaultLog>,
+        widx: usize,
+        deadline: Option<Duration>,
+    ) -> Result<(), EnumError>
+    where
+        Sp: CutSpace + Sync + ?Sized,
+        K: ParallelCutSink + ?Sized,
+    {
+        let started = Instant::now();
+        let emitted = AtomicU64::new(0);
+        let cancel = AtomicBool::new(false);
+        let control = deadline.map(|d| PreemptControl {
+            cancel: &cancel,
+            deadline_at: Some(Instant::now() + d),
+        });
+        let outcome = self.run_isolated(space, iv, sink, metrics, &emitted, control.as_ref());
+        let tally = metrics.worker(widx);
+        tally.add_busy(started.elapsed().as_nanos() as u64);
+        tally.add_interval();
+        match outcome {
+            Ok(stats) => {
+                metrics.intervals_completed.add_on(widx, 1);
+                metrics.cuts_emitted.add_on(widx, stats.cuts);
+                metrics.interval_cuts.record(stats.cuts);
+                cuts.fetch_add(stats.cuts, Ordering::Relaxed);
+                peak.fetch_max(stats.peak_frontiers, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(IntervalFault::Error(err)) => Err(err),
+            Err(IntervalFault::Panicked {
+                emitted,
+                attempts,
+                message,
+            }) => {
+                cuts.fetch_add(emitted, Ordering::Relaxed);
+                record_quarantine(metrics, fault_log, iv, emitted, attempts, message, widx);
+                Ok(())
+            }
+            Err(IntervalFault::Preempted { emitted: delivered }) => {
+                metrics.intervals_preempted.add(1);
+                if delivered == 0 {
+                    if let Some((lo, hi)) = iv.split(space) {
+                        metrics.intervals_split.add(1);
+                        metrics.intervals_dispatched.add(2);
+                        self.run_batch_interval(
+                            space, &lo, sink, metrics, cuts, peak, fault_log, widx, deadline,
+                        )?;
+                        self.run_batch_interval(
+                            space, &hi, sink, metrics, cuts, peak, fault_log, widx, deadline,
+                        )
+                    } else {
+                        self.run_batch_interval(
+                            space, iv, sink, metrics, cuts, peak, fault_log, widx, None,
+                        )
+                    }
+                } else {
+                    cuts.fetch_add(delivered, Ordering::Relaxed);
+                    record_quarantine(
+                        metrics,
+                        fault_log,
+                        iv,
+                        delivered,
+                        1,
+                        format!("preempted: deadline expired after {delivered} delivered cuts"),
+                        widx,
+                    );
+                    Ok(())
+                }
+            }
+        }
+    }
 }
 
 /// How one interval's processing ended when it did not end cleanly.
@@ -252,6 +362,56 @@ pub(crate) enum IntervalFault {
         /// Stringified panic payload.
         message: String,
     },
+    /// The interval's deadline expired (watchdog token or inline check):
+    /// split and rescheduled if nothing was delivered, quarantined with
+    /// the exact prefix otherwise.
+    Preempted {
+        /// Cuts the sink saw before the preemption.
+        emitted: u64,
+    },
+}
+
+/// Preemption inputs for one interval attempt: the cancellation token the
+/// watchdog sets, and an inline deadline for attempts with no watchdog
+/// behind them (batch mode, and the exact-trip determinism tests rely on
+/// it).
+pub(crate) struct PreemptControl<'a> {
+    /// Cooperative cancellation token, checked once per visited cut.
+    pub cancel: &'a AtomicBool,
+    /// Absolute deadline, checked inline alongside the token.
+    pub deadline_at: Option<Instant>,
+}
+
+///// Per-attempt view of a [`PreemptControl`]: adds the `tripped` flag the
+/// run uses to tell a preemption `Break` apart from a sink-requested
+/// stop.
+struct PreemptGuard<'a> {
+    cancel: &'a AtomicBool,
+    deadline_at: Option<Instant>,
+    tripped: &'a AtomicBool,
+}
+
+/// [`CutSink`] wrapper enforcing preemption: checks the token and the
+/// deadline *before* delegating, so a tripped visit delivers nothing and
+/// the emission meter still reads the exact delivered prefix.
+struct PreemptSink<'a, S> {
+    inner: S,
+    guard: &'a PreemptGuard<'a>,
+}
+
+impl<S: CutSink> CutSink for PreemptSink<'_, S> {
+    fn visit(&mut self, cut: paramount_poset::CutRef<'_>) -> ControlFlow<()> {
+        if self.guard.cancel.load(Ordering::Relaxed)
+            || self
+                .guard
+                .deadline_at
+                .is_some_and(|at| Instant::now() >= at)
+        {
+            self.guard.tripped.store(true, Ordering::Relaxed);
+            return ControlFlow::Break(());
+        }
+        self.inner.visit(cut)
+    }
 }
 
 /// What a batch fan-out produced; the offline front-end folds this into
@@ -338,6 +498,12 @@ pub(crate) struct StreamParams {
 struct InFlightSlot {
     interval: Mutex<Option<Interval>>,
     emitted: AtomicU64,
+    /// Cooperative cancellation token the watchdog sets when the slot's
+    /// interval overstays its deadline; cleared at every pickup.
+    cancel: AtomicBool,
+    /// When the slot went busy, as milliseconds since the executor's
+    /// epoch *plus one* (0 = idle) — what the watchdog ages against.
+    busy_since_ms: AtomicU64,
 }
 
 struct StreamShared<Sp> {
@@ -357,6 +523,16 @@ struct StreamShared<Sp> {
     /// Remaining supervisor restarts, shared across the pool. Signed so
     /// concurrent decrements past zero stay well-defined.
     restart_budget: AtomicI64,
+    /// The byte account backing adaptive backpressure — possibly shared
+    /// with other engines (the daemon threads one budget through every
+    /// session).
+    budget: Arc<MemoryBudget>,
+    /// First typed overload error, if the hard watermark ever shed work.
+    overload: Mutex<Option<OverloadError>>,
+    /// Time zero for the watchdog's millisecond arithmetic.
+    epoch: Instant,
+    /// Tells the watchdog thread to exit.
+    watchdog_stop: AtomicBool,
     /// Ordinal counters backing the fault plan's "k-th call" sites.
     #[cfg(feature = "chaos")]
     fault_state: crate::faults::FaultState,
@@ -369,8 +545,32 @@ impl<Sp> StreamShared<Sp> {
 }
 
 /// Pops one spilled interval, never holding the lock across enumeration.
+/// The byte delta is credited back to the shared budget and the
+/// per-engine gauge — the accounting mirror of [`spill_push`].
 fn pop_spill<Sp>(shared: &StreamShared<Sp>) -> Option<Interval> {
-    shared.spill.lock().pop_front()
+    let mut queue = shared.spill.lock();
+    let before = queue.byte_len();
+    let interval = queue.pop_front();
+    let delta = before.saturating_sub(queue.byte_len());
+    drop(queue);
+    if delta > 0 {
+        shared.budget.credit_spill(delta);
+        shared.metrics.spill_bytes.sub(delta as u64);
+    }
+    interval
+}
+
+/// Pushes one interval into the spill deque, charging the encoded byte
+/// delta to the shared budget (watermark input) and the per-engine
+/// spill-size gauge.
+fn spill_push<Sp>(shared: &StreamShared<Sp>, interval: &Interval) {
+    let mut queue = shared.spill.lock();
+    let before = queue.byte_len();
+    queue.push_back(interval);
+    let delta = queue.byte_len() - before;
+    drop(queue);
+    shared.budget.charge_spill(delta);
+    shared.metrics.spill_bytes.add(delta as u64);
 }
 
 /// Streaming mode: a supervised worker pool draining a bounded channel
@@ -385,6 +585,9 @@ pub(crate) struct StreamExecutor<Sp: CutSpace + Send + Sync + 'static> {
     /// workers): the report is exact even with a dead pool.
     receiver: crossbeam_channel::Receiver<Interval>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Liveness supervisor, running only when an interval deadline is
+    /// configured; stopped and joined by `finish`/`Drop`.
+    watchdog: Option<std::thread::JoinHandle<()>>,
     backpressure: BackpressurePolicy,
 }
 
@@ -394,6 +597,8 @@ pub(crate) struct StreamOutcome {
     pub error: Option<EnumError>,
     pub faults: FaultLog,
     pub metrics: MetricsSnapshot,
+    /// Set when the hard watermark forced work to be shed mid-stream.
+    pub overload: Option<OverloadError>,
 }
 
 impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
@@ -406,6 +611,7 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
         exec: IntervalExecutor,
         params: StreamParams,
         sink: Box<dyn ParallelCutSink>,
+        budget: Arc<MemoryBudget>,
     ) -> Self {
         assert!(params.workers >= 1, "need at least one worker");
         assert!(params.queue_capacity >= 1, "queue capacity must be >= 1");
@@ -429,6 +635,10 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
                 .map(|_| InFlightSlot::default())
                 .collect(),
             restart_budget: AtomicI64::new(i64::from(params.worker_restart_budget)),
+            budget,
+            overload: Mutex::new(None),
+            epoch: Instant::now(),
+            watchdog_stop: AtomicBool::new(false),
             #[cfg(feature = "chaos")]
             fault_state: crate::faults::FaultState::default(),
         });
@@ -450,11 +660,23 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
                 Err(_) => shared.metrics.worker_spawn_failures.add(1),
             }
         }
+        // The watchdog only exists when a deadline is configured. If its
+        // spawn fails, preemption still works: workers check the deadline
+        // inline at every visited cut; only a *stuck* sink (one that never
+        // returns control) escapes detection without the external thread.
+        let watchdog = exec.interval_deadline.and_then(|deadline| {
+            let watchdog_shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("paramount-watchdog".to_string())
+                .spawn(move || watchdog_entry(&watchdog_shared, deadline))
+                .ok()
+        });
         StreamExecutor {
             shared,
             sender: Some(sender),
             receiver,
             workers,
+            watchdog,
             backpressure: params.backpressure,
         }
     }
@@ -516,13 +738,35 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
                     m.queue_depth.dec();
                 }
             }
+            // Under SpillToDeque the budget's pressure reading adapts the
+            // policy at the moment the channel is full: nominal pressure
+            // spills as before, soft pressure *promotes* the submit to a
+            // blocking send (the producer slows to the consumers' pace
+            // instead of growing the spill), and hard pressure sheds the
+            // interval with a typed overload error.
             BackpressurePolicy::SpillToDeque => match sender.try_send(interval) {
                 Ok(()) => {}
-                Err(TrySendError::Full(interval)) => {
-                    m.queue_depth.dec();
-                    self.shared.spill.lock().push_back(&interval);
-                    m.intervals_spilled.add(1);
-                }
+                Err(TrySendError::Full(interval)) => match self.shared.budget.pressure() {
+                    Pressure::Nominal => {
+                        m.queue_depth.dec();
+                        spill_push(&self.shared, &interval);
+                        m.intervals_spilled.add(1);
+                    }
+                    Pressure::Soft => {
+                        m.backpressure_promotions.add(1);
+                        if sender.send(interval).is_err() {
+                            m.queue_depth.dec();
+                        }
+                    }
+                    Pressure::Hard => {
+                        m.queue_depth.dec();
+                        m.intervals_rejected.add(1);
+                        self.shared
+                            .overload
+                            .lock()
+                            .get_or_insert_with(|| self.shared.budget.overload_error());
+                    }
+                },
                 Err(TrySendError::Disconnected(_)) => m.queue_depth.dec(),
             },
             BackpressurePolicy::Fail => match sender.try_send(interval) {
@@ -530,6 +774,12 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
                 Err(TrySendError::Full(_)) => {
                     m.queue_depth.dec();
                     m.intervals_rejected.add(1);
+                    if self.shared.budget.pressure() >= Pressure::Hard {
+                        self.shared
+                            .overload
+                            .lock()
+                            .get_or_insert_with(|| self.shared.budget.overload_error());
+                    }
                 }
                 Err(TrySendError::Disconnected(_)) => m.queue_depth.dec(),
             },
@@ -559,6 +809,10 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
         while let Some(interval) = pop_spill(&self.shared) {
             process_interval(&self.shared, &interval, 0);
         }
+        self.shared.watchdog_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.watchdog.take() {
+            let _ = handle.join();
+        }
         let shared = Arc::clone(&self.shared);
         drop(self); // Drop is a no-op now: sender taken, workers joined.
                     // Deliberately no `Arc::try_unwrap`: everything the outcome needs
@@ -569,6 +823,7 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
             error: shared.error.lock().take(),
             faults: shared.fault_log.lock().clone(),
             metrics: shared.metrics.snapshot(),
+            overload: shared.overload.lock().take(),
         };
         outcome
     }
@@ -578,6 +833,10 @@ impl<Sp: CutSpace + Send + Sync + 'static> Drop for StreamExecutor<Sp> {
     fn drop(&mut self) {
         drop(self.sender.take());
         for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.shared.watchdog_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.watchdog.take() {
             let _ = handle.join();
         }
     }
@@ -621,6 +880,36 @@ fn worker_entry<Sp: CutSpace>(
             continue; // phoenix: the same thread resumes as a fresh body
         }
         return; // budget exhausted: die quietly, survivors take over
+    }
+}
+
+/// Watchdog thread body: periodically ages every in-flight slot against
+/// the configured deadline and raises the slot's cooperative cancel
+/// token when an interval overstays. Workers observe the token once per
+/// visited cut, so a tripped slot preempts at the next emission — the
+/// watchdog never kills a thread, it only asks.
+///
+/// A benign race exists by design: the watchdog may read a stale
+/// `busy_since_ms` and cancel a slot that just picked up a *fresh*
+/// interval. That early preemption is sound — the interval is split or
+/// quarantined exactly like a genuine timeout — so no extra
+/// synchronization is spent preventing it.
+fn watchdog_entry<Sp>(shared: &StreamShared<Sp>, deadline: Duration) {
+    let deadline_ms = deadline.as_millis() as u64;
+    let tick = (deadline / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+    loop {
+        std::thread::sleep(tick);
+        if shared.watchdog_stop.load(Ordering::Relaxed) {
+            return;
+        }
+        shared.metrics.watchdog_wakeups.add(1);
+        let now_ms = shared.epoch.elapsed().as_millis() as u64;
+        for slot in shared.in_flight.iter() {
+            let started = slot.busy_since_ms.load(Ordering::Relaxed);
+            if started != 0 && now_ms.saturating_sub(started - 1) >= deadline_ms {
+                slot.cancel.store(true, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -678,6 +967,27 @@ fn chaos_maybe_kill_worker<Sp>(shared: &StreamShared<Sp>, interval: &Interval, i
 }
 
 fn process_interval<Sp: CutSpace>(shared: &StreamShared<Sp>, interval: &Interval, index: usize) {
+    process_with_deadline(shared, interval, index, shared.exec.interval_deadline);
+}
+
+/// Runs one interval under an optional deadline. On preemption the
+/// disposition depends on the delivered prefix:
+///
+/// * nothing delivered and the interval splits — reschedule both halves
+///   (each gets a fresh deadline, and each is strictly smaller, so
+///   repeated splitting terminates at single-cut leaves);
+/// * nothing delivered and the interval is a single cut — rerun it once
+///   with the deadline off (a one-cut enumeration cannot be usefully
+///   split, and zero cuts were delivered so a rerun cannot duplicate);
+/// * some cuts delivered — quarantine with the exact delivered prefix:
+///   rerunning would double-deliver, and exactly-once (Theorem 2/3)
+///   outranks completeness.
+fn process_with_deadline<Sp: CutSpace>(
+    shared: &StreamShared<Sp>,
+    interval: &Interval,
+    index: usize,
+    deadline: Option<Duration>,
+) {
     if shared.stopped.load(Ordering::Relaxed) {
         return; // drain without enumerating
     }
@@ -693,16 +1003,28 @@ fn process_interval<Sp: CutSpace>(shared: &StreamShared<Sp>, interval: &Interval
     // Register the in-flight interval so the supervisor can quarantine
     // it if this body dies outside the executor's isolation boundary;
     // the slot's meter makes the delivered prefix observable across any
-    // unwind.
+    // unwind. Marking the slot busy (and clearing any stale cancel)
+    // arms the watchdog for this pickup.
+    slot.cancel.store(false, Ordering::Relaxed);
+    slot.busy_since_ms.store(
+        shared.epoch.elapsed().as_millis() as u64 + 1,
+        Ordering::Relaxed,
+    );
     *slot.interval.lock() = Some(interval.clone());
+    let control = deadline.map(|d| PreemptControl {
+        cancel: &slot.cancel,
+        deadline_at: Some(Instant::now() + d),
+    });
     let outcome = shared.exec.run_isolated(
         shared.space.as_ref(),
         interval,
         shared.sink.as_ref(),
         m,
         &slot.emitted,
+        control.as_ref(),
     );
     *slot.interval.lock() = None;
+    slot.busy_since_ms.store(0, Ordering::Relaxed);
     let tally = m.worker(index);
     tally.add_busy(start.elapsed().as_nanos() as u64);
     tally.add_interval();
@@ -733,6 +1055,32 @@ fn process_interval<Sp: CutSpace>(shared: &StreamShared<Sp>, interval: &Interval
                 message,
                 index,
             );
+        }
+        Err(IntervalFault::Preempted { emitted }) => {
+            m.intervals_preempted.add(1);
+            if emitted == 0 {
+                if let Some((lo, hi)) = interval.split(shared.space.as_ref()) {
+                    // Both halves go through the spill buffer: workers
+                    // drain it with priority, and `finish`'s inline drain
+                    // covers a dead pool, so neither half can be lost.
+                    m.intervals_split.add(1);
+                    m.intervals_dispatched.add(2);
+                    spill_push(shared, &lo);
+                    spill_push(shared, &hi);
+                } else {
+                    process_with_deadline(shared, interval, index, None);
+                }
+            } else {
+                record_quarantine(
+                    m,
+                    &shared.fault_log,
+                    interval,
+                    emitted,
+                    1,
+                    format!("preempted after {emitted} delivered cuts (deadline expired)"),
+                    index,
+                );
+            }
         }
     }
 }

@@ -104,6 +104,77 @@ impl Interval {
         self.gmin.leq(g) && g.leq(&self.gbnd)
     }
 
+    /// Splits the interval into two sub-intervals that partition its cut
+    /// set — the preemption primitive of the overload governor: a hung
+    /// interval whose worker delivered nothing yet is split and both
+    /// halves rescheduled independently.
+    ///
+    /// The cut is made along the widest dimension `t` (the owner thread
+    /// always has width 0 — `Gmin(e)[e.tid] = Gbnd(e)[e.tid] = e.index` by
+    /// Definitions 1–2 — so `t` is never the owner) at a midpoint `m`:
+    ///
+    /// * **lower half** `[gmin, down(b)]` where `b` is `gbnd` with
+    ///   component `t` lowered to `m`, and `down(b)` is the *maximum*
+    ///   consistent cut `≤ b`, computed by the standard iterated-decrement
+    ///   fixpoint (drop any frontier event whose causal history escapes
+    ///   `b`; every consistent cut `≤ b` survives each step, so the
+    ///   fixpoint dominates them all — in particular `gmin`).
+    /// * **upper half** `[gmin ∨ Gmin(e_t[m+1]), gbnd]` — raising the
+    ///   floor to the least consistent cut containing the pivot event.
+    ///   The join of consistent cuts is consistent, and it stays `≤ gbnd`
+    ///   because `gbnd` is a consistent cut containing the pivot.
+    ///
+    /// Every cut of the interval lands in exactly one half (`G[t] ≤ m` ⟹
+    /// lower by maximality of `down(b)`; `G[t] > m` ⟹ `G` contains the
+    /// pivot, hence dominates its clock, hence the upper floor), both
+    /// halves keep consistent bounds as the bounded subroutines require,
+    /// and both bounding boxes are strictly smaller, so recursive
+    /// splitting terminates. The empty-cut flag rides with the lower half
+    /// (which retains `gmin`); both halves keep the owning event, so the
+    /// packed-descriptor invariant `gmin[e.tid] = e.index` is preserved.
+    ///
+    /// Returns `None` when every dimension has width 0 — a single-cut box
+    /// that cannot be subdivided.
+    pub fn split<Sp: CutSpace + ?Sized>(&self, space: &Sp) -> Option<(Interval, Interval)> {
+        let n = self.gmin.len();
+        let widths = |i: usize| {
+            let t = paramount_poset::Tid::from(i);
+            self.gbnd.get(t) - self.gmin.get(t)
+        };
+        let t = paramount_poset::Tid::from((0..n).max_by_key(|&i| widths(i))?);
+        let width = self.gbnd.get(t) - self.gmin.get(t);
+        if width == 0 {
+            return None;
+        }
+        let mid = self.gmin.get(t) + (width - 1) / 2;
+
+        let pivot = EventId::new(t, mid + 1);
+        let gmin_hi = self.gmin.join(&Frontier::from_clock(space.vc(pivot)));
+
+        let mut gbnd_lo = self.gbnd.clone();
+        gbnd_lo.set(t, mid);
+        max_consistent_below(space, &mut gbnd_lo);
+
+        debug_assert!(gmin_hi.is_consistent(space), "upper floor inconsistent");
+        debug_assert!(gmin_hi.leq(&self.gbnd), "upper floor escaped gbnd");
+        debug_assert!(self.gmin.leq(&gbnd_lo), "lower ceiling dropped below gmin");
+        debug_assert_eq!(gbnd_lo.get(self.event.tid), self.event.index);
+
+        let lower = Interval {
+            event: self.event,
+            gmin: self.gmin.clone(),
+            gbnd: gbnd_lo,
+            include_empty: self.include_empty,
+        };
+        let upper = Interval {
+            event: self.event,
+            gmin: gmin_hi,
+            gbnd: self.gbnd.clone(),
+            include_empty: false,
+        };
+        Some((lower, upper))
+    }
+
     /// Serializes this interval into a compact delta-coded byte form:
     /// LEB128 varints for the owner thread and each `gmin[t]`, with
     /// `gbnd[t]` stored as its (non-negative, usually tiny) delta above
@@ -151,6 +222,39 @@ impl Interval {
             gbnd,
             include_empty,
         })
+    }
+}
+
+/// Lowers `g` in place to the maximum consistent cut `≤ g`: repeatedly
+/// drop any frontier event whose vector clock is not dominated by `g`.
+/// Any consistent cut `c ≤ g` survives every step (if `c[j] = g[j]` the
+/// frontier event's history is inside `c ⊆ g`, so it is not dropped), so
+/// the fixpoint — which is consistent by construction and reached because
+/// components only decrease — dominates them all.
+fn max_consistent_below<Sp: CutSpace + ?Sized>(space: &Sp, g: &mut Frontier) {
+    let n = g.len();
+    loop {
+        let mut changed = false;
+        for j in 0..n {
+            let t = paramount_poset::Tid::from(j);
+            let k = g.get(t);
+            if k == 0 {
+                continue;
+            }
+            let vc = space.vc(EventId::new(t, k));
+            let dominated = vc
+                .as_slice()
+                .iter()
+                .zip(g.as_slice())
+                .all(|(need, have)| need <= have);
+            if !dominated {
+                g.set(t, k - 1);
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
     }
 }
 
@@ -421,6 +525,83 @@ mod tests {
             let mut short = buf[..cutoff].iter().copied();
             assert!(Interval::unpack(&mut short, 2).is_none(), "cutoff {cutoff}");
         }
+    }
+
+    /// Enumerates one interval with the lexical subroutine, bounds-checked.
+    fn collect_cuts(p: &Poset, iv: &Interval) -> Vec<Frontier> {
+        use paramount_enumerate::CollectSink;
+        let mut sink = CollectSink::default();
+        let mut checked = BoundsCheckSink::new(iv, &mut sink);
+        iv.enumerate(p, Algorithm::Lexical, &mut checked).unwrap();
+        sink.cuts
+    }
+
+    #[test]
+    fn split_halves_partition_the_interval_exactly() {
+        for seed in 0..15 {
+            let p = RandomComputation::new(3, 5, 0.4, seed).generate();
+            let order = topo::weight_order(&p);
+            for iv in partition(&p, &order) {
+                let Some((lo, hi)) = iv.split(&p) else {
+                    assert_eq!(iv.box_size(), 1, "seed {seed}: unsplittable wide box");
+                    continue;
+                };
+                assert!(lo.box_size() < iv.box_size(), "seed {seed}");
+                assert!(hi.box_size() < iv.box_size(), "seed {seed}");
+                let mut halves = collect_cuts(&p, &lo);
+                halves.extend(collect_cuts(&p, &hi));
+                halves.sort();
+                let mut whole = collect_cuts(&p, &iv);
+                whole.sort();
+                // Sorted with duplicates kept: catches both a missed cut
+                // (cover violation) and a double-delivered one (overlap).
+                assert_eq!(halves, whole, "seed {seed} event {}", iv.event);
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_splitting_terminates_and_loses_nothing() {
+        for (threads, events, seed) in [(2, 6, 1u64), (4, 4, 7), (10, 2, 3)] {
+            let p = RandomComputation::new(threads, events, 0.3, seed).generate();
+            let order = topo::kahn_order(&p);
+            for iv in partition(&p, &order) {
+                let mut work = vec![iv.clone()];
+                let mut leaves = Vec::new();
+                while let Some(next) = work.pop() {
+                    match next.split(&p) {
+                        Some((lo, hi)) => work.extend([lo, hi]),
+                        None => leaves.push(next),
+                    }
+                }
+                // Every leaf is a single-cut box; together they are the
+                // interval, each cut exactly once.
+                let mut from_leaves = Vec::new();
+                for leaf in &leaves {
+                    assert_eq!(leaf.box_size(), 1);
+                    from_leaves.extend(collect_cuts(&p, leaf));
+                }
+                from_leaves.sort();
+                let mut whole = collect_cuts(&p, &iv);
+                whole.sort();
+                assert_eq!(from_leaves, whole, "threads {threads} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_keeps_owner_dimension_and_empty_flag_on_lower_half() {
+        let p = figure4();
+        let ivs = partition(&p, &figure5_order());
+        // I(e2[2]) spans {1,2}..{2,2}: splittable along thread 0.
+        let (lo, hi) = ivs[3].split(&p).expect("width-1 box splits");
+        assert_eq!(lo.event, ivs[3].event);
+        assert_eq!(hi.event, ivs[3].event);
+        assert_eq!(lo.gmin, ivs[3].gmin);
+        assert_eq!(hi.gbnd, ivs[3].gbnd);
+        assert!(!lo.include_empty && !hi.include_empty);
+        // I(e1[1]) is a single cut: unsplittable.
+        assert!(ivs[0].split(&p).is_none());
     }
 
     #[test]

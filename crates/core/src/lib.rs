@@ -43,6 +43,7 @@
 
 pub mod exec;
 pub mod faults;
+pub mod governor;
 pub mod interval;
 pub mod metrics;
 pub mod offline;
@@ -52,6 +53,7 @@ pub mod store;
 
 pub use exec::IntervalExecutor;
 pub use faults::{FaultLog, FaultPlan, Outcome, QuarantinedInterval};
+pub use governor::{BudgetSnapshot, GovernorConfig, MemoryBudget, OverloadError, Pressure};
 pub use interval::{measure_interval_work, partition, Interval};
 pub use metrics::{
     HistogramSnapshot, IngestMetrics, IngestSnapshot, MetricsSnapshot, ParaMetrics, WorkerSnapshot,

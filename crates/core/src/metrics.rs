@@ -108,14 +108,27 @@ impl HighWaterGauge {
     /// Raises the gauge by one and folds the new value into the mark.
     #[inline]
     pub fn inc(&self) {
-        let now = self.value.fetch_add(1, Ordering::Relaxed) + 1;
-        self.high_water.fetch_max(now, Ordering::Relaxed);
+        self.add(1);
     }
 
     /// Lowers the gauge by one.
     #[inline]
     pub fn dec(&self) {
-        self.value.fetch_sub(1, Ordering::Relaxed);
+        self.sub(1);
+    }
+
+    /// Raises the gauge by `n` and folds the new value into the mark —
+    /// the byte-accounting form used by the spill-size instrument.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let now = self.value.fetch_add(n, Ordering::Relaxed) + n;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Lowers the gauge by `n`.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
     }
 
     /// Current value.
@@ -285,8 +298,24 @@ pub struct ParaMetrics {
     /// bookkeeping + snapshot under the poset mutex — Algorithm 4's
     /// atomic block).
     pub insert_critical_ns: Log2Histogram,
+    /// `SpillToDeque` submissions promoted to blocking because the
+    /// memory budget crossed its soft watermark
+    /// ([`MemoryBudget`](crate::governor::MemoryBudget)).
+    pub backpressure_promotions: ShardedCounter,
+    /// In-flight intervals preempted by the watchdog (deadline expiry) —
+    /// each was then either split or quarantined.
+    pub intervals_preempted: ShardedCounter,
+    /// Preempted intervals split into two sub-intervals and rescheduled
+    /// (each split re-dispatches both halves).
+    pub intervals_split: ShardedCounter,
+    /// Scans performed by the watchdog thread.
+    pub watchdog_wakeups: ShardedCounter,
     /// Dispatch-queue depth (current + high-water mark).
     pub queue_depth: HighWaterGauge,
+    /// Bytes currently held in the packed spill deque (current +
+    /// high-water mark) — this engine's contribution to the shared
+    /// memory budget.
+    pub spill_bytes: HighWaterGauge,
     workers: Box<[WorkerTally]>,
 }
 
@@ -306,9 +335,14 @@ impl ParaMetrics {
             intervals_retried: ShardedCounter::new(),
             worker_restarts: ShardedCounter::new(),
             worker_spawn_failures: ShardedCounter::new(),
+            backpressure_promotions: ShardedCounter::new(),
+            intervals_preempted: ShardedCounter::new(),
+            intervals_split: ShardedCounter::new(),
+            watchdog_wakeups: ShardedCounter::new(),
             interval_cuts: Log2Histogram::new(),
             insert_critical_ns: Log2Histogram::new(),
             queue_depth: HighWaterGauge::new(),
+            spill_bytes: HighWaterGauge::new(),
             workers: (0..workers).map(|_| WorkerTally::default()).collect(),
         }
     }
@@ -347,10 +381,16 @@ impl ParaMetrics {
             intervals_retried: self.intervals_retried.sum(),
             worker_restarts: self.worker_restarts.sum(),
             worker_spawn_failures: self.worker_spawn_failures.sum(),
+            backpressure_promotions: self.backpressure_promotions.sum(),
+            intervals_preempted: self.intervals_preempted.sum(),
+            intervals_split: self.intervals_split.sum(),
+            watchdog_wakeups: self.watchdog_wakeups.sum(),
             interval_cuts: self.interval_cuts.snapshot(),
             insert_critical_ns: self.insert_critical_ns.snapshot(),
             queue_depth: self.queue_depth.get(),
             queue_depth_high_water: self.queue_depth.high_water(),
+            spill_bytes: self.spill_bytes.get(),
+            spill_bytes_high_water: self.spill_bytes.high_water(),
             workers: self.workers.iter().map(WorkerTally::snapshot).collect(),
         }
     }
@@ -484,6 +524,14 @@ pub struct MetricsSnapshot {
     pub worker_restarts: u64,
     /// Worker threads that failed to spawn (engine degraded).
     pub worker_spawn_failures: u64,
+    /// Spill submissions promoted to blocking by the soft watermark.
+    pub backpressure_promotions: u64,
+    /// In-flight intervals preempted on deadline expiry.
+    pub intervals_preempted: u64,
+    /// Preempted intervals split and rescheduled.
+    pub intervals_split: u64,
+    /// Watchdog scan passes.
+    pub watchdog_wakeups: u64,
     /// Per-interval cut-count distribution.
     pub interval_cuts: HistogramSnapshot,
     /// Insertion critical-section time distribution (ns).
@@ -492,6 +540,11 @@ pub struct MetricsSnapshot {
     pub queue_depth: u64,
     /// Queue depth high-water mark.
     pub queue_depth_high_water: u64,
+    /// Packed spill-deque bytes at snapshot time.
+    pub spill_bytes: u64,
+    /// Largest packed spill-deque size ever held — the "did the memory
+    /// cap hold" number of the overload governor.
+    pub spill_bytes_high_water: u64,
     /// Per-worker busy/idle tallies.
     pub workers: Vec<WorkerSnapshot>,
 }
@@ -537,12 +590,39 @@ impl MetricsSnapshot {
                 self.worker_spawn_failures
             );
         }
+        if self.backpressure_promotions > 0 {
+            let _ = writeln!(
+                out,
+                "backpressure promotions: {} (soft watermark: spill became blocking)",
+                self.backpressure_promotions
+            );
+        }
+        if self.intervals_preempted > 0 {
+            let _ = writeln!(
+                out,
+                "intervals preempted:  {} (deadline expired mid-interval)",
+                self.intervals_preempted
+            );
+        }
+        if self.intervals_split > 0 {
+            let _ = writeln!(out, "intervals split:      {}", self.intervals_split);
+        }
+        if self.watchdog_wakeups > 0 {
+            let _ = writeln!(out, "watchdog wakeups:     {}", self.watchdog_wakeups);
+        }
         let _ = writeln!(out, "cuts emitted:         {}", self.cuts_emitted);
         let _ = writeln!(
             out,
             "queue depth:          {} now, {} high-water",
             self.queue_depth, self.queue_depth_high_water
         );
+        if self.spill_bytes_high_water > 0 {
+            let _ = writeln!(
+                out,
+                "spill bytes:          {} now, {} high-water",
+                self.spill_bytes, self.spill_bytes_high_water
+            );
+        }
         let _ = writeln!(
             out,
             "interval cut counts:  mean {:.1}, p50 <= {}, p99 <= {}, max {}",
@@ -601,6 +681,10 @@ impl MetricsSnapshot {
             ("intervals_retried", self.intervals_retried),
             ("worker_restarts", self.worker_restarts),
             ("worker_spawn_failures", self.worker_spawn_failures),
+            ("backpressure_promotions", self.backpressure_promotions),
+            ("intervals_preempted", self.intervals_preempted),
+            ("intervals_split", self.intervals_split),
+            ("watchdog_wakeups", self.watchdog_wakeups),
         ] {
             let _ = writeln!(
                 out,
@@ -611,6 +695,11 @@ impl MetricsSnapshot {
             out,
             "{{\"label\":\"{label}\",\"metric\":\"queue_depth\",\"type\":\"gauge\",\"value\":{},\"high_water\":{}}}",
             self.queue_depth, self.queue_depth_high_water
+        );
+        let _ = writeln!(
+            out,
+            "{{\"label\":\"{label}\",\"metric\":\"spill_bytes\",\"type\":\"gauge\",\"value\":{},\"high_water\":{}}}",
+            self.spill_bytes, self.spill_bytes_high_water
         );
         for (name, h) in [
             ("interval_cuts", &self.interval_cuts),
@@ -967,6 +1056,58 @@ mod tests {
             json.contains("\"metric\":\"intervals_quarantined\",\"type\":\"counter\",\"value\":1")
         );
         assert!(json.contains("\"metric\":\"worker_restarts\",\"type\":\"counter\",\"value\":1"));
+    }
+
+    #[test]
+    fn gauge_supports_byte_sized_steps() {
+        let g = HighWaterGauge::new();
+        g.add(100);
+        g.add(50);
+        g.sub(120);
+        assert_eq!(g.get(), 30);
+        assert_eq!(g.high_water(), 150);
+    }
+
+    #[test]
+    fn governor_counters_surface_in_both_renderers_only_when_nonzero() {
+        let clean = ParaMetrics::new(1).snapshot();
+        let text = clean.render_text();
+        assert!(!text.contains("backpressure promotions"), "{text}");
+        assert!(!text.contains("intervals preempted"), "{text}");
+        assert!(!text.contains("spill bytes"), "{text}");
+
+        let m = ParaMetrics::new(1);
+        m.backpressure_promotions.add(4);
+        m.intervals_preempted.add(2);
+        m.intervals_split.add(1);
+        m.watchdog_wakeups.add(9);
+        m.spill_bytes.add(640);
+        m.spill_bytes.sub(600);
+        let snap = m.snapshot();
+        assert_eq!(snap.backpressure_promotions, 4);
+        assert_eq!(snap.intervals_preempted, 2);
+        assert_eq!(snap.spill_bytes, 40);
+        assert_eq!(snap.spill_bytes_high_water, 640);
+        let text = snap.render_text();
+        assert!(text.contains("backpressure promotions: 4"), "{text}");
+        assert!(text.contains("intervals preempted:  2"), "{text}");
+        assert!(text.contains("intervals split:      1"), "{text}");
+        assert!(text.contains("watchdog wakeups:     9"), "{text}");
+        assert!(
+            text.contains("spill bytes:          40 now, 640 high-water"),
+            "{text}"
+        );
+        let json = snap.to_json_lines("governor");
+        assert!(json
+            .contains("\"metric\":\"backpressure_promotions\",\"type\":\"counter\",\"value\":4"));
+        assert!(
+            json.contains("\"metric\":\"intervals_preempted\",\"type\":\"counter\",\"value\":2")
+        );
+        assert!(json.contains("\"metric\":\"intervals_split\",\"type\":\"counter\",\"value\":1"));
+        assert!(json.contains("\"metric\":\"watchdog_wakeups\",\"type\":\"counter\",\"value\":9"));
+        assert!(json.contains(
+            "\"metric\":\"spill_bytes\",\"type\":\"gauge\",\"value\":40,\"high_water\":640"
+        ));
     }
 
     #[test]

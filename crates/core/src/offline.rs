@@ -73,6 +73,11 @@ pub struct ParaMount {
     /// feature compiles the injection sites in (panic isolation itself is
     /// always on — the plan only *creates* faults, never handles them).
     pub faults: FaultPlan,
+    /// Per-interval wall-clock deadline. `None` (default) disables
+    /// preemption; set it to bound how long any one interval can hold a
+    /// worker before being split or quarantined (see
+    /// [`crate::governor`]).
+    pub interval_deadline: Option<std::time::Duration>,
 }
 
 impl ParaMount {
@@ -84,7 +89,17 @@ impl ParaMount {
             frontier_budget: None,
             metrics: None,
             faults: FaultPlan::default(),
+            interval_deadline: None,
         }
+    }
+
+    /// Sets the per-interval wall-clock deadline (liveness supervision).
+    /// A preempted interval that delivered nothing is split and both
+    /// halves rescheduled; one that already delivered cuts is
+    /// quarantined with its exact prefix.
+    pub fn with_interval_deadline(mut self, deadline: Option<std::time::Duration>) -> Self {
+        self.interval_deadline = deadline;
+        self
     }
 
     /// Arms a deterministic fault-injection plan (active only when the
@@ -119,6 +134,7 @@ impl ParaMount {
         IntervalExecutor {
             algorithm: self.algorithm,
             frontier_budget: self.frontier_budget,
+            interval_deadline: self.interval_deadline,
             faults: self.faults,
         }
     }

@@ -26,6 +26,7 @@
 pub use crate::exec::BackpressurePolicy;
 use crate::exec::{IntervalExecutor, StreamExecutor, StreamParams};
 use crate::faults::{FaultLog, FaultPlan, Outcome};
+use crate::governor::{GovernorConfig, MemoryBudget, OverloadError};
 use crate::interval::Interval;
 use crate::metrics::MetricsSnapshot;
 use crate::sink::ParallelCutSink;
@@ -213,6 +214,9 @@ pub struct OnlineEngineConfig {
     /// built with the `chaos` feature **and** the plan arms a site; see
     /// [`FaultPlan`].
     pub faults: FaultPlan,
+    /// Overload governor: memory watermarks for adaptive backpressure
+    /// and the per-interval liveness deadline. Default is fully off.
+    pub governor: GovernorConfig,
 }
 
 impl Default for OnlineEngineConfig {
@@ -225,6 +229,7 @@ impl Default for OnlineEngineConfig {
             backpressure: BackpressurePolicy::Block,
             worker_restart_budget: 8,
             faults: FaultPlan::default(),
+            governor: GovernorConfig::default(),
         }
     }
 }
@@ -241,6 +246,10 @@ pub struct OnlineEngine<P: Send + Sync + 'static> {
     poset: Arc<OnlinePoset<P>>,
     stream: StreamExecutor<OnlinePoset<P>>,
     config: OnlineEngineConfig,
+    /// The byte account this engine charges — built from the config's
+    /// governor, or handed in by an embedder (the daemon shares one
+    /// budget across every session).
+    budget: Arc<MemoryBudget>,
 }
 
 impl<P: Send + Sync + 'static> OnlineEngine<P> {
@@ -259,9 +268,27 @@ impl<P: Send + Sync + 'static> OnlineEngine<P> {
         config: OnlineEngineConfig,
         sink: impl ParallelCutSink + 'static,
     ) -> Self {
+        let budget = Arc::new(MemoryBudget::new(config.governor));
+        Self::with_poset_and_budget(poset, config, sink, budget)
+    }
+
+    /// Starts an engine charging a caller-owned [`MemoryBudget`].
+    ///
+    /// Several engines can share one budget (the ingest daemon threads a
+    /// process-wide account through every session), so the watermarks
+    /// react to *total* load, not per-engine load. The watermarks come
+    /// from the budget; `config.governor` only contributes the interval
+    /// deadline here.
+    pub fn with_poset_and_budget(
+        poset: Arc<OnlinePoset<P>>,
+        config: OnlineEngineConfig,
+        sink: impl ParallelCutSink + 'static,
+        budget: Arc<MemoryBudget>,
+    ) -> Self {
         let exec = IntervalExecutor {
             algorithm: config.algorithm,
             frontier_budget: config.frontier_budget,
+            interval_deadline: config.governor.interval_deadline,
             faults: config.faults,
         };
         let params = StreamParams {
@@ -270,12 +297,25 @@ impl<P: Send + Sync + 'static> OnlineEngine<P> {
             backpressure: config.backpressure,
             worker_restart_budget: config.worker_restart_budget,
         };
-        let stream = StreamExecutor::new(Arc::clone(&poset), exec, params, Box::new(sink));
+        let stream = StreamExecutor::new(
+            Arc::clone(&poset),
+            exec,
+            params,
+            Box::new(sink),
+            Arc::clone(&budget),
+        );
         OnlineEngine {
             poset,
             stream,
             config,
+            budget,
         }
+    }
+
+    /// Bytes the budget is charged for each retained event: the event
+    /// record itself plus its heap-allocated vector clock.
+    fn retained_bytes_per_event(&self) -> usize {
+        std::mem::size_of::<Event<P>>() + self.poset.num_threads() * 4
     }
 
     /// Observes an event of thread `t` with explicit dependencies; clock
@@ -320,6 +360,10 @@ impl<P: Send + Sync + 'static> OnlineEngine<P> {
         m.insert_critical_ns
             .record(start.elapsed().as_nanos() as u64);
         m.events_inserted.add(1);
+        // Online retention is unbounded by construction (the trace only
+        // grows); charging it keeps the watermarks honest about *total*
+        // memory, not just the spill queue.
+        self.budget.charge_retained(self.retained_bytes_per_event());
     }
 
     /// The growing poset (also a [`CutSpace`], usable for ad-hoc queries).
@@ -344,20 +388,36 @@ impl<P: Send + Sync + 'static> OnlineEngine<P> {
         self.stream.metrics().snapshot()
     }
 
+    /// The memory budget this engine charges (shared with the embedder
+    /// when constructed via [`OnlineEngine::with_poset_and_budget`]).
+    pub fn budget(&self) -> &Arc<MemoryBudget> {
+        &self.budget
+    }
+
     /// Closes the stream, waits for all pending intervals — queued *and*
     /// spilled — to drain, and reports totals.
     pub fn finish(self) -> OnlineReport<P>
     where
         P: Clone,
     {
-        let OnlineEngine { poset, stream, .. } = self;
+        let retained = self.poset.num_events() * self.retained_bytes_per_event();
+        let OnlineEngine {
+            poset,
+            stream,
+            budget,
+            ..
+        } = self;
         let outcome = stream.finish();
+        // The engine's retention ends with it: credit everything this
+        // run charged so a shared budget sees the memory come back.
+        budget.credit_retained(retained);
         OnlineReport {
             cuts: outcome.metrics.cuts_emitted,
             events: poset.num_events() as u64,
             error: outcome.error,
             faults: outcome.faults,
             metrics: outcome.metrics,
+            overload: outcome.overload,
             poset: poset.snapshot(),
         }
     }
@@ -381,6 +441,10 @@ pub struct OnlineReport<P> {
     /// high-water mark, per-interval cut-count histogram, worker
     /// busy/idle tallies, insertion critical-section times.
     pub metrics: MetricsSnapshot,
+    /// Typed overload, if the memory budget's hard watermark forced
+    /// intervals to be shed mid-run (see [`crate::governor`]). Always
+    /// accompanied by `metrics.intervals_rejected > 0`.
+    pub overload: Option<OverloadError>,
     /// The final, frozen poset.
     pub poset: Poset<P>,
 }
@@ -850,6 +914,169 @@ mod tests {
         assert!(!report.is_complete());
         assert_eq!(counter.count(), report.cuts);
         assert_exact_partition(&report);
+    }
+
+    #[test]
+    fn watchdog_preempts_a_stalled_interval_and_quarantines_its_prefix() {
+        // t0: two events; t1: one concurrent event whose interval spans
+        // {0,1},{1,1},{2,1}. The sink delivers the first cut of that
+        // interval, then stalls far past the deadline: the next visit
+        // observes the expired deadline and preempts. One cut was
+        // already delivered, so a rerun would double-deliver — the
+        // interval is quarantined with its exact prefix (exactly-once
+        // outranks completeness).
+        let engine = OnlineEngine::new(
+            2,
+            OnlineEngineConfig {
+                workers: 1,
+                governor: GovernorConfig {
+                    interval_deadline: Some(std::time::Duration::from_millis(100)),
+                    ..GovernorConfig::default()
+                },
+                ..OnlineEngineConfig::default()
+            },
+            move |_: CutRef<'_>, owner: EventId| {
+                if owner.tid == Tid(1) {
+                    std::thread::sleep(std::time::Duration::from_millis(400));
+                }
+                ControlFlow::Continue(())
+            },
+        );
+        engine.observe_after(Tid(0), &[], ());
+        engine.observe_after(Tid(0), &[], ());
+        engine.observe_after(Tid(1), &[], ());
+        let report = engine.finish();
+        assert_eq!(report.faults.len(), 1);
+        let q = &report.faults.quarantined[0];
+        assert_eq!(q.interval.event.tid, Tid(1));
+        assert_eq!(q.cuts_emitted, 1, "exactly the delivered prefix");
+        assert!(q.message.contains("preempted"), "{}", q.message);
+        assert!(!report.is_complete());
+        let m = &report.metrics;
+        assert!(m.intervals_preempted >= 1);
+        assert!(m.watchdog_wakeups >= 1, "supervisor thread must have run");
+        assert_eq!(m.intervals_quarantined, 1);
+        assert_exact_partition(&report);
+    }
+
+    #[test]
+    fn zero_deadline_splits_intervals_to_leaves_and_stays_exact() {
+        // A zero deadline preempts every multi-cut interval at its first
+        // visit, before anything is delivered: the executor splits it
+        // and reschedules both halves, recursing until single-cut
+        // leaves, which rerun deadline-free. The final count must still
+        // be exact — the split preserves disjointness and cover.
+        let reference = RandomComputation::new(3, 5, 0.4, 23).generate();
+        let counter = StdArc::new(AtomicCountSink::new());
+        let counter_in_sink = StdArc::clone(&counter);
+        let engine = OnlineEngine::new(
+            3,
+            OnlineEngineConfig {
+                workers: 2,
+                governor: GovernorConfig {
+                    interval_deadline: Some(std::time::Duration::ZERO),
+                    ..GovernorConfig::default()
+                },
+                ..OnlineEngineConfig::default()
+            },
+            move |cut: CutRef<'_>, owner| counter_in_sink.visit(cut, owner),
+        );
+        engine.observe_poset(&reference);
+        let report = engine.finish();
+        assert_eq!(report.cuts, oracle::count_ideals(&report.poset));
+        assert_eq!(counter.count(), report.cuts);
+        assert!(report.is_complete(), "splitting must lose nothing");
+        let m = &report.metrics;
+        assert!(m.intervals_preempted >= 1);
+        assert!(m.intervals_split >= 1);
+        // A split consumes one dispatched interval and dispatches two
+        // more; every leaf either completes or (never, here) is
+        // quarantined. The ledger must balance exactly.
+        assert_eq!(
+            m.intervals_completed + m.intervals_quarantined + m.intervals_split,
+            m.intervals_dispatched
+        );
+    }
+
+    #[test]
+    fn soft_watermark_promotes_spill_to_blocking_and_loses_nothing() {
+        // With a 1-byte soft watermark the budget is in soft pressure
+        // from the first retained event on, so every queue-full submit
+        // is promoted from spilling to a blocking send: the producer
+        // slows down instead of growing the spill, and nothing is lost.
+        let reference = RandomComputation::new(3, 6, 0.3, 7).generate();
+        let counter = StdArc::new(AtomicCountSink::new());
+        let counter_in_sink = StdArc::clone(&counter);
+        let engine = OnlineEngine::new(
+            3,
+            OnlineEngineConfig {
+                workers: 1,
+                queue_capacity: 1,
+                backpressure: BackpressurePolicy::SpillToDeque,
+                governor: GovernorConfig {
+                    soft_spill_bytes: Some(1),
+                    ..GovernorConfig::default()
+                },
+                ..OnlineEngineConfig::default()
+            },
+            move |cut: CutRef<'_>, owner| {
+                // Slow consumer: force the 1-slot queue to overflow.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                counter_in_sink.visit(cut, owner)
+            },
+        );
+        engine.observe_poset(&reference);
+        let report = engine.finish();
+        assert_eq!(report.cuts, oracle::count_ideals(&report.poset));
+        assert_eq!(counter.count(), report.cuts);
+        assert!(report.is_complete());
+        assert!(report.overload.is_none());
+        let m = &report.metrics;
+        assert!(m.backpressure_promotions >= 1, "full queue must promote");
+        assert_eq!(m.intervals_spilled, 0, "soft pressure forbids spilling");
+        assert_eq!(m.intervals_rejected, 0);
+    }
+
+    #[test]
+    fn hard_watermark_with_fail_policy_reports_typed_overload() {
+        // A 1-byte hard watermark is exceeded by the first retained
+        // event, so every queue-full rejection under `Fail` also
+        // surfaces the typed overload error in the report.
+        let release = StdArc::new(AtomicBool::new(false));
+        let gate = StdArc::clone(&release);
+        let engine = OnlineEngine::new(
+            2,
+            OnlineEngineConfig {
+                workers: 1,
+                queue_capacity: 1,
+                backpressure: BackpressurePolicy::Fail,
+                governor: GovernorConfig {
+                    hard_spill_bytes: Some(1),
+                    ..GovernorConfig::default()
+                },
+                ..OnlineEngineConfig::default()
+            },
+            move |_: CutRef<'_>, _: EventId| {
+                while !gate.load(Ordering::Relaxed) {
+                    std::thread::yield_now();
+                }
+                ControlFlow::Continue(())
+            },
+        );
+        for _ in 0..30 {
+            engine.observe_after(Tid(0), &[], ());
+            engine.observe_after(Tid(1), &[], ());
+        }
+        release.store(true, Ordering::Relaxed);
+        let report = engine.finish();
+        assert!(report.metrics.intervals_rejected > 0);
+        let err = report
+            .overload
+            .expect("hard-watermark shedding must produce a typed error");
+        assert_eq!(err.hard_watermark, 1);
+        assert!(err.accounted_bytes >= 1);
+        assert!(err.to_string().contains("memory budget exhausted"));
+        assert!(!report.is_complete());
     }
 
     #[cfg(feature = "chaos")]

@@ -23,10 +23,9 @@ use std::time::Duration;
 /// Outbound buffer size that triggers a socket write.
 const WRITE_CHUNK: usize = 8 * 1024;
 
-/// Events between synchronous `FLUSH` checkpoints when a retrying send
-/// streams a trace: each checkpoint both drains the write buffer and
-/// records the server-acknowledged prefix for the failure report.
-const CHECKPOINT_EVENTS: u64 = 512;
+/// Default events between synchronous `FLUSH` checkpoints when a
+/// retrying send streams a trace (see [`RetryPolicy::checkpoint_every`]).
+const DEFAULT_CHECKPOINT_EVENTS: u64 = 512;
 
 /// Everything that can go wrong on the client side.
 #[derive(Debug)]
@@ -321,6 +320,11 @@ pub struct RetryPolicy {
     pub max_backoff: Duration,
     /// Seed for the deterministic jitter (tests pin schedules with it).
     pub jitter_seed: u64,
+    /// Events between synchronous `FLUSH` checkpoints while streaming
+    /// with retries enabled. Must be non-zero; values are clamped up
+    /// to 1. Smaller values tighten the acknowledged-prefix report at
+    /// the cost of one round-trip per checkpoint.
+    pub checkpoint_every: u64,
 }
 
 impl Default for RetryPolicy {
@@ -330,6 +334,7 @@ impl Default for RetryPolicy {
             backoff: Duration::from_millis(200),
             max_backoff: Duration::from_secs(5),
             jitter_seed: 0x9e37_79b9_7f4a_7c15,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVENTS,
         }
     }
 }
@@ -342,6 +347,12 @@ impl RetryPolicy {
             backoff,
             ..RetryPolicy::default()
         }
+    }
+
+    /// Sets the checkpoint interval (clamped up to 1 event).
+    pub fn with_checkpoint_every(mut self, events: u64) -> Self {
+        self.checkpoint_every = events.max(1);
+        self
     }
 
     /// The sleep before attempt `attempt` (2-based; attempt 1 never
@@ -365,6 +376,18 @@ impl RetryPolicy {
             paramount::faults::splitmix64(self.jitter_seed ^ u64::from(attempt)) % half
         };
         base + Duration::from_millis(jitter)
+    }
+
+    /// Like [`RetryPolicy::delay_before`], but floored at the server's
+    /// `retry-after-ms` hint from an `ERR busy` admission rejection: the
+    /// exponential schedule still applies, we just never retry *sooner*
+    /// than the daemon asked.
+    pub fn delay_before_hinted(&self, attempt: u32, hint: Option<Duration>) -> Duration {
+        let base = self.delay_before(attempt);
+        match hint {
+            Some(floor) if attempt > 1 => base.max(floor),
+            _ => base,
+        }
     }
 }
 
@@ -408,9 +431,12 @@ impl std::error::Error for SendError {}
 
 /// Streams a parsed trace into a daemon with reconnect-and-replay (see
 /// [`RetryPolicy`]). When `policy.attempts > 1` the stream checkpoints
-/// with a synchronous `FLUSH` every `CHECKPOINT_EVENTS` (512) events, so a
-/// failure reports exactly how much the daemon acknowledged. Returns the
-/// final report, the session id, and the number of attempts used.
+/// with a synchronous `FLUSH` every [`RetryPolicy::checkpoint_every`]
+/// events (default 512), so a failure reports exactly how much the
+/// daemon acknowledged. If the daemon rejects the `HELLO` with an
+/// `ERR busy retry-after-ms=<n>` admission frame, the next attempt's
+/// backoff is floored at the hinted duration. Returns the final report,
+/// the session id, and the number of attempts used.
 pub fn send_trace_with_retry(
     mut connect: impl FnMut() -> io::Result<Client>,
     hello: &Hello,
@@ -419,13 +445,18 @@ pub fn send_trace_with_retry(
 ) -> Result<(WireReport, u64, u32), SendError> {
     let attempts = policy.attempts.max(1);
     let checkpointing = attempts > 1;
+    let checkpoint_every = policy.checkpoint_every.max(1);
     let mut progress = SendProgress::default();
-    let mut last_error = None;
+    let mut last_error: Option<ClientError> = None;
     for attempt in 1..=attempts {
         progress.attempts = attempt;
         progress.events = 0;
         progress.cuts = 0;
-        std::thread::sleep(policy.delay_before(attempt));
+        let hint = last_error.as_ref().and_then(|e| match e {
+            ClientError::Rejected(err) => err.retry_after_hint(),
+            _ => None,
+        });
+        std::thread::sleep(policy.delay_before_hinted(attempt, hint));
         let result = (|| -> Result<(WireReport, u64), ClientError> {
             let mut client = connect()?;
             let session = client.hello(hello)?;
@@ -434,7 +465,7 @@ pub fn send_trace_with_retry(
                 let body = render_op(op, &trace.var_names, &trace.lock_names);
                 client.event_line(tid.index(), &body)?;
                 sent += 1;
-                if checkpointing && sent % CHECKPOINT_EVENTS == 0 {
+                if checkpointing && sent % checkpoint_every == 0 {
                     let (events, cuts) = client.flush_sync()?;
                     progress.events = events;
                     progress.cuts = cuts;

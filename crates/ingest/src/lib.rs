@@ -18,7 +18,7 @@
 //! clean `END`, a mid-stream disconnect, a tripped limit, or a daemon
 //! shutdown all finalize to an exact report for what arrived.
 //!
-//! ```no_run
+//! ```
 //! use paramount_ingest::{Client, Hello, Server, ServerConfig, WireOp};
 //!
 //! let mut server = Server::new(ServerConfig::default());

@@ -36,6 +36,12 @@
 //! STAT <json-object>              # repeated, then OK
 //! REPORT events=<n> cuts=<n> complete=<bool> reason=<reason>
 //! ```
+//!
+//! Admission control: a daemon over its memory budget answers `HELLO`
+//! with `ERR busy retry-after-ms=<n> …` and closes the connection. The
+//! first `key=value` token of a `busy` message is a machine-readable
+//! retry hint ([`DecodeError::retry_after_hint`]); well-behaved clients
+//! back off at least that long before reconnecting.
 
 use paramount::Algorithm;
 use paramount_trace::textfmt::{parse_op_body, ParseError};
@@ -62,6 +68,9 @@ pub enum ErrCode {
     Limit,
     /// Unsupported protocol version in `HELLO`.
     Version,
+    /// The daemon is over its memory budget and admits no new sessions;
+    /// the message starts with a `retry-after-ms=<n>` hint.
+    Busy,
 }
 
 impl ErrCode {
@@ -72,6 +81,7 @@ impl ErrCode {
             ErrCode::State => "state",
             ErrCode::Limit => "limit",
             ErrCode::Version => "version",
+            ErrCode::Busy => "busy",
         }
     }
 
@@ -82,6 +92,7 @@ impl ErrCode {
             "state" => ErrCode::State,
             "limit" => ErrCode::Limit,
             "version" => ErrCode::Version,
+            "busy" => ErrCode::Busy,
             _ => return None,
         })
     }
@@ -109,6 +120,27 @@ impl DecodeError {
             code,
             message: message.into(),
         }
+    }
+
+    /// An admission-control rejection carrying a retry hint: the message
+    /// leads with `retry-after-ms=<n>` so clients can parse it without
+    /// caring about the prose after it.
+    pub fn busy(retry_after_ms: u64, detail: impl fmt::Display) -> Self {
+        DecodeError::new(
+            ErrCode::Busy,
+            format!("retry-after-ms={retry_after_ms} {detail}"),
+        )
+    }
+
+    /// The retry hint of a [`ErrCode::Busy`] rejection, if present: the
+    /// duration the server asks the client to wait before reconnecting.
+    pub fn retry_after_hint(&self) -> Option<std::time::Duration> {
+        if self.code != ErrCode::Busy {
+            return None;
+        }
+        let first = self.message.split_whitespace().next()?;
+        let ms: u64 = first.strip_prefix("retry-after-ms=")?.parse().ok()?;
+        Some(std::time::Duration::from_millis(ms))
     }
 }
 
@@ -669,10 +701,36 @@ mod tests {
             ErrCode::State,
             ErrCode::Limit,
             ErrCode::Version,
+            ErrCode::Busy,
         ] {
             assert_eq!(ErrCode::from_token(code.as_str()), Some(code));
         }
         assert_eq!(EndReason::from_token("nope"), None);
         assert_eq!(ErrCode::from_token("nope"), None);
+    }
+
+    #[test]
+    fn busy_rejection_round_trips_with_its_retry_hint() {
+        let err = DecodeError::busy(250, "2 sessions over budget");
+        let line = ServerFrame::Err(err.clone()).encode();
+        assert_eq!(line, "ERR busy retry-after-ms=250 2 sessions over budget");
+        let parsed = match parse_server_line(&line).unwrap() {
+            ServerFrame::Err(e) => e,
+            other => panic!("expected ERR, got {other:?}"),
+        };
+        assert_eq!(parsed, err);
+        assert_eq!(
+            parsed.retry_after_hint(),
+            Some(std::time::Duration::from_millis(250))
+        );
+        // The hint is specific to `busy` frames and to well-formed hints.
+        assert_eq!(
+            DecodeError::new(ErrCode::Limit, "retry-after-ms=9 nope").retry_after_hint(),
+            None
+        );
+        assert_eq!(
+            DecodeError::new(ErrCode::Busy, "no hint here").retry_after_hint(),
+            None
+        );
     }
 }

@@ -20,7 +20,9 @@ use crate::proto::{
     parse_client_line, ClientFrame, DecodeError, EndReason, ErrCode, ServerFrame, MAX_LINE_BYTES,
 };
 use crate::session::{Session, SessionConfig, SessionReport};
-use paramount::{panic_message, IngestMetrics, IngestSnapshot};
+use paramount::{
+    panic_message, GovernorConfig, IngestMetrics, IngestSnapshot, MemoryBudget, Pressure,
+};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
@@ -46,6 +48,14 @@ pub struct ServerConfig {
     /// Most sessions allowed to be live at once; further `HELLO`s get
     /// `ERR limit` and the connection closes.
     pub max_sessions: u64,
+    /// Daemon-wide overload governor: every session's engine charges one
+    /// shared [`MemoryBudget`] built from these watermarks, so admission
+    /// control and backpressure react to *total* load. The interval
+    /// deadline applies to every session's workers.
+    pub governor: GovernorConfig,
+    /// Retry hint (milliseconds) carried by `ERR busy` admission
+    /// rejections while the daemon is over budget.
+    pub busy_retry_after_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +63,8 @@ impl Default for ServerConfig {
         ServerConfig {
             session: SessionConfig::default(),
             max_sessions: 64,
+            governor: GovernorConfig::default(),
+            busy_retry_after_ms: 250,
         }
     }
 }
@@ -174,6 +186,8 @@ pub struct Server {
     listeners: Vec<Listener>,
     metrics: Arc<IngestMetrics>,
     stop: Arc<AtomicBool>,
+    /// The process-wide byte account every session's engine charges.
+    budget: Arc<MemoryBudget>,
 }
 
 impl Server {
@@ -184,7 +198,13 @@ impl Server {
             listeners: Vec::new(),
             metrics: Arc::new(IngestMetrics::new()),
             stop: Arc::new(AtomicBool::new(false)),
+            budget: Arc::new(MemoryBudget::new(config.governor)),
         }
+    }
+
+    /// The daemon-wide memory budget (live; for tests and banners).
+    pub fn budget(&self) -> &Arc<MemoryBudget> {
+        &self.budget
     }
 
     /// Binds a TCP endpoint. `addr` may use port 0 for an ephemeral port;
@@ -263,6 +283,7 @@ impl Server {
                                 next_id: Arc::clone(&next_id),
                                 report_tx: report_tx.clone(),
                                 notify: Arc::clone(&notify),
+                                budget: Arc::clone(&self.budget),
                             };
                             match std::thread::Builder::new()
                                 .name("paramount-ingest-conn".to_string())
@@ -318,6 +339,7 @@ struct ConnCtx<F: Fn(&SessionReport) + Send + Sync> {
     next_id: Arc<AtomicU64>,
     report_tx: mpsc::Sender<SessionReport>,
     notify: Arc<F>,
+    budget: Arc<MemoryBudget>,
 }
 
 /// Reads `\n`-terminated lines off a timeout-ticking stream. BufReader's
@@ -599,8 +621,30 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
                 );
                 return FrameOutcome::Close(EndReason::Limit);
             }
+            // Admission control: while the shared budget is at or past
+            // its soft watermark, new sessions are turned away with a
+            // retry hint — existing sessions keep the remaining headroom.
+            if ctx.budget.pressure() >= Pressure::Soft {
+                ctx.metrics.sessions_rejected.add(1);
+                let _ = send(
+                    stream,
+                    &ServerFrame::Err(DecodeError::busy(
+                        ctx.config.busy_retry_after_ms,
+                        format!(
+                            "daemon over memory budget ({} accounted bytes)",
+                            ctx.budget.accounted_bytes()
+                        ),
+                    )),
+                );
+                return FrameOutcome::Close(EndReason::Limit);
+            }
             let id = ctx.next_id.fetch_add(1, Ordering::Relaxed);
-            match Session::open(id, &hello, &ctx.config.session) {
+            // The daemon-wide governor supplies the engine's deadline and
+            // the shared budget; a per-session governor in the session
+            // defaults would silo the accounting, so it is overridden.
+            let mut session_config = ctx.config.session;
+            session_config.engine.governor = ctx.config.governor;
+            match Session::open_with_budget(id, &hello, &session_config, Arc::clone(&ctx.budget)) {
                 Ok(s) => {
                     ctx.metrics.sessions_opened.add(1);
                     ctx.metrics.active_sessions.inc();
@@ -679,7 +723,16 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
                     let label = s.label().unwrap_or("session").to_string();
                     s.metrics().to_json_lines(&label)
                 }
-                None => ctx.metrics.snapshot().to_json_lines("ingest"),
+                None => {
+                    let mut out = ctx.metrics.snapshot().to_json_lines("ingest");
+                    if !out.is_empty() && !out.ends_with('\n') {
+                        out.push('\n');
+                    }
+                    // The budget gauge rides along so a scrape shows the
+                    // daemon's headroom next to its session counters.
+                    out.push_str(&ctx.budget.snapshot().to_json_line("ingest"));
+                    out
+                }
             };
             for line in json.lines() {
                 if send(stream, &ServerFrame::Stat(line.to_string())).is_err() {

@@ -24,7 +24,7 @@
 //! exactly `i(P)` of the observed prefix.
 
 use crate::proto::{DecodeError, EndReason, ErrCode, Hello, WireOp, WireReport};
-use paramount::{MetricsSnapshot, OnlineEngine, OnlineEngineConfig};
+use paramount::{MemoryBudget, MetricsSnapshot, OnlineEngine, OnlineEngineConfig, OnlinePoset};
 use paramount_poset::Tid;
 use paramount_trace::{LockId, Recorder, RecorderConfig, TraceEvent, VarId};
 use std::collections::HashMap;
@@ -167,9 +167,24 @@ pub struct Session {
 }
 
 impl Session {
-    /// Opens a session from a validated `HELLO`. Fails (without starting
-    /// an engine) when the declaration exceeds the limits.
+    /// Opens a session from a validated `HELLO` with its own private
+    /// memory budget (built from the engine config's governor). Fails
+    /// (without starting an engine) when the declaration exceeds the
+    /// limits.
     pub fn open(id: u64, hello: &Hello, config: &SessionConfig) -> Result<Self, DecodeError> {
+        let budget = Arc::new(MemoryBudget::new(config.engine.governor));
+        Self::open_with_budget(id, hello, config, budget)
+    }
+
+    /// Opens a session whose engine charges a caller-owned budget — the
+    /// daemon threads one process-wide account through every session so
+    /// the watermarks react to total load.
+    pub fn open_with_budget(
+        id: u64,
+        hello: &Hello,
+        config: &SessionConfig,
+        budget: Arc<MemoryBudget>,
+    ) -> Result<Self, DecodeError> {
         let limits = config.limits;
         if hello.threads > limits.max_threads {
             return Err(DecodeError::new(
@@ -189,12 +204,13 @@ impl Session {
         }
         // Count-only sink: the session's deliverable is the cut count and
         // metrics, not the cuts themselves (they are exponential).
-        let engine = Arc::new(OnlineEngine::new(
-            hello.threads,
+        let engine = Arc::new(OnlineEngine::with_poset_and_budget(
+            Arc::new(OnlinePoset::new(hello.threads)),
             engine_config,
             |_: paramount_poset::CutRef<'_>, _: paramount_poset::EventId| {
                 std::ops::ControlFlow::<()>::Continue(())
             },
+            budget,
         ));
         let recorder = Recorder::new(
             hello.threads,

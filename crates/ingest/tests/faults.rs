@@ -48,6 +48,7 @@ fn retry_delays_are_deterministic_exponential_and_capped() {
         backoff: Duration::from_millis(100),
         max_backoff: Duration::from_millis(400),
         jitter_seed: 42,
+        ..RetryPolicy::default()
     };
     // The first attempt never waits.
     assert_eq!(policy.delay_before(1), Duration::ZERO);

@@ -31,9 +31,10 @@ pub use paramount_workloads;
 /// Convenience prelude for examples and tests.
 pub mod prelude {
     pub use paramount::{
-        partition, Algorithm, AtomicCountSink, BackpressurePolicy, ConcurrentCollectSink, Interval,
-        MetricsSnapshot, OnlineEngine, OnlineEngineConfig, OnlinePoset, ParaMetrics, ParaMount,
-        ParallelCutSink,
+        partition, Algorithm, AtomicCountSink, BackpressurePolicy, BudgetSnapshot,
+        ConcurrentCollectSink, GovernorConfig, Interval, MemoryBudget, MetricsSnapshot,
+        OnlineEngine, OnlineEngineConfig, OnlinePoset, OverloadError, ParaMetrics, ParaMount,
+        ParallelCutSink, Pressure,
     };
     pub use paramount_detect::{DetectorConfig, RacePredicate};
     pub use paramount_poset::{

@@ -158,6 +158,28 @@ proptest! {
         }
     }
 
+    /// Watchdog preemption splits (Lemma 2/3 applied recursively): each
+    /// splittable interval divides into two strictly smaller halves that
+    /// are disjoint and exactly cover the parent's consistent cuts.
+    #[test]
+    fn interval_split_is_a_disjoint_cover(poset in arb_poset(), use_kahn in any::<bool>()) {
+        let order = if use_kahn { topo::kahn_order(&poset) } else { topo::weight_order(&poset) };
+        let cuts = oracle::enumerate_product_scan(&poset);
+        for iv in partition(&poset, &order) {
+            let Some((lo, hi)) = iv.split(&poset) else { continue };
+            prop_assert!(lo.box_size() < iv.box_size(), "split must shrink");
+            prop_assert!(hi.box_size() < iv.box_size(), "split must shrink");
+            for cut in &cuts {
+                let owners = usize::from(lo.contains(cut)) + usize::from(hi.contains(cut));
+                if iv.contains(cut) {
+                    prop_assert_eq!(owners, 1, "cut {} owned {} times after split", cut, owners);
+                } else {
+                    prop_assert_eq!(owners, 0, "halves escaped the parent at {}", cut);
+                }
+            }
+        }
+    }
+
     /// Frontier lattice laws hold for cuts sampled from real posets.
     #[test]
     fn frontier_lattice_laws(poset in arb_poset(), i in any::<prop::sample::Index>(), j in any::<prop::sample::Index>()) {
