@@ -1,0 +1,217 @@
+//! **CI perf gate** — machine-readable per-algorithm numbers on two
+//! pinned workloads, checked against `bench_results/baseline.json`.
+//!
+//! For every (workload, algorithm) cell this measures visited cuts,
+//! wall clock, peak stored frontiers (from [`paramount::EnumStats`]),
+//! peak heap growth (counting allocator), and allocation events; the
+//! JSON schema and the pass/fail rules live in
+//! [`paramount_bench::perf_report`]. Absolute wall clock never gates —
+//! only within-run throughput *ratios* (normalized to the lexical scan)
+//! and deterministic counts do, so the gate is meaningful across
+//! machines.
+//!
+//! ```text
+//! perf [--algos lexical,bfs,...] [--out DIR] [--check BASELINE.json]
+//!      [--write-baseline PATH] [--tolerance 0.15]
+//! ```
+//!
+//! * `--out DIR` — write `DIR/BENCH_perf.json` (created if missing).
+//! * `--check PATH` — enforce self-consistency invariants, then compare
+//!   against the baseline at PATH; exit 1 on any failure. A baseline
+//!   with `"bootstrap": true` skips the value comparison (invariants
+//!   still gate) — freeze real numbers with `--write-baseline` on the
+//!   reference machine and commit the result.
+//! * `--write-baseline PATH` — write this run as a non-bootstrap
+//!   baseline.
+//!
+//! Workloads are pinned by seed: `d8-dense` is the allocs-per-cut
+//! workload from the `allocs` binary (n=8, inside the inline-frontier
+//! regime); `w10-wide` is a sparse n=10 computation whose wide levels
+//! are exactly the regime the leveled traversal exists for — stored
+//! frontiers cost megabytes there, regeneration costs `O(n)`.
+
+use paramount_bench::alloc_track::{self, CountingAllocator};
+use paramount_bench::perf_report::{self, Record, Report};
+use paramount_enumerate::{Algorithm, CountSink};
+use paramount_poset::random::RandomComputation;
+use paramount_poset::Poset;
+use std::process::ExitCode;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn pinned_workloads() -> Vec<(&'static str, Poset)> {
+    vec![
+        // Keep in sync with the `allocs` binary's d8-dense definition.
+        ("d8-dense", RandomComputation::new(8, 4, 0.6, 7).generate()),
+        (
+            "w10-wide",
+            RandomComputation::new(10, 3, 0.2, 13).generate(),
+        ),
+    ]
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_algos(args: &[String]) -> Result<Vec<Algorithm>, String> {
+    match flag_value(args, "--algos") {
+        None => Ok(Algorithm::ALL.to_vec()),
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                Algorithm::from_name(name.trim())
+                    .ok_or_else(|| format!("unknown algorithm `{name}`"))
+            })
+            .collect(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let algos = match parse_algos(&args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tolerance: f64 = match flag_value(&args, "--tolerance").map(|v| v.parse()) {
+        None => 0.15,
+        Some(Ok(t)) => t,
+        Some(Err(_)) => {
+            eprintln!("error: invalid --tolerance");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut report = Report::default();
+    println!(
+        "{:<10} {:<8} {:>10} {:>10} {:>9} {:>12} {:>10} {:>9}",
+        "workload", "algo", "cuts", "cuts/s", "frontiers", "peak bytes", "allocs", "rel"
+    );
+    for (name, poset) in pinned_workloads() {
+        let mut rows: Vec<Record> = Vec::new();
+        for &algorithm in &algos {
+            let start = Instant::now();
+            let ((cuts, peak_frontiers), allocs, peak_bytes) = {
+                let ((inner, allocs), peak) = alloc_track::measure_peak(|| {
+                    alloc_track::measure_allocs(|| {
+                        let mut sink = CountSink::default();
+                        let stats = algorithm.run(&poset, &mut sink).expect("unbounded run");
+                        (sink.count, stats.peak_frontiers as u64)
+                    })
+                });
+                (inner, allocs as u64, peak as u64)
+            };
+            let elapsed = start.elapsed();
+            let secs = elapsed.as_secs_f64().max(1e-9);
+            rows.push(Record {
+                workload: name.to_string(),
+                algo: algorithm.name().to_string(),
+                cuts,
+                elapsed_ns: elapsed.as_nanos() as u64,
+                cuts_per_sec: cuts as f64 / secs,
+                peak_frontiers,
+                peak_frontier_bytes: peak_bytes,
+                allocs,
+                allocs_per_cut: if cuts == 0 {
+                    0.0
+                } else {
+                    allocs as f64 / cuts as f64
+                },
+                rel_throughput: 0.0, // filled once the workload's lexical row exists
+            });
+        }
+        let reference = rows
+            .iter()
+            .find(|r| r.algo == "lexical")
+            .or_else(|| rows.first())
+            .map_or(1.0, |r| r.cuts_per_sec)
+            .max(1e-9);
+        for r in &mut rows {
+            r.rel_throughput = r.cuts_per_sec / reference;
+            println!(
+                "{:<10} {:<8} {:>10} {:>10.0} {:>9} {:>12} {:>10} {:>9.3}",
+                r.workload,
+                r.algo,
+                r.cuts,
+                r.cuts_per_sec,
+                r.peak_frontiers,
+                r.peak_frontier_bytes,
+                r.allocs,
+                r.rel_throughput
+            );
+        }
+        report.records.extend(rows);
+    }
+
+    if let Some(dir) = flag_value(&args, "--out") {
+        let path = format!("{dir}/BENCH_perf.json");
+        if let Err(e) =
+            std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, report.to_json()))
+        {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nwrote {path}");
+    }
+    if let Some(path) = flag_value(&args, "--write-baseline") {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote baseline {path}");
+    }
+
+    // Machine-independent invariants always gate, baseline or not.
+    let invariant_failures = perf_report::self_check(&report);
+    for f in &invariant_failures {
+        eprintln!("INVARIANT FAILED: {f}");
+    }
+    if !invariant_failures.is_empty() {
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = flag_value(&args, "--check") {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match Report::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: cannot parse baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if baseline.bootstrap {
+            println!(
+                "\nbaseline {path} is bootstrap — invariants enforced, value comparison \
+                 skipped.\nTo freeze real numbers: run `perf --write-baseline {path}` on the \
+                 reference machine and commit the result."
+            );
+            return ExitCode::SUCCESS;
+        }
+        let failures = perf_report::compare(&report, &baseline, tolerance);
+        for f in &failures {
+            eprintln!("PERF REGRESSION: {f}");
+        }
+        if !failures.is_empty() {
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "\nperf check passed against {path} (±{:.0}%)",
+            tolerance * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -12,6 +12,7 @@
 pub mod alloc_track;
 pub mod fmt;
 pub mod metrics_out;
+pub mod perf_report;
 pub mod schedule;
 pub mod timing;
 

@@ -1,0 +1,574 @@
+//! Machine-readable perf records for the CI regression gate (the `perf`
+//! binary): serialization, a dependency-free JSON reader, and the
+//! comparison logic that decides pass/fail against a committed baseline.
+//!
+//! Two kinds of checks, deliberately separated:
+//!
+//! * **Self-consistency invariants** ([`self_check`]) hold on *any*
+//!   machine and are always enforced — every algorithm visits the same
+//!   cut set, the leveled walk's live state stays `O(n)`
+//!   (`peak_frontiers == 1`), and on wide workloads its heap peak stays
+//!   below stored-frontier BFS. These are the properties the
+//!   space-efficient traversal exists to deliver; a run that violates
+//!   them is wrong regardless of how fast the machine is.
+//! * **Baseline comparison** ([`compare`]) checks *relative* numbers
+//!   (within-run throughput ratios, allocs/cut, frontier bytes) against
+//!   `bench_results/baseline.json` inside a tolerance band. Absolute
+//!   wall-clock never crosses machines, so only machine-stable ratios
+//!   and deterministic counts are gated. A baseline marked
+//!   `"bootstrap": true` has placeholder values: comparison is skipped
+//!   (invariants still run) and CI uploads the fresh report as the
+//!   candidate baseline to commit.
+
+use std::fmt::Write as _;
+
+/// One measured (workload, algorithm) cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Workload name (e.g. `d8-dense`, `w10-wide`).
+    pub workload: String,
+    /// Algorithm name as printed by `Algorithm::name()`.
+    pub algo: String,
+    /// Visited cuts — deterministic, compared exactly.
+    pub cuts: u64,
+    /// Wall-clock nanoseconds for the enumeration (machine-local;
+    /// recorded for humans, never compared).
+    pub elapsed_ns: u64,
+    /// Visited cuts per second (machine-local; never compared directly).
+    pub cuts_per_sec: f64,
+    /// Peak stored frontiers reported by the enumerator — deterministic,
+    /// compared exactly. The leveled walk must report 1.
+    pub peak_frontiers: u64,
+    /// Peak heap growth (bytes) during the run, from the counting
+    /// allocator. Dominated by frontier storage; compared with
+    /// tolerance.
+    pub peak_frontier_bytes: u64,
+    /// Allocation events during the run.
+    pub allocs: u64,
+    /// Allocation events per visited cut; compared with tolerance.
+    pub allocs_per_cut: f64,
+    /// Throughput normalized to the lexical scan on the same workload in
+    /// the same run — the machine-independent speed signal the gate
+    /// compares.
+    pub rel_throughput: f64,
+}
+
+/// A full perf run: every record plus the bootstrap marker.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    /// True for the committed placeholder baseline produced before any
+    /// real machine ran the bench: comparison is skipped, invariants are
+    /// not.
+    pub bootstrap: bool,
+    /// All measured cells, in run order.
+    pub records: Vec<Record>,
+}
+
+impl Report {
+    /// Serializes to the `BENCH_perf.json` schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": 1,\n");
+        let _ = writeln!(out, "  \"bootstrap\": {},", self.bootstrap);
+        out.push_str("  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"workload\": \"{}\", \"algo\": \"{}\", \"cuts\": {}, \
+                 \"elapsed_ns\": {}, \"cuts_per_sec\": {:.1}, \"peak_frontiers\": {}, \
+                 \"peak_frontier_bytes\": {}, \"allocs\": {}, \"allocs_per_cut\": {:.4}, \
+                 \"rel_throughput\": {:.4}}}",
+                r.workload,
+                r.algo,
+                r.cuts,
+                r.elapsed_ns,
+                r.cuts_per_sec,
+                r.peak_frontiers,
+                r.peak_frontier_bytes,
+                r.allocs,
+                r.allocs_per_cut,
+                r.rel_throughput
+            );
+            out.push_str(if i + 1 < self.records.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a report written by [`Report::to_json`] (or hand-edited —
+    /// any standard JSON with the same shape).
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        let value = parse_json(text)?;
+        let obj = value.as_obj().ok_or("top level is not an object")?;
+        let bootstrap = match find(obj, "bootstrap") {
+            Some(Json::Bool(b)) => *b,
+            None => false,
+            Some(other) => return Err(format!("bootstrap is not a bool: {other:?}")),
+        };
+        let records_json = find(obj, "records")
+            .and_then(Json::as_arr)
+            .ok_or("missing records array")?;
+        let mut records = Vec::new();
+        for rec in records_json {
+            let fields = rec.as_obj().ok_or("record is not an object")?;
+            let str_field = |name: &str| -> Result<String, String> {
+                find(fields, name)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("record missing string `{name}`"))
+            };
+            let num_field = |name: &str| -> Result<f64, String> {
+                find(fields, name)
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("record missing number `{name}`"))
+            };
+            records.push(Record {
+                workload: str_field("workload")?,
+                algo: str_field("algo")?,
+                cuts: num_field("cuts")? as u64,
+                elapsed_ns: num_field("elapsed_ns")? as u64,
+                cuts_per_sec: num_field("cuts_per_sec")?,
+                peak_frontiers: num_field("peak_frontiers")? as u64,
+                peak_frontier_bytes: num_field("peak_frontier_bytes")? as u64,
+                allocs: num_field("allocs")? as u64,
+                allocs_per_cut: num_field("allocs_per_cut")?,
+                rel_throughput: num_field("rel_throughput")?,
+            });
+        }
+        Ok(Report { bootstrap, records })
+    }
+
+    fn get(&self, workload: &str, algo: &str) -> Option<&Record> {
+        self.records
+            .iter()
+            .find(|r| r.workload == workload && r.algo == algo)
+    }
+}
+
+/// Machine-independent invariants on a single run. Returns human-readable
+/// failures; empty means the run is internally sound.
+pub fn self_check(report: &Report) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut workloads: Vec<&str> = report.records.iter().map(|r| r.workload.as_str()).collect();
+    workloads.dedup();
+    for w in workloads {
+        let rows: Vec<&Record> = report.records.iter().filter(|r| r.workload == w).collect();
+        // Exactly-once across subroutines: everyone sees the same lattice.
+        for pair in rows.windows(2) {
+            if pair[0].cuts != pair[1].cuts {
+                failures.push(format!(
+                    "{w}: cut counts disagree — {}={} vs {}={}",
+                    pair[0].algo, pair[0].cuts, pair[1].algo, pair[1].cuts
+                ));
+            }
+        }
+        let leveled = rows.iter().find(|r| r.algo == "leveled");
+        if let Some(lvl) = leveled {
+            // The space bound the leveled walk exists for.
+            if lvl.peak_frontiers != 1 {
+                failures.push(format!(
+                    "{w}: leveled peak_frontiers = {} (must regenerate, not store)",
+                    lvl.peak_frontiers
+                ));
+            }
+            // On wide lattices, stored-frontier BFS must pay measurably
+            // more heap than regeneration. Narrow workloads are exempt:
+            // their level sets are small enough that fixed overheads
+            // dominate the comparison.
+            if w.contains("wide") {
+                if let Some(bfs) = rows.iter().find(|r| r.algo == "bfs") {
+                    if lvl.peak_frontier_bytes >= bfs.peak_frontier_bytes {
+                        failures.push(format!(
+                            "{w}: leveled peak bytes {} not below bfs {}",
+                            lvl.peak_frontier_bytes, bfs.peak_frontier_bytes
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Compares a fresh run against a baseline within `tolerance`
+/// (fractional, e.g. `0.15`). Returns failures; empty means no
+/// regression. Deterministic fields (cuts, peak frontiers) are exact;
+/// ratio fields get the band. Records present in the baseline but
+/// missing from the run fail — coverage must not silently shrink.
+pub fn compare(current: &Report, baseline: &Report, tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for base in &baseline.records {
+        let key = format!("{}/{}", base.workload, base.algo);
+        let Some(cur) = current.get(&base.workload, &base.algo) else {
+            failures.push(format!("{key}: in baseline but not measured"));
+            continue;
+        };
+        if cur.cuts != base.cuts {
+            failures.push(format!(
+                "{key}: cuts {} != baseline {}",
+                cur.cuts, base.cuts
+            ));
+        }
+        if cur.peak_frontiers != base.peak_frontiers {
+            failures.push(format!(
+                "{key}: peak_frontiers {} != baseline {}",
+                cur.peak_frontiers, base.peak_frontiers
+            ));
+        }
+        if cur.rel_throughput < base.rel_throughput * (1.0 - tolerance) {
+            failures.push(format!(
+                "{key}: rel_throughput {:.3} regressed below baseline {:.3} (-{:.0}% band)",
+                cur.rel_throughput,
+                base.rel_throughput,
+                tolerance * 100.0
+            ));
+        }
+        if (cur.peak_frontier_bytes as f64) > (base.peak_frontier_bytes as f64) * (1.0 + tolerance)
+        {
+            failures.push(format!(
+                "{key}: peak_frontier_bytes {} grew past baseline {} (+{:.0}% band)",
+                cur.peak_frontier_bytes,
+                base.peak_frontier_bytes,
+                tolerance * 100.0
+            ));
+        }
+        if cur.allocs_per_cut > base.allocs_per_cut * (1.0 + tolerance) + 0.01 {
+            failures.push(format!(
+                "{key}: allocs_per_cut {:.4} grew past baseline {:.4} (+{:.0}% band)",
+                cur.allocs_per_cut,
+                base.allocs_per_cut,
+                tolerance * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+/// A parsed JSON value. Only what the baseline reader needs — numbers
+/// are `f64` (every gated integer fits well inside the 2^53 mantissa).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number literal.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn find<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Parses one JSON document. Recursive descent over bytes; no external
+/// dependencies (the bench crate must not grow a serde edge for one
+/// baseline file).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&ch) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", ch as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("bad keyword at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    other => return Err(format!("unsupported escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy a maximal run of plain bytes (UTF-8 passes through
+                // untouched).
+                let start = *pos;
+                while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(workload: &str, algo: &str) -> Record {
+        Record {
+            workload: workload.to_string(),
+            algo: algo.to_string(),
+            cuts: 1000,
+            elapsed_ns: 5_000_000,
+            cuts_per_sec: 200_000.0,
+            peak_frontiers: if algo == "leveled" { 1 } else { 64 },
+            peak_frontier_bytes: if algo == "leveled" { 512 } else { 65536 },
+            allocs: 40,
+            allocs_per_cut: 0.04,
+            rel_throughput: 1.0,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_records() {
+        let report = Report {
+            bootstrap: true,
+            records: vec![record("w10-wide", "bfs"), record("w10-wide", "leveled")],
+        };
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.bootstrap, report.bootstrap);
+        assert_eq!(parsed.records.len(), 2);
+        assert_eq!(parsed.records[0].workload, "w10-wide");
+        assert_eq!(parsed.records[1].peak_frontiers, 1);
+        assert_eq!(parsed.records[0].cuts, 1000);
+    }
+
+    #[test]
+    fn parser_handles_nesting_escapes_and_rejects_garbage() {
+        let v = parse_json(r#"{"a": [1, -2.5e3, "x\"y"], "b": {"c": null}}"#).unwrap();
+        let Json::Obj(pairs) = v else { panic!() };
+        assert_eq!(pairs[0].0, "a");
+        assert_eq!(
+            pairs[0].1,
+            Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-2500.0),
+                Json::Str("x\"y".to_string())
+            ])
+        );
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2] extra").is_err());
+        assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn self_check_catches_each_invariant() {
+        let mut report = Report {
+            bootstrap: false,
+            records: vec![record("w10-wide", "bfs"), record("w10-wide", "leveled")],
+        };
+        assert!(self_check(&report).is_empty());
+
+        report.records[1].cuts = 999;
+        assert!(self_check(&report)[0].contains("cut counts disagree"));
+        report.records[1].cuts = 1000;
+
+        report.records[1].peak_frontiers = 7;
+        assert!(self_check(&report)[0].contains("peak_frontiers"));
+        report.records[1].peak_frontiers = 1;
+
+        report.records[1].peak_frontier_bytes = 1 << 30;
+        assert!(self_check(&report)[0].contains("not below bfs"));
+    }
+
+    #[test]
+    fn narrow_workloads_skip_the_bytes_invariant() {
+        let mut report = Report {
+            bootstrap: false,
+            records: vec![record("d8-dense", "bfs"), record("d8-dense", "leveled")],
+        };
+        report.records[1].peak_frontier_bytes = 1 << 30;
+        assert!(self_check(&report).is_empty());
+    }
+
+    #[test]
+    fn compare_is_exact_on_counts_and_banded_on_ratios() {
+        let baseline = Report {
+            bootstrap: false,
+            records: vec![record("w10-wide", "leveled")],
+        };
+        let mut current = baseline.clone();
+        assert!(compare(&current, &baseline, 0.15).is_empty());
+
+        // Inside the band: fine.
+        current.records[0].rel_throughput = 0.90;
+        current.records[0].peak_frontier_bytes = 560;
+        assert!(compare(&current, &baseline, 0.15).is_empty());
+
+        // Outside: each trips its own failure.
+        current.records[0].rel_throughput = 0.80;
+        current.records[0].peak_frontier_bytes = 1024;
+        current.records[0].cuts = 1001;
+        let failures = compare(&current, &baseline, 0.15);
+        assert_eq!(failures.len(), 3, "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("cuts")));
+        assert!(failures.iter().any(|f| f.contains("rel_throughput")));
+        assert!(failures.iter().any(|f| f.contains("peak_frontier_bytes")));
+    }
+
+    #[test]
+    fn missing_coverage_fails_the_gate() {
+        let baseline = Report {
+            bootstrap: false,
+            records: vec![record("w10-wide", "leveled"), record("w10-wide", "bfs")],
+        };
+        let current = Report {
+            bootstrap: false,
+            records: vec![record("w10-wide", "leveled")],
+        };
+        let failures = compare(&current, &baseline, 0.15);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("not measured"));
+    }
+}

@@ -10,8 +10,8 @@ const USAGE: &str = "\
 paramount — global-states enumeration & predicate detection (PPoPP'15 ParaMount)
 
 USAGE:
-  paramount count <trace>      [--algo lexical|bfs|dfs] [--threads N]
-  paramount stats <trace>      [--algo lexical|bfs|dfs] [--threads N] [--json]
+  paramount count <trace>      [--algo lexical|bfs|dfs|leveled|auto] [--threads N]
+  paramount stats <trace>      [--algo lexical|bfs|dfs|leveled|auto] [--threads N] [--json]
   paramount stats --connect HOST:PORT | --unix PATH    (scrape a live daemon)
   paramount enumerate <trace>  [--limit K]
   paramount races <trace>      [--strict]
@@ -29,6 +29,7 @@ USAGE:
                                [--retries N] [--backoff-ms MS]   (reconnect & replay)
                                [--checkpoint-every EVENTS]
   paramount shutdown           --connect HOST:PORT | --unix PATH
+  paramount list-algorithms    (one name per line, for scripting)
   paramount help
 
 EXIT CODES: 0 ok, 1 usage/run error, 2 cannot read input, 3 cannot parse input.
@@ -84,12 +85,23 @@ impl From<&str> for CliError {
 }
 
 fn parse_algo(args: &[String]) -> Result<Algorithm, String> {
-    match flag_value(args, "--algo").as_deref() {
-        None | Some("lexical") => Ok(Algorithm::Lexical),
-        Some("bfs") => Ok(Algorithm::Bfs),
-        Some("dfs") => Ok(Algorithm::Dfs),
-        Some(other) => Err(format!("unknown algorithm `{other}`")),
+    match flag_value(args, "--algo") {
+        None => Ok(Algorithm::Lexical),
+        Some(name) => {
+            Algorithm::from_name(&name).ok_or_else(|| format!("unknown algorithm `{name}`"))
+        }
     }
+}
+
+/// Machine-readable algorithm inventory: one name per line, so scripts
+/// (e.g. `run_experiments.sh`) enumerate subroutines without hardcoding.
+fn list_algorithms() -> String {
+    let mut out = String::new();
+    for algorithm in Algorithm::ALL {
+        out.push_str(algorithm.name());
+        out.push('\n');
+    }
+    out
 }
 
 fn parse_threads(args: &[String]) -> Result<usize, String> {
@@ -343,6 +355,7 @@ fn run() -> Result<String, CliError> {
             let target = require_target(&args, "shutdown")?;
             net::remote_shutdown(&target).map_err(CliError::Run)
         }
+        "list-algorithms" | "--list-algorithms" => Ok(list_algorithms()),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{USAGE}"

@@ -43,15 +43,41 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering}
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Box-size threshold used by `Algorithm::Auto` while the spill deque is
+/// non-empty: under memory pressure everything but near-degenerate
+/// intervals runs in the `O(n)`-space leveled walk.
+const AUTO_PRESSURE_THRESHOLD: u128 = 64;
+
+/// Observations required in the cut-count histogram before `Auto` trusts
+/// it for threshold calibration (avoids steering on the first few,
+/// possibly unrepresentative, intervals).
+const AUTO_CALIBRATION_MIN_INTERVALS: u64 = 32;
+
 /// The interval-execution core shared by both engines: subroutine
 /// configuration plus the one `catch_unwind` retry/quarantine
 /// implementation in the crate.
 ///
 /// Plain `Copy` data — engines embed one and the worker pool reads it
 /// through shared state.
+///
+/// # Adaptive subroutine dispatch
+///
+/// With `algorithm: Algorithm::Auto` the executor re-decides the
+/// subroutine for **every interval** right before running it: big/wide
+/// intervals (by [`Interval::box_size`]) take the space-efficient
+/// leveled walk, tiny ones the lexical scan, and the threshold between
+/// them adapts to two live [`ParaMetrics`] signals — a non-empty spill
+/// deque (memory pressure ⇒ prefer `O(n)`-space traversal now) and the
+/// per-interval cut-count histogram (observed interval sizes calibrate
+/// how much to trust the box-size estimate). Decisions are counted in
+/// `intervals_auto_leveled` / `intervals_auto_lexical`. A resolution is
+/// made once per interval, so the single-retry path re-runs the same
+/// subroutine it first picked.
 #[derive(Clone, Copy, Debug)]
 pub struct IntervalExecutor {
-    /// Bounded sequential subroutine run on each interval.
+    /// Bounded sequential subroutine run on each interval —
+    /// [`Algorithm::Auto`] enables per-interval adaptive dispatch (see
+    /// the type-level docs).
     pub algorithm: Algorithm,
     /// Per-interval frontier budget for the stateful subroutines
     /// (BFS/DFS); the lexical subroutine is stateless and ignores it.
@@ -88,6 +114,7 @@ impl IntervalExecutor {
         &self,
         space: &Sp,
         iv: &Interval,
+        algorithm: Algorithm,
         sink: &K,
         emitted: &AtomicU64,
         preempt: Option<&PreemptGuard<'_>>,
@@ -103,13 +130,66 @@ impl IntervalExecutor {
                     inner: bridge,
                     guard,
                 };
-                iv.enumerate_budgeted(space, self.algorithm, self.frontier_budget, &mut wrapped)
+                iv.enumerate_budgeted(space, algorithm, self.frontier_budget, &mut wrapped)
             }
             None => {
                 let mut bridge = bridge;
-                iv.enumerate_budgeted(space, self.algorithm, self.frontier_budget, &mut bridge)
+                iv.enumerate_budgeted(space, algorithm, self.frontier_budget, &mut bridge)
             }
         }
+    }
+
+    /// Resolves the configured subroutine for one concrete interval —
+    /// the §5e adaptive dispatch point. Concrete algorithms pass through
+    /// unchanged; [`Algorithm::Auto`] picks per interval:
+    ///
+    /// * The base signal is the interval's [`Interval::box_size`] — the
+    ///   potential-cut volume of `[Gmin, Gbnd]`. Big/wide boxes take the
+    ///   space-efficient leveled walk, tiny ones the lexical scan (whose
+    ///   per-cut constant is lower on short intervals).
+    /// * Any spill backlog ([`ParaMetrics::spill_bytes`]) is a live
+    ///   memory-pressure signal: the threshold collapses so *every*
+    ///   non-trivial interval runs in `O(n)` space until the backlog
+    ///   drains.
+    /// * Once enough intervals have completed, the observed cut-count
+    ///   histogram ([`ParaMetrics::interval_cuts`]) calibrates the
+    ///   threshold: if real intervals are running much larger than the
+    ///   base threshold assumes (mean observed cuts above it), the
+    ///   threshold halves — box size *under*-estimates nothing, so large
+    ///   observed means say the workload is in the wide regime where
+    ///   frontier storage, not per-cut constants, dominates.
+    ///
+    /// Every `Auto` decision is counted in `intervals_auto_leveled` /
+    /// `intervals_auto_lexical`, so a run's dispatch mix is visible in
+    /// `paramount stats` and the bench metrics JSON.
+    fn resolve_algorithm(&self, iv: &Interval, metrics: &ParaMetrics) -> Algorithm {
+        if self.algorithm != Algorithm::Auto {
+            return self.algorithm;
+        }
+        let mut threshold = paramount_enumerate::AUTO_BOX_THRESHOLD;
+        if metrics.spill_bytes.get() > 0 {
+            // Memory pressure: only genuinely tiny intervals may keep the
+            // lexical path's constant-factor advantage.
+            threshold = AUTO_PRESSURE_THRESHOLD;
+        } else {
+            let seen = metrics.interval_cuts.count();
+            if seen >= AUTO_CALIBRATION_MIN_INTERVALS
+                && metrics.interval_cuts.sum() / seen
+                    > paramount_enumerate::AUTO_BOX_THRESHOLD as u64
+            {
+                threshold /= 2;
+            }
+        }
+        let resolved = if iv.box_size() >= threshold {
+            Algorithm::Leveled
+        } else {
+            Algorithm::Lexical
+        };
+        match resolved {
+            Algorithm::Leveled => metrics.intervals_auto_leveled.add(1),
+            _ => metrics.intervals_auto_lexical.add(1),
+        }
+        resolved
     }
 
     /// One interval under the `catch_unwind` boundary — the single
@@ -133,6 +213,10 @@ impl IntervalExecutor {
         K: ParallelCutSink + ?Sized,
     {
         let tripped = AtomicBool::new(false);
+        // Resolve `Auto` once per interval (not per attempt): the retry
+        // must re-run the identical subroutine, or the delivered-prefix
+        // bookkeeping would compare apples to oranges.
+        let algorithm = self.resolve_algorithm(iv, metrics);
         let mut attempts = 0u32;
         loop {
             attempts += 1;
@@ -147,7 +231,7 @@ impl IntervalExecutor {
             // `AssertUnwindSafe` asserts exactly the contract
             // `ParallelCutSink` already demands of implementations.
             let run = catch_unwind(AssertUnwindSafe(|| {
-                self.run_interval(space, iv, sink, emitted, guard.as_ref())
+                self.run_interval(space, iv, algorithm, sink, emitted, guard.as_ref())
             }));
             match run {
                 Ok(Ok(stats)) => return Ok(stats),
@@ -1124,5 +1208,96 @@ where
             panic!("chaos: sink panic injected at call {call}");
         }
         self.inner.visit(cut, owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paramount_poset::{EventId, Frontier, Tid};
+
+    fn interval_with_box(width: u32) -> Interval {
+        // Two threads; the owner thread is pinned, the other spans
+        // `width` values, so box_size == width.
+        Interval {
+            event: EventId::new(Tid(0), 1),
+            gmin: Frontier::from_counts(vec![1, 0]),
+            gbnd: Frontier::from_counts(vec![1, width - 1]),
+            include_empty: false,
+        }
+    }
+
+    #[test]
+    fn concrete_algorithms_pass_through_untouched() {
+        let metrics = ParaMetrics::new(0);
+        let iv = interval_with_box(1 << 20);
+        for algo in Algorithm::CONCRETE {
+            let exec = IntervalExecutor::new(algo);
+            assert_eq!(exec.resolve_algorithm(&iv, &metrics), algo);
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.intervals_auto_leveled + snap.intervals_auto_lexical, 0);
+    }
+
+    #[test]
+    fn auto_routes_by_box_size_and_counts_decisions() {
+        let metrics = ParaMetrics::new(0);
+        let exec = IntervalExecutor::new(Algorithm::Auto);
+        let threshold = paramount_enumerate::AUTO_BOX_THRESHOLD as u32;
+        assert_eq!(
+            exec.resolve_algorithm(&interval_with_box(threshold), &metrics),
+            Algorithm::Leveled,
+            "at-threshold box takes the space-efficient walk"
+        );
+        assert_eq!(
+            exec.resolve_algorithm(&interval_with_box(16), &metrics),
+            Algorithm::Lexical,
+            "tiny box keeps the lexical scan"
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.intervals_auto_leveled, 1);
+        assert_eq!(snap.intervals_auto_lexical, 1);
+    }
+
+    #[test]
+    fn spill_pressure_collapses_the_threshold() {
+        let metrics = ParaMetrics::new(0);
+        let exec = IntervalExecutor::new(Algorithm::Auto);
+        let iv = interval_with_box(AUTO_PRESSURE_THRESHOLD as u32);
+        assert_eq!(
+            exec.resolve_algorithm(&iv, &metrics),
+            Algorithm::Lexical,
+            "well under the base threshold without pressure"
+        );
+        metrics.spill_bytes.add(1);
+        assert_eq!(
+            exec.resolve_algorithm(&iv, &metrics),
+            Algorithm::Leveled,
+            "a spill backlog routes the same interval to O(n) space"
+        );
+        metrics.spill_bytes.sub(1);
+        assert_eq!(
+            exec.resolve_algorithm(&iv, &metrics),
+            Algorithm::Lexical,
+            "drained backlog restores the base threshold"
+        );
+    }
+
+    #[test]
+    fn observed_large_intervals_calibrate_the_threshold_down() {
+        let metrics = ParaMetrics::new(0);
+        let exec = IntervalExecutor::new(Algorithm::Auto);
+        let base = paramount_enumerate::AUTO_BOX_THRESHOLD as u32;
+        let iv = interval_with_box(base / 2 + 1); // between base/2 and base
+        assert_eq!(exec.resolve_algorithm(&iv, &metrics), Algorithm::Lexical);
+        // Not enough observations yet: still lexical.
+        for _ in 0..(AUTO_CALIBRATION_MIN_INTERVALS - 1) {
+            metrics.interval_cuts.record(10 * u64::from(base));
+        }
+        assert_eq!(exec.resolve_algorithm(&iv, &metrics), Algorithm::Lexical);
+        // One more pushes past the warmup; the observed mean (10× the
+        // base threshold) halves it, flipping this interval to leveled.
+        metrics.interval_cuts.record(10 * u64::from(base));
+        assert_eq!(exec.resolve_algorithm(&iv, &metrics), Algorithm::Leveled);
     }
 }

@@ -190,6 +190,18 @@ impl Log2Histogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
+    /// Sum of all observed values. With [`Log2Histogram::count`] this
+    /// gives a live mean without folding a snapshot — the adaptive
+    /// dispatcher reads it on the hot path.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observed value so far.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
     fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             buckets: self
@@ -291,6 +303,13 @@ pub struct ParaMetrics {
     /// Worker threads that could not be spawned at engine construction
     /// (the engine degrades to the workers that did start).
     pub worker_spawn_failures: ShardedCounter,
+    /// `Algorithm::Auto` resolutions that picked the space-efficient
+    /// leveled walk (big/wide intervals, or any interval under memory
+    /// pressure).
+    pub intervals_auto_leveled: ShardedCounter,
+    /// `Algorithm::Auto` resolutions that picked the lexical scan (small
+    /// intervals with no pressure signal).
+    pub intervals_auto_lexical: ShardedCounter,
     /// Distribution of cut counts per interval — the work-skew instrument
     /// (Figure 10/11's load-balance story, measured instead of assumed).
     pub interval_cuts: Log2Histogram,
@@ -339,6 +358,8 @@ impl ParaMetrics {
             intervals_preempted: ShardedCounter::new(),
             intervals_split: ShardedCounter::new(),
             watchdog_wakeups: ShardedCounter::new(),
+            intervals_auto_leveled: ShardedCounter::new(),
+            intervals_auto_lexical: ShardedCounter::new(),
             interval_cuts: Log2Histogram::new(),
             insert_critical_ns: Log2Histogram::new(),
             queue_depth: HighWaterGauge::new(),
@@ -385,6 +406,8 @@ impl ParaMetrics {
             intervals_preempted: self.intervals_preempted.sum(),
             intervals_split: self.intervals_split.sum(),
             watchdog_wakeups: self.watchdog_wakeups.sum(),
+            intervals_auto_leveled: self.intervals_auto_leveled.sum(),
+            intervals_auto_lexical: self.intervals_auto_lexical.sum(),
             interval_cuts: self.interval_cuts.snapshot(),
             insert_critical_ns: self.insert_critical_ns.snapshot(),
             queue_depth: self.queue_depth.get(),
@@ -532,6 +555,10 @@ pub struct MetricsSnapshot {
     pub intervals_split: u64,
     /// Watchdog scan passes.
     pub watchdog_wakeups: u64,
+    /// `auto` resolutions that took the leveled walk.
+    pub intervals_auto_leveled: u64,
+    /// `auto` resolutions that took the lexical scan.
+    pub intervals_auto_lexical: u64,
     /// Per-interval cut-count distribution.
     pub interval_cuts: HistogramSnapshot,
     /// Insertion critical-section time distribution (ns).
@@ -610,6 +637,13 @@ impl MetricsSnapshot {
         if self.watchdog_wakeups > 0 {
             let _ = writeln!(out, "watchdog wakeups:     {}", self.watchdog_wakeups);
         }
+        if self.intervals_auto_leveled + self.intervals_auto_lexical > 0 {
+            let _ = writeln!(
+                out,
+                "auto dispatch:        {} leveled, {} lexical",
+                self.intervals_auto_leveled, self.intervals_auto_lexical
+            );
+        }
         let _ = writeln!(out, "cuts emitted:         {}", self.cuts_emitted);
         let _ = writeln!(
             out,
@@ -685,6 +719,8 @@ impl MetricsSnapshot {
             ("intervals_preempted", self.intervals_preempted),
             ("intervals_split", self.intervals_split),
             ("watchdog_wakeups", self.watchdog_wakeups),
+            ("intervals_auto_leveled", self.intervals_auto_leveled),
+            ("intervals_auto_lexical", self.intervals_auto_lexical),
         ] {
             let _ = writeln!(
                 out,

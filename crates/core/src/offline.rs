@@ -30,7 +30,11 @@ use std::sync::Arc;
 /// Configuration and entry points for offline parallel enumeration.
 ///
 /// `B-Para` in the paper is `ParaMount { algorithm: Bfs, .. }`; `L-Para`
-/// is `ParaMount { algorithm: Lexical, .. }`.
+/// is `ParaMount { algorithm: Lexical, .. }`. `Algorithm::Auto` defers
+/// the choice to the executor, which picks the lexical scan or the
+/// space-efficient leveled walk per interval from the interval's box
+/// size and live memory-pressure signals (see the adaptive-dispatch
+/// notes on [`crate::exec::IntervalExecutor`]).
 ///
 /// ```
 /// use paramount::{Algorithm, AtomicCountSink, ParaMount};

@@ -193,7 +193,10 @@ impl<P> CutSpace for OnlinePoset<P> {
 #[derive(Clone, Copy, Debug)]
 pub struct OnlineEngineConfig {
     /// Bounded subroutine for each interval (the paper defaults to the
-    /// lexical algorithm for online detection).
+    /// lexical algorithm for online detection). `Algorithm::Auto` lets
+    /// the executor pick lexical vs. the space-efficient leveled walk
+    /// per interval from box size and memory pressure (see
+    /// [`crate::exec::IntervalExecutor`]).
     pub algorithm: Algorithm,
     /// Enumeration worker threads (≥ 1).
     pub workers: usize,

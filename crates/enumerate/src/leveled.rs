@@ -1,0 +1,439 @@
+//! Space-efficient breadth-first ("leveled") enumeration in the style of
+//! Chauhan & Garg: consistent cuts are visited level by level — a level
+//! is the set of cuts with the same *rank* (total event count) — without
+//! ever storing a Cooper–Marzullo frontier set.
+//!
+//! Classic BFS keeps one full lattice level live to generate the next,
+//! which is exponential in the number of threads in the worst case and is
+//! exactly the memory the overload governor has to police. The leveled
+//! walk instead **regenerates** each level directly from the vector
+//! clocks: for a target rank `r` it runs a lexicographic backtracking
+//! search that assigns the frontier vector `G[0..n)` one thread at a
+//! time, so the only live state is the single working frontier plus two
+//! `O(n)` prefix-sum tables — `O(n)` space for any lattice size.
+//!
+//! The search at one level works because both pruning rules are exact and
+//! monotone:
+//!
+//! 1. **Rank feasibility.** With the prefix `G[0..k)` placed, thread `k`
+//!    may only take values `v` for which the remaining threads can still
+//!    reach rank `r` inside `[gmin, gbnd]`:
+//!    `r − Σ gbnd[k+1..] ≤ placed + v ≤ r − Σ gmin[k+1..]`. The suffix
+//!    sums are precomputed once per interval.
+//! 2. **Consistency by construction.** Event clocks along one thread are
+//!    monotone (`vc(E_k[v]) ≤ vc(E_k[v+1])` pointwise), so the values of
+//!    `G[k]` compatible with the placed prefix form a contiguous range:
+//!    the lower end is forced by what the prefix events demand *of*
+//!    thread `k`, and the first `v` whose own clock demands more than the
+//!    prefix *has* ends the range. Every completed assignment therefore
+//!    satisfies all pairwise clock constraints — no post-hoc
+//!    `is_consistent` filter, no duplicate, no miss.
+//!
+//! Within a level, cuts come out in ascending lexicographic order;
+//! levels come out in ascending rank. The combined (rank, lex) order is
+//! deterministic, which the test suite and the perf harness rely on.
+//!
+//! Work per emitted cut is `O(n²)` (a root-to-leaf path of `n`
+//! assignments, each an `O(n)` clock scan) — the same bound as the
+//! lexical algorithm — plus the dead-end probes of the backtracking
+//! search, which the rank bounds keep small in practice. The trade
+//! against [`crate::lexical`] is therefore not asymptotic work but
+//! traversal order: the leveled walk delivers breadth-first semantics
+//! (rank-monotone emission) at lexical-algorithm memory cost.
+
+use crate::{debug_check_interval, CutSink, EnumError, EnumStats};
+use paramount_poset::{CutSpace, EventId, Frontier, Tid};
+
+/// Enumerates every consistent cut of `poset` level by level (ascending
+/// rank, lexicographic within a level).
+///
+/// ```
+/// use paramount_enumerate::{leveled, CollectSink};
+/// use paramount_poset::builder::PosetBuilder;
+/// use paramount_poset::Tid;
+///
+/// let mut b = PosetBuilder::new(2);
+/// b.append(Tid(0), ());
+/// b.append(Tid(1), ());
+/// let poset = b.finish(); // two independent events: 4 cuts
+///
+/// let mut sink = CollectSink::default();
+/// leveled::enumerate(&poset, &mut sink).unwrap();
+/// let shown: Vec<String> = sink.cuts.iter().map(|c| c.to_string()).collect();
+/// // Rank order: the two rank-1 cuts come before the rank-2 top.
+/// assert_eq!(shown, ["{0,0}", "{0,1}", "{1,0}", "{1,1}"]);
+/// ```
+pub fn enumerate<Sp: CutSpace + ?Sized, S: CutSink>(
+    poset: &Sp,
+    sink: &mut S,
+) -> Result<EnumStats, EnumError> {
+    let empty = Frontier::empty(poset.num_threads());
+    let last = poset.current_frontier();
+    enumerate_bounded(poset, &empty, &last, sink)
+}
+
+/// Enumerates every consistent cut `G` with `gmin ≤ G ≤ gbnd` level by
+/// level — the ParaMount subroutine (Lemma 1: exactly once each) in its
+/// `O(n)`-space breadth-first form.
+pub fn enumerate_bounded<Sp: CutSpace + ?Sized, S: CutSink>(
+    poset: &Sp,
+    gmin: &Frontier,
+    gbnd: &Frontier,
+    sink: &mut S,
+) -> Result<EnumStats, EnumError> {
+    debug_check_interval(poset, gmin, gbnd);
+    let n = gmin.len();
+    let mut stats = EnumStats {
+        cuts: 0,
+        peak_frontiers: 1, // one working frontier, regardless of width
+        expansions: 0,
+    };
+
+    // Suffix sums of the interval bounds: suffix_min[k] = Σ gmin[k..],
+    // suffix_max[k] = Σ gbnd[k..]. These make the rank-feasibility window
+    // for each position an O(1) computation.
+    let mut suffix_min = vec![0u64; n + 1];
+    let mut suffix_max = vec![0u64; n + 1];
+    for k in (0..n).rev() {
+        let tk = Tid::from(k);
+        suffix_min[k] = suffix_min[k + 1] + u64::from(gmin.get(tk));
+        suffix_max[k] = suffix_max[k + 1] + u64::from(gbnd.get(tk));
+    }
+
+    let mut g = gmin.clone();
+    for rank in gmin.total_events()..=gbnd.total_events() {
+        enumerate_level(
+            poset,
+            gmin,
+            gbnd,
+            &suffix_min,
+            &suffix_max,
+            rank,
+            &mut g,
+            sink,
+            &mut stats,
+        )?;
+    }
+    Ok(stats)
+}
+
+/// Emits every consistent cut of `[gmin, gbnd]` with exactly `rank` total
+/// events, in ascending lexicographic order, via backtracking over the
+/// thread positions. `g` is the single reusable working frontier.
+#[allow(clippy::too_many_arguments)]
+fn enumerate_level<Sp: CutSpace + ?Sized, S: CutSink>(
+    poset: &Sp,
+    gmin: &Frontier,
+    gbnd: &Frontier,
+    suffix_min: &[u64],
+    suffix_max: &[u64],
+    rank: u64,
+    g: &mut Frontier,
+    sink: &mut S,
+    stats: &mut EnumStats,
+) -> Result<(), EnumError> {
+    let n = gmin.len();
+    if n == 0 {
+        // Zero threads: the empty frontier is the whole lattice.
+        stats.cuts += 1;
+        if sink.visit(g.as_cut()).is_break() {
+            return Err(EnumError::Stopped);
+        }
+        return Ok(());
+    }
+
+    let mut k = 0usize; // next position to assign
+    let mut placed = 0u64; // Σ g[0..k), maintained incrementally
+    let mut descend = true; // entering k fresh vs. resuming after backtrack
+    loop {
+        if k == n {
+            // Complete assignment: consistent by construction, rank == r.
+            debug_assert_eq!(g.total_events(), rank);
+            debug_assert!(g.is_consistent(poset), "leveled leaf inconsistent");
+            stats.cuts += 1;
+            if sink.visit(g.as_cut()).is_break() {
+                return Err(EnumError::Stopped);
+            }
+            k -= 1;
+            placed -= u64::from(g.get(Tid::from(k)));
+            descend = false;
+            continue;
+        }
+
+        let tk = Tid::from(k);
+        let candidate = if descend {
+            // Fresh entry: start at the lower bound — the interval floor,
+            // raised by what the placed prefix demands of thread k and by
+            // the rank window (the suffix cannot exceed suffix_max).
+            let mut lo = u64::from(gmin.get(tk));
+            lo = lo.max(rank.saturating_sub(placed + suffix_max[k + 1]));
+            for u in 0..k {
+                let cu = g.get(Tid::from(u));
+                if cu > 0 {
+                    let demand = poset.vc(EventId::new(Tid::from(u), cu)).as_slice()[k];
+                    lo = lo.max(u64::from(demand));
+                }
+            }
+            lo
+        } else {
+            u64::from(g.get(tk)) + 1
+        };
+
+        // Upper bound: the interval ceiling, and the rank window (the
+        // suffix must still be able to contribute at least suffix_min).
+        let hi = match rank.checked_sub(placed + suffix_min[k + 1]) {
+            Some(room) => u64::from(gbnd.get(tk)).min(room),
+            None => 0, // prefix already over rank: forces the backtrack below
+        };
+
+        stats.expansions += 1;
+        if candidate <= hi && prefix_allows(poset, g, k, candidate as u32) {
+            g.set(tk, candidate as u32);
+            placed += candidate;
+            k += 1;
+            descend = true;
+        } else {
+            // Dead end at k: clock demands are monotone in the candidate,
+            // so no larger value can succeed either. Backtrack.
+            if k == 0 {
+                return Ok(()); // level exhausted
+            }
+            k -= 1;
+            placed -= u64::from(g.get(Tid::from(k)));
+            descend = false;
+        }
+    }
+}
+
+/// True iff taking `v` events of thread `k` demands nothing beyond the
+/// already-placed prefix `g[0..k)` — the other half of the pairwise
+/// consistency check (the prefix's demands *on* `k` are folded into the
+/// candidate lower bound by the caller).
+fn prefix_allows<Sp: CutSpace + ?Sized>(poset: &Sp, g: &Frontier, k: usize, v: u32) -> bool {
+    if v == 0 {
+        return true;
+    }
+    let vc = poset.vc(EventId::new(Tid::from(k), v));
+    vc.as_slice()[..k]
+        .iter()
+        .zip(&g.as_slice()[..k])
+        .all(|(need, have)| need <= have)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CollectSink;
+    use paramount_poset::builder::PosetBuilder;
+    use paramount_poset::oracle;
+    use paramount_poset::random::RandomComputation;
+    use paramount_poset::Poset;
+
+    fn figure4() -> Poset {
+        let mut b = PosetBuilder::new(2);
+        let a = b.append(Tid(0), ());
+        let bb = b.append(Tid(1), ());
+        b.append_after(Tid(0), &[bb], ());
+        b.append_after(Tid(1), &[a], ());
+        b.finish()
+    }
+
+    fn collect_full(p: &Poset) -> Vec<Frontier> {
+        let mut sink = CollectSink::default();
+        enumerate(p, &mut sink).unwrap();
+        sink.cuts
+    }
+
+    /// The oracle's lexical output re-sorted into the leveled algorithm's
+    /// (rank, lex) emission order.
+    fn rank_lex_sorted(mut cuts: Vec<Frontier>) -> Vec<Frontier> {
+        cuts.sort_by(|a, b| {
+            a.total_events()
+                .cmp(&b.total_events())
+                .then_with(|| a.cmp(b))
+        });
+        cuts
+    }
+
+    #[test]
+    fn full_leveled_matches_oracle_in_rank_lex_order() {
+        let p = figure4();
+        let cuts = collect_full(&p);
+        assert_eq!(cuts, rank_lex_sorted(oracle::enumerate_product_scan(&p)));
+    }
+
+    #[test]
+    fn emission_order_is_rank_then_lex() {
+        for seed in 0..10 {
+            let p = RandomComputation::new(4, 4, 0.3, seed).generate();
+            let cuts = collect_full(&p);
+            for w in cuts.windows(2) {
+                let (ra, rb) = (w[0].total_events(), w[1].total_events());
+                assert!(
+                    ra < rb || (ra == rb && w[0] < w[1]),
+                    "order violated at seed {seed}: {} then {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leveled_agrees_with_oracle_on_random_posets() {
+        for seed in 0..40 {
+            let p = RandomComputation::new(4, 5, 0.4, seed).generate();
+            let cuts = collect_full(&p);
+            assert_eq!(
+                cuts,
+                rank_lex_sorted(oracle::enumerate_product_scan(&p)),
+                "mismatch at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_leveled_enumerates_exactly_the_interval() {
+        // For every event e of random posets, compare the bounded run on
+        // [Gmin(e), Gbnd(e)] against the oracle filtered to that interval.
+        for seed in 0..15 {
+            let p = RandomComputation::new(3, 4, 0.4, seed).generate();
+            let order = paramount_poset::topo::weight_order(&p);
+            let all = oracle::enumerate_product_scan(&p);
+            let mut running = Frontier::empty(p.num_threads());
+            for &e in &order {
+                running.set(e.tid, e.index);
+                let gmin = Frontier::from_clock(p.vc(e));
+                let gbnd = running.clone();
+                let mut sink = CollectSink::default();
+                enumerate_bounded(&p, &gmin, &gbnd, &mut sink).unwrap();
+                let expected: Vec<Frontier> = all
+                    .iter()
+                    .filter(|c| gmin.leq(c) && c.leq(&gbnd))
+                    .cloned()
+                    .collect();
+                assert_eq!(
+                    sink.cuts,
+                    rank_lex_sorted(expected),
+                    "event {e} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interval_of_figure6_events() {
+        // Same interval cases as the lexical test; for these small
+        // intervals (rank, lex) order coincides with lexical order.
+        let p = figure4();
+        let cases: Vec<(Frontier, Frontier, Vec<Frontier>)> = vec![
+            (
+                Frontier::from_counts(vec![1, 0]),
+                Frontier::from_counts(vec![1, 0]),
+                vec![Frontier::from_counts(vec![1, 0])],
+            ),
+            (
+                Frontier::from_counts(vec![0, 1]),
+                Frontier::from_counts(vec![1, 1]),
+                vec![
+                    Frontier::from_counts(vec![0, 1]),
+                    Frontier::from_counts(vec![1, 1]),
+                ],
+            ),
+            (
+                Frontier::from_counts(vec![2, 1]),
+                Frontier::from_counts(vec![2, 1]),
+                vec![Frontier::from_counts(vec![2, 1])],
+            ),
+            (
+                Frontier::from_counts(vec![1, 2]),
+                Frontier::from_counts(vec![2, 2]),
+                vec![
+                    Frontier::from_counts(vec![1, 2]),
+                    Frontier::from_counts(vec![2, 2]),
+                ],
+            ),
+        ];
+        for (gmin, gbnd, expected) in cases {
+            let mut sink = CollectSink::default();
+            enumerate_bounded(&p, &gmin, &gbnd, &mut sink).unwrap();
+            assert_eq!(sink.cuts, expected);
+        }
+    }
+
+    #[test]
+    fn stateless_peak_is_one() {
+        let p = RandomComputation::new(4, 5, 0.3, 1).generate();
+        let mut sink = crate::CountSink::default();
+        let stats = enumerate(&p, &mut sink).unwrap();
+        assert_eq!(stats.peak_frontiers, 1);
+        assert_eq!(stats.cuts, sink.count);
+    }
+
+    #[test]
+    fn expansions_are_a_deterministic_work_witness() {
+        let p = RandomComputation::new(4, 5, 0.3, 9).generate();
+        let run = || {
+            let mut sink = crate::CountSink::default();
+            enumerate(&p, &mut sink).unwrap()
+        };
+        let first = run();
+        assert_eq!(first, run());
+        // Every emitted cut costs at least one probe per thread position.
+        assert!(first.expansions >= first.cuts, "work witness too small");
+    }
+
+    #[test]
+    fn early_stop_propagates() {
+        let p = figure4();
+        let mut sink =
+            crate::FirstMatchSink::new(|c: paramount_poset::CutRef<'_>| c.total_events() == 1);
+        assert_eq!(enumerate(&p, &mut sink).unwrap_err(), EnumError::Stopped);
+        assert_eq!(sink.witness, Some(Frontier::from_counts(vec![0, 1])));
+    }
+
+    #[test]
+    fn single_thread_chain() {
+        let mut b = PosetBuilder::new(1);
+        for _ in 0..5 {
+            b.append(Tid(0), ());
+        }
+        let p = b.finish();
+        let cuts = collect_full(&p);
+        assert_eq!(cuts.len(), 6);
+        // One cut per rank, emitted in rank order.
+        for (i, c) in cuts.iter().enumerate() {
+            assert_eq!(c.total_events(), i as u64);
+        }
+    }
+
+    #[test]
+    fn empty_poset_emits_only_empty_cut() {
+        let p: Poset = Poset::empty(3);
+        let cuts = collect_full(&p);
+        assert_eq!(cuts, vec![Frontier::empty(3)]);
+    }
+
+    #[test]
+    fn zero_thread_poset_emits_only_empty_cut() {
+        let p: Poset = Poset::empty(0);
+        let cuts = collect_full(&p);
+        assert_eq!(cuts, vec![Frontier::empty(0)]);
+    }
+
+    #[test]
+    fn wide_antichain_is_enumerated_without_frontier_storage() {
+        // 10 fully independent threads of 2 events each: 3^10 cuts, where
+        // classic BFS would hold a ~central-binomial level live.
+        let mut b = PosetBuilder::new(10);
+        for t in 0..10 {
+            b.append(Tid(t), ());
+            b.append(Tid(t), ());
+        }
+        let p = b.finish();
+        let mut sink = crate::CountSink::default();
+        let stats = enumerate(&p, &mut sink).unwrap();
+        assert_eq!(stats.cuts, 3u64.pow(10));
+        assert_eq!(stats.peak_frontiers, 1);
+    }
+}

@@ -17,6 +17,15 @@
 //! * [`lexical`] — the Ganter/Garg lexical ("next-closure") algorithm
 //!   (the paper's Algorithm 2 when bounded): **stateless**, `O(n²)` work
 //!   per cut, `O(n)` live memory.
+//! * [`leveled`] — the Chauhan/Garg space-efficient breadth-first walk:
+//!   level-by-level (rank-ordered) emission like BFS, but each level is
+//!   *regenerated* by a backtracking search instead of stored, so live
+//!   memory stays `O(n)` like the lexical algorithm.
+//!
+//! [`Algorithm::Auto`] is not a fifth traversal: it picks between the
+//! lexical and leveled subroutines per interval from the interval's
+//! potential-cut box size (and, in the execution engines, from runtime
+//! memory-pressure signals).
 //!
 //! Every algorithm exists in two forms: full enumeration of the whole
 //! lattice, and a bounded form that enumerates exactly the interval
@@ -29,6 +38,7 @@
 pub mod bfs;
 pub mod dfs;
 pub mod fxhash;
+pub mod leveled;
 pub mod lexical;
 mod sink;
 
@@ -123,11 +133,43 @@ pub enum Algorithm {
     Dfs,
     /// Ganter/Garg lexical next-closure.
     Lexical,
+    /// Chauhan/Garg space-efficient level traversal (rank-ordered, `O(n)`
+    /// live memory).
+    Leveled,
+    /// Adaptive: picks [`Algorithm::Lexical`] or [`Algorithm::Leveled`]
+    /// per interval. Standalone resolution uses the interval's
+    /// potential-cut box size (see [`Algorithm::resolve_for_box`]); the
+    /// execution engines refine the choice with runtime metrics.
+    Auto,
 }
 
+/// Box-size threshold (potential cuts in `[gmin, gbnd]`) above which
+/// [`Algorithm::Auto`] prefers the leveled walk. Below it an interval is
+/// small enough that the lexical scan's lower constant wins; above it the
+/// rank-ordered walk costs the same `O(n)` memory and keeps emission
+/// breadth-first, which downstream consumers (and the adaptive executor)
+/// prefer for wide intervals.
+pub const AUTO_BOX_THRESHOLD: u128 = 4096;
+
 impl Algorithm {
-    /// All algorithms, for exhaustive comparison tests.
-    pub const ALL: [Algorithm; 3] = [Algorithm::Bfs, Algorithm::Dfs, Algorithm::Lexical];
+    /// Every selectable mode (the concrete traversals plus `auto`), for
+    /// exhaustive comparison tests and CLI listings.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Bfs,
+        Algorithm::Dfs,
+        Algorithm::Lexical,
+        Algorithm::Leveled,
+        Algorithm::Auto,
+    ];
+
+    /// The concrete traversals only — what [`Algorithm::Auto`] may
+    /// resolve to, plus the stateful baselines.
+    pub const CONCRETE: [Algorithm; 4] = [
+        Algorithm::Bfs,
+        Algorithm::Dfs,
+        Algorithm::Lexical,
+        Algorithm::Leveled,
+    ];
 
     /// Short name used in benchmark tables.
     pub fn name(self) -> &'static str {
@@ -135,7 +177,40 @@ impl Algorithm {
             Algorithm::Bfs => "bfs",
             Algorithm::Dfs => "dfs",
             Algorithm::Lexical => "lexical",
+            Algorithm::Leveled => "leveled",
+            Algorithm::Auto => "auto",
         }
+    }
+
+    /// Parses the [`Algorithm::name`] spelling back into the selector —
+    /// the single source of truth for every user-facing surface (CLI
+    /// flags, the ingestion `HELLO` line, environment overrides).
+    pub fn from_name(name: &str) -> Option<Algorithm> {
+        Algorithm::ALL.into_iter().find(|a| a.name() == name)
+    }
+
+    /// Resolves `Auto` for an interval whose potential-cut box (the
+    /// product of per-thread extents of `[gmin, gbnd]`) has `box_size`
+    /// cells: big boxes take the space-efficient leveled walk, small ones
+    /// the lexical scan. Concrete algorithms return themselves.
+    pub fn resolve_for_box(self, box_size: u128) -> Algorithm {
+        match self {
+            Algorithm::Auto if box_size >= AUTO_BOX_THRESHOLD => Algorithm::Leveled,
+            Algorithm::Auto => Algorithm::Lexical,
+            concrete => concrete,
+        }
+    }
+
+    /// The potential-cut box size of `[gmin, gbnd]`:
+    /// `Π (gbnd_t − gmin_t + 1)`, saturating at `u128::MAX`. The
+    /// standalone signal `Auto` resolves on.
+    pub fn interval_box_size(gmin: &Frontier, gbnd: &Frontier) -> u128 {
+        gmin.as_slice()
+            .iter()
+            .zip(gbnd.as_slice())
+            .fold(1u128, |acc, (&lo, &hi)| {
+                acc.saturating_mul(u128::from(hi.saturating_sub(lo)) + 1)
+            })
     }
 
     /// Runs the full enumeration of `poset` through this algorithm.
@@ -148,6 +223,13 @@ impl Algorithm {
             Algorithm::Bfs => bfs::enumerate(poset, &bfs::BfsOptions::default(), sink),
             Algorithm::Dfs => dfs::enumerate(poset, &dfs::DfsOptions::default(), sink),
             Algorithm::Lexical => lexical::enumerate(poset, sink),
+            Algorithm::Leveled => leveled::enumerate(poset, sink),
+            Algorithm::Auto => {
+                let empty = Frontier::empty(poset.num_threads());
+                let last = poset.current_frontier();
+                let resolved = self.resolve_for_box(Self::interval_box_size(&empty, &last));
+                resolved.run(poset, sink)
+            }
         }
     }
 
@@ -190,6 +272,15 @@ impl Algorithm {
                 sink,
             ),
             Algorithm::Lexical => lexical::enumerate_bounded(poset, gmin, gbnd, sink),
+            Algorithm::Leveled => leveled::enumerate_bounded(poset, gmin, gbnd, sink),
+            Algorithm::Auto => {
+                // Standalone resolution: box size only. The execution
+                // engines resolve `Auto` *before* reaching this dispatch
+                // so they can also weigh runtime memory pressure; landing
+                // here means a direct library/CLI call.
+                let resolved = self.resolve_for_box(Self::interval_box_size(gmin, gbnd));
+                resolved.run_bounded_budgeted(poset, gmin, gbnd, frontier_budget, sink)
+            }
         }
     }
 

@@ -4,14 +4,14 @@
 
 use paramount_enumerate::bfs::{self, BfsOptions};
 use paramount_enumerate::dfs::{self, DfsOptions};
-use paramount_enumerate::{lexical, Algorithm, CountSink};
+use paramount_enumerate::{leveled, lexical, Algorithm, CountSink};
 use paramount_poset::random::RandomComputation;
 use paramount_poset::{oracle, CutRef, Frontier};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
 
-/// All three algorithms agree on counts across a grid of shapes — wide,
-/// narrow, sparse, dense.
+/// Every algorithm (and the `auto` selector) agrees on counts across a
+/// grid of shapes — wide, narrow, sparse, dense.
 #[test]
 fn counts_agree_across_shapes() {
     let shapes = [
@@ -30,8 +30,9 @@ fn counts_agree_across_shapes() {
             algorithm.run(&p, &mut sink).unwrap();
             counts.push(sink.count);
         }
-        assert_eq!(counts[0], counts[1], "shape {i}");
-        assert_eq!(counts[1], counts[2], "shape {i}");
+        for w in counts.windows(2) {
+            assert_eq!(w[0], w[1], "shape {i}: {counts:?}");
+        }
     }
 }
 
@@ -92,14 +93,23 @@ fn arbitrary_intervals_agree() {
             };
             dfs::enumerate_bounded(&p, lo, hi, &DfsOptions::default(), &mut sink).unwrap();
 
+            let mut lvl_cuts = Vec::new();
+            let mut sink = |g: CutRef<'_>| {
+                lvl_cuts.push(g.to_frontier());
+                ControlFlow::<()>::Continue(())
+            };
+            leveled::enumerate_bounded(&p, lo, hi, &mut sink).unwrap();
+
             assert_eq!(lex.len(), expected.len(), "lexical vs filter");
             bfs_cuts.sort_unstable();
             dfs_cuts.sort_unstable();
+            lvl_cuts.sort_unstable();
             let mut expected_sorted: Vec<Frontier> =
                 expected.iter().map(|g| (*g).clone()).collect();
             expected_sorted.sort_unstable();
             assert_eq!(bfs_cuts, expected_sorted);
             assert_eq!(dfs_cuts, expected_sorted);
+            assert_eq!(lvl_cuts, expected_sorted);
             checked += 1;
         }
     }

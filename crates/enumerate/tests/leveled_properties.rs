@@ -1,0 +1,69 @@
+//! Property tests for the leveled traversal's *emission contract*: cuts
+//! come out level by level (rank = number of included events, never
+//! decreasing) and in strictly increasing lexicographic order inside a
+//! level. Downstream consumers (per-level progress accounting, the CI
+//! perf harness's determinism checks) rely on this order, so it is a
+//! contract, not an implementation detail.
+
+use paramount_enumerate::{leveled, CollectSink};
+use paramount_poset::random::RandomComputation;
+use paramount_poset::{oracle, Frontier, Poset};
+use proptest::prelude::*;
+
+fn arb_poset() -> impl Strategy<Value = Poset> {
+    (2usize..5, 2usize..5, 0.0f64..0.9, any::<u64>()).prop_map(|(n, events, frac, seed)| {
+        RandomComputation::new(n, events, frac, seed).generate()
+    })
+}
+
+/// Rank-then-lex: the order the leveled walk must emit in.
+fn assert_rank_lex_sorted(cuts: &[Frontier]) -> Result<(), TestCaseError> {
+    for w in cuts.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        prop_assert!(
+            a.total_events() < b.total_events() || (a.total_events() == b.total_events() && a < b),
+            "out of order: {a} then {b}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Full-lattice runs emit every consistent cut, rank-sorted with
+    /// strictly-lex order within each level.
+    #[test]
+    fn full_emission_is_rank_then_lex(poset in arb_poset()) {
+        let mut sink = CollectSink::default();
+        let stats = leveled::enumerate(&poset, &mut sink).unwrap();
+        assert_rank_lex_sorted(&sink.cuts)?;
+        prop_assert_eq!(stats.cuts as usize, sink.cuts.len());
+        prop_assert_eq!(stats.peak_frontiers, 1, "regeneration, not storage");
+        prop_assert_eq!(
+            oracle::canonicalize(sink.cuts),
+            oracle::enumerate_product_scan(&poset)
+        );
+    }
+
+    /// Bounded runs over arbitrary `[lo, hi]` intervals keep the same
+    /// order contract (the engines only ever call the bounded form).
+    #[test]
+    fn bounded_emission_is_rank_then_lex(
+        poset in arb_poset(),
+        lo_pick in any::<prop::sample::Index>(),
+        hi_pick in any::<prop::sample::Index>(),
+    ) {
+        let cuts = oracle::enumerate_product_scan(&poset);
+        let lo = &cuts[lo_pick.index(cuts.len())];
+        // Candidates above lo always include lo itself, so hi exists.
+        let above: Vec<&Frontier> = cuts.iter().filter(|c| lo.leq(c)).collect();
+        let hi = above[hi_pick.index(above.len())];
+
+        let mut sink = CollectSink::default();
+        leveled::enumerate_bounded(&poset, lo, hi, &mut sink).unwrap();
+        assert_rank_lex_sorted(&sink.cuts)?;
+        let expected: usize = cuts.iter().filter(|c| lo.leq(c) && c.leq(hi)).count();
+        prop_assert_eq!(sink.cuts.len(), expected);
+    }
+}

@@ -19,7 +19,7 @@
 //! Client → server, one frame per `\n`-terminated line:
 //!
 //! ```text
-//! HELLO paramount/1 threads=<N> [algo=lexical|bfs|dfs] [workers=<K>]
+//! HELLO paramount/1 threads=<N> [algo=lexical|bfs|dfs|leveled|auto] [workers=<K>]
 //!       [capture_sync=0|1] [label=<token>]
 //! EVENT <tid> <op> [<arg>]        # op/arg exactly as in the trace format
 //! FLUSH                           # barrier: ack + live progress counters
@@ -331,12 +331,10 @@ fn parse_hello<'a>(parts: impl Iterator<Item = &'a str>) -> Result<ClientFrame, 
                 threads = Some(n);
             }
             "algo" => {
-                hello.algorithm = Some(match value {
-                    "lexical" => Algorithm::Lexical,
-                    "bfs" => Algorithm::Bfs,
-                    "dfs" => Algorithm::Dfs,
-                    other => return Err(proto(format!("unknown algorithm `{other}`"))),
-                });
+                hello.algorithm = Some(
+                    Algorithm::from_name(value)
+                        .ok_or_else(|| proto(format!("unknown algorithm `{value}`")))?,
+                );
             }
             "workers" => {
                 let w: usize = value

@@ -20,10 +20,15 @@ OUT=bench_results
 mkdir -p "$OUT"
 
 echo "building (release)..."
-if ! cargo build --release -p paramount-bench --bins; then
+if ! cargo build --release -p paramount-bench --bins -p paramount-cli; then
     echo "error: release build failed — not running any experiment" >&2
     exit 1
 fi
+
+# The CLI owns the algorithm inventory: new subroutines (leveled, auto,
+# ...) flow into the perf sweep without touching this script.
+ALGOS=$(target/release/paramount list-algorithms | paste -sd, -)
+echo "algorithms: $ALGOS"
 
 # table3 is the qualitative comparison — nothing to meter there.
 METERED="table1 fig10 fig11 fig12 table2"
@@ -37,6 +42,11 @@ for target in table1 fig10 fig11 fig12 table2 table3; do
     cargo run --release -q -p paramount-bench --bin "$target" -- $SCALE "${extra[@]}" \
         | tee "$OUT/$target.txt"
 done
+
+echo "== perf (per-algorithm gate workloads)"
+cargo run --release -q -p paramount-bench --bin perf -- \
+    --algos "$ALGOS" --out "$OUT" --check "$OUT/baseline.json" \
+    | tee "$OUT/perf.txt"
 
 echo
 echo "results written to $OUT/"

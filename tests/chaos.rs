@@ -21,6 +21,18 @@ use paramount_poset::random::RandomComputation;
 use paramount_poset::{oracle, topo, Poset};
 use std::sync::Arc;
 
+/// Interval subroutine under fault injection — `PARAMOUNT_CHAOS_ALGO`
+/// selects it (the CI chaos matrix sets `lexical` and `leveled`), so the
+/// isolation/retry/quarantine protocol is exercised with each enumerator
+/// underneath the panicking sink. Defaults to lexical.
+fn chaos_algo() -> Algorithm {
+    match std::env::var("PARAMOUNT_CHAOS_ALGO") {
+        Ok(name) => Algorithm::from_name(&name)
+            .unwrap_or_else(|| panic!("PARAMOUNT_CHAOS_ALGO: unknown algorithm `{name}`")),
+        Err(_) => Algorithm::Lexical,
+    }
+}
+
 /// Cuts lost to quarantine: each quarantined interval re-enumerated
 /// sequentially (stateless lexical subroutine), minus the prefix its
 /// sink already received.
@@ -52,7 +64,7 @@ fn offline_chaos_partitions_the_oracle_exactly() {
     for seed in [5u64, 23, 111] {
         let p = RandomComputation::new(4, 5, 0.35, seed).generate();
         let counter = AtomicCountSink::new();
-        let stats = ParaMount::new(Algorithm::Lexical)
+        let stats = ParaMount::new(chaos_algo())
             .with_threads(3)
             .with_faults(FaultPlan {
                 seed,
@@ -89,6 +101,7 @@ fn online_chaos_partitions_the_oracle_exactly() {
             3,
             OnlineEngineConfig {
                 workers: 3,
+                algorithm: chaos_algo(),
                 faults: FaultPlan {
                     seed,
                     sink_panic_every: Some(11),

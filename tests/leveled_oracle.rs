@@ -1,0 +1,135 @@
+//! Oracle equivalence for the space-efficient leveled traversal: on
+//! every workload in `crates/workloads` (captured through the simulated
+//! scheduler) and on wide distributed posets, the leveled walk visits
+//! *exactly* the cut set of the stored-frontier BFS reference — both in
+//! the inline-frontier regime (n ≤ 8 threads) and in the spilled regime
+//! (n = 10, where `Frontier` goes to the heap and the leveled walk's
+//! `O(n)` live state is the whole point).
+//!
+//! Small lattices are compared as sorted cut vectors (exact set
+//! equality); larger ones as (count, commutative hash-sum) digests so
+//! the suite never materializes a multi-million-cut set.
+
+use paramount_suite::paramount_enumerate::{bfs, leveled};
+use paramount_suite::paramount_trace::sim::SimScheduler;
+use paramount_suite::paramount_workloads as workloads;
+use paramount_suite::prelude::*;
+use std::ops::ControlFlow;
+
+/// Lattices at or under this size are compared cut-by-cut.
+const EXACT_CAP: u64 = 50_000;
+
+/// Order-independent 64-bit mix of one cut's counts.
+fn mix(counts: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in counts {
+        h ^= u64::from(v).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
+}
+
+/// (cut count, commutative digest) of everything `run` emits.
+fn digest(mut run: impl FnMut(&mut dyn FnMut(CutRef<'_>))) -> (u64, u64) {
+    let mut count = 0u64;
+    let mut sum = 0u64;
+    run(&mut |g| {
+        count += 1;
+        sum = sum.wrapping_add(mix(g.as_slice()));
+    });
+    (count, sum)
+}
+
+/// Asserts leveled ≡ BFS on one cut space, exactly when small, by
+/// digest when large. Returns the lattice size for sanity asserts.
+fn assert_equivalent<Sp: CutSpace + ?Sized>(space: &Sp, label: &str) -> u64 {
+    let (bfs_count, bfs_sum) = digest(|f| {
+        let mut sink = |g: CutRef<'_>| {
+            f(g);
+            ControlFlow::<()>::Continue(())
+        };
+        bfs::enumerate(space, &bfs::BfsOptions::default(), &mut sink).unwrap();
+    });
+    let (lvl_count, lvl_sum) = digest(|f| {
+        let mut sink = |g: CutRef<'_>| {
+            f(g);
+            ControlFlow::<()>::Continue(())
+        };
+        leveled::enumerate(space, &mut sink).unwrap();
+    });
+    assert_eq!(lvl_count, bfs_count, "{label}: cut counts differ");
+    assert_eq!(lvl_sum, bfs_sum, "{label}: cut-set digests differ");
+
+    if bfs_count <= EXACT_CAP {
+        let mut expected = Vec::new();
+        let mut sink = |g: CutRef<'_>| {
+            expected.push(g.to_frontier());
+            ControlFlow::<()>::Continue(())
+        };
+        bfs::enumerate(space, &bfs::BfsOptions::default(), &mut sink).unwrap();
+        expected.sort_unstable();
+
+        let mut got = Vec::new();
+        let mut sink = |g: CutRef<'_>| {
+            got.push(g.to_frontier());
+            ControlFlow::<()>::Continue(())
+        };
+        leveled::enumerate(space, &mut sink).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, expected, "{label}: exact cut sets differ");
+    }
+    bfs_count
+}
+
+/// Every Table 2 workload program, captured at two schedules, in the
+/// inline-frontier regime: leveled visits exactly the BFS cut set.
+#[test]
+fn leveled_matches_bfs_on_every_workload() {
+    for bench in workloads::table2_suite() {
+        for seed in [1u64, 9] {
+            let poset = SimScheduler::new(seed).run(&bench.program);
+            let cuts = assert_equivalent(&poset, &format!("{} seed {seed}", bench.name));
+            assert!(cuts > 0, "{}: empty lattice", bench.name);
+        }
+    }
+}
+
+/// Wide distributed posets (n = 10 processes — past the inline-frontier
+/// cap, so every stored frontier spills to the heap): the regime the
+/// leveled walk exists for.
+#[test]
+fn leveled_matches_bfs_at_spilled_frontier_widths() {
+    const {
+        assert!(
+            workloads::distributed::PROCESSES > 8,
+            "d-* posets must exceed the inline frontier cap for this test to bite"
+        );
+    }
+    for (events, frac, seed) in [(3usize, 0.3f64, 42u64), (4, 0.6, 77), (5, 0.85, 300)] {
+        let poset = workloads::distributed::scaled(events, frac, seed).generate();
+        let label = format!("d10x{events} frac={frac} seed={seed}");
+        let cuts = assert_equivalent(&poset, &label);
+        assert!(cuts > 50, "{label}: lattice too synchronized ({cuts} cuts)");
+    }
+}
+
+/// The space bound that justifies the algorithm, end to end: on a wide
+/// poset the leveled walk reports a single live frontier while BFS
+/// stores whole levels.
+#[test]
+fn leveled_live_state_stays_constant_where_bfs_levels_grow() {
+    let poset = workloads::distributed::scaled(4, 0.6, 77).generate();
+    let mut sink = |_: CutRef<'_>| ControlFlow::<()>::Continue(());
+    let lvl = leveled::enumerate(&poset, &mut sink).unwrap();
+    assert_eq!(lvl.peak_frontiers, 1, "leveled must regenerate, not store");
+    let mut sink = |_: CutRef<'_>| ControlFlow::<()>::Continue(());
+    let b = bfs::enumerate(&poset, &bfs::BfsOptions::default(), &mut sink).unwrap();
+    assert!(
+        b.peak_frontiers > 10 * lvl.peak_frontiers,
+        "BFS peak {} should dwarf leveled peak {}",
+        b.peak_frontiers,
+        lvl.peak_frontiers
+    );
+}

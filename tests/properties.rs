@@ -20,7 +20,7 @@ proptest! {
     /// Theorem 2 (via Lemmas 1–3): ParaMount enumerates every consistent
     /// cut exactly once, for every subroutine, matching the oracle.
     #[test]
-    fn paramount_equals_oracle(poset in arb_poset(), algo_idx in 0usize..3, threads in 1usize..5) {
+    fn paramount_equals_oracle(poset in arb_poset(), algo_idx in 0usize..Algorithm::ALL.len(), threads in 1usize..5) {
         let algorithm = Algorithm::ALL[algo_idx];
         let expected = oracle::enumerate_product_scan(&poset);
         let sink = ConcurrentCollectSink::new();
@@ -32,8 +32,8 @@ proptest! {
         prop_assert_eq!(got, expected);
     }
 
-    /// All three sequential algorithms agree with the oracle and emit no
-    /// duplicates.
+    /// Every sequential algorithm (and the `auto` selector) agrees with
+    /// the oracle and emits no duplicates.
     #[test]
     fn sequential_algorithms_equal_oracle(poset in arb_poset()) {
         let expected = oracle::enumerate_product_scan(&poset);
