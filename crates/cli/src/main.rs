@@ -24,6 +24,8 @@ USAGE:
                                [--idle-timeout-ms MS] [--write-timeout-ms MS]
                                [--soft-spill-bytes N] [--hard-spill-bytes N]
                                [--interval-deadline-ms MS] [--busy-retry-ms MS]
+                               [--data-dir DIR] [--checkpoint-events N]
+                               [--fsync always|ondemand|never] [--disk-spill-bytes N]
   paramount send <trace>       --connect HOST:PORT | --unix PATH
                                [--algo A] [--workers K] [--label L] [--capture-sync]
                                [--retries N] [--backoff-ms MS]   (reconnect & replay)
@@ -236,6 +238,10 @@ fn serve(args: &[String]) -> Result<String, CliError> {
     opts.hard_spill_bytes = parse_number(args, "--hard-spill-bytes")?;
     opts.interval_deadline_ms = parse_number(args, "--interval-deadline-ms")?;
     opts.busy_retry_ms = parse_number(args, "--busy-retry-ms")?;
+    opts.data_dir = flag_value(args, "--data-dir").map(Into::into);
+    opts.checkpoint_events = parse_number(args, "--checkpoint-events")?;
+    opts.fsync = flag_value(args, "--fsync");
+    opts.disk_spill_bytes = parse_number(args, "--disk-spill-bytes")?;
     if opts.listen.is_empty() && opts.unix.is_empty() {
         opts.listen.push("127.0.0.1:7667".to_string());
     }

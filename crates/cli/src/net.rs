@@ -79,6 +79,17 @@ pub struct ServeOptions {
     pub interval_deadline_ms: Option<u64>,
     /// `retry-after-ms` hint sent with `ERR busy` (`--busy-retry-ms`).
     pub busy_retry_ms: Option<u64>,
+    /// Durable session store root (`--data-dir`): per-session WAL +
+    /// checkpoints, crash recovery on boot, `RESUME` support, and
+    /// disk-backed interval spill.
+    pub data_dir: Option<PathBuf>,
+    /// Checkpoint interval in accepted events (`--checkpoint-events`).
+    pub checkpoint_events: Option<u64>,
+    /// WAL fsync policy (`--fsync always|ondemand|never`).
+    pub fsync: Option<String>,
+    /// Disk-spill byte cap (`--disk-spill-bytes`); only meaningful with
+    /// `--data-dir`.
+    pub disk_spill_bytes: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -97,6 +108,10 @@ impl Default for ServeOptions {
             hard_spill_bytes: None,
             interval_deadline_ms: None,
             busy_retry_ms: None,
+            data_dir: None,
+            checkpoint_events: None,
+            fsync: None,
+            disk_spill_bytes: None,
         }
     }
 }
@@ -126,6 +141,15 @@ pub fn build_server(opts: &ServeOptions) -> Result<(Server, Vec<SocketAddr>), St
     if let Some(ms) = opts.busy_retry_ms {
         config.busy_retry_after_ms = ms;
     }
+    config.data_dir = opts.data_dir.clone();
+    if let Some(every) = opts.checkpoint_events {
+        config.checkpoint_every_events = every;
+    }
+    if let Some(name) = &opts.fsync {
+        config.fsync = paramount_durable::FsyncPolicy::parse(name)
+            .ok_or_else(|| format!("unknown --fsync policy `{name}` (always|ondemand|never)"))?;
+    }
+    config.governor.disk_spill_bytes = opts.disk_spill_bytes;
     let mut server = Server::new(config);
     for addr in &opts.listen {
         server

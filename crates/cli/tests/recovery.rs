@@ -1,0 +1,167 @@
+//! `kill -9` end-to-end acceptance (the acceptance gate of the durable
+//! session store): a real `paramount serve --data-dir` process takes
+//! half a trace and is SIGKILLed mid-session; a second process on the
+//! same data-dir recovers the session at boot, a `RESUME` continues it
+//! from the server-acknowledged prefix, and the final report matches
+//! `paramount count` on the full trace.
+#![cfg(unix)]
+
+use paramount_ingest::{parse_client_line, Client, ClientFrame, Hello, WireOp};
+use paramount_trace::textfmt::{parse_trace, render_op};
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const TRACE: &str = "\
+threads 2
+0 write x
+0 acquire m
+0 write y
+0 release m
+1 read x
+1 acquire m
+1 write z
+1 release m
+0 write w
+1 read y
+";
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_paramount")
+}
+
+/// Spawns `paramount serve --data-dir <root>` on an ephemeral port and
+/// waits for the "listening on tcp" banner to learn the bound address.
+fn spawn_serve(root: &Path) -> (Child, String) {
+    let mut child = Command::new(bin())
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--data-dir",
+            root.to_str().expect("utf-8 tmp path"),
+            "--checkpoint-events",
+            "3",
+            "--fsync",
+            "always",
+            "--quiet",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn paramount serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("daemon exited before binding")
+            .expect("daemon stdout");
+        if let Some(addr) = line.strip_prefix("listening on tcp ") {
+            break addr.to_string();
+        }
+    };
+    // Keep draining stdout so the daemon never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+fn connect(addr: &str) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Client::connect_tcp(addr) {
+            Ok(client) => return client,
+            Err(err) if Instant::now() < deadline => {
+                let _ = err;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(err) => panic!("cannot connect to {addr}: {err}"),
+        }
+    }
+}
+
+/// `paramount count <trace>` — the sequential ground truth, via the
+/// same binary under test.
+fn oracle_count(trace_path: &Path) -> u64 {
+    let out = Command::new(bin())
+        .arg("count")
+        .arg(trace_path)
+        .output()
+        .expect("run paramount count");
+    assert!(out.status.success(), "count failed: {out:?}");
+    let text = String::from_utf8(out.stdout).expect("utf-8 count output");
+    // "10 events, N consistent global states (...)"
+    let mut words = text.split_whitespace();
+    while let Some(word) = words.next() {
+        if word == "events," {
+            return words
+                .next()
+                .expect("cut count after 'events,'")
+                .parse()
+                .expect("numeric cut count");
+        }
+    }
+    panic!("unparseable count output: {text}");
+}
+
+#[test]
+fn sigkilled_daemon_recovers_resumes_and_matches_count() {
+    let root = std::env::temp_dir().join(format!("paramount-e2e-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("tmp root");
+    let trace_path = root.join("trace.txt");
+    std::fs::write(&trace_path, TRACE).expect("write trace");
+    let data_dir = root.join("data");
+
+    let expected = oracle_count(&trace_path);
+    let trace = parse_trace(TRACE).expect("parse trace");
+    let wire: Vec<(usize, WireOp)> = trace
+        .ops
+        .iter()
+        .map(|&(tid, op)| {
+            let body = render_op(op, &trace.var_names, &trace.lock_names);
+            match parse_client_line(&format!("EVENT {} {body}", tid.index())) {
+                Ok(ClientFrame::Event { tid, op }) => (tid, op),
+                other => panic!("unparseable wire op: {other:?}"),
+            }
+        })
+        .collect();
+    let half = wire.len() / 2;
+
+    // Daemon #1: half the trace, a FLUSH barrier (fsync=always makes the
+    // acked prefix durable), then SIGKILL — no shutdown handler runs.
+    let (mut daemon, addr) = spawn_serve(&data_dir);
+    let mut client = connect(&addr);
+    let session = client.hello(&Hello::new(trace.threads)).expect("hello");
+    for (tid, op) in &wire[..half] {
+        client.event(*tid, op).expect("event");
+    }
+    client.flush_sync().expect("flush");
+    daemon.kill().expect("SIGKILL daemon");
+    daemon.wait().expect("reap daemon");
+    drop(client);
+
+    // Daemon #2, same data-dir: boot recovery + RESUME + the tail.
+    let (daemon, addr) = spawn_serve(&data_dir);
+    let mut client = connect(&addr);
+    let acked = client.resume(session).expect("resume across kill -9") as usize;
+    assert_eq!(acked, half, "fsync=always must preserve the flushed prefix");
+    for (tid, op) in &wire[acked..] {
+        client.event(*tid, op).expect("resumed event");
+    }
+    let report = client.finish().expect("final report");
+    assert!(report.complete, "resumed session must be Theorem-3 exact");
+    assert_eq!(
+        report.cuts, expected,
+        "kill -9 + recover + resume must match `paramount count`"
+    );
+
+    // Clean END deleted the store; shut the daemon down politely.
+    let admin = connect(&addr);
+    admin.request_shutdown().expect("shutdown");
+    let mut daemon = daemon;
+    let status = daemon.wait().expect("daemon exit");
+    assert!(status.success(), "daemon #2 must drain cleanly: {status}");
+    let _ = std::fs::remove_dir_all(&root);
+}

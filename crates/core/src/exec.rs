@@ -32,7 +32,7 @@ use crate::governor::{MemoryBudget, OverloadError, Pressure};
 use crate::interval::Interval;
 use crate::metrics::{MetricsSnapshot, ParaMetrics};
 use crate::sink::{MeteredSink, ParallelCutSink, SinkBridge};
-use crate::store::PackedIntervalQueue;
+use crate::store::DurableIntervalQueue;
 use crossbeam_channel::TrySendError;
 use paramount_enumerate::{panic_message, Algorithm, CutSink, EnumError, EnumStats};
 use paramount_poset::CutSpace;
@@ -560,7 +560,7 @@ pub enum BackpressurePolicy {
 
 /// Streaming-mode pool parameters (the executor-facing subset of the
 /// online engine's public config).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct StreamParams {
     /// Enumeration worker threads (≥ 1).
     pub workers: usize,
@@ -571,6 +571,10 @@ pub(crate) struct StreamParams {
     /// Shared supervisor restart budget for panics that escape the
     /// per-interval boundary.
     pub worker_restart_budget: u32,
+    /// Directory for the cold spill tier. `None` keeps the spill deque
+    /// RAM-only; with a directory, memory pressure freezes the deque to
+    /// disk instead of shedding work.
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 /// Per-worker-slot in-flight tracking: which interval the slot is
@@ -598,10 +602,10 @@ struct StreamShared<Sp> {
     error: Mutex<Option<EnumError>>,
     metrics: ParaMetrics,
     /// Overflow intervals under [`BackpressurePolicy::SpillToDeque`],
-    /// delta-coded. Workers drain it with priority; `finish` closes the
-    /// channel only after producers stop, so leftover spill is drained
-    /// post-close.
-    spill: Mutex<PackedIntervalQueue>,
+    /// delta-coded, with an optional cold tier on disk. Workers drain it
+    /// with priority; `finish` closes the channel only after producers
+    /// stop, so leftover spill is drained post-close.
+    spill: Mutex<DurableIntervalQueue>,
     fault_log: Mutex<FaultLog>,
     in_flight: Box<[InFlightSlot]>,
     /// Remaining supervisor restarts, shared across the pool. Signed so
@@ -629,32 +633,116 @@ impl<Sp> StreamShared<Sp> {
 }
 
 /// Pops one spilled interval, never holding the lock across enumeration.
-/// The byte delta is credited back to the shared budget and the
-/// per-engine gauge — the accounting mirror of [`spill_push`].
+/// Byte deltas are settled against both tiers: popping shrinks the RAM
+/// account, thawing a cold batch moves its bytes disk → RAM — the
+/// accounting mirror of [`spill_push`] and [`freeze_spill_to_disk`].
+///
+/// A cold batch that cannot be read back is a real loss (its intervals
+/// are unrecoverable in-process), so the failure stops the stream with a
+/// typed error instead of silently under-counting.
 fn pop_spill<Sp>(shared: &StreamShared<Sp>) -> Option<Interval> {
     let mut queue = shared.spill.lock();
-    let before = queue.byte_len();
-    let interval = queue.pop_front();
-    let delta = before.saturating_sub(queue.byte_len());
+    let ram_before = queue.ram_byte_len();
+    let disk_before = queue.disk_byte_len();
+    let popped = queue.pop_front();
+    let ram_after = queue.ram_byte_len();
+    let disk_after = queue.disk_byte_len();
     drop(queue);
-    if delta > 0 {
-        shared.budget.credit_spill(delta);
-        shared.metrics.spill_bytes.sub(delta as u64);
+    let disk_freed = disk_before.saturating_sub(disk_after);
+    if disk_freed > 0 {
+        shared.budget.credit_disk(disk_freed);
+        shared.metrics.disk_spill_bytes.sub(disk_freed as u64);
     }
-    interval
+    if ram_after > ram_before {
+        // Thawed a cold batch: its packed bytes are resident again.
+        shared.budget.charge_spill(ram_after - ram_before);
+        shared
+            .metrics
+            .spill_bytes
+            .add((ram_after - ram_before) as u64);
+    } else if ram_before > ram_after {
+        shared.budget.credit_spill(ram_before - ram_after);
+        shared
+            .metrics
+            .spill_bytes
+            .sub((ram_before - ram_after) as u64);
+    }
+    match popped {
+        Ok(interval) => interval,
+        Err(err) => {
+            shared.error.lock().get_or_insert(EnumError::Panicked {
+                message: format!("durable spill: {err}"),
+            });
+            shared.stopped.store(true, Ordering::Relaxed);
+            None
+        }
+    }
 }
 
 /// Pushes one interval into the spill deque, charging the encoded byte
 /// delta to the shared budget (watermark input) and the per-engine
-/// spill-size gauge.
+/// spill-size gauge. Under memory pressure the hot deque then freezes
+/// onto the cold disk tier, if one is attached with headroom.
 fn spill_push<Sp>(shared: &StreamShared<Sp>, interval: &Interval) {
     let mut queue = shared.spill.lock();
-    let before = queue.byte_len();
+    let before = queue.ram_byte_len();
     queue.push_back(interval);
-    let delta = queue.byte_len() - before;
-    drop(queue);
+    let delta = queue.ram_byte_len() - before;
     shared.budget.charge_spill(delta);
     shared.metrics.spill_bytes.add(delta as u64);
+    if shared.budget.pressure() >= Pressure::Soft {
+        freeze_spill_to_disk(shared, &mut queue);
+    }
+}
+
+/// Freezes the hot spill deque onto the cold disk tier, migrating its
+/// bytes from the RAM watermarks to the disk account. Returns `false`
+/// when no cold tier is attached, the disk cap has no headroom, the hot
+/// deque is empty, or the write failed — every one of those leaves the
+/// deque in RAM, losing nothing, and the caller falls back to the
+/// RAM-only behavior.
+fn freeze_spill_to_disk<Sp>(shared: &StreamShared<Sp>, queue: &mut DurableIntervalQueue) -> bool {
+    // The batch payload is the hot bytes plus a small varint header.
+    if !queue.has_disk() || !shared.budget.disk_can_accept(queue.hot_byte_len() + 8) {
+        return false;
+    }
+    let disk_before = queue.disk_byte_len();
+    match queue.spill_to_disk() {
+        Ok(0) => false,
+        Ok(moved) => {
+            let disk_delta = queue.disk_byte_len() - disk_before;
+            shared.budget.credit_spill(moved);
+            shared.metrics.spill_bytes.sub(moved as u64);
+            shared.budget.charge_disk(disk_delta);
+            shared.metrics.disk_spill_bytes.add(disk_delta as u64);
+            shared.metrics.disk_spill_batches.add(1);
+            true
+        }
+        // Write failure: the queue restored its hot tier; keep running
+        // RAM-only (the watermarks stay honest, nothing is lost).
+        Err(_) => false,
+    }
+}
+
+/// Hard-pressure escape hatch: admits `interval` into the spill deque
+/// only when a cold tier is attached with headroom for the hot deque
+/// behind it, then freezes the deque to disk. Returns `false` (the
+/// caller sheds) when that path is closed. If the freeze itself fails
+/// after admission, the interval stays queued in RAM — over budget but
+/// exact — because reporting it shed *and* later enumerating it would
+/// break Theorem 2's exactly-once accounting.
+fn spill_through_disk<Sp>(shared: &StreamShared<Sp>, interval: &Interval) -> bool {
+    let mut queue = shared.spill.lock();
+    if !queue.has_disk() || !shared.budget.disk_can_accept(queue.hot_byte_len() + 8) {
+        return false;
+    }
+    let before = queue.ram_byte_len();
+    queue.push_back(interval);
+    let delta = queue.ram_byte_len() - before;
+    shared.budget.charge_spill(delta);
+    shared.metrics.spill_bytes.add(delta as u64);
+    freeze_spill_to_disk(shared, &mut queue);
+    true
 }
 
 /// Streaming mode: a supervised worker pool draining a bounded channel
@@ -706,6 +794,14 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
             sink
         };
         let n = space.num_threads();
+        // A cold tier that fails to open degrades to the RAM-only deque,
+        // mirroring how worker spawn failures degrade the pool: the run
+        // stays alive and correct, just without the relief valve.
+        let spill = match params.spill_dir.as_deref() {
+            Some(dir) => DurableIntervalQueue::with_disk(n, dir)
+                .unwrap_or_else(|_| DurableIntervalQueue::new(n)),
+            None => DurableIntervalQueue::new(n),
+        };
         let shared = Arc::new(StreamShared {
             space,
             exec,
@@ -713,7 +809,7 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
             stopped: AtomicBool::new(false),
             error: Mutex::new(None),
             metrics: ParaMetrics::new(params.workers),
-            spill: Mutex::new(PackedIntervalQueue::new(n)),
+            spill: Mutex::new(spill),
             fault_log: Mutex::new(FaultLog::default()),
             in_flight: (0..params.workers)
                 .map(|_| InFlightSlot::default())
@@ -826,8 +922,9 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
             // policy at the moment the channel is full: nominal pressure
             // spills as before, soft pressure *promotes* the submit to a
             // blocking send (the producer slows to the consumers' pace
-            // instead of growing the spill), and hard pressure sheds the
-            // interval with a typed overload error.
+            // instead of growing the spill), and hard pressure reaches
+            // for the cold disk tier — the durable relief valve — before
+            // shedding the interval with a typed overload error.
             BackpressurePolicy::SpillToDeque => match sender.try_send(interval) {
                 Ok(()) => {}
                 Err(TrySendError::Full(interval)) => match self.shared.budget.pressure() {
@@ -844,11 +941,15 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
                     }
                     Pressure::Hard => {
                         m.queue_depth.dec();
-                        m.intervals_rejected.add(1);
-                        self.shared
-                            .overload
-                            .lock()
-                            .get_or_insert_with(|| self.shared.budget.overload_error());
+                        if spill_through_disk(&self.shared, &interval) {
+                            m.intervals_spilled.add(1);
+                        } else {
+                            m.intervals_rejected.add(1);
+                            self.shared
+                                .overload
+                                .lock()
+                                .get_or_insert_with(|| self.shared.budget.overload_error());
+                        }
                     }
                 },
                 Err(TrySendError::Disconnected(_)) => m.queue_depth.dec(),

@@ -44,6 +44,14 @@ pub struct GovernorConfig {
     /// submissions are rejected with an [`OverloadError`] and the daemon
     /// refuses new sessions.
     pub hard_spill_bytes: Option<usize>,
+    /// Capacity of the **disk** spill tier in bytes. When an engine has
+    /// a spill directory, RAM pressure at or past the watermarks moves
+    /// cold spill batches to disk instead of blocking or shedding —
+    /// disk bytes are accounted here and do *not* count toward
+    /// [`Pressure`], so the hard watermark stops being a ceiling on run
+    /// size and becomes a ceiling on *RAM*. Work is shed only once the
+    /// disk tier itself would exceed this cap (`None` = uncapped).
+    pub disk_spill_bytes: Option<usize>,
     /// Deadline for one in-flight interval. When set, a watchdog thread
     /// (streaming mode) or an inline per-cut check (both modes) preempts
     /// an interval that overstays: it is split into independently
@@ -75,8 +83,11 @@ pub struct MemoryBudget {
     spill: AtomicUsize,
     spill_high_water: AtomicUsize,
     retained: AtomicUsize,
+    disk: AtomicUsize,
+    disk_high_water: AtomicUsize,
     soft: usize,
     hard: usize,
+    disk_cap: usize,
 }
 
 impl MemoryBudget {
@@ -89,8 +100,11 @@ impl MemoryBudget {
             spill: AtomicUsize::new(0),
             spill_high_water: AtomicUsize::new(0),
             retained: AtomicUsize::new(0),
+            disk: AtomicUsize::new(0),
+            disk_high_water: AtomicUsize::new(0),
             soft,
             hard,
+            disk_cap: config.disk_spill_bytes.unwrap_or(usize::MAX),
         }
     }
 
@@ -128,6 +142,40 @@ impl MemoryBudget {
         if bytes > 0 {
             self.retained.fetch_sub(bytes, Ordering::Relaxed);
         }
+    }
+
+    /// Accounts `bytes` entering the disk spill tier. Disk bytes do not
+    /// feed [`MemoryBudget::pressure`] — moving cold state to disk is
+    /// how an engine *relieves* RAM pressure.
+    pub fn charge_disk(&self, bytes: usize) {
+        if bytes == 0 {
+            return;
+        }
+        let now = self.disk.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.disk_high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Accounts `bytes` leaving the disk spill tier.
+    pub fn credit_disk(&self, bytes: usize) {
+        if bytes > 0 {
+            self.disk.fetch_sub(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Bytes currently in the disk spill tier.
+    pub fn disk_bytes(&self) -> usize {
+        self.disk.load(Ordering::Relaxed)
+    }
+
+    /// Largest disk-tier total ever accounted.
+    pub fn disk_high_water(&self) -> usize {
+        self.disk_high_water.load(Ordering::Relaxed)
+    }
+
+    /// Whether the disk tier can take `bytes` more without exceeding its
+    /// cap (always true when uncapped).
+    pub fn disk_can_accept(&self, bytes: usize) -> bool {
+        self.disk_cap == usize::MAX || self.disk_bytes().saturating_add(bytes) <= self.disk_cap
     }
 
     /// Bytes currently in spill buffers.
@@ -178,6 +226,9 @@ impl MemoryBudget {
             spill_bytes: self.spill_bytes() as u64,
             spill_bytes_high_water: self.spill_high_water() as u64,
             retained_bytes: self.retained_bytes() as u64,
+            disk_spill_bytes: self.disk_bytes() as u64,
+            disk_spill_bytes_high_water: self.disk_high_water() as u64,
+            disk_watermark: watermark(self.disk_cap),
             soft_watermark: watermark(self.soft),
             hard_watermark: watermark(self.hard),
         }
@@ -199,6 +250,12 @@ pub struct BudgetSnapshot {
     pub spill_bytes_high_water: u64,
     /// Live retention bytes at snapshot time.
     pub retained_bytes: u64,
+    /// Bytes in the disk spill tier at snapshot time.
+    pub disk_spill_bytes: u64,
+    /// Largest disk-tier total ever accounted.
+    pub disk_spill_bytes_high_water: u64,
+    /// Configured disk-tier cap, if any.
+    pub disk_watermark: Option<u64>,
     /// Configured soft watermark, if any.
     pub soft_watermark: Option<u64>,
     /// Configured hard watermark, if any.
@@ -217,6 +274,15 @@ impl BudgetSnapshot {
             self.spill_bytes_high_water,
             self.retained_bytes,
         );
+        if self.disk_spill_bytes_high_water > 0 || self.disk_watermark.is_some() {
+            out.push_str(&format!(
+                ",\"disk\":{},\"disk_high_water\":{}",
+                self.disk_spill_bytes, self.disk_spill_bytes_high_water
+            ));
+        }
+        if let Some(cap) = self.disk_watermark {
+            out.push_str(&format!(",\"disk_cap\":{cap}"));
+        }
         if let Some(soft) = self.soft_watermark {
             out.push_str(&format!(",\"soft\":{soft}"));
         }
@@ -258,7 +324,7 @@ mod tests {
         GovernorConfig {
             soft_spill_bytes: Some(soft),
             hard_spill_bytes: Some(hard),
-            interval_deadline: None,
+            ..GovernorConfig::default()
         }
     }
 
@@ -306,7 +372,7 @@ mod tests {
         let b = MemoryBudget::new(GovernorConfig {
             soft_spill_bytes: Some(500),
             hard_spill_bytes: Some(100),
-            interval_deadline: None,
+            ..GovernorConfig::default()
         });
         b.charge_spill(100);
         assert_eq!(b.pressure(), Pressure::Hard);
@@ -335,6 +401,40 @@ mod tests {
         assert_eq!(err.hard_watermark, 2);
         let text = err.to_string();
         assert!(text.contains('5') && text.contains('2'), "{text}");
+    }
+
+    #[test]
+    fn disk_tier_relieves_pressure_and_respects_its_cap() {
+        let b = MemoryBudget::new(GovernorConfig {
+            soft_spill_bytes: Some(10),
+            hard_spill_bytes: Some(20),
+            disk_spill_bytes: Some(100),
+            ..GovernorConfig::default()
+        });
+        b.charge_spill(20);
+        assert_eq!(b.pressure(), Pressure::Hard);
+        // Moving the bytes to disk relieves RAM pressure entirely.
+        b.credit_spill(20);
+        b.charge_disk(20);
+        assert_eq!(b.pressure(), Pressure::Nominal);
+        assert_eq!(b.disk_bytes(), 20);
+        assert!(b.disk_can_accept(80));
+        assert!(!b.disk_can_accept(81));
+        b.credit_disk(5);
+        assert_eq!(b.disk_bytes(), 15);
+        assert_eq!(b.disk_high_water(), 20);
+        let line = b.snapshot().to_json_line("x");
+        assert!(line.contains("\"disk\":15"), "{line}");
+        assert!(line.contains("\"disk_high_water\":20"), "{line}");
+        assert!(line.contains("\"disk_cap\":100"), "{line}");
+    }
+
+    #[test]
+    fn uncapped_disk_tier_accepts_everything_and_stays_out_of_json() {
+        let b = MemoryBudget::unlimited();
+        assert!(b.disk_can_accept(usize::MAX));
+        let line = b.snapshot().to_json_line("x");
+        assert!(!line.contains("disk"), "{line}");
     }
 
     #[test]

@@ -258,34 +258,10 @@ fn max_consistent_below<Sp: CutSpace + ?Sized>(space: &Sp, g: &mut Frontier) {
     }
 }
 
-/// LEB128: 7 payload bits per byte, high bit = continuation.
-fn push_varint(out: &mut Vec<u8>, mut v: u32) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(byte);
-            return;
-        }
-        out.push(byte | 0x80);
-    }
-}
-
-fn read_varint(bytes: &mut impl Iterator<Item = u8>) -> Option<u32> {
-    let mut v = 0u32;
-    let mut shift = 0u32;
-    loop {
-        let byte = bytes.next()?;
-        v |= u32::from(byte & 0x7f) << shift;
-        if byte & 0x80 == 0 {
-            return Some(v);
-        }
-        shift += 7;
-        if shift >= 32 {
-            return None; // malformed: u32 overflow
-        }
-    }
-}
+/// LEB128: 7 payload bits per byte, high bit = continuation. The
+/// implementation lives in `paramount-durable` (shared with the WAL
+/// record framing, so descriptors and durable records speak one codec).
+use paramount_durable::varint::{push_u32 as push_varint, read_u32 as read_varint};
 
 /// Computes the interval partition for a complete space under the given
 /// total order `→p` (which must be a linear extension — see
@@ -316,6 +292,38 @@ pub fn partition<Sp: CutSpace + ?Sized>(space: &Sp, order: &[EventId]) -> Vec<In
             }
         })
         .collect()
+}
+
+/// [`partition`], delta-coded: streams each interval straight into a
+/// [`PackedIntervalQueue`](crate::store::PackedIntervalQueue) instead of
+/// materializing the whole `Vec<Interval>`. Each interval lives as two
+/// `Frontier`s only for the instant it takes to pack; the resident
+/// representation is one contiguous varint-delta byte buffer, which for
+/// wide posets (n > the inline-frontier width) replaces the partition's
+/// two heap vectors per event. The offline engine drains it in bounded
+/// chunks (see `ParaMount::enumerate_packed`).
+pub fn partition_packed<Sp: CutSpace + ?Sized>(
+    space: &Sp,
+    order: &[EventId],
+) -> crate::store::PackedIntervalQueue {
+    let n = space.num_threads();
+    let mut running = Frontier::empty(n);
+    let mut queue = crate::store::PackedIntervalQueue::new(n);
+    for (i, &e) in order.iter().enumerate() {
+        debug_assert_eq!(
+            e.index,
+            running.get(e.tid) + 1,
+            "order is not a linear extension (thread sequence broken)"
+        );
+        running.set(e.tid, e.index);
+        queue.push_back(&Interval {
+            event: e,
+            gmin: Frontier::from_clock(space.vc(e)),
+            gbnd: running.clone(),
+            include_empty: i == 0,
+        });
+    }
+    queue
 }
 
 /// Exact per-interval work: the number of consistent cuts in each

@@ -54,7 +54,7 @@ pub mod store;
 pub use exec::IntervalExecutor;
 pub use faults::{FaultLog, FaultPlan, Outcome, QuarantinedInterval};
 pub use governor::{BudgetSnapshot, GovernorConfig, MemoryBudget, OverloadError, Pressure};
-pub use interval::{measure_interval_work, partition, Interval};
+pub use interval::{measure_interval_work, partition, partition_packed, Interval};
 pub use metrics::{
     HistogramSnapshot, IngestMetrics, IngestSnapshot, MetricsSnapshot, ParaMetrics, WorkerSnapshot,
 };

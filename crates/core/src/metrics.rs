@@ -335,6 +335,13 @@ pub struct ParaMetrics {
     /// high-water mark) — this engine's contribution to the shared
     /// memory budget.
     pub spill_bytes: HighWaterGauge,
+    /// Bytes of packed intervals resident in the on-disk cold tier
+    /// (current + high-water mark) — the durable relief valve that the
+    /// governor's `Pressure` deliberately does not count.
+    pub disk_spill_bytes: HighWaterGauge,
+    /// Cold batches written to the disk tier (each batch freezes the
+    /// whole hot spill deque at that moment).
+    pub disk_spill_batches: ShardedCounter,
     workers: Box<[WorkerTally]>,
 }
 
@@ -364,6 +371,8 @@ impl ParaMetrics {
             insert_critical_ns: Log2Histogram::new(),
             queue_depth: HighWaterGauge::new(),
             spill_bytes: HighWaterGauge::new(),
+            disk_spill_bytes: HighWaterGauge::new(),
+            disk_spill_batches: ShardedCounter::new(),
             workers: (0..workers).map(|_| WorkerTally::default()).collect(),
         }
     }
@@ -414,6 +423,9 @@ impl ParaMetrics {
             queue_depth_high_water: self.queue_depth.high_water(),
             spill_bytes: self.spill_bytes.get(),
             spill_bytes_high_water: self.spill_bytes.high_water(),
+            disk_spill_bytes: self.disk_spill_bytes.get(),
+            disk_spill_bytes_high_water: self.disk_spill_bytes.high_water(),
+            disk_spill_batches: self.disk_spill_batches.sum(),
             workers: self.workers.iter().map(WorkerTally::snapshot).collect(),
         }
     }
@@ -572,6 +584,13 @@ pub struct MetricsSnapshot {
     /// Largest packed spill-deque size ever held — the "did the memory
     /// cap hold" number of the overload governor.
     pub spill_bytes_high_water: u64,
+    /// Packed interval bytes resident on disk at snapshot time.
+    pub disk_spill_bytes: u64,
+    /// Largest on-disk cold tier ever held — nonzero means the run
+    /// exceeded RAM and survived by spilling instead of shedding.
+    pub disk_spill_bytes_high_water: u64,
+    /// Cold batches written to the disk tier.
+    pub disk_spill_batches: u64,
     /// Per-worker busy/idle tallies.
     pub workers: Vec<WorkerSnapshot>,
 }
@@ -657,6 +676,13 @@ impl MetricsSnapshot {
                 self.spill_bytes, self.spill_bytes_high_water
             );
         }
+        if self.disk_spill_bytes_high_water > 0 {
+            let _ = writeln!(
+                out,
+                "disk spill bytes:     {} now, {} high-water ({} batches)",
+                self.disk_spill_bytes, self.disk_spill_bytes_high_water, self.disk_spill_batches
+            );
+        }
         let _ = writeln!(
             out,
             "interval cut counts:  mean {:.1}, p50 <= {}, p99 <= {}, max {}",
@@ -721,6 +747,7 @@ impl MetricsSnapshot {
             ("watchdog_wakeups", self.watchdog_wakeups),
             ("intervals_auto_leveled", self.intervals_auto_leveled),
             ("intervals_auto_lexical", self.intervals_auto_lexical),
+            ("disk_spill_batches", self.disk_spill_batches),
         ] {
             let _ = writeln!(
                 out,
@@ -736,6 +763,11 @@ impl MetricsSnapshot {
             out,
             "{{\"label\":\"{label}\",\"metric\":\"spill_bytes\",\"type\":\"gauge\",\"value\":{},\"high_water\":{}}}",
             self.spill_bytes, self.spill_bytes_high_water
+        );
+        let _ = writeln!(
+            out,
+            "{{\"label\":\"{label}\",\"metric\":\"disk_spill_bytes\",\"type\":\"gauge\",\"value\":{},\"high_water\":{}}}",
+            self.disk_spill_bytes, self.disk_spill_bytes_high_water
         );
         for (name, h) in [
             ("interval_cuts", &self.interval_cuts),
@@ -799,6 +831,15 @@ pub struct IngestMetrics {
     pub bytes_in: ShardedCounter,
     /// Concurrently live sessions (current + high-water mark).
     pub active_sessions: HighWaterGauge,
+    /// Checkpoint records written to session WALs (each one compacts
+    /// its store, superseding every earlier segment).
+    pub checkpoint_writes: ShardedCounter,
+    /// Sessions rebuilt from a durable store after a restart (boot scan
+    /// or lazy `RESUME` recovery).
+    pub sessions_recovered: ShardedCounter,
+    /// Live WAL segment files across all durable sessions (current +
+    /// high-water mark).
+    pub wal_segments: HighWaterGauge,
 }
 
 impl IngestMetrics {
@@ -820,6 +861,10 @@ impl IngestMetrics {
             bytes_in: self.bytes_in.sum(),
             active_sessions: self.active_sessions.get(),
             active_sessions_high_water: self.active_sessions.high_water(),
+            checkpoint_writes: self.checkpoint_writes.sum(),
+            sessions_recovered: self.sessions_recovered.sum(),
+            wal_segments: self.wal_segments.get(),
+            wal_segments_high_water: self.wal_segments.high_water(),
         }
     }
 }
@@ -847,6 +892,14 @@ pub struct IngestSnapshot {
     pub active_sessions: u64,
     /// Most sessions ever live at once.
     pub active_sessions_high_water: u64,
+    /// Checkpoint records written (each compacts a session store).
+    pub checkpoint_writes: u64,
+    /// Sessions rebuilt from a durable store after a restart.
+    pub sessions_recovered: u64,
+    /// Live WAL segment files at snapshot time.
+    pub wal_segments: u64,
+    /// Most WAL segments ever live at once.
+    pub wal_segments_high_water: u64,
 }
 
 impl IngestSnapshot {
@@ -871,6 +924,19 @@ impl IngestSnapshot {
             "sessions active:      {} now, {} high-water",
             self.active_sessions, self.active_sessions_high_water
         );
+        if self.sessions_recovered > 0 {
+            let _ = writeln!(out, "sessions recovered:   {}", self.sessions_recovered);
+        }
+        if self.checkpoint_writes > 0 {
+            let _ = writeln!(out, "checkpoint writes:    {}", self.checkpoint_writes);
+        }
+        if self.wal_segments_high_water > 0 {
+            let _ = writeln!(
+                out,
+                "wal segments:         {} now, {} high-water",
+                self.wal_segments, self.wal_segments_high_water
+            );
+        }
         let _ = writeln!(out, "frames decoded:       {}", self.frames_decoded);
         if self.decode_errors > 0 {
             let _ = writeln!(out, "decode errors:        {}", self.decode_errors);
@@ -894,6 +960,8 @@ impl IngestSnapshot {
             ("frames_decoded", self.frames_decoded),
             ("decode_errors", self.decode_errors),
             ("bytes_in", self.bytes_in),
+            ("checkpoint_writes", self.checkpoint_writes),
+            ("sessions_recovered", self.sessions_recovered),
         ] {
             let _ = writeln!(
                 out,
@@ -904,6 +972,11 @@ impl IngestSnapshot {
             out,
             "{{\"label\":\"{label}\",\"metric\":\"active_sessions\",\"type\":\"gauge\",\"value\":{},\"high_water\":{}}}",
             self.active_sessions, self.active_sessions_high_water
+        );
+        let _ = writeln!(
+            out,
+            "{{\"label\":\"{label}\",\"metric\":\"wal_segments\",\"type\":\"gauge\",\"value\":{},\"high_water\":{}}}",
+            self.wal_segments, self.wal_segments_high_water
         );
         out
     }
@@ -1143,6 +1216,55 @@ mod tests {
         assert!(json.contains("\"metric\":\"watchdog_wakeups\",\"type\":\"counter\",\"value\":9"));
         assert!(json.contains(
             "\"metric\":\"spill_bytes\",\"type\":\"gauge\",\"value\":40,\"high_water\":640"
+        ));
+    }
+
+    #[test]
+    fn durable_instruments_surface_only_when_touched() {
+        let clean = ParaMetrics::new(0).snapshot();
+        assert!(!clean.render_text().contains("disk spill bytes"));
+
+        let m = ParaMetrics::new(0);
+        m.disk_spill_bytes.add(1024);
+        m.disk_spill_bytes.sub(1000);
+        m.disk_spill_batches.add(2);
+        let snap = m.snapshot();
+        assert_eq!(snap.disk_spill_bytes, 24);
+        assert_eq!(snap.disk_spill_bytes_high_water, 1024);
+        assert_eq!(snap.disk_spill_batches, 2);
+        let text = snap.render_text();
+        assert!(
+            text.contains("disk spill bytes:     24 now, 1024 high-water (2 batches)"),
+            "{text}"
+        );
+        let json = snap.to_json_lines("durable");
+        assert!(json.contains(
+            "\"metric\":\"disk_spill_bytes\",\"type\":\"gauge\",\"value\":24,\"high_water\":1024"
+        ));
+        assert!(json.contains("\"metric\":\"disk_spill_batches\",\"type\":\"counter\",\"value\":2"));
+
+        let i = IngestMetrics::new();
+        i.checkpoint_writes.add(5);
+        i.sessions_recovered.add(1);
+        i.wal_segments.add(3);
+        i.wal_segments.sub(2);
+        let snap = i.snapshot();
+        assert_eq!(snap.checkpoint_writes, 5);
+        assert_eq!(snap.sessions_recovered, 1);
+        assert_eq!(snap.wal_segments, 1);
+        assert_eq!(snap.wal_segments_high_water, 3);
+        let text = snap.render_text();
+        assert!(text.contains("checkpoint writes:    5"), "{text}");
+        assert!(text.contains("sessions recovered:   1"), "{text}");
+        assert!(
+            text.contains("wal segments:         1 now, 3 high-water"),
+            "{text}"
+        );
+        let json = snap.to_json_lines("ingest");
+        assert!(json.contains("\"metric\":\"checkpoint_writes\",\"type\":\"counter\",\"value\":5"));
+        assert!(json.contains("\"metric\":\"sessions_recovered\",\"type\":\"counter\",\"value\":1"));
+        assert!(json.contains(
+            "\"metric\":\"wal_segments\",\"type\":\"gauge\",\"value\":1,\"high_water\":3"
         ));
     }
 

@@ -20,12 +20,22 @@
 
 use crate::exec::IntervalExecutor;
 use crate::faults::{FaultLog, FaultPlan};
-use crate::interval::{partition, Interval};
+use crate::interval::{partition_packed, Interval};
 use crate::metrics::{MetricsSnapshot, ParaMetrics};
 use crate::sink::ParallelCutSink;
+use crate::store::PackedIntervalQueue;
 use paramount_enumerate::{Algorithm, EnumError};
 use paramount_poset::{topo, CutSpace, EventId};
 use std::sync::Arc;
+
+/// Intervals unpacked per [`ParaMount::enumerate_packed`] drain step.
+///
+/// Large enough that work stealing still sees a deep batch (interval
+/// sizes are wildly skewed, so a chunk this size keeps every thread fed),
+/// small enough that the unpacked `Vec<Interval>` — two `Frontier`
+/// allocations per entry — stays a rounding error next to the packed
+/// byte buffer holding the rest of the partition.
+pub const BATCH_CHUNK: usize = 4096;
 
 /// Configuration and entry points for offline parallel enumeration.
 ///
@@ -174,8 +184,63 @@ impl ParaMount {
         Sp: CutSpace + Sync + ?Sized,
         K: ParallelCutSink + ?Sized,
     {
-        let intervals = partition(space, order);
-        self.enumerate_intervals(space, &intervals, sink)
+        let mut queue = partition_packed(space, order);
+        self.enumerate_packed(space, &mut queue, sink)
+    }
+
+    /// Enumerates a delta-coded interval queue (what
+    /// [`partition_packed`] builds), draining it in bounded chunks so at
+    /// most [`BATCH_CHUNK`] intervals are ever unpacked at once — the
+    /// rest of the partition stays one contiguous varint buffer instead
+    /// of two heap `Frontier`s per event.
+    pub fn enumerate_packed<Sp, K>(
+        &self,
+        space: &Sp,
+        queue: &mut PackedIntervalQueue,
+        sink: &K,
+    ) -> Result<ParaStats, EnumError>
+    where
+        Sp: CutSpace + Sync + ?Sized,
+        K: ParallelCutSink + ?Sized,
+    {
+        if queue.is_empty() {
+            return self.enumerate_intervals(space, &[], sink);
+        }
+        let owned_registry;
+        let registry: &ParaMetrics = match &self.metrics {
+            Some(shared) => shared.as_ref(),
+            None => {
+                owned_registry = ParaMetrics::new(self.pool_width());
+                &owned_registry
+            }
+        };
+        let total = queue.len();
+        let mut cuts = 0u64;
+        let mut peak_frontiers = 0usize;
+        let mut faults = FaultLog::default();
+        let mut chunk: Vec<Interval> = Vec::with_capacity(total.min(BATCH_CHUNK));
+        while !queue.is_empty() {
+            chunk.clear();
+            while chunk.len() < BATCH_CHUNK {
+                match queue.pop_front() {
+                    Some(interval) => chunk.push(interval),
+                    None => break,
+                }
+            }
+            let batch = self
+                .executor()
+                .run_batch(self.threads, space, &chunk, sink, registry)?;
+            cuts += batch.cuts;
+            peak_frontiers = peak_frontiers.max(batch.peak_frontiers);
+            faults.quarantined.extend(batch.faults.quarantined);
+        }
+        Ok(ParaStats {
+            cuts,
+            intervals: total,
+            peak_frontiers,
+            faults,
+            metrics: registry.snapshot(),
+        })
     }
 
     /// Enumerates a pre-computed interval list (the online engine and the

@@ -190,7 +190,7 @@ impl<P> CutSpace for OnlinePoset<P> {
 }
 
 /// Configuration for the online engine.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct OnlineEngineConfig {
     /// Bounded subroutine for each interval (the paper defaults to the
     /// lexical algorithm for online detection). `Algorithm::Auto` lets
@@ -220,6 +220,12 @@ pub struct OnlineEngineConfig {
     /// Overload governor: memory watermarks for adaptive backpressure
     /// and the per-interval liveness deadline. Default is fully off.
     pub governor: GovernorConfig,
+    /// Directory for the cold spill tier (created if missing). `None`
+    /// keeps the spill deque RAM-only; with a directory, memory pressure
+    /// freezes spilled intervals to disk instead of shedding them once
+    /// the hard watermark trips (see `GovernorConfig::disk_spill_bytes`
+    /// for the cap on that tier).
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for OnlineEngineConfig {
@@ -233,6 +239,7 @@ impl Default for OnlineEngineConfig {
             worker_restart_budget: 8,
             faults: FaultPlan::default(),
             governor: GovernorConfig::default(),
+            spill_dir: None,
         }
     }
 }
@@ -299,6 +306,7 @@ impl<P: Send + Sync + 'static> OnlineEngine<P> {
             queue_capacity: config.queue_capacity,
             backpressure: config.backpressure,
             worker_restart_budget: config.worker_restart_budget,
+            spill_dir: config.spill_dir.clone(),
         };
         let stream = StreamExecutor::new(
             Arc::clone(&poset),

@@ -240,6 +240,181 @@ impl PackedIntervalQueue {
         }
         Some(interval)
     }
+
+    /// Takes the entire encoded backlog as one contiguous buffer plus
+    /// its interval count, leaving the queue empty. The bytes are in
+    /// FIFO order and re-importable via
+    /// [`PackedIntervalQueue::from_packed`] — this is how the durable
+    /// tier freezes a whole hot queue into one cold batch.
+    pub fn take_packed(&mut self) -> (Vec<u8>, usize) {
+        let count = self.len;
+        self.len = 0;
+        let bytes: Vec<u8> = std::mem::take(&mut self.buf).into_iter().collect();
+        (bytes, count)
+    }
+
+    /// Rebuilds a queue from a buffer produced by
+    /// [`PackedIntervalQueue::take_packed`].
+    pub fn from_packed(n: usize, bytes: Vec<u8>, count: usize) -> Self {
+        PackedIntervalQueue {
+            n,
+            buf: VecDeque::from(bytes),
+            len: count,
+        }
+    }
+}
+
+/// A two-tier FIFO of interval descriptors: a hot
+/// [`PackedIntervalQueue`] in RAM fronting an optional cold tier of
+/// delta-coded batches on disk ([`paramount_durable::DiskQueue`]).
+///
+/// Ordering is FIFO across tiers. Spilling freezes the *entire* hot
+/// queue into one cold batch appended behind any existing batches; new
+/// pushes land in the (now empty) hot queue, so hot entries are always
+/// newer than every cold batch. Pops drain the thaw buffer (the oldest
+/// cold batch, decoded), then the next cold batch, then the hot queue —
+/// oldest first, exactly like the RAM-only queue.
+///
+/// The cold tier is crash-*disposable*, not crash-safe: the session WAL
+/// is the authoritative record, and recovery regenerates spilled
+/// intervals by replay (see `paramount-durable`'s crate docs), so
+/// batches are written without fsync.
+#[derive(Debug)]
+pub struct DurableIntervalQueue {
+    n: usize,
+    /// Oldest cold batch, decoded back into RAM for popping.
+    thaw: PackedIntervalQueue,
+    /// Cold batches on disk, oldest first. `None` = RAM-only queue.
+    cold: Option<paramount_durable::DiskQueue>,
+    /// Intervals inside `cold` (the disk queue counts bytes, not
+    /// records).
+    cold_intervals: usize,
+    /// Newest tier: where pushes land.
+    hot: PackedIntervalQueue,
+}
+
+impl DurableIntervalQueue {
+    /// A RAM-only queue — behaves exactly like [`PackedIntervalQueue`];
+    /// [`DurableIntervalQueue::spill_to_disk`] is a no-op.
+    pub fn new(n: usize) -> Self {
+        DurableIntervalQueue {
+            n,
+            thaw: PackedIntervalQueue::new(n),
+            cold: None,
+            cold_intervals: 0,
+            hot: PackedIntervalQueue::new(n),
+        }
+    }
+
+    /// A queue with a cold tier in `dir` (created empty; leftovers from
+    /// a previous process are cleared — they are regenerable by WAL
+    /// replay).
+    pub fn with_disk(n: usize, dir: &std::path::Path) -> std::io::Result<Self> {
+        let cold = paramount_durable::DiskQueue::create(dir)?;
+        Ok(DurableIntervalQueue {
+            n,
+            thaw: PackedIntervalQueue::new(n),
+            cold: Some(cold),
+            cold_intervals: 0,
+            hot: PackedIntervalQueue::new(n),
+        })
+    }
+
+    /// Whether a cold tier is attached.
+    pub fn has_disk(&self) -> bool {
+        self.cold.is_some()
+    }
+
+    /// Total queued intervals across all tiers.
+    pub fn len(&self) -> usize {
+        self.thaw.len() + self.cold_intervals + self.hot.len()
+    }
+
+    /// True when nothing is queued anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes held in RAM (hot queue + thaw buffer) — what the governor's
+    /// RAM watermarks account.
+    pub fn ram_byte_len(&self) -> usize {
+        self.thaw.byte_len() + self.hot.byte_len()
+    }
+
+    /// Bytes held by cold batches on disk.
+    pub fn disk_byte_len(&self) -> usize {
+        self.cold.as_ref().map_or(0, |c| c.byte_len() as usize)
+    }
+
+    /// Encodes `interval` onto the back of the queue (the hot tier).
+    pub fn push_back(&mut self, interval: &Interval) {
+        self.hot.push_back(interval);
+    }
+
+    /// Freezes the entire hot queue into one cold batch on disk.
+    /// Returns the bytes moved out of RAM (0 without a cold tier or
+    /// with an empty hot queue). The batch payload is `varint count`
+    /// followed by the packed descriptors.
+    pub fn spill_to_disk(&mut self) -> std::io::Result<usize> {
+        let Some(cold) = self.cold.as_mut() else {
+            return Ok(0);
+        };
+        if self.hot.is_empty() {
+            return Ok(0);
+        }
+        let (bytes, count) = self.hot.take_packed();
+        let moved = bytes.len();
+        let mut payload = Vec::with_capacity(bytes.len() + 8);
+        paramount_durable::varint::push_u64(&mut payload, count as u64);
+        payload.extend_from_slice(&bytes);
+        match cold.push(&payload) {
+            Ok(_) => {
+                self.cold_intervals += count;
+                Ok(moved)
+            }
+            Err(err) => {
+                // A failed cold write loses nothing: the frozen bytes go
+                // straight back into the hot queue and the caller keeps
+                // running RAM-only.
+                self.hot = PackedIntervalQueue::from_packed(self.n, bytes, count);
+                Err(err)
+            }
+        }
+    }
+
+    /// Bytes held by the hot (newest) tier alone — what the next
+    /// [`DurableIntervalQueue::spill_to_disk`] would move.
+    pub fn hot_byte_len(&self) -> usize {
+        self.hot.byte_len()
+    }
+
+    /// Decodes and removes the oldest interval across tiers, thawing
+    /// the next cold batch when the thaw buffer runs dry. An `Err`
+    /// means a cold batch could not be read back — the caller decides
+    /// how to surface the loss.
+    pub fn pop_front(&mut self) -> std::io::Result<Option<Interval>> {
+        if let Some(interval) = self.thaw.pop_front() {
+            return Ok(Some(interval));
+        }
+        if self.cold_intervals > 0 {
+            let cold = self
+                .cold
+                .as_mut()
+                .expect("cold intervals imply a cold tier");
+            let payload = cold.pop()?.expect("cold count says a batch exists");
+            let mut pos = 0usize;
+            let count = paramount_durable::varint::read_u64_at(&payload, &mut pos)
+                .and_then(|c| usize::try_from(c).ok())
+                .ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "corrupt batch header")
+                })?;
+            let bytes = payload[pos..].to_vec();
+            self.cold_intervals -= count;
+            self.thaw = PackedIntervalQueue::from_packed(self.n, bytes, count);
+            return Ok(self.thaw.pop_front());
+        }
+        Ok(self.hot.pop_front())
+    }
 }
 
 // SAFETY: moving the vector moves ownership of the Ts; readers share &T.
@@ -391,6 +566,69 @@ mod tests {
             q.byte_len(),
             plain
         );
+    }
+
+    #[test]
+    fn durable_queue_is_fifo_across_ram_and_disk_tiers() {
+        use paramount_poset::random::RandomComputation;
+        use paramount_poset::topo;
+        let p = RandomComputation::new(4, 8, 0.4, 11).generate();
+        let ivs = crate::interval::partition(&p, &topo::weight_order(&p));
+        assert!(ivs.len() >= 8, "need enough intervals to spread over tiers");
+        let dir = std::env::temp_dir().join(format!("paramount-dq-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut q = DurableIntervalQueue::with_disk(p.num_threads(), &dir).unwrap();
+        assert!(q.has_disk() && q.is_empty());
+        // Three generations with spills in between: cold batches must
+        // drain oldest-first, then the hot tail.
+        let third = ivs.len() / 3;
+        for iv in &ivs[..third] {
+            q.push_back(iv);
+        }
+        let moved = q.spill_to_disk().unwrap();
+        assert!(moved > 0 && q.ram_byte_len() == 0);
+        // The batch payload adds a varint count header on top of the
+        // packed bytes moved out of RAM.
+        assert!(q.disk_byte_len() > moved && q.disk_byte_len() <= moved + 8);
+        for iv in &ivs[third..2 * third] {
+            q.push_back(iv);
+        }
+        q.spill_to_disk().unwrap();
+        for iv in &ivs[2 * third..] {
+            q.push_back(iv);
+        }
+        assert_eq!(q.len(), ivs.len());
+        let mut out = Vec::new();
+        while let Some(iv) = q.pop_front().unwrap() {
+            out.push(iv);
+        }
+        assert_eq!(out, ivs, "FIFO order across tiers violated");
+        assert!(q.is_empty() && q.disk_byte_len() == 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ram_only_durable_queue_never_spills() {
+        use paramount_poset::random::RandomComputation;
+        use paramount_poset::topo;
+        let p = RandomComputation::new(3, 5, 0.4, 3).generate();
+        let ivs = crate::interval::partition(&p, &topo::weight_order(&p));
+        let mut q = DurableIntervalQueue::new(p.num_threads());
+        assert!(!q.has_disk());
+        for iv in &ivs {
+            q.push_back(iv);
+        }
+        assert_eq!(
+            q.spill_to_disk().unwrap(),
+            0,
+            "no cold tier: spill is a no-op"
+        );
+        assert_eq!(q.disk_byte_len(), 0);
+        let mut out = Vec::new();
+        while let Some(iv) = q.pop_front().unwrap() {
+            out.push(iv);
+        }
+        assert_eq!(out, ivs);
     }
 
     #[test]

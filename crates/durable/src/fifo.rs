@@ -1,0 +1,174 @@
+//! An on-disk FIFO of checksummed byte batches — the cold tier behind
+//! the interval spill queue.
+//!
+//! Each pushed batch becomes one file `spill-<seq>.bin` holding a
+//! single record in the WAL framing (`kind len payload crc`); popping
+//! reads, verifies, and deletes the oldest file. Batches are large
+//! (a whole hot-queue flush), so file-per-batch keeps both ends O(1)
+//! and makes reclamation a plain unlink.
+//!
+//! The queue is deliberately **not** fsynced and **not** recovered
+//! across restarts: the session WAL is the authoritative record and a
+//! restart regenerates any spilled intervals by replay. [`DiskQueue::create`]
+//! therefore clears leftovers from a previous incarnation.
+
+use crate::crc32::crc32;
+use crate::varint;
+use std::collections::VecDeque;
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Record-kind byte for spill batches (there is only one kind; the
+/// framing is shared with the WAL for uniformity).
+const BATCH_KIND: u8 = 0x51;
+
+/// An on-disk FIFO of opaque byte batches.
+#[derive(Debug)]
+pub struct DiskQueue {
+    dir: PathBuf,
+    next_seq: u64,
+    /// Live batches, oldest first: (sequence, payload bytes).
+    segments: VecDeque<(u64, u64)>,
+    /// Total payload bytes across live batches.
+    bytes: u64,
+}
+
+fn batch_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("spill-{seq:010}.bin"))
+}
+
+impl DiskQueue {
+    /// Creates an empty queue in `dir`, removing any batches a previous
+    /// process left behind (they are regenerable; see module docs).
+    pub fn create(dir: &Path) -> io::Result<DiskQueue> {
+        fs::create_dir_all(dir)?;
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("spill-") && name.ends_with(".bin") {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(DiskQueue {
+            dir: dir.to_path_buf(),
+            next_seq: 1,
+            segments: VecDeque::new(),
+            bytes: 0,
+        })
+    }
+
+    /// Number of live batches.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when no batches are on disk.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total payload bytes currently on disk.
+    pub fn byte_len(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Appends one batch; returns the payload bytes now attributable to
+    /// the disk tier (the caller folds this into its budget).
+    pub fn push(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let seq = self.next_seq;
+        let mut buf = Vec::with_capacity(payload.len() + 16);
+        buf.push(BATCH_KIND);
+        varint::push_u64(&mut buf, payload.len() as u64);
+        buf.extend_from_slice(payload);
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        let path = batch_path(&self.dir, seq);
+        File::create(&path)?.write_all(&buf)?;
+        self.next_seq += 1;
+        self.segments.push_back((seq, payload.len() as u64));
+        self.bytes += payload.len() as u64;
+        Ok(payload.len() as u64)
+    }
+
+    /// Removes and returns the oldest batch, or `None` when empty. A
+    /// batch that fails verification (impossible without external
+    /// interference, since this tier never survives a crash) surfaces
+    /// as `InvalidData`.
+    pub fn pop(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let Some((seq, payload_len)) = self.segments.pop_front() else {
+            return Ok(None);
+        };
+        self.bytes -= payload_len;
+        let path = batch_path(&self.dir, seq);
+        let mut bytes = Vec::new();
+        File::open(&path)?.read_to_end(&mut bytes)?;
+        fs::remove_file(&path)?;
+        let bad = || io::Error::new(io::ErrorKind::InvalidData, "corrupt spill batch");
+        if bytes.len() < 5 || bytes[0] != BATCH_KIND {
+            return Err(bad());
+        }
+        let mut pos = 1usize;
+        let len = varint::read_u64_at(&bytes, &mut pos).ok_or_else(bad)?;
+        let len = usize::try_from(len).map_err(|_| bad())?;
+        if bytes.len() != pos + len + 4 {
+            return Err(bad());
+        }
+        let stored = u32::from_le_bytes(bytes[pos + len..].try_into().unwrap());
+        if crc32(&bytes[..pos + len]) != stored {
+            return Err(bad());
+        }
+        bytes.truncate(pos + len);
+        bytes.drain(..pos);
+        Ok(Some(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("paramount-fifo-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fifo_order_and_byte_accounting() {
+        let dir = scratch_dir("order");
+        let mut q = DiskQueue::create(&dir).unwrap();
+        assert!(q.is_empty());
+        q.push(b"oldest").unwrap();
+        q.push(b"middle").unwrap();
+        q.push(b"newest").unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.byte_len(), 18);
+        assert_eq!(q.pop().unwrap().unwrap(), b"oldest");
+        assert_eq!(q.byte_len(), 12);
+        assert_eq!(q.pop().unwrap().unwrap(), b"middle");
+        assert_eq!(q.pop().unwrap().unwrap(), b"newest");
+        assert_eq!(q.pop().unwrap(), None);
+        assert_eq!(q.byte_len(), 0);
+        // All batch files reclaimed.
+        let leftovers = fs::read_dir(&dir).unwrap().count();
+        assert_eq!(leftovers, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_clears_a_previous_incarnation() {
+        let dir = scratch_dir("clear");
+        let mut q = DiskQueue::create(&dir).unwrap();
+        q.push(b"stale").unwrap();
+        drop(q);
+        let mut q = DiskQueue::create(&dir).unwrap();
+        assert!(q.is_empty(), "stale batches are regenerable, not replayed");
+        assert_eq!(q.pop().unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,134 @@
+//! LEB128 variable-length integers — the one varint implementation in
+//! the workspace.
+//!
+//! This is the codec `Interval::pack_into` introduced for delta-coded
+//! interval descriptors; it moved here so the WAL record framing and the
+//! engine crates share a single implementation (`paramount` re-exports
+//! these functions for its packed-descriptor codec).
+//!
+//! Encoding: little-endian base-128, 7 value bits per byte, high bit set
+//! on every byte but the last. Small values — the overwhelmingly common
+//! case for thread ids, clock deltas, and record lengths — take one
+//! byte.
+
+/// Appends `v` to `out` as a LEB128 varint (u32 domain).
+pub fn push_u32(out: &mut Vec<u8>, v: u32) {
+    push_u64(out, u64::from(v));
+}
+
+/// Appends `v` to `out` as a LEB128 varint (u64 domain).
+pub fn push_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one u32 varint from a byte iterator. `None` on truncation,
+/// unterminated encodings, or values exceeding the u32 domain.
+pub fn read_u32(bytes: &mut impl Iterator<Item = u8>) -> Option<u32> {
+    let v = read_u64(bytes)?;
+    u32::try_from(v).ok()
+}
+
+/// Reads one u64 varint from a byte iterator. `None` on truncation or
+/// unterminated encodings (more than 10 continuation bytes).
+pub fn read_u64(bytes: &mut impl Iterator<Item = u8>) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = bytes.next()?;
+        if shift >= 64 {
+            return None;
+        }
+        let bits = u64::from(byte & 0x7f);
+        if shift == 63 && bits > 1 {
+            return None; // overflow past the u64 domain
+        }
+        v |= bits << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Reads one u64 varint from `buf` starting at `*pos`, advancing `*pos`
+/// past it. `None` leaves `*pos` unspecified.
+pub fn read_u64_at(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut iter = buf[(*pos).min(buf.len())..].iter().copied();
+    let before = buf.len() - (*pos).min(buf.len());
+    let v = read_u64(&mut iter)?;
+    *pos += before - iter.len();
+    Some(v)
+}
+
+/// Reads one u32 varint from `buf` at `*pos` (see [`read_u64_at`]).
+pub fn read_u32_at(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    u32::try_from(read_u64_at(buf, pos)?).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_across_the_domain() {
+        let samples: &[u64] = &[
+            0,
+            1,
+            127,
+            128,
+            255,
+            300,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in samples {
+            let mut buf = Vec::new();
+            push_u64(&mut buf, v);
+            let mut iter = buf.iter().copied();
+            assert_eq!(read_u64(&mut iter), Some(v));
+            assert_eq!(iter.next(), None, "no trailing bytes for {v}");
+        }
+    }
+
+    #[test]
+    fn slice_reader_advances_exactly() {
+        let mut buf = Vec::new();
+        push_u64(&mut buf, 5);
+        push_u64(&mut buf, 700);
+        push_u64(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(read_u64_at(&buf, &mut pos), Some(5));
+        assert_eq!(read_u64_at(&buf, &mut pos), Some(700));
+        assert_eq!(read_u64_at(&buf, &mut pos), Some(u64::MAX));
+        assert_eq!(pos, buf.len());
+        assert_eq!(read_u64_at(&buf, &mut pos), None, "exhausted");
+    }
+
+    #[test]
+    fn rejects_truncation_and_overflow() {
+        // Truncated: continuation bit set, then EOF.
+        assert_eq!(read_u64(&mut [0x80u8].into_iter()), None);
+        // 11 bytes of continuation exceeds the u64 domain.
+        let overlong = [0x80u8; 10]
+            .iter()
+            .copied()
+            .chain(std::iter::once(0x01))
+            .collect::<Vec<_>>();
+        assert_eq!(read_u64(&mut overlong.into_iter()), None);
+        // u32 reader rejects values past u32::MAX.
+        let mut big = Vec::new();
+        push_u64(&mut big, u64::from(u32::MAX) + 1);
+        assert_eq!(read_u32(&mut big.into_iter()), None);
+    }
+}

@@ -236,6 +236,26 @@ impl Client {
         self.queue_line(&format!("EVENT {tid} {body}"))
     }
 
+    /// Reattaches to a persisted session on a durable daemon (one run
+    /// with `--data-dir`). Takes the place of [`Client::hello`]; returns
+    /// the server's durably acknowledged event count — exactly how many
+    /// leading trace operations must *not* be resent. Non-durable
+    /// daemons and unknown (completed) sessions reject with an
+    /// [`ErrCode::State`](crate::ErrCode::State) error that leaves the connection usable for a
+    /// fresh `HELLO`.
+    pub fn resume(&mut self, session: u64) -> Result<u64, ClientError> {
+        self.queue_line(&ClientFrame::Resume { session }.encode())?;
+        self.flush_out()?;
+        let kvs = self.expect_ok()?;
+        let acked = kvs
+            .iter()
+            .find(|(k, _)| k == "acked")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| ClientError::Protocol("RESUME OK without acked".to_string()))?;
+        self.session = Some(session);
+        Ok(acked)
+    }
+
     /// Queues every operation of a parsed trace file. Compose with
     /// [`Client::hello`] before and [`Client::finish`] after.
     pub fn stream_trace(&mut self, trace: &TraceFile) -> io::Result<()> {
@@ -305,11 +325,17 @@ impl Client {
 /// Reconnect-and-replay policy for fault-tolerant sends.
 ///
 /// `EVENT` frames are fire-and-forget and a session dies with its
-/// connection, so the sound retry unit is the *whole session*: a fresh
-/// connection, a fresh `HELLO`, the trace replayed from the start. (The
-/// daemon independently finalizes the dead session's prefix — Theorem 3
-/// holds wherever the stream stopped — so nothing is lost, merely
-/// reported twice under different session ids.)
+/// connection, so against an in-memory daemon the sound retry unit is
+/// the *whole session*: a fresh connection, a fresh `HELLO`, the trace
+/// replayed from the start. (The daemon independently finalizes the dead
+/// session's prefix — Theorem 3 holds wherever the stream stopped — so
+/// nothing is lost, merely reported twice under different session ids.)
+///
+/// Against a *durable* daemon (`--data-dir`) the retry instead sends
+/// `RESUME`: the server reports how many leading operations it already
+/// holds durably and the stream continues from there — one session, one
+/// report, exactly once, even across a daemon `kill -9`. The fallback to
+/// a fresh `HELLO` is automatic when the daemon cannot resume.
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
     /// Total attempts, connection included (1 = no retry).
@@ -433,10 +459,14 @@ impl std::error::Error for SendError {}
 /// [`RetryPolicy`]). When `policy.attempts > 1` the stream checkpoints
 /// with a synchronous `FLUSH` every [`RetryPolicy::checkpoint_every`]
 /// events (default 512), so a failure reports exactly how much the
-/// daemon acknowledged. If the daemon rejects the `HELLO` with an
-/// `ERR busy retry-after-ms=<n>` admission frame, the next attempt's
-/// backoff is floored at the hinted duration. Returns the final report,
-/// the session id, and the number of attempts used.
+/// daemon acknowledged. Retries first try to `RESUME` the previous
+/// attempt's session — durable daemons continue it from the persisted
+/// acked prefix (even across a daemon restart); in-memory daemons
+/// reject and the attempt falls back to a fresh `HELLO` + full replay.
+/// If the daemon rejects the `HELLO` with an `ERR busy
+/// retry-after-ms=<n>` admission frame, the next attempt's backoff is
+/// floored at the hinted duration. Returns the final report, the
+/// session id, and the number of attempts used.
 pub fn send_trace_with_retry(
     mut connect: impl FnMut() -> io::Result<Client>,
     hello: &Hello,
@@ -448,6 +478,7 @@ pub fn send_trace_with_retry(
     let checkpoint_every = policy.checkpoint_every.max(1);
     let mut progress = SendProgress::default();
     let mut last_error: Option<ClientError> = None;
+    let mut resume_session: Option<u64> = None;
     for attempt in 1..=attempts {
         progress.attempts = attempt;
         progress.events = 0;
@@ -459,12 +490,31 @@ pub fn send_trace_with_retry(
         std::thread::sleep(policy.delay_before_hinted(attempt, hint));
         let result = (|| -> Result<(WireReport, u64), ClientError> {
             let mut client = connect()?;
-            let session = client.hello(hello)?;
+            // A durable daemon can reattach to the previous attempt's
+            // session; the acked count is exactly how many leading ops
+            // it already holds and must not see again.
+            let (session, acked) = match resume_session {
+                Some(id) => match client.resume(id) {
+                    Ok(acked) => (id, acked),
+                    // Not resumable: an in-memory daemon or a completed
+                    // session answers `ERR state`, and a pre-durability
+                    // daemon answers `ERR proto` — every rejection
+                    // leaves the connection usable, so open a fresh
+                    // session on it and replay from the start.
+                    Err(ClientError::Rejected(_)) => (client.hello(hello)?, 0),
+                    Err(err) => return Err(err),
+                },
+                None => (client.hello(hello)?, 0),
+            };
+            resume_session = Some(session);
             let mut sent = 0u64;
             for &(tid, op) in &trace.ops {
+                sent += 1;
+                if sent <= acked {
+                    continue;
+                }
                 let body = render_op(op, &trace.var_names, &trace.lock_names);
                 client.event_line(tid.index(), &body)?;
-                sent += 1;
                 if checkpointing && sent % checkpoint_every == 0 {
                     let (events, cuts) = client.flush_sync()?;
                     progress.events = events;

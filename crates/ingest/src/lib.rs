@@ -38,6 +38,7 @@
 //! ```
 
 pub mod client;
+pub mod persist;
 pub mod proto;
 pub mod server;
 pub mod session;
@@ -45,6 +46,10 @@ pub mod session;
 pub use client::{
     send_trace_with_retry, stream_program, Client, ClientError, RetryPolicy, SendError,
     SendProgress, WireObserver,
+};
+pub use persist::{
+    scan_sessions, session_dir, RecoveredState, SessionStore, StoreConfig, CHECKPOINT_KIND,
+    EVENT_KIND, META_KIND,
 };
 pub use proto::{
     parse_client_line, parse_server_line, ClientFrame, DecodeError, EndReason, ErrCode, Hello,

@@ -1,0 +1,545 @@
+//! Durable session store: a crash-safe WAL + checkpoint subsystem.
+//!
+//! # What is persisted, and why it is enough
+//!
+//! Theorem 3 makes the engine's entire deliverable — every cut of the
+//! observed prefix, exactly once — a *pure function of the accepted
+//! event sequence*. So the store persists exactly that: the `HELLO`
+//! that opened the session (one `META` record) followed by one `EVENT`
+//! record per accepted operation, in acceptance order. Recovery replays
+//! the sequence through a fresh [`Session`](crate::Session) and lands,
+//! deterministically, in the same lattice position the crashed daemon
+//! held. Pending intervals, recorder frontiers, and engine queues are
+//! all derived state and are never written down.
+//!
+//! # LSM-style checkpoints
+//!
+//! An ever-growing WAL would make recovery O(session length) in disk
+//! reads *and* keep every segment alive. Every
+//! [`StoreConfig::checkpoint_every`] accepted events the store folds the
+//! log: a `CHECKPOINT` record — the full accepted prefix plus the acked
+//! count and quarantine tally — is written as the sole record of a
+//! fresh segment and every earlier segment is deleted
+//! ([`Wal::compact`]). A crash between the checkpoint append and the
+//! deletions leaves stale segments whose records all precede the
+//! checkpoint; replay applies **last-checkpoint-wins**, resetting the
+//! event list whenever a later checkpoint appears, so the leftovers are
+//! harmless. The `chaos` feature's `checkpoint_panic_at` fault crashes
+//! inside exactly that window to prove it.
+//!
+//! # Record encoding
+//!
+//! Payloads reuse the wire protocol's line grammar verbatim — a `META`
+//! record is `<id> <HELLO line>`, an `EVENT` record is the `EVENT` line
+//! itself, and a `CHECKPOINT` is a header line followed by `EVENT`
+//! lines. The WAL's length-prefix + CRC framing supplies integrity; the
+//! text form means one codec ([`crate::proto`]) serves the socket and
+//! the disk, and `strings wal-0000000001.log` shows a legible session.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use paramount::{FaultPlan, IngestMetrics};
+use paramount_durable::{FsyncPolicy, Record, Wal, WalConfig};
+
+use crate::proto::{parse_client_line, ClientFrame, Hello, WireOp};
+
+/// Record kind byte: session identity + `HELLO` parameters.
+pub const META_KIND: u8 = b'M';
+/// Record kind byte: one accepted event.
+pub const EVENT_KIND: u8 = b'E';
+/// Record kind byte: LSM checkpoint (full accepted prefix).
+pub const CHECKPOINT_KIND: u8 = b'C';
+
+/// Knobs a [`SessionStore`] is built with (server-level policy).
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Write a checkpoint (and drop superseded WAL segments) every this
+    /// many accepted events. `0` disables automatic checkpoints.
+    pub checkpoint_every: u64,
+    /// When WAL appends reach stable storage. `FLUSH` and checkpoints
+    /// force regardless under [`FsyncPolicy::OnDemand`].
+    pub fsync: FsyncPolicy,
+    /// Seeded fault plan; the store honors `checkpoint_panic_at` when
+    /// the `chaos` feature is compiled in.
+    pub faults: FaultPlan,
+    /// Registry for `checkpoint_writes` / `wal_segments`; `None` keeps
+    /// the store silent (library embedders, tests).
+    pub metrics: Option<Arc<IngestMetrics>>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            checkpoint_every: 4096,
+            fsync: FsyncPolicy::OnDemand,
+            faults: FaultPlan::default(),
+            metrics: None,
+        }
+    }
+}
+
+/// Everything recovery rebuilt from disk: the session identity, the
+/// accepted event prefix to replay, and the store re-opened for further
+/// appends.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// Persisted session id.
+    pub id: u64,
+    /// The `HELLO` the session was opened with.
+    pub hello: Hello,
+    /// Accepted events in acceptance order (`(tid, op)`).
+    pub events: Vec<(usize, WireOp)>,
+    /// Quarantine tally recorded by the last checkpoint (diagnostic;
+    /// replay regenerates the live value).
+    pub quarantined: u64,
+    /// The store, positioned to append event `events.len() + 1`.
+    pub store: SessionStore,
+}
+
+/// One session's crash-safe log. See the module docs for the model.
+#[derive(Debug)]
+pub struct SessionStore {
+    dir: PathBuf,
+    wal: Wal,
+    cfg: StoreConfig,
+    /// Session identity, re-embedded in every checkpoint so compaction
+    /// (which deletes the segment holding the original `META` record)
+    /// keeps the log self-contained.
+    id: u64,
+    hello: Hello,
+    /// The full accepted prefix — what the next checkpoint embeds.
+    events: Vec<(usize, WireOp)>,
+    since_checkpoint: u64,
+    /// 1-based checkpoint ordinal, for the chaos kill point.
+    checkpoints: u64,
+    /// Segments currently charged to the `wal_segments` gauge.
+    charged_segments: u64,
+}
+
+/// The per-session store directory under a daemon `--data-dir` root.
+pub fn session_dir(root: &Path, id: u64) -> PathBuf {
+    root.join(format!("session-{id:010}"))
+}
+
+/// Session ids with a store directory under `root`, ascending. Missing
+/// roots scan as empty (first boot).
+pub fn scan_sessions(root: &Path) -> io::Result<Vec<u64>> {
+    let mut ids = Vec::new();
+    let entries = match std::fs::read_dir(root) {
+        Ok(entries) => entries,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(ids),
+        Err(err) => return Err(err),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(id) = name
+            .strip_prefix("session-")
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            if entry.path().is_dir() {
+                ids.push(id);
+            }
+        }
+    }
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+impl SessionStore {
+    /// Creates a fresh store in `dir` (wiping any stale incarnation) and
+    /// durably records the session identity.
+    pub fn create(
+        dir: &Path,
+        id: u64,
+        hello: &Hello,
+        cfg: StoreConfig,
+    ) -> io::Result<SessionStore> {
+        let _ = std::fs::remove_dir_all(dir);
+        let wal_config = WalConfig {
+            fsync: cfg.fsync,
+            ..WalConfig::default()
+        };
+        let (wal, _) = Wal::open(dir, wal_config)?;
+        let mut store = SessionStore {
+            dir: dir.to_path_buf(),
+            wal,
+            cfg,
+            id,
+            hello: hello.clone(),
+            events: Vec::new(),
+            since_checkpoint: 0,
+            checkpoints: 0,
+            charged_segments: 0,
+        };
+        let meta = format!("{id} {}", hello.encode());
+        store.wal.append(META_KIND, meta.as_bytes())?;
+        store.wal.sync()?;
+        store.publish_segments();
+        Ok(store)
+    }
+
+    /// Re-opens the store in `dir` and replays it: torn-tail repair is
+    /// the WAL's job, last-checkpoint-wins is ours. Returns `Ok(None)`
+    /// when `dir` holds no committed `META` record (absent or empty
+    /// store — nothing to resume).
+    pub fn recover(dir: &Path, cfg: StoreConfig) -> io::Result<Option<RecoveredState>> {
+        if !dir.is_dir() {
+            return Ok(None);
+        }
+        let wal_config = WalConfig {
+            fsync: cfg.fsync,
+            ..WalConfig::default()
+        };
+        let (wal, records) = Wal::open(dir, wal_config)?;
+        let mut meta: Option<(u64, Hello)> = None;
+        let mut events: Vec<(usize, WireOp)> = Vec::new();
+        let mut quarantined = 0u64;
+        let mut since_checkpoint = 0u64;
+        for record in &records {
+            match record.kind {
+                META_KIND => meta = decode_meta(record),
+                EVENT_KIND => {
+                    if let Some(ev) = decode_event_line(std::str::from_utf8(&record.payload).ok()) {
+                        events.push(ev);
+                        since_checkpoint += 1;
+                    }
+                }
+                CHECKPOINT_KIND => {
+                    if let Some((ckpt_meta, acked, q, prefix)) = decode_checkpoint(record) {
+                        debug_assert_eq!(acked, prefix.len() as u64);
+                        meta = Some(ckpt_meta);
+                        events = prefix;
+                        quarantined = q;
+                        since_checkpoint = 0;
+                    }
+                }
+                _ => {} // forward compatibility: unknown kinds are skipped
+            }
+        }
+        let Some((id, hello)) = meta else {
+            return Ok(None);
+        };
+        let mut store = SessionStore {
+            dir: dir.to_path_buf(),
+            wal,
+            cfg,
+            id,
+            hello: hello.clone(),
+            events: Vec::new(),
+            since_checkpoint,
+            checkpoints: 0,
+            charged_segments: 0,
+        };
+        store.events.clone_from(&events);
+        store.publish_segments();
+        Ok(Some(RecoveredState {
+            id,
+            hello,
+            events,
+            quarantined,
+            store,
+        }))
+    }
+
+    /// Appends one accepted event. The caller checks
+    /// [`SessionStore::should_checkpoint`] afterwards — splitting the
+    /// two keeps the per-event path free of the checkpoint's inputs (the
+    /// quarantine tally is a metrics fold).
+    pub fn append_event(&mut self, tid: usize, op: &WireOp) -> io::Result<()> {
+        let line = format!("EVENT {tid} {}", op.render());
+        self.wal.append(EVENT_KIND, line.as_bytes())?;
+        self.events.push((tid, op.clone()));
+        self.since_checkpoint += 1;
+        self.publish_segments();
+        Ok(())
+    }
+
+    /// Has the checkpoint interval elapsed since the last fold?
+    pub fn should_checkpoint(&self) -> bool {
+        self.cfg.checkpoint_every > 0 && self.since_checkpoint >= self.cfg.checkpoint_every
+    }
+
+    /// Forces every accepted event so far to stable storage (the `FLUSH`
+    /// durability point the acked count is measured at).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.wal.sync()
+    }
+
+    /// Events durably accepted — the `acked=` count `FLUSH` and `RESUME`
+    /// report, and exactly how many leading trace ops a resuming client
+    /// must skip.
+    pub fn acked(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// Live WAL segment files.
+    pub fn segment_count(&self) -> usize {
+        self.wal.segment_count()
+    }
+
+    /// Folds the log: one `CHECKPOINT` record carrying the full accepted
+    /// prefix supersedes — and deletes — every earlier segment. Returns
+    /// the number of segments removed.
+    pub fn checkpoint(&mut self, quarantined: u64) -> io::Result<usize> {
+        let payload = encode_checkpoint(self.id, &self.hello, &self.events, quarantined);
+        self.checkpoints += 1;
+        #[cfg(feature = "chaos")]
+        if self.cfg.faults.checkpoint_panic_at == Some(self.checkpoints) {
+            // The compaction crash window: checkpoint durably written,
+            // superseded segments still on disk. Recovery must apply
+            // last-checkpoint-wins over the leftovers.
+            self.wal
+                .append(CHECKPOINT_KIND, &payload)
+                .expect("chaos checkpoint append");
+            self.wal.sync().expect("chaos checkpoint sync");
+            panic!("chaos: checkpoint_panic_at={} fired", self.checkpoints);
+        }
+        let removed = self.wal.compact(CHECKPOINT_KIND, &payload)?;
+        self.since_checkpoint = 0;
+        if let Some(metrics) = &self.cfg.metrics {
+            metrics.checkpoint_writes.add(1);
+        }
+        self.publish_segments();
+        Ok(removed)
+    }
+
+    /// Deletes the store from disk (clean `END`: nothing left to
+    /// resume). Consumes the store; the session directory — including
+    /// any interval spill files beside the WAL — is removed.
+    pub fn delete(mut self) -> io::Result<()> {
+        self.release_gauge();
+        let dir = std::mem::take(&mut self.dir);
+        drop(self); // close the active segment before unlinking it
+        std::fs::remove_dir_all(&dir)
+    }
+
+    /// Reconciles the `wal_segments` gauge with the live segment count.
+    fn publish_segments(&mut self) {
+        let now = self.wal.segment_count() as u64;
+        if let Some(metrics) = &self.cfg.metrics {
+            if now > self.charged_segments {
+                metrics.wal_segments.add(now - self.charged_segments);
+            } else {
+                metrics.wal_segments.sub(self.charged_segments - now);
+            }
+        }
+        self.charged_segments = now;
+    }
+
+    fn release_gauge(&mut self) {
+        if let Some(metrics) = &self.cfg.metrics {
+            metrics.wal_segments.sub(self.charged_segments);
+        }
+        self.charged_segments = 0;
+    }
+}
+
+impl Drop for SessionStore {
+    fn drop(&mut self) {
+        self.release_gauge();
+    }
+}
+
+/// `META` payload → `(id, hello)`. Malformed records are dropped (the
+/// CRC already vouched for integrity; this only rejects foreign data).
+fn decode_meta(record: &Record) -> Option<(u64, Hello)> {
+    let text = std::str::from_utf8(&record.payload).ok()?;
+    let (id, hello_line) = text.split_once(' ')?;
+    let id = id.parse::<u64>().ok()?;
+    match parse_client_line(hello_line) {
+        Ok(ClientFrame::Hello(hello)) => Some((id, hello)),
+        _ => None,
+    }
+}
+
+/// One `EVENT <tid> <op>` line → `(tid, op)`.
+fn decode_event_line(line: Option<&str>) -> Option<(usize, WireOp)> {
+    match parse_client_line(line?) {
+        Ok(ClientFrame::Event { tid, op }) => Some((tid, op)),
+        _ => None,
+    }
+}
+
+/// `CHECKPOINT` payload: the `META` line (compaction deletes the segment
+/// holding the original, so every checkpoint re-embeds identity), an
+/// `acked=<n> quarantined=<q>` header line, then one `EVENT` line per
+/// accepted event.
+fn encode_checkpoint(
+    id: u64,
+    hello: &Hello,
+    events: &[(usize, WireOp)],
+    quarantined: u64,
+) -> Vec<u8> {
+    let mut out = format!("{id} {}", hello.encode());
+    out.push('\n');
+    out.push_str(&format!("acked={} quarantined={quarantined}", events.len()));
+    for (tid, op) in events {
+        out.push('\n');
+        out.push_str(&format!("EVENT {tid} {}", op.render()));
+    }
+    out.into_bytes()
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_checkpoint(record: &Record) -> Option<((u64, Hello), u64, u64, Vec<(usize, WireOp)>)> {
+    let text = std::str::from_utf8(&record.payload).ok()?;
+    let mut lines = text.lines();
+    let meta_line = lines.next()?;
+    let (id, hello_line) = meta_line.split_once(' ')?;
+    let id = id.parse::<u64>().ok()?;
+    let hello = match parse_client_line(hello_line) {
+        Ok(ClientFrame::Hello(hello)) => hello,
+        _ => return None,
+    };
+    let header = lines.next()?;
+    let mut acked = None;
+    let mut quarantined = 0u64;
+    for token in header.split_whitespace() {
+        if let Some(v) = token.strip_prefix("acked=") {
+            acked = v.parse::<u64>().ok();
+        } else if let Some(v) = token.strip_prefix("quarantined=") {
+            quarantined = v.parse::<u64>().ok()?;
+        }
+    }
+    let events: Vec<(usize, WireOp)> = lines
+        .map(|line| decode_event_line(Some(line)))
+        .collect::<Option<Vec<_>>>()?;
+    Some(((id, hello), acked?, quarantined, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("paramount-store-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn ops(n: usize) -> Vec<(usize, WireOp)> {
+        (0..n)
+            .map(|i| {
+                let tid = i % 2;
+                let op = match i % 4 {
+                    0 => WireOp::Write(format!("x{i}")),
+                    1 => WireOp::Read(format!("x{}", i - 1)),
+                    2 => WireOp::Acquire("m".to_string()),
+                    _ => WireOp::Release("m".to_string()),
+                };
+                (tid, op)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn create_append_recover_round_trips_the_prefix() {
+        let dir = scratch_dir("roundtrip");
+        let hello = Hello {
+            threads: 2,
+            capture_sync: true,
+            label: Some("trial".to_string()),
+            ..Hello::new(2)
+        };
+        let trace = ops(9);
+        let mut store = SessionStore::create(&dir, 7, &hello, StoreConfig::default()).unwrap();
+        for (tid, op) in &trace {
+            store.append_event(*tid, op).unwrap();
+        }
+        store.sync().unwrap();
+        assert_eq!(store.acked(), 9);
+        drop(store);
+
+        let rec = SessionStore::recover(&dir, StoreConfig::default())
+            .unwrap()
+            .expect("store exists");
+        assert_eq!(rec.id, 7);
+        assert_eq!(rec.hello, hello);
+        assert_eq!(rec.events, trace);
+        assert_eq!(rec.store.acked(), 9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_recovery_honors_last_checkpoint_wins() {
+        let dir = scratch_dir("ckpt");
+        let cfg = StoreConfig {
+            checkpoint_every: 4,
+            ..StoreConfig::default()
+        };
+        let trace = ops(10);
+        let mut store = SessionStore::create(&dir, 1, &Hello::new(2), cfg.clone()).unwrap();
+        for (tid, op) in &trace {
+            store.append_event(*tid, op).unwrap();
+            if store.should_checkpoint() {
+                store.checkpoint(3).unwrap();
+            }
+        }
+        // 10 events at checkpoint_every=4 → checkpoints at 4 and 8; the
+        // log is one compacted segment plus the 2-event tail.
+        assert_eq!(store.segment_count(), 1);
+        drop(store);
+
+        let rec = SessionStore::recover(&dir, cfg)
+            .unwrap()
+            .expect("store exists");
+        assert_eq!(
+            rec.events, trace,
+            "checkpoint prefix + WAL tail replay exactly"
+        );
+        assert_eq!(rec.quarantined, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_of_missing_or_deleted_store_is_none() {
+        let dir = scratch_dir("absent");
+        assert!(SessionStore::recover(&dir, StoreConfig::default())
+            .unwrap()
+            .is_none());
+
+        let store = SessionStore::create(&dir, 3, &Hello::new(1), StoreConfig::default()).unwrap();
+        store.delete().unwrap();
+        assert!(!dir.exists(), "delete removes the session directory");
+        assert!(SessionStore::recover(&dir, StoreConfig::default())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn scan_lists_persisted_sessions_ascending() {
+        let root = scratch_dir("scan");
+        assert_eq!(scan_sessions(&root).unwrap(), Vec::<u64>::new());
+        for id in [12u64, 3, 7] {
+            let dir = session_dir(&root, id);
+            drop(SessionStore::create(&dir, id, &Hello::new(1), StoreConfig::default()).unwrap());
+        }
+        assert_eq!(scan_sessions(&root).unwrap(), vec![3, 7, 12]);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn wal_segments_gauge_tracks_live_stores() {
+        let dir = scratch_dir("gauge");
+        let metrics = Arc::new(IngestMetrics::new());
+        let cfg = StoreConfig {
+            metrics: Some(Arc::clone(&metrics)),
+            ..StoreConfig::default()
+        };
+        let mut store = SessionStore::create(&dir, 1, &Hello::new(2), cfg).unwrap();
+        assert_eq!(metrics.wal_segments.get(), 1);
+        store.checkpoint(0).unwrap();
+        assert_eq!(metrics.checkpoint_writes.sum(), 1);
+        drop(store);
+        assert_eq!(metrics.wal_segments.get(), 0, "drop releases the gauge");
+        assert!(metrics.wal_segments.high_water() >= 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

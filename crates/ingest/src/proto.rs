@@ -26,6 +26,8 @@
 //! STATS                           # session metrics (daemon-wide pre-HELLO)
 //! END                             # finalize: drain, report, close
 //! SHUTDOWN                        # admin (pre-HELLO): drain the daemon
+//! RESUME paramount/1 session=<id> # durable daemons: reattach to a
+//!                                 # persisted session instead of HELLO
 //! ```
 //!
 //! Server → client:
@@ -260,6 +262,14 @@ pub enum ClientFrame {
     End,
     /// Admin: drain the whole daemon.
     Shutdown,
+    /// Reattach to a persisted session (durable daemons only). Takes the
+    /// place of `HELLO`; the server answers `OK session=<id> acked=<n>`
+    /// where `acked` counts the durably accepted events the client must
+    /// *not* resend.
+    Resume {
+        /// The session id a previous `HELLO`/`RESUME` handed out.
+        session: u64,
+    },
 }
 
 impl ClientFrame {
@@ -272,6 +282,9 @@ impl ClientFrame {
             ClientFrame::Stats => "STATS".to_string(),
             ClientFrame::End => "END".to_string(),
             ClientFrame::Shutdown => "SHUTDOWN".to_string(),
+            ClientFrame::Resume { session } => {
+                format!("RESUME {PROTOCOL_VERSION} session={session}")
+            }
         }
     }
 }
@@ -288,8 +301,44 @@ pub fn parse_client_line(line: &str) -> Result<ClientFrame, DecodeError> {
         "STATS" => expect_bare(parts, ClientFrame::Stats),
         "END" => expect_bare(parts, ClientFrame::End),
         "SHUTDOWN" => expect_bare(parts, ClientFrame::Shutdown),
+        "RESUME" => parse_resume(parts),
         other => Err(proto(format!("unknown frame `{other}`"))),
     }
+}
+
+fn parse_resume<'a>(parts: impl Iterator<Item = &'a str>) -> Result<ClientFrame, DecodeError> {
+    let mut version_seen = false;
+    let mut session: Option<u64> = None;
+    for token in parts {
+        if !version_seen {
+            if token != PROTOCOL_VERSION {
+                return Err(DecodeError::new(
+                    ErrCode::Version,
+                    format!("unsupported protocol `{token}` (want {PROTOCOL_VERSION})"),
+                ));
+            }
+            version_seen = true;
+            continue;
+        }
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| proto(format!("expected key=value, got `{token}`")))?;
+        match key {
+            "session" => {
+                session = Some(
+                    value
+                        .parse()
+                        .map_err(|_| proto(format!("invalid session `{value}`")))?,
+                );
+            }
+            other => return Err(proto(format!("unknown RESUME key `{other}`"))),
+        }
+    }
+    if !version_seen {
+        return Err(proto("RESUME missing protocol version"));
+    }
+    let session = session.ok_or_else(|| proto("RESUME missing session="))?;
+    Ok(ClientFrame::Resume { session })
 }
 
 fn expect_bare<'a>(
@@ -626,6 +675,24 @@ mod tests {
             let frame = parse_client_line(line).unwrap();
             assert_eq!(frame, ClientFrame::Event { tid: 0, op: want });
             assert_eq!(frame.encode(), line, "encode is the inverse");
+        }
+    }
+
+    #[test]
+    fn resume_round_trip_and_rejects() {
+        let frame = ClientFrame::Resume { session: 42 };
+        let line = frame.encode();
+        assert_eq!(line, "RESUME paramount/1 session=42");
+        assert_eq!(parse_client_line(&line).unwrap(), frame);
+        for (line, code) in [
+            ("RESUME", ErrCode::Proto),
+            ("RESUME session=42", ErrCode::Version),
+            ("RESUME paramount/2 session=42", ErrCode::Version),
+            ("RESUME paramount/1", ErrCode::Proto),
+            ("RESUME paramount/1 session=many", ErrCode::Proto),
+            ("RESUME paramount/1 label=x", ErrCode::Proto),
+        ] {
+            assert_eq!(parse_client_line(line).unwrap_err().code, code, "{line}");
         }
     }
 

@@ -16,6 +16,7 @@
 //! then joins everything and returns a [`ServeSummary`] with every
 //! session report and the daemon-wide [`IngestSnapshot`].
 
+use crate::persist::{scan_sessions, session_dir, SessionStore, StoreConfig};
 use crate::proto::{
     parse_client_line, ClientFrame, DecodeError, EndReason, ErrCode, ServerFrame, MAX_LINE_BYTES,
 };
@@ -23,6 +24,8 @@ use crate::session::{Session, SessionConfig, SessionReport};
 use paramount::{
     panic_message, GovernorConfig, IngestMetrics, IngestSnapshot, MemoryBudget, Pressure,
 };
+use paramount_durable::FsyncPolicy;
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
@@ -30,7 +33,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How long the accept loop sleeps when no listener had a connection.
@@ -41,7 +44,7 @@ const ACCEPT_TICK: Duration = Duration::from_millis(10);
 const READ_TICK: Duration = Duration::from_millis(50);
 
 /// Daemon configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Per-session configuration (engine defaults + limits).
     pub session: SessionConfig,
@@ -56,6 +59,19 @@ pub struct ServerConfig {
     /// Retry hint (milliseconds) carried by `ERR busy` admission
     /// rejections while the daemon is over budget.
     pub busy_retry_after_ms: u64,
+    /// Root of the durable session store. `Some(dir)` makes every
+    /// session crash-safe: accepted events are written to a per-session
+    /// WAL under `dir/session-<id>/`, interval spill under pressure goes
+    /// to disk instead of shedding, boot scans the directory and rebuilds
+    /// interrupted sessions, and `RESUME` lets a client continue one.
+    /// `None` (the default) keeps the daemon fully in-memory.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Durable sessions only: write an LSM checkpoint (and drop the WAL
+    /// segments it supersedes) every this many accepted events.
+    pub checkpoint_every_events: u64,
+    /// Durable sessions only: when WAL appends reach stable storage.
+    /// `OnDemand` (the default) forces on `FLUSH` and checkpoints.
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +81,9 @@ impl Default for ServerConfig {
             max_sessions: 64,
             governor: GovernorConfig::default(),
             busy_retry_after_ms: 250,
+            data_dir: None,
+            checkpoint_every_events: 4096,
+            fsync: FsyncPolicy::OnDemand,
         }
     }
 }
@@ -193,12 +212,13 @@ pub struct Server {
 impl Server {
     /// A server with no endpoints yet.
     pub fn new(config: ServerConfig) -> Self {
+        let budget = Arc::new(MemoryBudget::new(config.governor));
         Server {
             config,
             listeners: Vec::new(),
             metrics: Arc::new(IngestMetrics::new()),
             stop: Arc::new(AtomicBool::new(false)),
-            budget: Arc::new(MemoryBudget::new(config.governor)),
+            budget,
         }
     }
 
@@ -253,6 +273,41 @@ impl Server {
         self.metrics.snapshot()
     }
 
+    /// Durable boot scan: rebuilds each persisted session under
+    /// `data_dir` into the parked map (replaying checkpoint + WAL through
+    /// a fresh engine) and returns the first id the accept loop may hand
+    /// out — strictly above every persisted id, so a resumed client
+    /// never collides with a new one.
+    fn recover_persisted(&self, parked: &Arc<Mutex<HashMap<u64, Session>>>) -> u64 {
+        let mut first_free = 1u64;
+        let Some(root) = self.config.data_dir.clone() else {
+            return first_free;
+        };
+        let ids = match scan_sessions(&root) {
+            Ok(ids) => ids,
+            Err(_) => return first_free, // unreadable root: serve memory-only
+        };
+        for id in ids {
+            first_free = first_free.max(id + 1);
+            let dir = session_dir(&root, id);
+            let store_cfg = durable_store_config(&self.config, &self.metrics);
+            let rec = match SessionStore::recover(&dir, store_cfg) {
+                Ok(Some(rec)) => rec,
+                // Empty or unreadable store: leave the directory on disk
+                // for forensics and keep booting.
+                Ok(None) | Err(_) => continue,
+            };
+            let session_config = durable_session_config(&self.config, id);
+            if let Ok(session) = Session::recover(rec, &session_config, Arc::clone(&self.budget)) {
+                self.metrics.sessions_recovered.add(1);
+                self.metrics.active_sessions.inc();
+                let mut parked = parked.lock().unwrap_or_else(|e| e.into_inner());
+                parked.insert(id, session);
+            }
+        }
+        first_free
+    }
+
     /// Serves until [`ServerHandle::shutdown`], calling `notify` with
     /// each session's final report the moment it finalizes (connection
     /// threads call it, so it must be `Sync`). Returns the drained
@@ -266,7 +321,12 @@ impl Server {
             "bind at least one endpoint before run()"
         );
         let notify = Arc::new(notify);
-        let next_id = Arc::new(AtomicU64::new(1));
+        let parked: Arc<Mutex<HashMap<u64, Session>>> = Arc::new(Mutex::new(HashMap::new()));
+        // Durable boot: rebuild every persisted session from checkpoint +
+        // WAL replay before accepting connections, and keep ids
+        // monotone across the restart.
+        let first_free_id = self.recover_persisted(&parked);
+        let next_id = Arc::new(AtomicU64::new(first_free_id));
         let (report_tx, report_rx) = mpsc::channel::<SessionReport>();
         let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !self.stop.load(Ordering::Relaxed) {
@@ -277,22 +337,22 @@ impl Server {
                         Ok(Some(stream)) => {
                             accepted_any = true;
                             let ctx = ConnCtx {
-                                config: self.config,
+                                config: self.config.clone(),
                                 metrics: Arc::clone(&self.metrics),
                                 stop: Arc::clone(&self.stop),
                                 next_id: Arc::clone(&next_id),
                                 report_tx: report_tx.clone(),
                                 notify: Arc::clone(&notify),
                                 budget: Arc::clone(&self.budget),
+                                parked: Arc::clone(&parked),
                             };
-                            match std::thread::Builder::new()
+                            // Spawn failure (thread exhaustion) drops
+                            // this connection, never the daemon.
+                            if let Ok(handle) = std::thread::Builder::new()
                                 .name("paramount-ingest-conn".to_string())
                                 .spawn(move || serve_connection(stream, ctx))
                             {
-                                Ok(handle) => workers.push(handle),
-                                // Spawn failure (thread exhaustion) drops
-                                // this connection, never the daemon.
-                                Err(_) => {}
+                                workers.push(handle);
                             }
                         }
                         Ok(None) => break,
@@ -312,6 +372,24 @@ impl Server {
         // tick and finalize with reason `shutdown`.
         for worker in workers {
             let _ = worker.join();
+        }
+        // Recovered sessions no client resumed drain like any other
+        // shutdown: an exact report for the persisted prefix, store left
+        // on disk for the next boot.
+        let leftover: Vec<Session> = {
+            let mut parked = parked.lock().unwrap_or_else(|e| e.into_inner());
+            parked.drain().map(|(_, s)| s).collect()
+        };
+        for session in leftover {
+            let (id, label) = (session.id(), session.label().map(String::from));
+            let report = catch_unwind(AssertUnwindSafe(|| session.finalize(EndReason::Shutdown)))
+                .unwrap_or_else(|payload| {
+                    SessionReport::failed(id, label, panic_message(payload.as_ref()))
+                });
+            self.metrics.sessions_aborted.add(1);
+            self.metrics.active_sessions.dec();
+            (notify)(&report);
+            let _ = report_tx.send(report);
         }
         drop(report_tx);
         let reports = report_rx.into_iter().collect();
@@ -340,6 +418,32 @@ struct ConnCtx<F: Fn(&SessionReport) + Send + Sync> {
     report_tx: mpsc::Sender<SessionReport>,
     notify: Arc<F>,
     budget: Arc<MemoryBudget>,
+    /// Sessions the boot scan rebuilt from the durable store, waiting for
+    /// a `RESUME`. Unclaimed entries are finalized at shutdown.
+    parked: Arc<Mutex<HashMap<u64, Session>>>,
+}
+
+/// The per-session [`SessionConfig`] a durable daemon opens or recovers
+/// with: daemon governor override plus interval spill routed under the
+/// session's store directory.
+fn durable_session_config(config: &ServerConfig, id: u64) -> SessionConfig {
+    let mut session_config = config.session.clone();
+    session_config.engine.governor = config.governor;
+    if let Some(root) = &config.data_dir {
+        session_config.engine.spill_dir = Some(session_dir(root, id).join("spill"));
+    }
+    session_config
+}
+
+/// The store policy a durable daemon creates and recovers session logs
+/// with.
+fn durable_store_config(config: &ServerConfig, metrics: &Arc<IngestMetrics>) -> StoreConfig {
+    StoreConfig {
+        checkpoint_every: config.checkpoint_every_events,
+        fsync: config.fsync,
+        faults: config.session.engine.faults,
+        metrics: Some(Arc::clone(metrics)),
+    }
 }
 
 /// Reads `\n`-terminated lines off a timeout-ticking stream. BufReader's
@@ -443,11 +547,19 @@ fn serve_connection<F: Fn(&SessionReport) + Send + Sync>(mut stream: Stream, ctx
             EndReason::Fault
         }
     };
-    let Some(session) = session.take() else {
+    let Some(mut session) = session.take() else {
         return; // panicked before HELLO: no books to balance
     };
     let (id, label) = (session.id(), session.label().map(String::from));
     let clean = reason == EndReason::End;
+    // Durable-store disposition: a clean END leaves nothing to resume, so
+    // the log is deleted. Every other exit — disconnect, limit, timeout,
+    // shutdown, fault — keeps it on disk for `RESUME` or the next boot.
+    if clean {
+        if let Some(store) = session.take_store() {
+            let _ = store.delete();
+        }
+    }
     // Finalize under its own unwind boundary: the accounting below must
     // run even if engine teardown itself faults.
     let report =
@@ -642,10 +754,35 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
             // The daemon-wide governor supplies the engine's deadline and
             // the shared budget; a per-session governor in the session
             // defaults would silo the accounting, so it is overridden.
-            let mut session_config = ctx.config.session;
-            session_config.engine.governor = ctx.config.governor;
+            let session_config = durable_session_config(&ctx.config, id);
+            // Durable daemons create the session's log before its engine:
+            // an unusable disk rejects the HELLO instead of breaking the
+            // durability promise after the client has streamed.
+            let store = match &ctx.config.data_dir {
+                Some(root) => {
+                    let cfg = durable_store_config(&ctx.config, &ctx.metrics);
+                    match SessionStore::create(&session_dir(root, id), id, &hello, cfg) {
+                        Ok(store) => Some(store),
+                        Err(err) => {
+                            ctx.metrics.sessions_rejected.add(1);
+                            let _ = send(
+                                stream,
+                                &ServerFrame::Err(DecodeError::new(
+                                    ErrCode::Limit,
+                                    format!("durable store: {err}"),
+                                )),
+                            );
+                            return FrameOutcome::Close(EndReason::Limit);
+                        }
+                    }
+                }
+                None => None,
+            };
             match Session::open_with_budget(id, &hello, &session_config, Arc::clone(&ctx.budget)) {
-                Ok(s) => {
+                Ok(mut s) => {
+                    if let Some(store) = store {
+                        s.attach_store(store);
+                    }
                     ctx.metrics.sessions_opened.add(1);
                     ctx.metrics.active_sessions.inc();
                     *session = Some(s);
@@ -655,6 +792,9 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
                     )
                 }
                 Err(err) => {
+                    if let Some(store) = store {
+                        let _ = store.delete(); // no session to resume
+                    }
                     ctx.metrics.sessions_rejected.add(1);
                     let _ = send(stream, &ServerFrame::Err(err));
                     FrameOutcome::Close(EndReason::Limit)
@@ -698,21 +838,30 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
             }
         }
         ClientFrame::Flush => {
-            let Some(s) = session.as_ref() else {
+            let Some(s) = session.as_mut() else {
                 ctx.metrics.decode_errors.add(1);
                 return reply(
                     stream,
                     &ServerFrame::Err(DecodeError::new(ErrCode::State, "FLUSH before HELLO")),
                 );
             };
+            // The barrier is also the durability point: every accepted
+            // event reaches stable storage before the ack, so the acked=
+            // count is a promise a crash cannot revoke.
+            if let Err(err) = s.sync_store() {
+                ctx.metrics.decode_errors.add(1);
+                let _ = send(stream, &ServerFrame::Err(err));
+                return FrameOutcome::Close(EndReason::Limit);
+            }
             let (events, cuts) = s.progress();
-            reply(
-                stream,
-                &ServerFrame::Ok(vec![
-                    ("events".to_string(), events.to_string()),
-                    ("cuts".to_string(), cuts.to_string()),
-                ]),
-            )
+            let mut kvs = vec![
+                ("events".to_string(), events.to_string()),
+                ("cuts".to_string(), cuts.to_string()),
+            ];
+            if let Some(acked) = s.acked() {
+                kvs.push(("acked".to_string(), acked.to_string()));
+            }
+            reply(stream, &ServerFrame::Ok(kvs))
         }
         ClientFrame::Stats => {
             // In-session: the session's engine metrics. Pre-HELLO: the
@@ -765,6 +914,89 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
             let out = reply(stream, &ServerFrame::Ok(Vec::new()));
             ctx.stop.store(true, Ordering::Relaxed);
             out
+        }
+        ClientFrame::Resume { session: want } => {
+            if session.is_some() {
+                ctx.metrics.decode_errors.add(1);
+                return reply(
+                    stream,
+                    &ServerFrame::Err(DecodeError::new(
+                        ErrCode::State,
+                        "session already established",
+                    )),
+                );
+            }
+            // Both rejections below are `state` (non-fatal): the client
+            // may fall back to a fresh HELLO on this same connection.
+            let Some(root) = ctx.config.data_dir.clone() else {
+                ctx.metrics.decode_errors.add(1);
+                return reply(
+                    stream,
+                    &ServerFrame::Err(DecodeError::new(
+                        ErrCode::State,
+                        "daemon has no durable store (start it with --data-dir)",
+                    )),
+                );
+            };
+            // Boot-recovered sessions are parked and adopted directly;
+            // otherwise recover lazily from disk (e.g. a session that
+            // disconnected earlier in this daemon's own lifetime).
+            let adopted = {
+                let mut parked = ctx.parked.lock().unwrap_or_else(|e| e.into_inner());
+                parked.remove(&want)
+            };
+            let s = match adopted {
+                Some(s) => s,
+                None => {
+                    let cfg = durable_store_config(&ctx.config, &ctx.metrics);
+                    let rec = match SessionStore::recover(&session_dir(&root, want), cfg) {
+                        Ok(Some(rec)) => rec,
+                        Ok(None) => {
+                            ctx.metrics.decode_errors.add(1);
+                            return reply(
+                                stream,
+                                &ServerFrame::Err(DecodeError::new(
+                                    ErrCode::State,
+                                    format!("unknown session {want}"),
+                                )),
+                            );
+                        }
+                        Err(err) => {
+                            ctx.metrics.decode_errors.add(1);
+                            let _ = send(
+                                stream,
+                                &ServerFrame::Err(DecodeError::new(
+                                    ErrCode::Limit,
+                                    format!("durable store: {err}"),
+                                )),
+                            );
+                            return FrameOutcome::Close(EndReason::Limit);
+                        }
+                    };
+                    let session_config = durable_session_config(&ctx.config, want);
+                    match Session::recover(rec, &session_config, Arc::clone(&ctx.budget)) {
+                        Ok(s) => {
+                            ctx.metrics.sessions_recovered.add(1);
+                            ctx.metrics.active_sessions.inc();
+                            s
+                        }
+                        Err(err) => {
+                            ctx.metrics.decode_errors.add(1);
+                            let _ = send(stream, &ServerFrame::Err(err));
+                            return FrameOutcome::Close(EndReason::Limit);
+                        }
+                    }
+                }
+            };
+            let acked = s.acked().unwrap_or(0);
+            *session = Some(s);
+            reply(
+                stream,
+                &ServerFrame::Ok(vec![
+                    ("session".to_string(), want.to_string()),
+                    ("acked".to_string(), acked.to_string()),
+                ]),
+            )
         }
     }
 }

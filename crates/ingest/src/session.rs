@@ -23,6 +23,7 @@
 //! or a daemon shutdown all finalize to a report whose cut count is
 //! exactly `i(P)` of the observed prefix.
 
+use crate::persist::{RecoveredState, SessionStore};
 use crate::proto::{DecodeError, EndReason, ErrCode, Hello, WireOp, WireReport};
 use paramount::{MemoryBudget, MetricsSnapshot, OnlineEngine, OnlineEngineConfig, OnlinePoset};
 use paramount_poset::Tid;
@@ -65,7 +66,7 @@ impl Default for SessionLimits {
 /// Server-side configuration every session starts from. The `HELLO` may
 /// override the algorithm and (within [`SessionLimits::max_workers`]) the
 /// worker count.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SessionConfig {
     /// Engine defaults (algorithm, workers, queue bound, backpressure).
     pub engine: OnlineEngineConfig,
@@ -86,7 +87,7 @@ impl paramount_trace::EventOut for EngineOut {
 }
 
 /// The final accounting of one session.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SessionReport {
     /// Server-assigned session id.
     pub id: u64,
@@ -139,6 +140,14 @@ fn state_err(message: impl Into<String>) -> DecodeError {
     DecodeError::new(ErrCode::State, message)
 }
 
+/// A durable-log I/O failure. Mapped to [`ErrCode::Limit`] because the
+/// server's `limit` handling is exactly right for it: fatal for the
+/// session (the durability contract can no longer be kept), clean
+/// finalize with an exact report for the prefix that did persist.
+fn store_err(err: std::io::Error) -> DecodeError {
+    DecodeError::new(ErrCode::Limit, format!("durable store: {err}"))
+}
+
 /// One live session: interning tables + legality tracking + recorder +
 /// engine. Created from a validated `HELLO`, driven by `EVENT` frames,
 /// consumed by [`Session::finalize`].
@@ -164,6 +173,10 @@ pub struct Session {
     /// Accepted `EVENT` frames (the unit [`SessionLimits::max_events`]
     /// meters).
     wire_events: u64,
+    /// Durable log, when the daemon runs with a data dir: every accepted
+    /// event is appended before `apply` returns, so the persisted prefix
+    /// never trails what the client was told was accepted.
+    store: Option<SessionStore>,
 }
 
 impl Session {
@@ -195,7 +208,7 @@ impl Session {
                 ),
             ));
         }
-        let mut engine_config = config.engine;
+        let mut engine_config = config.engine.clone();
         if let Some(algo) = hello.algorithm {
             engine_config.algorithm = algo;
         }
@@ -234,7 +247,62 @@ impl Session {
             active: vec![false; hello.threads],
             joined: vec![false; hello.threads],
             wire_events: 0,
+            store: None,
         })
+    }
+
+    /// Attaches a durable log; subsequent accepted events are appended
+    /// to it. The server attaches right after `open` (fresh sessions) or
+    /// right after replay (recovered ones), so the store only ever holds
+    /// events the session actually accepted.
+    pub fn attach_store(&mut self, store: SessionStore) {
+        self.store = Some(store);
+    }
+
+    /// Detaches the durable log (finalization decides its disposition: a
+    /// clean `END` deletes it, everything else leaves it resumable).
+    pub fn take_store(&mut self) -> Option<SessionStore> {
+        self.store.take()
+    }
+
+    /// Events durably accepted, when a store is attached — the `acked=`
+    /// count `FLUSH` reports to resuming clients.
+    pub fn acked(&self) -> Option<u64> {
+        self.store.as_ref().map(|s| s.acked())
+    }
+
+    /// Forces the durable log to stable storage (the `FLUSH` barrier's
+    /// durability point). No-op without a store.
+    pub fn sync_store(&mut self) -> Result<(), DecodeError> {
+        match self.store.as_mut() {
+            Some(store) => store.sync().map_err(store_err),
+            None => Ok(()),
+        }
+    }
+
+    /// Rebuilds a session from recovered state: opens it from the
+    /// persisted `HELLO`, replays the accepted prefix through the normal
+    /// `apply` path (the engine re-enumerates deterministically — see
+    /// [`crate::persist`]), then re-attaches the store for new appends.
+    pub fn recover(
+        rec: RecoveredState,
+        config: &SessionConfig,
+        budget: Arc<MemoryBudget>,
+    ) -> Result<Self, DecodeError> {
+        let mut session = Session::open_with_budget(rec.id, &rec.hello, config, budget)?;
+        for (tid, op) in &rec.events {
+            // The prefix was validated when first accepted; a replay
+            // rejection means the store was tampered with or the limits
+            // were lowered across the restart — surface it, don't guess.
+            session.apply(*tid, op).map_err(|err| {
+                DecodeError::new(
+                    err.code,
+                    format!("replay of persisted event failed: {}", err.message),
+                )
+            })?;
+        }
+        session.store = Some(rec.store);
+        Ok(session)
     }
 
     /// Server-assigned id.
@@ -354,6 +422,13 @@ impl Session {
         }
         self.active[tid] = true;
         self.wire_events += 1;
+        if let Some(store) = self.store.as_mut() {
+            store.append_event(tid, op).map_err(store_err)?;
+            if store.should_checkpoint() {
+                let quarantined = self.engine.metrics().intervals_quarantined;
+                store.checkpoint(quarantined).map_err(store_err)?;
+            }
+        }
         Ok(())
     }
 

@@ -1,0 +1,269 @@
+//! End-to-end durability acceptance: sessions on a `--data-dir` daemon
+//! survive disconnects and full daemon restarts, resume via `RESUME`,
+//! and finish with reports identical to an unbroken control session
+//! (Theorem 3 exactness is a function of the accepted event sequence
+//! alone, so "identical report" is the whole durability contract).
+
+use paramount_durable::FsyncPolicy;
+use paramount_ingest::{
+    session_dir, Client, ClientError, EndReason, ErrCode, Hello, Server, ServerConfig,
+    SessionReport, WireOp,
+};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("paramount-durability-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(root: &Path) -> ServerConfig {
+    ServerConfig {
+        data_dir: Some(root.to_path_buf()),
+        // Small enough that an eight-op trace crosses checkpoint boundaries.
+        checkpoint_every_events: 3,
+        // The tests kill connections, not the OS; skip the fsync latency.
+        fsync: FsyncPolicy::Never,
+        ..ServerConfig::default()
+    }
+}
+
+fn spawn_daemon(
+    config: ServerConfig,
+) -> (
+    SocketAddr,
+    paramount_ingest::ServerHandle,
+    mpsc::Receiver<SessionReport>,
+    std::thread::JoinHandle<paramount_ingest::ServeSummary>,
+) {
+    let mut server = Server::new(config);
+    let addr = server.bind_tcp("127.0.0.1:0").expect("bind loopback");
+    let handle = server.handle();
+    let (tx, rx) = mpsc::channel();
+    let tx = Mutex::new(tx);
+    let daemon = std::thread::spawn(move || {
+        server
+            .run(move |report: &SessionReport| {
+                let _ = tx.lock().unwrap().send(report.clone());
+            })
+            .expect("daemon run")
+    });
+    (addr, handle, rx, daemon)
+}
+
+/// A legal eight-op two-thread trace: t0 works under a lock, then t1
+/// takes the same lock.
+fn ops() -> Vec<(usize, WireOp)> {
+    vec![
+        (0, WireOp::Write("x".into())),
+        (0, WireOp::Acquire("m".into())),
+        (0, WireOp::Write("y".into())),
+        (0, WireOp::Release("m".into())),
+        (1, WireOp::Write("z".into())),
+        (1, WireOp::Acquire("m".into())),
+        (1, WireOp::Write("w".into())),
+        (1, WireOp::Release("m".into())),
+    ]
+}
+
+fn send_range(client: &mut Client, ops: &[(usize, WireOp)]) {
+    for (tid, op) in ops {
+        client.event(*tid, op).expect("event");
+    }
+}
+
+/// The unbroken control run: one session, all ops, clean END.
+fn control_report(addr: SocketAddr) -> paramount_ingest::WireReport {
+    let mut client = Client::connect_tcp(addr).expect("connect control");
+    client.hello(&Hello::new(2)).expect("hello");
+    send_range(&mut client, &ops());
+    client.finish().expect("finish control")
+}
+
+/// A cleanly ENDed durable session leaves nothing behind: the per-session
+/// store directory is deleted the moment the final report is cut.
+#[test]
+fn clean_end_deletes_the_session_store() {
+    let root = temp_root("clean-end");
+    let (addr, handle, _rx, daemon) = spawn_daemon(durable_config(&root));
+
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let session = client.hello(&Hello::new(2)).expect("hello");
+    send_range(&mut client, &ops());
+    let report = client.finish().expect("finish");
+    assert_eq!(report.reason, EndReason::End);
+    assert!(report.complete);
+    assert!(
+        !session_dir(&root, session).exists(),
+        "clean END must delete the session store"
+    );
+
+    handle.shutdown();
+    let summary = daemon.join().expect("daemon");
+    assert!(
+        summary.ingest.checkpoint_writes >= 1,
+        "eight ops at checkpoint_every=3 must write checkpoints"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A client dies mid-stream; a second connection `RESUME`s the session
+/// on the same (still-running) daemon, streams only the tail, and the
+/// final report matches the unbroken control run exactly.
+#[test]
+fn resume_after_disconnect_matches_the_unbroken_control() {
+    let root = temp_root("resume-disconnect");
+    let (addr, handle, rx, daemon) = spawn_daemon(durable_config(&root));
+    let expected = control_report(addr);
+    let all = ops();
+
+    // First attempt: four ops, a barrier so the daemon holds them, then
+    // a dead socket.
+    let session = {
+        let mut client = Client::connect_tcp(addr).expect("connect");
+        let session = client.hello(&Hello::new(2)).expect("hello");
+        send_range(&mut client, &all[..4]);
+        client.flush_sync().expect("flush");
+        session
+    };
+    // Wait for the daemon to finalize the drop — the store must outlive
+    // the session (that is the durability contract for `disconnect`).
+    let dropped = loop {
+        let report = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("disconnect report");
+        if report.reason == EndReason::Disconnect {
+            break report;
+        }
+    };
+    assert!(dropped.complete, "the partial prefix is still exact");
+    assert!(
+        session_dir(&root, session).exists(),
+        "disconnect must keep the store for resumption"
+    );
+
+    // Second attempt: RESUME, trust the server's acked count, send only
+    // what it has not seen.
+    let mut client = Client::connect_tcp(addr).expect("reconnect");
+    let acked = client.resume(session).expect("resume");
+    assert_eq!(acked, 4, "server acknowledged exactly the flushed prefix");
+    send_range(&mut client, &all[acked as usize..]);
+    let report = client.finish().expect("finish resumed");
+
+    assert_eq!(report.reason, EndReason::End);
+    assert!(report.complete);
+    assert_eq!(report.events, expected.events, "resumed events == control");
+    assert_eq!(report.cuts, expected.cuts, "resumed cuts == control");
+    assert!(!session_dir(&root, session).exists());
+
+    handle.shutdown();
+    daemon.join().expect("daemon");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Full daemon restart: the first daemon is shut down with a session
+/// still open (reason `shutdown`, store kept). A second daemon booted on
+/// the same `--data-dir` recovers the session at startup; `RESUME`
+/// continues it and the report matches the control.
+#[test]
+fn daemon_restart_recovers_and_resumes_persisted_sessions() {
+    let root = temp_root("restart");
+    let all = ops();
+
+    // Daemon #1: take five ops, then drain with the session open.
+    let (addr, handle, rx, daemon) = spawn_daemon(durable_config(&root));
+    let expected = control_report(addr);
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let session = client.hello(&Hello::new(2)).expect("hello");
+    send_range(&mut client, &all[..5]);
+    client.flush_sync().expect("flush");
+    handle.shutdown();
+    let drained = loop {
+        let report = rx.recv_timeout(Duration::from_secs(10)).expect("report");
+        if report.reason == EndReason::Shutdown {
+            break report;
+        }
+    };
+    assert!(drained.complete);
+    daemon.join().expect("daemon #1");
+    drop(client);
+    assert!(
+        session_dir(&root, session).exists(),
+        "shutdown must keep the store for the next boot"
+    );
+
+    // Daemon #2, same data-dir: boot recovery parks the session.
+    let (addr, handle, _rx, daemon) = spawn_daemon(durable_config(&root));
+    let mut client = Client::connect_tcp(addr).expect("reconnect");
+    let acked = client.resume(session).expect("resume across restart");
+    assert_eq!(acked, 5);
+    send_range(&mut client, &all[acked as usize..]);
+    let report = client.finish().expect("finish resumed");
+    assert_eq!(report.reason, EndReason::End);
+    assert!(report.complete);
+    assert_eq!(report.events, expected.events);
+    assert_eq!(
+        report.cuts, expected.cuts,
+        "restart-resumed cuts == control"
+    );
+
+    handle.shutdown();
+    let summary = daemon.join().expect("daemon #2");
+    assert!(
+        summary.ingest.sessions_recovered >= 1,
+        "boot must count the recovered session"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `RESUME` of a session the daemon does not know is a *state* error —
+/// non-fatal by contract, so the same connection can fall back to a
+/// fresh `HELLO` (exactly what `send_trace_with_retry` does).
+#[test]
+fn resume_of_unknown_session_falls_back_to_hello() {
+    let root = temp_root("unknown-resume");
+    let (addr, handle, _rx, daemon) = spawn_daemon(durable_config(&root));
+
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let err = client.resume(999_999).expect_err("unknown session");
+    match err {
+        ClientError::Rejected(e) => assert_eq!(e.code, ErrCode::State),
+        other => panic!("expected a state rejection, got {other}"),
+    }
+    // Same connection, fresh session: the rejection was survivable.
+    client.hello(&Hello::new(2)).expect("hello after rejection");
+    send_range(&mut client, &ops());
+    let report = client.finish().expect("finish");
+    assert_eq!(report.reason, EndReason::End);
+    assert!(report.complete);
+
+    handle.shutdown();
+    daemon.join().expect("daemon");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A daemon with no `--data-dir` rejects `RESUME` the same survivable
+/// way: in-memory deployments keep working with resume-capable clients.
+#[test]
+fn in_memory_daemon_rejects_resume_survivably() {
+    let (addr, handle, _rx, daemon) = spawn_daemon(ServerConfig::default());
+
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let err = client.resume(1).expect_err("no durable store");
+    match err {
+        ClientError::Rejected(e) => assert_eq!(e.code, ErrCode::State),
+        other => panic!("expected a state rejection, got {other}"),
+    }
+    client.hello(&Hello::new(1)).expect("hello still works");
+    client.event(0, &WireOp::Write("x".into())).expect("event");
+    let report = client.finish().expect("finish");
+    assert_eq!(report.cuts, 2);
+
+    handle.shutdown();
+    daemon.join().expect("daemon");
+}

@@ -145,6 +145,12 @@ fn exhausted_retries_report_the_acknowledged_partial_prefix() {
                 let frame = line.trim_end();
                 if frame.starts_with("HELLO") {
                     writer.write_all(b"OK session=9\n").expect("ack hello");
+                } else if frame.starts_with("RESUME") {
+                    // In-memory daemons reject resumption; the client
+                    // falls back to a fresh HELLO on this connection.
+                    writer
+                        .write_all(b"ERR state no durable store\n")
+                        .expect("reject resume");
                 } else if frame.starts_with("EVENT") {
                     events += 1;
                 } else if frame.starts_with("FLUSH") {

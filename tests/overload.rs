@@ -243,3 +243,73 @@ fn seeded_overload_storm_keeps_accepted_sessions_exact() {
         assert!(summary.ingest.sessions_opened >= 8, "seed {seed}");
     }
 }
+
+/// The durable-store acceptance run: a dense 8-thread computation whose
+/// in-memory spill peak is far past a 1-byte hard watermark. Without a
+/// cold tier that configuration sheds intervals (see the fail-policy
+/// test above); with `spill_dir` set, the hard-pressure escape hatch
+/// must freeze the overflow onto disk instead — the run completes, the
+/// count is Theorem-3 exact, and nothing is rejected.
+#[test]
+fn hard_watermark_with_spill_dir_completes_by_spilling_to_disk() {
+    let dir = std::env::temp_dir().join(format!("paramount-disk-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let reference = RandomComputation::new(8, 4, 0.3, 11).generate();
+    let delivered = Arc::new(AtomicU64::new(0));
+    let sink_delivered = Arc::clone(&delivered);
+    let released = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let gate = Arc::clone(&released);
+    let engine = OnlineEngine::new(
+        8,
+        OnlineEngineConfig {
+            workers: 1,
+            queue_capacity: 1,
+            backpressure: BackpressurePolicy::SpillToDeque,
+            spill_dir: Some(dir.clone()),
+            governor: GovernorConfig {
+                // Any accounted byte is past the hard watermark, so every
+                // overflow interval takes the disk path or is shed.
+                hard_spill_bytes: Some(1),
+                disk_spill_bytes: Some(1 << 20),
+                ..GovernorConfig::default()
+            },
+            ..OnlineEngineConfig::default()
+        },
+        move |_: CutRef<'_>, _: EventId| {
+            // Park the only worker until every event is inserted: the
+            // 1-slot queue overflows while the budget reads `Hard`.
+            while !gate.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            sink_delivered.fetch_add(1, Ordering::Relaxed);
+            ControlFlow::Continue(())
+        },
+    );
+    for &id in &topo::weight_order(&reference) {
+        engine.observe_with_clock(id.tid, reference.vc(id).clone(), ());
+    }
+    released.store(true, Ordering::Release);
+    let report = engine.finish();
+
+    assert!(
+        report.overload.is_none(),
+        "the cold tier must absorb hard pressure: {:?}",
+        report.overload
+    );
+    assert!(report.is_complete(), "disk spill must lose nothing");
+    assert_eq!(report.cuts, oracle::count_ideals(&report.poset));
+    assert_eq!(report.cuts, delivered.load(Ordering::Relaxed));
+
+    let m = &report.metrics;
+    assert_eq!(m.intervals_rejected, 0, "{m:?}");
+    assert!(
+        m.disk_spill_bytes_high_water > 0,
+        "overflow must actually reach the disk tier: {m:?}"
+    );
+    assert_eq!(
+        m.disk_spill_bytes, 0,
+        "a drained run leaves no bytes on disk: {m:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
