@@ -26,10 +26,18 @@ USAGE:
                                [--interval-deadline-ms MS] [--busy-retry-ms MS]
                                [--data-dir DIR] [--checkpoint-events N]
                                [--fsync always|ondemand|never] [--disk-spill-bytes N]
+                               [--first-session-id N]
+  paramount fleet              [--listen ADDR]
+                               --shards N --data-dir ROOT    (spawn N shard daemons)
+                               | --manifest FILE             (attach: `shard <id> <addr>` lines)
+                               [--probe-interval-ms MS] [--probe-deadline-ms MS]
+                               [--suspect-after N] [--down-after N]
+                               [+ serve engine/durability flags, forwarded to shards]
   paramount send <trace>       --connect HOST:PORT | --unix PATH
                                [--algo A] [--workers K] [--label L] [--capture-sync]
                                [--retries N] [--backoff-ms MS]   (reconnect & replay)
                                [--checkpoint-every EVENTS]
+                               [--fleet]   (--connect names a fleet router; ROUTE first)
   paramount shutdown           --connect HOST:PORT | --unix PATH
   paramount list-algorithms    (one name per line, for scripting)
   paramount help
@@ -171,10 +179,11 @@ fn require_target(args: &[String], command: &str) -> Result<Target, CliError> {
 }
 
 /// Arranges for SIGINT/SIGTERM to drain the daemon instead of killing
-/// the process: the handler only flips a flag; a watcher thread asks the
-/// server to shut down, which finalizes every live session first.
+/// the process: the handler only flips a flag; a watcher thread invokes
+/// `shutdown` (which finalizes every live session first). Works for both
+/// a single server's handle and a fleet router's handle.
 #[cfg(unix)]
-fn install_signal_drain(handle: paramount_ingest::ServerHandle) {
+fn install_signal_drain(shutdown: impl Fn() + Send + 'static) {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     static SIGNALED: AtomicBool = AtomicBool::new(false);
@@ -199,7 +208,7 @@ fn install_signal_drain(handle: paramount_ingest::ServerHandle) {
         .spawn(move || loop {
             if SIGNALED.load(Ordering::SeqCst) {
                 eprintln!("draining (signal received) ...");
-                handle.shutdown();
+                shutdown();
                 return;
             }
             std::thread::sleep(std::time::Duration::from_millis(50));
@@ -208,7 +217,7 @@ fn install_signal_drain(handle: paramount_ingest::ServerHandle) {
 }
 
 #[cfg(not(unix))]
-fn install_signal_drain(_handle: paramount_ingest::ServerHandle) {}
+fn install_signal_drain(_shutdown: impl Fn() + Send + 'static) {}
 
 fn serve(args: &[String]) -> Result<String, CliError> {
     let mut opts = ServeOptions {
@@ -242,6 +251,7 @@ fn serve(args: &[String]) -> Result<String, CliError> {
     opts.checkpoint_events = parse_number(args, "--checkpoint-events")?;
     opts.fsync = flag_value(args, "--fsync");
     opts.disk_spill_bytes = parse_number(args, "--disk-spill-bytes")?;
+    opts.first_session_id = parse_number(args, "--first-session-id")?;
     if opts.listen.is_empty() && opts.unix.is_empty() {
         opts.listen.push("127.0.0.1:7667".to_string());
     }
@@ -254,9 +264,60 @@ fn serve(args: &[String]) -> Result<String, CliError> {
     }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    install_signal_drain(server.handle());
+    let handle = server.handle();
+    install_signal_drain(move || handle.shutdown());
     let quiet = args.iter().any(|a| a == "--quiet");
     net::run_daemon(server, quiet).map_err(CliError::Run)
+}
+
+/// Shard-engine flags the `fleet` command forwards verbatim to every
+/// spawned `serve` child, so a fleet can be tuned like a single daemon.
+const FLEET_FORWARDED_FLAGS: &[&str] = &[
+    "--algo",
+    "--workers",
+    "--max-events",
+    "--checkpoint-events",
+    "--fsync",
+    "--soft-spill-bytes",
+    "--hard-spill-bytes",
+    "--disk-spill-bytes",
+    "--interval-deadline-ms",
+    "--busy-retry-ms",
+];
+
+fn fleet(args: &[String]) -> Result<String, CliError> {
+    let mut opts = net::FleetOptions::default();
+    if let Some(listen) = flag_value(args, "--listen") {
+        opts.listen = listen;
+    }
+    if let Some(shards) = parse_number(args, "--shards")? {
+        opts.shards = shards;
+    }
+    opts.data_root = flag_value(args, "--data-dir").map(Into::into);
+    opts.manifest = flag_value(args, "--manifest").map(Into::into);
+    opts.probe_interval_ms = parse_number(args, "--probe-interval-ms")?;
+    opts.probe_deadline_ms = parse_number(args, "--probe-deadline-ms")?;
+    opts.suspect_after = parse_number(args, "--suspect-after")?;
+    opts.down_after = parse_number(args, "--down-after")?;
+    for flag in FLEET_FORWARDED_FLAGS {
+        if let Some(value) = flag_value(args, flag) {
+            opts.serve_args.push((*flag).to_string());
+            opts.serve_args.push(value);
+        }
+    }
+    let (router, addr, procs) = net::build_fleet(&opts).map_err(CliError::Run)?;
+    for shard in &procs {
+        println!(
+            "shard {} pid {} listening on tcp {}",
+            shard.id, shard.pid, shard.addr
+        );
+    }
+    println!("fleet listening on tcp {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let handle = router.handle();
+    install_signal_drain(move || handle.shutdown());
+    net::run_fleet(router, procs).map_err(CliError::Run)
 }
 
 fn send(args: &[String]) -> Result<String, CliError> {
@@ -279,6 +340,7 @@ fn send(args: &[String]) -> Result<String, CliError> {
             "send: --checkpoint-every must be at least 1 event".to_string(),
         ));
     }
+    let fleet = args.iter().any(|a| a == "--fleet");
     net::send(
         &trace,
         &target,
@@ -289,6 +351,7 @@ fn send(args: &[String]) -> Result<String, CliError> {
         retries,
         backoff_ms,
         checkpoint_every,
+        fleet,
     )
     .map_err(CliError::Run)
 }
@@ -356,6 +419,7 @@ fn run() -> Result<String, CliError> {
             Ok(commands::gen(workload, seed)?)
         }
         "serve" => serve(&args),
+        "fleet" => fleet(&args),
         "send" => send(&args),
         "shutdown" => {
             let target = require_target(&args, "shutdown")?;

@@ -4,13 +4,15 @@
 
 use paramount::Algorithm;
 use paramount_ingest::{
-    send_trace_with_retry, Client, EndReason, Hello, ServeSummary, Server, ServerConfig,
-    SessionReport,
+    fleet, send_trace_with_retry, Client, EndReason, FleetConfig, FleetRouter, Hello, ServeSummary,
+    Server, ServerConfig, SessionReport, ShardSpec,
 };
 use paramount_trace::textfmt::TraceFile;
 use std::fmt::Write as _;
+use std::io::BufRead as _;
 use std::net::SocketAddr;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Where a client-side command connects.
 #[derive(Clone, Debug)]
@@ -90,6 +92,9 @@ pub struct ServeOptions {
     /// Disk-spill byte cap (`--disk-spill-bytes`); only meaningful with
     /// `--data-dir`.
     pub disk_spill_bytes: Option<usize>,
+    /// Lowest session id handed out (`--first-session-id`); fleet
+    /// shards get ids whose high 32 bits encode the shard index.
+    pub first_session_id: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -112,6 +117,7 @@ impl Default for ServeOptions {
             checkpoint_events: None,
             fsync: None,
             disk_spill_bytes: None,
+            first_session_id: None,
         }
     }
 }
@@ -150,6 +156,9 @@ pub fn build_server(opts: &ServeOptions) -> Result<(Server, Vec<SocketAddr>), St
             .ok_or_else(|| format!("unknown --fsync policy `{name}` (always|ondemand|never)"))?;
     }
     config.governor.disk_spill_bytes = opts.disk_spill_bytes;
+    if let Some(first) = opts.first_session_id {
+        config.first_session_id = first;
+    }
     let mut server = Server::new(config);
     for addr in &opts.listen {
         server
@@ -233,6 +242,11 @@ pub fn summary_text(summary: &ServeSummary) -> String {
 /// server-acknowledged partial prefix. `checkpoint_every` overrides the
 /// events-per-`FLUSH` checkpoint cadence (must be non-zero; validated by
 /// the argv layer).
+///
+/// With `fleet: true` the target is a fleet *router*: every attempt
+/// first sends `ROUTE` (with the session id once one exists) and then
+/// dials the shard the router names — so a retry lands on the surviving
+/// shard a migrated session was re-homed to, not the dead one.
 #[allow(clippy::too_many_arguments)]
 pub fn send(
     trace: &TraceFile,
@@ -244,6 +258,7 @@ pub fn send(
     retries: u32,
     backoff_ms: u64,
     checkpoint_every: Option<u64>,
+    fleet: bool,
 ) -> Result<String, String> {
     let hello = Hello {
         threads: trace.threads,
@@ -259,9 +274,20 @@ pub fn send(
     if let Some(events) = checkpoint_every {
         policy = policy.with_checkpoint_every(events);
     }
+    let result = if fleet {
+        send_trace_with_retry(
+            |session| fleet_connect(target, session),
+            &hello,
+            trace,
+            policy,
+        )
+    } else {
+        // Re-resolve the target on every attempt (fresh lookup, fresh
+        // socket) rather than caching an address across retries.
+        send_trace_with_retry(|_| target.connect_io(), &hello, trace, policy)
+    };
     let (report, session, attempts) =
-        send_trace_with_retry(|| target.connect_io(), &hello, trace, policy)
-            .map_err(|e| format!("cannot send to {target}: {e}"))?;
+        result.map_err(|e| format!("cannot send to {target}: {e}"))?;
     Ok(format!(
         "{} events, {} consistent global states (session {session}, reason {}{}{})\n",
         report.events,
@@ -294,6 +320,219 @@ pub fn remote_shutdown(target: &Target) -> Result<String, String> {
     let client = target.connect()?;
     client.request_shutdown().map_err(|e| e.to_string())?;
     Ok("daemon draining\n".to_string())
+}
+
+/// One `ROUTE`-then-dial connection through a fleet router.
+pub fn fleet_connect(router: &Target, session: Option<u64>) -> std::io::Result<Client> {
+    let mut routed = router.connect_io()?;
+    let (_, addr) = routed
+        .route(session)
+        .map_err(|e| std::io::Error::other(format!("ROUTE via {router} failed: {e}")))?;
+    Client::connect_tcp(addr.as_str())
+}
+
+/// Everything `paramount fleet` accepts from argv.
+#[derive(Clone, Debug)]
+pub struct FleetOptions {
+    /// Router TCP endpoint (`--listen`).
+    pub listen: String,
+    /// Spawn mode: number of `paramount serve` child shards (`--shards`).
+    pub shards: usize,
+    /// Shared durable root (`--data-dir`); shard `k` serves
+    /// `<root>/shard-<k>`. Required in spawn mode; enables migration in
+    /// attach mode when the manifest shards share it.
+    pub data_root: Option<PathBuf>,
+    /// Attach mode: a shard manifest (`--manifest`), one
+    /// `shard <id> <addr>` per line, instead of spawning children.
+    pub manifest: Option<PathBuf>,
+    /// Milliseconds between health-probe sweeps (`--probe-interval-ms`).
+    pub probe_interval_ms: Option<u64>,
+    /// Per-probe deadline in milliseconds (`--probe-deadline-ms`).
+    pub probe_deadline_ms: Option<u64>,
+    /// Consecutive probe failures before `Suspect` (`--suspect-after`).
+    pub suspect_after: Option<u32>,
+    /// Consecutive probe failures before `Down` + migration
+    /// (`--down-after`).
+    pub down_after: Option<u32>,
+    /// Extra argv forwarded verbatim to every spawned shard (engine and
+    /// durability flags of `paramount serve`).
+    pub serve_args: Vec<String>,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        FleetOptions {
+            listen: "127.0.0.1:7667".to_string(),
+            shards: 0,
+            data_root: None,
+            manifest: None,
+            probe_interval_ms: None,
+            probe_deadline_ms: None,
+            suspect_after: None,
+            down_after: None,
+            serve_args: Vec::new(),
+        }
+    }
+}
+
+/// A spawned shard child process.
+pub struct ShardProc {
+    /// Shard index (high 32 bits of its session ids).
+    pub id: usize,
+    /// OS process id (tests `kill -9` this).
+    pub pid: u32,
+    /// The shard's bound TCP address, parsed from its banner.
+    pub addr: String,
+    child: std::process::Child,
+}
+
+/// Spawns one `paramount serve` shard and waits for its listen banner.
+fn spawn_shard(
+    exe: &Path,
+    shard: usize,
+    root: &Path,
+    extra: &[String],
+) -> Result<ShardProc, String> {
+    let subroot = fleet::shard_subroot(root, shard);
+    std::fs::create_dir_all(&subroot)
+        .map_err(|e| format!("cannot create {}: {e}", subroot.display()))?;
+    let mut child = std::process::Command::new(exe)
+        .arg("serve")
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--data-dir")
+        .arg(&subroot)
+        .arg("--first-session-id")
+        .arg(fleet::first_session_id(shard).to_string())
+        .arg("--quiet")
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("cannot spawn shard {shard}: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                let _ = child.kill();
+                return Err(format!("shard {shard} exited before binding"));
+            }
+            Ok(_) => {
+                if let Some(rest) = line.trim().strip_prefix("listening on tcp ") {
+                    break rest.to_string();
+                }
+            }
+            Err(e) => {
+                let _ = child.kill();
+                return Err(format!("shard {shard} banner read failed: {e}"));
+            }
+        }
+    };
+    // Keep draining the child's stdout so it never blocks on a full pipe.
+    std::thread::Builder::new()
+        .name(format!("paramount-shard-{shard}-drain"))
+        .spawn(move || {
+            let mut sink = String::new();
+            while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+                sink.clear();
+            }
+        })
+        .map_err(|e| format!("cannot spawn drain thread: {e}"))?;
+    Ok(ShardProc {
+        id: shard,
+        pid: child.id(),
+        addr,
+        child,
+    })
+}
+
+/// Builds the fleet: spawns (or attaches to) the shards and binds the
+/// router. Returns the router, its bound address, and any spawned
+/// children (empty in attach mode).
+pub fn build_fleet(
+    opts: &FleetOptions,
+) -> Result<(FleetRouter, SocketAddr, Vec<ShardProc>), String> {
+    let (specs, procs): (Vec<ShardSpec>, Vec<ShardProc>) = if let Some(manifest) = &opts.manifest {
+        let text = std::fs::read_to_string(manifest)
+            .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
+        (fleet::parse_manifest(&text)?, Vec::new())
+    } else {
+        if opts.shards == 0 {
+            return Err("fleet: need --shards N (spawn mode) or --manifest FILE".to_string());
+        }
+        let root = opts
+            .data_root
+            .as_ref()
+            .ok_or_else(|| "fleet: spawn mode requires --data-dir ROOT".to_string())?;
+        let exe =
+            std::env::current_exe().map_err(|e| format!("cannot locate own executable: {e}"))?;
+        let mut procs = Vec::with_capacity(opts.shards);
+        for shard in 0..opts.shards {
+            procs.push(spawn_shard(&exe, shard, root, &opts.serve_args)?);
+        }
+        let specs = procs
+            .iter()
+            .map(|p| ShardSpec {
+                id: p.id,
+                addr: p.addr.clone(),
+            })
+            .collect();
+        (specs, procs)
+    };
+    let mut config = FleetConfig {
+        data_root: opts.data_root.clone(),
+        ..FleetConfig::default()
+    };
+    if let Some(ms) = opts.probe_interval_ms {
+        config.probe_interval = Duration::from_millis(ms);
+    }
+    if let Some(ms) = opts.probe_deadline_ms {
+        config.probe_deadline = Duration::from_millis(ms);
+    }
+    if let Some(n) = opts.suspect_after {
+        config.suspect_after = n.max(1);
+    }
+    if let Some(n) = opts.down_after {
+        config.down_after = n.max(1);
+    }
+    let mut router = FleetRouter::new(specs, config);
+    let addr = router
+        .bind_tcp(opts.listen.as_str())
+        .map_err(|e| format!("cannot listen on {}: {e}", opts.listen))?;
+    Ok((router, addr, procs))
+}
+
+/// Runs the router until shutdown, then drains spawned shards (polite
+/// `SHUTDOWN` frame, `kill` after a grace period) and reports the final
+/// fleet metrics.
+pub fn run_fleet(router: FleetRouter, procs: Vec<ShardProc>) -> Result<String, String> {
+    let summary = router.run().map_err(|e| format!("fleet failed: {e}"))?;
+    let mut out = String::new();
+    for mut proc in procs {
+        if let Ok(client) = Client::connect_tcp(proc.addr.as_str()) {
+            let _ = client.request_shutdown();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match proc.child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                _ => {
+                    let _ = proc.child.kill();
+                    let _ = proc.child.wait();
+                    let _ = writeln!(out, "shard {} did not drain; killed", proc.id);
+                    break;
+                }
+            }
+        }
+    }
+    out.push_str(&summary.fleet.render_text());
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -331,6 +570,7 @@ mod tests {
             0,
             200,
             None,
+            false,
         )
         .expect("send");
 
@@ -408,6 +648,7 @@ mod tests {
             2,
             1,
             None,
+            false,
         )
         .expect("retry must recover");
 
@@ -462,6 +703,7 @@ mod tests {
             2,
             1,
             None,
+            false,
         )
         .expect_err("every attempt is dropped");
         assert!(err.contains("after 3 attempts"), "{err}");
@@ -493,6 +735,7 @@ mod tests {
                 0,
                 200,
                 None,
+                false,
             )
             .expect("send");
             handle.shutdown();

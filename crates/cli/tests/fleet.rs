@@ -1,0 +1,298 @@
+//! Fleet-mode `kill -9` acceptance (the acceptance gate of this PR): a
+//! real `paramount fleet --shards 3` process manages three shard
+//! daemons; one shard is SIGKILLed with a durable session mid-stream;
+//! the router health-checks it to `Down`, migrates the session's store
+//! to a survivor, re-ROUTEs the session there, and the resumed run's
+//! count matches `paramount count` on the full trace — plus the scraped
+//! fleet stats must show a nonzero failover and migration.
+#![cfg(unix)]
+
+use paramount_ingest::{parse_client_line, shard_of_session, Client, ClientFrame, Hello, WireOp};
+use paramount_trace::textfmt::{parse_trace, render_op};
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const TRACE: &str = "\
+threads 2
+0 write x
+0 acquire m
+0 write y
+0 release m
+1 read x
+1 acquire m
+1 write z
+1 release m
+0 write w
+1 read y
+";
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_paramount")
+}
+
+struct Fleet {
+    child: Child,
+    addr: String,
+    shard_pids: Vec<(u64, u32)>,
+}
+
+/// Spawns `paramount fleet --shards 3` on an ephemeral port and parses
+/// the shard and router banners.
+fn spawn_fleet(root: &Path) -> Fleet {
+    let mut child = Command::new(bin())
+        .args([
+            "fleet",
+            "--listen",
+            "127.0.0.1:0",
+            "--shards",
+            "3",
+            "--data-dir",
+            root.to_str().expect("utf-8 tmp path"),
+            "--probe-interval-ms",
+            "50",
+            "--probe-deadline-ms",
+            "250",
+            "--suspect-after",
+            "1",
+            "--down-after",
+            "2",
+            "--checkpoint-events",
+            "3",
+            "--fsync",
+            "always",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn paramount fleet");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let mut shard_pids = Vec::new();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("fleet exited before binding")
+            .expect("fleet stdout");
+        // "shard <id> pid <pid> listening on tcp <addr>"
+        if let Some(rest) = line.strip_prefix("shard ") {
+            let mut words = rest.split_whitespace();
+            let id: u64 = words.next().expect("shard id").parse().expect("shard id");
+            assert_eq!(words.next(), Some("pid"));
+            let pid: u32 = words.next().expect("shard pid").parse().expect("shard pid");
+            shard_pids.push((id, pid));
+        }
+        if let Some(addr) = line.strip_prefix("fleet listening on tcp ") {
+            break addr.to_string();
+        }
+    };
+    assert_eq!(
+        shard_pids.len(),
+        3,
+        "three shard banners before the router's"
+    );
+    // Keep draining stdout so the fleet never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    Fleet {
+        child,
+        addr,
+        shard_pids,
+    }
+}
+
+fn connect(addr: &str) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Client::connect_tcp(addr) {
+            Ok(client) => return client,
+            Err(err) if Instant::now() < deadline => {
+                let _ = err;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(err) => panic!("cannot connect to {addr}: {err}"),
+        }
+    }
+}
+
+/// ROUTE against the router, then dial the shard it names.
+fn route_and_dial(router: &str, session: Option<u64>) -> (u64, Client) {
+    let mut routed = connect(router);
+    let (shard, addr) = routed.route(session).expect("route");
+    (shard, connect(&addr))
+}
+
+/// `paramount count <trace>` — the sequential ground truth, via the
+/// same binary under test.
+fn oracle_count(trace_path: &Path) -> u64 {
+    let out = Command::new(bin())
+        .arg("count")
+        .arg(trace_path)
+        .output()
+        .expect("run paramount count");
+    assert!(out.status.success(), "count failed: {out:?}");
+    let text = String::from_utf8(out.stdout).expect("utf-8 count output");
+    let mut words = text.split_whitespace();
+    while let Some(word) = words.next() {
+        if word == "events," {
+            return words
+                .next()
+                .expect("cut count after 'events,'")
+                .parse()
+                .expect("numeric cut count");
+        }
+    }
+    panic!("unparseable count output: {text}");
+}
+
+/// One `"metric":"<name>"` counter value out of a STAT line dump.
+fn scraped_counter(lines: &[String], name: &str) -> u64 {
+    let needle = format!("\"metric\":\"{name}\"");
+    let line = lines
+        .iter()
+        .find(|l| l.contains(&needle))
+        .unwrap_or_else(|| panic!("no {name} in fleet stats: {lines:?}"));
+    let at = line.find("\"value\":").expect("value field") + "\"value\":".len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().expect("numeric value")
+}
+
+#[test]
+fn sigkilled_shard_fails_over_and_matches_count() {
+    let root = std::env::temp_dir().join(format!("paramount-e2e-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("tmp root");
+    let trace_path = root.join("trace.txt");
+    std::fs::write(&trace_path, TRACE).expect("write trace");
+    let data_root = root.join("data");
+
+    let expected = oracle_count(&trace_path);
+    let trace = parse_trace(TRACE).expect("parse trace");
+    let wire: Vec<(usize, WireOp)> = trace
+        .ops
+        .iter()
+        .map(|&(tid, op)| {
+            let body = render_op(op, &trace.var_names, &trace.lock_names);
+            match parse_client_line(&format!("EVENT {} {body}", tid.index())) {
+                Ok(ClientFrame::Event { tid, op }) => (tid, op),
+                other => panic!("unparseable wire op: {other:?}"),
+            }
+        })
+        .collect();
+    let half = wire.len() / 2;
+
+    let mut fleet = spawn_fleet(&data_root);
+
+    // Open a routed session, stream half the trace, FLUSH so the acked
+    // prefix is durable (fsync=always), then SIGKILL the owning shard —
+    // no shutdown handler runs in it.
+    let (victim, mut client) = route_and_dial(&fleet.addr, None);
+    let session = client.hello(&Hello::new(trace.threads)).expect("hello");
+    assert_eq!(
+        shard_of_session(session) as u64,
+        victim,
+        "session id must encode the shard ROUTE named"
+    );
+    for (tid, op) in &wire[..half] {
+        client.event(*tid, op).expect("event");
+    }
+    client.flush_sync().expect("flush");
+    let (_, victim_pid) = *fleet
+        .shard_pids
+        .iter()
+        .find(|(id, _)| *id == victim)
+        .expect("victim shard was spawned");
+    let killed = Command::new("kill")
+        .args(["-9", &victim_pid.to_string()])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "SIGKILL shard {victim} pid {victim_pid}");
+    drop(client);
+
+    // The router notices within a few probe sweeps and re-homes the
+    // session to a survivor; until then ROUTE still names the corpse.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let new_addr = loop {
+        assert!(
+            Instant::now() < deadline,
+            "router never migrated session {session} off SIGKILLed shard {victim}"
+        );
+        let mut routed = connect(&fleet.addr);
+        match routed.route(Some(session)) {
+            Ok((shard, addr)) if shard != victim => break addr,
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+
+    // RESUME on the survivor: it acked exactly the flushed prefix, so
+    // only the tail is re-sent, and the count must match the oracle.
+    let mut client = connect(&new_addr);
+    let acked = client.resume(session).expect("resume migrated session") as usize;
+    assert_eq!(acked, half, "fsync=always must preserve the flushed prefix");
+    for (tid, op) in &wire[acked..] {
+        client.event(*tid, op).expect("resumed event");
+    }
+    let report = client.finish().expect("final report");
+    assert!(report.complete, "migrated session must be Theorem-3 exact");
+    assert_eq!(
+        report.cuts, expected,
+        "kill -9 + migrate + resume must match `paramount count`"
+    );
+
+    // The router's own STATS must account for the failover.
+    let mut stats = connect(&fleet.addr);
+    let lines = stats.stats().expect("fleet stats");
+    assert!(
+        scraped_counter(&lines, "failovers") >= 1,
+        "the dead shard must count as a failover"
+    );
+    assert!(
+        scraped_counter(&lines, "sessions_migrated") >= 1,
+        "the session must count as migrated"
+    );
+    assert!(scraped_counter(&lines, "shards_down") >= 1);
+
+    // SHUTDOWN drains the router, which drains the surviving shards;
+    // the whole fleet process must exit cleanly.
+    connect(&fleet.addr).request_shutdown().expect("shutdown");
+    let status = fleet.child.wait().expect("fleet exit");
+    assert!(status.success(), "fleet must drain cleanly: {status}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The packaged client path: `paramount send --fleet` ROUTEs through
+/// the router and streams to the shard it names, end to end.
+#[test]
+fn send_fleet_routes_and_matches_count() {
+    let root =
+        std::env::temp_dir().join(format!("paramount-e2e-fleet-send-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("tmp root");
+    let trace_path = root.join("trace.txt");
+    std::fs::write(&trace_path, TRACE).expect("write trace");
+
+    let expected = oracle_count(&trace_path);
+    let mut fleet = spawn_fleet(&root.join("data"));
+
+    let out = Command::new(bin())
+        .arg("send")
+        .arg(&trace_path)
+        .args(["--connect", &fleet.addr, "--fleet", "--retries", "3"])
+        .output()
+        .expect("run paramount send --fleet");
+    assert!(out.status.success(), "send --fleet failed: {out:?}");
+    let text = String::from_utf8(out.stdout).expect("utf-8 send output");
+    assert!(
+        text.contains(&format!("{expected} consistent global states"))
+            || text.split_whitespace().any(|w| w == expected.to_string()),
+        "send --fleet must report the oracle count {expected}: {text}"
+    );
+
+    connect(&fleet.addr).request_shutdown().expect("shutdown");
+    let status = fleet.child.wait().expect("fleet exit");
+    assert!(status.success(), "fleet must drain cleanly: {status}");
+    let _ = std::fs::remove_dir_all(&root);
+}

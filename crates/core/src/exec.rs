@@ -871,6 +871,12 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
         self.shared.stopped.load(Ordering::Relaxed)
     }
 
+    /// Snapshot of the quarantine ledger accumulated so far (live while
+    /// running; `finish` returns the final, settled copy).
+    pub fn fault_log(&self) -> FaultLog {
+        self.shared.fault_log.lock().clone()
+    }
+
     /// Hands one freshly created interval to the pool, applying the
     /// configured backpressure policy when the queue is full.
     pub fn submit(&self, interval: Interval) {

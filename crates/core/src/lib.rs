@@ -56,7 +56,8 @@ pub use faults::{FaultLog, FaultPlan, Outcome, QuarantinedInterval};
 pub use governor::{BudgetSnapshot, GovernorConfig, MemoryBudget, OverloadError, Pressure};
 pub use interval::{measure_interval_work, partition, partition_packed, Interval};
 pub use metrics::{
-    HistogramSnapshot, IngestMetrics, IngestSnapshot, MetricsSnapshot, ParaMetrics, WorkerSnapshot,
+    FleetMetrics, FleetSnapshot, HistogramSnapshot, IngestMetrics, IngestSnapshot, MetricsSnapshot,
+    ParaMetrics, WorkerSnapshot,
 };
 pub use offline::{ParaMount, ParaStats};
 pub use online::{BackpressurePolicy, OnlineEngine, OnlineEngineConfig, OnlinePoset, OnlineReport};

@@ -131,6 +131,15 @@ impl HighWaterGauge {
         self.value.fetch_sub(n, Ordering::Relaxed);
     }
 
+    /// Sets the gauge to an absolute value and folds it into the mark —
+    /// for instruments that republish a recomputed total (e.g. the fleet
+    /// prober's shard-state counts) instead of tracking deltas.
+    #[inline]
+    pub fn set(&self, n: u64) {
+        self.value.store(n, Ordering::Relaxed);
+        self.high_water.fetch_max(n, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -978,6 +987,174 @@ impl IngestSnapshot {
             "{{\"label\":\"{label}\",\"metric\":\"wal_segments\",\"type\":\"gauge\",\"value\":{},\"high_water\":{}}}",
             self.wal_segments, self.wal_segments_high_water
         );
+        out
+    }
+}
+
+/// Router-side instruments of a `paramount fleet`: shard health, routing
+/// decisions, and failover/migration accounting. One registry per
+/// router, shared by the accept loop and the prober thread.
+#[derive(Debug, Default)]
+pub struct FleetMetrics {
+    /// Health probes attempted (every shard, every prober sweep).
+    pub probes: ShardedCounter,
+    /// Probes that failed (connect refused, deadline, bad reply).
+    pub probe_failures: ShardedCounter,
+    /// `ROUTE` requests answered with a shard assignment.
+    pub sessions_routed: ShardedCounter,
+    /// Durable sessions re-homed from a dead shard to a survivor.
+    pub sessions_migrated: ShardedCounter,
+    /// Up/Suspect → Down transitions (each triggers a migration sweep).
+    pub failovers: ShardedCounter,
+    /// `ROUTE` requests rejected because every live shard was at or past
+    /// its hard pressure watermark (`ERR busy`).
+    pub routes_rejected: ShardedCounter,
+    /// Shards currently `Up` (current + high-water mark).
+    pub shards_up: HighWaterGauge,
+    /// Shards currently `Suspect` (current + high-water mark).
+    pub shards_suspect: HighWaterGauge,
+    /// Shards currently `Down` (current + high-water mark).
+    pub shards_down: HighWaterGauge,
+    /// Round-trip latency of successful STATS probes, in microseconds.
+    pub probe_latency_us: Log2Histogram,
+}
+
+impl FleetMetrics {
+    /// A fresh registry with every instrument at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds every instrument into an owned [`FleetSnapshot`].
+    pub fn snapshot(&self) -> FleetSnapshot {
+        FleetSnapshot {
+            probes: self.probes.sum(),
+            probe_failures: self.probe_failures.sum(),
+            sessions_routed: self.sessions_routed.sum(),
+            sessions_migrated: self.sessions_migrated.sum(),
+            failovers: self.failovers.sum(),
+            routes_rejected: self.routes_rejected.sum(),
+            shards_up: self.shards_up.get(),
+            shards_suspect: self.shards_suspect.get(),
+            shards_down: self.shards_down.get(),
+            shards_down_high_water: self.shards_down.high_water(),
+            probe_latency_us: self.probe_latency_us.snapshot(),
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`FleetMetrics`] registry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetSnapshot {
+    /// Health probes attempted.
+    pub probes: u64,
+    /// Probes that failed.
+    pub probe_failures: u64,
+    /// Sessions assigned a shard.
+    pub sessions_routed: u64,
+    /// Durable sessions re-homed after shard death.
+    pub sessions_migrated: u64,
+    /// Up/Suspect → Down transitions.
+    pub failovers: u64,
+    /// Routes rejected fleet-wide (`ERR busy`).
+    pub routes_rejected: u64,
+    /// Shards `Up` at snapshot time.
+    pub shards_up: u64,
+    /// Shards `Suspect` at snapshot time.
+    pub shards_suspect: u64,
+    /// Shards `Down` at snapshot time.
+    pub shards_down: u64,
+    /// Most shards ever `Down` at once.
+    pub shards_down_high_water: u64,
+    /// Distribution of successful probe round-trips (microseconds).
+    pub probe_latency_us: HistogramSnapshot,
+}
+
+impl FleetSnapshot {
+    /// Human-readable multi-line report (same style as
+    /// [`IngestSnapshot::render_text`]).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "shards:               {} up, {} suspect, {} down",
+            self.shards_up, self.shards_suspect, self.shards_down
+        );
+        let _ = writeln!(out, "sessions routed:      {}", self.sessions_routed);
+        if self.routes_rejected > 0 {
+            let _ = writeln!(out, "routes rejected:      {}", self.routes_rejected);
+        }
+        if self.failovers > 0 {
+            let _ = writeln!(out, "failovers:            {}", self.failovers);
+        }
+        if self.sessions_migrated > 0 {
+            let _ = writeln!(out, "sessions migrated:    {}", self.sessions_migrated);
+        }
+        let _ = writeln!(out, "probes:               {}", self.probes);
+        if self.probe_failures > 0 {
+            let _ = writeln!(out, "probe failures:       {}", self.probe_failures);
+        }
+        if self.probe_latency_us.count() > 0 {
+            let _ = writeln!(
+                out,
+                "probe latency us:     mean {:.1}, p99 <= {}, max {}",
+                self.probe_latency_us.mean(),
+                self.probe_latency_us.quantile_bound(0.99),
+                self.probe_latency_us.max
+            );
+        }
+        out
+    }
+
+    /// Machine-readable report: one JSON object per line, same shape as
+    /// [`IngestSnapshot::to_json_lines`].
+    pub fn to_json_lines(&self, label: &str) -> String {
+        use std::fmt::Write as _;
+        let label = json_escape(label);
+        let mut out = String::new();
+        for (name, value) in [
+            ("probes", self.probes),
+            ("probe_failures", self.probe_failures),
+            ("sessions_routed", self.sessions_routed),
+            ("sessions_migrated", self.sessions_migrated),
+            ("failovers", self.failovers),
+            ("routes_rejected", self.routes_rejected),
+        ] {
+            let _ = writeln!(
+                out,
+                "{{\"label\":\"{label}\",\"metric\":\"{name}\",\"type\":\"counter\",\"value\":{value}}}"
+            );
+        }
+        for (name, value) in [
+            ("shards_up", self.shards_up),
+            ("shards_suspect", self.shards_suspect),
+            ("shards_down", self.shards_down),
+        ] {
+            let _ = writeln!(
+                out,
+                "{{\"label\":\"{label}\",\"metric\":\"{name}\",\"type\":\"gauge\",\"value\":{value}}}"
+            );
+        }
+        let h = &self.probe_latency_us;
+        let _ = write!(
+            out,
+            "{{\"label\":\"{label}\",\"metric\":\"probe_latency_us\",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
+            h.count(),
+            h.sum,
+            h.max,
+            h.quantile_bound(0.5),
+            h.quantile_bound(0.99),
+        );
+        let mut first = true;
+        for (lo, _, count) in h.nonzero_buckets() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{{\"ge\":{lo},\"count\":{count}}}");
+        }
+        out.push_str("]}\n");
         out
     }
 }

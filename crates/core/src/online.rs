@@ -399,6 +399,14 @@ impl<P: Send + Sync + 'static> OnlineEngine<P> {
         self.stream.metrics().snapshot()
     }
 
+    /// Live snapshot of the quarantine ledger: every interval the engine
+    /// has given up on so far, with its exact `[Gmin, Gbnd]` bounds.
+    /// Exact after [`OnlineEngine::finish`]; while workers run an interval
+    /// may quarantine between this call and the next.
+    pub fn fault_log(&self) -> FaultLog {
+        self.stream.fault_log()
+    }
+
     /// The memory budget this engine charges (shared with the embedder
     /// when constructed via [`OnlineEngine::with_poset_and_budget`]).
     pub fn budget(&self) -> &Arc<MemoryBudget> {

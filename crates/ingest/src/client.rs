@@ -256,6 +256,30 @@ impl Client {
         Ok(acked)
     }
 
+    /// Asks a fleet router where a session should live. With
+    /// `session: None` the router *places* a new session on the ring;
+    /// with `Some(id)` it resolves the session's current home (which
+    /// moves when a dead shard's durable sessions are migrated).
+    /// Returns `(shard id, shard address)`; connect there and `HELLO`
+    /// or `RESUME` as usual. Plain shard daemons reject `ROUTE` with an
+    /// `ERR state` that leaves the connection usable.
+    pub fn route(&mut self, session: Option<u64>) -> Result<(u64, String), ClientError> {
+        self.queue_line(&ClientFrame::Route { session }.encode())?;
+        self.flush_out()?;
+        let kvs = self.expect_ok()?;
+        let shard = kvs
+            .iter()
+            .find(|(k, _)| k == "shard")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| ClientError::Protocol("ROUTE OK without shard".to_string()))?;
+        let addr = kvs
+            .iter()
+            .find(|(k, _)| k == "addr")
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| ClientError::Protocol("ROUTE OK without addr".to_string()))?;
+        Ok((shard, addr))
+    }
+
     /// Queues every operation of a parsed trace file. Compose with
     /// [`Client::hello`] before and [`Client::finish`] after.
     pub fn stream_trace(&mut self, trace: &TraceFile) -> io::Result<()> {
@@ -467,8 +491,15 @@ impl std::error::Error for SendError {}
 /// retry-after-ms=<n>` admission frame, the next attempt's backoff is
 /// floored at the hinted duration. Returns the final report, the
 /// session id, and the number of attempts used.
+///
+/// `connect` is called afresh on *every* attempt with the session id
+/// the send is trying to resume (`None` on the first attempt), and must
+/// re-resolve the target from scratch — re-running DNS/route lookup
+/// rather than caching a socket address, so a daemon that moved (or a
+/// fleet that migrated the session to a different shard) is found by
+/// the retry instead of hammering the dead endpoint.
 pub fn send_trace_with_retry(
-    mut connect: impl FnMut() -> io::Result<Client>,
+    mut connect: impl FnMut(Option<u64>) -> io::Result<Client>,
     hello: &Hello,
     trace: &TraceFile,
     policy: RetryPolicy,
@@ -489,7 +520,7 @@ pub fn send_trace_with_retry(
         });
         std::thread::sleep(policy.delay_before_hinted(attempt, hint));
         let result = (|| -> Result<(WireReport, u64), ClientError> {
-            let mut client = connect()?;
+            let mut client = connect(resume_session)?;
             // A durable daemon can reattach to the previous attempt's
             // session; the acked count is exactly how many leading ops
             // it already holds and must not see again.

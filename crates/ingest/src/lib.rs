@@ -38,6 +38,9 @@
 //! ```
 
 pub mod client;
+pub mod fleet;
+#[cfg(feature = "chaos")]
+pub mod linkchaos;
 pub mod persist;
 pub mod proto;
 pub mod server;
@@ -47,6 +50,12 @@ pub use client::{
     send_trace_with_retry, stream_program, Client, ClientError, RetryPolicy, SendError,
     SendProgress, WireObserver,
 };
+pub use fleet::{
+    first_session_id, parse_manifest, shard_of_session, shard_subroot, FleetConfig, FleetHandle,
+    FleetRouter, FleetSummary, ShardSpec, ShardState,
+};
+#[cfg(feature = "chaos")]
+pub use linkchaos::{ChaosProxy, LinkFaults};
 pub use persist::{
     scan_sessions, session_dir, RecoveredState, SessionStore, StoreConfig, CHECKPOINT_KIND,
     EVENT_KIND, META_KIND,

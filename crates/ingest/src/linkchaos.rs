@@ -1,0 +1,372 @@
+//! A seeded network-fault proxy for the router↔shard (and client↔shard)
+//! link: injected disconnects, partial writes, and byte-level delays.
+//!
+//! The proxy sits between a client and an upstream TCP endpoint and
+//! forwards bytes both ways, degrading the link according to a
+//! [`LinkFaults`] plan. Every decision is a pure function of the seed
+//! and a per-proxy connection counter (via `splitmix64`), so a failing
+//! chaos test replays bit-for-bit from its printed seed — the same
+//! philosophy as the engine's `FaultPlan`, applied to the wire.
+//!
+//! Faults modeled:
+//!
+//! * **Injected disconnects** — every `disconnect_every`-th connection
+//!   is cut after forwarding a seed-derived prefix of the client's
+//!   bytes, which is exactly what a crashing shard or a flaky switch
+//!   does to a streaming send: some unacked tail is lost in flight.
+//! * **Partial writes** — forwarding is chopped into `chunk_bytes`
+//!   slices, so a peer's single `write_all` arrives as many small
+//!   reads and frame parsing must tolerate arbitrary fragmentation.
+//! * **Byte-level delays** — a fixed pause per forwarded chunk models
+//!   a thin, high-latency link and widens every race window the
+//!   protocol has.
+//!
+//! Only compiled with the `chaos` feature, like the daemon-side
+//! injection sites.
+
+use paramount::faults::splitmix64;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Poll tick for the proxy's accept loop.
+const ACCEPT_TICK: Duration = Duration::from_millis(5);
+
+/// Seeded description of how the proxied link misbehaves.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkFaults {
+    /// Root seed; every injected fault derives from it deterministically.
+    pub seed: u64,
+    /// Cut every `n`-th connection (1-based: `Some(3)` kills connections
+    /// 3, 6, 9, …) after forwarding a seed-derived number of bytes from
+    /// the client. `None` never disconnects.
+    pub disconnect_every: Option<u64>,
+    /// Upper bound on bytes forwarded per write. `0` forwards whole
+    /// reads (no fragmentation).
+    pub chunk_bytes: usize,
+    /// Pause inserted before each forwarded chunk.
+    pub delay_per_chunk: Duration,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults {
+            seed: 0,
+            disconnect_every: None,
+            chunk_bytes: 0,
+            delay_per_chunk: Duration::ZERO,
+        }
+    }
+}
+
+impl LinkFaults {
+    /// True when this plan injects nothing — the proxy degenerates to a
+    /// transparent forwarder.
+    pub fn is_transparent(&self) -> bool {
+        self.disconnect_every.is_none() && self.chunk_bytes == 0 && self.delay_per_chunk.is_zero()
+    }
+
+    /// The byte budget after which connection `conn` (0-based) is cut,
+    /// or `None` if it survives. Deterministic in the seed.
+    fn cut_after(&self, conn: u64) -> Option<u64> {
+        let every = self.disconnect_every?;
+        if every == 0 || (conn + 1) % every != 0 {
+            return None;
+        }
+        // Cut somewhere in the first 4 KiB of client bytes: late enough
+        // that the HELLO usually lands, early enough to lose real tail.
+        Some(64 + splitmix64(self.seed ^ conn) % 4096)
+    }
+}
+
+/// A running fault-injecting TCP proxy. Dropping it (or calling
+/// [`ChaosProxy::stop`]) shuts the listener down; in-flight pumps
+/// notice on their next I/O.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Connections accepted so far (for tests asserting determinism).
+    conns: Arc<AtomicU64>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral local port and starts forwarding every
+    /// connection to `upstream` under the fault plan.
+    pub fn spawn(upstream: impl ToSocketAddrs, faults: LinkFaults) -> io::Result<ChaosProxy> {
+        let upstream = upstream
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "bad upstream addr"))?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(AtomicU64::new(0));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("paramount-linkchaos".to_string())
+                .spawn(move || accept_loop(listener, upstream, faults, stop, conns))?
+        };
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            conns,
+        })
+    }
+
+    /// The proxy's listening address — point clients (or the router's
+    /// shard manifest) here instead of at the upstream.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.conns.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting and joins the accept loop.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    faults: LinkFaults,
+    stop: Arc<AtomicBool>,
+    conns: Arc<AtomicU64>,
+) {
+    let mut pumps: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                let conn = conns.fetch_add(1, Ordering::Relaxed);
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    // Upstream dead (e.g. the shard was SIGKILLed):
+                    // refuse by closing, exactly like a dead daemon.
+                    drop(client);
+                    continue;
+                };
+                let _ = client.set_nodelay(true);
+                let _ = server.set_nodelay(true);
+                let cut_after = faults.cut_after(conn);
+                if let Ok(pair) = spawn_pumps(client, server, faults, cut_after) {
+                    pumps.extend(pair);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_TICK),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+        pumps.retain(|p| !p.is_finished());
+    }
+    // Detach in-flight pumps: they exit when either endpoint closes.
+    // Joining here would deadlock — a pump blocks reading a socket whose
+    // peer only closes once the pump's own side goes away.
+    drop(pumps);
+}
+
+/// Two pump threads per connection, one per direction. The client→server
+/// pump owns the disconnect budget: real crashes lose *sent* bytes.
+fn spawn_pumps(
+    client: TcpStream,
+    server: TcpStream,
+    faults: LinkFaults,
+    cut_after: Option<u64>,
+) -> io::Result<[std::thread::JoinHandle<()>; 2]> {
+    let c2s = {
+        let reader = client.try_clone()?;
+        let writer = server.try_clone()?;
+        std::thread::Builder::new()
+            .name("paramount-linkchaos-c2s".to_string())
+            .spawn(move || pump(reader, writer, faults, cut_after))?
+    };
+    let s2c = {
+        std::thread::Builder::new()
+            .name("paramount-linkchaos-s2c".to_string())
+            .spawn(move || pump(server, client, faults, None))?
+    };
+    Ok([c2s, s2c])
+}
+
+/// Copies `reader` to `writer` under the fault plan until EOF, an I/O
+/// error, or the cut budget runs out — then severs both directions so
+/// the peers see a hard disconnect, not a half-closed socket. (The
+/// paired pump for the opposite direction holds handles to the same
+/// two sockets; severing here unblocks it too.)
+fn pump(mut reader: TcpStream, mut writer: TcpStream, faults: LinkFaults, cut_after: Option<u64>) {
+    let mut forwarded: u64 = 0;
+    let mut buf = [0u8; 8 * 1024];
+    'copy: loop {
+        let n = match reader.read(&mut buf) {
+            Ok(0) => break 'copy,
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break 'copy,
+        };
+        let mut offset = 0;
+        while offset < n {
+            let mut take = n - offset;
+            if faults.chunk_bytes != 0 {
+                take = take.min(faults.chunk_bytes);
+            }
+            if let Some(budget) = cut_after {
+                let left = budget.saturating_sub(forwarded);
+                if left == 0 {
+                    sever(&reader, &writer);
+                    return;
+                }
+                take = take.min(left.min(usize::MAX as u64) as usize);
+            }
+            if !faults.delay_per_chunk.is_zero() {
+                std::thread::sleep(faults.delay_per_chunk);
+            }
+            if writer.write_all(&buf[offset..offset + take]).is_err() || writer.flush().is_err() {
+                break 'copy;
+            }
+            forwarded += take as u64;
+            offset += take;
+        }
+    }
+    sever(&reader, &writer);
+}
+
+/// Hard-closes both sockets in both directions.
+fn sever(a: &TcpStream, b: &TcpStream) {
+    let _ = a.shutdown(Shutdown::Both);
+    let _ = b.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_schedule_is_deterministic_and_periodic() {
+        let faults = LinkFaults {
+            seed: 42,
+            disconnect_every: Some(3),
+            ..LinkFaults::default()
+        };
+        assert_eq!(faults.cut_after(0), None);
+        assert_eq!(faults.cut_after(1), None);
+        let first = faults.cut_after(2).expect("third connection is cut");
+        assert_eq!(faults.cut_after(2), Some(first), "same seed, same budget");
+        assert!(faults.cut_after(5).is_some());
+        assert!((64..64 + 4096).contains(&first));
+        let other = LinkFaults { seed: 43, ..faults };
+        assert_ne!(other.cut_after(2), Some(first), "seed moves the cut point");
+    }
+
+    #[test]
+    fn transparent_plan_reports_itself() {
+        assert!(LinkFaults::default().is_transparent());
+        assert!(!LinkFaults {
+            chunk_bytes: 3,
+            ..LinkFaults::default()
+        }
+        .is_transparent());
+    }
+
+    #[test]
+    fn proxy_forwards_and_fragments_an_echo() {
+        // Byte-echo upstream.
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (mut s, _) = upstream.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if s.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+        let faults = LinkFaults {
+            seed: 7,
+            chunk_bytes: 2,
+            delay_per_chunk: Duration::from_micros(100),
+            ..LinkFaults::default()
+        };
+        let proxy = ChaosProxy::spawn(upstream_addr, faults).unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        client.write_all(b"hello fleet\n").unwrap();
+        let mut got = Vec::new();
+        let mut buf = [0u8; 64];
+        while got.len() < 12 {
+            let n = client.read(&mut buf).unwrap();
+            assert!(n > 0, "echo closed early");
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(&got, b"hello fleet\n");
+        assert_eq!(proxy.connections(), 1);
+        drop(client);
+        proxy.stop();
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn injected_disconnect_cuts_the_first_scheduled_connection() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap();
+        // Sink upstream: accept and read to EOF, never reply.
+        let sink = std::thread::spawn(move || {
+            while let Ok((mut s, _)) = upstream.accept() {
+                let mut buf = [0u8; 4096];
+                while matches!(s.read(&mut buf), Ok(n) if n > 0) {}
+            }
+        });
+        let faults = LinkFaults {
+            seed: 11,
+            disconnect_every: Some(1),
+            ..LinkFaults::default()
+        };
+        let budget = faults.cut_after(0).unwrap();
+        let proxy = ChaosProxy::spawn(upstream_addr, faults).unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        // Push well past the cut budget; the proxy must sever the link.
+        let payload = vec![b'x'; (budget as usize) * 4 + 4096];
+        let write_result = client.write_all(&payload).and_then(|_| {
+            // The write side may succeed into OS buffers; the read side
+            // observing EOF/reset is the reliable disconnect signal.
+            let mut buf = [0u8; 16];
+            client.read(&mut buf)
+        });
+        match write_result {
+            Ok(0) => {} // clean EOF after the cut
+            Ok(_) => panic!("sink upstream never replies"),
+            Err(_) => {} // ECONNRESET / EPIPE — also a cut
+        }
+        proxy.stop();
+        drop(sink); // sink thread exits when the listener errors on teardown
+    }
+}

@@ -40,7 +40,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use paramount::{FaultPlan, IngestMetrics};
+use paramount::{
+    EventId, FaultLog, FaultPlan, Frontier, IngestMetrics, Interval, QuarantinedInterval, Tid,
+};
 use paramount_durable::{FsyncPolicy, Record, Wal, WalConfig};
 
 use crate::proto::{parse_client_line, ClientFrame, Hello, WireOp};
@@ -94,6 +96,12 @@ pub struct RecoveredState {
     /// Quarantine tally recorded by the last checkpoint (diagnostic;
     /// replay regenerates the live value).
     pub quarantined: u64,
+    /// The quarantine ledger as of the last checkpoint: exact
+    /// `[Gmin, Gbnd]` bounds of every interval the session's engine gave
+    /// up on before the crash. Replay cannot regenerate these (the
+    /// recovered engine retries the work and usually succeeds), so the
+    /// checkpoint is their only home across a restart.
+    pub quarantine: Vec<QuarantinedInterval>,
     /// The store, positioned to append event `events.len() + 1`.
     pub store: SessionStore,
 }
@@ -198,6 +206,7 @@ impl SessionStore {
         let mut meta: Option<(u64, Hello)> = None;
         let mut events: Vec<(usize, WireOp)> = Vec::new();
         let mut quarantined = 0u64;
+        let mut quarantine: Vec<QuarantinedInterval> = Vec::new();
         let mut since_checkpoint = 0u64;
         for record in &records {
             match record.kind {
@@ -209,11 +218,12 @@ impl SessionStore {
                     }
                 }
                 CHECKPOINT_KIND => {
-                    if let Some((ckpt_meta, acked, q, prefix)) = decode_checkpoint(record) {
-                        debug_assert_eq!(acked, prefix.len() as u64);
-                        meta = Some(ckpt_meta);
-                        events = prefix;
-                        quarantined = q;
+                    if let Some(ckpt) = decode_checkpoint(record) {
+                        debug_assert_eq!(ckpt.acked, ckpt.events.len() as u64);
+                        meta = Some(ckpt.meta);
+                        events = ckpt.events;
+                        quarantined = ckpt.quarantined;
+                        quarantine = ckpt.quarantine;
                         since_checkpoint = 0;
                     }
                 }
@@ -241,6 +251,7 @@ impl SessionStore {
             hello,
             events,
             quarantined,
+            quarantine,
             store,
         }))
     }
@@ -282,10 +293,12 @@ impl SessionStore {
     }
 
     /// Folds the log: one `CHECKPOINT` record carrying the full accepted
-    /// prefix supersedes — and deletes — every earlier segment. Returns
-    /// the number of segments removed.
-    pub fn checkpoint(&mut self, quarantined: u64) -> io::Result<usize> {
-        let payload = encode_checkpoint(self.id, &self.hello, &self.events, quarantined);
+    /// prefix supersedes — and deletes — every earlier segment. The
+    /// quarantine ledger rides along so a recovered session reports the
+    /// exact `[Gmin, Gbnd]` bounds of pre-crash quarantines, not just
+    /// their tally. Returns the number of segments removed.
+    pub fn checkpoint(&mut self, quarantined: u64, ledger: &FaultLog) -> io::Result<usize> {
+        let payload = encode_checkpoint(self.id, &self.hello, &self.events, quarantined, ledger);
         self.checkpoints += 1;
         #[cfg(feature = "chaos")]
         if self.cfg.faults.checkpoint_panic_at == Some(self.checkpoints) {
@@ -366,17 +379,22 @@ fn decode_event_line(line: Option<&str>) -> Option<(usize, WireOp)> {
 
 /// `CHECKPOINT` payload: the `META` line (compaction deletes the segment
 /// holding the original, so every checkpoint re-embeds identity), an
-/// `acked=<n> quarantined=<q>` header line, then one `EVENT` line per
-/// accepted event.
+/// `acked=<n> quarantined=<q>` header line, one `QUAR` line per entry in
+/// the quarantine ledger, then one `EVENT` line per accepted event.
 fn encode_checkpoint(
     id: u64,
     hello: &Hello,
     events: &[(usize, WireOp)],
     quarantined: u64,
+    ledger: &FaultLog,
 ) -> Vec<u8> {
     let mut out = format!("{id} {}", hello.encode());
     out.push('\n');
     out.push_str(&format!("acked={} quarantined={quarantined}", events.len()));
+    for entry in &ledger.quarantined {
+        out.push('\n');
+        out.push_str(&encode_quarantine_line(entry));
+    }
     for (tid, op) in events {
         out.push('\n');
         out.push_str(&format!("EVENT {tid} {}", op.render()));
@@ -384,8 +402,16 @@ fn encode_checkpoint(
     out.into_bytes()
 }
 
-#[allow(clippy::type_complexity)]
-fn decode_checkpoint(record: &Record) -> Option<((u64, Hello), u64, u64, Vec<(usize, WireOp)>)> {
+/// Everything [`decode_checkpoint`] reads back out of one record.
+struct Checkpoint {
+    meta: (u64, Hello),
+    acked: u64,
+    quarantined: u64,
+    quarantine: Vec<QuarantinedInterval>,
+    events: Vec<(usize, WireOp)>,
+}
+
+fn decode_checkpoint(record: &Record) -> Option<Checkpoint> {
     let text = std::str::from_utf8(&record.payload).ok()?;
     let mut lines = text.lines();
     let meta_line = lines.next()?;
@@ -405,10 +431,94 @@ fn decode_checkpoint(record: &Record) -> Option<((u64, Hello), u64, u64, Vec<(us
             quarantined = v.parse::<u64>().ok()?;
         }
     }
-    let events: Vec<(usize, WireOp)> = lines
-        .map(|line| decode_event_line(Some(line)))
-        .collect::<Option<Vec<_>>>()?;
-    Some(((id, hello), acked?, quarantined, events))
+    let mut quarantine = Vec::new();
+    let mut events = Vec::new();
+    for line in lines {
+        if line.starts_with("QUAR ") {
+            quarantine.push(decode_quarantine_line(line)?);
+        } else {
+            events.push(decode_event_line(Some(line))?);
+        }
+    }
+    Some(Checkpoint {
+        meta: (id, hello),
+        acked: acked?,
+        quarantined,
+        quarantine,
+        events,
+    })
+}
+
+/// `QUAR <tid> <index> <empty> <cuts_emitted> <attempts> <gmin> <gbnd>
+/// <message...>` — frontiers as comma-joined per-thread counts, message
+/// as the (newline-sanitized) rest of the line.
+fn encode_quarantine_line(q: &QuarantinedInterval) -> String {
+    let message: String = q
+        .message
+        .chars()
+        .map(|c| if c.is_control() { ' ' } else { c })
+        .collect();
+    format!(
+        "QUAR {} {} {} {} {} {} {} {message}",
+        q.interval.event.tid.0,
+        q.interval.event.index,
+        u8::from(q.interval.include_empty),
+        q.cuts_emitted,
+        q.attempts,
+        encode_counts(q.interval.gmin.as_slice()),
+        encode_counts(q.interval.gbnd.as_slice()),
+    )
+}
+
+fn decode_quarantine_line(line: &str) -> Option<QuarantinedInterval> {
+    let rest = line.strip_prefix("QUAR ")?;
+    let mut parts = rest.splitn(8, ' ');
+    let tid = parts.next()?.parse::<u32>().ok()?;
+    let index = parts.next()?.parse::<u32>().ok()?;
+    let include_empty = match parts.next()? {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    let cuts_emitted = parts.next()?.parse::<u64>().ok()?;
+    let attempts = parts.next()?.parse::<u32>().ok()?;
+    let gmin = decode_counts(parts.next()?)?;
+    let gbnd = decode_counts(parts.next()?)?;
+    let message = parts.next().unwrap_or("").to_string();
+    Some(QuarantinedInterval {
+        interval: Interval {
+            event: EventId {
+                tid: Tid(tid),
+                index,
+            },
+            gmin: Frontier::from_counts(gmin),
+            gbnd: Frontier::from_counts(gbnd),
+            include_empty,
+        },
+        cuts_emitted,
+        attempts,
+        message,
+    })
+}
+
+/// Per-thread counts as `c0,c1,...`; `-` for the (degenerate) empty
+/// frontier so the token never vanishes from the line.
+fn encode_counts(counts: &[u32]) -> String {
+    if counts.is_empty() {
+        return "-".to_string();
+    }
+    counts
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn decode_counts(text: &str) -> Option<Vec<u32>> {
+    if text == "-" {
+        return Some(Vec::new());
+    }
+    text.split(',').map(|c| c.parse::<u32>().ok()).collect()
 }
 
 #[cfg(test)]
@@ -479,7 +589,7 @@ mod tests {
         for (tid, op) in &trace {
             store.append_event(*tid, op).unwrap();
             if store.should_checkpoint() {
-                store.checkpoint(3).unwrap();
+                store.checkpoint(3, &FaultLog::default()).unwrap();
             }
         }
         // 10 events at checkpoint_every=4 → checkpoints at 4 and 8; the
@@ -495,6 +605,66 @@ mod tests {
             "checkpoint prefix + WAL tail replay exactly"
         );
         assert_eq!(rec.quarantined, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_round_trips_quarantine_ledger_bounds() {
+        let dir = scratch_dir("quar");
+        let ledger = FaultLog {
+            quarantined: vec![
+                QuarantinedInterval {
+                    interval: Interval {
+                        event: EventId {
+                            tid: Tid(1),
+                            index: 3,
+                        },
+                        gmin: Frontier::from_counts(vec![2, 3]),
+                        gbnd: Frontier::from_counts(vec![5, 4]),
+                        include_empty: false,
+                    },
+                    cuts_emitted: 11,
+                    attempts: 2,
+                    message: "worker panic:\nboom at depth 4".to_string(),
+                },
+                QuarantinedInterval {
+                    interval: Interval {
+                        event: EventId {
+                            tid: Tid(0),
+                            index: 1,
+                        },
+                        gmin: Frontier::from_counts(vec![1, 0]),
+                        gbnd: Frontier::from_counts(vec![1, 2]),
+                        include_empty: true,
+                    },
+                    cuts_emitted: 0,
+                    attempts: 1,
+                    message: String::new(),
+                },
+            ],
+        };
+        let trace = ops(5);
+        let mut store =
+            SessionStore::create(&dir, 9, &Hello::new(2), StoreConfig::default()).unwrap();
+        for (tid, op) in &trace {
+            store.append_event(*tid, op).unwrap();
+        }
+        store.checkpoint(2, &ledger).unwrap();
+        drop(store);
+
+        let rec = SessionStore::recover(&dir, StoreConfig::default())
+            .unwrap()
+            .expect("store exists");
+        assert_eq!(rec.events, trace);
+        assert_eq!(rec.quarantined, 2);
+        assert_eq!(rec.quarantine.len(), 2);
+        let q = &rec.quarantine[0];
+        assert_eq!(q.interval, ledger.quarantined[0].interval);
+        assert_eq!(q.cuts_emitted, 11);
+        assert_eq!(q.attempts, 2);
+        // Newlines are sanitized to spaces to keep the record line-oriented.
+        assert_eq!(q.message, "worker panic: boom at depth 4");
+        assert_eq!(rec.quarantine[1], ledger.quarantined[1]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -535,7 +705,7 @@ mod tests {
         };
         let mut store = SessionStore::create(&dir, 1, &Hello::new(2), cfg).unwrap();
         assert_eq!(metrics.wal_segments.get(), 1);
-        store.checkpoint(0).unwrap();
+        store.checkpoint(0, &FaultLog::default()).unwrap();
         assert_eq!(metrics.checkpoint_writes.sum(), 1);
         drop(store);
         assert_eq!(metrics.wal_segments.get(), 0, "drop releases the gauge");

@@ -28,6 +28,8 @@
 //! SHUTDOWN                        # admin (pre-HELLO): drain the daemon
 //! RESUME paramount/1 session=<id> # durable daemons: reattach to a
 //!                                 # persisted session instead of HELLO
+//! ROUTE paramount/1 [session=<id>]# fleet routers: which shard should
+//!                                 # this (new or resuming) session use?
 //! ```
 //!
 //! Server → client:
@@ -270,6 +272,16 @@ pub enum ClientFrame {
         /// The session id a previous `HELLO`/`RESUME` handed out.
         session: u64,
     },
+    /// Fleet routers only: ask which shard should serve a session. With
+    /// no `session=`, the router picks a shard for a *new* session
+    /// (consistent hashing, steered by fleet-wide pressure) and answers
+    /// `OK shard=<k> addr=<addr>`. With `session=<id>`, the router
+    /// resolves where that durable session lives *now* — its home shard,
+    /// or the survivor it was migrated to after a failover.
+    Route {
+        /// The session to locate, or `None` to place a new one.
+        session: Option<u64>,
+    },
 }
 
 impl ClientFrame {
@@ -285,6 +297,10 @@ impl ClientFrame {
             ClientFrame::Resume { session } => {
                 format!("RESUME {PROTOCOL_VERSION} session={session}")
             }
+            ClientFrame::Route { session } => match session {
+                Some(id) => format!("ROUTE {PROTOCOL_VERSION} session={id}"),
+                None => format!("ROUTE {PROTOCOL_VERSION}"),
+            },
         }
     }
 }
@@ -302,6 +318,7 @@ pub fn parse_client_line(line: &str) -> Result<ClientFrame, DecodeError> {
         "END" => expect_bare(parts, ClientFrame::End),
         "SHUTDOWN" => expect_bare(parts, ClientFrame::Shutdown),
         "RESUME" => parse_resume(parts),
+        "ROUTE" => parse_route(parts),
         other => Err(proto(format!("unknown frame `{other}`"))),
     }
 }
@@ -339,6 +356,40 @@ fn parse_resume<'a>(parts: impl Iterator<Item = &'a str>) -> Result<ClientFrame,
     }
     let session = session.ok_or_else(|| proto("RESUME missing session="))?;
     Ok(ClientFrame::Resume { session })
+}
+
+fn parse_route<'a>(parts: impl Iterator<Item = &'a str>) -> Result<ClientFrame, DecodeError> {
+    let mut version_seen = false;
+    let mut session: Option<u64> = None;
+    for token in parts {
+        if !version_seen {
+            if token != PROTOCOL_VERSION {
+                return Err(DecodeError::new(
+                    ErrCode::Version,
+                    format!("unsupported protocol `{token}` (want {PROTOCOL_VERSION})"),
+                ));
+            }
+            version_seen = true;
+            continue;
+        }
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| proto(format!("expected key=value, got `{token}`")))?;
+        match key {
+            "session" => {
+                session = Some(
+                    value
+                        .parse()
+                        .map_err(|_| proto(format!("invalid session `{value}`")))?,
+                );
+            }
+            other => return Err(proto(format!("unknown ROUTE key `{other}`"))),
+        }
+    }
+    if !version_seen {
+        return Err(proto("ROUTE missing protocol version"));
+    }
+    Ok(ClientFrame::Route { session })
 }
 
 fn expect_bare<'a>(
@@ -691,6 +742,30 @@ mod tests {
             ("RESUME paramount/1", ErrCode::Proto),
             ("RESUME paramount/1 session=many", ErrCode::Proto),
             ("RESUME paramount/1 label=x", ErrCode::Proto),
+        ] {
+            assert_eq!(parse_client_line(line).unwrap_err().code, code, "{line}");
+        }
+    }
+
+    #[test]
+    fn route_round_trip_and_rejects() {
+        for frame in [
+            ClientFrame::Route { session: None },
+            ClientFrame::Route { session: Some(81) },
+        ] {
+            let line = frame.encode();
+            assert_eq!(parse_client_line(&line).unwrap(), frame, "{line}");
+        }
+        assert_eq!(
+            ClientFrame::Route { session: None }.encode(),
+            "ROUTE paramount/1"
+        );
+        for (line, code) in [
+            ("ROUTE", ErrCode::Proto),
+            ("ROUTE session=8", ErrCode::Version),
+            ("ROUTE paramount/2", ErrCode::Version),
+            ("ROUTE paramount/1 session=many", ErrCode::Proto),
+            ("ROUTE paramount/1 label=x", ErrCode::Proto),
         ] {
             assert_eq!(parse_client_line(line).unwrap_err().code, code, "{line}");
         }

@@ -72,6 +72,12 @@ pub struct ServerConfig {
     /// Durable sessions only: when WAL appends reach stable storage.
     /// `OnDemand` (the default) forces on `FLUSH` and checkpoints.
     pub fsync: FsyncPolicy,
+    /// Lowest session id this daemon hands out (ids still grow past
+    /// recovered sessions). Fleet shards are started with
+    /// [`first_session_id(k)`](crate::fleet::first_session_id) so every
+    /// id encodes its home shard in the high 32 bits; the default of 1
+    /// matches a standalone daemon.
+    pub first_session_id: u64,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +90,7 @@ impl Default for ServerConfig {
             data_dir: None,
             checkpoint_every_events: 4096,
             fsync: FsyncPolicy::OnDemand,
+            first_session_id: 1,
         }
     }
 }
@@ -279,7 +286,7 @@ impl Server {
     /// out — strictly above every persisted id, so a resumed client
     /// never collides with a new one.
     fn recover_persisted(&self, parked: &Arc<Mutex<HashMap<u64, Session>>>) -> u64 {
-        let mut first_free = 1u64;
+        let mut first_free = self.config.first_session_id.max(1);
         let Some(root) = self.config.data_dir.clone() else {
             return first_free;
         };
@@ -288,7 +295,13 @@ impl Server {
             Err(_) => return first_free, // unreadable root: serve memory-only
         };
         for id in ids {
-            first_free = first_free.max(id + 1);
+            // Only ids from this daemon's own space advance the counter:
+            // a fleet shard may recover sessions migrated in from a dead
+            // peer (foreign high bits), and chasing those would make new
+            // ids here encode the wrong home shard.
+            if id >> 32 == first_free >> 32 {
+                first_free = first_free.max(id + 1);
+            }
             let dir = session_dir(&root, id);
             let store_cfg = durable_store_config(&self.config, &self.metrics);
             let rec = match SessionStore::recover(&dir, store_cfg) {
@@ -449,15 +462,16 @@ fn durable_store_config(config: &ServerConfig, metrics: &Arc<IngestMetrics>) -> 
 /// Reads `\n`-terminated lines off a timeout-ticking stream. BufReader's
 /// `read_line` cannot be used here: a timeout mid-line would drop the
 /// partial buffer. This reader keeps partial data across ticks and
-/// enforces [`MAX_LINE_BYTES`].
-struct LineReader {
+/// enforces [`MAX_LINE_BYTES`]. Shared with the fleet router, which
+/// speaks the same line protocol over bare TCP streams.
+pub(crate) struct LineReader {
     buf: Vec<u8>,
     /// Parse cursor: bytes before this offset were already returned.
     pos: usize,
 }
 
 /// One read-tick outcome.
-enum Tick {
+pub(crate) enum Tick {
     /// A full line (without the terminator).
     Line(String),
     /// Timeout expired with no complete line — chance to check flags.
@@ -472,14 +486,14 @@ enum Tick {
 }
 
 impl LineReader {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         LineReader {
             buf: Vec::new(),
             pos: 0,
         }
     }
 
-    fn next(&mut self, stream: &mut Stream) -> Tick {
+    pub(crate) fn next(&mut self, stream: &mut impl Read) -> Tick {
         loop {
             if let Some(rel) = self.buf[self.pos..].iter().position(|&b| b == b'\n') {
                 let end = self.pos + rel;
@@ -555,11 +569,11 @@ fn serve_connection<F: Fn(&SessionReport) + Send + Sync>(mut stream: Stream, ctx
     // Durable-store disposition: a clean END leaves nothing to resume, so
     // the log is deleted. Every other exit — disconnect, limit, timeout,
     // shutdown, fault — keeps it on disk for `RESUME` or the next boot.
-    if clean {
-        if let Some(store) = session.take_store() {
-            let _ = store.delete();
-        }
-    }
+    // The store is taken now (finalize consumes the session) but deleted
+    // only *after* the engine drains: the drain may still thaw intervals
+    // frozen on the cold spill tier, and those batches live inside the
+    // store's directory.
+    let spent_store = if clean { session.take_store() } else { None };
     // Finalize under its own unwind boundary: the accounting below must
     // run even if engine teardown itself faults.
     let report =
@@ -567,6 +581,9 @@ fn serve_connection<F: Fn(&SessionReport) + Send + Sync>(mut stream: Stream, ctx
             faulted = true;
             SessionReport::failed(id, label, panic_message(payload.as_ref()))
         });
+    if let Some(store) = spent_store {
+        let _ = store.delete();
+    }
     if faulted {
         ctx.metrics.sessions_faulted.add(1);
     } else if clean {
@@ -914,6 +931,17 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
             let out = reply(stream, &ServerFrame::Ok(Vec::new()));
             ctx.stop.store(true, Ordering::Relaxed);
             out
+        }
+        // Shard daemons do not route; the fleet router answers this frame.
+        ClientFrame::Route { .. } => {
+            ctx.metrics.decode_errors.add(1);
+            reply(
+                stream,
+                &ServerFrame::Err(DecodeError::new(
+                    ErrCode::State,
+                    "ROUTE is answered by a fleet router, not a shard daemon",
+                )),
+            )
         }
         ClientFrame::Resume { session: want } => {
             if session.is_some() {

@@ -25,7 +25,10 @@
 
 use crate::persist::{RecoveredState, SessionStore};
 use crate::proto::{DecodeError, EndReason, ErrCode, Hello, WireOp, WireReport};
-use paramount::{MemoryBudget, MetricsSnapshot, OnlineEngine, OnlineEngineConfig, OnlinePoset};
+use paramount::{
+    BackpressurePolicy, FaultLog, MemoryBudget, MetricsSnapshot, OnlineEngine, OnlineEngineConfig,
+    OnlinePoset,
+};
 use paramount_poset::Tid;
 use paramount_trace::{LockId, Recorder, RecorderConfig, TraceEvent, VarId};
 use std::collections::HashMap;
@@ -105,6 +108,12 @@ pub struct SessionReport {
     pub error: Option<String>,
     /// Full engine metrics for the session.
     pub metrics: MetricsSnapshot,
+    /// The quarantine ledger: exact `[Gmin, Gbnd]` bounds of every
+    /// interval given up on. For a recovered session this also carries
+    /// the pre-crash incarnation's entries (restored from the last
+    /// checkpoint) — those are historical: replay re-enumerated their
+    /// intervals, so `complete` reflects only the current engine.
+    pub faults: FaultLog,
 }
 
 impl SessionReport {
@@ -132,6 +141,7 @@ impl SessionReport {
             complete: false,
             error: Some(message),
             metrics: MetricsSnapshot::default(),
+            faults: FaultLog::default(),
         }
     }
 }
@@ -177,6 +187,14 @@ pub struct Session {
     /// event is appended before `apply` returns, so the persisted prefix
     /// never trails what the client was told was accepted.
     store: Option<SessionStore>,
+    /// Quarantine ledger inherited from a pre-crash incarnation (restored
+    /// from the last checkpoint). Merged ahead of the live engine's log
+    /// in checkpoints and the final report; empty for fresh sessions.
+    recovered_faults: FaultLog,
+    /// Quarantine tally inherited alongside `recovered_faults` (kept
+    /// separately: stores written before the ledger was persisted carry a
+    /// tally but no entries).
+    recovered_quarantined: u64,
 }
 
 impl Session {
@@ -248,6 +266,8 @@ impl Session {
             joined: vec![false; hello.threads],
             wire_events: 0,
             store: None,
+            recovered_faults: FaultLog::default(),
+            recovered_quarantined: 0,
         })
     }
 
@@ -284,12 +304,28 @@ impl Session {
     /// persisted `HELLO`, replays the accepted prefix through the normal
     /// `apply` path (the engine re-enumerates deterministically — see
     /// [`crate::persist`]), then re-attaches the store for new appends.
+    ///
+    /// Replay routes through the cold disk tier when the config has a
+    /// spill directory: a resumed prefix arrives as fast as disk reads
+    /// allow (no pacing client on the other end), so a blocking replay
+    /// would hold the whole backlog in RAM on a freshly restarted
+    /// daemon. Spilling instead bounds replay memory by the governor's
+    /// `disk_spill_bytes` — the same budget a live overloaded session
+    /// gets.
     pub fn recover(
         rec: RecoveredState,
         config: &SessionConfig,
         budget: Arc<MemoryBudget>,
     ) -> Result<Self, DecodeError> {
-        let mut session = Session::open_with_budget(rec.id, &rec.hello, config, budget)?;
+        let mut config = config.clone();
+        if config.engine.spill_dir.is_some() {
+            config.engine.backpressure = BackpressurePolicy::SpillToDeque;
+        }
+        let mut session = Session::open_with_budget(rec.id, &rec.hello, &config, budget)?;
+        session.recovered_faults = FaultLog {
+            quarantined: rec.quarantine,
+        };
+        session.recovered_quarantined = rec.quarantined;
         for (tid, op) in &rec.events {
             // The prefix was validated when first accepted; a replay
             // rejection means the store was tampered with or the limits
@@ -425,8 +461,17 @@ impl Session {
         if let Some(store) = self.store.as_mut() {
             store.append_event(tid, op).map_err(store_err)?;
             if store.should_checkpoint() {
-                let quarantined = self.engine.metrics().intervals_quarantined;
-                store.checkpoint(quarantined).map_err(store_err)?;
+                // The checkpoint carries the full ledger — entries
+                // inherited from a pre-crash incarnation ahead of the
+                // live engine's — so quarantine bounds survive any number
+                // of restarts, not just the tally.
+                let quarantined =
+                    self.recovered_quarantined + self.engine.metrics().intervals_quarantined;
+                let mut ledger = self.recovered_faults.clone();
+                ledger
+                    .quarantined
+                    .extend(self.engine.fault_log().quarantined);
+                store.checkpoint(quarantined, &ledger).map_err(store_err)?;
             }
         }
         Ok(())
@@ -458,18 +503,24 @@ impl Session {
         // (the last insertions), then returns it; dropping it leaves
         // `self.engine` as the only handle.
         drop(self.recorder.finish());
+        // The report's ledger leads with pre-crash quarantines (historic,
+        // re-enumerated by replay) followed by the live engine's.
+        let mut faults = self.recovered_faults;
         match Arc::try_unwrap(self.engine) {
             Ok(engine) => {
                 let report = engine.finish();
+                let complete = report.is_complete();
+                faults.quarantined.extend(report.faults.quarantined);
                 SessionReport {
                     id: self.id,
                     label: self.label,
                     reason,
                     events: report.events,
                     cuts: report.cuts,
-                    complete: report.is_complete(),
+                    complete,
                     error: report.error.as_ref().map(|e| e.to_string()),
                     metrics: report.metrics,
+                    faults,
                 }
             }
             // A leaked engine handle (a recorder that did not drop its
@@ -478,6 +529,7 @@ impl Session {
             // — the prefix counts are real, the drain just never ran.
             Err(shared) => {
                 let metrics = shared.metrics();
+                faults.quarantined.extend(shared.fault_log().quarantined);
                 SessionReport {
                     id: self.id,
                     label: self.label,
@@ -490,6 +542,7 @@ impl Session {
                             .to_string(),
                     ),
                     metrics,
+                    faults,
                 }
             }
         }

@@ -247,6 +247,169 @@ fn resume_of_unknown_session_falls_back_to_hello() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Recovery replay routes through the cold disk tier: a restarted
+/// daemon whose memory watermarks sit far below the resumed prefix must
+/// spill the backlog to disk during boot replay (not hold it all in
+/// RAM) and still finish the session with the control's exact counts.
+/// Chaos-gated: the seeded `worker_delay_us` fault stalls the pool so
+/// the replay backlog deterministically outruns the drain (a fast
+/// machine would otherwise keep the one-slot queue empty and never
+/// exercise the spill path).
+#[cfg(feature = "chaos")]
+#[test]
+fn recovery_replay_spills_to_the_cold_disk_tier() {
+    let root = temp_root("replay-spill");
+    // A big backlog of *poset* events: the recorder merges consecutive
+    // same-thread accesses into one segment, so plain write runs
+    // collapse to a single event per thread. Bracketing every write
+    // with a per-thread lock closes the segment each iteration — two
+    // threads on distinct locks stay pairwise concurrent, and 50
+    // iterations × 3 ops × 2 threads yields hundreds of poset events
+    // (and a large cut grid) for replay to re-enumerate.
+    let mut big: Vec<(usize, WireOp)> = Vec::new();
+    for _ in 0..50 {
+        for t in 0..2usize {
+            let (lock, var) = if t == 0 { ("l0", "x") } else { ("l1", "y") };
+            big.push((t, WireOp::Acquire(lock.into())));
+            big.push((t, WireOp::Write(var.into())));
+            big.push((t, WireOp::Release(lock.into())));
+        }
+    }
+
+    // Daemon #1: generous config takes the whole stream, then drains
+    // with the session open (store kept).
+    let (addr, handle, rx, daemon) = spawn_daemon(durable_config(&root));
+    let expected = {
+        let mut client = Client::connect_tcp(addr).expect("connect control");
+        client.hello(&Hello::new(2)).expect("hello");
+        send_range(&mut client, &big);
+        client.finish().expect("finish control")
+    };
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let session = client.hello(&Hello::new(2)).expect("hello");
+    send_range(&mut client, &big);
+    client.flush_sync().expect("flush");
+    handle.shutdown();
+    loop {
+        let report = rx.recv_timeout(Duration::from_secs(10)).expect("report");
+        if report.reason == EndReason::Shutdown {
+            break;
+        }
+    }
+    daemon.join().expect("daemon #1");
+    drop(client);
+
+    // Daemon #2: watermarks of a few KiB — far below the backlog — but
+    // an ample disk tier. Boot replay must spill instead of ballooning.
+    // A one-slot dispatch queue plus a per-interval worker stall makes
+    // the backlog deterministic: replay inserts events as fast as the
+    // WAL decodes while the single worker crawls, so overflow intervals
+    // land in the spill deque, cross the soft watermark, and freeze to
+    // disk.
+    let mut tight = durable_config(&root);
+    tight.governor.soft_spill_bytes = Some(2048);
+    tight.governor.hard_spill_bytes = Some(4096);
+    tight.governor.disk_spill_bytes = Some(64 * 1024 * 1024);
+    tight.session.engine.workers = 1;
+    tight.session.engine.queue_capacity = 1;
+    tight.session.engine.faults.worker_delay_us = Some(500);
+    let (addr, handle, rx, daemon) = spawn_daemon(tight);
+    let mut client = Client::connect_tcp(addr).expect("reconnect");
+    let acked = client.resume(session).expect("resume under tight budget");
+    assert_eq!(acked, big.len() as u64);
+    let report = client.finish().expect("finish resumed");
+    assert!(report.complete, "spilled replay must stay exact");
+    assert_eq!(report.events, expected.events);
+    assert_eq!(report.cuts, expected.cuts, "spilled replay cuts == control");
+    let finalized = loop {
+        let report = rx.recv_timeout(Duration::from_secs(10)).expect("report");
+        if report.reason == EndReason::End {
+            break report;
+        }
+    };
+    assert!(
+        finalized.metrics.disk_spill_batches >= 1,
+        "a {}-event replay against a 4 KiB hard watermark must hit disk \
+         (got {} disk batches)",
+        big.len(),
+        finalized.metrics.disk_spill_batches
+    );
+
+    handle.shutdown();
+    daemon.join().expect("daemon #2");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The quarantine ledger's exact `[Gmin, Gbnd]` bounds survive a daemon
+/// restart: checkpointed QUAR lines are restored into the recovered
+/// session and lead its final report's ledger, while replay itself
+/// re-enumerates those intervals (so the resumed run is complete).
+#[cfg(feature = "chaos")]
+#[test]
+fn quarantine_bounds_survive_restart_and_resume() {
+    let root = temp_root("quarantine-bounds");
+    let all = ops();
+
+    // Daemon #1: every 3rd interval dispatch fails by injection, so the
+    // stream quarantines intervals with exact bounds; checkpoint every
+    // event so the ledger is persisted as it grows.
+    let mut faulty = durable_config(&root);
+    faulty.checkpoint_every_events = 1;
+    faulty.session.engine.faults.send_fail_every = Some(3);
+    let (addr, handle, rx, daemon) = spawn_daemon(faulty);
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let session = client.hello(&Hello::new(2)).expect("hello");
+    send_range(&mut client, &all);
+    client.flush_sync().expect("flush");
+    drop(client);
+    let dropped = loop {
+        let report = rx.recv_timeout(Duration::from_secs(10)).expect("report");
+        if report.reason == EndReason::Disconnect {
+            break report;
+        }
+    };
+    assert!(
+        !dropped.faults.is_empty(),
+        "the injection must have quarantined intervals"
+    );
+    handle.shutdown();
+    daemon.join().expect("daemon #1");
+
+    // Daemon #2, clean config: recovery restores the checkpointed
+    // ledger; RESUME + END must report those historical bounds exactly.
+    let (addr, handle, rx, daemon) = spawn_daemon(durable_config(&root));
+    let mut client = Client::connect_tcp(addr).expect("reconnect");
+    let acked = client.resume(session).expect("resume across restart");
+    assert_eq!(acked, all.len() as u64);
+    let report = client.finish().expect("finish resumed");
+    assert_eq!(report.reason, EndReason::End);
+    assert!(
+        report.complete,
+        "replay re-enumerates quarantined intervals; the ledger is history"
+    );
+    // The wire report does not carry the ledger; read it off the
+    // daemon's final session report.
+    let finalized = loop {
+        let report = rx.recv_timeout(Duration::from_secs(10)).expect("report");
+        if report.reason == EndReason::End {
+            break report;
+        }
+    };
+    assert!(
+        !finalized.faults.is_empty(),
+        "checkpointed quarantine bounds must survive the restart"
+    );
+    for entry in &finalized.faults.quarantined {
+        assert!(
+            dropped.faults.quarantined.contains(entry),
+            "recovered bounds must match a pre-crash quarantine exactly: {entry:?}"
+        );
+    }
+    handle.shutdown();
+    daemon.join().expect("daemon #2");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// A daemon with no `--data-dir` rejects `RESUME` the same survivable
 /// way: in-memory deployments keep working with resume-capable clients.
 #[test]

@@ -89,7 +89,7 @@ fn retrying_send_survives_a_dropped_first_connection() {
     let mut connections = 0u32;
     let policy = RetryPolicy::new(3, Duration::from_millis(1));
     let (report, _session, attempts) = send_trace_with_retry(
-        || {
+        |_| {
             connections += 1;
             if connections == 1 {
                 Client::connect_tcp(doomed_addr)
@@ -170,7 +170,7 @@ fn exhausted_retries_report_the_acknowledged_partial_prefix() {
     let trace = paramount_trace::textfmt::parse_trace(&text).expect("trace");
 
     let err = send_trace_with_retry(
-        || Client::connect_tcp(addr),
+        |_| Client::connect_tcp(addr),
         &Hello::new(2),
         &trace,
         RetryPolicy::new(2, Duration::from_millis(1)),

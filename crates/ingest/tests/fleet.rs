@@ -1,0 +1,343 @@
+//! Fleet acceptance: a router in front of in-process shard daemons
+//! routes sessions to shard-encoded ids, health-checks the shards, and
+//! on shard death migrates durable sessions so a `RESUME` against the
+//! surviving shard finishes with a report identical to an unbroken
+//! control run (Theorem 3 exactness is a function of the accepted event
+//! prefix alone, so "identical report" is the whole failover contract).
+
+use paramount_durable::FsyncPolicy;
+use paramount_ingest::{
+    first_session_id, shard_of_session, shard_subroot, Client, FleetConfig, FleetHandle,
+    FleetRouter, FleetSummary, Hello, Server, ServerConfig, ServerHandle, ShardSpec, WireOp,
+};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("paramount-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Shard {
+    id: usize,
+    addr: SocketAddr,
+    handle: ServerHandle,
+    daemon: std::thread::JoinHandle<paramount_ingest::ServeSummary>,
+}
+
+impl Shard {
+    /// Simulates a crash well enough for the router: the listener goes
+    /// away, probes fail, and the durable stores stay on disk (a real
+    /// `kill -9` is exercised by the CLI end-to-end test).
+    fn kill(self) {
+        self.handle.shutdown();
+        let _ = self.daemon.join();
+    }
+}
+
+fn spawn_shard(root: &Path, id: usize) -> Shard {
+    let config = ServerConfig {
+        data_dir: Some(shard_subroot(root, id)),
+        first_session_id: first_session_id(id),
+        // Small enough that an eight-op trace crosses checkpoint boundaries.
+        checkpoint_every_events: 3,
+        fsync: FsyncPolicy::Never,
+        ..ServerConfig::default()
+    };
+    let mut server = Server::new(config);
+    let addr = server.bind_tcp("127.0.0.1:0").expect("bind shard");
+    let handle = server.handle();
+    let daemon = std::thread::spawn(move || server.run(|_| {}).expect("shard run"));
+    Shard {
+        id,
+        addr,
+        handle,
+        daemon,
+    }
+}
+
+fn spawn_fleet(
+    root: &Path,
+    shards: usize,
+) -> (
+    Vec<Shard>,
+    SocketAddr,
+    FleetHandle,
+    std::thread::JoinHandle<FleetSummary>,
+) {
+    let procs: Vec<Shard> = (0..shards).map(|k| spawn_shard(root, k)).collect();
+    let specs = procs
+        .iter()
+        .map(|s| ShardSpec {
+            id: s.id,
+            addr: s.addr.to_string(),
+        })
+        .collect();
+    let config = FleetConfig {
+        probe_interval: Duration::from_millis(50),
+        probe_deadline: Duration::from_millis(250),
+        suspect_after: 1,
+        down_after: 2,
+        data_root: Some(root.to_path_buf()),
+        ..FleetConfig::default()
+    };
+    let mut router = FleetRouter::new(specs, config);
+    let addr = router.bind_tcp("127.0.0.1:0").expect("bind router");
+    let handle = router.handle();
+    let join = std::thread::spawn(move || router.run().expect("router run"));
+    (procs, addr, handle, join)
+}
+
+/// A legal eight-op two-thread trace: t0 works under a lock, then t1
+/// takes the same lock.
+fn ops() -> Vec<(usize, WireOp)> {
+    vec![
+        (0, WireOp::Write("x".into())),
+        (0, WireOp::Acquire("m".into())),
+        (0, WireOp::Write("y".into())),
+        (0, WireOp::Release("m".into())),
+        (1, WireOp::Write("z".into())),
+        (1, WireOp::Acquire("m".into())),
+        (1, WireOp::Write("w".into())),
+        (1, WireOp::Release("m".into())),
+    ]
+}
+
+fn send_range(client: &mut Client, ops: &[(usize, WireOp)]) {
+    for (tid, op) in ops {
+        client.event(*tid, op).expect("event");
+    }
+}
+
+/// ROUTE against the router, then dial the shard it names — the same
+/// two-step dance `paramount send --fleet` does.
+fn route_and_dial(router: SocketAddr, session: Option<u64>) -> (u64, Client) {
+    let mut routed = Client::connect_tcp(router).expect("connect router");
+    let (shard, addr) = routed.route(session).expect("route");
+    (
+        shard,
+        Client::connect_tcp(addr.as_str()).expect("dial shard"),
+    )
+}
+
+/// Routed sessions carry their shard in the id's high bits, and the
+/// router's own STATS endpoint reports fleet metrics plus one
+/// `shard_state` line per shard.
+#[test]
+fn router_places_sessions_on_shard_encoded_ids() {
+    let root = temp_root("routing");
+    let (procs, router, handle, join) = spawn_fleet(&root, 3);
+
+    for _ in 0..3 {
+        let (shard, mut client) = route_and_dial(router, None);
+        let session = client.hello(&Hello::new(2)).expect("hello");
+        assert_eq!(
+            shard_of_session(session),
+            shard as usize,
+            "session id {session} must encode the shard ROUTE named"
+        );
+        send_range(&mut client, &ops());
+        let report = client.finish().expect("finish");
+        assert!(report.complete);
+    }
+
+    let mut stats = Client::connect_tcp(router).expect("connect router");
+    let lines = stats.stats().expect("fleet stats");
+    assert!(
+        lines.iter().any(|l| l.contains("\"sessions_routed\"")),
+        "router STATS must include fleet counters: {lines:?}"
+    );
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.contains("\"metric\":\"shard_state\""))
+            .count(),
+        3,
+        "router STATS must report one shard_state line per shard"
+    );
+
+    handle.shutdown();
+    let summary = join.join().expect("router join");
+    assert_eq!(summary.fleet.sessions_routed, 3);
+    assert_eq!(summary.fleet.shards_up, 3);
+    for shard in procs {
+        shard.kill();
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The tentpole acceptance: a shard dies with a durable session
+/// mid-stream; the router marks it down, migrates the store to a
+/// surviving shard, re-ROUTEs the session there, and the resumed run's
+/// report equals the unbroken control's exactly.
+#[test]
+fn shard_death_migrates_sessions_and_resume_is_exact() {
+    let root = temp_root("failover");
+    let (mut procs, router, handle, join) = spawn_fleet(&root, 3);
+    let all = ops();
+
+    // Unbroken control run through the same fleet.
+    let expected = {
+        let (_, mut client) = route_and_dial(router, None);
+        client.hello(&Hello::new(2)).expect("hello control");
+        send_range(&mut client, &all);
+        client.finish().expect("finish control")
+    };
+
+    // Victim run: four ops, synchronously acked, then the client dies.
+    let (victim_shard, session) = {
+        let (shard, mut client) = route_and_dial(router, None);
+        let session = client.hello(&Hello::new(2)).expect("hello victim");
+        send_range(&mut client, &all[..4]);
+        client.flush_sync().expect("flush");
+        (shard as usize, session)
+    };
+    assert_eq!(shard_of_session(session), victim_shard);
+
+    // Kill the shard that owns the session. Joining the daemon thread
+    // guarantees its durable store is final on disk before the router
+    // can migrate it.
+    let pos = procs
+        .iter()
+        .position(|s| s.id == victim_shard)
+        .expect("victim shard exists");
+    procs.remove(pos).kill();
+
+    // The router notices within a few probe sweeps and re-homes the
+    // session; until then ROUTE still names the dead shard.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let new_addr = loop {
+        assert!(
+            Instant::now() < deadline,
+            "router never migrated session {session} off dead shard {victim_shard}"
+        );
+        let mut routed = Client::connect_tcp(router).expect("connect router");
+        match routed.route(Some(session)) {
+            Ok((shard, addr)) if shard as usize != victim_shard => break addr,
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+
+    // RESUME on the surviving shard: it acked exactly the flushed
+    // prefix, so the client re-sends only the tail.
+    let mut client = Client::connect_tcp(new_addr.as_str()).expect("dial survivor");
+    let acked = client.resume(session).expect("resume migrated session");
+    assert_eq!(acked, 4, "survivor acked exactly the flushed prefix");
+    send_range(&mut client, &all[acked as usize..]);
+    let report = client.finish().expect("finish resumed");
+    assert!(report.complete);
+    assert_eq!(report.events, expected.events, "migrated events == control");
+    assert_eq!(report.cuts, expected.cuts, "migrated cuts == control");
+
+    handle.shutdown();
+    let summary = join.join().expect("router join");
+    assert!(
+        summary.fleet.failovers >= 1,
+        "the dead shard must count as a failover"
+    );
+    assert!(
+        summary.fleet.sessions_migrated >= 1,
+        "the session must count as migrated"
+    );
+    assert!(summary.fleet.probe_failures >= 1);
+    assert_eq!(summary.fleet.shards_down, 1);
+    for shard in procs {
+        shard.kill();
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A session id whose shard prefix is outside the fleet is a state
+/// error — survivable, so the caller can fall back to a fresh ROUTE.
+#[test]
+fn route_of_foreign_session_is_a_state_error() {
+    let root = temp_root("foreign");
+    let (procs, router, handle, join) = spawn_fleet(&root, 2);
+
+    let mut routed = Client::connect_tcp(router).expect("connect router");
+    let err = routed
+        .route(Some(first_session_id(7)))
+        .expect_err("shard 7 is not in a 2-shard fleet");
+    let paramount_ingest::ClientError::Rejected(e) = err else {
+        panic!("expected a rejection");
+    };
+    assert_eq!(e.code, paramount_ingest::ErrCode::State);
+    // Same connection, fresh placement: the rejection was survivable.
+    let (_, addr) = routed.route(None).expect("route after rejection");
+    assert!(!addr.is_empty());
+
+    handle.shutdown();
+    join.join().expect("router join");
+    for shard in procs {
+        shard.kill();
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Seeded link chaos between client and daemon: injected disconnects
+/// and byte-fragmented writes must not change the final report, because
+/// every retry resumes from the synchronously acked prefix.
+#[cfg(feature = "chaos")]
+mod chaos {
+    use super::*;
+    use paramount_ingest::{send_trace_with_retry, ChaosProxy, LinkFaults, RetryPolicy};
+    use paramount_trace::textfmt::parse_trace;
+
+    /// A two-thread trace big enough (~5.5 KiB on the wire) that every
+    /// possible cut budget (at most 4 KiB + 64 B of client bytes) fires
+    /// before the trace finishes.
+    fn big_trace() -> String {
+        let mut text = String::from("threads 2\n");
+        for _ in 0..250 {
+            text.push_str("0 write x\n");
+            text.push_str("1 write y\n");
+        }
+        text
+    }
+
+    #[test]
+    fn chaotic_link_yields_the_control_report() {
+        let root = temp_root("chaos");
+        let shard = spawn_shard(&root, 0);
+        let trace = parse_trace(&big_trace()).expect("parse");
+        let hello = Hello::new(2);
+
+        // Control: a clean link.
+        let policy = RetryPolicy::new(1, Duration::from_millis(1));
+        let (expected, _, _) =
+            send_trace_with_retry(|_| Client::connect_tcp(shard.addr), &hello, &trace, policy)
+                .expect("control send");
+
+        // Chaos: cut every connection after a seed-derived byte budget
+        // and fragment every forwarded write, with a fixed seed so a
+        // failure replays bit-for-bit. Each retry RESUMEs and re-sends
+        // only the unacked tail, so the send ratchets forward through
+        // the cuts.
+        let faults = LinkFaults {
+            seed: 0xfee1_dead,
+            disconnect_every: Some(1),
+            chunk_bytes: 7,
+            delay_per_chunk: Duration::from_micros(10),
+        };
+        let proxy = ChaosProxy::spawn(shard.addr, faults).expect("proxy");
+        let policy = RetryPolicy::new(16, Duration::from_millis(1)).with_checkpoint_every(8);
+        let (report, _, attempts) = send_trace_with_retry(
+            |_| Client::connect_tcp(proxy.addr()),
+            &hello,
+            &trace,
+            policy,
+        )
+        .expect("chaotic send");
+
+        assert!(attempts > 1, "the chaos plan must actually bite");
+        assert!(proxy.connections() > 1);
+        assert_eq!(report.events, expected.events);
+        assert_eq!(report.cuts, expected.cuts, "chaos cuts == control cuts");
+
+        proxy.stop();
+        shard.kill();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

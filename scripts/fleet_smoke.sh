@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Fleet failover smoke, driven entirely through the shipped binary:
+# start a 3-shard fleet, stream the banking workload through the router
+# with a retrying --fleet client, SIGKILL the shard hosting the session
+# mid-send, and require the final report to equal `paramount count`.
+# (If the kill wins the race with a short trace the send just completes
+# before the shard dies — the equality assertion holds either way; the
+# deterministic mid-stream case is pinned by crates/cli/tests/fleet.rs.)
+set -euo pipefail
+
+PM=${PM:-target/release/paramount}
+PORT=${PORT:-7669}
+DATA=$(mktemp -d)
+LOG="$DATA/fleet.log"
+FLEET_PID=""
+cleanup() {
+  [ -n "$FLEET_PID" ] && kill "$FLEET_PID" 2>/dev/null || true
+  rm -rf "$DATA"
+}
+trap cleanup EXIT
+
+"$PM" gen banking > "$DATA/banking.trace"
+
+"$PM" fleet --listen "127.0.0.1:$PORT" --shards 3 --data-dir "$DATA/root" \
+  --probe-interval-ms 100 --probe-deadline-ms 500 \
+  --suspect-after 1 --down-after 2 \
+  --checkpoint-events 8 --fsync always > "$LOG" 2>&1 &
+FLEET_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "fleet listening on" "$LOG" && break
+  sleep 0.1
+done
+grep "listening on" "$LOG"
+
+"$PM" send "$DATA/banking.trace" --connect "127.0.0.1:$PORT" --fleet \
+  --retries 10 --backoff-ms 200 --checkpoint-every 4 \
+  > "$DATA/send.out" 2>&1 &
+SEND=$!
+sleep 0.3
+
+# Kill the shard that actually owns the in-flight session: its durable
+# store lives under that shard's subroot. Falls back to shard 0 if the
+# send already finished (no session directory left).
+HOME_SHARD=$( (ls -d "$DATA/root"/shard-*/session-* 2>/dev/null || true) |
+  head -1 | sed -n 's/.*shard-\([0-9]*\)\/session.*/\1/p')
+HOME_SHARD=${HOME_SHARD:-0}
+VICTIM=$(sed -n "s/^shard $HOME_SHARD pid \([0-9]*\) .*/\1/p" "$LOG")
+echo "SIGKILLing shard $HOME_SHARD (pid $VICTIM)"
+kill -9 "$VICTIM" || true
+
+wait "$SEND"
+SENT=$(cat "$DATA/send.out")
+COUNTED=$("$PM" count "$DATA/banking.trace")
+echo "send:  $SENT"
+echo "count: $COUNTED"
+extract() { echo "$1" | sed -n 's/.* \([0-9]\+\) consistent global states.*/\1/p'; }
+test -n "$(extract "$SENT")"
+test "$(extract "$SENT")" = "$(extract "$COUNTED")"
+
+# The router's STATS endpoint must answer like a daemon's, with fleet
+# counters and one shard_state line per shard.
+"$PM" stats --connect "127.0.0.1:$PORT" | tee "$DATA/stats.out"
+grep -q '"metric":"shard_state"' "$DATA/stats.out"
+grep -q '"metric":"sessions_routed"' "$DATA/stats.out"
+
+"$PM" shutdown --connect "127.0.0.1:$PORT"
+wait "$FLEET_PID"
+FLEET_PID=""
+echo "fleet smoke OK"

@@ -93,9 +93,13 @@ fn busy_admission_rejects_over_budget_then_recovers() {
     // ...after which a retrying send (hint-floored backoff, tight
     // checkpoints) is admitted and exact too.
     let policy = RetryPolicy::new(5, Duration::from_millis(5)).with_checkpoint_every(2);
-    let (report, _session, _attempts) =
-        send_trace_with_retry(|| Client::connect_tcp(addr), &Hello::new(2), &trace, policy)
-            .expect("admitted after recovery");
+    let (report, _session, _attempts) = send_trace_with_retry(
+        |_| Client::connect_tcp(addr),
+        &Hello::new(2),
+        &trace,
+        policy,
+    )
+    .expect("admitted after recovery");
     assert!(report.complete, "{report:?}");
     assert_eq!(report.cuts, expected);
 
@@ -222,7 +226,7 @@ fn seeded_overload_storm_keeps_accepted_sessions_exact() {
                             ..RetryPolicy::default()
                         };
                         let hello = Hello::new(trace.threads);
-                        send_trace_with_retry(|| Client::connect_tcp(addr), &hello, trace, policy)
+                        send_trace_with_retry(|_| Client::connect_tcp(addr), &hello, trace, policy)
                             .expect("every sender is eventually admitted")
                     })
                 })
