@@ -29,14 +29,28 @@
 //! regime); `w10-wide` is a sparse n=10 computation whose wide levels
 //! are exactly the regime the leveled traversal exists for — stored
 //! frontiers cost megabytes there, regeneration costs `O(n)`.
+//!
+//! Two more families ride the same schema. `clock-n{8..4096}` builds and
+//! cross-joins 2048 clocks whose nonzero entries sit in an 8-wide causal
+//! neighborhood, once per representation (`dense`/`sparse` rows); the
+//! gate requires sparse to hold strictly less peak heap from n=256 up.
+//! `ingest-loopback` pushes a pinned 40k-event stream through a real
+//! loopback TCP socket in both framings (`text`/`binary` rows) and gates
+//! binary at ≥2× the text throughput of the same run.
 
 use paramount_bench::alloc_track::{self, CountingAllocator};
 use paramount_bench::perf_report::{self, Record, Report};
 use paramount_enumerate::{Algorithm, CountSink};
+use paramount_ingest::wire2::TAG_END;
+use paramount_ingest::{parse_client_line, ClientFrame, Dec, Enc, Step, WireOp};
 use paramount_poset::random::RandomComputation;
 use paramount_poset::Poset;
+use paramount_vclock::VectorClock;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -50,6 +64,242 @@ fn pinned_workloads() -> Vec<(&'static str, Poset)> {
             RandomComputation::new(10, 3, 0.2, 13).generate(),
         ),
     ]
+}
+
+/// Clocks built per width in the representation bench, and the size of
+/// each clock's causal neighborhood. The neighborhood is what the sparse
+/// mode bets on: real communication touches a handful of peers, so the
+/// nonzero set stays tiny no matter how wide the system is.
+const CLOCK_EVENTS: usize = 2048;
+const NEIGHBORHOOD: usize = 8;
+
+/// Widths for the dense-vs-sparse clock bench. Crosses the regime
+/// boundary: at n=8 a dense vector is 32 bytes and sparse bookkeeping
+/// can only lose; past n=256 the dense vectors dominate the heap and the
+/// gate requires sparse to win.
+const CLOCK_WIDTHS: [usize; 5] = [8, 64, 256, 1024, 4096];
+
+/// Events pushed through the loopback socket in the framing bench.
+const INGEST_EVENTS: usize = 40_000;
+
+/// The `i`-th clock's nonzero entries: a `NEIGHBORHOOD`-sized window
+/// whose base hops around the width, as if each process only ever heard
+/// from its recent peers.
+fn neighborhood_entries(n: usize, i: usize) -> Vec<(u32, u32)> {
+    let base = (i * 37) % n;
+    (0..NEIGHBORHOOD.min(n))
+        .map(|j| (((base + j) % n) as u32, (i + j + 1) as u32))
+        .collect()
+}
+
+/// Builds and cross-joins `CLOCK_EVENTS` clocks of width `n` in one
+/// representation; returns (ops, allocs, peak heap bytes, elapsed).
+fn clock_run(n: usize, sparse: bool) -> (u64, u64, u64, Duration) {
+    let start = Instant::now();
+    let ((ops, allocs), peak) = alloc_track::measure_peak(|| {
+        alloc_track::measure_allocs(|| {
+            let mut clocks: Vec<VectorClock> = Vec::with_capacity(CLOCK_EVENTS);
+            for i in 0..CLOCK_EVENTS {
+                let entries = neighborhood_entries(n, i);
+                let clock = if sparse {
+                    VectorClock::from_entries(n, entries)
+                } else {
+                    let mut components = vec![0u32; n];
+                    for &(t, c) in &entries {
+                        components[t as usize] = c;
+                    }
+                    VectorClock::from_components(components)
+                };
+                clocks.push(clock);
+            }
+            // One delivery per pair: each receiver joins its neighbor's
+            // clock. Pairwise (not chained) on purpose — a transitive
+            // chain would union every neighborhood into every clock,
+            // which is exactly the all-to-all pattern sparse mode does
+            // NOT claim to win.
+            for i in (1..clocks.len()).step_by(2) {
+                let (head, tail) = clocks.split_at_mut(i);
+                tail[0].join(&head[i - 1]);
+            }
+            clocks.len() as u64
+        })
+    });
+    (ops, allocs as u64, peak as u64, start.elapsed())
+}
+
+/// Dense-vs-sparse rows across [`CLOCK_WIDTHS`]. `rel_throughput` is
+/// normalized to the dense row of the same width; the gated signal is
+/// `peak_frontier_bytes` (see `perf_report::self_check`).
+fn clock_records() -> Vec<Record> {
+    let mut rows = Vec::new();
+    for n in CLOCK_WIDTHS {
+        let workload = format!("clock-n{n}");
+        let mut dense_cps = 1e-9;
+        for (algo, sparse) in [("dense", false), ("sparse", true)] {
+            let (ops, allocs, peak_bytes, elapsed) = clock_run(n, sparse);
+            let secs = elapsed.as_secs_f64().max(1e-9);
+            let cuts_per_sec = ops as f64 / secs;
+            if !sparse {
+                dense_cps = cuts_per_sec.max(1e-9);
+            }
+            rows.push(Record {
+                workload: workload.clone(),
+                algo: algo.to_string(),
+                cuts: ops,
+                elapsed_ns: elapsed.as_nanos() as u64,
+                cuts_per_sec,
+                peak_frontiers: 0,
+                peak_frontier_bytes: peak_bytes,
+                allocs,
+                allocs_per_cut: allocs as f64 / ops.max(1) as f64,
+                rel_throughput: cuts_per_sec / dense_cps,
+            });
+        }
+    }
+    rows
+}
+
+/// Pinned event mix for the framing bench: mostly named ops over a small
+/// pool (the interning-friendly shape real traces have), a few `work`
+/// ticks, four threads round-robin.
+fn ingest_events() -> Vec<(usize, WireOp)> {
+    let vars = ["balance", "ledger", "audit_log", "x"];
+    let locks = ["mu", "omega"];
+    (0..INGEST_EVENTS)
+        .map(|i| {
+            let op = match i % 6 {
+                0 => WireOp::Read(vars[i % 4].to_string()),
+                1 => WireOp::Write(vars[(i / 2) % 4].to_string()),
+                2 => WireOp::Acquire(locks[i % 2].to_string()),
+                3 => WireOp::Release(locks[i % 2].to_string()),
+                4 => WireOp::Read(vars[(i / 3) % 4].to_string()),
+                _ => WireOp::Work((i % 100) as u32),
+            };
+            (i % 4, op)
+        })
+        .collect()
+}
+
+/// One timed loopback pass: encode `events` client-side, push them
+/// through a real TCP socket, parse every frame server-side. Returns
+/// (elapsed, events the server parsed).
+fn loopback_run(events: &[(usize, WireOp)], binary: bool) -> std::io::Result<(Duration, u64)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let server = std::thread::spawn(move || -> std::io::Result<u64> {
+        let (stream, _) = listener.accept()?;
+        let mut seen = 0u64;
+        if binary {
+            let mut stream = stream;
+            let mut dec = Dec::new();
+            let mut chunk = vec![0u8; 64 * 1024];
+            'conn: loop {
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    break;
+                }
+                dec.extend(&chunk[..n]);
+                loop {
+                    match dec.next_frame() {
+                        Ok(Step::Frame(ClientFrame::Event { .. })) => seen += 1,
+                        Ok(Step::Frame(ClientFrame::End)) => break 'conn,
+                        Ok(Step::Frame(_)) => {}
+                        Ok(Step::Incomplete) => break,
+                        Err(e) => {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                format!("{e:?}"),
+                            ))
+                        }
+                    }
+                }
+            }
+        } else {
+            for line in BufReader::new(stream).lines() {
+                match parse_client_line(&line?) {
+                    Ok(ClientFrame::Event { .. }) => seen += 1,
+                    Ok(ClientFrame::End) => break,
+                    Ok(_) => {}
+                    Err(e) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("{e:?}"),
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(seen)
+    });
+
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr)?;
+    if binary {
+        let mut enc = Enc::new();
+        let mut wire = Vec::with_capacity(events.len() * 8);
+        for (tid, op) in events {
+            enc.push_event(&mut wire, *tid, op);
+        }
+        enc.push_bare(&mut wire, TAG_END);
+        stream.write_all(&wire)?;
+    } else {
+        let mut wire = String::with_capacity(events.len() * 24);
+        for (tid, op) in events {
+            let _ = writeln!(wire, "EVENT {tid} {}", op.render());
+        }
+        wire.push_str("END\n");
+        stream.write_all(wire.as_bytes())?;
+    }
+    stream.shutdown(Shutdown::Write)?;
+    let seen = server
+        .join()
+        .map_err(|_| std::io::Error::other("loopback parser panicked"))??;
+    Ok((start.elapsed(), seen))
+}
+
+/// Text-vs-binary framing rows on the `ingest-loopback` workload.
+/// `rel_throughput` is normalized to the text row — the ≥2× floor on the
+/// binary row is enforced by `perf_report::self_check`.
+fn ingest_records() -> std::io::Result<Vec<Record>> {
+    let events = ingest_events();
+    let mut rows = Vec::new();
+    let mut text_cps = 1e-9;
+    for (algo, binary) in [("text", false), ("binary", true)] {
+        // Warm the allocator and the loopback path, then take the better
+        // of two timed passes to shrug off scheduler noise.
+        loopback_run(&events, binary)?;
+        let mut best = Duration::MAX;
+        let mut seen = 0;
+        for _ in 0..2 {
+            let (elapsed, parsed) = loopback_run(&events, binary)?;
+            if parsed != events.len() as u64 {
+                return Err(std::io::Error::other(format!(
+                    "loopback {algo} parsed {parsed} of {} events",
+                    events.len()
+                )));
+            }
+            best = best.min(elapsed);
+            seen = parsed;
+        }
+        let secs = best.as_secs_f64().max(1e-9);
+        let cuts_per_sec = seen as f64 / secs;
+        if !binary {
+            text_cps = cuts_per_sec.max(1e-9);
+        }
+        rows.push(Record {
+            workload: "ingest-loopback".to_string(),
+            algo: algo.to_string(),
+            cuts: seen,
+            elapsed_ns: best.as_nanos() as u64,
+            cuts_per_sec,
+            peak_frontiers: 0,
+            peak_frontier_bytes: 0,
+            allocs: 0,
+            allocs_per_cut: 0.0,
+            rel_throughput: cuts_per_sec / text_cps,
+        });
+    }
+    Ok(rows)
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -149,6 +399,32 @@ fn main() -> ExitCode {
             );
         }
         report.records.extend(rows);
+    }
+
+    // Representation and framing rows reuse the same schema: `cuts` is
+    // the op count (equal across rows of a workload, so the exactly-once
+    // invariant doubles as a sanity check) and `rel` is normalized to the
+    // workload's reference row (dense clocks / text framing).
+    let ingest = match ingest_records() {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("error: loopback framing bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for r in clock_records().into_iter().chain(ingest) {
+        println!(
+            "{:<10} {:<8} {:>10} {:>10.0} {:>9} {:>12} {:>10} {:>9.3}",
+            r.workload,
+            r.algo,
+            r.cuts,
+            r.cuts_per_sec,
+            r.peak_frontiers,
+            r.peak_frontier_bytes,
+            r.allocs,
+            r.rel_throughput
+        );
+        report.records.push(r);
     }
 
     if let Some(dir) = flag_value(&args, "--out") {

@@ -7,10 +7,14 @@
 //! * **Self-consistency invariants** ([`self_check`]) hold on *any*
 //!   machine and are always enforced — every algorithm visits the same
 //!   cut set, the leveled walk's live state stays `O(n)`
-//!   (`peak_frontiers == 1`), and on wide workloads its heap peak stays
-//!   below stored-frontier BFS. These are the properties the
-//!   space-efficient traversal exists to deliver; a run that violates
-//!   them is wrong regardless of how fast the machine is.
+//!   (`peak_frontiers == 1`), on wide workloads its heap peak stays
+//!   below stored-frontier BFS, sparse clocks hold strictly less heap
+//!   than dense vectors once the width reaches 256 (`clock-n*`
+//!   workloads), and binary `paramount/2` framing moves events at least
+//!   2× as fast as the text protocol over the same loopback socket
+//!   (`ingest-loopback`). These are the properties the subsystems exist
+//!   to deliver; a run that violates them is wrong regardless of how
+//!   fast the machine is.
 //! * **Baseline comparison** ([`compare`]) checks *relative* numbers
 //!   (within-run throughput ratios, allocs/cut, frontier bytes) against
 //!   `bench_results/baseline.json` inside a tolerance band. Absolute
@@ -187,6 +191,43 @@ pub fn self_check(report: &Report) -> Vec<String> {
                             lvl.peak_frontier_bytes, bfs.peak_frontier_bytes
                         ));
                     }
+                }
+            }
+        }
+        // The sparse clock representation's claim: once the width
+        // outgrows the causal neighborhood, sparse clocks must hold
+        // strictly less heap than dense vectors on the same
+        // communication pattern. Narrow widths are exempt — a dense
+        // `n=8` vector is 32 bytes and per-entry bookkeeping can only
+        // lose there.
+        if let Some(width) = w
+            .strip_prefix("clock-n")
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            if width >= 256 {
+                let dense = rows.iter().find(|r| r.algo == "dense");
+                let sparse = rows.iter().find(|r| r.algo == "sparse");
+                if let (Some(dense), Some(sparse)) = (dense, sparse) {
+                    if sparse.peak_frontier_bytes >= dense.peak_frontier_bytes {
+                        failures.push(format!(
+                            "{w}: sparse peak bytes {} not below dense {}",
+                            sparse.peak_frontier_bytes, dense.peak_frontier_bytes
+                        ));
+                    }
+                }
+            }
+        }
+        // The binary framing's claim: `paramount/2` must move events at
+        // least twice as fast as the text protocol over the same
+        // loopback socket (rel_throughput is normalized to the text row
+        // in the same run, so the floor is machine-independent).
+        if w == "ingest-loopback" {
+            if let Some(binary) = rows.iter().find(|r| r.algo == "binary") {
+                if binary.rel_throughput < 2.0 {
+                    failures.push(format!(
+                        "{w}: binary rel_throughput {:.2} below the 2.0x floor over text",
+                        binary.rel_throughput
+                    ));
                 }
             }
         }
@@ -520,6 +561,45 @@ mod tests {
 
         report.records[1].peak_frontier_bytes = 1 << 30;
         assert!(self_check(&report)[0].contains("not below bfs"));
+    }
+
+    #[test]
+    fn sparse_clocks_must_beat_dense_heap_at_wide_widths() {
+        let mut report = Report {
+            bootstrap: false,
+            records: vec![
+                record("clock-n1024", "dense"),
+                record("clock-n1024", "sparse"),
+            ],
+        };
+        report.records[0].peak_frontier_bytes = 8 << 20;
+        report.records[1].peak_frontier_bytes = 1 << 20;
+        assert!(self_check(&report).is_empty());
+
+        report.records[1].peak_frontier_bytes = 8 << 20;
+        assert!(self_check(&report)[0].contains("not below dense"));
+
+        // Below the 256 threshold the dense layout is allowed to win.
+        for r in &mut report.records {
+            r.workload = "clock-n64".to_string();
+        }
+        assert!(self_check(&report).is_empty());
+    }
+
+    #[test]
+    fn binary_framing_must_clear_the_2x_throughput_floor() {
+        let mut report = Report {
+            bootstrap: false,
+            records: vec![
+                record("ingest-loopback", "text"),
+                record("ingest-loopback", "binary"),
+            ],
+        };
+        report.records[1].rel_throughput = 3.1;
+        assert!(self_check(&report).is_empty());
+
+        report.records[1].rel_throughput = 1.4;
+        assert!(self_check(&report)[0].contains("2.0x floor"));
     }
 
     #[test]

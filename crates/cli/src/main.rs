@@ -26,7 +26,7 @@ USAGE:
                                [--interval-deadline-ms MS] [--busy-retry-ms MS]
                                [--data-dir DIR] [--checkpoint-events N]
                                [--fsync always|ondemand|never] [--disk-spill-bytes N]
-                               [--first-session-id N]
+                               [--first-session-id N] [--proto-max 1|2]
   paramount fleet              [--listen ADDR]
                                --shards N --data-dir ROOT    (spawn N shard daemons)
                                | --manifest FILE             (attach: `shard <id> <addr>` lines)
@@ -37,6 +37,7 @@ USAGE:
                                [--algo A] [--workers K] [--label L] [--capture-sync]
                                [--retries N] [--backoff-ms MS]   (reconnect & replay)
                                [--checkpoint-every EVENTS]
+                               [--proto 1|2|auto]   (wire framing; auto falls back to text)
                                [--fleet]   (--connect names a fleet router; ROUTE first)
   paramount shutdown           --connect HOST:PORT | --unix PATH
   paramount list-algorithms    (one name per line, for scripting)
@@ -252,6 +253,14 @@ fn serve(args: &[String]) -> Result<String, CliError> {
     opts.fsync = flag_value(args, "--fsync");
     opts.disk_spill_bytes = parse_number(args, "--disk-spill-bytes")?;
     opts.first_session_id = parse_number(args, "--first-session-id")?;
+    opts.proto_max = parse_number(args, "--proto-max")?;
+    if let Some(max) = opts.proto_max {
+        if !(1..=2).contains(&max) {
+            return Err(CliError::Usage(format!(
+                "serve: --proto-max must be 1 or 2, got {max}"
+            )));
+        }
+    }
     if opts.listen.is_empty() && opts.unix.is_empty() {
         opts.listen.push("127.0.0.1:7667".to_string());
     }
@@ -283,6 +292,7 @@ const FLEET_FORWARDED_FLAGS: &[&str] = &[
     "--disk-spill-bytes",
     "--interval-deadline-ms",
     "--busy-retry-ms",
+    "--proto-max",
 ];
 
 fn fleet(args: &[String]) -> Result<String, CliError> {
@@ -341,6 +351,16 @@ fn send(args: &[String]) -> Result<String, CliError> {
         ));
     }
     let fleet = args.iter().any(|a| a == "--fleet");
+    let proto = match flag_value(args, "--proto").as_deref() {
+        None | Some("auto") => paramount_ingest::ProtoPref::Auto,
+        Some("1") => paramount_ingest::ProtoPref::V1,
+        Some("2") => paramount_ingest::ProtoPref::V2,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "send: unknown --proto `{other}` (expected 1, 2, or auto)"
+            )))
+        }
+    };
     net::send(
         &trace,
         &target,
@@ -352,6 +372,7 @@ fn send(args: &[String]) -> Result<String, CliError> {
         backoff_ms,
         checkpoint_every,
         fleet,
+        proto,
     )
     .map_err(CliError::Run)
 }

@@ -4,8 +4,8 @@
 
 use paramount::Algorithm;
 use paramount_ingest::{
-    fleet, send_trace_with_retry, Client, EndReason, FleetConfig, FleetRouter, Hello, ServeSummary,
-    Server, ServerConfig, SessionReport, ShardSpec,
+    fleet, send_trace_with_retry, Client, EndReason, FleetConfig, FleetRouter, Hello, ProtoPref,
+    ServeSummary, Server, ServerConfig, SessionReport, ShardSpec,
 };
 use paramount_trace::textfmt::TraceFile;
 use std::fmt::Write as _;
@@ -95,6 +95,9 @@ pub struct ServeOptions {
     /// Lowest session id handed out (`--first-session-id`); fleet
     /// shards get ids whose high 32 bits encode the shard index.
     pub first_session_id: Option<u64>,
+    /// Highest wire protocol version offered to clients (`--proto-max`);
+    /// `1` pins the daemon to the text protocol for mixed-version fleets.
+    pub proto_max: Option<u8>,
 }
 
 impl Default for ServeOptions {
@@ -118,6 +121,7 @@ impl Default for ServeOptions {
             fsync: None,
             disk_spill_bytes: None,
             first_session_id: None,
+            proto_max: None,
         }
     }
 }
@@ -158,6 +162,9 @@ pub fn build_server(opts: &ServeOptions) -> Result<(Server, Vec<SocketAddr>), St
     config.governor.disk_spill_bytes = opts.disk_spill_bytes;
     if let Some(first) = opts.first_session_id {
         config.first_session_id = first;
+    }
+    if let Some(max) = opts.proto_max {
+        config.proto_max = max;
     }
     let mut server = Server::new(config);
     for addr in &opts.listen {
@@ -259,6 +266,7 @@ pub fn send(
     backoff_ms: u64,
     checkpoint_every: Option<u64>,
     fleet: bool,
+    proto: ProtoPref,
 ) -> Result<String, String> {
     let hello = Hello {
         threads: trace.threads,
@@ -266,6 +274,7 @@ pub fn send(
         workers,
         capture_sync,
         label,
+        proto: 1, // placeholder; negotiation stamps the offered version
     };
     let mut policy = paramount_ingest::RetryPolicy::new(
         retries.saturating_add(1),
@@ -276,7 +285,11 @@ pub fn send(
     }
     let result = if fleet {
         send_trace_with_retry(
-            |session| fleet_connect(target, session),
+            |session| {
+                let mut client = fleet_connect(target, session)?;
+                client.set_proto_pref(proto);
+                Ok(client)
+            },
             &hello,
             trace,
             policy,
@@ -284,7 +297,16 @@ pub fn send(
     } else {
         // Re-resolve the target on every attempt (fresh lookup, fresh
         // socket) rather than caching an address across retries.
-        send_trace_with_retry(|_| target.connect_io(), &hello, trace, policy)
+        send_trace_with_retry(
+            |_| {
+                let mut client = target.connect_io()?;
+                client.set_proto_pref(proto);
+                Ok(client)
+            },
+            &hello,
+            trace,
+            policy,
+        )
     };
     let (report, session, attempts) =
         result.map_err(|e| format!("cannot send to {target}: {e}"))?;
@@ -571,6 +593,7 @@ mod tests {
             200,
             None,
             false,
+            ProtoPref::Auto,
         )
         .expect("send");
 
@@ -649,6 +672,7 @@ mod tests {
             1,
             None,
             false,
+            ProtoPref::Auto,
         )
         .expect("retry must recover");
 
@@ -704,6 +728,7 @@ mod tests {
             1,
             None,
             false,
+            ProtoPref::Auto,
         )
         .expect_err("every attempt is dropped");
         assert!(err.contains("after 3 attempts"), "{err}");
@@ -736,6 +761,7 @@ mod tests {
                 200,
                 None,
                 false,
+                ProtoPref::Auto,
             )
             .expect("send");
             handle.shutdown();

@@ -37,6 +37,7 @@ use crossbeam_channel::TrySendError;
 use paramount_enumerate::{panic_message, Algorithm, CutSink, EnumError, EnumStats};
 use paramount_poset::CutSpace;
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
@@ -52,6 +53,49 @@ const AUTO_PRESSURE_THRESHOLD: u128 = 64;
 /// it for threshold calibration (avoids steering on the first few,
 /// possibly unrepresentative, intervals).
 const AUTO_CALIBRATION_MIN_INTERVALS: u64 = 32;
+
+/// Box-size ceiling for an interval to be coalesced into a tiny-interval
+/// batch instead of occupying its own dispatch-queue slot. Wide-but-
+/// shallow posets produce floods of near-degenerate intervals whose
+/// enumeration is cheaper than a channel round-trip; batching amortizes
+/// that overhead without touching the per-interval isolation contract.
+const BATCH_TINY_BOX: u128 = 16;
+
+/// Coalesced intervals per batch before the pending buffer is flushed to
+/// the channel as one entry. Bounded so a stalled producer can only ever
+/// delay (never lose) this many tiny intervals until the next flush
+/// trigger: a full buffer, a non-tiny submission, or `finish`.
+const BATCH_MAX_INTERVALS: usize = 32;
+
+/// One streaming dispatch-queue entry: a single interval, or a coalesced
+/// run of consecutive tiny intervals sharing the channel slot. Workers
+/// unroll a batch at pickup, so everything downstream of the queue (the
+/// isolation boundary, preemption, quarantine) stays per-interval.
+enum Job {
+    /// An interval big enough to be worth its own slot.
+    One(Interval),
+    /// A coalesced run of tiny intervals (see [`BATCH_TINY_BOX`]).
+    Many(Vec<Interval>),
+}
+
+impl Job {
+    /// Intervals carried by this queue entry.
+    fn len(&self) -> usize {
+        match self {
+            Job::One(_) => 1,
+            Job::Many(batch) => batch.len(),
+        }
+    }
+
+    /// Consumes the job, applying `f` to each carried interval in
+    /// submission order.
+    fn for_each(self, mut f: impl FnMut(Interval)) {
+        match self {
+            Job::One(interval) => f(interval),
+            Job::Many(batch) => batch.into_iter().for_each(&mut f),
+        }
+    }
+}
 
 /// The interval-execution core shared by both engines: subroutine
 /// configuration plus the one `catch_unwind` retry/quarantine
@@ -585,6 +629,12 @@ pub(crate) struct StreamParams {
 #[derive(Default)]
 struct InFlightSlot {
     interval: Mutex<Option<Interval>>,
+    /// The unprocessed tail of a coalesced [`Job::Many`] this slot is
+    /// unrolling. Parked here (not held on the worker's stack) so a
+    /// panic that escapes the per-interval boundary mid-batch cannot
+    /// drop the remainder — the respawned body, a survivor, or
+    /// `finish`'s inline drain picks it back up.
+    backlog: Mutex<VecDeque<Interval>>,
     emitted: AtomicU64,
     /// Cooperative cancellation token the watchdog sets when the slot's
     /// interval overstays its deadline; cleared at every pickup.
@@ -751,11 +801,15 @@ fn spill_through_disk<Sp>(shared: &StreamShared<Sp>, interval: &Interval) -> boo
 /// is stable under concurrent growth works.
 pub(crate) struct StreamExecutor<Sp: CutSpace + Send + Sync + 'static> {
     shared: Arc<StreamShared<Sp>>,
-    sender: Option<crossbeam_channel::Sender<Interval>>,
+    sender: Option<crossbeam_channel::Sender<Job>>,
+    /// Tiny intervals awaiting coalescence into one queue entry; flushed
+    /// when full, when a non-tiny interval arrives (order-preserving),
+    /// and unconditionally by `finish`.
+    pending: Mutex<Vec<Interval>>,
     /// Kept so `finish` can drain intervals no worker lived to process
     /// (total pool death past the restart budget, or zero spawned
     /// workers): the report is exact even with a dead pool.
-    receiver: crossbeam_channel::Receiver<Interval>,
+    receiver: crossbeam_channel::Receiver<Job>,
     workers: Vec<std::thread::JoinHandle<()>>,
     /// Liveness supervisor, running only when an interval deadline is
     /// configured; stopped and joined by `finish`/`Drop`.
@@ -822,7 +876,7 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
             #[cfg(feature = "chaos")]
             fault_state: crate::faults::FaultState::default(),
         });
-        let (sender, receiver) = crossbeam_channel::bounded::<Interval>(params.queue_capacity);
+        let (sender, receiver) = crossbeam_channel::bounded::<Job>(params.queue_capacity);
         let mut workers = Vec::with_capacity(params.workers);
         for w in 0..params.workers {
             #[cfg(feature = "chaos")]
@@ -854,6 +908,7 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
         StreamExecutor {
             shared,
             sender: Some(sender),
+            pending: Mutex::new(Vec::new()),
             receiver,
             workers,
             watchdog,
@@ -879,6 +934,12 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
 
     /// Hands one freshly created interval to the pool, applying the
     /// configured backpressure policy when the queue is full.
+    ///
+    /// Tiny intervals (box size ≤ [`BATCH_TINY_BOX`]) are coalesced into
+    /// a pending batch that occupies a single queue slot when flushed —
+    /// wide-but-shallow posets stop paying one channel round-trip per
+    /// near-degenerate interval. A non-tiny interval flushes the batch
+    /// ahead of itself, so queue order tracks submission order.
     pub fn submit(&self, interval: Interval) {
         if self.shared.stopped.load(Ordering::Relaxed) {
             return; // sink asked for a global stop; drop new work
@@ -912,16 +973,45 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
             );
             return;
         }
+        if interval.box_size() <= BATCH_TINY_BOX {
+            let mut pending = self.pending.lock();
+            pending.push(interval);
+            if pending.len() < BATCH_MAX_INTERVALS {
+                return; // coalescing: wait for a flush trigger
+            }
+            let batch = std::mem::take(&mut *pending);
+            drop(pending);
+            self.dispatch(sender, Job::Many(batch));
+            return;
+        }
+        let flushed = std::mem::take(&mut *self.pending.lock());
+        if !flushed.is_empty() {
+            self.dispatch(sender, Job::Many(flushed));
+        }
+        self.dispatch(sender, Job::One(interval));
+    }
+
+    /// Sends one queue entry, applying the backpressure policy when the
+    /// channel is full. Overflow handling degrades to per-interval
+    /// granularity (the spill deque and the reject counter both account
+    /// in intervals), so a batched entry spills or sheds exactly like the
+    /// same intervals would have individually.
+    fn dispatch(&self, sender: &crossbeam_channel::Sender<Job>, job: Job) {
+        let m = &self.shared.metrics;
+        if matches!(job, Job::Many(_)) {
+            m.queue_batches.add(1);
+        }
+        let carried = job.len() as u64;
         // The gauge goes up *before* the send and back down if the send
         // fails: a worker may receive (and decrement) the instant the
-        // interval lands in the channel, before a post-send increment
+        // entry lands in the channel, before a post-send increment
         // would run, underflowing the gauge. The channel's send/recv
         // synchronization orders this increment before that decrement.
-        m.queue_depth.inc();
+        m.queue_depth.add(carried);
         match self.backpressure {
             BackpressurePolicy::Block => {
-                if sender.send(interval).is_err() {
-                    m.queue_depth.dec();
+                if sender.send(job).is_err() {
+                    m.queue_depth.sub(carried);
                 }
             }
             // Under SpillToDeque the budget's pressure reading adapts the
@@ -930,41 +1020,45 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
             // blocking send (the producer slows to the consumers' pace
             // instead of growing the spill), and hard pressure reaches
             // for the cold disk tier — the durable relief valve — before
-            // shedding the interval with a typed overload error.
-            BackpressurePolicy::SpillToDeque => match sender.try_send(interval) {
+            // shedding the intervals with a typed overload error.
+            BackpressurePolicy::SpillToDeque => match sender.try_send(job) {
                 Ok(()) => {}
-                Err(TrySendError::Full(interval)) => match self.shared.budget.pressure() {
+                Err(TrySendError::Full(job)) => match self.shared.budget.pressure() {
                     Pressure::Nominal => {
-                        m.queue_depth.dec();
-                        spill_push(&self.shared, &interval);
-                        m.intervals_spilled.add(1);
+                        m.queue_depth.sub(carried);
+                        job.for_each(|interval| {
+                            spill_push(&self.shared, &interval);
+                            m.intervals_spilled.add(1);
+                        });
                     }
                     Pressure::Soft => {
                         m.backpressure_promotions.add(1);
-                        if sender.send(interval).is_err() {
-                            m.queue_depth.dec();
+                        if sender.send(job).is_err() {
+                            m.queue_depth.sub(carried);
                         }
                     }
                     Pressure::Hard => {
-                        m.queue_depth.dec();
-                        if spill_through_disk(&self.shared, &interval) {
-                            m.intervals_spilled.add(1);
-                        } else {
-                            m.intervals_rejected.add(1);
-                            self.shared
-                                .overload
-                                .lock()
-                                .get_or_insert_with(|| self.shared.budget.overload_error());
-                        }
+                        m.queue_depth.sub(carried);
+                        job.for_each(|interval| {
+                            if spill_through_disk(&self.shared, &interval) {
+                                m.intervals_spilled.add(1);
+                            } else {
+                                m.intervals_rejected.add(1);
+                                self.shared
+                                    .overload
+                                    .lock()
+                                    .get_or_insert_with(|| self.shared.budget.overload_error());
+                            }
+                        });
                     }
                 },
-                Err(TrySendError::Disconnected(_)) => m.queue_depth.dec(),
+                Err(TrySendError::Disconnected(_)) => m.queue_depth.sub(carried),
             },
-            BackpressurePolicy::Fail => match sender.try_send(interval) {
+            BackpressurePolicy::Fail => match sender.try_send(job) {
                 Ok(()) => {}
                 Err(TrySendError::Full(_)) => {
-                    m.queue_depth.dec();
-                    m.intervals_rejected.add(1);
+                    m.queue_depth.sub(carried);
+                    m.intervals_rejected.add(carried);
                     if self.shared.budget.pressure() >= Pressure::Hard {
                         self.shared
                             .overload
@@ -972,7 +1066,7 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
                             .get_or_insert_with(|| self.shared.budget.overload_error());
                     }
                 }
-                Err(TrySendError::Disconnected(_)) => m.queue_depth.dec(),
+                Err(TrySendError::Disconnected(_)) => m.queue_depth.sub(carried),
             },
         }
     }
@@ -983,6 +1077,31 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
         // Dropping the sender closes the channel; workers drain what is
         // queued, then (channel closed ⇒ no producer ⇒ spill is frozen)
         // drain the spill buffer, then exit. No interval is lost.
+        // A part-filled coalescing buffer never reached the channel.
+        // With a live pool it is flushed as one final batch *before* the
+        // channel closes, so the tail of a stream takes the same
+        // supervised worker path (watchdog, quarantine, fault-injection
+        // sites) as every other interval. Only when the queue is full or
+        // the pool never spawned does it fall back to the inline drain
+        // below.
+        let mut leftover = std::mem::take(&mut *self.pending.lock());
+        if !leftover.is_empty() && !self.workers.is_empty() {
+            if let Some(sender) = &self.sender {
+                let m = &self.shared.metrics;
+                let carried = leftover.len() as u64;
+                m.queue_depth.add(carried);
+                match sender.try_send(Job::Many(std::mem::take(&mut leftover))) {
+                    Ok(()) => m.queue_batches.add(1),
+                    Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
+                        m.queue_depth.sub(carried);
+                        leftover = match job {
+                            Job::Many(batch) => batch,
+                            Job::One(interval) => vec![interval],
+                        };
+                    }
+                }
+            }
+        }
         drop(self.sender.take());
         for handle in self.workers.drain(..) {
             // A worker that died past the supervisor's restart budget is
@@ -990,12 +1109,28 @@ impl<Sp: CutSpace + Send + Sync + 'static> StreamExecutor<Sp> {
             // quarantined); joining must not re-raise its panic.
             let _ = handle.join();
         }
+        // Whatever could not be flushed is enumerated inline (after the
+        // join, so no worker slot is contended) to keep the exactly-once
+        // cover complete.
+        for interval in &leftover {
+            process_interval(&self.shared, interval, 0);
+        }
         // If the whole pool died (or never spawned), queued and spilled
         // intervals are still pending — drain them inline so the report
         // covers every dispatched interval regardless of pool health.
-        while let Ok(interval) = self.receiver.try_recv() {
-            self.shared.metrics.queue_depth.dec();
-            process_interval(&self.shared, &interval, 0);
+        while let Ok(job) = self.receiver.try_recv() {
+            self.shared.metrics.queue_depth.sub(job.len() as u64);
+            job.for_each(|interval| process_interval(&self.shared, &interval, 0));
+        }
+        // A worker that died past its restart budget may have parked the
+        // tail of a coalesced batch in its slot — no survivor reads
+        // another slot's backlog, so it drains here.
+        for slot in self.shared.in_flight.iter() {
+            loop {
+                let next = slot.backlog.lock().pop_front();
+                let Some(interval) = next else { break };
+                process_interval(&self.shared, &interval, 0);
+            }
         }
         while let Some(interval) = pop_spill(&self.shared) {
             process_interval(&self.shared, &interval, 0);
@@ -1043,7 +1178,7 @@ impl<Sp: CutSpace + Send + Sync + 'static> Drop for StreamExecutor<Sp> {
 /// to the survivors (and ultimately to `finish`'s inline drain).
 fn worker_entry<Sp: CutSpace>(
     shared: &StreamShared<Sp>,
-    receiver: &crossbeam_channel::Receiver<Interval>,
+    receiver: &crossbeam_channel::Receiver<Job>,
     index: usize,
 ) {
     loop {
@@ -1106,38 +1241,80 @@ fn watchdog_entry<Sp>(shared: &StreamShared<Sp>, deadline: Duration) {
 
 fn worker_loop<Sp: CutSpace>(
     shared: &StreamShared<Sp>,
-    receiver: &crossbeam_channel::Receiver<Interval>,
+    receiver: &crossbeam_channel::Receiver<Job>,
     index: usize,
 ) {
     loop {
-        // Spill first: overflow intervals are the oldest backlog, and
+        // Batch remainder first: these intervals were already dequeued
+        // and accounted, and may be the tail of a batch a previous body
+        // of this slot died inside.
+        if drain_backlog(shared, index) {
+            continue;
+        }
+        // Spill next: overflow intervals are the oldest backlog, and
         // checking here guarantees the buffer drains while the channel is
         // busy (spill only grows when the channel is full, so there is
         // always traffic to piggyback on).
-        let interval = match pop_spill(shared) {
-            Some(interval) => interval,
-            None => {
-                let wait = Instant::now();
-                match receiver.recv() {
-                    Ok(interval) => {
-                        shared
-                            .metrics
-                            .worker(index)
-                            .add_idle(wait.elapsed().as_nanos() as u64);
-                        shared.metrics.queue_depth.dec();
-                        interval
+        if let Some(interval) = pop_spill(shared) {
+            process_worker_pickup(shared, &interval, index);
+            continue;
+        }
+        let wait = Instant::now();
+        match receiver.recv() {
+            Ok(job) => {
+                shared
+                    .metrics
+                    .worker(index)
+                    .add_idle(wait.elapsed().as_nanos() as u64);
+                shared.metrics.queue_depth.sub(job.len() as u64);
+                match job {
+                    Job::One(interval) => process_worker_pickup(shared, &interval, index),
+                    // Park the batch in the slot before touching any of
+                    // it: the per-interval pop below is what keeps a
+                    // mid-batch worker death from losing the tail.
+                    Job::Many(batch) => {
+                        shared.slot(index).backlog.lock().extend(batch);
+                        drain_backlog(shared, index);
                     }
-                    Err(_) => break, // channel closed: producers are done
                 }
             }
-        };
-        process_interval(shared, &interval, index);
+            Err(_) => break, // channel closed: producers are done
+        }
     }
     // The channel is closed, so no new spill can appear: whatever is left
     // in the buffer is the final backlog — drain it to completion.
     while let Some(interval) = pop_spill(shared) {
-        process_interval(shared, &interval, index);
+        process_worker_pickup(shared, &interval, index);
     }
+}
+
+/// Drains the slot's parked batch tail one interval at a time, popping
+/// *before* processing so the in-flight interval is never duplicated in
+/// the backlog. Returns true if it processed anything.
+fn drain_backlog<Sp: CutSpace>(shared: &StreamShared<Sp>, index: usize) -> bool {
+    let mut any = false;
+    loop {
+        let next = shared.slot(index).backlog.lock().pop_front();
+        let Some(interval) = next else { return any };
+        any = true;
+        process_worker_pickup(shared, &interval, index);
+    }
+}
+
+/// Processes one interval picked up on a worker thread. The chaos
+/// worker-kill injection lives here rather than in [`process_interval`]
+/// because the fault models a dying *worker*: it must land under
+/// [`worker_entry`]'s supervisor, never on the inline drain paths
+/// (degraded-mode `submit`, `finish`) where the caller thread has no
+/// quarantine-and-respawn boundary above it.
+fn process_worker_pickup<Sp: CutSpace>(
+    shared: &StreamShared<Sp>,
+    interval: &Interval,
+    index: usize,
+) {
+    #[cfg(feature = "chaos")]
+    chaos_maybe_kill_worker(shared, interval, index);
+    process_interval(shared, interval, index);
 }
 
 /// Injection point for the "kill a worker mid-interval" fault: records
@@ -1182,8 +1359,6 @@ fn process_with_deadline<Sp: CutSpace>(
     if shared.stopped.load(Ordering::Relaxed) {
         return; // drain without enumerating
     }
-    #[cfg(feature = "chaos")]
-    chaos_maybe_kill_worker(shared, interval, index);
     #[cfg(feature = "chaos")]
     if let Some(us) = shared.exec.faults.worker_delay_us {
         std::thread::sleep(std::time::Duration::from_micros(us));

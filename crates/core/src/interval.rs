@@ -241,12 +241,10 @@ fn max_consistent_below<Sp: CutSpace + ?Sized>(space: &Sp, g: &mut Frontier) {
             if k == 0 {
                 continue;
             }
-            let vc = space.vc(EventId::new(t, k));
-            let dominated = vc
-                .as_slice()
-                .iter()
-                .zip(g.as_slice())
-                .all(|(need, have)| need <= have);
+            let dominated = space
+                .vc(EventId::new(t, k))
+                .iter_nonzero()
+                .all(|(j, need)| need <= g.as_slice()[j]);
             if !dominated {
                 g.set(t, k - 1);
                 changed = true;

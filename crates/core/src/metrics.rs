@@ -338,7 +338,12 @@ pub struct ParaMetrics {
     pub intervals_split: ShardedCounter,
     /// Scans performed by the watchdog thread.
     pub watchdog_wakeups: ShardedCounter,
-    /// Dispatch-queue depth (current + high-water mark).
+    /// Coalesced tiny-interval batches sent to the streaming dispatch
+    /// queue — each batch carries many consecutive small intervals in one
+    /// channel slot, so wide-but-shallow posets pay the channel overhead
+    /// once per batch instead of once per interval.
+    pub queue_batches: ShardedCounter,
+    /// Dispatch-queue depth in intervals (current + high-water mark).
     pub queue_depth: HighWaterGauge,
     /// Bytes currently held in the packed spill deque (current +
     /// high-water mark) — this engine's contribution to the shared
@@ -374,6 +379,7 @@ impl ParaMetrics {
             intervals_preempted: ShardedCounter::new(),
             intervals_split: ShardedCounter::new(),
             watchdog_wakeups: ShardedCounter::new(),
+            queue_batches: ShardedCounter::new(),
             intervals_auto_leveled: ShardedCounter::new(),
             intervals_auto_lexical: ShardedCounter::new(),
             interval_cuts: Log2Histogram::new(),
@@ -424,6 +430,7 @@ impl ParaMetrics {
             intervals_preempted: self.intervals_preempted.sum(),
             intervals_split: self.intervals_split.sum(),
             watchdog_wakeups: self.watchdog_wakeups.sum(),
+            queue_batches: self.queue_batches.sum(),
             intervals_auto_leveled: self.intervals_auto_leveled.sum(),
             intervals_auto_lexical: self.intervals_auto_lexical.sum(),
             interval_cuts: self.interval_cuts.snapshot(),
@@ -576,6 +583,8 @@ pub struct MetricsSnapshot {
     pub intervals_split: u64,
     /// Watchdog scan passes.
     pub watchdog_wakeups: u64,
+    /// Coalesced tiny-interval batches sent to the dispatch queue.
+    pub queue_batches: u64,
     /// `auto` resolutions that took the leveled walk.
     pub intervals_auto_leveled: u64,
     /// `auto` resolutions that took the lexical scan.
@@ -754,6 +763,7 @@ impl MetricsSnapshot {
             ("intervals_preempted", self.intervals_preempted),
             ("intervals_split", self.intervals_split),
             ("watchdog_wakeups", self.watchdog_wakeups),
+            ("queue_batches", self.queue_batches),
             ("intervals_auto_leveled", self.intervals_auto_leveled),
             ("intervals_auto_lexical", self.intervals_auto_lexical),
             ("disk_spill_batches", self.disk_spill_batches),

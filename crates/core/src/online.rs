@@ -681,6 +681,39 @@ mod tests {
     }
 
     #[test]
+    fn tiny_intervals_coalesce_into_queue_batches() {
+        // A single-thread chain: every event's interval is one cut, so
+        // the submit path coalesces them into batched queue entries
+        // instead of paying a channel round-trip per interval. The count
+        // must stay oracle-exact through batching, part-filled leftover
+        // included.
+        let engine = OnlineEngine::new(
+            1,
+            OnlineEngineConfig {
+                workers: 1,
+                ..OnlineEngineConfig::default()
+            },
+            move |_: CutRef<'_>, _: EventId| ControlFlow::Continue(()),
+        );
+        for _ in 0..100 {
+            engine.observe_after(Tid(0), &[], ());
+        }
+        let report = engine.finish();
+        let expected = oracle::count_ideals(&report.poset);
+        assert_eq!(report.cuts, expected, "batching must not lose cuts");
+        let m = &report.metrics;
+        assert_eq!(m.intervals_dispatched, 100);
+        assert_eq!(m.intervals_completed, 100);
+        assert!(
+            m.queue_batches >= 2,
+            "chain intervals must coalesce into batches (saw {})",
+            m.queue_batches
+        );
+        assert_eq!(m.queue_depth, 0, "queue fully drained");
+        assert!(report.is_complete());
+    }
+
+    #[test]
     fn spill_policy_loses_no_cuts_under_tiny_queue() {
         let reference = RandomComputation::new(3, 6, 0.3, 7).generate();
         let counter = StdArc::new(AtomicCountSink::new());
@@ -1023,11 +1056,13 @@ mod tests {
         // from the first retained event on, so every queue-full submit
         // is promoted from spilling to a blocking send: the producer
         // slows down instead of growing the spill, and nothing is lost.
-        let reference = RandomComputation::new(3, 6, 0.3, 7).generate();
+        // Two independent chains keep interval boxes growing past the
+        // tiny-batch ceiling, so submissions hit the 1-slot channel
+        // directly instead of parking in the coalescing buffer.
         let counter = StdArc::new(AtomicCountSink::new());
         let counter_in_sink = StdArc::clone(&counter);
         let engine = OnlineEngine::new(
-            3,
+            2,
             OnlineEngineConfig {
                 workers: 1,
                 queue_capacity: 1,
@@ -1044,7 +1079,10 @@ mod tests {
                 counter_in_sink.visit(cut, owner)
             },
         );
-        engine.observe_poset(&reference);
+        for _ in 0..30 {
+            engine.observe_after(Tid(0), &[], ());
+            engine.observe_after(Tid(1), &[], ());
+        }
         let report = engine.finish();
         assert_eq!(report.cuts, oracle::count_ideals(&report.poset));
         assert_eq!(counter.count(), report.cuts);

@@ -121,11 +121,10 @@ where
                         if k == 0 {
                             continue;
                         }
-                        let vc = space.vc(EventId::new(ti, k));
-                        for j in 0..n {
+                        for (j, need) in space.vc(EventId::new(ti, k)).iter_nonzero() {
                             let tj = Tid::from(j);
-                            if vc.get(tj) > cut.get(tj) {
-                                cut.set(tj, vc.get(tj));
+                            if need > cut.get(tj) {
+                                cut.set(tj, need);
                                 changed = true;
                             }
                         }

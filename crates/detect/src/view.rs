@@ -98,6 +98,6 @@ mod tests {
         let (b, _) = p.insert_after(Tid(1), &[], collection(&[]));
         let view: &dyn EventView = &p;
         assert!(view.concurrent(a, b));
-        assert_eq!(view.vc(a).as_slice(), &[1, 0]);
+        assert_eq!(view.vc(a).to_dense(), &[1, 0]);
     }
 }

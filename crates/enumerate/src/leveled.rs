@@ -170,7 +170,7 @@ fn enumerate_level<Sp: CutSpace + ?Sized, S: CutSink>(
             for u in 0..k {
                 let cu = g.get(Tid::from(u));
                 if cu > 0 {
-                    let demand = poset.vc(EventId::new(Tid::from(u), cu)).as_slice()[k];
+                    let demand = poset.vc(EventId::new(Tid::from(u), cu)).component(k);
                     lo = lo.max(u64::from(demand));
                 }
             }
@@ -213,11 +213,11 @@ fn prefix_allows<Sp: CutSpace + ?Sized>(poset: &Sp, g: &Frontier, k: usize, v: u
     if v == 0 {
         return true;
     }
-    let vc = poset.vc(EventId::new(Tid::from(k), v));
-    vc.as_slice()[..k]
-        .iter()
-        .zip(&g.as_slice()[..k])
-        .all(|(need, have)| need <= have)
+    poset
+        .vc(EventId::new(Tid::from(k), v))
+        .iter_nonzero()
+        .take_while(|&(j, _)| j < k)
+        .all(|(j, need)| need <= g.as_slice()[j])
 }
 
 #[cfg(test)]

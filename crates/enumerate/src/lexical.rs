@@ -109,10 +109,10 @@ fn advance<Sp: CutSpace + ?Sized>(
         // already be inside g. (If f fails this, so does every later event
         // of thread k — process order — so skipping straight to k-1 is
         // sound.)
-        let prefix_ok = fvc.as_slice()[..k]
-            .iter()
-            .zip(&g.as_slice()[..k])
-            .all(|(need, have)| need <= have);
+        let prefix_ok = fvc
+            .iter_nonzero()
+            .take_while(|&(j, _)| j < k)
+            .all(|(j, need)| need <= g.as_slice()[j]);
         if !prefix_ok {
             continue;
         }
@@ -133,11 +133,12 @@ fn advance<Sp: CutSpace + ?Sized>(
                 continue;
             }
             let vcj = poset.vc(EventId::new(tj, cj));
-            for i in (k + 1)..n {
-                let ti = Tid::from(i);
-                let need = vcj.as_slice()[i];
-                if need > g.get(ti) {
-                    g.set(ti, need);
+            for (i, need) in vcj.iter_nonzero() {
+                if i > k {
+                    let ti = Tid::from(i);
+                    if need > g.get(ti) {
+                        g.set(ti, need);
+                    }
                 }
             }
         }

@@ -7,8 +7,10 @@
 //! large trace costs one syscall per ~8 KiB, not one per event.
 
 use crate::proto::{
-    parse_server_line, ClientFrame, DecodeError, Hello, ServerFrame, WireOp, WireReport,
+    parse_server_line, ClientFrame, DecodeError, ErrCode, Hello, ServerFrame, WireOp, WireReport,
+    PROTO_MAX,
 };
+use crate::wire2::{self, Enc};
 use paramount_poset::Tid;
 use paramount_trace::textfmt::{render_op, TraceFile};
 use paramount_trace::{exec, LockId, OpObserver, Program, VarId};
@@ -91,15 +93,34 @@ impl Write for ClientStream {
     }
 }
 
+/// Client-side preference for the `HELLO`/`RESUME` version negotiation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProtoPref {
+    /// Speak text-only `paramount/1`.
+    V1,
+    /// Require binary `paramount/2`; error if the daemon is v1-capped.
+    V2,
+    /// Offer `paramount/2` and transparently fall back to `paramount/1`
+    /// on the same connection when the daemon rejects it (default).
+    #[default]
+    Auto,
+}
+
 /// One connection to a `paramount serve` daemon.
 pub struct Client {
     stream: ClientStream,
-    /// Pending outbound frame lines.
+    /// Pending outbound frame lines (or binary frames, once negotiated).
     wbuf: Vec<u8>,
     /// Inbound bytes not yet consumed as lines.
     rbuf: Vec<u8>,
     rpos: usize,
     session: Option<u64>,
+    pref: ProtoPref,
+    /// Negotiated protocol version; 1 until a `HELLO`/`RESUME` `OK`
+    /// carries `proto=2`, after which client→server frames are binary
+    /// (server→client stays text either way).
+    proto: u8,
+    enc: Enc,
 }
 
 impl Client {
@@ -124,12 +145,26 @@ impl Client {
             rbuf: Vec::new(),
             rpos: 0,
             session: None,
+            pref: ProtoPref::default(),
+            proto: 1,
+            enc: Enc::new(),
         }
     }
 
     /// The server-assigned session id, once [`Client::hello`] succeeded.
     pub fn session_id(&self) -> Option<u64> {
         self.session
+    }
+
+    /// Sets the protocol preference for the upcoming `HELLO`/`RESUME`
+    /// (no effect on an already-negotiated connection).
+    pub fn set_proto_pref(&mut self, pref: ProtoPref) {
+        self.pref = pref;
+    }
+
+    /// The negotiated protocol version (1 before negotiation).
+    pub fn proto(&self) -> u8 {
+        self.proto
     }
 
     fn queue_line(&mut self, line: &str) -> io::Result<()> {
@@ -204,11 +239,52 @@ impl Client {
         }
     }
 
+    fn offered_proto(&self) -> u8 {
+        match self.pref {
+            ProtoPref::V1 => 1,
+            ProtoPref::V2 | ProtoPref::Auto => PROTO_MAX,
+        }
+    }
+
+    /// Sends the opening frame built by `frame(proto)` and returns the
+    /// `OK` key-values, re-offering `paramount/1` on the same connection
+    /// when the preference is [`ProtoPref::Auto`] and the daemon rejects
+    /// the version. Records the negotiated version from the `proto=`
+    /// reply key (absent on v1 daemons).
+    fn negotiate(
+        &mut self,
+        frame: impl Fn(u8) -> ClientFrame,
+    ) -> Result<Vec<(String, String)>, ClientError> {
+        let offer = self.offered_proto();
+        self.queue_line(&frame(offer).encode())?;
+        self.flush_out()?;
+        let kvs = match self.expect_ok() {
+            Err(ClientError::Rejected(e))
+                if e.code == ErrCode::Version && offer > 1 && self.pref == ProtoPref::Auto =>
+            {
+                // A v1-capped daemon rejects the version but keeps the
+                // connection usable — fall back without reconnecting.
+                self.queue_line(&frame(1).encode())?;
+                self.flush_out()?;
+                self.expect_ok()?
+            }
+            other => other?,
+        };
+        self.proto = kvs
+            .iter()
+            .find(|(k, _)| k == "proto")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(1);
+        Ok(kvs)
+    }
+
     /// Opens a session; returns the server-assigned id.
     pub fn hello(&mut self, hello: &Hello) -> Result<u64, ClientError> {
-        self.queue_line(&ClientFrame::Hello(hello.clone()).encode())?;
-        self.flush_out()?;
-        let kvs = self.expect_ok()?;
+        let kvs = self.negotiate(|proto| {
+            let mut h = hello.clone();
+            h.proto = proto;
+            ClientFrame::Hello(h)
+        })?;
         let id = kvs
             .iter()
             .find(|(k, _)| k == "session")
@@ -218,8 +294,33 @@ impl Client {
         Ok(id)
     }
 
-    /// Queues one event frame (fire-and-forget, buffered).
+    /// Queues one binary `EVENT` frame (v2 connections only).
+    fn queue_event(&mut self, tid: usize, op: &WireOp) -> io::Result<()> {
+        self.enc.push_event(&mut self.wbuf, tid, op);
+        if self.wbuf.len() >= WRITE_CHUNK {
+            self.flush_out()?;
+        }
+        Ok(())
+    }
+
+    /// Queues a synchronous frame in whichever encoding the connection
+    /// negotiated.
+    fn queue_sync(&mut self, frame: &ClientFrame, tag: u8) -> io::Result<()> {
+        if self.proto >= 2 {
+            self.enc.push_bare(&mut self.wbuf, tag);
+            Ok(())
+        } else {
+            self.queue_line(&frame.encode())
+        }
+    }
+
+    /// Queues one event frame (fire-and-forget, buffered). On a
+    /// `paramount/2` connection this is the binary hot path — repeated
+    /// names are interned down to a varint after first use.
     pub fn event(&mut self, tid: usize, op: &WireOp) -> io::Result<()> {
+        if self.proto >= 2 {
+            return self.queue_event(tid, op);
+        }
         self.queue_line(
             &ClientFrame::Event {
                 tid,
@@ -231,9 +332,21 @@ impl Client {
 
     /// Queues one event frame from a pre-rendered op body (`read x`,
     /// `fork 2`, … — trace-line syntax). Avoids re-allocating a
-    /// [`WireOp`] on hot replay paths.
+    /// [`WireOp`] on hot v1 replay paths; a v2 connection must re-parse
+    /// the body for its encoder, so binary callers should prefer
+    /// [`Client::event`].
     pub fn event_line(&mut self, tid: usize, body: &str) -> io::Result<()> {
-        self.queue_line(&format!("EVENT {tid} {body}"))
+        let line = format!("EVENT {tid} {body}");
+        if self.proto >= 2 {
+            return match crate::proto::parse_client_line(&line) {
+                Ok(ClientFrame::Event { tid, op }) => self.queue_event(tid, &op),
+                _ => Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("unparseable event body `{body}`"),
+                )),
+            };
+        }
+        self.queue_line(&line)
     }
 
     /// Reattaches to a persisted session on a durable daemon (one run
@@ -241,12 +354,10 @@ impl Client {
     /// the server's durably acknowledged event count — exactly how many
     /// leading trace operations must *not* be resent. Non-durable
     /// daemons and unknown (completed) sessions reject with an
-    /// [`ErrCode::State`](crate::ErrCode::State) error that leaves the connection usable for a
+    /// [`ErrCode::State`] error that leaves the connection usable for a
     /// fresh `HELLO`.
     pub fn resume(&mut self, session: u64) -> Result<u64, ClientError> {
-        self.queue_line(&ClientFrame::Resume { session }.encode())?;
-        self.flush_out()?;
-        let kvs = self.expect_ok()?;
+        let kvs = self.negotiate(|proto| ClientFrame::Resume { session, proto })?;
         let acked = kvs
             .iter()
             .find(|(k, _)| k == "acked")
@@ -293,7 +404,7 @@ impl Client {
     /// Synchronous barrier: flushes all queued events and returns the
     /// server's live progress `(events, cuts)`.
     pub fn flush_sync(&mut self) -> Result<(u64, u64), ClientError> {
-        self.queue_line(&ClientFrame::Flush.encode())?;
+        self.queue_sync(&ClientFrame::Flush, wire2::TAG_FLUSH)?;
         self.flush_out()?;
         let kvs = self.expect_ok()?;
         let get = |key: &str| -> Result<u64, ClientError> {
@@ -308,7 +419,7 @@ impl Client {
     /// Fetches metrics as JSON lines: the session's engine metrics when a
     /// session is open, the daemon-wide ingest counters otherwise.
     pub fn stats(&mut self) -> Result<Vec<String>, ClientError> {
-        self.queue_line(&ClientFrame::Stats.encode())?;
+        self.queue_sync(&ClientFrame::Stats, wire2::TAG_STATS)?;
         self.flush_out()?;
         let (final_frame, stats) = self.read_until_final()?;
         match final_frame {
@@ -323,7 +434,7 @@ impl Client {
 
     /// Ends the session cleanly and returns the server's final report.
     pub fn finish(mut self) -> Result<WireReport, ClientError> {
-        self.queue_line(&ClientFrame::End.encode())?;
+        self.queue_sync(&ClientFrame::End, wire2::TAG_END)?;
         self.flush_out()?;
         loop {
             match self.read_frame()? {
@@ -538,14 +649,22 @@ pub fn send_trace_with_retry(
                 None => (client.hello(hello)?, 0),
             };
             resume_session = Some(session);
+            let binary = client.proto() >= 2;
             let mut sent = 0u64;
             for &(tid, op) in &trace.ops {
                 sent += 1;
                 if sent <= acked {
                     continue;
                 }
-                let body = render_op(op, &trace.var_names, &trace.lock_names);
-                client.event_line(tid.index(), &body)?;
+                if binary {
+                    client.event(
+                        tid.index(),
+                        &wire_op_of(op, &trace.var_names, &trace.lock_names),
+                    )?;
+                } else {
+                    let body = render_op(op, &trace.var_names, &trace.lock_names);
+                    client.event_line(tid.index(), &body)?;
+                }
                 if checkpointing && sent % checkpoint_every == 0 {
                     let (events, cuts) = client.flush_sync()?;
                     progress.events = events;
@@ -565,6 +684,20 @@ pub fn send_trace_with_retry(
             .unwrap_or_else(|| ClientError::Protocol("no attempt was made".to_string())),
         progress,
     })
+}
+
+/// A trace op as an owned wire op (for the binary encoder's interner).
+fn wire_op_of(op: paramount_trace::Op, vars: &[String], locks: &[String]) -> WireOp {
+    use paramount_trace::Op;
+    match op {
+        Op::Read(v) => WireOp::Read(vars[v.index()].clone()),
+        Op::Write(v) => WireOp::Write(vars[v.index()].clone()),
+        Op::Acquire(l) => WireOp::Acquire(locks[l.index()].clone()),
+        Op::Release(l) => WireOp::Release(locks[l.index()].clone()),
+        Op::Fork(t) => WireOp::Fork(t.index()),
+        Op::Join(t) => WireOp::Join(t.index()),
+        Op::Work(w) => WireOp::Work(w),
+    }
 }
 
 /// An [`OpObserver`] that forwards every executed operation onto the
@@ -610,8 +743,16 @@ impl OpObserver for WireObserver {
         if self.error.is_some() {
             return;
         }
-        let body = render_op(op, &self.var_names, &self.lock_names);
-        if let Err(e) = self.client.event_line(t.index(), &body) {
+        let result = if self.client.proto() >= 2 {
+            self.client.event(
+                t.index(),
+                &wire_op_of(op, &self.var_names, &self.lock_names),
+            )
+        } else {
+            let body = render_op(op, &self.var_names, &self.lock_names);
+            self.client.event_line(t.index(), &body)
+        };
+        if let Err(e) = result {
             self.error = Some(e);
         }
     }

@@ -45,9 +45,10 @@ pub mod persist;
 pub mod proto;
 pub mod server;
 pub mod session;
+pub mod wire2;
 
 pub use client::{
-    send_trace_with_retry, stream_program, Client, ClientError, RetryPolicy, SendError,
+    send_trace_with_retry, stream_program, Client, ClientError, ProtoPref, RetryPolicy, SendError,
     SendProgress, WireObserver,
 };
 pub use fleet::{
@@ -58,11 +59,16 @@ pub use fleet::{
 pub use linkchaos::{ChaosProxy, LinkFaults};
 pub use persist::{
     scan_sessions, session_dir, RecoveredState, SessionStore, StoreConfig, CHECKPOINT_KIND,
-    EVENT_KIND, META_KIND,
+    EVENT2_KIND, EVENT_KIND, META_KIND,
 };
 pub use proto::{
-    parse_client_line, parse_server_line, ClientFrame, DecodeError, EndReason, ErrCode, Hello,
-    ServerFrame, WireOp, WireReport, MAX_LINE_BYTES, PROTOCOL_VERSION,
+    parse_client_line, parse_server_line, version_token, ClientFrame, DecodeError, EndReason,
+    ErrCode, Hello, ServerFrame, WireOp, WireReport, MAX_LINE_BYTES, PROTOCOL_VERSION,
+    PROTOCOL_VERSION_2, PROTO_MAX,
 };
 pub use server::{ServeSummary, Server, ServerConfig, ServerHandle};
 pub use session::{Session, SessionConfig, SessionLimits, SessionReport};
+pub use wire2::{
+    decode_event_record, encode_event_record, push_clock, read_clock, Dec, Enc, Step,
+    MAX_FRAME_BYTES,
+};

@@ -49,8 +49,12 @@ use crate::proto::{parse_client_line, ClientFrame, Hello, WireOp};
 
 /// Record kind byte: session identity + `HELLO` parameters.
 pub const META_KIND: u8 = b'M';
-/// Record kind byte: one accepted event.
+/// Record kind byte: one accepted event (text `EVENT` line payload).
 pub const EVENT_KIND: u8 = b'E';
+/// Record kind byte: one accepted event, `paramount/2` binary body
+/// ([`crate::wire2::encode_event_record`] — a self-contained frame, no
+/// cross-record interning, so checkpoints can rewrite any subset).
+pub const EVENT2_KIND: u8 = b'F';
 /// Record kind byte: LSM checkpoint (full accepted prefix).
 pub const CHECKPOINT_KIND: u8 = b'C';
 
@@ -69,6 +73,11 @@ pub struct StoreConfig {
     /// Registry for `checkpoint_writes` / `wal_segments`; `None` keeps
     /// the store silent (library embedders, tests).
     pub metrics: Option<Arc<IngestMetrics>>,
+    /// Append events as binary [`EVENT2_KIND`] records instead of text
+    /// `EVENT` lines (the daemon sets this for sessions negotiated at
+    /// `paramount/2`). Purely a write-side policy: recovery replays both
+    /// kinds regardless, so a session's log may mix them across resumes.
+    pub binary_events: bool,
 }
 
 impl Default for StoreConfig {
@@ -78,6 +87,7 @@ impl Default for StoreConfig {
             fsync: FsyncPolicy::OnDemand,
             faults: FaultPlan::default(),
             metrics: None,
+            binary_events: false,
         }
     }
 }
@@ -217,6 +227,12 @@ impl SessionStore {
                         since_checkpoint += 1;
                     }
                 }
+                EVENT2_KIND => {
+                    if let Ok(ev) = crate::wire2::decode_event_record(&record.payload) {
+                        events.push(ev);
+                        since_checkpoint += 1;
+                    }
+                }
                 CHECKPOINT_KIND => {
                     if let Some(ckpt) = decode_checkpoint(record) {
                         debug_assert_eq!(ckpt.acked, ckpt.events.len() as u64);
@@ -261,8 +277,13 @@ impl SessionStore {
     /// two keeps the per-event path free of the checkpoint's inputs (the
     /// quarantine tally is a metrics fold).
     pub fn append_event(&mut self, tid: usize, op: &WireOp) -> io::Result<()> {
-        let line = format!("EVENT {tid} {}", op.render());
-        self.wal.append(EVENT_KIND, line.as_bytes())?;
+        if self.cfg.binary_events {
+            let body = crate::wire2::encode_event_record(tid, op);
+            self.wal.append(EVENT2_KIND, &body)?;
+        } else {
+            let line = format!("EVENT {tid} {}", op.render());
+            self.wal.append(EVENT_KIND, line.as_bytes())?;
+        }
         self.events.push((tid, op.clone()));
         self.since_checkpoint += 1;
         self.publish_segments();
@@ -665,6 +686,42 @@ mod tests {
         // Newlines are sanitized to spaces to keep the record line-oriented.
         assert_eq!(q.message, "worker panic: boom at depth 4");
         assert_eq!(rec.quarantine[1], ledger.quarantined[1]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_event_records_recover_and_mix_with_text_ones() {
+        let dir = scratch_dir("binary");
+        let trace = ops(9);
+        // First incarnation appends binary EVENT2 records.
+        let cfg = StoreConfig {
+            binary_events: true,
+            ..StoreConfig::default()
+        };
+        let mut store = SessionStore::create(&dir, 5, &Hello::new(2), cfg).unwrap();
+        for (tid, op) in &trace[..5] {
+            store.append_event(*tid, op).unwrap();
+        }
+        store.sync().unwrap();
+        drop(store);
+
+        // Recovery replays them; the re-opened store appends text EVENT
+        // lines, so the log now mixes kinds (a v1 resume of a v2 session).
+        let rec = SessionStore::recover(&dir, StoreConfig::default())
+            .unwrap()
+            .expect("store exists");
+        assert_eq!(rec.events, trace[..5]);
+        let mut store = rec.store;
+        for (tid, op) in &trace[5..] {
+            store.append_event(*tid, op).unwrap();
+        }
+        store.sync().unwrap();
+        drop(store);
+
+        let rec = SessionStore::recover(&dir, StoreConfig::default())
+            .unwrap()
+            .expect("store exists");
+        assert_eq!(rec.events, trace, "mixed-kind log replays in order");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,4 +1,8 @@
-//! The `paramount/1` wire protocol: newline-delimited text frames.
+//! The `paramount/1` (text) and `paramount/2` (binary-framed) wire
+//! protocols. v1 is newline-delimited text throughout; v2 negotiates over
+//! the same text `HELLO`/`RESUME` handshake and then switches the client →
+//! server half to the length-prefixed binary framing of [`crate::wire2`]
+//! (server → client stays text in both).
 //!
 //! Design constraints, in order:
 //!
@@ -19,8 +23,8 @@
 //! Client → server, one frame per `\n`-terminated line:
 //!
 //! ```text
-//! HELLO paramount/1 threads=<N> [algo=lexical|bfs|dfs|leveled|auto] [workers=<K>]
-//!       [capture_sync=0|1] [label=<token>]
+//! HELLO paramount/<V> threads=<N> [algo=lexical|bfs|dfs|leveled|auto] [workers=<K>]
+//!       [capture_sync=0|1] [label=<token>]      # V in {1, 2}
 //! EVENT <tid> <op> [<arg>]        # op/arg exactly as in the trace format
 //! FLUSH                           # barrier: ack + live progress counters
 //! STATS                           # session metrics (daemon-wide pre-HELLO)
@@ -52,8 +56,22 @@ use paramount_trace::textfmt::{parse_op_body, ParseError};
 use paramount_trace::{LockId, Op, VarId};
 use std::fmt;
 
-/// Version token every `HELLO` must carry.
+/// Version token of the baseline text protocol.
 pub const PROTOCOL_VERSION: &str = "paramount/1";
+
+/// Version token of the binary-framed protocol. Negotiation happens over
+/// text: a client sends `HELLO paramount/2 …` (or `RESUME paramount/2 …`)
+/// and, if the server accepts, the `OK` reply carries `proto=2` — only
+/// after that does the client → server half of the connection switch to
+/// the length-prefixed binary framing of [`crate::wire2`]. Server →
+/// client frames stay text in both versions. A server capped at v1
+/// answers `ERR version …` *without closing the connection*, so a v2
+/// client falls back by re-sending a `paramount/1` HELLO on the same
+/// socket.
+pub const PROTOCOL_VERSION_2: &str = "paramount/2";
+
+/// Highest protocol version this build speaks.
+pub const PROTO_MAX: u8 = 2;
 
 /// Longest accepted frame line, in bytes. A line longer than this is a
 /// protocol error — it bounds per-connection buffering against hostile or
@@ -160,6 +178,29 @@ fn proto(message: impl Into<String>) -> DecodeError {
     DecodeError::new(ErrCode::Proto, message)
 }
 
+/// Maps a version token to its number, or a `version` error naming what
+/// this build would accept.
+fn parse_version_token(token: &str) -> Result<u8, DecodeError> {
+    match token {
+        PROTOCOL_VERSION => Ok(1),
+        PROTOCOL_VERSION_2 => Ok(2),
+        _ => Err(DecodeError::new(
+            ErrCode::Version,
+            format!(
+                "unsupported protocol `{token}` (want {PROTOCOL_VERSION} or {PROTOCOL_VERSION_2})"
+            ),
+        )),
+    }
+}
+
+/// The wire token for a protocol version number.
+pub fn version_token(proto: u8) -> &'static str {
+    match proto {
+        2 => PROTOCOL_VERSION_2,
+        _ => PROTOCOL_VERSION,
+    }
+}
+
 /// An operation as it travels on the wire: names, not interned ids.
 /// The receiving session interns names into its own tables (the same
 /// first-appearance numbering `parse_trace` uses).
@@ -211,6 +252,9 @@ pub struct Hello {
     pub capture_sync: bool,
     /// Optional session label (single token) echoed in reports.
     pub label: Option<String>,
+    /// Protocol version this HELLO proposes (1 = text, 2 = binary
+    /// framing after the `OK`).
+    pub proto: u8,
 }
 
 impl Hello {
@@ -222,12 +266,17 @@ impl Hello {
             workers: None,
             capture_sync: false,
             label: None,
+            proto: 1,
         }
     }
 
     /// Renders the frame line (no trailing newline).
     pub fn encode(&self) -> String {
-        let mut out = format!("HELLO {PROTOCOL_VERSION} threads={}", self.threads);
+        let mut out = format!(
+            "HELLO {} threads={}",
+            version_token(self.proto),
+            self.threads
+        );
         if let Some(algo) = self.algorithm {
             out.push_str(&format!(" algo={}", algo.name()));
         }
@@ -271,6 +320,9 @@ pub enum ClientFrame {
     Resume {
         /// The session id a previous `HELLO`/`RESUME` handed out.
         session: u64,
+        /// Protocol version proposed for the resumed stream (same
+        /// negotiation as `HELLO`).
+        proto: u8,
     },
     /// Fleet routers only: ask which shard should serve a session. With
     /// no `session=`, the router picks a shard for a *new* session
@@ -294,8 +346,8 @@ impl ClientFrame {
             ClientFrame::Stats => "STATS".to_string(),
             ClientFrame::End => "END".to_string(),
             ClientFrame::Shutdown => "SHUTDOWN".to_string(),
-            ClientFrame::Resume { session } => {
-                format!("RESUME {PROTOCOL_VERSION} session={session}")
+            ClientFrame::Resume { session, proto } => {
+                format!("RESUME {} session={session}", version_token(*proto))
             }
             ClientFrame::Route { session } => match session {
                 Some(id) => format!("ROUTE {PROTOCOL_VERSION} session={id}"),
@@ -324,17 +376,11 @@ pub fn parse_client_line(line: &str) -> Result<ClientFrame, DecodeError> {
 }
 
 fn parse_resume<'a>(parts: impl Iterator<Item = &'a str>) -> Result<ClientFrame, DecodeError> {
-    let mut version_seen = false;
+    let mut version: Option<u8> = None;
     let mut session: Option<u64> = None;
     for token in parts {
-        if !version_seen {
-            if token != PROTOCOL_VERSION {
-                return Err(DecodeError::new(
-                    ErrCode::Version,
-                    format!("unsupported protocol `{token}` (want {PROTOCOL_VERSION})"),
-                ));
-            }
-            version_seen = true;
+        if version.is_none() {
+            version = Some(parse_version_token(token)?);
             continue;
         }
         let (key, value) = token
@@ -351,11 +397,12 @@ fn parse_resume<'a>(parts: impl Iterator<Item = &'a str>) -> Result<ClientFrame,
             other => return Err(proto(format!("unknown RESUME key `{other}`"))),
         }
     }
-    if !version_seen {
-        return Err(proto("RESUME missing protocol version"));
-    }
+    let proto_v = version.ok_or_else(|| proto("RESUME missing protocol version"))?;
     let session = session.ok_or_else(|| proto("RESUME missing session="))?;
-    Ok(ClientFrame::Resume { session })
+    Ok(ClientFrame::Resume {
+        session,
+        proto: proto_v,
+    })
 }
 
 fn parse_route<'a>(parts: impl Iterator<Item = &'a str>) -> Result<ClientFrame, DecodeError> {
@@ -363,12 +410,10 @@ fn parse_route<'a>(parts: impl Iterator<Item = &'a str>) -> Result<ClientFrame, 
     let mut session: Option<u64> = None;
     for token in parts {
         if !version_seen {
-            if token != PROTOCOL_VERSION {
-                return Err(DecodeError::new(
-                    ErrCode::Version,
-                    format!("unsupported protocol `{token}` (want {PROTOCOL_VERSION})"),
-                ));
-            }
+            // Routers are version-agnostic: ROUTE carries no payload whose
+            // encoding differs, so either token is accepted and the answer
+            // is the same.
+            parse_version_token(token)?;
             version_seen = true;
             continue;
         }
@@ -403,18 +448,14 @@ fn expect_bare<'a>(
 }
 
 fn parse_hello<'a>(parts: impl Iterator<Item = &'a str>) -> Result<ClientFrame, DecodeError> {
-    let mut version_seen = false;
+    let mut version: Option<u8> = None;
     let mut threads: Option<usize> = None;
     let mut hello = Hello::new(0);
     for token in parts {
-        if !version_seen {
-            if token != PROTOCOL_VERSION {
-                return Err(DecodeError::new(
-                    ErrCode::Version,
-                    format!("unsupported protocol `{token}` (want {PROTOCOL_VERSION})"),
-                ));
-            }
-            version_seen = true;
+        if version.is_none() {
+            let v = parse_version_token(token)?;
+            hello.proto = v;
+            version = Some(v);
             continue;
         }
         let (key, value) = token
@@ -461,7 +502,7 @@ fn parse_hello<'a>(parts: impl Iterator<Item = &'a str>) -> Result<ClientFrame, 
             other => return Err(proto(format!("unknown HELLO key `{other}`"))),
         }
     }
-    if !version_seen {
+    if version.is_none() {
         return Err(DecodeError::new(
             ErrCode::Version,
             "missing protocol version",
@@ -700,6 +741,7 @@ mod tests {
             workers: Some(2),
             capture_sync: true,
             label: Some("banking".to_string()),
+            proto: 1,
         };
         let line = ClientFrame::Hello(hello.clone()).encode();
         assert_eq!(
@@ -707,6 +749,22 @@ mod tests {
             "HELLO paramount/1 threads=4 algo=bfs workers=2 capture_sync=1 label=banking"
         );
         assert_eq!(parse_client_line(&line).unwrap(), ClientFrame::Hello(hello));
+    }
+
+    #[test]
+    fn hello_negotiates_v2_via_the_version_token() {
+        let mut hello = Hello::new(3);
+        hello.proto = 2;
+        let line = ClientFrame::Hello(hello.clone()).encode();
+        assert_eq!(line, "HELLO paramount/2 threads=3");
+        assert_eq!(parse_client_line(&line).unwrap(), ClientFrame::Hello(hello));
+        // Unknown future versions are still rejected.
+        assert_eq!(
+            parse_client_line("HELLO paramount/3 threads=3")
+                .unwrap_err()
+                .code,
+            ErrCode::Version
+        );
     }
 
     #[test]
@@ -731,14 +789,16 @@ mod tests {
 
     #[test]
     fn resume_round_trip_and_rejects() {
-        let frame = ClientFrame::Resume { session: 42 };
-        let line = frame.encode();
-        assert_eq!(line, "RESUME paramount/1 session=42");
-        assert_eq!(parse_client_line(&line).unwrap(), frame);
+        for proto in [1u8, 2] {
+            let frame = ClientFrame::Resume { session: 42, proto };
+            let line = frame.encode();
+            assert_eq!(line, format!("RESUME paramount/{proto} session=42"));
+            assert_eq!(parse_client_line(&line).unwrap(), frame);
+        }
         for (line, code) in [
             ("RESUME", ErrCode::Proto),
             ("RESUME session=42", ErrCode::Version),
-            ("RESUME paramount/2 session=42", ErrCode::Version),
+            ("RESUME paramount/9 session=42", ErrCode::Version),
             ("RESUME paramount/1", ErrCode::Proto),
             ("RESUME paramount/1 session=many", ErrCode::Proto),
             ("RESUME paramount/1 label=x", ErrCode::Proto),
@@ -760,10 +820,15 @@ mod tests {
             ClientFrame::Route { session: None }.encode(),
             "ROUTE paramount/1"
         );
+        // Routers answer either version token identically.
+        assert_eq!(
+            parse_client_line("ROUTE paramount/2").unwrap(),
+            ClientFrame::Route { session: None }
+        );
         for (line, code) in [
             ("ROUTE", ErrCode::Proto),
             ("ROUTE session=8", ErrCode::Version),
-            ("ROUTE paramount/2", ErrCode::Version),
+            ("ROUTE paramount/9", ErrCode::Version),
             ("ROUTE paramount/1 session=many", ErrCode::Proto),
             ("ROUTE paramount/1 label=x", ErrCode::Proto),
         ] {
@@ -776,7 +841,7 @@ mod tests {
         for (line, code) in [
             ("", ErrCode::Proto),
             ("NOPE", ErrCode::Proto),
-            ("HELLO paramount/2 threads=2", ErrCode::Version),
+            ("HELLO paramount/9 threads=2", ErrCode::Version),
             ("HELLO threads=2", ErrCode::Version),
             ("HELLO paramount/1", ErrCode::Proto),
             ("HELLO paramount/1 threads=0", ErrCode::Proto),

@@ -18,9 +18,11 @@
 
 use crate::persist::{scan_sessions, session_dir, SessionStore, StoreConfig};
 use crate::proto::{
-    parse_client_line, ClientFrame, DecodeError, EndReason, ErrCode, ServerFrame, MAX_LINE_BYTES,
+    parse_client_line, version_token, ClientFrame, DecodeError, EndReason, ErrCode, ServerFrame,
+    MAX_LINE_BYTES, PROTO_MAX,
 };
 use crate::session::{Session, SessionConfig, SessionReport};
+use crate::wire2;
 use paramount::{
     panic_message, GovernorConfig, IngestMetrics, IngestSnapshot, MemoryBudget, Pressure,
 };
@@ -78,6 +80,13 @@ pub struct ServerConfig {
     /// id encodes its home shard in the high 32 bits; the default of 1
     /// matches a standalone daemon.
     pub first_session_id: u64,
+    /// Highest protocol version this daemon accepts (default
+    /// [`PROTO_MAX`]). A `HELLO`/`RESUME` offering more is rejected with
+    /// `ERR version` *without* closing the connection — exactly how a
+    /// genuinely old daemon behaves — so auto-negotiating clients fall
+    /// back to `paramount/1` on the same socket. Set to 1 to force a
+    /// text-only daemon (the CI compat matrix does).
+    pub proto_max: u8,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +100,7 @@ impl Default for ServerConfig {
             checkpoint_every_events: 4096,
             fsync: FsyncPolicy::OnDemand,
             first_session_id: 1,
+            proto_max: PROTO_MAX,
         }
     }
 }
@@ -456,6 +466,7 @@ fn durable_store_config(config: &ServerConfig, metrics: &Arc<IngestMetrics>) -> 
         fsync: config.fsync,
         faults: config.session.engine.faults,
         metrics: Some(Arc::clone(metrics)),
+        binary_events: false,
     }
 }
 
@@ -524,6 +535,85 @@ impl LineReader {
             }
         }
     }
+
+    /// Drains the bytes read past the last returned line — what a v2
+    /// switchover hands to the binary decoder so nothing pipelined after
+    /// the negotiating frame is lost.
+    fn take_rest(&mut self) -> Vec<u8> {
+        let rest = self.buf.split_off(self.pos);
+        self.buf.clear();
+        self.pos = 0;
+        rest
+    }
+}
+
+/// Reads length-prefixed binary frames off a timeout-ticking stream —
+/// the `paramount/2` twin of [`LineReader`], active after a connection
+/// negotiates v2.
+struct BinReader {
+    dec: wire2::Dec,
+    /// Bytes read since the last drain (for the `bytes_in` counter).
+    bytes: u64,
+}
+
+/// One binary read-tick outcome.
+enum BinTick {
+    /// A complete decoded frame.
+    Frame(ClientFrame),
+    /// Timeout with no complete frame — chance to check flags.
+    Idle,
+    /// Peer closed the stream.
+    Eof,
+    /// The stream is no longer frame-aligned (torn or malformed frame,
+    /// oversize length). Unlike a malformed text line, this is fatal:
+    /// there is no terminator to resynchronize on.
+    Bad(DecodeError),
+    /// Hard I/O error; treated as a disconnect.
+    Err,
+}
+
+impl BinReader {
+    fn new(dec: wire2::Dec) -> Self {
+        BinReader { dec, bytes: 0 }
+    }
+
+    fn next(&mut self, stream: &mut impl Read) -> BinTick {
+        loop {
+            match self.dec.next_frame() {
+                Ok(wire2::Step::Frame(frame)) => return BinTick::Frame(frame),
+                Ok(wire2::Step::Incomplete) => {}
+                Err(e) => return BinTick::Bad(e),
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return BinTick::Eof,
+                Ok(n) => {
+                    self.bytes += n as u64;
+                    self.dec.extend(&chunk[..n]);
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return BinTick::Idle
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return BinTick::Err,
+            }
+        }
+    }
+
+    fn take_bytes(&mut self) -> u64 {
+        std::mem::take(&mut self.bytes)
+    }
+}
+
+/// The per-connection reader: text until a `HELLO`/`RESUME` negotiates
+/// `paramount/2`, binary afterwards (server→client replies stay text in
+/// both modes).
+enum ConnReader {
+    Text(LineReader),
+    Binary(BinReader),
 }
 
 fn send(stream: &mut Stream, frame: &ServerFrame) -> io::Result<()> {
@@ -607,15 +697,68 @@ fn connection_loop<F: Fn(&SessionReport) + Send + Sync>(
     session: &mut Option<Session>,
     ctx: &ConnCtx<F>,
 ) -> Option<EndReason> {
-    let mut reader = LineReader::new();
+    let mut reader = ConnReader::Text(LineReader::new());
+    let mut conn_proto: u8 = 1;
     let mut last_frame = Instant::now();
     // Sessions get their configured idle budget; a connection that never
     // says HELLO gets the same budget to do so.
     let pre_hello_idle = ctx.config.session.limits.idle_timeout;
 
+    /// One decoded step of either reader, error policy included.
+    enum Ev {
+        Frame(ClientFrame),
+        /// Nothing actionable this tick (blank keep-alive line).
+        Skip,
+        Idle,
+        /// Peer gone (EOF or hard I/O error).
+        Gone,
+        /// Recoverable decode error: reject the frame, keep the stream
+        /// (text mode only — lines realign on `\n`).
+        Soft(DecodeError),
+        /// Unrecoverable decode error: the stream lost alignment
+        /// (oversize text line, torn or malformed binary frame).
+        Fatal(DecodeError),
+    }
+
     loop {
-        match reader.next(stream) {
-            Tick::Idle => {
+        let ev = match &mut reader {
+            ConnReader::Text(r) => match r.next(stream) {
+                Tick::Idle => Ev::Idle,
+                Tick::Eof | Tick::Err => Ev::Gone,
+                Tick::Oversize => Ev::Fatal(DecodeError::new(
+                    ErrCode::Proto,
+                    format!("line exceeds {MAX_LINE_BYTES} bytes"),
+                )),
+                Tick::Line(line) => {
+                    last_frame = Instant::now();
+                    ctx.metrics.bytes_in.add(line.len() as u64 + 1);
+                    if line.trim().is_empty() {
+                        Ev::Skip // blank keep-alive lines are free
+                    } else {
+                        match parse_client_line(&line) {
+                            Ok(frame) => Ev::Frame(frame),
+                            Err(err) => Ev::Soft(err),
+                        }
+                    }
+                }
+            },
+            ConnReader::Binary(r) => {
+                let tick = r.next(stream);
+                ctx.metrics.bytes_in.add(r.take_bytes());
+                match tick {
+                    BinTick::Idle => Ev::Idle,
+                    BinTick::Eof | BinTick::Err => Ev::Gone,
+                    BinTick::Bad(err) => Ev::Fatal(err),
+                    BinTick::Frame(frame) => {
+                        last_frame = Instant::now();
+                        Ev::Frame(frame)
+                    }
+                }
+            }
+        };
+        match ev {
+            Ev::Skip => {}
+            Ev::Idle => {
                 if ctx.stop.load(Ordering::Relaxed) {
                     if session.is_some() {
                         return Some(EndReason::Shutdown);
@@ -640,64 +783,51 @@ fn connection_loop<F: Fn(&SessionReport) + Send + Sync>(
                     return None; // silent pre-HELLO connection: just drop it
                 }
             }
-            Tick::Eof => {
+            Ev::Gone => {
                 if session.is_some() {
                     return Some(EndReason::Disconnect);
                 }
                 return None;
             }
-            Tick::Oversize => {
+            Ev::Fatal(err) => {
                 ctx.metrics.decode_errors.add(1);
-                let _ = send(
-                    stream,
-                    &ServerFrame::Err(DecodeError::new(
-                        ErrCode::Proto,
-                        format!("line exceeds {MAX_LINE_BYTES} bytes"),
-                    )),
-                );
+                let _ = send(stream, &ServerFrame::Err(err));
                 if session.is_some() {
                     return Some(EndReason::Error);
                 }
                 return None;
             }
-            Tick::Err => {
-                if session.is_some() {
-                    return Some(EndReason::Disconnect);
+            Ev::Soft(err) => {
+                // Malformed input is survivable: reject the frame, keep
+                // the session; the stream stays line-aligned because
+                // frames are lines.
+                ctx.metrics.decode_errors.add(1);
+                if send(stream, &ServerFrame::Err(err)).is_err() {
+                    if session.is_some() {
+                        return Some(EndReason::Disconnect);
+                    }
+                    return None;
                 }
-                return None;
             }
-            Tick::Line(line) => {
-                last_frame = Instant::now();
-                ctx.metrics.bytes_in.add(line.len() as u64 + 1);
-                if line.trim().is_empty() {
-                    continue; // blank keep-alive lines are free
-                }
-                let frame = match parse_client_line(&line) {
-                    Ok(frame) => {
-                        ctx.metrics.frames_decoded.add(1);
-                        frame
-                    }
-                    Err(err) => {
-                        // Malformed input is survivable: reject the frame,
-                        // keep the session; the stream stays line-aligned
-                        // because frames are lines.
-                        ctx.metrics.decode_errors.add(1);
-                        if send(stream, &ServerFrame::Err(err)).is_err() {
-                            if session.is_some() {
-                                return Some(EndReason::Disconnect);
-                            }
-                            return None;
-                        }
-                        continue;
-                    }
-                };
-                match handle_frame(frame, stream, session, ctx) {
+            Ev::Frame(frame) => {
+                ctx.metrics.frames_decoded.add(1);
+                match handle_frame(frame, stream, session, &mut conn_proto, ctx) {
                     FrameOutcome::Continue => {}
                     FrameOutcome::Close(reason) => {
                         if session.is_some() {
                             return Some(reason);
                         }
                         return None;
+                    }
+                }
+                // A successful v2 negotiation flips the reader: any bytes
+                // the line reader pipelined past the negotiating frame
+                // seed the binary decoder.
+                if conn_proto >= 2 {
+                    if let ConnReader::Text(r) = &mut reader {
+                        let mut dec = wire2::Dec::new();
+                        dec.extend(&r.take_rest());
+                        reader = ConnReader::Binary(BinReader::new(dec));
                     }
                 }
             }
@@ -715,6 +845,7 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
     frame: ClientFrame,
     stream: &mut Stream,
     session: &mut Option<Session>,
+    conn_proto: &mut u8,
     ctx: &ConnCtx<F>,
 ) -> FrameOutcome {
     let reply = |stream: &mut Stream, frame: &ServerFrame| {
@@ -733,6 +864,22 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
                     &ServerFrame::Err(DecodeError::new(
                         ErrCode::State,
                         "session already established",
+                    )),
+                );
+            }
+            if hello.proto > ctx.config.proto_max {
+                // Reject the version but keep the connection, exactly like
+                // a daemon that predates the offered version: the client
+                // falls back with a `paramount/1` HELLO on this socket.
+                ctx.metrics.decode_errors.add(1);
+                return reply(
+                    stream,
+                    &ServerFrame::Err(DecodeError::new(
+                        ErrCode::Version,
+                        format!(
+                            "daemon speaks up to {}",
+                            version_token(ctx.config.proto_max)
+                        ),
                     )),
                 );
             }
@@ -777,7 +924,10 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
             // durability promise after the client has streamed.
             let store = match &ctx.config.data_dir {
                 Some(root) => {
-                    let cfg = durable_store_config(&ctx.config, &ctx.metrics);
+                    let mut cfg = durable_store_config(&ctx.config, &ctx.metrics);
+                    // Sessions negotiated at v2 log binary WAL records;
+                    // recovery replays either kind.
+                    cfg.binary_events = hello.proto >= 2;
                     match SessionStore::create(&session_dir(root, id), id, &hello, cfg) {
                         Ok(store) => Some(store),
                         Err(err) => {
@@ -803,10 +953,14 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
                     ctx.metrics.sessions_opened.add(1);
                     ctx.metrics.active_sessions.inc();
                     *session = Some(s);
-                    reply(
-                        stream,
-                        &ServerFrame::Ok(vec![("session".to_string(), id.to_string())]),
-                    )
+                    let mut kvs = vec![("session".to_string(), id.to_string())];
+                    if hello.proto >= 2 {
+                        // Echo the accepted version; the reply's success
+                        // is the moment the connection switches to binary.
+                        kvs.push(("proto".to_string(), hello.proto.to_string()));
+                        *conn_proto = hello.proto;
+                    }
+                    reply(stream, &ServerFrame::Ok(kvs))
                 }
                 Err(err) => {
                     if let Some(store) = store {
@@ -884,7 +1038,7 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
             // In-session: the session's engine metrics. Pre-HELLO: the
             // daemon-wide ingest counters (this is how `paramount stats
             // --connect` scrapes a live daemon).
-            let json = match session.as_ref() {
+            let mut json = match session.as_ref() {
                 Some(s) => {
                     let label = s.label().unwrap_or("session").to_string();
                     s.metrics().to_json_lines(&label)
@@ -900,6 +1054,21 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
                     out
                 }
             };
+            // The connection's negotiated wire version rides along so a
+            // scrape (or `paramount stats --connect`) shows which framing
+            // the stream is using.
+            let scope = session
+                .as_ref()
+                .map(|s| s.label().unwrap_or("session"))
+                .unwrap_or("ingest");
+            if !json.is_empty() && !json.ends_with('\n') {
+                json.push('\n');
+            }
+            json.push_str(&format!(
+                "{{\"label\":\"{}\",\"metric\":\"protocol_version\",\"type\":\"gauge\",\"value\":{}}}",
+                scope.replace('\\', "\\\\").replace('"', "\\\""),
+                conn_proto,
+            ));
             for line in json.lines() {
                 if send(stream, &ServerFrame::Stat(line.to_string())).is_err() {
                     return FrameOutcome::Close(EndReason::Disconnect);
@@ -943,7 +1112,10 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
                 )),
             )
         }
-        ClientFrame::Resume { session: want } => {
+        ClientFrame::Resume {
+            session: want,
+            proto,
+        } => {
             if session.is_some() {
                 ctx.metrics.decode_errors.add(1);
                 return reply(
@@ -951,6 +1123,21 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
                     &ServerFrame::Err(DecodeError::new(
                         ErrCode::State,
                         "session already established",
+                    )),
+                );
+            }
+            if proto > ctx.config.proto_max {
+                // Same non-fatal rejection as HELLO: the client re-offers
+                // `paramount/1` on this connection.
+                ctx.metrics.decode_errors.add(1);
+                return reply(
+                    stream,
+                    &ServerFrame::Err(DecodeError::new(
+                        ErrCode::Version,
+                        format!(
+                            "daemon speaks up to {}",
+                            version_token(ctx.config.proto_max)
+                        ),
                     )),
                 );
             }
@@ -976,7 +1163,8 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
             let s = match adopted {
                 Some(s) => s,
                 None => {
-                    let cfg = durable_store_config(&ctx.config, &ctx.metrics);
+                    let mut cfg = durable_store_config(&ctx.config, &ctx.metrics);
+                    cfg.binary_events = proto >= 2;
                     let rec = match SessionStore::recover(&session_dir(&root, want), cfg) {
                         Ok(Some(rec)) => rec,
                         Ok(None) => {
@@ -1018,13 +1206,15 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
             };
             let acked = s.acked().unwrap_or(0);
             *session = Some(s);
-            reply(
-                stream,
-                &ServerFrame::Ok(vec![
-                    ("session".to_string(), want.to_string()),
-                    ("acked".to_string(), acked.to_string()),
-                ]),
-            )
+            let mut kvs = vec![
+                ("session".to_string(), want.to_string()),
+                ("acked".to_string(), acked.to_string()),
+            ];
+            if proto >= 2 {
+                kvs.push(("proto".to_string(), proto.to_string()));
+                *conn_proto = proto;
+            }
+            reply(stream, &ServerFrame::Ok(kvs))
         }
     }
 }

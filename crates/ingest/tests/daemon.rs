@@ -5,7 +5,8 @@
 use paramount_enumerate::bfs::{self, BfsOptions};
 use paramount_enumerate::CountSink;
 use paramount_ingest::{
-    stream_program, Client, EndReason, Hello, Server, ServerConfig, SessionReport, WireOp,
+    stream_program, Client, EndReason, Hello, ProtoPref, Server, ServerConfig, SessionReport,
+    WireOp,
 };
 use paramount_trace::gen::{random_program, RandomProgramConfig};
 use paramount_trace::textfmt::{trace_of_program, TraceFile};
@@ -208,6 +209,10 @@ fn malformed_input_is_survivable() {
     let (addr, handle, _rx, daemon) = spawn_daemon(ServerConfig::default());
 
     let mut client = Client::connect_tcp(addr).expect("connect");
+    // Pin the text protocol: this test is about the server rejecting a
+    // malformed text line mid-session (binary clients can't emit one —
+    // `event_line` re-parses and fails locally under paramount/2).
+    client.set_proto_pref(paramount_ingest::ProtoPref::V1);
     client.hello(&Hello::new(2)).expect("hello");
     client.event(0, &WireOp::Write("x".into())).expect("event");
     // A garbage line: ERR proto, session lives.
@@ -344,4 +349,110 @@ fn oversized_hello_is_rejected_on_the_wire() {
     let summary = daemon.join().expect("daemon");
     assert_eq!(summary.ingest.sessions_rejected, 1);
     assert_eq!(summary.ingest.sessions_opened, 0);
+}
+
+/// Mixed-version interop, both framings against one daemon: the same
+/// trace streamed by a paramount/1-pinned client and a paramount/2-pinned
+/// client yields identical reports, both equal to the BFS oracle.
+#[test]
+fn text_and_binary_framing_agree_with_the_bfs_oracle() {
+    let (addr, handle, _rx, daemon) = spawn_daemon(ServerConfig::default());
+
+    let config = RandomProgramConfig {
+        threads: 3,
+        steps_per_thread: 5,
+        vars: 3,
+        locks: 2,
+        lock_probability: 0.5,
+        write_probability: 0.4,
+    };
+    let program = random_program("interop", config, 7);
+    let trace = trace_of_program(&program, 7);
+    let expected = bfs_oracle(&trace);
+
+    for (pref, want_proto) in [(ProtoPref::V1, 1u8), (ProtoPref::V2, 2u8)] {
+        let mut client = Client::connect_tcp(addr).expect("connect");
+        client.set_proto_pref(pref);
+        client.hello(&Hello::new(trace.threads)).expect("hello");
+        assert_eq!(client.proto(), want_proto, "negotiated version");
+        client.stream_trace(&trace).expect("stream");
+        let report = client.finish().expect("finish");
+        assert_eq!(report.reason, EndReason::End);
+        assert!(report.complete);
+        assert_eq!(report.cuts, expected, "proto {want_proto} vs BFS oracle");
+    }
+
+    handle.shutdown();
+    let summary = daemon.join().expect("daemon");
+    assert_eq!(summary.ingest.sessions_completed, 2);
+    assert_eq!(summary.ingest.decode_errors, 0);
+}
+
+/// An `auto` client offered paramount/2 to a v1-capped daemon falls back
+/// to the text protocol on the same socket and still completes, while a
+/// hard-pinned v2 client is turned away with `ERR version`.
+#[test]
+fn auto_client_falls_back_against_a_version_capped_daemon() {
+    let config = ServerConfig {
+        proto_max: 1,
+        ..ServerConfig::default()
+    };
+    let (addr, handle, _rx, daemon) = spawn_daemon(config);
+
+    // Hard-pinned v2: rejected, connection-level version error.
+    let mut pinned = Client::connect_tcp(addr).expect("connect");
+    pinned.set_proto_pref(ProtoPref::V2);
+    let err = pinned.hello(&Hello::new(2)).expect_err("v2 refused");
+    match err {
+        paramount_ingest::ClientError::Rejected(e) => {
+            assert_eq!(e.code, paramount_ingest::ErrCode::Version)
+        }
+        other => panic!("expected a version rejection, got {other}"),
+    }
+
+    // Auto (the default): second HELLO on the same socket, text framing.
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    client.hello(&Hello::new(2)).expect("fallback hello");
+    assert_eq!(client.proto(), 1, "fell back to paramount/1");
+    client.event(0, &WireOp::Write("x".into())).expect("event");
+    client.event(1, &WireOp::Read("x".into())).expect("event");
+    let report = client.finish().expect("finish");
+    assert_eq!(report.cuts, 4);
+    assert!(report.complete);
+
+    handle.shutdown();
+    let summary = daemon.join().expect("daemon");
+    assert_eq!(summary.ingest.sessions_completed, 1);
+}
+
+/// `STATS` surfaces the connection's negotiated `protocol_version` so
+/// operators can audit which framing live clients actually speak.
+#[test]
+fn stats_report_the_negotiated_protocol_version() {
+    let (addr, handle, _rx, daemon) = spawn_daemon(ServerConfig::default());
+
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    client.hello(&Hello::new(2)).expect("hello");
+    assert_eq!(client.proto(), 2);
+    client.event(0, &WireOp::Write("x".into())).expect("event");
+    let lines = client.stats().expect("stats");
+    let gauge = lines
+        .iter()
+        .find(|l| l.contains("\"protocol_version\""))
+        .expect("protocol_version gauge present");
+    assert!(gauge.contains("\"value\":2"), "{gauge}");
+    let report = client.finish().expect("finish");
+    assert_eq!(report.events, 1);
+
+    // A bare scrape connection never negotiated: it reports version 1.
+    let mut scrape = Client::connect_tcp(addr).expect("connect");
+    let lines = scrape.stats().expect("stats");
+    let gauge = lines
+        .iter()
+        .find(|l| l.contains("\"protocol_version\""))
+        .expect("protocol_version gauge present");
+    assert!(gauge.contains("\"value\":1"), "{gauge}");
+
+    handle.shutdown();
+    daemon.join().expect("daemon");
 }

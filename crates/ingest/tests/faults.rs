@@ -13,12 +13,16 @@ use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::Duration;
 
+/// What each finished session reports back to the test:
+/// (label, end reason, cuts, complete).
+type SessionOutcome = (Option<String>, EndReason, u64, bool);
+
 fn spawn_daemon(
     config: ServerConfig,
 ) -> (
     SocketAddr,
     paramount_ingest::ServerHandle,
-    mpsc::Receiver<(Option<String>, EndReason, u64, bool)>,
+    mpsc::Receiver<SessionOutcome>,
     std::thread::JoinHandle<paramount_ingest::ServeSummary>,
 ) {
     let mut server = Server::new(config);

@@ -1,0 +1,185 @@
+//! Property-based laws for the `paramount/2` binary codec.
+//!
+//! The unit tests in `wire2.rs` pin concrete byte layouts; these
+//! properties pin the *contract* over arbitrary inputs: streams survive
+//! any chunking, every torn tail is `Incomplete` (never an error),
+//! stateless records reject both truncation and trailing bytes, and the
+//! clock codec is a faithful inverse that consumes exactly its own
+//! bytes.
+
+use paramount_ingest::wire2::{TAG_END, TAG_FLUSH};
+use paramount_ingest::{
+    decode_event_record, encode_event_record, push_clock, read_clock, ClientFrame, Dec, Enc, Step,
+    WireOp,
+};
+use paramount_vclock::VectorClock;
+use proptest::prelude::*;
+
+/// Short lowercase names drawn from a small alphabet so repeated names —
+/// and therefore the interning path — show up in most generated streams.
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,7}"
+}
+
+fn arb_op() -> impl Strategy<Value = WireOp> {
+    prop_oneof![
+        arb_name().prop_map(WireOp::Read),
+        arb_name().prop_map(WireOp::Write),
+        arb_name().prop_map(WireOp::Acquire),
+        arb_name().prop_map(WireOp::Release),
+        (0usize..64).prop_map(WireOp::Fork),
+        (0usize..64).prop_map(WireOp::Join),
+        any::<u32>().prop_map(WireOp::Work),
+    ]
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<(usize, WireOp)>> {
+    prop::collection::vec((0usize..64, arb_op()), 0..24)
+}
+
+/// Sparse clocks of width `n` with up to 24 nonzero entries; a BTreeMap
+/// strategy hands us distinct in-range tids for free.
+fn arb_sparse_clock() -> impl Strategy<Value = VectorClock> {
+    (1usize..2048).prop_flat_map(|n| {
+        prop::collection::btree_map(0..n as u32, 1u32..1_000_000, 0..n.min(24) + 1)
+            .prop_map(move |entries| VectorClock::from_entries(n, entries.into_iter().collect()))
+    })
+}
+
+fn arb_dense_clock() -> impl Strategy<Value = VectorClock> {
+    prop::collection::vec(0u32..50, 1..64).prop_map(VectorClock::from_components)
+}
+
+/// Encodes `events` as one v2 stream followed by FLUSH + END.
+fn encode_stream(events: &[(usize, WireOp)]) -> Vec<u8> {
+    let mut enc = Enc::new();
+    let mut wire = Vec::new();
+    for (tid, op) in events {
+        enc.push_event(&mut wire, *tid, op);
+    }
+    enc.push_bare(&mut wire, TAG_FLUSH);
+    enc.push_bare(&mut wire, TAG_END);
+    wire
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any event sequence, delivered in any fixed chunk size, decodes
+    /// back to exactly the frames that were encoded — interning, tid
+    /// deltas, and frame reassembly are all invisible to the caller.
+    #[test]
+    fn streams_round_trip_under_arbitrary_chunking(
+        events in arb_events(),
+        chunk in 1usize..9,
+    ) {
+        let wire = encode_stream(&events);
+        let mut dec = Dec::new();
+        let mut got = Vec::new();
+        let mut tail = Vec::new();
+        for piece in wire.chunks(chunk) {
+            dec.extend(piece);
+            loop {
+                match dec.next_frame() {
+                    Ok(Step::Frame(ClientFrame::Event { tid, op })) => got.push((tid, op)),
+                    Ok(Step::Frame(frame)) => tail.push(frame),
+                    Ok(Step::Incomplete) => break,
+                    Err(err) => {
+                        prop_assert!(false, "well-formed stream rejected: {err:?}");
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(got, events);
+        prop_assert_eq!(tail, vec![ClientFrame::Flush, ClientFrame::End]);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// Every strict prefix of a valid stream is merely torn: the decoder
+    /// reports `Incomplete` and waits, it never diagnoses an error. This
+    /// is what makes half-received TCP segments safe.
+    #[test]
+    fn torn_prefixes_are_incomplete_never_errors(events in arb_events()) {
+        let wire = encode_stream(&events);
+        for cut in 0..wire.len() {
+            let mut dec = Dec::new();
+            dec.extend(&wire[..cut]);
+            loop {
+                match dec.next_frame() {
+                    Ok(Step::Frame(_)) => {}
+                    Ok(Step::Incomplete) => break,
+                    Err(err) => {
+                        prop_assert!(false, "torn prefix at {cut} treated as fatal: {err:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stateless WAL records are a faithful inverse, and their framing is
+    /// exact: any missing byte *or* any trailing byte is rejected.
+    #[test]
+    fn event_records_round_trip_exactly(tid in 0usize..1024, op in arb_op()) {
+        let record = encode_event_record(tid, &op);
+        let decoded = decode_event_record(&record);
+        prop_assert!(decoded.is_ok(), "own record rejected: {decoded:?}");
+        prop_assert_eq!(decoded.unwrap(), (tid, op));
+        for cut in 0..record.len() {
+            prop_assert!(decode_event_record(&record[..cut]).is_err());
+        }
+        let mut padded = record.clone();
+        padded.push(0);
+        prop_assert!(decode_event_record(&padded).is_err());
+    }
+
+    /// Interning and tid deltas only ever help: a shared-state stream is
+    /// never larger than the same events as independent records.
+    #[test]
+    fn streaming_never_beats_stateless_records(events in arb_events()) {
+        let mut enc = Enc::new();
+        let mut streamed = Vec::new();
+        let mut stateless = 0usize;
+        for (tid, op) in &events {
+            enc.push_event(&mut streamed, *tid, op);
+            stateless += encode_event_record(*tid, op).len();
+        }
+        prop_assert!(streamed.len() <= stateless);
+    }
+
+    /// The clock codec round-trips sparse clocks and consumes exactly its
+    /// own bytes, so it can be embedded mid-buffer.
+    #[test]
+    fn sparse_clocks_round_trip(clock in arb_sparse_clock(), garbage in any::<u8>()) {
+        let mut buf = Vec::new();
+        push_clock(&mut buf, clock.view());
+        let body = buf.len();
+        buf.push(garbage);
+        let mut at = 0;
+        let back = read_clock(&buf, &mut at);
+        prop_assert_eq!(back, Some(clock));
+        prop_assert_eq!(at, body);
+    }
+
+    /// Dense clocks survive the same codec; the decoded value compares
+    /// equal even though it comes back in the sparse representation.
+    #[test]
+    fn dense_clocks_round_trip(clock in arb_dense_clock()) {
+        let mut buf = Vec::new();
+        push_clock(&mut buf, clock.view());
+        let mut at = 0;
+        prop_assert_eq!(read_clock(&buf, &mut at), Some(clock));
+        prop_assert_eq!(at, buf.len());
+    }
+
+    /// A truncated clock body is always detected: no strict prefix of a
+    /// valid encoding decodes, and none of them panic.
+    #[test]
+    fn truncated_clock_bodies_are_rejected(clock in arb_sparse_clock()) {
+        let mut buf = Vec::new();
+        push_clock(&mut buf, clock.view());
+        for cut in 0..buf.len() {
+            let mut at = 0;
+            prop_assert!(read_clock(&buf[..cut], &mut at).is_none());
+        }
+    }
+}

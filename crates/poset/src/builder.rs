@@ -48,24 +48,16 @@ impl<P> PosetBuilder<P> {
     /// number of incoming edges.
     pub fn append_after(&mut self, t: Tid, deps: &[EventId], payload: P) -> EventId {
         let i = t.index();
-        // Collect dependency clocks first to appease the borrow checker
-        // (deps may point into any thread, including t itself).
-        let dep_clocks: Vec<VectorClock> = deps
-            .iter()
-            .map(|&d| {
-                debug_assert!(
-                    (d.index as usize) <= self.threads[d.tid.index()].len(),
-                    "dependency on a not-yet-appended event"
-                );
-                self.threads[d.tid.index()][(d.index - 1) as usize]
-                    .vc
-                    .clone()
-            })
-            .collect();
+        // `threads` and `thread_clocks` are disjoint fields, so dependency
+        // clocks are joined straight out of their events — no clone per dep.
         let clock = &mut self.thread_clocks[i];
         clock.tick(t);
-        for dc in &dep_clocks {
-            clock.join(dc);
+        for &d in deps {
+            debug_assert!(
+                (d.index as usize) <= self.threads[d.tid.index()].len(),
+                "dependency on a not-yet-appended event"
+            );
+            clock.join(&self.threads[d.tid.index()][(d.index - 1) as usize].vc);
         }
         let id = EventId::new(t, clock.get(t));
         self.threads[i].push(Event {
@@ -116,9 +108,9 @@ mod tests {
         let a2 = b.append(Tid(0), ());
         let b1 = b.append(Tid(1), ());
         let p = b.finish();
-        assert_eq!(p.vc(a1).as_slice(), &[1, 0]);
-        assert_eq!(p.vc(a2).as_slice(), &[2, 0]);
-        assert_eq!(p.vc(b1).as_slice(), &[0, 1]);
+        assert_eq!(p.vc(a1).to_dense(), &[1, 0]);
+        assert_eq!(p.vc(a2).to_dense(), &[2, 0]);
+        assert_eq!(p.vc(b1).to_dense(), &[0, 1]);
         assert!(p.happened_before(a1, a2));
         assert!(p.concurrent(a2, b1));
     }
@@ -131,10 +123,10 @@ mod tests {
         let e1_2 = b.append_after(Tid(0), &[e2_1], ());
         let e2_2 = b.append_after(Tid(1), &[e1_1], ());
         let p = b.finish();
-        assert_eq!(p.vc(e1_1).as_slice(), &[1, 0]);
-        assert_eq!(p.vc(e2_1).as_slice(), &[0, 1]);
-        assert_eq!(p.vc(e1_2).as_slice(), &[2, 1]);
-        assert_eq!(p.vc(e2_2).as_slice(), &[1, 2]);
+        assert_eq!(p.vc(e1_1).to_dense(), &[1, 0]);
+        assert_eq!(p.vc(e2_1).to_dense(), &[0, 1]);
+        assert_eq!(p.vc(e1_2).to_dense(), &[2, 1]);
+        assert_eq!(p.vc(e2_2).to_dense(), &[1, 2]);
     }
 
     #[test]
@@ -145,7 +137,7 @@ mod tests {
         let b = bld.append_after(Tid(1), &[a], ());
         let c = bld.append_after(Tid(2), &[b], ());
         let p = bld.finish();
-        assert_eq!(p.vc(c).as_slice(), &[1, 1, 1]);
+        assert_eq!(p.vc(c).to_dense(), &[1, 1, 1]);
         assert!(p.happened_before(a, c));
     }
 

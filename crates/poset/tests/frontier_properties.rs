@@ -5,8 +5,8 @@
 //! `join` are the componentwise min/max. These tests check the lattice
 //! laws — idempotence, commutativity, associativity, absorption, and the
 //! `leq` ↔ `meet`/`join` characterisation — at both representation
-//! widths: the inline small-vector encoding (n ≤ 8, no heap allocation)
-//! and the spilled heap encoding (n > 8). A bug that only manifests in
+//! widths: the inline small-vector encoding (n ≤ 16, no heap allocation)
+//! and the spilled heap encoding (n > 16). A bug that only manifests in
 //! one representation (or at the boundary) shows up here.
 
 use paramount_poset::Frontier;
@@ -14,12 +14,12 @@ use proptest::prelude::*;
 
 /// Frontiers at a width that stays in the inline representation.
 fn arb_inline() -> impl Strategy<Value = (Frontier, Frontier, Frontier)> {
-    arb_triple(1usize..=8)
+    arb_triple(1usize..=16)
 }
 
 /// Frontiers at a width that forces the spilled (heap) representation.
 fn arb_spilled() -> impl Strategy<Value = (Frontier, Frontier, Frontier)> {
-    arb_triple(9usize..=20)
+    arb_triple(17usize..=36)
 }
 
 /// Three same-width frontiers with independent per-thread counts.

@@ -1,6 +1,7 @@
 use crate::Tid;
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::Index;
 
 /// Outcome of comparing two vector clocks under happened-before.
@@ -20,6 +21,39 @@ pub enum ClockOrdering {
     Concurrent,
 }
 
+/// Widths up to this stay dense under [`VectorClock::zero`]; wider clocks
+/// start sparse. Narrow posets (every workload of the paper runs at n ≤ 10)
+/// keep the branch-predictable linear-scan representation; wide posets pay
+/// per *causal neighbor* instead of per thread.
+pub const DENSE_WIDTH_MAX: usize = 64;
+
+/// A sparse clock whose live-entry count reaches ¾ of its width promotes to
+/// dense: at that density the `(tid, count)` pairs cost more than the flat
+/// vector and the merge loops lose their skip advantage.
+const PROMOTE_NUM: usize = 3;
+const PROMOTE_DEN: usize = 4;
+
+/// Referenced by `Index<Tid>` for components a sparse clock does not store.
+static ZERO_COMPONENT: u32 = 0;
+
+/// Storage for the components. `Dense` is the classic flat vector indexed
+/// by thread id. `Sparse` is a *neighborhood clock* (in the sense of
+/// ekotrace's compact causal logs): only threads actually heard from are
+/// stored, as `(tid, count)` pairs sorted by tid with counts strictly
+/// positive — every unlisted thread is implicitly at 0. The logical value
+/// is identical either way; representation is unobservable through the
+/// public API.
+#[derive(Clone)]
+enum Repr {
+    Dense(Vec<u32>),
+    Sparse {
+        /// Logical width (number of threads), fixed at construction.
+        n: u32,
+        /// Nonzero components, sorted by tid, no duplicates, no zeros.
+        entries: Vec<(u32, u32)>,
+    },
+}
+
 /// A Fidge/Mattern vector clock.
 ///
 /// Component `i` counts events of thread `i` known to have happened before
@@ -30,63 +64,266 @@ pub enum ClockOrdering {
 /// paper. Consequently the frontier of the least consistent cut containing
 /// `e`, `Gmin(e)`, *is* `e.vc` verbatim, which is what makes the ParaMount
 /// interval computation O(n) per event.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+///
+/// # Representation
+///
+/// Clocks up to [`DENSE_WIDTH_MAX`] threads wide are a flat `Vec<u32>`;
+/// wider clocks start as a sparse sorted `(tid, count)` neighborhood form
+/// storing only the threads heard from, and promote back to dense when
+/// they have heard from ¾ of the computation. All operations — `join`,
+/// `le`, [`VectorClock::partial_cmp_hb`] — are defined on the logical
+/// component vector, so equality, hashing and ordering never observe the
+/// representation. Borrow a [`ClockRef`] with [`VectorClock::view`] to
+/// compare clocks on hot paths without materializing dense vectors.
+#[derive(Clone)]
 pub struct VectorClock {
-    components: Vec<u32>,
+    repr: Repr,
+}
+
+impl Default for VectorClock {
+    fn default() -> Self {
+        VectorClock {
+            repr: Repr::Dense(Vec::new()),
+        }
+    }
+}
+
+/// A borrowed, `Copy` view of a clock — the comparison currency of the hot
+/// paths (mirroring `CutRef` for frontiers).
+///
+/// Consumers that only *read* components — consistency checks, interval
+/// bound computation, wire encoding — take a `ClockRef` and stay
+/// allocation-free regardless of which representation backs the clock.
+#[derive(Clone, Copy)]
+pub enum ClockRef<'a> {
+    /// View of a dense clock: thread id is the slice index.
+    Dense(&'a [u32]),
+    /// View of a sparse neighborhood clock.
+    Sparse {
+        /// Logical width.
+        n: usize,
+        /// Nonzero `(tid, count)` pairs, sorted by tid.
+        entries: &'a [(u32, u32)],
+    },
 }
 
 impl VectorClock {
-    /// The zero clock for an `n`-thread computation.
+    /// The zero clock for an `n`-thread computation. Narrow clocks
+    /// (n ≤ [`DENSE_WIDTH_MAX`]) are dense; wider ones start sparse.
     pub fn zero(n: usize) -> Self {
-        VectorClock {
-            components: vec![0; n],
+        if n <= DENSE_WIDTH_MAX {
+            Self::zero_dense(n)
+        } else {
+            Self::zero_sparse(n)
         }
     }
 
-    /// Builds a clock directly from its components.
+    /// The zero clock, forced dense (benchmarks and width-threshold tests;
+    /// normal callers use [`VectorClock::zero`]).
+    pub fn zero_dense(n: usize) -> Self {
+        VectorClock {
+            repr: Repr::Dense(vec![0; n]),
+        }
+    }
+
+    /// The zero clock, forced sparse (benchmarks and width-threshold
+    /// tests; normal callers use [`VectorClock::zero`]).
+    pub fn zero_sparse(n: usize) -> Self {
+        VectorClock {
+            repr: Repr::Sparse {
+                n: n as u32,
+                entries: Vec::new(),
+            },
+        }
+    }
+
+    /// Builds a dense clock directly from its components.
     pub fn from_components(components: Vec<u32>) -> Self {
-        VectorClock { components }
+        VectorClock {
+            repr: Repr::Dense(components),
+        }
+    }
+
+    /// Builds a sparse clock of width `n` from nonzero `(tid, count)`
+    /// entries. Entries are sorted and deduplicated (last wins); zero
+    /// counts and out-of-range tids are dropped.
+    pub fn from_entries(n: usize, mut entries: Vec<(u32, u32)>) -> Self {
+        entries.retain(|&(t, c)| (t as usize) < n && c > 0);
+        entries.sort_by_key(|&(t, _)| t);
+        entries.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                earlier.1 = later.1;
+                true
+            } else {
+                false
+            }
+        });
+        VectorClock {
+            repr: Repr::Sparse {
+                n: n as u32,
+                entries,
+            },
+        }
+    }
+
+    /// True when the clock is in the sparse neighborhood representation.
+    #[inline]
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.repr, Repr::Sparse { .. })
     }
 
     /// Number of threads this clock spans.
     #[inline]
     pub fn len(&self) -> usize {
-        self.components.len()
+        match &self.repr {
+            Repr::Dense(c) => c.len(),
+            Repr::Sparse { n, .. } => *n as usize,
+        }
     }
 
     /// True for the zero-width clock (no threads).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.components.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of nonzero components — the size of the causal neighborhood.
+    pub fn nonzero_len(&self) -> usize {
+        match &self.repr {
+            Repr::Dense(c) => c.iter().filter(|&&v| v != 0).count(),
+            Repr::Sparse { entries, .. } => entries.len(),
+        }
+    }
+
+    /// Heap bytes backing this clock (capacity, not just length) — what
+    /// the dense-vs-sparse benchmark meters.
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Dense(c) => c.capacity() * std::mem::size_of::<u32>(),
+            Repr::Sparse { entries, .. } => entries.capacity() * std::mem::size_of::<(u32, u32)>(),
+        }
+    }
+
+    /// A borrowed [`ClockRef`] view of this clock.
+    #[inline]
+    pub fn view(&self) -> ClockRef<'_> {
+        match &self.repr {
+            Repr::Dense(c) => ClockRef::Dense(c),
+            Repr::Sparse { n, entries } => ClockRef::Sparse {
+                n: *n as usize,
+                entries,
+            },
+        }
     }
 
     /// Component for thread `t`.
     #[inline]
     pub fn get(&self, t: Tid) -> u32 {
-        self.components[t.index()]
+        self.component(t.index())
+    }
+
+    /// Component for thread index `j` (the slice-index analog for loops
+    /// that already hold a `usize`).
+    #[inline]
+    pub fn component(&self, j: usize) -> u32 {
+        match &self.repr {
+            Repr::Dense(c) => c[j],
+            Repr::Sparse { n, entries } => {
+                assert!(j < *n as usize, "thread index {j} out of width {n}");
+                match entries.binary_search_by_key(&(j as u32), |&(t, _)| t) {
+                    Ok(i) => entries[i].1,
+                    Err(_) => 0,
+                }
+            }
+        }
     }
 
     /// Sets the component for thread `t`.
-    #[inline]
     pub fn set(&mut self, t: Tid, value: u32) {
-        self.components[t.index()] = value;
+        match &mut self.repr {
+            Repr::Dense(c) => c[t.index()] = value,
+            Repr::Sparse { n, entries } => {
+                let j = t.index();
+                assert!(j < *n as usize, "thread index {j} out of width {n}");
+                match entries.binary_search_by_key(&(j as u32), |&(t, _)| t) {
+                    Ok(i) => {
+                        if value == 0 {
+                            entries.remove(i);
+                        } else {
+                            entries[i].1 = value;
+                        }
+                    }
+                    Err(i) => {
+                        if value != 0 {
+                            entries.insert(i, (j as u32, value));
+                        }
+                    }
+                }
+                self.maybe_promote();
+            }
+        }
     }
 
-    /// Raw component slice (thread id is the index).
-    #[inline]
-    pub fn as_slice(&self) -> &[u32] {
-        &self.components
+    /// Iterates the logical components in thread order (zeros included).
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let view = self.view();
+        (0..self.len()).map(move |j| view.component(j))
     }
 
-    /// Consumes the clock, yielding its components.
+    /// Iterates the nonzero components as `(thread index, count)` in
+    /// thread order — O(neighborhood) for sparse clocks, the accessor hot
+    /// consistency checks should prefer.
+    pub fn iter_nonzero(&self) -> NonzeroComponents<'_> {
+        self.view().iter_nonzero()
+    }
+
+    /// Materializes the logical component vector (tests, wire encoding).
+    pub fn to_dense(&self) -> Vec<u32> {
+        match &self.repr {
+            Repr::Dense(c) => c.clone(),
+            Repr::Sparse { n, entries } => {
+                let mut out = vec![0u32; *n as usize];
+                for &(t, c) in entries {
+                    out[t as usize] = c;
+                }
+                out
+            }
+        }
+    }
+
+    /// Consumes the clock, yielding its dense component vector.
     pub fn into_components(self) -> Vec<u32> {
-        self.components
+        match self.repr {
+            Repr::Dense(c) => c,
+            Repr::Sparse { .. } => self.to_dense(),
+        }
     }
 
     /// Advances thread `t`'s own component by one (a local event).
-    #[inline]
     pub fn tick(&mut self, t: Tid) {
-        self.components[t.index()] += 1;
+        match &mut self.repr {
+            Repr::Dense(c) => c[t.index()] += 1,
+            Repr::Sparse { n, entries } => {
+                let j = t.index();
+                assert!(j < *n as usize, "thread index {j} out of width {n}");
+                match entries.binary_search_by_key(&(j as u32), |&(t, _)| t) {
+                    Ok(i) => entries[i].1 += 1,
+                    Err(i) => entries.insert(i, (j as u32, 1)),
+                }
+                self.maybe_promote();
+            }
+        }
+    }
+
+    /// Promotes a sparse clock whose density crossed the threshold. Dense
+    /// clocks never demote: the width was judged worth a flat vector once
+    /// and the entries only grow.
+    fn maybe_promote(&mut self) {
+        if let Repr::Sparse { n, entries } = &self.repr {
+            if entries.len() * PROMOTE_DEN >= (*n as usize) * PROMOTE_NUM {
+                self.repr = Repr::Dense(self.to_dense());
+            }
+        }
     }
 
     /// Componentwise maximum with `other` (the lattice join).
@@ -95,9 +332,26 @@ impl VectorClock {
     /// algorithms: after `self.join(other)`, `self` dominates both inputs.
     pub fn join(&mut self, other: &VectorClock) {
         debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
-        for (a, b) in self.components.iter_mut().zip(&other.components) {
-            if *b > *a {
-                *a = *b;
+        match (&mut self.repr, other.view()) {
+            (Repr::Dense(c), ClockRef::Dense(o)) => {
+                for (a, b) in c.iter_mut().zip(o) {
+                    if *b > *a {
+                        *a = *b;
+                    }
+                }
+            }
+            // A sparse other only constrains its stored neighbors.
+            (Repr::Dense(c), ClockRef::Sparse { entries, .. }) => {
+                for &(t, v) in entries {
+                    let slot = &mut c[t as usize];
+                    if v > *slot {
+                        *slot = v;
+                    }
+                }
+            }
+            (Repr::Sparse { entries, .. }, view) => {
+                merge_max(entries, view);
+                self.maybe_promote();
             }
         }
     }
@@ -105,9 +359,25 @@ impl VectorClock {
     /// Componentwise minimum with `other` (the lattice meet).
     pub fn meet(&mut self, other: &VectorClock) {
         debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
-        for (a, b) in self.components.iter_mut().zip(&other.components) {
-            if *b < *a {
-                *a = *b;
+        match (&mut self.repr, other.view()) {
+            (Repr::Dense(c), view) => {
+                for (j, a) in c.iter_mut().enumerate() {
+                    let b = view.component(j);
+                    if b < *a {
+                        *a = b;
+                    }
+                }
+            }
+            (Repr::Sparse { entries, .. }, view) => {
+                // min with an implicit 0 is 0: only tids nonzero on BOTH
+                // sides survive, at the smaller count.
+                entries.retain_mut(|(t, c)| {
+                    let b = view.component(*t as usize);
+                    if b < *c {
+                        *c = b;
+                    }
+                    *c > 0
+                });
             }
         }
     }
@@ -129,34 +399,12 @@ impl VectorClock {
 
     /// `self ≤ other` under the product order (every component ≤).
     pub fn le(&self, other: &VectorClock) -> bool {
-        debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
-        self.components
-            .iter()
-            .zip(&other.components)
-            .all(|(a, b)| a <= b)
+        self.view().le(other.view())
     }
 
     /// Full four-way comparison under the happened-before partial order.
     pub fn partial_cmp_hb(&self, other: &VectorClock) -> ClockOrdering {
-        debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
-        let mut less = false;
-        let mut greater = false;
-        for (a, b) in self.components.iter().zip(&other.components) {
-            match a.cmp(b) {
-                Ordering::Less => less = true,
-                Ordering::Greater => greater = true,
-                Ordering::Equal => {}
-            }
-            if less && greater {
-                return ClockOrdering::Concurrent;
-            }
-        }
-        match (less, greater) {
-            (false, false) => ClockOrdering::Equal,
-            (true, false) => ClockOrdering::Before,
-            (false, true) => ClockOrdering::After,
-            (true, true) => unreachable!("early return above"),
-        }
+        self.view().partial_cmp_hb(other.view())
     }
 
     /// True iff the event stamped `self` happened before the event stamped
@@ -172,7 +420,246 @@ impl VectorClock {
 
     /// Sum of all components — a cheap measure of "how much happened".
     pub fn weight(&self) -> u64 {
-        self.components.iter().map(|&c| c as u64).sum()
+        match &self.repr {
+            Repr::Dense(c) => c.iter().map(|&c| c as u64).sum(),
+            Repr::Sparse { entries, .. } => entries.iter().map(|&(_, c)| c as u64).sum(),
+        }
+    }
+}
+
+/// In-place componentwise max of sorted nonzero `entries` with `other`.
+fn merge_max(entries: &mut Vec<(u32, u32)>, other: ClockRef<'_>) {
+    match other {
+        ClockRef::Sparse {
+            entries: theirs, ..
+        } => {
+            if theirs.is_empty() {
+                return;
+            }
+            // Single merge walk; out-of-place because insertions into the
+            // middle of `entries` would be quadratic.
+            let mut merged = Vec::with_capacity(entries.len().max(theirs.len()));
+            let (mut i, mut j) = (0, 0);
+            while i < entries.len() && j < theirs.len() {
+                match entries[i].0.cmp(&theirs[j].0) {
+                    Ordering::Less => {
+                        merged.push(entries[i]);
+                        i += 1;
+                    }
+                    Ordering::Greater => {
+                        merged.push(theirs[j]);
+                        j += 1;
+                    }
+                    Ordering::Equal => {
+                        merged.push((entries[i].0, entries[i].1.max(theirs[j].1)));
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            merged.extend_from_slice(&entries[i..]);
+            merged.extend_from_slice(&theirs[j..]);
+            *entries = merged;
+        }
+        ClockRef::Dense(o) => {
+            let mut merged = Vec::with_capacity(entries.len());
+            let mut i = 0;
+            for (j, &b) in o.iter().enumerate() {
+                while i < entries.len() && (entries[i].0 as usize) < j {
+                    merged.push(entries[i]);
+                    i += 1;
+                }
+                let a = if i < entries.len() && entries[i].0 as usize == j {
+                    let a = entries[i].1;
+                    i += 1;
+                    a
+                } else {
+                    0
+                };
+                let v = a.max(b);
+                if v > 0 {
+                    merged.push((j as u32, v));
+                }
+            }
+            merged.extend_from_slice(&entries[i..]);
+            *entries = merged;
+        }
+    }
+}
+
+impl<'a> ClockRef<'a> {
+    /// Number of threads the clock spans.
+    #[inline]
+    pub fn len(self) -> usize {
+        match self {
+            ClockRef::Dense(c) => c.len(),
+            ClockRef::Sparse { n, .. } => n,
+        }
+    }
+
+    /// True for a zero-width clock.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// Component for thread index `j`.
+    #[inline]
+    pub fn component(self, j: usize) -> u32 {
+        match self {
+            ClockRef::Dense(c) => c[j],
+            ClockRef::Sparse { n, entries } => {
+                assert!(j < n, "thread index {j} out of width {n}");
+                match entries.binary_search_by_key(&(j as u32), |&(t, _)| t) {
+                    Ok(i) => entries[i].1,
+                    Err(_) => 0,
+                }
+            }
+        }
+    }
+
+    /// Component for thread `t`.
+    #[inline]
+    pub fn get(self, t: Tid) -> u32 {
+        self.component(t.index())
+    }
+
+    /// Iterates the nonzero components as `(thread index, count)` in
+    /// thread order.
+    pub fn iter_nonzero(self) -> NonzeroComponents<'a> {
+        match self {
+            ClockRef::Dense(c) => NonzeroComponents::Dense(c.iter().enumerate()),
+            ClockRef::Sparse { entries, .. } => NonzeroComponents::Sparse(entries.iter()),
+        }
+    }
+
+    /// `self ≤ other` under the product order (every component ≤).
+    ///
+    /// Sparse/sparse runs one merge walk over the two neighborhoods: a tid
+    /// stored only on the left violates `≤` immediately, a tid stored only
+    /// on the right is `0 ≤ c` and free.
+    pub fn le(self, other: ClockRef<'_>) -> bool {
+        debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
+        match (self, other) {
+            (ClockRef::Dense(a), ClockRef::Dense(b)) => a.iter().zip(b).all(|(a, b)| a <= b),
+            (a, b) => {
+                // Only the left side's nonzero components can violate ≤.
+                a.iter_nonzero().all(|(j, need)| need <= b.component(j))
+            }
+        }
+    }
+
+    /// Full four-way comparison under the happened-before partial order.
+    pub fn partial_cmp_hb(self, other: ClockRef<'_>) -> ClockOrdering {
+        debug_assert_eq!(self.len(), other.len(), "clock width mismatch");
+        let mut less = false;
+        let mut greater = false;
+        let mut update = |a: u32, b: u32| -> bool {
+            match a.cmp(&b) {
+                Ordering::Less => less = true,
+                Ordering::Greater => greater = true,
+                Ordering::Equal => {}
+            }
+            less && greater
+        };
+        let concurrent = match (self, other) {
+            (ClockRef::Dense(a), ClockRef::Dense(b)) => {
+                a.iter().zip(b).any(|(&a, &b)| update(a, b))
+            }
+            (ClockRef::Sparse { entries: a, .. }, ClockRef::Sparse { entries: b, .. }) => {
+                // Merge walk: tids absent from both sides are 0 = 0 and
+                // never touched — the comparison is O(|a| + |b|), not O(n).
+                let mut short_circuit = false;
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    let step = match a[i].0.cmp(&b[j].0) {
+                        Ordering::Less => {
+                            let hit = update(a[i].1, 0);
+                            i += 1;
+                            hit
+                        }
+                        Ordering::Greater => {
+                            let hit = update(0, b[j].1);
+                            j += 1;
+                            hit
+                        }
+                        Ordering::Equal => {
+                            let hit = update(a[i].1, b[j].1);
+                            i += 1;
+                            j += 1;
+                            hit
+                        }
+                    };
+                    if step {
+                        short_circuit = true;
+                        break;
+                    }
+                }
+                if !short_circuit {
+                    short_circuit = a[i..].iter().any(|&(_, v)| update(v, 0))
+                        || b[j..].iter().any(|&(_, v)| update(0, v));
+                }
+                short_circuit
+            }
+            (a, b) => (0..self.len()).any(|j| update(a.component(j), b.component(j))),
+        };
+        if concurrent {
+            return ClockOrdering::Concurrent;
+        }
+        match (less, greater) {
+            (false, false) => ClockOrdering::Equal,
+            (true, false) => ClockOrdering::Before,
+            (false, true) => ClockOrdering::After,
+            (true, true) => unreachable!("short-circuited above"),
+        }
+    }
+}
+
+/// Iterator over a clock's nonzero `(thread index, count)` pairs — see
+/// [`VectorClock::iter_nonzero`].
+pub enum NonzeroComponents<'a> {
+    /// Scanning a dense component slice.
+    Dense(std::iter::Enumerate<std::slice::Iter<'a, u32>>),
+    /// Walking stored sparse entries.
+    Sparse(std::slice::Iter<'a, (u32, u32)>),
+}
+
+impl Iterator for NonzeroComponents<'_> {
+    type Item = (usize, u32);
+
+    fn next(&mut self) -> Option<(usize, u32)> {
+        match self {
+            NonzeroComponents::Dense(it) => it.find_map(|(j, &v)| (v != 0).then_some((j, v))),
+            NonzeroComponents::Sparse(it) => it.next().map(|&(t, v)| (t as usize, v)),
+        }
+    }
+}
+
+// Equality and hashing are defined on the logical component vector (width
+// plus the nonzero components in thread order) so that a dense and a
+// sparse clock holding the same value are interchangeable in maps and
+// assertions — the representation can never leak through a collection.
+impl PartialEq for VectorClock {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) => a == b,
+            (Repr::Sparse { n: an, entries: a }, Repr::Sparse { n: bn, entries: b }) => {
+                an == bn && a == b
+            }
+            _ => self.len() == other.len() && self.iter_nonzero().eq(other.iter_nonzero()),
+        }
+    }
+}
+
+impl Eq for VectorClock {}
+
+impl Hash for VectorClock {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.len().hash(state);
+        for (j, v) in self.iter_nonzero() {
+            j.hash(state);
+            v.hash(state);
+        }
     }
 }
 
@@ -181,20 +668,30 @@ impl Index<Tid> for VectorClock {
 
     #[inline]
     fn index(&self, t: Tid) -> &u32 {
-        &self.components[t.index()]
+        match &self.repr {
+            Repr::Dense(c) => &c[t.index()],
+            Repr::Sparse { n, entries } => {
+                let j = t.index();
+                assert!(j < *n as usize, "thread index {j} out of width {n}");
+                match entries.binary_search_by_key(&(j as u32), |&(t, _)| t) {
+                    Ok(i) => &entries[i].1,
+                    Err(_) => &ZERO_COMPONENT,
+                }
+            }
+        }
     }
 }
 
 impl fmt::Debug for VectorClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "vc{:?}", self.components)
+        write!(f, "vc{:?}", self.to_dense())
     }
 }
 
 impl fmt::Display for VectorClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, c) in self.components.iter().enumerate() {
+        for (i, c) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -212,34 +709,62 @@ mod tests {
         VectorClock::from_components(components.to_vec())
     }
 
+    /// The same logical clock in the sparse representation.
+    fn sp(components: &[u32]) -> VectorClock {
+        let entries = components
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0)
+            .map(|(j, &v)| (j as u32, v))
+            .collect();
+        VectorClock::from_entries(components.len(), entries)
+    }
+
     #[test]
     fn zero_clock_is_all_zero() {
         let c = VectorClock::zero(3);
-        assert_eq!(c.as_slice(), &[0, 0, 0]);
+        assert_eq!(c.to_dense(), &[0, 0, 0]);
         assert_eq!(c.weight(), 0);
     }
 
     #[test]
+    fn zero_picks_the_representation_by_width() {
+        assert!(!VectorClock::zero(DENSE_WIDTH_MAX).is_sparse());
+        assert!(VectorClock::zero(DENSE_WIDTH_MAX + 1).is_sparse());
+        assert!(VectorClock::zero_sparse(2).is_sparse());
+        assert!(!VectorClock::zero_dense(4096).is_sparse());
+    }
+
+    #[test]
     fn tick_advances_only_own_component() {
-        let mut c = VectorClock::zero(3);
-        c.tick(Tid(1));
-        c.tick(Tid(1));
-        c.tick(Tid(2));
-        assert_eq!(c.as_slice(), &[0, 2, 1]);
+        for mut c in [VectorClock::zero_dense(3), VectorClock::zero_sparse(3)] {
+            c.tick(Tid(1));
+            c.tick(Tid(1));
+            c.tick(Tid(2));
+            assert_eq!(c.to_dense(), &[0, 2, 1]);
+        }
     }
 
     #[test]
-    fn join_takes_componentwise_max() {
-        let mut a = vc(&[3, 0, 5]);
-        a.join(&vc(&[1, 4, 5]));
-        assert_eq!(a.as_slice(), &[3, 4, 5]);
+    fn join_takes_componentwise_max_across_modes() {
+        for a0 in [vc(&[3, 0, 5]), sp(&[3, 0, 5])] {
+            for b in [vc(&[1, 4, 5]), sp(&[1, 4, 5])] {
+                let mut a = a0.clone();
+                a.join(&b);
+                assert_eq!(a.to_dense(), &[3, 4, 5]);
+            }
+        }
     }
 
     #[test]
-    fn meet_takes_componentwise_min() {
-        let mut a = vc(&[3, 0, 5]);
-        a.meet(&vc(&[1, 4, 5]));
-        assert_eq!(a.as_slice(), &[1, 0, 5]);
+    fn meet_takes_componentwise_min_across_modes() {
+        for a0 in [vc(&[3, 0, 5]), sp(&[3, 0, 5])] {
+            for b in [vc(&[1, 4, 5]), sp(&[1, 4, 5])] {
+                let mut a = a0.clone();
+                a.meet(&b);
+                assert_eq!(a.to_dense(), &[1, 0, 5]);
+            }
+        }
     }
 
     #[test]
@@ -265,27 +790,47 @@ mod tests {
         let mut thread = vc(&[2, 0]);
         let mut lock = vc(&[0, 3]);
         let event = thread.acquire_merge(Tid(0), &mut lock);
-        assert_eq!(event.as_slice(), &[3, 3]);
-        assert_eq!(thread.as_slice(), &[3, 3]);
-        assert_eq!(lock.as_slice(), &[3, 3]);
+        assert_eq!(event.to_dense(), &[3, 3]);
+        assert_eq!(thread.to_dense(), &[3, 3]);
+        assert_eq!(lock.to_dense(), &[3, 3]);
+    }
+
+    #[test]
+    fn algorithm_3_works_sparse() {
+        let mut thread = sp(&[2, 0, 0, 0, 0]);
+        let mut lock = sp(&[0, 3, 0, 0, 0]);
+        let event = thread.acquire_merge(Tid(0), &mut lock);
+        assert_eq!(event.to_dense(), &[3, 3, 0, 0, 0]);
+        assert_eq!(lock, thread);
     }
 
     #[test]
     fn partial_cmp_all_four_outcomes() {
+        for make in [vc as fn(&[u32]) -> VectorClock, sp] {
+            assert_eq!(
+                make(&[1, 2]).partial_cmp_hb(&make(&[1, 2])),
+                ClockOrdering::Equal
+            );
+            assert_eq!(
+                make(&[1, 2]).partial_cmp_hb(&make(&[1, 3])),
+                ClockOrdering::Before
+            );
+            assert_eq!(
+                make(&[1, 3]).partial_cmp_hb(&make(&[1, 2])),
+                ClockOrdering::After
+            );
+            assert_eq!(
+                make(&[0, 3]).partial_cmp_hb(&make(&[1, 2])),
+                ClockOrdering::Concurrent
+            );
+        }
+        // Mixed-mode comparisons agree too.
         assert_eq!(
-            vc(&[1, 2]).partial_cmp_hb(&vc(&[1, 2])),
-            ClockOrdering::Equal
-        );
-        assert_eq!(
-            vc(&[1, 2]).partial_cmp_hb(&vc(&[1, 3])),
+            sp(&[1, 2]).partial_cmp_hb(&vc(&[1, 3])),
             ClockOrdering::Before
         );
         assert_eq!(
-            vc(&[1, 3]).partial_cmp_hb(&vc(&[1, 2])),
-            ClockOrdering::After
-        );
-        assert_eq!(
-            vc(&[0, 3]).partial_cmp_hb(&vc(&[1, 2])),
+            vc(&[0, 3]).partial_cmp_hb(&sp(&[1, 2])),
             ClockOrdering::Concurrent
         );
     }
@@ -293,7 +838,7 @@ mod tests {
     #[test]
     fn le_is_reflexive_and_matches_cmp() {
         let a = vc(&[1, 2, 3]);
-        let b = vc(&[1, 3, 3]);
+        let b = sp(&[1, 3, 3]);
         assert!(a.le(&a));
         assert!(a.le(&b));
         assert!(!b.le(&a));
@@ -302,6 +847,79 @@ mod tests {
     #[test]
     fn display_formats_like_the_paper() {
         assert_eq!(vc(&[2, 1]).to_string(), "[2,1]");
+        assert_eq!(sp(&[2, 0, 1]).to_string(), "[2,0,1]");
         assert_eq!(VectorClock::zero(0).to_string(), "[]");
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_representation() {
+        use std::collections::hash_map::DefaultHasher;
+        let hash = |c: &VectorClock| {
+            let mut h = DefaultHasher::new();
+            c.hash(&mut h);
+            h.finish()
+        };
+        let d = vc(&[0, 7, 0, 2]);
+        let s = sp(&[0, 7, 0, 2]);
+        assert_eq!(d, s);
+        assert_eq!(hash(&d), hash(&s));
+        assert_ne!(d, vc(&[0, 7, 0, 3]));
+        assert_ne!(s, sp(&[0, 7, 1, 2]));
+        // Width matters even when the nonzero entries agree.
+        assert_ne!(vc(&[1, 0]), vc(&[1, 0, 0]));
+        assert_ne!(sp(&[1, 0]), sp(&[1, 0, 0]));
+    }
+
+    #[test]
+    fn sparse_promotes_to_dense_at_the_density_threshold() {
+        let mut c = VectorClock::zero_sparse(8);
+        for t in 0..5 {
+            c.tick(Tid(t));
+        }
+        assert!(c.is_sparse(), "5/8 live is below the ¾ threshold");
+        c.tick(Tid(5));
+        assert!(!c.is_sparse(), "6/8 live promotes");
+        assert_eq!(c.to_dense(), &[1, 1, 1, 1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn set_maintains_the_sparse_invariants() {
+        let mut c = VectorClock::zero_sparse(100);
+        c.set(Tid(40), 7);
+        c.set(Tid(3), 2);
+        c.set(Tid(40), 9);
+        assert_eq!(c.get(Tid(40)), 9);
+        assert_eq!(c.get(Tid(3)), 2);
+        assert_eq!(c.nonzero_len(), 2);
+        c.set(Tid(3), 0);
+        assert_eq!(c.nonzero_len(), 1);
+        assert_eq!(c.get(Tid(3)), 0);
+        assert_eq!(c[Tid(3)], 0, "Index works for unstored components");
+        assert_eq!(c[Tid(40)], 9);
+    }
+
+    #[test]
+    fn iter_nonzero_agrees_across_modes() {
+        let d = vc(&[0, 4, 0, 0, 9]);
+        let s = sp(&[0, 4, 0, 0, 9]);
+        let want = vec![(1usize, 4u32), (4, 9)];
+        assert_eq!(d.iter_nonzero().collect::<Vec<_>>(), want);
+        assert_eq!(s.iter_nonzero().collect::<Vec<_>>(), want);
+        assert_eq!(d.nonzero_len(), 2);
+        assert_eq!(s.nonzero_len(), 2);
+    }
+
+    #[test]
+    fn wide_sparse_clock_is_cheaper_than_dense() {
+        let n = 1024;
+        let mut d = VectorClock::zero_dense(n);
+        let mut s = VectorClock::zero_sparse(n);
+        for t in [0u32, 17, 400, 1023] {
+            d.tick(Tid(t));
+            s.tick(Tid(t));
+        }
+        assert_eq!(d, s);
+        assert!(s.heap_bytes() < d.heap_bytes());
+        assert_eq!(s.nonzero_len(), 4);
     }
 }

@@ -15,14 +15,18 @@
 //! * [`ClockOrdering`] — the four-way outcome of comparing two vector
 //!   clocks under the happened-before partial order.
 //!
-//! The representation is deliberately flat: a vector clock is a `Vec<u32>`
-//! indexed by thread id, with no per-entry boxing, so the comparison loops
-//! that dominate enumeration are branch-predictable linear scans.
+//! Clocks carry a two-mode representation behind one API: narrow posets use
+//! a flat `Vec<u32>` indexed by thread id (branch-predictable linear scans
+//! for the comparison loops that dominate enumeration), while wide posets
+//! use a sparse sorted `(tid, count)` *neighborhood* form that stores only
+//! the threads actually heard from and promotes to dense past a density
+//! threshold. Borrow a [`ClockRef`] to compare clocks without materializing
+//! either form.
 
 mod clock;
 mod epoch;
 mod tid;
 
-pub use clock::{ClockOrdering, VectorClock};
+pub use clock::{ClockOrdering, ClockRef, NonzeroComponents, VectorClock, DENSE_WIDTH_MAX};
 pub use epoch::Epoch;
 pub use tid::Tid;

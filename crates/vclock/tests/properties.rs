@@ -1,4 +1,6 @@
-//! Property-based tests for the vector-clock lattice algebra.
+//! Property-based tests for the vector-clock lattice algebra, including the
+//! sparse/dense equivalence laws: every operation must agree across the two
+//! representations and across the sparse→dense promotion boundary.
 
 use paramount_vclock::{ClockOrdering, Tid, VectorClock};
 use proptest::prelude::*;
@@ -7,6 +9,34 @@ const WIDTH: usize = 6;
 
 fn arb_clock() -> impl Strategy<Value = VectorClock> {
     prop::collection::vec(0u32..50, WIDTH).prop_map(VectorClock::from_components)
+}
+
+/// The same logical value in either representation. Sparse clocks at this
+/// density sit right at the promotion boundary, so mutating ops exercise
+/// the sparse→dense switch mid-test.
+fn arb_repr_clock() -> impl Strategy<Value = VectorClock> {
+    (prop::collection::vec(0u32..50, WIDTH), any::<bool>()).prop_map(|(c, sparse)| {
+        if sparse {
+            let entries = c
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != 0)
+                .map(|(j, &v)| (j as u32, v))
+                .collect();
+            VectorClock::from_entries(c.len(), entries)
+        } else {
+            VectorClock::from_components(c)
+        }
+    })
+}
+
+/// Componentwise reference model on dense vectors.
+fn model_join(a: &[u32], b: &[u32]) -> Vec<u32> {
+    a.iter().zip(b).map(|(&x, &y)| x.max(y)).collect()
+}
+
+fn model_meet(a: &[u32], b: &[u32]) -> Vec<u32> {
+    a.iter().zip(b).map(|(&x, &y)| x.min(y)).collect()
 }
 
 proptest! {
@@ -126,5 +156,114 @@ proptest! {
         let mut j = a.clone();
         j.join(&b);
         prop_assert!(j.weight() >= a.weight().max(b.weight()));
+    }
+
+    // --- Sparse/dense equivalence laws -------------------------------
+
+    #[test]
+    fn join_matches_model_across_representations(
+        a in arb_repr_clock(),
+        b in arb_repr_clock(),
+    ) {
+        let want = model_join(&a.to_dense(), &b.to_dense());
+        let mut got = a.clone();
+        got.join(&b);
+        prop_assert_eq!(got.to_dense(), want);
+    }
+
+    #[test]
+    fn meet_matches_model_across_representations(
+        a in arb_repr_clock(),
+        b in arb_repr_clock(),
+    ) {
+        let want = model_meet(&a.to_dense(), &b.to_dense());
+        let mut got = a.clone();
+        got.meet(&b);
+        prop_assert_eq!(got.to_dense(), want);
+    }
+
+    #[test]
+    fn comparison_ignores_representation(
+        a in arb_repr_clock(),
+        b in arb_repr_clock(),
+    ) {
+        let da = VectorClock::from_components(a.to_dense());
+        let db = VectorClock::from_components(b.to_dense());
+        prop_assert_eq!(a.partial_cmp_hb(&b), da.partial_cmp_hb(&db));
+        prop_assert_eq!(a.le(&b), da.le(&db));
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_representation(a in arb_repr_clock()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |c: &VectorClock| {
+            let mut h = DefaultHasher::new();
+            c.hash(&mut h);
+            h.finish()
+        };
+        let dense = VectorClock::from_components(a.to_dense());
+        prop_assert_eq!(&a, &dense);
+        prop_assert_eq!(hash(&a), hash(&dense));
+    }
+
+    #[test]
+    fn accessors_agree_with_dense_materialization(a in arb_repr_clock()) {
+        let d = a.to_dense();
+        for (j, &want) in d.iter().enumerate() {
+            prop_assert_eq!(a.component(j), want);
+            prop_assert_eq!(a.get(Tid(j as u32)), want);
+            prop_assert_eq!(a[Tid(j as u32)], want);
+            prop_assert_eq!(a.view().component(j), want);
+        }
+        let nonzero: Vec<(usize, u32)> = d
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0)
+            .map(|(j, &v)| (j, v))
+            .collect();
+        prop_assert_eq!(a.iter_nonzero().collect::<Vec<_>>(), nonzero);
+        prop_assert_eq!(a.iter().collect::<Vec<_>>(), d);
+    }
+
+    #[test]
+    fn mutation_commutes_with_promotion(
+        start in arb_repr_clock(),
+        ticks in prop::collection::vec((0..WIDTH as u32, 0u32..50), 0..24),
+    ) {
+        // Drive the same tick/set sequence through both representations;
+        // promotion may fire at any step on the sparse side and the logical
+        // value must never diverge.
+        let mut sparse = start.clone();
+        let mut dense = VectorClock::from_components(start.to_dense());
+        for (t, v) in ticks {
+            if v == 0 {
+                sparse.tick(Tid(t));
+                dense.tick(Tid(t));
+            } else {
+                sparse.set(Tid(t), v);
+                dense.set(Tid(t), v);
+            }
+            prop_assert_eq!(&sparse, &dense);
+        }
+    }
+
+    #[test]
+    fn acquire_merge_agrees_across_representations(
+        a in arb_repr_clock(),
+        b in arb_repr_clock(),
+        t in 0..WIDTH as u32,
+    ) {
+        let mut thread_s = a.clone();
+        let mut res_s = b.clone();
+        let stamp_s = thread_s.acquire_merge(Tid(t), &mut res_s);
+
+        let mut thread_d = VectorClock::from_components(a.to_dense());
+        let mut res_d = VectorClock::from_components(b.to_dense());
+        let stamp_d = thread_d.acquire_merge(Tid(t), &mut res_d);
+
+        prop_assert_eq!(stamp_s, stamp_d);
+        prop_assert_eq!(thread_s, thread_d);
+        prop_assert_eq!(res_s, res_d);
     }
 }

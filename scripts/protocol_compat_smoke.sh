@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Protocol-compat smoke, driven entirely through the shipped binary:
+# every (client proto) x (daemon proto cap) pairing must either land on
+# the sequential `paramount count` or be refused cleanly — never
+# corrupt, never hang.
+#
+#   v2 daemon  x  {--proto 1, --proto 2, --proto auto}  -> all equal count
+#   v1 daemon  x  --proto 2                             -> clean refusal
+#   v1 daemon  x  --proto auto                          -> same-socket
+#                 fallback to text, equal count
+#   v1-capped 2-shard fleet  x  auto --fleet client     -> equal count
+#                 (mixed-version fleet: new router, old shards)
+#
+# The deterministic in-process version of the same matrix is pinned by
+# `cargo test -p paramount-ingest --test daemon`.
+set -euo pipefail
+
+PM=${PM:-target/release/paramount}
+PORT_V2=${PORT_V2:-7672}
+PORT_V1=${PORT_V1:-7673}
+PORT_FLEET=${PORT_FLEET:-7674}
+DATA=$(mktemp -d)
+SERVE_PID=""
+FLEET_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  [ -n "$FLEET_PID" ] && kill "$FLEET_PID" 2>/dev/null || true
+  rm -rf "$DATA"
+}
+trap cleanup EXIT
+
+extract() { echo "$1" | sed -n 's/.* \([0-9]\+\) consistent global states.*/\1/p'; }
+
+"$PM" gen banking > "$DATA/banking.trace"
+WANT=$(extract "$("$PM" count "$DATA/banking.trace")")
+test -n "$WANT"
+echo "sequential count: $WANT cuts"
+
+wait_listening() {
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$1" && return 0
+    sleep 0.1
+  done
+  echo "daemon never came up:"; cat "$1"; return 1
+}
+
+# --- v2-capable daemon: all three client framings must agree. ---------
+"$PM" serve --listen "127.0.0.1:$PORT_V2" --quiet > "$DATA/serve-v2.log" 2>&1 &
+SERVE_PID=$!
+wait_listening "$DATA/serve-v2.log"
+for proto in 1 2 auto; do
+  GOT=$("$PM" send "$DATA/banking.trace" --connect "127.0.0.1:$PORT_V2" \
+    --proto "$proto" --label "compat-$proto")
+  echo "proto=$proto: $GOT"
+  test "$(extract "$GOT")" = "$WANT"
+done
+# Binary sessions must not have tripped the decoder.
+"$PM" stats --connect "127.0.0.1:$PORT_V2" \
+  | grep -q '"metric":"decode_errors","type":"counter","value":0'
+"$PM" shutdown --connect "127.0.0.1:$PORT_V2"
+wait "$SERVE_PID"
+SERVE_PID=""
+
+# --- v1-capped daemon: pinned v2 refused, auto falls back. ------------
+"$PM" serve --listen "127.0.0.1:$PORT_V1" --quiet --proto-max 1 \
+  > "$DATA/serve-v1.log" 2>&1 &
+SERVE_PID=$!
+wait_listening "$DATA/serve-v1.log"
+if "$PM" send "$DATA/banking.trace" --connect "127.0.0.1:$PORT_V1" \
+    --proto 2 --retries 0 > "$DATA/v2-refused.out" 2>&1; then
+  echo "pinned --proto 2 client must be refused by a --proto-max 1 daemon"
+  cat "$DATA/v2-refused.out"
+  exit 1
+fi
+echo "pinned v2 vs v1 daemon: refused cleanly"
+GOT=$("$PM" send "$DATA/banking.trace" --connect "127.0.0.1:$PORT_V1" \
+  --proto auto --label compat-fallback)
+echo "auto vs v1 daemon: $GOT"
+test "$(extract "$GOT")" = "$WANT"
+"$PM" shutdown --connect "127.0.0.1:$PORT_V1"
+wait "$SERVE_PID"
+SERVE_PID=""
+
+# --- mixed-version fleet: v2 router fronting v1-capped shards. --------
+"$PM" fleet --listen "127.0.0.1:$PORT_FLEET" --shards 2 \
+  --data-dir "$DATA/root" --proto-max 1 > "$DATA/fleet.log" 2>&1 &
+FLEET_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "fleet listening on" "$DATA/fleet.log" && break
+  sleep 0.1
+done
+grep "listening on" "$DATA/fleet.log"
+GOT=$("$PM" send "$DATA/banking.trace" --connect "127.0.0.1:$PORT_FLEET" \
+  --fleet --retries 5 --backoff-ms 200 --label compat-mixed-fleet)
+echo "auto vs v1-capped fleet: $GOT"
+test "$(extract "$GOT")" = "$WANT"
+"$PM" shutdown --connect "127.0.0.1:$PORT_FLEET"
+wait "$FLEET_PID" || true
+FLEET_PID=""
+
+echo "protocol compat smoke: OK"

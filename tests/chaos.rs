@@ -155,11 +155,10 @@ fn daemon_survives_eight_concurrently_faulting_sessions() {
                 // 6-event prefix (one segment per thread: 2x2 lattice
                 // over the two open read segments... whatever prefix was
                 // flushed, the reason must be `fault`).
-                match client.finish() {
-                    Ok(report) => assert_eq!(report.reason, EndReason::Fault, "client {i}"),
-                    // A torn connection (report lost in the unwind race)
-                    // is acceptable; a hung daemon is not.
-                    Err(_) => {}
+                // A torn connection (report lost in the unwind race)
+                // is acceptable; a hung daemon is not.
+                if let Ok(report) = client.finish() {
+                    assert_eq!(report.reason, EndReason::Fault, "client {i}");
                 }
             })
         })

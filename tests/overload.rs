@@ -163,7 +163,10 @@ fn fail_policy_past_hard_watermark_reports_typed_overload_with_exact_ledger() {
             ControlFlow::Continue(())
         },
     );
-    for k in 0..6u32 {
+    // Enough events that interval boxes outgrow the tiny-batch ceiling:
+    // submissions then hit the saturated 1-slot channel directly instead
+    // of parking in the coalescing buffer, forcing rejections.
+    for k in 0..30u32 {
         engine.observe_after(Tid::from((k % 3) as usize), &[], ());
     }
     released.store(true, Ordering::Release);
