@@ -32,6 +32,8 @@ USAGE:
                                | --manifest FILE             (attach: `shard <id> <addr>` lines)
                                [--probe-interval-ms MS] [--probe-deadline-ms MS]
                                [--suspect-after N] [--down-after N]
+                               [--lease-ttl-ms MS]   (shard fencing lease TTL)
+                               [--router-data-dir DIR]   (durable router manifest)
                                [+ serve engine/durability flags, forwarded to shards]
   paramount send <trace>       --connect HOST:PORT | --unix PATH
                                [--algo A] [--workers K] [--label L] [--capture-sync]
@@ -309,6 +311,8 @@ fn fleet(args: &[String]) -> Result<String, CliError> {
     opts.probe_deadline_ms = parse_number(args, "--probe-deadline-ms")?;
     opts.suspect_after = parse_number(args, "--suspect-after")?;
     opts.down_after = parse_number(args, "--down-after")?;
+    opts.lease_ttl_ms = parse_number(args, "--lease-ttl-ms")?;
+    opts.router_data_dir = flag_value(args, "--router-data-dir").map(Into::into);
     for flag in FLEET_FORWARDED_FLAGS {
         if let Some(value) = flag_value(args, flag) {
             opts.serve_args.push((*flag).to_string());

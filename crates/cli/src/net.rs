@@ -344,12 +344,16 @@ pub fn remote_shutdown(target: &Target) -> Result<String, String> {
     Ok("daemon draining\n".to_string())
 }
 
-/// One `ROUTE`-then-dial connection through a fleet router.
+/// One `ROUTE`-then-dial connection through a fleet router. A routing
+/// failure keeps the original [`paramount_ingest::ClientError`] as the io error's
+/// source, so the retry loop can read `ERR busy retry-after-ms` hints
+/// off a `ROUTE` rejection exactly as it does off a direct `HELLO`.
 pub fn fleet_connect(router: &Target, session: Option<u64>) -> std::io::Result<Client> {
     let mut routed = router.connect_io()?;
-    let (_, addr) = routed
-        .route(session)
-        .map_err(|e| std::io::Error::other(format!("ROUTE via {router} failed: {e}")))?;
+    let (_, addr) = routed.route(session).map_err(|e| match e {
+        paramount_ingest::ClientError::Io(io) => io,
+        rejection => std::io::Error::other(rejection),
+    })?;
     Client::connect_tcp(addr.as_str())
 }
 
@@ -376,6 +380,13 @@ pub struct FleetOptions {
     /// Consecutive probe failures before `Down` + migration
     /// (`--down-after`).
     pub down_after: Option<u32>,
+    /// Shard lease TTL in milliseconds (`--lease-ttl-ms`); the fencing
+    /// window for partition-safe failover.
+    pub lease_ttl_ms: Option<u64>,
+    /// Directory for the router's durable manifest
+    /// (`--router-data-dir`): epoch grants and the placement map
+    /// survive a router restart.
+    pub router_data_dir: Option<PathBuf>,
     /// Extra argv forwarded verbatim to every spawned shard (engine and
     /// durability flags of `paramount serve`).
     pub serve_args: Vec<String>,
@@ -392,6 +403,8 @@ impl Default for FleetOptions {
             probe_deadline_ms: None,
             suspect_after: None,
             down_after: None,
+            lease_ttl_ms: None,
+            router_data_dir: None,
             serve_args: Vec::new(),
         }
     }
@@ -520,6 +533,14 @@ pub fn build_fleet(
     if let Some(n) = opts.down_after {
         config.down_after = n.max(1);
     }
+    if let Some(ms) = opts.lease_ttl_ms {
+        config.lease_ttl = Duration::from_millis(ms.max(1));
+    }
+    if let Some(dir) = &opts.router_data_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create router data dir {}: {e}", dir.display()))?;
+    }
+    config.router_data_dir = opts.router_data_dir.clone();
     let mut router = FleetRouter::new(specs, config);
     let addr = router
         .bind_tcp(opts.listen.as_str())

@@ -1019,12 +1019,22 @@ pub struct FleetMetrics {
     /// `ROUTE` requests rejected because every live shard was at or past
     /// its hard pressure watermark (`ERR busy`).
     pub routes_rejected: ShardedCounter,
+    /// Lease grants acknowledged by shards (initial grants and renewals).
+    pub leases_granted: ShardedCounter,
+    /// Leases the router declared expired (shard unreachable past TTL).
+    pub lease_expiries: ShardedCounter,
+    /// Shards declared fenced (lease expired; sessions may migrate).
+    pub shards_fenced: ShardedCounter,
+    /// Fenced or restarted shards re-admitted under a fresh epoch.
+    pub shards_rejoined: ShardedCounter,
     /// Shards currently `Up` (current + high-water mark).
     pub shards_up: HighWaterGauge,
     /// Shards currently `Suspect` (current + high-water mark).
     pub shards_suspect: HighWaterGauge,
     /// Shards currently `Down` (current + high-water mark).
     pub shards_down: HighWaterGauge,
+    /// Highest fencing epoch the router has granted to any shard.
+    pub fencing_epoch: HighWaterGauge,
     /// Round-trip latency of successful STATS probes, in microseconds.
     pub probe_latency_us: Log2Histogram,
 }
@@ -1044,10 +1054,15 @@ impl FleetMetrics {
             sessions_migrated: self.sessions_migrated.sum(),
             failovers: self.failovers.sum(),
             routes_rejected: self.routes_rejected.sum(),
+            leases_granted: self.leases_granted.sum(),
+            lease_expiries: self.lease_expiries.sum(),
+            shards_fenced: self.shards_fenced.sum(),
+            shards_rejoined: self.shards_rejoined.sum(),
             shards_up: self.shards_up.get(),
             shards_suspect: self.shards_suspect.get(),
             shards_down: self.shards_down.get(),
             shards_down_high_water: self.shards_down.high_water(),
+            fencing_epoch: self.fencing_epoch.get(),
             probe_latency_us: self.probe_latency_us.snapshot(),
         }
     }
@@ -1068,6 +1083,14 @@ pub struct FleetSnapshot {
     pub failovers: u64,
     /// Routes rejected fleet-wide (`ERR busy`).
     pub routes_rejected: u64,
+    /// Lease grants acknowledged by shards.
+    pub leases_granted: u64,
+    /// Leases the router declared expired.
+    pub lease_expiries: u64,
+    /// Shards declared fenced.
+    pub shards_fenced: u64,
+    /// Shards re-admitted under a fresh epoch.
+    pub shards_rejoined: u64,
     /// Shards `Up` at snapshot time.
     pub shards_up: u64,
     /// Shards `Suspect` at snapshot time.
@@ -1076,6 +1099,8 @@ pub struct FleetSnapshot {
     pub shards_down: u64,
     /// Most shards ever `Down` at once.
     pub shards_down_high_water: u64,
+    /// Highest fencing epoch granted so far.
+    pub fencing_epoch: u64,
     /// Distribution of successful probe round-trips (microseconds).
     pub probe_latency_us: HistogramSnapshot,
 }
@@ -1100,6 +1125,19 @@ impl FleetSnapshot {
         }
         if self.sessions_migrated > 0 {
             let _ = writeln!(out, "sessions migrated:    {}", self.sessions_migrated);
+        }
+        if self.leases_granted > 0 || self.fencing_epoch > 0 {
+            let _ = writeln!(out, "leases granted:       {}", self.leases_granted);
+            let _ = writeln!(out, "fencing epoch:        {}", self.fencing_epoch);
+        }
+        if self.lease_expiries > 0 {
+            let _ = writeln!(out, "lease expiries:       {}", self.lease_expiries);
+        }
+        if self.shards_fenced > 0 {
+            let _ = writeln!(out, "shards fenced:        {}", self.shards_fenced);
+        }
+        if self.shards_rejoined > 0 {
+            let _ = writeln!(out, "shards rejoined:      {}", self.shards_rejoined);
         }
         let _ = writeln!(out, "probes:               {}", self.probes);
         if self.probe_failures > 0 {
@@ -1130,6 +1168,10 @@ impl FleetSnapshot {
             ("sessions_migrated", self.sessions_migrated),
             ("failovers", self.failovers),
             ("routes_rejected", self.routes_rejected),
+            ("leases_granted", self.leases_granted),
+            ("lease_expiries", self.lease_expiries),
+            ("shards_fenced", self.shards_fenced),
+            ("shards_rejoined", self.shards_rejoined),
         ] {
             let _ = writeln!(
                 out,
@@ -1140,6 +1182,7 @@ impl FleetSnapshot {
             ("shards_up", self.shards_up),
             ("shards_suspect", self.shards_suspect),
             ("shards_down", self.shards_down),
+            ("fencing_epoch", self.fencing_epoch),
         ] {
             let _ = writeln!(
                 out,

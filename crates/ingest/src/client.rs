@@ -625,10 +625,10 @@ pub fn send_trace_with_retry(
         progress.attempts = attempt;
         progress.events = 0;
         progress.cuts = 0;
-        let hint = last_error.as_ref().and_then(|e| match e {
-            ClientError::Rejected(err) => err.retry_after_hint(),
-            _ => None,
-        });
+        let hint = last_error
+            .as_ref()
+            .and_then(rejection_of)
+            .and_then(|err| err.retry_after_hint());
         std::thread::sleep(policy.delay_before_hinted(attempt, hint));
         let result = (|| -> Result<(WireReport, u64), ClientError> {
             let mut client = connect(resume_session)?;
@@ -684,6 +684,20 @@ pub fn send_trace_with_retry(
             .unwrap_or_else(|| ClientError::Protocol("no attempt was made".to_string())),
         progress,
     })
+}
+
+/// The server-side rejection carried by an error, if any: a direct
+/// `Rejected`, or one tunneled through an io error's source chain —
+/// a fleet `ROUTE` rejection reaches the retry loop as
+/// `ClientError::Io` wrapping the original error, and its
+/// `retry-after-ms` hint must pace reconnects exactly like a direct
+/// `HELLO` rejection's.
+fn rejection_of(error: &ClientError) -> Option<&DecodeError> {
+    match error {
+        ClientError::Rejected(err) => Some(err),
+        ClientError::Io(io) => rejection_of(io.get_ref()?.downcast_ref::<ClientError>()?),
+        ClientError::Protocol(_) => None,
+    }
 }
 
 /// A trace op as an owned wire op (for the binary encoder's interner).

@@ -26,21 +26,52 @@
 //! per shard, see [`shard_subroot`]). Session ids encode their home
 //! shard in the high 32 bits ([`first_session_id`]), so the router can
 //! resolve any id without bookkeeping. When a shard transitions to
-//! `Down`, the router *migrates* every durable session directory out of
-//! the dead shard's subroot into a survivor's (an atomic `rename` on
-//! the shared filesystem) and records the new home. The surviving
-//! shard's lazy `RESUME` recovery then rebuilds the session from its
-//! checkpoint + WAL exactly as if it had crashed locally, and the
-//! client — redirected by its next `ROUTE session=<id>` — re-sends only
-//! the unacked tail. Theorem 3 makes this exact: the cut count is a
-//! pure function of the accepted event prefix, and the prefix is
-//! whatever the store holds, wherever the store now lives.
+//! `Down` *and its lease has provably expired* (see below), the router
+//! *migrates* every durable session directory out of the dead shard's
+//! subroot into a survivor's (an atomic `rename` on the shared
+//! filesystem) and records the new home. The surviving shard's lazy
+//! `RESUME` recovery then rebuilds the session from its checkpoint +
+//! WAL exactly as if it had crashed locally, and the client —
+//! redirected by its next `ROUTE session=<id>` — re-sends only the
+//! unacked tail. Theorem 3 makes this exact: the cut count is a pure
+//! function of the accepted event prefix, and the prefix is whatever
+//! the store holds, wherever the store now lives.
+//!
+//! **Fencing leases.** A `Down` verdict proves only that the *router*
+//! cannot reach the shard; the shard may be alive behind a partition,
+//! still accepting events for the very sessions a migration would hand
+//! to a survivor. To make single-ownership of each session's event
+//! prefix hold under partitions, every probe piggybacks a `LEASE`
+//! frame granting the shard a time-bounded lease stamped with a
+//! monotonically increasing *fencing epoch*. A shard that cannot renew
+//! before [`FleetConfig::lease_ttl`] self-fences: it stops admitting
+//! `HELLO`/`RESUME`/`EVENT`, finalizes live sessions to degraded
+//! reports, and its durable stores refuse stale-epoch writes at the
+//! WAL layer. The router, symmetrically, migrates a `Down` shard's
+//! sessions only after the last acknowledged lease must have expired
+//! (`last ack + TTL + margin`), so by the time a survivor replays a
+//! session the old owner has provably stopped writing. `ROUTE` for a
+//! session homed on a `Down`-but-not-yet-fenced shard answers
+//! `ERR busy` with the remaining wait as the retry hint. A fenced (or
+//! restarted) shard *re-joins* when a probe gets through again: the
+//! router grants a fresh, strictly higher epoch, the shard clears its
+//! fence, and the ring resumes placing *new* sessions there — sessions
+//! migrated away stay put.
+//!
+//! **Router crash safety.** With [`FleetConfig::router_data_dir`] set,
+//! epoch grants and migrations are journaled to a small
+//! `paramount-durable` WAL *before* they take effect, so a restarted
+//! router resumes with its placement map and epoch counter intact —
+//! it neither re-homes live shards' sessions nor re-issues an epoch a
+//! shard may already hold.
 
+use crate::lease::LeaseAck;
 use crate::persist::{scan_sessions, session_dir};
 use crate::proto::{parse_client_line, ClientFrame, DecodeError, ErrCode, ServerFrame};
 use crate::server::{LineReader, Tick};
 use paramount::faults::splitmix64;
 use paramount::{FleetMetrics, FleetSnapshot, Pressure};
+use paramount_durable::{FsyncPolicy, Record, Wal, WalConfig};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Write};
@@ -64,6 +95,19 @@ const VNODES_PER_SHARD: usize = 64;
 /// Salt mixed into fresh-placement keys so they do not collide with
 /// session-id keys on the ring.
 const PLACEMENT_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Router-manifest record kind: one epoch grant, `<shard-id> <epoch>`.
+const MANIFEST_EPOCH_KIND: u8 = b'E';
+
+/// Router-manifest record kind: one migration, `<session> <shard-id>`.
+const MANIFEST_MIGRATE_KIND: u8 = b'G';
+
+/// Router-manifest record kind: a full-state snapshot written by
+/// compaction (`N`/`E`/`G` lines, see [`Shared::manifest_snapshot`]).
+const MANIFEST_SNAPSHOT_KIND: u8 = b'S';
+
+/// Compact the router manifest after this many incremental appends.
+const MANIFEST_COMPACT_EVERY: u64 = 64;
 
 /// One shard of the fleet: a `paramount serve` daemon the router
 /// health-checks and redirects clients to.
@@ -121,6 +165,18 @@ pub struct FleetConfig {
     /// Retry hint (milliseconds) on `ERR busy` when the whole fleet is
     /// at `Hard` pressure.
     pub busy_retry_after_ms: u64,
+    /// Lease TTL granted to each shard on every successful probe. A
+    /// shard that cannot renew within this window self-fences, and the
+    /// router migrates a `Down` shard's sessions only once
+    /// `last ack + TTL + margin` has elapsed (margin =
+    /// `max(probe_interval, 50ms)`), so old owner and new owner never
+    /// overlap.
+    pub lease_ttl: Duration,
+    /// Directory for the router's durable manifest (epoch grants,
+    /// migrations). `None` keeps router state in memory only: a router
+    /// restart then re-learns placement from disk layout but may
+    /// re-issue epochs.
+    pub router_data_dir: Option<PathBuf>,
 }
 
 impl Default for FleetConfig {
@@ -132,6 +188,8 @@ impl Default for FleetConfig {
             down_after: 3,
             data_root: None,
             busy_retry_after_ms: 250,
+            lease_ttl: Duration::from_millis(1000),
+            router_data_dir: None,
         }
     }
 }
@@ -198,6 +256,22 @@ struct ShardHealth {
     state: ShardState,
     pressure: Pressure,
     consecutive_failures: u32,
+    /// Fencing epoch of the shard's last *acknowledged* lease (0 until
+    /// the first grant lands).
+    epoch: u64,
+    /// When the shard last acknowledged a lease. The failover fence
+    /// waits out `last_ack + TTL + margin` before migrating.
+    last_ack: Option<Instant>,
+    /// An epoch allocated (and journaled) for this shard but not yet
+    /// acknowledged; re-offered until it lands so unreachable shards
+    /// don't burn one epoch per sweep.
+    pending_offer: Option<u64>,
+    /// The router has declared this shard's lease expired and released
+    /// its sessions for migration. Cleared on re-join.
+    fenced_declared: bool,
+    /// The next offer must be a strictly higher epoch (the shard
+    /// reported itself fenced, or holds an epoch we never issued).
+    needs_fresh_epoch: bool,
 }
 
 impl ShardHealth {
@@ -209,6 +283,11 @@ impl ShardHealth {
             state: ShardState::Up,
             pressure: Pressure::Nominal,
             consecutive_failures: 0,
+            epoch: 0,
+            last_ack: None,
+            pending_offer: None,
+            fenced_declared: false,
+            needs_fresh_epoch: false,
         }
     }
 }
@@ -291,6 +370,22 @@ struct Shared {
     config: FleetConfig,
     /// Monotone counter salting fresh-placement ring keys.
     placements: AtomicU64,
+    /// Next fencing epoch to issue; epochs never repeat, even across
+    /// router restarts (restored from the manifest).
+    next_epoch: AtomicU64,
+    /// Durable journal of epoch grants and migrations (`None` without
+    /// [`FleetConfig::router_data_dir`]).
+    manifest: Mutex<Option<Manifest>>,
+    /// When this router instance started: the fence-wait anchor for
+    /// shards that have never acknowledged a lease.
+    started: Instant,
+}
+
+/// The router's durable manifest: a tiny WAL of epoch grants (`E`),
+/// migrations (`G`) and full-state snapshots (`S`).
+struct Manifest {
+    wal: Wal,
+    appends_since_compact: u64,
 }
 
 impl Shared {
@@ -302,6 +397,108 @@ impl Shared {
         self.metrics.shards_up.set(count(ShardState::Up));
         self.metrics.shards_suspect.set(count(ShardState::Suspect));
         self.metrics.shards_down.set(count(ShardState::Down));
+    }
+
+    /// How long a `Down` shard's last lease could still be live: probe
+    /// jitter on top of the TTL itself.
+    fn fence_margin(&self) -> Duration {
+        self.config.probe_interval.max(Duration::from_millis(50))
+    }
+
+    /// Milliseconds until shard `index`'s lease has provably expired
+    /// (`None` once it has).
+    fn fence_wait_remaining(&self, anchor: Instant) -> Option<u64> {
+        let deadline = anchor + self.config.lease_ttl + self.fence_margin();
+        let now = Instant::now();
+        if now >= deadline {
+            return None;
+        }
+        Some((deadline - now).as_millis().max(1) as u64)
+    }
+
+    /// The epoch to offer shard `index` on the next probe: the current
+    /// acknowledged epoch when merely renewing, otherwise a fresh
+    /// strictly-higher epoch, journaled *before* it ever goes on the
+    /// wire so a restarted router never re-issues it.
+    fn lease_offer(&self, index: usize) -> u64 {
+        let (current, pending, needs_fresh) = {
+            let health = self.health.lock().unwrap_or_else(|e| e.into_inner());
+            let entry = &health[index];
+            (entry.epoch, entry.pending_offer, entry.needs_fresh_epoch)
+        };
+        if current != 0 && !needs_fresh {
+            return current;
+        }
+        if let Some(pending) = pending {
+            return pending;
+        }
+        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+        self.metrics.fencing_epoch.set(epoch);
+        self.log_manifest(
+            MANIFEST_EPOCH_KIND,
+            format!("{} {epoch}", self.shards[index].id).as_bytes(),
+        );
+        let mut health = self.health.lock().unwrap_or_else(|e| e.into_inner());
+        health[index].pending_offer = Some(epoch);
+        epoch
+    }
+
+    /// A shard acknowledged an epoch the router never issued (the
+    /// router lost state): never go backwards past it.
+    fn note_foreign_epoch(&self, seen: u64) {
+        self.next_epoch
+            .fetch_max(seen.saturating_add(1), Ordering::Relaxed);
+    }
+
+    /// Appends one record to the durable manifest (best-effort: an
+    /// unwritable manifest degrades to in-memory routing rather than
+    /// taking the fleet down), compacting periodically.
+    fn log_manifest(&self, kind: u8, payload: &[u8]) {
+        let mut slot = self.manifest.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(manifest) = slot.as_mut() else {
+            return;
+        };
+        if manifest.wal.append(kind, payload).is_err() || manifest.wal.sync().is_err() {
+            return;
+        }
+        manifest.appends_since_compact += 1;
+        if manifest.appends_since_compact >= MANIFEST_COMPACT_EVERY {
+            let snapshot = self.manifest_snapshot();
+            if manifest
+                .wal
+                .compact(MANIFEST_SNAPSHOT_KIND, snapshot.as_bytes())
+                .is_ok()
+            {
+                manifest.appends_since_compact = 0;
+            }
+        }
+    }
+
+    /// Full router state as snapshot text: `N <next-epoch>`, one
+    /// `E <shard-id> <epoch>` per granted epoch (acknowledged or still
+    /// pending), one `G <session> <shard-id>` per migration.
+    fn manifest_snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "N {}", self.next_epoch.load(Ordering::Relaxed));
+        {
+            let health = self.health.lock().unwrap_or_else(|e| e.into_inner());
+            for (index, entry) in health.iter().enumerate() {
+                let epoch = entry.epoch.max(entry.pending_offer.unwrap_or(0));
+                if epoch > 0 {
+                    let _ = writeln!(out, "E {} {epoch}", self.shards[index].id);
+                }
+            }
+        }
+        {
+            let migrated = self.migrated.lock().unwrap_or_else(|e| e.into_inner());
+            let mut entries: Vec<(u64, usize)> = migrated.iter().map(|(&s, &t)| (s, t)).collect();
+            entries.sort_unstable();
+            for (session, target) in entries {
+                let _ = writeln!(out, "G {session} {}", self.shards[target].id);
+            }
+        }
+        out
     }
 
     /// Places a brand-new session.
@@ -333,12 +530,46 @@ impl Shared {
                 format!("session {session} does not map to any shard of this fleet"),
             ));
         }
-        let state = {
+        let (state, fenced_declared, anchor) = {
             let health = self.health.lock().unwrap_or_else(|e| e.into_inner());
-            health[home].state
+            let entry = &health[home];
+            (
+                entry.state,
+                entry.fenced_declared,
+                entry.last_ack.unwrap_or(self.started),
+            )
         };
         if state != ShardState::Down {
             return Ok(home);
+        }
+        if !fenced_declared {
+            // The shard is unreachable but may still be alive behind a
+            // partition, holding a live lease; resuming this session on
+            // a survivor now could split ownership of its prefix. Hold
+            // the client off until the lease has provably expired.
+            if let Some(wait_ms) = self.fence_wait_remaining(anchor) {
+                self.metrics.routes_rejected.add(1);
+                return Err(DecodeError::busy(
+                    wait_ms,
+                    format!(
+                        "shard {} is unreachable; failover is fenced for ~{wait_ms}ms until its lease expires",
+                        self.shards[home].id
+                    ),
+                ));
+            }
+            // The wait elapsed between sweeps: this ROUTE observes the
+            // expiry first, so it performs the declaration (and the
+            // shard-wide migration) rather than leaving the accounting
+            // to a sweep that hasn't run yet.
+            self.declare_fenced(home);
+            if let Some(&target) = self
+                .migrated
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(&session)
+            {
+                return Ok(target);
+            }
         }
         match self.migrate_one(session, home) {
             Some(target) => Ok(target),
@@ -377,6 +608,10 @@ impl Shared {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .insert(session, target);
+        self.log_manifest(
+            MANIFEST_MIGRATE_KIND,
+            format!("{session} {}", self.shards[target].id).as_bytes(),
+        );
         self.metrics.sessions_migrated.add(1);
         Some(target)
     }
@@ -396,54 +631,147 @@ impl Shared {
         }
     }
 
-    /// One probe sweep over every shard; returns whether any shard
-    /// transitioned to `Down` (callers migrate outside the lock).
+    /// One probe sweep over every shard: renew (or freshly grant) each
+    /// shard's lease alongside the health check, then declare fenced —
+    /// and only then migrate — any `Down` shard whose last acknowledged
+    /// lease has provably expired.
     fn probe_sweep(&self) {
-        let mut newly_down = Vec::new();
+        let ttl_ms = self.config.lease_ttl.as_millis().max(1) as u64;
         for (index, shard) in self.shards.iter().enumerate() {
             self.metrics.probes.add(1);
-            match probe_shard(&shard.addr, self.config.probe_deadline) {
-                Ok((latency, pressure)) => {
+            let offer = self.lease_offer(index);
+            match probe_shard(
+                &shard.addr,
+                self.config.probe_deadline,
+                Some((offer, ttl_ms)),
+            ) {
+                Ok((latency, pressure, ack)) => {
                     self.metrics
                         .probe_latency_us
                         .record(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+                    if let Some(ack) = ack {
+                        if ack.epoch > offer {
+                            self.note_foreign_epoch(ack.epoch);
+                        }
+                    }
                     let mut health = self.health.lock().unwrap_or_else(|e| e.into_inner());
-                    health[index].consecutive_failures = 0;
-                    health[index].pressure = pressure;
-                    health[index].state = ShardState::Up;
+                    let entry = &mut health[index];
+                    entry.consecutive_failures = 0;
+                    entry.pressure = pressure;
+                    match ack {
+                        Some(ack) if ack.epoch > offer => {
+                            // The shard holds an epoch this router never
+                            // issued (we lost state). Routable for its
+                            // existing sessions, but hold new placements
+                            // until a strictly higher grant lands.
+                            entry.pending_offer = None;
+                            entry.needs_fresh_epoch = true;
+                            entry.state = ShardState::Suspect;
+                        }
+                        Some(ack) if ack.fenced => {
+                            // Alive but self-fenced; an equal-epoch offer
+                            // cannot clear a fence. Next sweep offers a
+                            // fresh epoch.
+                            entry.needs_fresh_epoch = true;
+                            entry.state = ShardState::Suspect;
+                        }
+                        Some(_) => {
+                            let rejoining = entry.fenced_declared;
+                            entry.epoch = offer;
+                            entry.pending_offer = None;
+                            entry.needs_fresh_epoch = false;
+                            entry.last_ack = Some(Instant::now());
+                            entry.fenced_declared = false;
+                            entry.state = ShardState::Up;
+                            self.metrics.leases_granted.add(1);
+                            if rejoining {
+                                self.metrics.shards_rejoined.add(1);
+                            }
+                        }
+                        None => {
+                            // Pre-lease shard: health-only probing, and
+                            // the fence wait anchors at the last healthy
+                            // probe.
+                            entry.last_ack = Some(Instant::now());
+                            entry.state = ShardState::Up;
+                        }
+                    }
                 }
                 Err(_) => {
                     self.metrics.probe_failures.add(1);
                     let mut health = self.health.lock().unwrap_or_else(|e| e.into_inner());
                     let entry = &mut health[index];
                     entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
-                    let next = if entry.consecutive_failures >= self.config.down_after {
+                    entry.state = if entry.consecutive_failures >= self.config.down_after {
                         ShardState::Down
                     } else if entry.consecutive_failures >= self.config.suspect_after {
                         ShardState::Suspect
                     } else {
                         entry.state
                     };
-                    if next == ShardState::Down && entry.state != ShardState::Down {
-                        newly_down.push(index);
-                    }
-                    entry.state = next;
+                }
+            }
+        }
+        // Fence pass: release a Down shard's sessions only once its
+        // lease must have expired — by then the shard has self-fenced
+        // (or was never alive), so a survivor's replay cannot race a
+        // still-writing owner.
+        let mut expired = Vec::new();
+        {
+            let health = self.health.lock().unwrap_or_else(|e| e.into_inner());
+            for (index, entry) in health.iter().enumerate() {
+                if entry.state == ShardState::Down
+                    && !entry.fenced_declared
+                    && self
+                        .fence_wait_remaining(entry.last_ack.unwrap_or(self.started))
+                        .is_none()
+                {
+                    expired.push(index);
                 }
             }
         }
         self.publish_state_gauges();
-        for dead in newly_down {
-            self.metrics.failovers.add(1);
-            self.migrate_dead_shard(dead);
+        for dead in expired {
+            self.declare_fenced(dead);
         }
+    }
+
+    /// Declares shard `index` fenced — its last acknowledged lease has
+    /// provably expired — then accounts the expiry and migrates the
+    /// shard's durable sessions to survivors. Idempotent under the
+    /// health lock: whichever of the probe sweep or an on-demand `ROUTE`
+    /// observes the expiry first performs the declaration.
+    fn declare_fenced(&self, index: usize) -> bool {
+        {
+            let mut health = self.health.lock().unwrap_or_else(|e| e.into_inner());
+            let entry = &mut health[index];
+            if entry.fenced_declared {
+                return false;
+            }
+            entry.fenced_declared = true;
+            entry.needs_fresh_epoch = true;
+        }
+        self.metrics.lease_expiries.add(1);
+        self.metrics.shards_fenced.add(1);
+        self.metrics.failovers.add(1);
+        self.migrate_dead_shard(index);
+        true
     }
 }
 
-/// One `STATS` probe against a shard under a hard deadline; returns the
-/// round-trip latency and the shard's current admission pressure parsed
-/// from its `memory_budget` gauge (Nominal when the shard runs without
-/// a governor budget).
-fn probe_shard(addr: &str, deadline: Duration) -> io::Result<(Duration, Pressure)> {
+/// One health probe against a shard under a hard deadline. When
+/// `lease` carries `(epoch, ttl_ms)`, a `LEASE` frame is pipelined in
+/// front of the `STATS` so the lease renews on the same round trip.
+/// Returns the round-trip latency, the shard's current admission
+/// pressure parsed from its `memory_budget` gauge (Nominal when the
+/// shard runs without a governor budget), and the lease ack — `None`
+/// when the shard predates the lease protocol (it answered the `LEASE`
+/// frame with `ERR`).
+fn probe_shard(
+    addr: &str,
+    deadline: Duration,
+    lease: Option<(u64, u64)>,
+) -> io::Result<(Duration, Pressure, Option<LeaseAck>)> {
     let start = Instant::now();
     let sock = addr
         .to_socket_addrs()?
@@ -453,9 +781,17 @@ fn probe_shard(addr: &str, deadline: Duration) -> io::Result<(Duration, Pressure
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(deadline))?;
     stream.set_write_timeout(Some(deadline))?;
-    stream.write_all(b"STATS\n")?;
+    let mut request = String::new();
+    if let Some((epoch, ttl_ms)) = lease {
+        request.push_str(&ClientFrame::Lease { epoch, ttl_ms }.encode());
+        request.push('\n');
+    }
+    request.push_str("STATS\n");
+    stream.write_all(request.as_bytes())?;
     let mut reader = LineReader::new();
     let mut pressure = Pressure::Nominal;
+    let mut ack = None;
+    let mut expect_ack = lease.is_some();
     loop {
         if start.elapsed() > deadline {
             return Err(io::Error::new(io::ErrorKind::TimedOut, "probe deadline"));
@@ -466,9 +802,26 @@ fn probe_shard(addr: &str, deadline: Duration) -> io::Result<(Duration, Pressure
                     pressure = found;
                 }
                 if line.starts_with("OK") {
-                    return Ok((start.elapsed(), pressure));
+                    if expect_ack {
+                        expect_ack = false;
+                        if let Some(parsed) = parse_lease_ack(&line) {
+                            ack = Some(parsed);
+                            continue;
+                        }
+                        // Bare OK while awaiting the ack: the STATS
+                        // terminator arrived first, so no lease reply
+                        // is coming.
+                    }
+                    return Ok((start.elapsed(), pressure, ack));
                 }
                 if line.starts_with("ERR") {
+                    if expect_ack {
+                        // The shard rejected the LEASE frame (older
+                        // protocol build): fall back to health-only
+                        // probing and keep reading the STATS reply.
+                        expect_ack = false;
+                        continue;
+                    }
                     return Err(io::Error::other(format!("probe rejected: {line}")));
                 }
             }
@@ -482,6 +835,24 @@ fn probe_shard(addr: &str, deadline: Duration) -> io::Result<(Duration, Pressure
             Tick::Oversize | Tick::Err => return Err(io::Error::other("unreadable probe reply")),
         }
     }
+}
+
+/// Parses a `LEASE` acknowledgement (`OK epoch=<e> fenced=<0|1>`);
+/// `None` for any other `OK` line.
+fn parse_lease_ack(line: &str) -> Option<LeaseAck> {
+    let mut epoch = None;
+    let mut fenced = false;
+    for token in line.split_ascii_whitespace().skip(1) {
+        match token.split_once('=') {
+            Some(("epoch", v)) => epoch = v.parse().ok(),
+            Some(("fenced", v)) => fenced = v == "1",
+            _ => {}
+        }
+    }
+    Some(LeaseAck {
+        epoch: epoch?,
+        fenced,
+    })
 }
 
 /// Extracts `key":<u64>` from a flat JSON stats line.
@@ -550,20 +921,54 @@ pub struct FleetRouter {
 
 impl FleetRouter {
     /// A router over `shards` (spawned by the CLI or read from a
-    /// manifest). Panics if `shards` is empty.
+    /// manifest). Panics if `shards` is empty or
+    /// [`FleetConfig::router_data_dir`] points at an unusable
+    /// directory.
     pub fn new(shards: Vec<ShardSpec>, config: FleetConfig) -> Self {
         assert!(!shards.is_empty(), "a fleet needs at least one shard");
-        let health = (0..shards.len()).map(|_| ShardHealth::new()).collect();
+        let mut health: Vec<ShardHealth> = (0..shards.len()).map(|_| ShardHealth::new()).collect();
+        let mut migrated = HashMap::new();
+        let mut next_epoch = 1u64;
+        let manifest = config.router_data_dir.as_ref().map(|dir| {
+            let wal_config = WalConfig {
+                fsync: FsyncPolicy::Always,
+                ..WalConfig::default()
+            };
+            let (wal, records) =
+                Wal::open(dir, wal_config).expect("router data dir must be usable");
+            let replayed = replay_manifest(&records);
+            next_epoch = replayed.next_epoch;
+            for (shard_id, epoch) in replayed.epochs {
+                if let Some(index) = shards.iter().position(|s| s.id == shard_id) {
+                    health[index].epoch = epoch;
+                }
+            }
+            for (session, shard_id) in replayed.migrated {
+                if let Some(index) = shards.iter().position(|s| s.id == shard_id) {
+                    migrated.insert(session, index);
+                }
+            }
+            Manifest {
+                wal,
+                appends_since_compact: 0,
+            }
+        });
         let ring = build_ring(&shards);
         let shared = Shared {
             shards,
             ring,
             health: Mutex::new(health),
-            migrated: Mutex::new(HashMap::new()),
+            migrated: Mutex::new(migrated),
             metrics: FleetMetrics::new(),
             config,
             placements: AtomicU64::new(0),
+            next_epoch: AtomicU64::new(next_epoch),
+            manifest: Mutex::new(manifest),
+            started: Instant::now(),
         };
+        if next_epoch > 1 {
+            shared.metrics.fencing_epoch.set(next_epoch - 1);
+        }
         shared.publish_state_gauges();
         FleetRouter {
             shared: Arc::new(shared),
@@ -598,6 +1003,16 @@ impl FleetRouter {
     pub fn shard_states(&self) -> Vec<(ShardState, Pressure)> {
         let health = self.shared.health.lock().unwrap_or_else(|e| e.into_inner());
         health.iter().map(|h| (h.state, h.pressure)).collect()
+    }
+
+    /// Current `(acknowledged epoch, declared fenced)` of every shard,
+    /// by index.
+    pub fn shard_leases(&self) -> Vec<(u64, bool)> {
+        let health = self.shared.health.lock().unwrap_or_else(|e| e.into_inner());
+        health
+            .iter()
+            .map(|h| (h.epoch, h.fenced_declared))
+            .collect()
     }
 
     /// Serves `ROUTE`/`STATS`/`SHUTDOWN` until [`FleetHandle::shutdown`]
@@ -656,6 +1071,81 @@ impl FleetRouter {
             fleet: self.shared.metrics.snapshot(),
         })
     }
+}
+
+/// Router state recovered from the durable manifest.
+struct ReplayedManifest {
+    /// Next epoch to issue (strictly above anything ever journaled).
+    next_epoch: u64,
+    /// Shard id → highest epoch granted to it.
+    epochs: HashMap<usize, u64>,
+    /// Session id → shard id it was migrated to.
+    migrated: HashMap<u64, usize>,
+}
+
+/// Replays the manifest records in order. Snapshots reset the state;
+/// incremental `E`/`G` records refine it. Unparseable records are
+/// skipped (the manifest is an optimization, never ground truth for
+/// session *data* — that lives in the shard subroots).
+fn replay_manifest(records: &[Record]) -> ReplayedManifest {
+    let mut out = ReplayedManifest {
+        next_epoch: 1,
+        epochs: HashMap::new(),
+        migrated: HashMap::new(),
+    };
+    let apply_line = |out: &mut ReplayedManifest, kind: u8, text: &str| {
+        let mut parts = text.split_ascii_whitespace();
+        match kind {
+            MANIFEST_EPOCH_KIND => {
+                if let (Some(Ok(shard)), Some(Ok(epoch))) = (
+                    parts.next().map(str::parse::<usize>),
+                    parts.next().map(str::parse::<u64>),
+                ) {
+                    let slot = out.epochs.entry(shard).or_insert(0);
+                    *slot = (*slot).max(epoch);
+                    out.next_epoch = out.next_epoch.max(epoch + 1);
+                }
+            }
+            MANIFEST_MIGRATE_KIND => {
+                if let (Some(Ok(session)), Some(Ok(shard))) = (
+                    parts.next().map(str::parse::<u64>),
+                    parts.next().map(str::parse::<usize>),
+                ) {
+                    out.migrated.insert(session, shard);
+                }
+            }
+            _ => {}
+        }
+    };
+    for record in records {
+        let Ok(text) = std::str::from_utf8(&record.payload) else {
+            continue;
+        };
+        match record.kind {
+            MANIFEST_SNAPSHOT_KIND => {
+                out.epochs.clear();
+                out.migrated.clear();
+                out.next_epoch = 1;
+                for line in text.lines() {
+                    let Some((tag, rest)) = line.split_once(' ') else {
+                        continue;
+                    };
+                    match tag {
+                        "N" => {
+                            if let Ok(n) = rest.trim().parse::<u64>() {
+                                out.next_epoch = out.next_epoch.max(n);
+                            }
+                        }
+                        "E" => apply_line(&mut out, MANIFEST_EPOCH_KIND, rest),
+                        "G" => apply_line(&mut out, MANIFEST_MIGRATE_KIND, rest),
+                        _ => {}
+                    }
+                }
+            }
+            kind => apply_line(&mut out, kind, text),
+        }
+    }
+    out
 }
 
 /// Sleeps up to `total`, waking early when `stop` is raised.
@@ -787,8 +1277,14 @@ fn shard_state_json(shard: &ShardSpec, health: &ShardHealth) -> String {
         Pressure::Hard => "hard",
     };
     format!(
-        "{{\"label\":\"fleet\",\"metric\":\"shard_state\",\"type\":\"state\",\"shard\":{},\"addr\":\"{}\",\"state\":\"{}\",\"pressure\":\"{}\",\"consecutive_failures\":{}}}",
-        shard.id, shard.addr, health.state, pressure, health.consecutive_failures
+        "{{\"label\":\"fleet\",\"metric\":\"shard_state\",\"type\":\"state\",\"shard\":{},\"addr\":\"{}\",\"state\":\"{}\",\"pressure\":\"{}\",\"consecutive_failures\":{},\"epoch\":{},\"fenced\":{}}}",
+        shard.id,
+        shard.addr,
+        health.state,
+        pressure,
+        health.consecutive_failures,
+        health.epoch,
+        u8::from(health.fenced_declared)
     )
 }
 
@@ -966,5 +1462,66 @@ mod tests {
     fn subroot_layout_is_stable() {
         let root = Path::new("/var/fleet");
         assert_eq!(shard_subroot(root, 2), Path::new("/var/fleet/shard-2"));
+    }
+
+    #[test]
+    fn lease_acks_parse_and_plain_oks_do_not() {
+        assert_eq!(
+            parse_lease_ack("OK epoch=7 fenced=0"),
+            Some(LeaseAck {
+                epoch: 7,
+                fenced: false
+            })
+        );
+        assert_eq!(
+            parse_lease_ack("OK epoch=3 fenced=1"),
+            Some(LeaseAck {
+                epoch: 3,
+                fenced: true
+            })
+        );
+        assert_eq!(
+            parse_lease_ack("OK"),
+            None,
+            "STATS terminator is not an ack"
+        );
+        assert_eq!(parse_lease_ack("OK session=4 proto=1"), None);
+    }
+
+    #[test]
+    fn manifest_replay_restores_epochs_migrations_and_counter() {
+        let rec = |kind: u8, text: &str| Record {
+            kind,
+            payload: text.as_bytes().to_vec(),
+        };
+        let records = vec![
+            rec(MANIFEST_EPOCH_KIND, "0 1"),
+            rec(MANIFEST_EPOCH_KIND, "1 2"),
+            rec(MANIFEST_MIGRATE_KIND, "4294967297 0"),
+            rec(MANIFEST_EPOCH_KIND, "1 5"),
+        ];
+        let replayed = replay_manifest(&records);
+        assert_eq!(replayed.next_epoch, 6);
+        assert_eq!(replayed.epochs.get(&0), Some(&1));
+        assert_eq!(replayed.epochs.get(&1), Some(&5));
+        assert_eq!(replayed.migrated.get(&4294967297), Some(&0));
+
+        // A snapshot resets state; later increments refine it again.
+        let records = vec![
+            rec(MANIFEST_EPOCH_KIND, "0 9"),
+            rec(MANIFEST_SNAPSHOT_KIND, "N 12\nE 0 10\nE 2 11\nG 77 2\n"),
+            rec(MANIFEST_MIGRATE_KIND, "78 0"),
+        ];
+        let replayed = replay_manifest(&records);
+        assert_eq!(replayed.next_epoch, 12);
+        assert_eq!(replayed.epochs.get(&0), Some(&10));
+        assert_eq!(replayed.epochs.get(&2), Some(&11));
+        assert_eq!(replayed.migrated.get(&77), Some(&2));
+        assert_eq!(replayed.migrated.get(&78), Some(&0));
+
+        // Garbage records are skipped, not fatal.
+        let replayed = replay_manifest(&[rec(MANIFEST_EPOCH_KIND, "not numbers")]);
+        assert_eq!(replayed.next_epoch, 1);
+        assert!(replayed.epochs.is_empty());
     }
 }

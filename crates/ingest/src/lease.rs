@@ -1,0 +1,261 @@
+//! Fencing-epoch leases: the split-brain guard for fleet mode.
+//!
+//! Probe evidence alone cannot distinguish a crashed shard from a
+//! partitioned-but-alive one, and re-homing a *live* shard's sessions
+//! would put two daemons behind one session — breaking the Theorem-3
+//! exactness contract (the cut count is a pure function of the accepted
+//! event prefix, so the prefix must have exactly one owner). The lease
+//! protocol closes that hole with time, not connectivity:
+//!
+//! - The router grants each shard a time-bounded lease carrying a
+//!   monotonically increasing **epoch** (a `LEASE` frame piggybacked on
+//!   the STATS probe). Renewals re-offer the same epoch; re-admission
+//!   after a fence always offers a strictly higher one.
+//! - A shard that cannot renew before the TTL elapses **self-fences**:
+//!   it stops admitting `HELLO`/`RESUME`/`EVENT`, finalizes live
+//!   sessions to degraded reports, and refuses durable appends. Because
+//!   the shard's deadline starts at grant *receipt* and the router waits
+//!   a full TTL plus margin after the last acknowledged grant before
+//!   re-homing anything, the shard is provably fenced before a survivor
+//!   replays its sessions.
+//! - Epochs never regress. A fenced shard re-joins only by accepting a
+//!   strictly higher epoch, and durable stores stamp their owner's epoch
+//!   into META so stale-epoch handles are refused at the WAL layer (see
+//!   [`crate::persist`]).
+//!
+//! A daemon that never receives a `LEASE` (standalone mode) has no
+//! deadline and never fences — the protocol is pay-for-what-you-use.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What a shard tells the router after applying a `LEASE` grant: the
+/// epoch it now holds (which may exceed the offer if the shard has seen
+/// a later router incarnation) and whether it is currently fenced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaseAck {
+    /// The shard's current fencing epoch after applying the grant.
+    pub epoch: u64,
+    /// Whether the shard is fenced (true means the offer did not
+    /// re-admit it — only a strictly higher epoch clears a fence).
+    pub fenced: bool,
+}
+
+/// Shared fencing state for one daemon: current epoch, fence flag, and
+/// the lease deadline. One `Arc<FenceGuard>` is threaded through the
+/// accept loop, every connection, and every durable store so all entry
+/// points observe a fence the moment it happens.
+///
+/// Reads are lock-free atomics (the guard sits on the per-event append
+/// path); compound transitions serialize on an internal mutex.
+#[derive(Debug)]
+pub struct FenceGuard {
+    /// Current fencing epoch; 0 until the first grant.
+    epoch: AtomicU64,
+    /// Set when the lease expired (or was force-fenced) and not yet
+    /// cleared by a higher-epoch grant.
+    fenced: AtomicBool,
+    /// Lease deadline in milliseconds since `origin`; 0 means no lease
+    /// was ever granted, and such a guard never self-fences.
+    deadline_ms: AtomicU64,
+    /// Serializes grant/expiry transitions so epoch, fence flag, and
+    /// deadline move together.
+    lock: Mutex<()>,
+    origin: Instant,
+}
+
+impl Default for FenceGuard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FenceGuard {
+    /// A fresh guard: epoch 0, unfenced, no deadline.
+    pub fn new() -> Self {
+        FenceGuard {
+            epoch: AtomicU64::new(0),
+            fenced: AtomicBool::new(false),
+            deadline_ms: AtomicU64::new(0),
+            lock: Mutex::new(()),
+            origin: Instant::now(),
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+
+    /// The epoch this daemon currently holds (0 = never leased).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether the daemon is fenced right now. This does not check the
+    /// deadline — call [`FenceGuard::check_expiry`] on a clock tick to
+    /// convert an elapsed deadline into a fence.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.load(Ordering::Acquire)
+    }
+
+    /// Applies a lease grant and returns the resulting ack.
+    ///
+    /// - Offered epoch **above** the current one: adopt it, clear any
+    ///   fence (this is the re-admission handshake), restart the TTL.
+    /// - Offered epoch **equal** to the current one: a renewal — restart
+    ///   the TTL, unless fenced (a fence is only cleared by a *higher*
+    ///   epoch, so a delayed renewal from before the expiry cannot
+    ///   resurrect a fenced shard).
+    /// - Offered epoch **below** the current one: ignored; epochs never
+    ///   regress.
+    pub fn grant(&self, epoch: u64, ttl: Duration) -> LeaseAck {
+        self.grant_at(self.now_ms(), epoch, ttl.as_millis() as u64)
+    }
+
+    /// Clock-injected variant of [`FenceGuard::grant`] for deterministic
+    /// tests; `now_ms` is milliseconds on the guard's own timeline.
+    pub fn grant_at(&self, now_ms: u64, epoch: u64, ttl_ms: u64) -> LeaseAck {
+        let _guard = self.lock.lock().unwrap();
+        let current = self.epoch.load(Ordering::Acquire);
+        if epoch > current {
+            self.epoch.store(epoch, Ordering::Release);
+            self.fenced.store(false, Ordering::Release);
+            self.deadline_ms
+                .store(now_ms.saturating_add(ttl_ms).max(1), Ordering::Release);
+        } else if epoch == current && !self.fenced.load(Ordering::Acquire) && current != 0 {
+            self.deadline_ms
+                .store(now_ms.saturating_add(ttl_ms).max(1), Ordering::Release);
+        }
+        LeaseAck {
+            epoch: self.epoch.load(Ordering::Acquire),
+            fenced: self.fenced.load(Ordering::Acquire),
+        }
+    }
+
+    /// Fences the daemon if its lease deadline has passed. Returns true
+    /// exactly once per fence — the tick that crossed the deadline —
+    /// so callers can run fence-entry work (draining parked sessions)
+    /// exactly once. A guard that never held a lease never fences.
+    pub fn check_expiry(&self) -> bool {
+        self.check_expiry_at(self.now_ms())
+    }
+
+    /// Clock-injected variant of [`FenceGuard::check_expiry`].
+    pub fn check_expiry_at(&self, now_ms: u64) -> bool {
+        let deadline = self.deadline_ms.load(Ordering::Acquire);
+        if deadline == 0 || now_ms < deadline || self.fenced.load(Ordering::Acquire) {
+            return false;
+        }
+        let _guard = self.lock.lock().unwrap();
+        if self.fenced.load(Ordering::Acquire) {
+            return false;
+        }
+        self.fenced.store(true, Ordering::Release);
+        true
+    }
+
+    /// Forces a fence immediately, regardless of the deadline. Used by
+    /// tests and by operators shutting a shard out of the fleet.
+    pub fn fence(&self) {
+        let _guard = self.lock.lock().unwrap();
+        self.fenced.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_renew_expire_fence_rejoin() {
+        let g = FenceGuard::new();
+        assert_eq!(g.epoch(), 0);
+        assert!(!g.is_fenced());
+        // A guard with no lease never fences, however late the clock.
+        assert!(!g.check_expiry_at(1_000_000));
+
+        // First grant.
+        let ack = g.grant_at(0, 3, 100);
+        assert_eq!(
+            ack,
+            LeaseAck {
+                epoch: 3,
+                fenced: false
+            }
+        );
+        // Renewal at the same epoch pushes the deadline.
+        let ack = g.grant_at(90, 3, 100);
+        assert_eq!(
+            ack,
+            LeaseAck {
+                epoch: 3,
+                fenced: false
+            }
+        );
+        assert!(!g.check_expiry_at(120));
+
+        // Deadline passes: exactly one tick reports the fence.
+        assert!(g.check_expiry_at(191));
+        assert!(!g.check_expiry_at(192));
+        assert!(g.is_fenced());
+
+        // A late renewal at the fenced epoch cannot resurrect the shard.
+        let ack = g.grant_at(200, 3, 100);
+        assert_eq!(
+            ack,
+            LeaseAck {
+                epoch: 3,
+                fenced: true
+            }
+        );
+        assert!(g.is_fenced());
+
+        // Re-admission: a strictly higher epoch clears the fence.
+        let ack = g.grant_at(210, 4, 100);
+        assert_eq!(
+            ack,
+            LeaseAck {
+                epoch: 4,
+                fenced: false
+            }
+        );
+        assert!(!g.is_fenced());
+        assert!(!g.check_expiry_at(300));
+        assert!(g.check_expiry_at(311));
+    }
+
+    #[test]
+    fn epoch_never_regresses() {
+        let g = FenceGuard::new();
+        g.grant_at(0, 7, 100);
+        let ack = g.grant_at(1, 2, 100);
+        assert_eq!(ack.epoch, 7);
+        assert_eq!(g.epoch(), 7);
+        // A stale lower offer also fails to renew: the deadline set at
+        // t=0 still stands, so the lease expires at 100.
+        assert!(g.check_expiry_at(101));
+    }
+
+    #[test]
+    fn force_fence_holds_until_higher_epoch() {
+        let g = FenceGuard::new();
+        g.grant_at(0, 1, 1000);
+        g.fence();
+        assert!(g.is_fenced());
+        assert_eq!(
+            g.grant_at(1, 1, 1000),
+            LeaseAck {
+                epoch: 1,
+                fenced: true
+            }
+        );
+        assert_eq!(
+            g.grant_at(2, 2, 1000),
+            LeaseAck {
+                epoch: 2,
+                fenced: false
+            }
+        );
+    }
+}

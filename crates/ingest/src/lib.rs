@@ -39,6 +39,7 @@
 
 pub mod client;
 pub mod fleet;
+pub mod lease;
 #[cfg(feature = "chaos")]
 pub mod linkchaos;
 pub mod persist;
@@ -55,6 +56,7 @@ pub use fleet::{
     first_session_id, parse_manifest, shard_of_session, shard_subroot, FleetConfig, FleetHandle,
     FleetRouter, FleetSummary, ShardSpec, ShardState,
 };
+pub use lease::{FenceGuard, LeaseAck};
 #[cfg(feature = "chaos")]
 pub use linkchaos::{ChaosProxy, LinkFaults};
 pub use persist::{

@@ -35,6 +35,24 @@
 //! lines. The WAL's length-prefix + CRC framing supplies integrity; the
 //! text form means one codec ([`crate::proto`]) serves the socket and
 //! the disk, and `strings wal-0000000001.log` shows a legible session.
+//!
+//! # Fencing epochs
+//!
+//! Fleet daemons hold a time-bounded lease carrying a monotonically
+//! increasing epoch ([`crate::lease`]). The store participates in the
+//! fencing protocol at the WAL layer: the owner's shard space and epoch
+//! are stamped into every `META` (and checkpoint) record, appends are
+//! refused while the owning daemon is fenced *or* once its lease epoch
+//! falls below the stamp, and recovery by the *same* shard space under a
+//! strictly lower (non-zero) epoch than the stamp is refused outright —
+//! a later incarnation replaying the log re-stamps it and wins, and the
+//! stale incarnation's writes can never land afterwards. Epochs granted
+//! to *different* shards are incomparable (the router grants them from
+//! one counter, but each shard's history is its own), so a store whose
+//! stamp names a foreign owner is adopted unconditionally: the router
+//! only moves a session's directory after fencing its old owner, and
+//! the rename itself is the transfer of authority. Epoch 0 means "never
+//! leased" (standalone daemons), which disables all of this.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -45,6 +63,7 @@ use paramount::{
 };
 use paramount_durable::{FsyncPolicy, Record, Wal, WalConfig};
 
+use crate::lease::FenceGuard;
 use crate::proto::{parse_client_line, ClientFrame, Hello, WireOp};
 
 /// Record kind byte: session identity + `HELLO` parameters.
@@ -78,6 +97,20 @@ pub struct StoreConfig {
     /// `paramount/2`). Purely a write-side policy: recovery replays both
     /// kinds regardless, so a session's log may mix them across resumes.
     pub binary_events: bool,
+    /// The owning daemon's fencing epoch at store creation/recovery; it
+    /// is stamped into `META` so a later incarnation of the same shard
+    /// can prove precedence. `0` means the daemon was never leased
+    /// (standalone mode) and disables epoch checks.
+    pub epoch: u64,
+    /// The owning daemon's shard space (`first_session_id >> 32`),
+    /// stamped alongside the epoch. Epochs only order incarnations of
+    /// the *same* shard; a store stamped by a foreign space was migrated
+    /// in by the router and is adopted regardless of the numeric stamp.
+    pub own_space: u64,
+    /// The owning daemon's live fence state. When set, appends and
+    /// checkpoints are refused while the daemon is fenced or once its
+    /// lease epoch falls below the stamped [`StoreConfig::epoch`].
+    pub guard: Option<Arc<FenceGuard>>,
 }
 
 impl Default for StoreConfig {
@@ -88,6 +121,9 @@ impl Default for StoreConfig {
             faults: FaultPlan::default(),
             metrics: None,
             binary_events: false,
+            epoch: 0,
+            own_space: 0,
+            guard: None,
         }
     }
 }
@@ -127,6 +163,13 @@ pub struct SessionStore {
     /// keeps the log self-contained.
     id: u64,
     hello: Hello,
+    /// The fencing epoch stamped in the store's `META` record — the
+    /// epoch of the incarnation that owns this log. Appends are refused
+    /// once the guard's live epoch falls below it.
+    epoch: u64,
+    /// The shard space stamped alongside the epoch: whose grant history
+    /// the stamp belongs to.
+    owner: u64,
     /// The full accepted prefix — what the next checkpoint embeds.
     events: Vec<(usize, WireOp)>,
     since_checkpoint: u64,
@@ -176,24 +219,29 @@ impl SessionStore {
         hello: &Hello,
         cfg: StoreConfig,
     ) -> io::Result<SessionStore> {
+        fence_check(&cfg.guard)?;
         let _ = std::fs::remove_dir_all(dir);
         let wal_config = WalConfig {
             fsync: cfg.fsync,
             ..WalConfig::default()
         };
         let (wal, _) = Wal::open(dir, wal_config)?;
+        let epoch = cfg.epoch;
+        let owner = cfg.own_space;
         let mut store = SessionStore {
             dir: dir.to_path_buf(),
             wal,
             cfg,
             id,
             hello: hello.clone(),
+            epoch,
+            owner,
             events: Vec::new(),
             since_checkpoint: 0,
             checkpoints: 0,
             charged_segments: 0,
         };
-        let meta = format!("{id} {}", hello.encode());
+        let meta = encode_meta_line(id, epoch, owner, hello);
         store.wal.append(META_KIND, meta.as_bytes())?;
         store.wal.sync()?;
         store.publish_segments();
@@ -204,16 +252,27 @@ impl SessionStore {
     /// the WAL's job, last-checkpoint-wins is ours. Returns `Ok(None)`
     /// when `dir` holds no committed `META` record (absent or empty
     /// store — nothing to resume).
+    ///
+    /// Fencing rules: recovery is refused while the recovering daemon is
+    /// fenced, and a *leased* daemon (epoch > 0) cannot recover a store
+    /// its own shard space stamped with a higher epoch — that log
+    /// already belongs to a later incarnation of itself. A store stamped
+    /// by a *foreign* space was migrated in by the router (which fenced
+    /// the old owner before moving the directory) and is adopted
+    /// regardless of the stamp. Recovering under a different admissible
+    /// stamp re-stamps the log (a fresh `META` record) so the recoverer
+    /// becomes the sole writer.
     pub fn recover(dir: &Path, cfg: StoreConfig) -> io::Result<Option<RecoveredState>> {
         if !dir.is_dir() {
             return Ok(None);
         }
+        fence_check(&cfg.guard)?;
         let wal_config = WalConfig {
             fsync: cfg.fsync,
             ..WalConfig::default()
         };
         let (wal, records) = Wal::open(dir, wal_config)?;
-        let mut meta: Option<(u64, Hello)> = None;
+        let mut meta: Option<(u64, u64, u64, Hello)> = None;
         let mut events: Vec<(usize, WireOp)> = Vec::new();
         let mut quarantined = 0u64;
         let mut quarantine: Vec<QuarantinedInterval> = Vec::new();
@@ -246,20 +305,39 @@ impl SessionStore {
                 _ => {} // forward compatibility: unknown kinds are skipped
             }
         }
-        let Some((id, hello)) = meta else {
+        let Some((id, stored_epoch, stored_owner, hello)) = meta else {
             return Ok(None);
         };
+        if cfg.epoch > 0 && stored_owner == cfg.own_space && cfg.epoch < stored_epoch {
+            return Err(io::Error::other(format!(
+                "stale epoch: store is stamped epoch {stored_epoch}, recovering daemon holds {}",
+                cfg.epoch
+            )));
+        }
+        let epoch = cfg.epoch;
+        let owner = cfg.own_space;
         let mut store = SessionStore {
             dir: dir.to_path_buf(),
             wal,
             cfg,
             id,
             hello: hello.clone(),
+            epoch,
+            owner,
             events: Vec::new(),
             since_checkpoint,
             checkpoints: 0,
             charged_segments: 0,
         };
+        if epoch != stored_epoch || owner != stored_owner {
+            // Claim the log for this incarnation: a durably re-stamped
+            // META (last-META-wins on replay) is the recoverer's proof of
+            // ownership — any lower-epoch incarnation of the same space
+            // that later tries to recover this log is refused above.
+            let meta = encode_meta_line(id, epoch, owner, &store.hello);
+            store.wal.append(META_KIND, meta.as_bytes())?;
+            store.wal.sync()?;
+        }
         store.events.clone_from(&events);
         store.publish_segments();
         Ok(Some(RecoveredState {
@@ -277,6 +355,7 @@ impl SessionStore {
     /// two keeps the per-event path free of the checkpoint's inputs (the
     /// quarantine tally is a metrics fold).
     pub fn append_event(&mut self, tid: usize, op: &WireOp) -> io::Result<()> {
+        self.epoch_check()?;
         if self.cfg.binary_events {
             let body = crate::wire2::encode_event_record(tid, op);
             self.wal.append(EVENT2_KIND, &body)?;
@@ -308,6 +387,56 @@ impl SessionStore {
         self.events.len() as u64
     }
 
+    /// The fencing epoch stamped in the store's `META` record.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Refuses writes from a fenced daemon or a stale incarnation: the
+    /// guard's live lease epoch must still match the stamp taken at
+    /// create/recover time. This is the WAL-layer fencing check the
+    /// lease protocol relies on — every durable mutation funnels
+    /// through it.
+    fn epoch_check(&self) -> io::Result<()> {
+        let Some(guard) = &self.cfg.guard else {
+            return Ok(());
+        };
+        if guard.is_fenced() {
+            return Err(io::Error::other(format!(
+                "daemon is fenced at epoch {}; durable appends refused",
+                guard.epoch()
+            )));
+        }
+        let live = guard.epoch();
+        if live < self.epoch {
+            return Err(io::Error::other(format!(
+                "stale epoch: store is stamped epoch {}, daemon now holds {live}",
+                self.epoch
+            )));
+        }
+        Ok(())
+    }
+
+    /// Re-stamps the store under `epoch` (a durably appended fresh
+    /// `META`, owned by the daemon's own shard space). Used when a
+    /// daemon adopts a session under a lease newer than the one the
+    /// store was stamped with — a resumed session on a re-joined shard,
+    /// or a migrated-in store claimed by its new home — so the stamp
+    /// names the lease that actually owns the log now.
+    pub fn restamp(&mut self, epoch: u64) -> io::Result<()> {
+        if epoch == self.epoch && self.owner == self.cfg.own_space {
+            return Ok(());
+        }
+        fence_check(&self.cfg.guard)?;
+        let owner = self.cfg.own_space;
+        let meta = encode_meta_line(self.id, epoch, owner, &self.hello);
+        self.wal.append(META_KIND, meta.as_bytes())?;
+        self.wal.sync()?;
+        self.epoch = epoch;
+        self.owner = owner;
+        Ok(())
+    }
+
     /// Live WAL segment files.
     pub fn segment_count(&self) -> usize {
         self.wal.segment_count()
@@ -319,7 +448,16 @@ impl SessionStore {
     /// exact `[Gmin, Gbnd]` bounds of pre-crash quarantines, not just
     /// their tally. Returns the number of segments removed.
     pub fn checkpoint(&mut self, quarantined: u64, ledger: &FaultLog) -> io::Result<usize> {
-        let payload = encode_checkpoint(self.id, &self.hello, &self.events, quarantined, ledger);
+        self.epoch_check()?;
+        let payload = encode_checkpoint(
+            self.id,
+            self.epoch,
+            self.owner,
+            &self.hello,
+            &self.events,
+            quarantined,
+            ledger,
+        );
         self.checkpoints += 1;
         #[cfg(feature = "chaos")]
         if self.cfg.faults.checkpoint_panic_at == Some(self.checkpoints) {
@@ -378,14 +516,61 @@ impl Drop for SessionStore {
     }
 }
 
-/// `META` payload → `(id, hello)`. Malformed records are dropped (the
-/// CRC already vouched for integrity; this only rejects foreign data).
-fn decode_meta(record: &Record) -> Option<(u64, Hello)> {
+/// Refuses a durable mutation while the owning daemon is fenced.
+fn fence_check(guard: &Option<Arc<FenceGuard>>) -> io::Result<()> {
+    if let Some(guard) = guard {
+        if guard.is_fenced() {
+            return Err(io::Error::other(format!(
+                "daemon is fenced at epoch {}; durable writes refused",
+                guard.epoch()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The `META` line: `<id> [epoch=<e> [owner=<s>]] <HELLO line>`. The
+/// epoch token is omitted at 0 so unleased daemons write (and old logs
+/// remain) the original grammar; the owner token is omitted when the
+/// stamping daemon's shard space matches the id's birth space, so it
+/// only appears on migrated-in stores.
+fn encode_meta_line(id: u64, epoch: u64, owner: u64, hello: &Hello) -> String {
+    let mut head = id.to_string();
+    if epoch > 0 {
+        head.push_str(&format!(" epoch={epoch}"));
+        if owner != id >> 32 {
+            head.push_str(&format!(" owner={owner}"));
+        }
+    }
+    format!("{head} {}", hello.encode())
+}
+
+/// `META` payload → `(id, epoch, owner, hello)`. Malformed records are
+/// dropped (the CRC already vouched for integrity; this only rejects
+/// foreign data). A missing `epoch=` token reads as 0 (pre-fencing
+/// logs); a missing `owner=` token reads as the id's birth space.
+fn decode_meta(record: &Record) -> Option<(u64, u64, u64, Hello)> {
     let text = std::str::from_utf8(&record.payload).ok()?;
-    let (id, hello_line) = text.split_once(' ')?;
+    decode_meta_line(text)
+}
+
+fn decode_meta_line(text: &str) -> Option<(u64, u64, u64, Hello)> {
+    let (id, mut hello_line) = text.split_once(' ')?;
     let id = id.parse::<u64>().ok()?;
+    let mut epoch = 0u64;
+    let mut owner = id >> 32;
+    if let Some(rest) = hello_line.strip_prefix("epoch=") {
+        let (value, after) = rest.split_once(' ')?;
+        epoch = value.parse::<u64>().ok()?;
+        hello_line = after;
+    }
+    if let Some(rest) = hello_line.strip_prefix("owner=") {
+        let (value, after) = rest.split_once(' ')?;
+        owner = value.parse::<u64>().ok()?;
+        hello_line = after;
+    }
     match parse_client_line(hello_line) {
-        Ok(ClientFrame::Hello(hello)) => Some((id, hello)),
+        Ok(ClientFrame::Hello(hello)) => Some((id, epoch, owner, hello)),
         _ => None,
     }
 }
@@ -404,12 +589,14 @@ fn decode_event_line(line: Option<&str>) -> Option<(usize, WireOp)> {
 /// the quarantine ledger, then one `EVENT` line per accepted event.
 fn encode_checkpoint(
     id: u64,
+    epoch: u64,
+    owner: u64,
     hello: &Hello,
     events: &[(usize, WireOp)],
     quarantined: u64,
     ledger: &FaultLog,
 ) -> Vec<u8> {
-    let mut out = format!("{id} {}", hello.encode());
+    let mut out = encode_meta_line(id, epoch, owner, hello);
     out.push('\n');
     out.push_str(&format!("acked={} quarantined={quarantined}", events.len()));
     for entry in &ledger.quarantined {
@@ -425,7 +612,7 @@ fn encode_checkpoint(
 
 /// Everything [`decode_checkpoint`] reads back out of one record.
 struct Checkpoint {
-    meta: (u64, Hello),
+    meta: (u64, u64, u64, Hello),
     acked: u64,
     quarantined: u64,
     quarantine: Vec<QuarantinedInterval>,
@@ -435,13 +622,7 @@ struct Checkpoint {
 fn decode_checkpoint(record: &Record) -> Option<Checkpoint> {
     let text = std::str::from_utf8(&record.payload).ok()?;
     let mut lines = text.lines();
-    let meta_line = lines.next()?;
-    let (id, hello_line) = meta_line.split_once(' ')?;
-    let id = id.parse::<u64>().ok()?;
-    let hello = match parse_client_line(hello_line) {
-        Ok(ClientFrame::Hello(hello)) => hello,
-        _ => return None,
-    };
+    let meta = decode_meta_line(lines.next()?)?;
     let header = lines.next()?;
     let mut acked = None;
     let mut quarantined = 0u64;
@@ -462,7 +643,7 @@ fn decode_checkpoint(record: &Record) -> Option<Checkpoint> {
         }
     }
     Some(Checkpoint {
-        meta: (id, hello),
+        meta,
         acked: acked?,
         quarantined,
         quarantine,
@@ -750,6 +931,219 @@ mod tests {
         }
         assert_eq!(scan_sessions(&root).unwrap(), vec![3, 7, 12]);
         std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn fenced_daemon_is_refused_at_every_store_entry_point() {
+        let dir = scratch_dir("fence");
+        let guard = Arc::new(FenceGuard::new());
+        guard.grant_at(0, 5, 1_000);
+        let cfg = StoreConfig {
+            epoch: 5,
+            guard: Some(Arc::clone(&guard)),
+            ..StoreConfig::default()
+        };
+        let mut store = SessionStore::create(&dir, 1, &Hello::new(2), cfg.clone()).unwrap();
+        store.append_event(0, &WireOp::Write("x".into())).unwrap();
+        store.sync().unwrap();
+
+        guard.fence();
+        assert!(store.append_event(1, &WireOp::Read("x".into())).is_err());
+        assert!(store.checkpoint(0, &FaultLog::default()).is_err());
+        drop(store);
+        assert!(SessionStore::recover(&dir, cfg.clone()).is_err());
+        let other = scratch_dir("fence-create");
+        assert!(SessionStore::create(&other, 2, &Hello::new(2), cfg).is_err());
+
+        // The fenced prefix is intact and resumable by an unfenced owner.
+        let rec = SessionStore::recover(&dir, StoreConfig::default())
+            .unwrap()
+            .expect("store exists");
+        assert_eq!(rec.events.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_epoch_writes_and_recovery_are_refused() {
+        let dir = scratch_dir("stale");
+        let guard = Arc::new(FenceGuard::new());
+        guard.grant_at(0, 3, 1_000);
+        let cfg = StoreConfig {
+            epoch: 3,
+            guard: Some(Arc::clone(&guard)),
+            ..StoreConfig::default()
+        };
+        let mut store = SessionStore::create(&dir, 1, &Hello::new(2), cfg).unwrap();
+        store.append_event(0, &WireOp::Write("x".into())).unwrap();
+
+        // While fenced every write is refused; a re-join under a fresh
+        // epoch restores the handle (ownership is monotone: the same
+        // daemon under a *higher* lease still owns its log), and the
+        // adopter re-stamps so the log names the lease that owns it now.
+        guard.fence();
+        let err = store
+            .append_event(1, &WireOp::Read("x".into()))
+            .unwrap_err();
+        assert!(err.to_string().contains("fenced"), "{err}");
+        guard.grant_at(1, 4, 1_000);
+        store.restamp(4).unwrap();
+        store.append_event(1, &WireOp::Read("x".into())).unwrap();
+        store.sync().unwrap();
+        assert_eq!(store.epoch(), 4);
+        drop(store);
+
+        // A survivor under a higher epoch re-stamps the log on recovery…
+        let survivor = Arc::new(FenceGuard::new());
+        survivor.grant_at(0, 6, 1_000);
+        let rec = SessionStore::recover(
+            &dir,
+            StoreConfig {
+                epoch: 6,
+                guard: Some(survivor),
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap()
+        .expect("store exists");
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.store.epoch(), 6);
+        drop(rec);
+
+        // …after which the epoch-4 incarnation is refused outright.
+        let stale = Arc::new(FenceGuard::new());
+        stale.grant_at(0, 4, 1_000);
+        let err = SessionStore::recover(
+            &dir,
+            StoreConfig {
+                epoch: 4,
+                guard: Some(stale),
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("stale epoch"), "{err}");
+
+        // Epoch 0 (standalone, never leased) may still reclaim the log.
+        let rec = SessionStore::recover(&dir, StoreConfig::default())
+            .unwrap()
+            .expect("store exists");
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.store.epoch(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_space_stores_are_adopted_regardless_of_stamp() {
+        let dir = scratch_dir("adopt");
+        // Shard 1's daemon (id space 1) creates the store at epoch 5.
+        let home = Arc::new(FenceGuard::new());
+        home.grant_at(0, 5, 1_000);
+        let id = (1u64 << 32) + 7;
+        let cfg = StoreConfig {
+            epoch: 5,
+            own_space: 1,
+            guard: Some(home),
+            ..StoreConfig::default()
+        };
+        let mut store = SessionStore::create(&dir, id, &Hello::new(2), cfg).unwrap();
+        store.append_event(0, &WireOp::Write("x".into())).unwrap();
+        store.sync().unwrap();
+        drop(store);
+
+        // Shard 0's daemon holds a *numerically lower* epoch — epochs
+        // from different shards are incomparable, so the migrated-in
+        // store is adopted and re-stamped, not refused.
+        let survivor = Arc::new(FenceGuard::new());
+        survivor.grant_at(0, 2, 1_000);
+        let rec = SessionStore::recover(
+            &dir,
+            StoreConfig {
+                epoch: 2,
+                own_space: 0,
+                guard: Some(survivor),
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap()
+        .expect("store exists");
+        assert_eq!(rec.events.len(), 1);
+        assert_eq!(rec.store.epoch(), 2);
+        let mut store = rec.store;
+        store.append_event(1, &WireOp::Read("x".into())).unwrap();
+        store.sync().unwrap();
+        drop(store);
+
+        // The adopter's own space now orders recoveries: a stale shard-0
+        // incarnation is refused, the current one is not.
+        let stale = Arc::new(FenceGuard::new());
+        stale.grant_at(0, 1, 1_000);
+        let err = SessionStore::recover(
+            &dir,
+            StoreConfig {
+                epoch: 1,
+                own_space: 0,
+                guard: Some(stale),
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("stale epoch"), "{err}");
+        let rec = SessionStore::recover(
+            &dir,
+            StoreConfig {
+                epoch: 2,
+                own_space: 0,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap()
+        .expect("store exists");
+        assert_eq!(rec.events.len(), 2, "the adopted log replays in full");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn epoch_stamp_survives_checkpoint_compaction() {
+        let dir = scratch_dir("epoch-ckpt");
+        let guard = Arc::new(FenceGuard::new());
+        guard.grant_at(0, 9, 1_000);
+        let cfg = StoreConfig {
+            epoch: 9,
+            guard: Some(Arc::clone(&guard)),
+            ..StoreConfig::default()
+        };
+        let trace = ops(6);
+        let mut store = SessionStore::create(&dir, 2, &Hello::new(2), cfg).unwrap();
+        for (tid, op) in &trace {
+            store.append_event(*tid, op).unwrap();
+        }
+        // Compaction deletes the segment holding the original META; the
+        // checkpoint must carry the stamp forward.
+        store.checkpoint(0, &FaultLog::default()).unwrap();
+        assert_eq!(store.segment_count(), 1);
+        drop(store);
+
+        let err = SessionStore::recover(
+            &dir,
+            StoreConfig {
+                epoch: 8,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("stale epoch"), "{err}");
+        let rec = SessionStore::recover(
+            &dir,
+            StoreConfig {
+                epoch: 9,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap()
+        .expect("store exists");
+        assert_eq!(rec.events, trace);
+        assert_eq!(rec.store.epoch(), 9);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

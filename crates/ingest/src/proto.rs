@@ -34,6 +34,8 @@
 //!                                 # persisted session instead of HELLO
 //! ROUTE paramount/1 [session=<id>]# fleet routers: which shard should
 //!                                 # this (new or resuming) session use?
+//! LEASE paramount/1 epoch=<e> ttl-ms=<t> # routers → shards (pre-HELLO):
+//!                                 # fencing-epoch lease grant/renewal
 //! ```
 //!
 //! Server → client:
@@ -334,6 +336,17 @@ pub enum ClientFrame {
         /// The session to locate, or `None` to place a new one.
         session: Option<u64>,
     },
+    /// Fleet routers → shard daemons (pre-HELLO admin, piggybacked on
+    /// the STATS probe connection): grant or renew a fencing-epoch
+    /// lease. The shard answers `OK epoch=<e> fenced=<0|1>` with the
+    /// epoch it holds *after* applying the grant. A shard that cannot
+    /// renew before `ttl-ms` elapses self-fences (see [`crate::lease`]).
+    Lease {
+        /// Monotonically increasing fencing epoch being offered.
+        epoch: u64,
+        /// Lease duration from grant receipt, in milliseconds.
+        ttl_ms: u64,
+    },
 }
 
 impl ClientFrame {
@@ -353,6 +366,9 @@ impl ClientFrame {
                 Some(id) => format!("ROUTE {PROTOCOL_VERSION} session={id}"),
                 None => format!("ROUTE {PROTOCOL_VERSION}"),
             },
+            ClientFrame::Lease { epoch, ttl_ms } => {
+                format!("LEASE {PROTOCOL_VERSION} epoch={epoch} ttl-ms={ttl_ms}")
+            }
         }
     }
 }
@@ -371,6 +387,7 @@ pub fn parse_client_line(line: &str) -> Result<ClientFrame, DecodeError> {
         "SHUTDOWN" => expect_bare(parts, ClientFrame::Shutdown),
         "RESUME" => parse_resume(parts),
         "ROUTE" => parse_route(parts),
+        "LEASE" => parse_lease(parts),
         other => Err(proto(format!("unknown frame `{other}`"))),
     }
 }
@@ -435,6 +452,47 @@ fn parse_route<'a>(parts: impl Iterator<Item = &'a str>) -> Result<ClientFrame, 
         return Err(proto("ROUTE missing protocol version"));
     }
     Ok(ClientFrame::Route { session })
+}
+
+fn parse_lease<'a>(parts: impl Iterator<Item = &'a str>) -> Result<ClientFrame, DecodeError> {
+    let mut version_seen = false;
+    let mut epoch: Option<u64> = None;
+    let mut ttl_ms: Option<u64> = None;
+    for token in parts {
+        if !version_seen {
+            // Like ROUTE, LEASE is an admin frame whose payload encodes
+            // identically under either version token.
+            parse_version_token(token)?;
+            version_seen = true;
+            continue;
+        }
+        let Some((key, value)) = token.split_once('=') else {
+            return Err(proto(format!("malformed LEASE token `{token}`")));
+        };
+        match key {
+            "epoch" => {
+                epoch = Some(
+                    value
+                        .parse()
+                        .map_err(|_| proto(format!("invalid epoch `{value}`")))?,
+                );
+            }
+            "ttl-ms" => {
+                ttl_ms = Some(
+                    value
+                        .parse()
+                        .map_err(|_| proto(format!("invalid ttl-ms `{value}`")))?,
+                );
+            }
+            other => return Err(proto(format!("unknown LEASE key `{other}`"))),
+        }
+    }
+    if !version_seen {
+        return Err(proto("LEASE missing protocol version"));
+    }
+    let epoch = epoch.ok_or_else(|| proto("LEASE missing epoch="))?;
+    let ttl_ms = ttl_ms.ok_or_else(|| proto("LEASE missing ttl-ms="))?;
+    Ok(ClientFrame::Lease { epoch, ttl_ms })
 }
 
 fn expect_bare<'a>(
@@ -831,6 +889,38 @@ mod tests {
             ("ROUTE paramount/9", ErrCode::Version),
             ("ROUTE paramount/1 session=many", ErrCode::Proto),
             ("ROUTE paramount/1 label=x", ErrCode::Proto),
+        ] {
+            assert_eq!(parse_client_line(line).unwrap_err().code, code, "{line}");
+        }
+    }
+
+    #[test]
+    fn lease_round_trip_and_rejects() {
+        let frame = ClientFrame::Lease {
+            epoch: 7,
+            ttl_ms: 1500,
+        };
+        let line = frame.encode();
+        assert_eq!(line, "LEASE paramount/1 epoch=7 ttl-ms=1500");
+        assert_eq!(parse_client_line(&line).unwrap(), frame);
+        // Version-agnostic like ROUTE.
+        assert_eq!(
+            parse_client_line("LEASE paramount/2 epoch=1 ttl-ms=2").unwrap(),
+            ClientFrame::Lease {
+                epoch: 1,
+                ttl_ms: 2
+            }
+        );
+        for (line, code) in [
+            ("LEASE", ErrCode::Proto),
+            ("LEASE epoch=1 ttl-ms=2", ErrCode::Version),
+            ("LEASE paramount/9 epoch=1 ttl-ms=2", ErrCode::Version),
+            ("LEASE paramount/1", ErrCode::Proto),
+            ("LEASE paramount/1 epoch=1", ErrCode::Proto),
+            ("LEASE paramount/1 ttl-ms=2", ErrCode::Proto),
+            ("LEASE paramount/1 epoch=many ttl-ms=2", ErrCode::Proto),
+            ("LEASE paramount/1 epoch=1 ttl-ms=soon", ErrCode::Proto),
+            ("LEASE paramount/1 epoch=1 ttl-ms=2 label=x", ErrCode::Proto),
         ] {
             assert_eq!(parse_client_line(line).unwrap_err().code, code, "{line}");
         }

@@ -16,6 +16,7 @@
 //! then joins everything and returns a [`ServeSummary`] with every
 //! session report and the daemon-wide [`IngestSnapshot`].
 
+use crate::lease::FenceGuard;
 use crate::persist::{scan_sessions, session_dir, SessionStore, StoreConfig};
 use crate::proto::{
     parse_client_line, version_token, ClientFrame, DecodeError, EndReason, ErrCode, ServerFrame,
@@ -33,7 +34,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -224,6 +225,10 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     /// The process-wide byte account every session's engine charges.
     budget: Arc<MemoryBudget>,
+    /// Fencing-epoch lease state ([`crate::lease`]). Standalone daemons
+    /// never receive a `LEASE` and the guard stays inert; fleet shards
+    /// renew on every router probe and self-fence when the TTL lapses.
+    fence: Arc<FenceGuard>,
 }
 
 impl Server {
@@ -236,12 +241,20 @@ impl Server {
             metrics: Arc::new(IngestMetrics::new()),
             stop: Arc::new(AtomicBool::new(false)),
             budget,
+            fence: Arc::new(FenceGuard::new()),
         }
     }
 
     /// The daemon-wide memory budget (live; for tests and banners).
     pub fn budget(&self) -> &Arc<MemoryBudget> {
         &self.budget
+    }
+
+    /// The daemon's live fencing state (for tests and operators; the
+    /// fleet e2e suite asserts a partitioned shard fenced itself before
+    /// its sessions replayed elsewhere).
+    pub fn fence_guard(&self) -> Arc<FenceGuard> {
+        Arc::clone(&self.fence)
     }
 
     /// Binds a TCP endpoint. `addr` may use port 0 for an ephemeral port;
@@ -300,6 +313,15 @@ impl Server {
         let Some(root) = self.config.data_dir.clone() else {
             return first_free;
         };
+        // A migrated session's directory leaves this subroot along with
+        // the session, so scanning alone can under-count the ids a past
+        // incarnation issued; the persisted floor stops a re-joined shard
+        // from re-issuing a migrated session's id to a fresh HELLO.
+        if let Some(floor) = read_id_floor(&root) {
+            if floor >> 32 == first_free >> 32 {
+                first_free = first_free.max(floor);
+            }
+        }
         let ids = match scan_sessions(&root) {
             Ok(ids) => ids,
             Err(_) => return first_free, // unreadable root: serve memory-only
@@ -313,7 +335,7 @@ impl Server {
                 first_free = first_free.max(id + 1);
             }
             let dir = session_dir(&root, id);
-            let store_cfg = durable_store_config(&self.config, &self.metrics);
+            let store_cfg = durable_store_config(&self.config, &self.metrics, &self.fence);
             let rec = match SessionStore::recover(&dir, store_cfg) {
                 Ok(Some(rec)) => rec,
                 // Empty or unreadable store: leave the directory on disk
@@ -368,6 +390,7 @@ impl Server {
                                 notify: Arc::clone(&notify),
                                 budget: Arc::clone(&self.budget),
                                 parked: Arc::clone(&parked),
+                                fence: Arc::clone(&self.fence),
                             };
                             // Spawn failure (thread exhaustion) drops
                             // this connection, never the daemon.
@@ -387,6 +410,14 @@ impl Server {
                 }
             }
             workers.retain(|w| !w.is_finished());
+            // A lease that lapses while no connection is ticking still
+            // fences on time: the accept loop is the daemon's heartbeat.
+            // The tick that crosses the deadline drains parked sessions to
+            // degraded (exact-prefix) reports — their stores stay on disk
+            // for the survivor that replays them under a higher epoch.
+            if self.fence.check_expiry() {
+                drain_parked(&parked, &self.metrics, &notify, &report_tx);
+            }
             if !accepted_any {
                 std::thread::sleep(ACCEPT_TICK);
             }
@@ -399,21 +430,7 @@ impl Server {
         // Recovered sessions no client resumed drain like any other
         // shutdown: an exact report for the persisted prefix, store left
         // on disk for the next boot.
-        let leftover: Vec<Session> = {
-            let mut parked = parked.lock().unwrap_or_else(|e| e.into_inner());
-            parked.drain().map(|(_, s)| s).collect()
-        };
-        for session in leftover {
-            let (id, label) = (session.id(), session.label().map(String::from));
-            let report = catch_unwind(AssertUnwindSafe(|| session.finalize(EndReason::Shutdown)))
-                .unwrap_or_else(|payload| {
-                    SessionReport::failed(id, label, panic_message(payload.as_ref()))
-                });
-            self.metrics.sessions_aborted.add(1);
-            self.metrics.active_sessions.dec();
-            (notify)(&report);
-            let _ = report_tx.send(report);
-        }
+        drain_parked(&parked, &self.metrics, &notify, &report_tx);
         drop(report_tx);
         let reports = report_rx.into_iter().collect();
         // Unbind Unix sockets eagerly so a restart can rebind the path.
@@ -444,6 +461,35 @@ struct ConnCtx<F: Fn(&SessionReport) + Send + Sync> {
     /// Sessions the boot scan rebuilt from the durable store, waiting for
     /// a `RESUME`. Unclaimed entries are finalized at shutdown.
     parked: Arc<Mutex<HashMap<u64, Session>>>,
+    /// The daemon's fencing-epoch lease state, shared with the accept
+    /// loop and every durable store.
+    fence: Arc<FenceGuard>,
+}
+
+/// Finalizes every parked session to an exact-prefix report with reason
+/// `shutdown`, leaving its store on disk. Called at daemon shutdown and
+/// the moment a lease expiry fences the daemon.
+fn drain_parked<F: Fn(&SessionReport) + Send + Sync>(
+    parked: &Arc<Mutex<HashMap<u64, Session>>>,
+    metrics: &Arc<IngestMetrics>,
+    notify: &Arc<F>,
+    report_tx: &mpsc::Sender<SessionReport>,
+) {
+    let leftover: Vec<Session> = {
+        let mut parked = parked.lock().unwrap_or_else(|e| e.into_inner());
+        parked.drain().map(|(_, s)| s).collect()
+    };
+    for session in leftover {
+        let (id, label) = (session.id(), session.label().map(String::from));
+        let report = catch_unwind(AssertUnwindSafe(|| session.finalize(EndReason::Shutdown)))
+            .unwrap_or_else(|payload| {
+                SessionReport::failed(id, label, panic_message(payload.as_ref()))
+            });
+        metrics.sessions_aborted.add(1);
+        metrics.active_sessions.dec();
+        (notify)(&report);
+        let _ = report_tx.send(report);
+    }
 }
 
 /// The per-session [`SessionConfig`] a durable daemon opens or recovers
@@ -458,15 +504,45 @@ fn durable_session_config(config: &ServerConfig, id: u64) -> SessionConfig {
     session_config
 }
 
+/// The persisted session-id high-water (`data_dir/next-session`): the
+/// lowest id a restarted daemon may issue, best-effort. Written at every
+/// durable admission; a lost write degrades to the directory scan, which
+/// is only insufficient for sessions whose directories migrated away.
+fn read_id_floor(root: &Path) -> Option<u64> {
+    std::fs::read_to_string(root.join("next-session"))
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// Best-effort companion of [`read_id_floor`]; an unwritable root must
+/// not fail the admission that durably created the session itself. The
+/// first admission on a fresh daemon runs before anything else has
+/// created the data root, so it is created here too.
+fn write_id_floor(root: &Path, next: u64) {
+    let _ = std::fs::create_dir_all(root);
+    let _ = std::fs::write(root.join("next-session"), format!("{next}\n"));
+}
+
 /// The store policy a durable daemon creates and recovers session logs
-/// with.
-fn durable_store_config(config: &ServerConfig, metrics: &Arc<IngestMetrics>) -> StoreConfig {
+/// with. Stores are stamped with the daemon's *current* lease epoch and
+/// share its fence guard, so a fence (or a later re-join under a fresh
+/// epoch) refuses stale appends at the WAL layer.
+fn durable_store_config(
+    config: &ServerConfig,
+    metrics: &Arc<IngestMetrics>,
+    fence: &Arc<FenceGuard>,
+) -> StoreConfig {
     StoreConfig {
         checkpoint_every: config.checkpoint_every_events,
         fsync: config.fsync,
         faults: config.session.engine.faults,
         metrics: Some(Arc::clone(metrics)),
         binary_events: false,
+        epoch: fence.epoch(),
+        own_space: config.first_session_id >> 32,
+        guard: Some(Arc::clone(fence)),
     }
 }
 
@@ -759,6 +835,23 @@ fn connection_loop<F: Fn(&SessionReport) + Send + Sync>(
         match ev {
             Ev::Skip => {}
             Ev::Idle => {
+                // Lease expiry check: a fenced daemon stops serving its
+                // open session the next tick — a degraded finalize with
+                // an exact report for the accepted prefix.
+                ctx.fence.check_expiry();
+                if ctx.fence.is_fenced() && session.is_some() {
+                    let _ = send(
+                        stream,
+                        &ServerFrame::Err(DecodeError::busy(
+                            ctx.config.busy_retry_after_ms,
+                            format!(
+                                "shard fenced at epoch {}; re-route and resume on the survivor",
+                                ctx.fence.epoch()
+                            ),
+                        )),
+                    );
+                    return Some(EndReason::Shutdown);
+                }
                 if ctx.stop.load(Ordering::Relaxed) {
                     if session.is_some() {
                         return Some(EndReason::Shutdown);
@@ -811,6 +904,24 @@ fn connection_loop<F: Fn(&SessionReport) + Send + Sync>(
             }
             Ev::Frame(frame) => {
                 ctx.metrics.frames_decoded.add(1);
+                // A fence lands mid-stream too: the open session ends
+                // here (`EVENT` is no longer admitted), while
+                // pre-session admin frames (LEASE, STATS, SHUTDOWN)
+                // still flow so the router can probe and re-admit.
+                ctx.fence.check_expiry();
+                if ctx.fence.is_fenced() && session.is_some() {
+                    let _ = send(
+                        stream,
+                        &ServerFrame::Err(DecodeError::busy(
+                            ctx.config.busy_retry_after_ms,
+                            format!(
+                                "shard fenced at epoch {}; re-route and resume on the survivor",
+                                ctx.fence.epoch()
+                            ),
+                        )),
+                    );
+                    return Some(EndReason::Shutdown);
+                }
                 match handle_frame(frame, stream, session, &mut conn_proto, ctx) {
                     FrameOutcome::Continue => {}
                     FrameOutcome::Close(reason) => {
@@ -883,6 +994,22 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
                     )),
                 );
             }
+            // A fenced shard admits nothing: the client re-ROUTEs and
+            // lands on a survivor (or retries after re-admission).
+            if ctx.fence.is_fenced() {
+                ctx.metrics.sessions_rejected.add(1);
+                let _ = send(
+                    stream,
+                    &ServerFrame::Err(DecodeError::busy(
+                        ctx.config.busy_retry_after_ms,
+                        format!(
+                            "shard is fenced at epoch {} awaiting re-admission",
+                            ctx.fence.epoch()
+                        ),
+                    )),
+                );
+                return FrameOutcome::Close(EndReason::Limit);
+            }
             if ctx.metrics.active_sessions.get() >= ctx.config.max_sessions {
                 ctx.metrics.sessions_rejected.add(1);
                 let _ = send(
@@ -924,7 +1051,12 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
             // durability promise after the client has streamed.
             let store = match &ctx.config.data_dir {
                 Some(root) => {
-                    let mut cfg = durable_store_config(&ctx.config, &ctx.metrics);
+                    // Raise the persisted id floor before the session can
+                    // exist on disk: even if this id's directory later
+                    // migrates to a peer, a restarted incarnation will
+                    // never re-issue it.
+                    write_id_floor(root, id + 1);
+                    let mut cfg = durable_store_config(&ctx.config, &ctx.metrics, &ctx.fence);
                     // Sessions negotiated at v2 log binary WAL records;
                     // recovery replays either kind.
                     cfg.binary_events = hello.proto >= 2;
@@ -1064,10 +1196,23 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
             if !json.is_empty() && !json.ends_with('\n') {
                 json.push('\n');
             }
+            let scope_json = scope.replace('\\', "\\\\").replace('"', "\\\"");
             json.push_str(&format!(
-                "{{\"label\":\"{}\",\"metric\":\"protocol_version\",\"type\":\"gauge\",\"value\":{}}}",
-                scope.replace('\\', "\\\\").replace('"', "\\\""),
+                "{{\"label\":\"{scope_json}\",\"metric\":\"protocol_version\",\"type\":\"gauge\",\"value\":{}}}",
                 conn_proto,
+            ));
+            // The daemon's fencing state rides along so the router's
+            // probe (and any scrape) sees the lease epoch and whether
+            // the shard is currently fenced.
+            json.push('\n');
+            json.push_str(&format!(
+                "{{\"label\":\"{scope_json}\",\"metric\":\"fencing_epoch\",\"type\":\"gauge\",\"value\":{}}}",
+                ctx.fence.epoch(),
+            ));
+            json.push('\n');
+            json.push_str(&format!(
+                "{{\"label\":\"{scope_json}\",\"metric\":\"fenced\",\"type\":\"gauge\",\"value\":{}}}",
+                u8::from(ctx.fence.is_fenced()),
             ));
             for line in json.lines() {
                 if send(stream, &ServerFrame::Stat(line.to_string())).is_err() {
@@ -1141,6 +1286,23 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
                     )),
                 );
             }
+            // A fenced shard cannot resume sessions either: the accepted
+            // prefix may already be replaying on a survivor under a
+            // higher epoch, and serving it here would double-serve it.
+            if ctx.fence.is_fenced() {
+                ctx.metrics.sessions_rejected.add(1);
+                let _ = send(
+                    stream,
+                    &ServerFrame::Err(DecodeError::busy(
+                        ctx.config.busy_retry_after_ms,
+                        format!(
+                            "shard is fenced at epoch {} awaiting re-admission",
+                            ctx.fence.epoch()
+                        ),
+                    )),
+                );
+                return FrameOutcome::Close(EndReason::Limit);
+            }
             // Both rejections below are `state` (non-fatal): the client
             // may fall back to a fresh HELLO on this same connection.
             let Some(root) = ctx.config.data_dir.clone() else {
@@ -1161,9 +1323,22 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
                 parked.remove(&want)
             };
             let s = match adopted {
-                Some(s) => s,
+                Some(mut s) => {
+                    // Parked sessions were recovered at boot, possibly
+                    // before this shard's current lease existed; the
+                    // adopter claims the store under the epoch it holds
+                    // *now* or every later append would refuse as stale.
+                    if let Err(err) = s.restamp_store(ctx.fence.epoch()) {
+                        ctx.metrics.decode_errors.add(1);
+                        let mut parked = ctx.parked.lock().unwrap_or_else(|e| e.into_inner());
+                        parked.insert(want, s);
+                        let _ = send(stream, &ServerFrame::Err(err));
+                        return FrameOutcome::Close(EndReason::Limit);
+                    }
+                    s
+                }
                 None => {
-                    let mut cfg = durable_store_config(&ctx.config, &ctx.metrics);
+                    let mut cfg = durable_store_config(&ctx.config, &ctx.metrics, &ctx.fence);
                     cfg.binary_events = proto >= 2;
                     let rec = match SessionStore::recover(&session_dir(&root, want), cfg) {
                         Ok(Some(rec)) => rec,
@@ -1215,6 +1390,30 @@ fn handle_frame<F: Fn(&SessionReport) + Send + Sync>(
                 *conn_proto = proto;
             }
             reply(stream, &ServerFrame::Ok(kvs))
+        }
+        ClientFrame::Lease { epoch, ttl_ms } => {
+            if session.is_some() {
+                ctx.metrics.decode_errors.add(1);
+                return reply(
+                    stream,
+                    &ServerFrame::Err(DecodeError::new(
+                        ErrCode::State,
+                        "LEASE is an admin frame; END your session first",
+                    )),
+                );
+            }
+            // The grant applies atomically; the ack reports the epoch
+            // the daemon holds *after* it, so the router learns about a
+            // later incarnation (ack.epoch > offer) or a standing fence
+            // (fenced=1, cleared only by a strictly higher offer).
+            let ack = ctx.fence.grant(epoch, Duration::from_millis(ttl_ms));
+            reply(
+                stream,
+                &ServerFrame::Ok(vec![
+                    ("epoch".to_string(), ack.epoch.to_string()),
+                    ("fenced".to_string(), u8::from(ack.fenced).to_string()),
+                ]),
+            )
         }
     }
 }

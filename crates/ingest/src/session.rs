@@ -300,6 +300,17 @@ impl Session {
         }
     }
 
+    /// Re-stamps the attached store under `epoch`
+    /// ([`SessionStore::restamp`]): a re-joined shard adopting a session
+    /// its previous incarnation parked must claim the log under the
+    /// lease it holds *now*. No-op without a store.
+    pub fn restamp_store(&mut self, epoch: u64) -> Result<(), DecodeError> {
+        match self.store.as_mut() {
+            Some(store) => store.restamp(epoch).map_err(store_err),
+            None => Ok(()),
+        }
+    }
+
     /// Rebuilds a session from recovered state: opens it from the
     /// persisted `HELLO`, replays the accepted prefix through the normal
     /// `apply` path (the engine re-enumerates deterministically — see

@@ -59,6 +59,10 @@ pub const TAG_FLUSH: u8 = 0x02;
 pub const TAG_STATS: u8 = 0x03;
 /// Frame tag for `END`.
 pub const TAG_END: u8 = 0x04;
+/// Frame tag for `LEASE` (payload: varint epoch, varint ttl-ms). Leases
+/// normally travel on the router's text probe connection, but the frame
+/// exists in both framings so v2 streams have no text-only verbs.
+pub const TAG_LEASE: u8 = 0x05;
 
 /// Longest accepted frame payload, in bytes — the binary analog of
 /// [`crate::proto::MAX_LINE_BYTES`], bounding per-connection buffering.
@@ -134,6 +138,16 @@ impl Enc {
         debug_assert!(matches!(tag, TAG_FLUSH | TAG_STATS | TAG_END));
         out.push(tag);
         out.push(0);
+    }
+
+    /// Appends one `LEASE` frame to `out`.
+    pub fn push_lease(&mut self, out: &mut Vec<u8>, epoch: u64, ttl_ms: u64) {
+        self.scratch.clear();
+        push_u64(&mut self.scratch, epoch);
+        push_u64(&mut self.scratch, ttl_ms);
+        out.push(TAG_LEASE);
+        push_u64(out, self.scratch.len() as u64);
+        out.extend_from_slice(&self.scratch);
     }
 }
 
@@ -231,6 +245,17 @@ impl Dec {
                     TAG_STATS => ClientFrame::Stats,
                     _ => ClientFrame::End,
                 }
+            }
+            TAG_LEASE => {
+                let mut at = 0usize;
+                let epoch =
+                    read_u64_at(payload, &mut at).ok_or_else(|| bad("truncated LEASE epoch"))?;
+                let ttl_ms =
+                    read_u64_at(payload, &mut at).ok_or_else(|| bad("truncated LEASE ttl-ms"))?;
+                if at != payload.len() {
+                    return Err(bad("trailing bytes after LEASE payload"));
+                }
+                ClientFrame::Lease { epoch, ttl_ms }
             }
             other => return Err(bad(format!("unknown frame tag 0x{other:02x}"))),
         };
@@ -427,6 +452,30 @@ mod tests {
         ));
         assert!(matches!(dec.next_frame().unwrap(), Step::Incomplete));
         assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn lease_round_trips_through_the_codec() {
+        let mut enc = Enc::new();
+        let mut wire = Vec::new();
+        enc.push_lease(&mut wire, 9, 1500);
+        let mut dec = Dec::new();
+        dec.extend(&wire);
+        match dec.next_frame().unwrap() {
+            Step::Frame(f) => assert_eq!(
+                f,
+                ClientFrame::Lease {
+                    epoch: 9,
+                    ttl_ms: 1500
+                }
+            ),
+            Step::Incomplete => panic!("frame should be complete"),
+        }
+        assert_eq!(dec.pending(), 0);
+        // Trailing bytes after the two varints are malformed.
+        let mut dec = Dec::new();
+        dec.extend(&[TAG_LEASE, 0x03, 0x01, 0x02, 0x00]);
+        assert!(dec.next_frame().is_err());
     }
 
     #[test]

@@ -1,26 +1,83 @@
 #!/usr/bin/env bash
-# Fleet failover smoke, driven entirely through the shipped binary:
-# start a 3-shard fleet, stream the banking workload through the router
-# with a retrying --fleet client, SIGKILL the shard hosting the session
-# mid-send, and require the final report to equal `paramount count`.
-# (If the kill wins the race with a short trace the send just completes
-# before the shard dies — the equality assertion holds either way; the
-# deterministic mid-stream case is pinned by crates/cli/tests/fleet.rs.)
+# Fleet failover smoke, driven entirely through the shipped binary.
+# Three scenarios, each against a fresh fleet:
+#
+#   1. kill -9:    SIGKILL the shard hosting the session mid-send; the
+#                  router health-checks it down, migrates the store, and
+#                  the retrying --fleet client finishes on the survivor
+#                  with counts equal to `paramount count`.
+#   2. partition:  SIGSTOP the home shard (alive but unresponsive — the
+#                  case probe evidence alone cannot distinguish from a
+#                  crash). The router's lease lapses, the shard is
+#                  declared fenced, its session migrates; on SIGCONT the
+#                  shard self-fences, the stale client is refused and
+#                  resumes on the survivor, and the shard rejoins with a
+#                  fresh epoch.
+#   3. router:     kill -9 the router mid-send with --router-data-dir
+#                  set, restart it from its durable manifest, and
+#                  require zero spurious migrations — the restarted
+#                  router must not re-home a live session.
+#
+# (If a kill wins the race with a short trace the send just completes
+# before the fault lands — count equality holds either way; the
+# deterministic mid-stream cases are pinned by crates/cli/tests/fleet.rs
+# and the in-process chaos suite.)
 set -euo pipefail
 
 PM=${PM:-target/release/paramount}
 PORT=${PORT:-7669}
 DATA=$(mktemp -d)
-LOG="$DATA/fleet.log"
 FLEET_PID=""
+SHARD_PIDS=""
 cleanup() {
   [ -n "$FLEET_PID" ] && kill "$FLEET_PID" 2>/dev/null || true
+  for pid in $SHARD_PIDS; do kill -9 "$pid" 2>/dev/null || true; done
   rm -rf "$DATA"
 }
 trap cleanup EXIT
 
+extract() { echo "$1" | sed -n 's/.* \([0-9]\+\) consistent global states.*/\1/p'; }
+# stat_value FILE METRIC -> value of the first matching JSON stats line.
+stat_value() { sed -n 's/.*"metric":"'"$2"'".*"value":\([0-9]*\).*/\1/p' "$1" | head -1; }
+# wait_stat PORT METRIC MIN: poll the router's STATS until counter >= MIN.
+wait_stat() {
+  for _ in $(seq 1 150); do
+    "$PM" stats --connect "127.0.0.1:$1" > "$DATA/poll.out" 2>/dev/null || true
+    v=$(stat_value "$DATA/poll.out" "$2")
+    [ -n "$v" ] && [ "$v" -ge "$3" ] && return 0
+    sleep 0.2
+  done
+  echo "timeout waiting for $2 >= $3 on port $1"
+  cat "$DATA/poll.out"
+  return 1
+}
+# home_shard ROOT: shard index owning the first live session directory.
+home_shard() {
+  (ls -d "$1"/shard-*/session-* 2>/dev/null || true) |
+    head -1 | sed -n 's/.*shard-\([0-9]*\)\/session.*/\1/p'
+}
+
 "$PM" gen banking > "$DATA/banking.trace"
 
+# The paper's `bank` shape at 9^8 = 43M cuts: 8 tellers, 4 rounds each,
+# read/write segments split by a private pace lock (no cross edges).
+# FINISH enumerates for seconds, which keeps the session verifiably
+# live while we partition its shard or restart the router under it.
+{
+  echo "threads 9"
+  echo "0 write balance"
+  for t in 1 2 3 4 5 6 7 8; do echo "0 fork $t"; done
+  for t in 1 2 3 4 5 6 7 8; do
+    for _ in 1 2 3 4; do
+      printf '%s read balance\n%s acquire pace%s\n%s release pace%s\n' "$t" "$t" "$t" "$t" "$t"
+      printf '%s write balance\n%s acquire pace%s\n%s release pace%s\n' "$t" "$t" "$t" "$t" "$t"
+    done
+  done
+  for t in 1 2 3 4 5 6 7 8; do echo "0 join $t"; done
+} > "$DATA/wide.trace"
+
+# ---------------------------------------------------------------- 1. kill -9
+LOG="$DATA/fleet.log"
 "$PM" fleet --listen "127.0.0.1:$PORT" --shards 3 --data-dir "$DATA/root" \
   --probe-interval-ms 100 --probe-deadline-ms 500 \
   --suspect-after 1 --down-after 2 \
@@ -41,8 +98,7 @@ sleep 0.3
 # Kill the shard that actually owns the in-flight session: its durable
 # store lives under that shard's subroot. Falls back to shard 0 if the
 # send already finished (no session directory left).
-HOME_SHARD=$( (ls -d "$DATA/root"/shard-*/session-* 2>/dev/null || true) |
-  head -1 | sed -n 's/.*shard-\([0-9]*\)\/session.*/\1/p')
+HOME_SHARD=$(home_shard "$DATA/root")
 HOME_SHARD=${HOME_SHARD:-0}
 VICTIM=$(sed -n "s/^shard $HOME_SHARD pid \([0-9]*\) .*/\1/p" "$LOG")
 echo "SIGKILLing shard $HOME_SHARD (pid $VICTIM)"
@@ -53,7 +109,6 @@ SENT=$(cat "$DATA/send.out")
 COUNTED=$("$PM" count "$DATA/banking.trace")
 echo "send:  $SENT"
 echo "count: $COUNTED"
-extract() { echo "$1" | sed -n 's/.* \([0-9]\+\) consistent global states.*/\1/p'; }
 test -n "$(extract "$SENT")"
 test "$(extract "$SENT")" = "$(extract "$COUNTED")"
 
@@ -66,4 +121,147 @@ grep -q '"metric":"sessions_routed"' "$DATA/stats.out"
 "$PM" shutdown --connect "127.0.0.1:$PORT"
 wait "$FLEET_PID"
 FLEET_PID=""
+echo "kill -9 scenario OK"
+
+# -------------------------------------------------- 2. partition (SIGSTOP)
+PORT_P=$((PORT + 1))
+LOGP="$DATA/fleet-p.log"
+"$PM" fleet --listen "127.0.0.1:$PORT_P" --shards 3 --data-dir "$DATA/root-p" \
+  --probe-interval-ms 100 --probe-deadline-ms 300 \
+  --suspect-after 1 --down-after 2 --lease-ttl-ms 600 \
+  --checkpoint-events 8 --fsync always > "$LOGP" 2>&1 &
+FLEET_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "fleet listening on" "$LOGP" && break
+  sleep 0.1
+done
+
+"$PM" send "$DATA/wide.trace" --connect "127.0.0.1:$PORT_P" --fleet \
+  --retries 10 --backoff-ms 200 --checkpoint-every 4 \
+  > "$DATA/send-p.out" 2>&1 &
+SEND=$!
+sleep 0.3
+
+HOME_SHARD=$(home_shard "$DATA/root-p")
+SESSION_LIVE=1
+if [ -z "$HOME_SHARD" ]; then
+  # The send outran us (no live session left to strand); the partition /
+  # fence / rejoin cycle is still asserted, migration can't be.
+  SESSION_LIVE=0
+  HOME_SHARD=0
+fi
+VICTIM=$(sed -n "s/^shard $HOME_SHARD pid \([0-9]*\) .*/\1/p" "$LOGP")
+echo "SIGSTOPping shard $HOME_SHARD (pid $VICTIM) — partition, not crash"
+kill -STOP "$VICTIM"
+
+# The router cannot tell a frozen shard from a dead one — it must wait
+# out the lease and fence before migrating.
+wait_stat "$PORT_P" shards_fenced 1
+wait_stat "$PORT_P" lease_expiries 1
+if [ "$SESSION_LIVE" = 1 ]; then
+  wait_stat "$PORT_P" sessions_migrated 1
+fi
+
+echo "SIGCONTing shard $HOME_SHARD — it must self-fence, not resume writing"
+kill -CONT "$VICTIM"
+
+# The thawed shard sees its lease long lapsed, refuses the stale client
+# (which re-routes to the survivor), answers probes fenced=1, and is
+# re-admitted under a fresh epoch.
+wait_stat "$PORT_P" shards_rejoined 1
+
+wait "$SEND"
+SENT=$(cat "$DATA/send-p.out")
+COUNTED=$("$PM" count "$DATA/wide.trace")
+echo "send:  $SENT"
+echo "count: $COUNTED"
+test -n "$(extract "$SENT")"
+test "$(extract "$SENT")" = "$(extract "$COUNTED")"
+
+# The rejoined fleet must take new sessions again, including on the
+# thawed shard's fresh epoch.
+SENT2=$("$PM" send "$DATA/banking.trace" --connect "127.0.0.1:$PORT_P" --fleet \
+  --retries 10 --backoff-ms 200)
+test "$(extract "$SENT2")" = "$(extract "$("$PM" count "$DATA/banking.trace")")"
+
+"$PM" stats --connect "127.0.0.1:$PORT_P" | tee "$DATA/stats-p.out"
+grep -q '"metric":"fencing_epoch"' "$DATA/stats-p.out"
+
+"$PM" shutdown --connect "127.0.0.1:$PORT_P"
+wait "$FLEET_PID"
+FLEET_PID=""
+echo "partition scenario OK"
+
+# ------------------------------------------- 3. router kill -9 + restart
+PORT_R=$((PORT + 2))
+LOGR="$DATA/fleet-r.log"
+# Lease TTL far above the restart gap: shards must ride out the router
+# outage without fencing, and the live session must keep streaming.
+"$PM" fleet --listen "127.0.0.1:$PORT_R" --shards 3 --data-dir "$DATA/root-r" \
+  --probe-interval-ms 100 --probe-deadline-ms 500 \
+  --suspect-after 2 --down-after 4 --lease-ttl-ms 15000 \
+  --router-data-dir "$DATA/router-r" \
+  --checkpoint-events 8 --fsync always > "$LOGR" 2>&1 &
+FLEET_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "fleet listening on" "$LOGR" && break
+  sleep 0.1
+done
+# The spawned shards outlive the router they came from; remember their
+# pids (cleanup) and addresses (the restarted router attaches to them).
+SHARD_PIDS=$(sed -n 's/^shard [0-9]* pid \([0-9]*\) .*/\1/p' "$LOGR" | tr '\n' ' ')
+sed -n 's/^shard \([0-9]*\) pid [0-9]* listening on tcp \(.*\)$/shard \1 \2/p' \
+  "$LOGR" > "$DATA/manifest-r"
+cat "$DATA/manifest-r"
+
+wait_stat "$PORT_R" leases_granted 3
+wait_stat "$PORT_R" fencing_epoch 1
+EPOCH_BEFORE=$(stat_value "$DATA/poll.out" fencing_epoch)
+
+"$PM" send "$DATA/wide.trace" --connect "127.0.0.1:$PORT_R" --fleet \
+  --retries 10 --backoff-ms 200 --checkpoint-every 4 \
+  > "$DATA/send-r.out" 2>&1 &
+SEND=$!
+sleep 0.3
+
+echo "SIGKILLing the router (pid $FLEET_PID) mid-send"
+kill -9 "$FLEET_PID"
+FLEET_PID=""
+sleep 0.2
+
+"$PM" fleet --listen "127.0.0.1:$PORT_R" --manifest "$DATA/manifest-r" \
+  --data-dir "$DATA/root-r" --probe-interval-ms 100 --probe-deadline-ms 500 \
+  --suspect-after 2 --down-after 4 --lease-ttl-ms 15000 \
+  --router-data-dir "$DATA/router-r" > "$LOGR.2" 2>&1 &
+FLEET_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "fleet listening on" "$LOGR.2" && break
+  sleep 0.1
+done
+
+# The event path never crossed the router, so the send must complete
+# with exact counts even though the router died under it.
+wait "$SEND"
+SENT=$(cat "$DATA/send-r.out")
+COUNTED=$("$PM" count "$DATA/wide.trace")
+echo "send:  $SENT"
+echo "count: $COUNTED"
+test -n "$(extract "$SENT")"
+test "$(extract "$SENT")" = "$(extract "$COUNTED")"
+
+# The restarted router replayed its manifest: epochs resume at (or
+# above) the pre-crash high-water mark, every shard is re-leased, and —
+# the point of the durable manifest — nothing is spuriously migrated.
+wait_stat "$PORT_R" leases_granted 3
+wait_stat "$PORT_R" fencing_epoch "$EPOCH_BEFORE"
+sleep 1
+"$PM" stats --connect "127.0.0.1:$PORT_R" | tee "$DATA/stats-r.out"
+MIGRATED=$(stat_value "$DATA/stats-r.out" sessions_migrated)
+test "$MIGRATED" = "0"
+
+"$PM" shutdown --connect "127.0.0.1:$PORT_R"
+wait "$FLEET_PID"
+FLEET_PID=""
+echo "router restart scenario OK"
+
 echo "fleet smoke OK"
